@@ -1,0 +1,89 @@
+//! Ablation benchmarks for the design choices discussed in the paper and in
+//! DESIGN.md: grid-based vs simple verification queries, k-mer order, and the
+//! effect of the k parameter on the number of sampled factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ius_bench::measure::sample_patterns;
+use ius_datasets::pangenome::efm_like;
+use ius_index::{IndexParams, IndexVariant, MinimizerIndex, UncertainIndex};
+use ius_sampling::KmerOrder;
+use ius_weighted::ZEstimation;
+use std::time::Duration;
+
+fn ablation_benches(c: &mut Criterion) {
+    let x = efm_like(12_000, 0xEF01);
+    let z = 32.0;
+    let ell = 128usize;
+    let est = ZEstimation::build(&x, z).expect("estimation");
+    let params = IndexParams::new(z, ell, x.sigma()).expect("params");
+    let patterns = sample_patterns(&est, ell, 64, 7);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+
+    // (1) Simple verification query (Section 5) vs grid query (Theorem 9).
+    for (label, variant) in [
+        ("simple/MWSA", IndexVariant::Array),
+        ("grid/MWSA-G", IndexVariant::ArrayGrid),
+        ("simple/MWST", IndexVariant::Tree),
+        ("grid/MWST-G", IndexVariant::TreeGrid),
+    ] {
+        let index =
+            MinimizerIndex::build_from_estimation(&x, &est, params, variant).expect("index");
+        group.bench_with_input(BenchmarkId::new("query-strategy", label), &patterns, |b, ps| {
+            let mut cursor = 0usize;
+            b.iter(|| {
+                let p = &ps[cursor % ps.len()];
+                cursor += 1;
+                index.query(p, &x).expect("query")
+            })
+        });
+    }
+
+    // (2) Minimizer k-mer order: construction cost of the sampled factor sets.
+    for (label, order) in
+        [("kr-order", KmerOrder::default()), ("lex-order", KmerOrder::Lexicographic)]
+    {
+        let p = IndexParams::new(z, ell, x.sigma()).expect("params").with_order(order);
+        group.bench_function(BenchmarkId::new("kmer-order-build", label), |b| {
+            b.iter(|| {
+                MinimizerIndex::build_from_estimation(&x, &est, p, IndexVariant::Array)
+                    .expect("index")
+            })
+        });
+    }
+
+    // (3) k parameter sweep: sampled-factor count is reported via a
+    // throughput-style benchmark of the build.
+    for k in [3usize, 6, 10] {
+        let p = IndexParams::new(z, ell, x.sigma())
+            .expect("params")
+            .with_k(k)
+            .expect("valid k");
+        group.bench_with_input(BenchmarkId::new("k-sweep-build", k), &p, |b, p| {
+            b.iter(|| {
+                MinimizerIndex::build_from_estimation(&x, &est, *p, IndexVariant::Array)
+                    .expect("index")
+            })
+        });
+    }
+
+    // Report the ablation statistics once so they appear in the bench log.
+    for (label, order) in
+        [("kr-order", KmerOrder::default()), ("lex-order", KmerOrder::Lexicographic)]
+    {
+        let p = IndexParams::new(z, ell, x.sigma()).expect("params").with_order(order);
+        let index = MinimizerIndex::build_from_estimation(&x, &est, p, IndexVariant::Array)
+            .expect("index");
+        println!(
+            "[ablation] {label}: {} sampled factors, {:.2} MB",
+            index.num_sampled_factors(),
+            index.size_bytes() as f64 / 1e6
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Construction-time benchmarks: one Criterion group per index family,
+//! regenerating the per-index construction costs behind Figures 12, 15 and 16
+//! at benchmark-friendly scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ius_bench::measure::IndexKind;
+use ius_datasets::pangenome::efm_like;
+use ius_index::IndexParams;
+use ius_weighted::ZEstimation;
+use std::time::Duration;
+
+fn construction_benches(c: &mut Criterion) {
+    let x = efm_like(12_000, 0xEF01);
+    let z = 32.0;
+    let est = ZEstimation::build(&x, z).expect("estimation");
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    // The z-estimation itself (the shared substrate of the classic indexes).
+    group.bench_function("z-estimation/EFM*-12k/z=32", |b| {
+        b.iter(|| ZEstimation::build(&x, z).expect("estimation"))
+    });
+
+    // Every index, at the paper's default ℓ = 256.
+    for kind in IndexKind::all() {
+        let params = IndexParams::new(z, 256, x.sigma()).expect("params");
+        group.bench_with_input(
+            BenchmarkId::new("index/EFM*-12k/z=32/ell=256", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let estimation = if kind.needs_estimation() { Some(&est) } else { None };
+                    kind.build(&x, estimation, params).expect("build")
+                })
+            },
+        );
+    }
+
+    // The minimizer index at several ℓ values (the ℓ-dependence of Fig. 12a).
+    for ell in [64usize, 256, 1024] {
+        let params = IndexParams::new(z, ell, x.sigma()).expect("params");
+        group.bench_with_input(
+            BenchmarkId::new("MWSA-by-ell/EFM*-12k/z=32", ell),
+            &ell,
+            |b, _| {
+                b.iter(|| {
+                    IndexKind::Mwsa.build(&x, Some(&est), params).expect("build")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction_benches);
+criterion_main!(benches);

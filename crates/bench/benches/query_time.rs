@@ -1,0 +1,50 @@
+//! Query-time benchmarks: average pattern-matching latency of every index,
+//! the per-operation view behind Figures 10 and 11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ius_bench::measure::{sample_patterns, IndexKind};
+use ius_datasets::pangenome::efm_like;
+use ius_index::IndexParams;
+use ius_weighted::ZEstimation;
+use std::time::Duration;
+
+fn query_benches(c: &mut Criterion) {
+    let x = efm_like(12_000, 0xEF01);
+    let z = 32.0;
+    let est = ZEstimation::build(&x, z).expect("estimation");
+
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+
+    for ell in [64usize, 256] {
+        let params = IndexParams::new(z, ell, x.sigma()).expect("params");
+        let patterns = sample_patterns(&est, ell, 64, 0xBEEF);
+        if patterns.is_empty() {
+            continue;
+        }
+        for kind in IndexKind::all() {
+            // MWST-SE produces the same query structure as MWST; skip the
+            // duplicate measurement.
+            if matches!(kind, IndexKind::MwstSe) {
+                continue;
+            }
+            let index = kind.build(&x, Some(&est), params).expect("build");
+            group.bench_with_input(
+                BenchmarkId::new(format!("EFM*-12k/z=32/m={ell}"), kind.name()),
+                &patterns,
+                |b, patterns| {
+                    let mut cursor = 0usize;
+                    b.iter(|| {
+                        let pattern = &patterns[cursor % patterns.len()];
+                        cursor += 1;
+                        index.query(pattern, &x).expect("query")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_benches);
+criterion_main!(benches);

@@ -1,0 +1,598 @@
+//! `reproduce` — regenerates every table and figure of the paper's evaluation
+//! on the synthetic stand-in datasets.
+//!
+//! ```text
+//! reproduce --list                         # show the available experiments
+//! reproduce --exp table2 --scale tiny      # one experiment, small data
+//! reproduce --exp all --scale small        # the full evaluation
+//! reproduce --exp fig6 --out results/      # also writes results/fig6.csv
+//! ```
+//!
+//! Measured quantities follow the paper: index size (heap bytes of the final
+//! structure), construction space (peak heap during construction, via the
+//! counting allocator installed below), construction time (wall clock,
+//! including the z-estimation where the index needs it) and average query
+//! time over patterns sampled from the z-estimation.
+
+use ius_bench::experiments::ExperimentId;
+use ius_bench::measure::{
+    measure_build, measure_estimation, measure_queries, sample_patterns, IndexKind,
+};
+use ius_bench::report::{render_csv, render_table, Row};
+use ius_datasets::registry::{efm_star, human_star, rssi_star, sars_star, Dataset, Scale};
+use ius_datasets::rssi::rssi_scaled;
+use ius_index::IndexParams;
+use ius_memtrack::CountingAllocator;
+use ius_weighted::{WeightedString, ZEstimation};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator::new();
+
+/// Above this `n·⌊z⌋` product the tree-family baselines are skipped, mirroring
+/// the paper's note that the WST could not be constructed for its largest
+/// configurations.
+const TREE_NZ_LIMIT: usize = 48_000_000;
+
+struct Config {
+    experiments: HashSet<ExperimentId>,
+    scale: Scale,
+    out_dir: Option<PathBuf>,
+    max_patterns: usize,
+    ell_sweep: Vec<usize>,
+    default_ell: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ExperimentId::all() {
+            println!("{:<10} {}", id.key(), id.description());
+        }
+        return;
+    }
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+
+    let started = Instant::now();
+    let mut rows: Vec<Row> = Vec::new();
+    let want = |ids: &[ExperimentId]| ids.iter().any(|id| config.experiments.contains(id));
+
+    if want(&[ExperimentId::Table2]) {
+        rows.extend(table2(&config));
+    }
+    if want(&[
+        ExperimentId::Fig6,
+        ExperimentId::Fig8,
+        ExperimentId::Fig10,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::Fig15,
+    ]) {
+        rows.extend(sweep_vs_ell(&config));
+    }
+    if want(&[
+        ExperimentId::Fig7,
+        ExperimentId::Fig9,
+        ExperimentId::Fig11,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::Fig15,
+    ]) {
+        rows.extend(sweep_vs_z(&config));
+    }
+    if want(&[ExperimentId::Fig14, ExperimentId::Fig16]) {
+        rows.extend(sweep_rssi(&config));
+    }
+    if want(&[ExperimentId::Ablation]) {
+        rows.extend(ablation(&config));
+    }
+
+    // Keep only the rows belonging to the requested experiments.
+    rows.retain(|r| {
+        config
+            .experiments
+            .iter()
+            .any(|id| id.key() == r.experiment)
+    });
+
+    println!("{}", render_table(&rows));
+    if let Some(dir) = &config.out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        for id in &config.experiments {
+            let subset: Vec<Row> =
+                rows.iter().filter(|r| r.experiment == id.key()).cloned().collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let path = dir.join(format!("{}.csv", id.key()));
+            std::fs::write(&path, render_csv(&subset)).expect("write CSV");
+            println!("wrote {}", path.display());
+        }
+    }
+    println!(
+        "reproduced {} experiment(s), {} data points, in {:.1?}",
+        config.experiments.len(),
+        rows.len(),
+        started.elapsed()
+    );
+}
+
+fn print_help() {
+    println!(
+        "reproduce — regenerate the paper's tables and figures\n\n\
+         options:\n\
+         \x20 --exp <id|all>       experiment to run (repeatable); see --list\n\
+         \x20 --scale tiny|small|full   dataset scale (default: tiny)\n\
+         \x20 --out <dir>          also write one CSV per experiment\n\
+         \x20 --max-patterns <n>   cap on query patterns per configuration (default 200)\n\
+         \x20 --full-sweep         sweep all five ℓ values instead of three\n\
+         \x20 --list               list experiments\n"
+    );
+}
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut experiments = HashSet::new();
+    let mut scale = Scale::Tiny;
+    let mut out_dir = None;
+    let mut max_patterns = 200usize;
+    let mut full_sweep = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                let value = args.get(i + 1).ok_or("--exp needs a value")?;
+                if value == "all" {
+                    experiments.extend(ExperimentId::all());
+                } else {
+                    experiments.insert(value.parse::<ExperimentId>()?);
+                }
+                i += 2;
+            }
+            "--scale" => {
+                let value = args.get(i + 1).ok_or("--scale needs a value")?;
+                scale = match value.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+                i += 2;
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a value")?));
+                i += 2;
+            }
+            "--max-patterns" => {
+                max_patterns = args
+                    .get(i + 1)
+                    .ok_or("--max-patterns needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-patterns: {e}"))?;
+                i += 2;
+            }
+            "--full-sweep" => {
+                full_sweep = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.extend(ExperimentId::all());
+    }
+    let ell_sweep =
+        if full_sweep { vec![64, 128, 256, 512, 1024] } else { vec![64, 256, 1024] };
+    Ok(Config { experiments, scale, out_dir, max_patterns, ell_sweep, default_ell: 256 })
+}
+
+fn dna_datasets(config: &Config) -> Vec<Dataset> {
+    vec![sars_star(config.scale), efm_star(config.scale), human_star(config.scale)]
+}
+
+fn row(
+    exp: ExperimentId,
+    dataset: &str,
+    series: &str,
+    param: &str,
+    param_value: f64,
+    metric: &str,
+    value: f64,
+) -> Row {
+    Row {
+        experiment: exp.key().to_string(),
+        dataset: dataset.to_string(),
+        series: series.to_string(),
+        param: param.to_string(),
+        param_value,
+        metric: metric.to_string(),
+        value,
+    }
+}
+
+/// Table 2: dataset characteristics.
+fn table2(config: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut datasets = dna_datasets(config);
+    datasets.push(rssi_star(config.scale));
+    for dataset in &datasets {
+        let x = &dataset.weighted;
+        eprintln!("[table2] {} (n = {}, z = {})", dataset.name, x.len(), dataset.default_z);
+        let est = ZEstimation::build(x, dataset.default_z).expect("estimation");
+        let e = ExperimentId::Table2;
+        rows.push(row(e, dataset.name, "n", "-", 0.0, "length", x.len() as f64));
+        rows.push(row(e, dataset.name, "sigma", "-", 0.0, "alphabet_size", x.sigma() as f64));
+        rows.push(row(e, dataset.name, "delta", "-", 0.0, "uncertain_percent", dataset.delta_percent()));
+        rows.push(row(e, dataset.name, "default_z", "-", 0.0, "z", dataset.default_z));
+        rows.push(row(
+            e,
+            dataset.name,
+            "z-estimation",
+            "-",
+            0.0,
+            "size_mb",
+            est.memory_bytes() as f64 / 1e6,
+        ));
+    }
+    rows
+}
+
+/// One full measurement of every index at a given (dataset, z, ℓ), emitting
+/// rows for all the figures that read off this configuration.
+#[allow(clippy::too_many_arguments)]
+fn measure_configuration(
+    config: &Config,
+    dataset_name: &str,
+    x: &WeightedString,
+    z: f64,
+    ell: usize,
+    param: &str,
+    param_value: f64,
+    exps_size: ExperimentId,
+    exps_space: ExperimentId,
+    exps_query: Option<ExperimentId>,
+    exps_time: ExperimentId,
+    include_se: bool,
+    rows: &mut Vec<Row>,
+) {
+    let params = IndexParams::new(z, ell, x.sigma()).expect("valid parameters");
+    let (est, est_cost) = measure_estimation(x, z).expect("z-estimation");
+    let patterns = if exps_query.is_some() {
+        sample_patterns(&est, ell, config.max_patterns, 0xC0FFEE)
+    } else {
+        Vec::new()
+    };
+    let nz = x.len() * z.floor() as usize;
+    let mut kinds: Vec<IndexKind> = Vec::new();
+    kinds.extend(IndexKind::array_family());
+    if nz <= TREE_NZ_LIMIT {
+        kinds.extend(IndexKind::tree_family());
+    } else {
+        eprintln!(
+            "  [skip] tree-family baselines for {dataset_name} (n·z = {nz} exceeds the memory budget)"
+        );
+    }
+    if include_se {
+        kinds.push(IndexKind::MwstSe);
+    }
+    for kind in kinds {
+        let estimation = if kind.needs_estimation() { Some(&est) } else { None };
+        let built = match measure_build(kind, x, estimation, est_cost, params) {
+            Ok(b) => b,
+            Err(err) => {
+                eprintln!("  [skip] {}: {err}", kind.name());
+                continue;
+            }
+        };
+        eprintln!(
+            "  {dataset_name} {param}={param_value} {:<8} size {:>10.2} MB  space {:>10.2} MB  time {:>8.2} s",
+            kind.name(),
+            built.size_bytes as f64 / 1e6,
+            built.peak_bytes as f64 / 1e6,
+            built.wall.as_secs_f64()
+        );
+        rows.push(row(
+            exps_size,
+            dataset_name,
+            kind.name(),
+            param,
+            param_value,
+            "index_size_mb",
+            built.size_bytes as f64 / 1e6,
+        ));
+        rows.push(row(
+            exps_space,
+            dataset_name,
+            kind.name(),
+            param,
+            param_value,
+            "construction_space_mb",
+            built.peak_bytes as f64 / 1e6,
+        ));
+        rows.push(row(
+            exps_time,
+            dataset_name,
+            kind.name(),
+            param,
+            param_value,
+            "construction_time_s",
+            built.wall.as_secs_f64(),
+        ));
+        if let Some(qexp) = exps_query {
+            if !patterns.is_empty() && !matches!(kind, IndexKind::MwstSe) {
+                let q = measure_queries(built.index.as_ref(), &patterns, x);
+                rows.push(row(
+                    qexp,
+                    dataset_name,
+                    kind.name(),
+                    param,
+                    param_value,
+                    "avg_query_us",
+                    q.avg_micros,
+                ));
+            }
+        }
+    }
+}
+
+/// Figures 6, 8, 10, 12(a,b), 13(a,b), 15(a,b): sweeps over ℓ at the default z.
+fn sweep_vs_ell(config: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for dataset in dna_datasets(config) {
+        let x = &dataset.weighted;
+        for &ell in &config.ell_sweep {
+            if ell > x.len() {
+                continue;
+            }
+            eprintln!("[vs-ell] {} z={} ell={}", dataset.name, dataset.default_z, ell);
+            measure_configuration(
+                config,
+                dataset.name,
+                x,
+                dataset.default_z,
+                ell,
+                "ell",
+                ell as f64,
+                ExperimentId::Fig6,
+                ExperimentId::Fig8,
+                Some(ExperimentId::Fig10),
+                ExperimentId::Fig12,
+                true,
+                &mut rows,
+            );
+        }
+    }
+    // Figures 13/15 read the same sweep; duplicate the relevant series.
+    let extra: Vec<Row> = rows
+        .iter()
+        .filter(|r| {
+            (r.metric == "construction_space_mb" || r.metric == "construction_time_s")
+                && r.param == "ell"
+        })
+        .map(|r| Row {
+            experiment: if r.metric == "construction_space_mb" {
+                ExperimentId::Fig13.key().to_string()
+            } else {
+                ExperimentId::Fig15.key().to_string()
+            },
+            ..r.clone()
+        })
+        .collect();
+    rows.extend(extra);
+    rows
+}
+
+/// Figures 7, 9, 11, 12(c,d), 13(c,d), 15(c,d): sweeps over z at the default ℓ.
+fn sweep_vs_z(config: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for dataset in dna_datasets(config) {
+        let x = &dataset.weighted;
+        let ell = config.default_ell.min(x.len());
+        for &z in &dataset.z_sweep {
+            eprintln!("[vs-z] {} z={} ell={}", dataset.name, z, ell);
+            measure_configuration(
+                config,
+                dataset.name,
+                x,
+                z,
+                ell,
+                "z",
+                z,
+                ExperimentId::Fig7,
+                ExperimentId::Fig9,
+                Some(ExperimentId::Fig11),
+                ExperimentId::Fig12,
+                true,
+                &mut rows,
+            );
+        }
+    }
+    let extra: Vec<Row> = rows
+        .iter()
+        .filter(|r| {
+            (r.metric == "construction_space_mb" || r.metric == "construction_time_s")
+                && r.param == "z"
+        })
+        .map(|r| Row {
+            experiment: if r.metric == "construction_space_mb" {
+                ExperimentId::Fig13.key().to_string()
+            } else {
+                ExperimentId::Fig15.key().to_string()
+            },
+            ..r.clone()
+        })
+        .collect();
+    rows.extend(extra);
+    rows
+}
+
+/// Figures 14 and 16: construction space / time of WSA vs MWST-SE on the RSSI
+/// family, varying ℓ, z, σ and n.
+fn sweep_rssi(config: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let base = rssi_star(config.scale);
+    let base_n = base.n();
+    let kinds = [IndexKind::Wsa, IndexKind::MwstSe];
+    let measure_one = |x: &WeightedString,
+                           z: f64,
+                           ell: usize,
+                           param: &str,
+                           value: f64,
+                           rows: &mut Vec<Row>| {
+        let params = IndexParams::new(z, ell, x.sigma()).expect("valid parameters");
+        let (est, est_cost) = measure_estimation(x, z).expect("z-estimation");
+        for kind in kinds {
+            let estimation = if kind.needs_estimation() { Some(&est) } else { None };
+            let built = match measure_build(kind, x, estimation, est_cost, params) {
+                Ok(b) => b,
+                Err(err) => {
+                    eprintln!("  [skip] {}: {err}", kind.name());
+                    continue;
+                }
+            };
+            eprintln!(
+                "  RSSI* {param}={value} {:<8} space {:>9.2} MB  time {:>7.2} s",
+                kind.name(),
+                built.peak_bytes as f64 / 1e6,
+                built.wall.as_secs_f64()
+            );
+            rows.push(row(
+                ExperimentId::Fig14,
+                "RSSI*",
+                kind.name(),
+                param,
+                value,
+                "construction_space_mb",
+                built.peak_bytes as f64 / 1e6,
+            ));
+            rows.push(row(
+                ExperimentId::Fig16,
+                "RSSI*",
+                kind.name(),
+                param,
+                value,
+                "construction_time_s",
+                built.wall.as_secs_f64(),
+            ));
+        }
+    };
+
+    // (a) vs ℓ at the default z.
+    for &ell in &config.ell_sweep {
+        eprintln!("[rssi vs-ell] ell={ell}");
+        measure_one(&base.weighted, base.default_z, ell, "ell", ell as f64, &mut rows);
+    }
+    // (b) vs z at the default ℓ.
+    for &z in &base.z_sweep {
+        eprintln!("[rssi vs-z] z={z}");
+        measure_one(&base.weighted, z, config.default_ell, "z", z, &mut rows);
+    }
+    // (c) vs σ at fixed n.
+    for sigma in [16usize, 32, 64, 91] {
+        eprintln!("[rssi vs-sigma] sigma={sigma}");
+        let x = rssi_scaled(base_n, sigma, 0x0551);
+        measure_one(&x, base.default_z, config.default_ell, "sigma", sigma as f64, &mut rows);
+    }
+    // (d) vs n at fixed σ = 32.
+    for factor in [1usize, 2, 4] {
+        let n = base_n * factor;
+        eprintln!("[rssi vs-n] n={n}");
+        let x = rssi_scaled(n, 32, 0x0551);
+        measure_one(&x, base.default_z, config.default_ell, "n", n as f64, &mut rows);
+    }
+    rows
+}
+
+/// Design-choice ablations: grid vs simple query, k-mer order, k sweep.
+fn ablation(config: &Config) -> Vec<Row> {
+    use ius_index::{IndexVariant, MinimizerIndex, UncertainIndex};
+    use ius_sampling::KmerOrder;
+    let mut rows = Vec::new();
+    let dataset = efm_star(config.scale);
+    let x = &dataset.weighted;
+    let z = dataset.default_z;
+    let ell = config.default_ell;
+    let e = ExperimentId::Ablation;
+    eprintln!("[ablation] {} z={z} ell={ell}", dataset.name);
+    let est = ZEstimation::build(x, z).expect("estimation");
+    let patterns = sample_patterns(&est, ell, config.max_patterns, 0xAB1A);
+
+    // (1) Simple verification query vs grid query, on tree and array forms.
+    for (label, variant) in [
+        ("MWST", IndexVariant::Tree),
+        ("MWST-G", IndexVariant::TreeGrid),
+        ("MWSA", IndexVariant::Array),
+        ("MWSA-G", IndexVariant::ArrayGrid),
+    ] {
+        let params = IndexParams::new(z, ell, x.sigma()).expect("params");
+        let index =
+            MinimizerIndex::build_from_estimation(x, &est, params, variant).expect("index");
+        let q = measure_queries(&index, &patterns, x);
+        rows.push(row(e, dataset.name, label, "query", 0.0, "avg_query_us", q.avg_micros));
+        rows.push(row(e, dataset.name, label, "query", 0.0, "index_size_mb", index.size_bytes() as f64 / 1e6));
+    }
+
+    // (2) k-mer order: Karp–Rabin fingerprints vs lexicographic.
+    for (label, order) in [
+        ("KR-order", KmerOrder::default()),
+        ("lex-order", KmerOrder::Lexicographic),
+    ] {
+        let params =
+            IndexParams::new(z, ell, x.sigma()).expect("params").with_order(order);
+        let index = MinimizerIndex::build_from_estimation(x, &est, params, IndexVariant::Array)
+            .expect("index");
+        rows.push(row(
+            e,
+            dataset.name,
+            label,
+            "order",
+            0.0,
+            "sampled_factors",
+            index.num_sampled_factors() as f64,
+        ));
+        rows.push(row(
+            e,
+            dataset.name,
+            label,
+            "order",
+            0.0,
+            "index_size_mb",
+            index.size_bytes() as f64 / 1e6,
+        ));
+    }
+
+    // (3) k sweep (Lemma 1: density is O(1/ℓ) once k ≳ log_σ ℓ).
+    for k in [2usize, 4, 6, 8, 12] {
+        if k > ell {
+            continue;
+        }
+        let params = IndexParams::new(z, ell, x.sigma())
+            .expect("params")
+            .with_k(k)
+            .expect("valid k");
+        let index = MinimizerIndex::build_from_estimation(x, &est, params, IndexVariant::Array)
+            .expect("index");
+        rows.push(row(
+            e,
+            dataset.name,
+            "k-sweep",
+            "k",
+            k as f64,
+            "sampled_factors",
+            index.num_sampled_factors() as f64,
+        ));
+    }
+    rows
+}

@@ -1,0 +1,18 @@
+//! # ius-bench — the experiment harness
+//!
+//! Everything needed to regenerate the paper's evaluation (Table 2 and
+//! Figures 6–16) on the synthetic stand-in datasets: experiment descriptors,
+//! measurement helpers (wall-clock, peak heap, index size, average query
+//! time) and row formatting. The `reproduce` binary drives it; the Criterion
+//! benches in `benches/` reuse the same building blocks for per-operation
+//! timings.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod report;
+
+pub use experiments::{Experiment, ExperimentId};
+pub use measure::{BuildMeasurement, IndexKind, QueryMeasurement};
+pub use report::Row;

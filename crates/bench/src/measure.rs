@@ -1,0 +1,306 @@
+//! Measurement helpers: wall-clock, peak heap, index size and query latency.
+
+use ius_datasets::patterns::PatternSampler;
+use ius_index::{
+    IndexParams, IndexStats, IndexVariant, MinimizerIndex, SpaceEfficientBuilder, UncertainIndex,
+    Wsa, Wst,
+};
+use ius_weighted::{Result, WeightedString, ZEstimation};
+use std::time::{Duration, Instant};
+
+/// The seven index kinds evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Weighted suffix tree baseline.
+    Wst,
+    /// Weighted suffix array baseline.
+    Wsa,
+    /// Minimizer weighted suffix tree (simple query).
+    Mwst,
+    /// Minimizer weighted suffix array (simple query).
+    Mwsa,
+    /// Minimizer weighted suffix tree with the 2D grid.
+    MwstG,
+    /// Minimizer weighted suffix array with the 2D grid.
+    MwsaG,
+    /// Minimizer weighted suffix tree built by the space-efficient
+    /// construction of Section 4.
+    MwstSe,
+}
+
+impl IndexKind {
+    /// All kinds, in the order the paper's figures list them.
+    pub fn all() -> [IndexKind; 7] {
+        [
+            IndexKind::Wst,
+            IndexKind::Wsa,
+            IndexKind::Mwst,
+            IndexKind::Mwsa,
+            IndexKind::MwstG,
+            IndexKind::MwsaG,
+            IndexKind::MwstSe,
+        ]
+    }
+
+    /// The kinds shown in the tree-based panels of Figures 6–12.
+    pub fn tree_family() -> [IndexKind; 3] {
+        [IndexKind::Wst, IndexKind::Mwst, IndexKind::MwstG]
+    }
+
+    /// The kinds shown in the array-based panels of Figures 6–12.
+    pub fn array_family() -> [IndexKind; 3] {
+        [IndexKind::Wsa, IndexKind::Mwsa, IndexKind::MwsaG]
+    }
+
+    /// Display name used in reports (matches the paper).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Wst => "WST",
+            IndexKind::Wsa => "WSA",
+            IndexKind::Mwst => "MWST",
+            IndexKind::Mwsa => "MWSA",
+            IndexKind::MwstG => "MWST-G",
+            IndexKind::MwsaG => "MWSA-G",
+            IndexKind::MwstSe => "MWST-SE",
+        }
+    }
+
+    /// Does constructing this index require the explicit z-estimation?
+    pub fn needs_estimation(&self) -> bool {
+        !matches!(self, IndexKind::MwstSe)
+    }
+
+    /// Is this one of the `Θ(nz)`-sized baselines?
+    pub fn is_baseline(&self) -> bool {
+        matches!(self, IndexKind::Wst | IndexKind::Wsa)
+    }
+
+    /// Builds the index.
+    ///
+    /// `estimation` must be `Some` for every kind except [`IndexKind::MwstSe`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors of the respective index.
+    pub fn build(
+        &self,
+        x: &WeightedString,
+        estimation: Option<&ZEstimation>,
+        params: IndexParams,
+    ) -> Result<Box<dyn UncertainIndex>> {
+        let est = || estimation.expect("estimation required for this index kind");
+        Ok(match self {
+            IndexKind::Wst => Box::new(Wst::build_from_estimation(est())?),
+            IndexKind::Wsa => Box::new(Wsa::build_from_estimation(est())?),
+            IndexKind::Mwst => Box::new(MinimizerIndex::build_from_estimation(
+                x,
+                est(),
+                params,
+                IndexVariant::Tree,
+            )?),
+            IndexKind::Mwsa => Box::new(MinimizerIndex::build_from_estimation(
+                x,
+                est(),
+                params,
+                IndexVariant::Array,
+            )?),
+            IndexKind::MwstG => Box::new(MinimizerIndex::build_from_estimation(
+                x,
+                est(),
+                params,
+                IndexVariant::TreeGrid,
+            )?),
+            IndexKind::MwsaG => Box::new(MinimizerIndex::build_from_estimation(
+                x,
+                est(),
+                params,
+                IndexVariant::ArrayGrid,
+            )?),
+            IndexKind::MwstSe => {
+                Box::new(SpaceEfficientBuilder::new(params).build(x, IndexVariant::Tree)?)
+            }
+        })
+    }
+}
+
+/// Everything measured while constructing one index.
+pub struct BuildMeasurement {
+    /// Which index was built.
+    pub kind: IndexKind,
+    /// Wall-clock construction time, including the z-estimation when the
+    /// index requires it.
+    pub wall: Duration,
+    /// Peak heap growth during construction, in bytes. Includes the
+    /// z-estimation for estimation-based indexes (approximated as
+    /// `max(estimation peak, estimation retained + index peak)` when the
+    /// estimation is shared across index builds).
+    pub peak_bytes: usize,
+    /// Final index size in bytes.
+    pub size_bytes: usize,
+    /// Structural statistics of the index.
+    pub stats: IndexStats,
+    /// The built index, for subsequent query measurements.
+    pub index: Box<dyn UncertainIndex>,
+}
+
+/// Peak/retained heap of building the shared z-estimation, measured once per
+/// `(dataset, z)` configuration by [`measure_estimation`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EstimationCost {
+    /// Peak heap growth while constructing the estimation.
+    pub peak_bytes: usize,
+    /// Heap retained by the estimation itself.
+    pub retained_bytes: usize,
+    /// Wall-clock time of constructing the estimation.
+    pub wall: Duration,
+}
+
+/// Builds a z-estimation while measuring its wall-clock time and heap cost.
+///
+/// # Errors
+///
+/// Propagates threshold validation errors.
+pub fn measure_estimation(x: &WeightedString, z: f64) -> Result<(ZEstimation, EstimationCost)> {
+    let start = Instant::now();
+    let (result, mem) = ius_memtrack::measure(|| ZEstimation::build(x, z));
+    let estimation = result?;
+    Ok((
+        estimation,
+        EstimationCost {
+            peak_bytes: mem.peak_bytes,
+            retained_bytes: mem.retained_bytes,
+            wall: start.elapsed(),
+        },
+    ))
+}
+
+/// Builds one index while measuring wall-clock time, peak heap and size.
+///
+/// For estimation-based kinds the shared estimation's cost is folded in so
+/// that the reported numbers correspond to a from-scratch construction, as
+/// the paper measures them.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn measure_build(
+    kind: IndexKind,
+    x: &WeightedString,
+    estimation: Option<&ZEstimation>,
+    estimation_cost: EstimationCost,
+    params: IndexParams,
+) -> Result<BuildMeasurement> {
+    let start = Instant::now();
+    let (built, mem) = ius_memtrack::measure(|| kind.build(x, estimation, params));
+    let index = built?;
+    let mut wall = start.elapsed();
+    let mut peak = mem.peak_bytes;
+    if kind.needs_estimation() {
+        wall += estimation_cost.wall;
+        peak = estimation_cost.peak_bytes.max(estimation_cost.retained_bytes + mem.peak_bytes);
+    }
+    Ok(BuildMeasurement {
+        kind,
+        wall,
+        peak_bytes: peak,
+        size_bytes: index.size_bytes(),
+        stats: index.stats(),
+        index,
+    })
+}
+
+/// Aggregate query-time measurement over a pattern set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryMeasurement {
+    /// Average time per query in microseconds.
+    pub avg_micros: f64,
+    /// Total number of reported occurrences over all patterns.
+    pub total_occurrences: usize,
+    /// Number of patterns queried.
+    pub num_patterns: usize,
+}
+
+/// Runs every pattern through the index and reports the averages.
+pub fn measure_queries(
+    index: &dyn UncertainIndex,
+    patterns: &[Vec<u8>],
+    x: &WeightedString,
+) -> QueryMeasurement {
+    if patterns.is_empty() {
+        return QueryMeasurement::default();
+    }
+    let start = Instant::now();
+    let mut total = 0usize;
+    for pattern in patterns {
+        total += index.query(pattern, x).map(|occ| occ.len()).unwrap_or(0);
+    }
+    let elapsed = start.elapsed();
+    QueryMeasurement {
+        avg_micros: elapsed.as_micros() as f64 / patterns.len() as f64,
+        total_occurrences: total,
+        num_patterns: patterns.len(),
+    }
+}
+
+/// Samples query patterns the way the paper does (uniformly from the
+/// z-estimation), capped at `max_patterns` to keep sweep runtimes sane.
+pub fn sample_patterns(
+    estimation: &ZEstimation,
+    m: usize,
+    max_patterns: usize,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    let paper_count =
+        PatternSampler::paper_pattern_count(estimation.len(), estimation.z()).min(max_patterns);
+    PatternSampler::new(estimation, seed).sample_many(m, paper_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ius_datasets::pangenome::PangenomeConfig;
+
+    #[test]
+    fn all_kinds_build_and_answer_queries() {
+        let x = PangenomeConfig { n: 800, delta: 0.06, seed: 4, ..Default::default() }.generate();
+        let z = 8.0;
+        let ell = 16usize;
+        let params = IndexParams::new(z, ell, x.sigma()).unwrap();
+        let (est, est_cost) = measure_estimation(&x, z).unwrap();
+        let patterns = sample_patterns(&est, ell, 20, 1);
+        assert!(!patterns.is_empty());
+        let mut reference: Option<usize> = None;
+        for kind in IndexKind::all() {
+            let estimation = if kind.needs_estimation() { Some(&est) } else { None };
+            let b = measure_build(kind, &x, estimation, est_cost, params).unwrap();
+            // The space-efficient construction produces an MWST; all other
+            // kinds report their own name.
+            if matches!(kind, IndexKind::MwstSe) {
+                assert_eq!(b.stats.name, "MWST");
+            } else {
+                assert_eq!(b.kind.name(), b.stats.name.as_str());
+            }
+            assert!(b.size_bytes > 0);
+            let q = measure_queries(b.index.as_ref(), &patterns, &x);
+            assert_eq!(q.num_patterns, patterns.len());
+            match reference {
+                None => reference = Some(q.total_occurrences),
+                Some(expected) => assert_eq!(
+                    q.total_occurrences, expected,
+                    "{} reports a different occurrence total",
+                    kind.name()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(IndexKind::all().len(), 7);
+        assert!(IndexKind::Wst.is_baseline());
+        assert!(!IndexKind::Mwsa.is_baseline());
+        assert!(IndexKind::Wsa.needs_estimation());
+        assert!(!IndexKind::MwstSe.needs_estimation());
+        assert_eq!(IndexKind::MwsaG.name(), "MWSA-G");
+    }
+}

@@ -1,0 +1,117 @@
+//! Result rows and their text/CSV rendering.
+
+use std::fmt::Write as _;
+
+/// One measured data point of one experiment — a (series, x, metric) triple,
+/// comparable to a single marker in one of the paper's plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Experiment key (`fig6`, `table2`, …).
+    pub experiment: String,
+    /// Dataset name (`SARS*`, `EFM*`, …).
+    pub dataset: String,
+    /// Series / index name (`WST`, `MWSA-G`, …) or statistic name for tables.
+    pub series: String,
+    /// Name of the swept parameter (`ell`, `z`, `sigma`, `n`, or `-`).
+    pub param: String,
+    /// Value of the swept parameter.
+    pub param_value: f64,
+    /// Metric name (`index_size_mb`, `construction_space_mb`,
+    /// `avg_query_us`, `construction_time_s`, …).
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl Row {
+    /// CSV header matching [`Row::to_csv`].
+    pub fn csv_header() -> &'static str {
+        "experiment,dataset,series,param,param_value,metric,value"
+    }
+
+    /// Renders the row as one CSV line.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{}",
+            self.experiment,
+            self.dataset,
+            self.series,
+            self.param,
+            self.param_value,
+            self.metric,
+            self.value
+        )
+    }
+}
+
+/// Renders rows as an aligned text table grouped by experiment and dataset.
+pub fn render_table(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let mut current_group = String::new();
+    for row in rows {
+        let group = format!("[{}] {} — {}", row.experiment, row.dataset, row.metric);
+        if group != current_group {
+            if !current_group.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{group}");
+            current_group = group;
+        }
+        let _ = writeln!(
+            out,
+            "    {:<10} {}={:<10} {:>14.4}",
+            row.series, row.param, row.param_value, row.value
+        );
+    }
+    out
+}
+
+/// Renders rows as a CSV document.
+pub fn render_csv(rows: &[Row]) -> String {
+    let mut out = String::with_capacity(rows.len() * 48 + 64);
+    out.push_str(Row::csv_header());
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.to_csv());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> Row {
+        Row {
+            experiment: "fig6".into(),
+            dataset: "EFM*".into(),
+            series: "MWSA".into(),
+            param: "ell".into(),
+            param_value: 256.0,
+            metric: "index_size_mb".into(),
+            value: 12.5,
+        }
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = render_csv(&[sample_row()]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), Row::csv_header());
+        assert_eq!(lines.next().unwrap(), "fig6,EFM*,MWSA,ell,256,index_size_mb,12.5");
+    }
+
+    #[test]
+    fn table_rendering_groups_by_experiment() {
+        let mut row2 = sample_row();
+        row2.series = "WSA".into();
+        row2.value = 200.0;
+        let text = render_table(&[sample_row(), row2]);
+        assert!(text.contains("[fig6] EFM* — index_size_mb"));
+        assert!(text.contains("MWSA"));
+        assert!(text.contains("WSA"));
+        // Only one group header.
+        assert_eq!(text.matches("[fig6]").count(), 1);
+    }
+}

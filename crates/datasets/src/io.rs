@@ -1,0 +1,143 @@
+//! Plain-text interchange format for weighted strings.
+//!
+//! The format is a simple self-describing matrix, close to the position
+//! weight matrix layout of Example 1 in the paper:
+//!
+//! ```text
+//! IUSW 1            # magic + version
+//! n <length>
+//! sigma <alphabet size>
+//! alphabet <bytes as characters>
+//! <n lines, each with sigma probabilities separated by spaces>
+//! ```
+//!
+//! It trades compactness for being trivially inspectable and diffable, which
+//! is what the examples and the benchmark harness need.
+
+use ius_weighted::{Alphabet, Error, Result, WeightedString};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes `x` in the IUSW text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer (wrapped as
+/// [`Error::InvalidParameters`] to stay within the crate error type).
+pub fn write_weighted<W: Write>(x: &WeightedString, mut out: W) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::InvalidParameters(format!("write failed: {e}"));
+    writeln!(out, "IUSW 1").map_err(io_err)?;
+    writeln!(out, "n {}", x.len()).map_err(io_err)?;
+    writeln!(out, "sigma {}", x.sigma()).map_err(io_err)?;
+    let alphabet_str: String = x.alphabet().symbols().iter().map(|&b| b as char).collect();
+    writeln!(out, "alphabet {alphabet_str}").map_err(io_err)?;
+    for i in 0..x.len() {
+        let row: Vec<String> = x.distribution(i).iter().map(|p| format!("{p:.9}")).collect();
+        writeln!(out, "{}", row.join(" ")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a weighted string in the IUSW text format.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameters`] on malformed input, plus the usual
+/// distribution validation errors.
+pub fn read_weighted<R: Read>(input: R) -> Result<WeightedString> {
+    let mut lines = BufReader::new(input).lines();
+    let mut next_line = || -> Result<String> {
+        loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    let line = line.trim().to_string();
+                    if !line.is_empty() && !line.starts_with('#') {
+                        return Ok(line);
+                    }
+                }
+                Some(Err(e)) => {
+                    return Err(Error::InvalidParameters(format!("read failed: {e}")))
+                }
+                None => return Err(Error::InvalidParameters("unexpected end of file".into())),
+            }
+        }
+    };
+
+    let magic = next_line()?;
+    if magic != "IUSW 1" {
+        return Err(Error::InvalidParameters(format!("bad magic line: {magic:?}")));
+    }
+    let n: usize = parse_field(&next_line()?, "n")?;
+    let sigma: usize = parse_field(&next_line()?, "sigma")?;
+    let alphabet_line = next_line()?;
+    let alphabet_str = alphabet_line
+        .strip_prefix("alphabet ")
+        .ok_or_else(|| Error::InvalidParameters("missing alphabet line".into()))?;
+    let symbols: Vec<u8> = alphabet_str.bytes().collect();
+    if symbols.len() != sigma {
+        return Err(Error::InvalidParameters(format!(
+            "alphabet has {} symbols but sigma is {sigma}",
+            symbols.len()
+        )));
+    }
+    let alphabet = Alphabet::new(&symbols)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = next_line()?;
+        let row: Vec<f64> = line
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<f64>()
+                    .map_err(|e| Error::InvalidParameters(format!("bad probability {t:?}: {e}")))
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        rows.push(row);
+    }
+    WeightedString::from_rows(alphabet, &rows)
+}
+
+fn parse_field(line: &str, name: &str) -> Result<usize> {
+    let rest = line
+        .strip_prefix(name)
+        .ok_or_else(|| Error::InvalidParameters(format!("expected `{name} <value>`, got {line:?}")))?;
+    rest.trim()
+        .parse::<usize>()
+        .map_err(|e| Error::InvalidParameters(format!("bad {name} value in {line:?}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformConfig;
+
+    #[test]
+    fn roundtrip_preserves_probabilities() {
+        let x = UniformConfig { n: 100, sigma: 5, spread: 0.7, seed: 4 }.generate();
+        let mut buffer = Vec::new();
+        write_weighted(&x, &mut buffer).unwrap();
+        let y = read_weighted(&buffer[..]).unwrap();
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.sigma(), y.sigma());
+        for i in 0..x.len() {
+            for c in 0..x.sigma() as u8 {
+                assert!((x.prob(i, c) - y.prob(i, c)).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_weighted(&b"WRONG 1\n"[..]).is_err());
+        assert!(read_weighted(&b"IUSW 1\nn 2\nsigma 2\nalphabet AB\n0.5 0.5\n"[..]).is_err());
+        assert!(read_weighted(&b"IUSW 1\nn x\n"[..]).is_err());
+        assert!(read_weighted(&b"IUSW 1\nn 1\nsigma 3\nalphabet AB\n1 0\n"[..]).is_err());
+        assert!(read_weighted(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\nIUSW 1\n\nn 1\nsigma 2\nalphabet AB\n# row\n0.25 0.75\n";
+        let x = read_weighted(text.as_bytes()).unwrap();
+        assert_eq!(x.len(), 1);
+        assert!((x.prob_symbol(0, b'B').unwrap() - 0.75).abs() < 1e-9);
+    }
+}

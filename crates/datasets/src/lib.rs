@@ -1,0 +1,39 @@
+//! # ius-datasets — synthetic uncertain-string datasets and pattern samplers
+//!
+//! The paper evaluates on four real weighted strings (Table 2): three
+//! pangenome-style DNA datasets (SARS-CoV-2, E. faecium, Human chr. 22 —
+//! a reference sequence combined with SNP allele frequencies across many
+//! samples) and one sensor dataset (RSSI — per-time-step distributions of
+//! received signal strength across IEEE 802.15.4 channels). Those datasets
+//! are not redistributable here, so this crate *simulates* them: the
+//! generators expose exactly the parameters the experiments vary (length `n`,
+//! alphabet size `σ`, fraction of uncertain positions `Δ`, allele-frequency
+//! skew), which are the quantities the indexes' behaviour depends on.
+//!
+//! * [`pangenome`] — reference + SNPs model (`σ = 4`, `Δ` a few percent,
+//!   heavily skewed allele frequencies ⇒ long solid factors);
+//! * [`rssi`] — multi-channel sensor model (`σ` up to 91, `Δ = 100 %`,
+//!   mildly skewed distributions);
+//! * [`uniform`] — unstructured random weighted strings for stress tests;
+//! * [`patterns`] — query-pattern samplers (patterns are drawn uniformly from
+//!   the z-estimation, as in Section 7.1 of the paper);
+//! * [`io`] — a plain-text interchange format for weighted strings;
+//! * [`registry`] — the named, scaled-down stand-ins for the paper's datasets
+//!   (`SARS*`, `EFM*`, `HUMAN*`, `RSSI*`) with their default `z`, used by the
+//!   benchmark harness and the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod pangenome;
+pub mod patterns;
+pub mod registry;
+pub mod rssi;
+pub mod uniform;
+
+pub use pangenome::PangenomeConfig;
+pub use patterns::PatternSampler;
+pub use registry::{standard_datasets, Dataset, Scale};
+pub use rssi::RssiConfig;
+pub use uniform::UniformConfig;

@@ -1,0 +1,207 @@
+//! Pangenome-style weighted strings: a reference sequence plus SNP allele
+//! frequencies, the data model behind the paper's SARS / EFM / HUMAN datasets.
+
+use ius_weighted::{Alphabet, WeightedString};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the pangenome generator.
+#[derive(Debug, Clone)]
+pub struct PangenomeConfig {
+    /// Length of the weighted string.
+    pub n: usize,
+    /// Fraction Δ of positions at which more than one letter has positive
+    /// probability (Table 2 reports 3.2 %–6 % for the real datasets).
+    pub delta: f64,
+    /// Fraction of polymorphic positions that carry a *common* variant
+    /// (minor allele frequency up to 0.5); the rest are rare variants.
+    pub common_variant_fraction: f64,
+    /// Upper bound of the minor allele frequency of rare variants.
+    pub rare_minor_ceiling: f64,
+    /// Number of simulated samples; allele frequencies are rounded to
+    /// multiples of `1/samples`, mimicking frequencies estimated from a
+    /// finite cohort.
+    pub samples: usize,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for PangenomeConfig {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            delta: 0.05,
+            common_variant_fraction: 0.15,
+            rare_minor_ceiling: 0.05,
+            samples: 1_000,
+            seed: 0xDA7A_5EED,
+        }
+    }
+}
+
+impl PangenomeConfig {
+    /// Generates the weighted string described by this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the fractions are outside `[0, 1]`.
+    pub fn generate(&self) -> WeightedString {
+        assert!(self.n > 0, "n must be positive");
+        assert!((0.0..=1.0).contains(&self.delta), "delta must be a fraction");
+        assert!(
+            (0.0..=1.0).contains(&self.common_variant_fraction),
+            "common_variant_fraction must be a fraction"
+        );
+        assert!(self.samples >= 2, "need at least two samples");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let alphabet = Alphabet::dna();
+        let sigma = alphabet.size();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let reference: usize = rng.gen_range(0..sigma);
+            let mut row = vec![0.0f64; sigma];
+            if rng.gen_bool(self.delta) {
+                // Polymorphic site: draw a minor allele frequency.
+                let minor_freq = if rng.gen_bool(self.common_variant_fraction) {
+                    rng.gen_range(self.rare_minor_ceiling..0.5)
+                } else {
+                    rng.gen_range(0.0..self.rare_minor_ceiling)
+                };
+                // Round to a multiple of 1/samples, keeping at least one
+                // minor-allele sample so the position stays ambiguous.
+                let minor_count =
+                    ((minor_freq * self.samples as f64).round() as usize).clamp(1, self.samples / 2);
+                let minor_freq = minor_count as f64 / self.samples as f64;
+                // Occasionally the variant is tri-allelic (two minor alleles).
+                let mut alt = rng.gen_range(0..sigma - 1);
+                if alt >= reference {
+                    alt += 1;
+                }
+                if rng.gen_bool(0.05) && minor_count >= 2 {
+                    let mut alt2 = rng.gen_range(0..sigma - 1);
+                    if alt2 >= reference {
+                        alt2 += 1;
+                    }
+                    if alt2 == alt {
+                        alt2 = (alt + 1) % sigma;
+                        if alt2 == reference {
+                            alt2 = (alt2 + 1) % sigma;
+                        }
+                    }
+                    let half = minor_freq / 2.0;
+                    row[alt] = half;
+                    row[alt2] = minor_freq - half;
+                } else {
+                    row[alt] = minor_freq;
+                }
+                row[reference] = 1.0 - minor_freq;
+            } else {
+                row[reference] = 1.0;
+            }
+            rows.push(row);
+        }
+        WeightedString::from_rows(alphabet, &rows)
+            .expect("generated rows are valid probability distributions")
+    }
+}
+
+/// A scaled-down stand-in for the paper's SARS-CoV-2 dataset
+/// (n = 29 903, Δ ≈ 3.6 %).
+pub fn sars_like(n: usize, seed: u64) -> WeightedString {
+    PangenomeConfig {
+        n,
+        delta: 0.036,
+        common_variant_fraction: 0.10,
+        rare_minor_ceiling: 0.04,
+        samples: 1_181,
+        seed,
+    }
+    .generate()
+}
+
+/// A scaled-down stand-in for the paper's E. faecium dataset (Δ ≈ 6 %).
+pub fn efm_like(n: usize, seed: u64) -> WeightedString {
+    PangenomeConfig {
+        n,
+        delta: 0.06,
+        common_variant_fraction: 0.15,
+        rare_minor_ceiling: 0.05,
+        samples: 1_432,
+        seed,
+    }
+    .generate()
+}
+
+/// A scaled-down stand-in for the paper's Human chromosome 22 dataset
+/// (Δ ≈ 3.2 %).
+pub fn human_like(n: usize, seed: u64) -> WeightedString {
+    PangenomeConfig {
+        n,
+        delta: 0.032,
+        common_variant_fraction: 0.20,
+        rare_minor_ceiling: 0.05,
+        samples: 2_504,
+        seed,
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_matches_configuration() {
+        let x = PangenomeConfig { n: 20_000, delta: 0.05, ..Default::default() }.generate();
+        assert_eq!(x.len(), 20_000);
+        assert_eq!(x.sigma(), 4);
+        let delta = x.uncertainty_fraction();
+        assert!((delta - 0.05).abs() < 0.01, "measured Δ = {delta}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = sars_like(5_000, 7);
+        let b = sars_like(5_000, 7);
+        assert_eq!(a, b);
+        let c = sars_like(5_000, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skewed_frequencies_produce_long_solid_factors() {
+        // The whole point of the pangenome regime: with z = 128 there must be
+        // solid factors substantially longer than ℓ = 256.
+        use ius_weighted::HeavyString;
+        let x = efm_like(30_000, 3);
+        let z = 128.0;
+        let heavy = HeavyString::new(&x);
+        // Occurrence probability of the heavy string over windows of length
+        // 1024: at least one window should be solid.
+        let len = 1024usize;
+        let solid_windows = (0..x.len() - len)
+            .step_by(len)
+            .filter(|&i| {
+                let p = heavy.range_probability(i, i + len).unwrap();
+                ius_weighted::is_solid(p, z)
+            })
+            .count();
+        assert!(solid_windows > 0, "no solid window of length {len} for z = {z}");
+    }
+
+    #[test]
+    fn presets_have_expected_uncertainty() {
+        let sars = sars_like(20_000, 1);
+        let efm = efm_like(20_000, 1);
+        let human = human_like(20_000, 1);
+        assert!((sars.uncertainty_fraction() - 0.036).abs() < 0.01);
+        assert!((efm.uncertainty_fraction() - 0.06).abs() < 0.012);
+        assert!((human.uncertainty_fraction() - 0.032).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zero_length_panics() {
+        let _ = PangenomeConfig { n: 0, ..Default::default() }.generate();
+    }
+}

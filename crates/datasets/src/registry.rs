@@ -1,0 +1,175 @@
+//! Named, scaled-down stand-ins for the paper's datasets.
+//!
+//! Table 2 of the paper lists four datasets with their lengths, alphabet
+//! sizes, uncertainty fractions Δ and default weight thresholds. The
+//! benchmark harness reproduces every experiment on the synthetic stand-ins
+//! below; they keep the Δ, σ and default-z structure of the originals while
+//! scaling the length `n` so that the full sweep of experiments runs on a
+//! workstation. The [`Scale`] knob controls that length.
+
+use crate::pangenome;
+use crate::rssi;
+use ius_weighted::WeightedString;
+
+/// How large the stand-in datasets should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few thousand positions — for unit/integration tests.
+    Tiny,
+    /// Tens of thousands of positions — the default for `reproduce --quick`.
+    Small,
+    /// Hundreds of thousands of positions — the default for full benchmark
+    /// runs (`reproduce --full`).
+    Full,
+}
+
+impl Scale {
+    fn factor(&self) -> f64 {
+        match self {
+            Scale::Tiny => 0.05,
+            Scale::Small => 0.4,
+            Scale::Full => 1.0,
+        }
+    }
+}
+
+/// A named dataset with the metadata the experiments need.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Name used in reports (`SARS*`, `EFM*`, …) — the `*` marks that it is a
+    /// synthetic stand-in for the paper's dataset of the same name.
+    pub name: &'static str,
+    /// The weighted string itself.
+    pub weighted: WeightedString,
+    /// The default weight-threshold denominator `z` used by the paper for
+    /// this dataset.
+    pub default_z: f64,
+    /// The z values swept in Figure 7/9/11-style experiments.
+    pub z_sweep: Vec<f64>,
+}
+
+impl Dataset {
+    /// Length of the dataset.
+    pub fn n(&self) -> usize {
+        self.weighted.len()
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> usize {
+        self.weighted.sigma()
+    }
+
+    /// Fraction of uncertain positions (Δ of Table 2), as a percentage.
+    pub fn delta_percent(&self) -> f64 {
+        self.weighted.uncertainty_fraction() * 100.0
+    }
+}
+
+/// Base lengths of the stand-ins at [`Scale::Full`]; chosen so that the full
+/// experiment sweep (which builds `O(n·z)`-sized baselines) stays within a
+/// workstation's memory, while preserving the relative sizes of the paper's
+/// datasets (SARS ≪ EFM < HUMAN; RSSI in between).
+const SARS_FULL_N: usize = 29_903; // same length as the real SARS-CoV-2 genome
+const EFM_FULL_N: usize = 150_000;
+const HUMAN_FULL_N: usize = 250_000;
+const RSSI_FULL_N: usize = 100_000;
+
+/// The pangenome-style stand-in for SARS-CoV-2 (σ = 4, Δ ≈ 3.6 %, default z
+/// chosen to keep `n·z` within workstation reach; the paper uses 1024 on the
+/// real 29 903-long genome and we keep that default at full scale).
+pub fn sars_star(scale: Scale) -> Dataset {
+    let n = scale_n(SARS_FULL_N, scale);
+    Dataset {
+        name: "SARS*",
+        weighted: pangenome::sars_like(n, 0x5A25),
+        default_z: match scale {
+            Scale::Tiny => 64.0,
+            Scale::Small => 256.0,
+            Scale::Full => 1024.0,
+        },
+        z_sweep: vec![64.0, 128.0, 256.0, 512.0, 1024.0],
+    }
+}
+
+/// The pangenome-style stand-in for E. faecium (σ = 4, Δ ≈ 6 %, default z = 128).
+pub fn efm_star(scale: Scale) -> Dataset {
+    let n = scale_n(EFM_FULL_N, scale);
+    Dataset {
+        name: "EFM*",
+        weighted: pangenome::efm_like(n, 0xEF01),
+        default_z: 128.0,
+        z_sweep: vec![8.0, 16.0, 32.0, 64.0, 128.0],
+    }
+}
+
+/// The pangenome-style stand-in for Human chromosome 22 (σ = 4, Δ ≈ 3.2 %,
+/// default z = 8).
+pub fn human_star(scale: Scale) -> Dataset {
+    let n = scale_n(HUMAN_FULL_N, scale);
+    Dataset {
+        name: "HUMAN*",
+        weighted: pangenome::human_like(n, 0x40A2),
+        default_z: 8.0,
+        z_sweep: vec![2.0, 4.0, 8.0, 16.0, 32.0],
+    }
+}
+
+/// The sensor stand-in for the RSSI dataset (σ = 91, Δ = 100 %, default z = 16).
+pub fn rssi_star(scale: Scale) -> Dataset {
+    let n = scale_n(RSSI_FULL_N, scale);
+    Dataset {
+        name: "RSSI*",
+        weighted: rssi::rssi_like(n, 0x0551),
+        default_z: 16.0,
+        z_sweep: vec![4.0, 8.0, 16.0, 32.0, 64.0],
+    }
+}
+
+/// All four stand-ins, in the order of Table 2.
+pub fn standard_datasets(scale: Scale) -> Vec<Dataset> {
+    vec![sars_star(scale), efm_star(scale), human_star(scale), rssi_star(scale)]
+}
+
+fn scale_n(full: usize, scale: Scale) -> usize {
+    ((full as f64 * scale.factor()).round() as usize).max(1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_datasets_have_expected_shape() {
+        let datasets = standard_datasets(Scale::Tiny);
+        assert_eq!(datasets.len(), 4);
+        let names: Vec<&str> = datasets.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["SARS*", "EFM*", "HUMAN*", "RSSI*"]);
+        for d in &datasets {
+            assert!(d.n() >= 1_000);
+            assert!(d.default_z >= 1.0);
+            assert!(!d.z_sweep.is_empty());
+        }
+        // Table 2 shape: σ = 4 for the DNA sets, 91 for RSSI; Δ small for DNA,
+        // 100 % for RSSI.
+        assert_eq!(datasets[0].sigma(), 4);
+        assert_eq!(datasets[3].sigma(), 91);
+        assert!(datasets[0].delta_percent() < 10.0);
+        assert!((datasets[3].delta_percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let tiny = sars_star(Scale::Tiny).n();
+        let small = sars_star(Scale::Small).n();
+        let full = sars_star(Scale::Full).n();
+        assert!(tiny < small && small < full);
+        assert_eq!(full, 29_903);
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = efm_star(Scale::Tiny);
+        let b = efm_star(Scale::Tiny);
+        assert_eq!(a.weighted, b.weighted);
+    }
+}

@@ -1,0 +1,144 @@
+//! Sensor-style weighted strings: the RSSI model of the paper.
+//!
+//! In the CRAWDAD RSSI dataset every position is a distribution over σ = 91
+//! signal-strength values, obtained as the fraction of IEEE 802.15.4 channels
+//! that reported each value at that time step. We simulate the same shape: a
+//! slowly drifting true signal level, observed by `channels` noisy channels
+//! whose empirical histogram becomes the per-position distribution. Every
+//! position is uncertain (Δ = 100 %), distributions are concentrated around
+//! the true level, and both `n` and `σ` are free parameters — exactly the
+//! knobs Figures 14 and 16 of the paper vary.
+
+use ius_weighted::{Alphabet, WeightedString};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the RSSI-style generator.
+#[derive(Debug, Clone)]
+pub struct RssiConfig {
+    /// Length of the weighted string.
+    pub n: usize,
+    /// Alphabet size σ (91 in the real dataset; 16–64 in the scaled variants).
+    pub sigma: usize,
+    /// Number of observing channels (16 in IEEE 802.15.4).
+    pub channels: usize,
+    /// Probability that a channel reports a value off by one step.
+    pub noise: f64,
+    /// Probability that the underlying level drifts at a step.
+    pub drift: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RssiConfig {
+    fn default() -> Self {
+        Self { n: 50_000, sigma: 91, channels: 16, noise: 0.35, drift: 0.2, seed: 0x0551 }
+    }
+}
+
+impl RssiConfig {
+    /// Generates the weighted string described by this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `sigma < 3`, or `channels == 0`.
+    pub fn generate(&self) -> WeightedString {
+        assert!(self.n > 0, "n must be positive");
+        assert!(self.sigma >= 3, "sigma must be at least 3");
+        assert!(self.channels > 0, "need at least one channel");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let alphabet = Alphabet::integer(self.sigma).expect("sigma validated above");
+        let mut level: i64 = (self.sigma / 2) as i64;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            // Drift of the underlying level.
+            if rng.gen_bool(self.drift) {
+                level += if rng.gen_bool(0.5) { 1 } else { -1 };
+                level = level.clamp(1, self.sigma as i64 - 2);
+            }
+            // Channel observations.
+            let mut counts = vec![0u32; self.sigma];
+            for _ in 0..self.channels {
+                let mut v = level;
+                if rng.gen_bool(self.noise) {
+                    v += if rng.gen_bool(0.5) { 1 } else { -1 };
+                    if rng.gen_bool(0.2) {
+                        v += if rng.gen_bool(0.5) { 1 } else { -1 };
+                    }
+                }
+                let v = v.clamp(0, self.sigma as i64 - 1) as usize;
+                counts[v] += 1;
+            }
+            // Guarantee Δ = 100 %: if all channels agreed, nudge one reading.
+            if counts.iter().filter(|&&c| c > 0).count() == 1 {
+                let v = counts.iter().position(|&c| c > 0).expect("some value observed");
+                let neighbour = if v + 1 < self.sigma { v + 1 } else { v - 1 };
+                counts[v] -= 1;
+                counts[neighbour] += 1;
+            }
+            let total: f64 = self.channels as f64;
+            rows.push(counts.into_iter().map(|c| c as f64 / total).collect());
+        }
+        WeightedString::from_rows(alphabet, &rows)
+            .expect("channel histograms are valid distributions")
+    }
+}
+
+/// A scaled-down stand-in for the paper's RSSI dataset (σ = 91, Δ = 100 %).
+pub fn rssi_like(n: usize, seed: u64) -> WeightedString {
+    RssiConfig { n, seed, ..Default::default() }.generate()
+}
+
+/// The `RSSI_{n,σ}` family of the paper: the base string scaled in length and
+/// re-quantised to a smaller alphabet.
+pub fn rssi_scaled(n: usize, sigma: usize, seed: u64) -> WeightedString {
+    RssiConfig { n, sigma, seed, ..Default::default() }.generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_position_is_uncertain() {
+        let x = rssi_like(5_000, 1);
+        assert_eq!(x.len(), 5_000);
+        assert_eq!(x.sigma(), 91);
+        assert_eq!(x.uncertainty_fraction(), 1.0);
+    }
+
+    #[test]
+    fn distributions_are_concentrated() {
+        // The heavy letter should usually carry well over half the mass —
+        // otherwise no solid factors of useful length exist for z = 16.
+        let x = rssi_like(2_000, 2);
+        let mut heavy_mass = 0.0;
+        for i in 0..x.len() {
+            heavy_mass += x.distribution(i).iter().cloned().fold(0.0, f64::max);
+        }
+        heavy_mass /= x.len() as f64;
+        assert!(heavy_mass > 0.55, "average heavy mass {heavy_mass} too low");
+        assert!(heavy_mass < 0.999, "distributions should stay uncertain");
+    }
+
+    #[test]
+    fn alphabet_scaling() {
+        for sigma in [16usize, 32, 64, 91] {
+            let x = rssi_scaled(1_000, sigma, 3);
+            assert_eq!(x.sigma(), sigma);
+            assert_eq!(x.uncertainty_fraction(), 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(rssi_like(1_000, 9), rssi_like(1_000, 9));
+        assert_ne!(rssi_like(1_000, 9), rssi_like(1_000, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be at least 3")]
+    fn tiny_alphabet_panics() {
+        let _ = RssiConfig { sigma: 2, ..Default::default() }.generate();
+    }
+}

@@ -1,0 +1,99 @@
+//! Unstructured random weighted strings, for stress tests and ablations.
+
+use ius_weighted::{Alphabet, WeightedString};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the uniform generator: every position draws an
+/// independent random distribution with a configurable concentration.
+#[derive(Debug, Clone)]
+pub struct UniformConfig {
+    /// Length of the weighted string.
+    pub n: usize,
+    /// Alphabet size σ.
+    pub sigma: usize,
+    /// Concentration of the per-position distributions: 0 gives almost
+    /// deterministic positions, 1 gives fully uniform positions.
+    pub spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniformConfig {
+    fn default() -> Self {
+        Self { n: 10_000, sigma: 4, spread: 0.5, seed: 0xF00D }
+    }
+}
+
+impl UniformConfig {
+    /// Generates the weighted string described by this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `sigma == 0`, or `spread` is not in `[0, 1]`.
+    pub fn generate(&self) -> WeightedString {
+        assert!(self.n > 0, "n must be positive");
+        assert!(self.sigma > 0, "sigma must be positive");
+        assert!((0.0..=1.0).contains(&self.spread), "spread must be in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let alphabet = Alphabet::integer(self.sigma).expect("sigma bounded by u8");
+        let rows: Vec<Vec<f64>> = (0..self.n)
+            .map(|_| {
+                let major = rng.gen_range(0..self.sigma);
+                let minor_mass: f64 =
+                    if self.spread > 0.0 { rng.gen_range(0.0..self.spread) } else { 0.0 };
+                let mut row = vec![0.0f64; self.sigma];
+                if self.sigma == 1 {
+                    row[0] = 1.0;
+                    return row;
+                }
+                // Distribute the minor mass over the other letters randomly.
+                let mut weights: Vec<f64> =
+                    (0..self.sigma - 1).map(|_| rng.gen_range(0.01..1.0)).collect();
+                let total: f64 = weights.iter().sum();
+                weights.iter_mut().for_each(|w| *w *= minor_mass / total);
+                let mut it = weights.into_iter();
+                for (c, slot) in row.iter_mut().enumerate() {
+                    if c != major {
+                        *slot = it.next().expect("one weight per non-major letter");
+                    }
+                }
+                row[major] = 1.0 - minor_mass;
+                row
+            })
+            .collect();
+        WeightedString::from_rows(alphabet, &rows).expect("rows are valid distributions")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_parameters() {
+        let x = UniformConfig { n: 500, sigma: 6, spread: 0.8, seed: 1 }.generate();
+        assert_eq!(x.len(), 500);
+        assert_eq!(x.sigma(), 6);
+    }
+
+    #[test]
+    fn zero_spread_is_deterministic_string() {
+        let x = UniformConfig { n: 200, sigma: 4, spread: 0.0, seed: 2 }.generate();
+        assert_eq!(x.uncertainty_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_letter_alphabet() {
+        let x = UniformConfig { n: 50, sigma: 1, spread: 0.5, seed: 3 }.generate();
+        assert_eq!(x.sigma(), 1);
+        assert_eq!(x.prob(0, 0), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = UniformConfig { seed: 11, ..Default::default() }.generate();
+        let b = UniformConfig { seed: 11, ..Default::default() }.generate();
+        assert_eq!(a, b);
+    }
+}

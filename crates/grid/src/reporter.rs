@@ -1,0 +1,240 @@
+//! Merge-sort-tree 2D range reporting.
+
+use crate::{GridPoint, Rect};
+
+/// A static merge-sort tree over a point set.
+///
+/// Points are sorted by `x`; a perfect binary segment tree is laid over that
+/// order, and every tree node stores the y-values (with payloads) of its
+/// segment, sorted by `y`. A rectangle query decomposes the x-range into
+/// `O(log N)` canonical nodes and binary-searches the y-range in each:
+/// `O(log² N + k)` time, `O(N log N)` space.
+#[derive(Debug, Clone)]
+pub struct RangeReporter {
+    /// Number of leaves (points), rounded up to a power of two for the tree.
+    size: usize,
+    /// Number of actual points.
+    len: usize,
+    /// x-coordinate of each point in x-sorted order (for locating ranges).
+    xs: Vec<u32>,
+    /// For every segment-tree node, its points' `(y, payload)` sorted by y.
+    node_points: Vec<Vec<(u32, u32)>>,
+}
+
+impl RangeReporter {
+    /// Builds the structure. `O(N log N)` time and space.
+    pub fn new(mut points: Vec<GridPoint>) -> Self {
+        points.sort_unstable_by_key(|p| (p.x, p.y));
+        let len = points.len();
+        let size = len.next_power_of_two().max(1);
+        let mut node_points: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 2 * size];
+        let xs: Vec<u32> = points.iter().map(|p| p.x).collect();
+        // Fill leaves.
+        for (i, p) in points.iter().enumerate() {
+            node_points[size + i].push((p.y, p.payload));
+        }
+        // Merge upwards.
+        for node in (1..size).rev() {
+            let (left, right) = (2 * node, 2 * node + 1);
+            let mut merged =
+                Vec::with_capacity(node_points[left].len() + node_points[right].len());
+            let (a, b) = (&node_points[left], &node_points[right]);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            node_points[node] = merged;
+        }
+        Self { size, len, xs, node_points }
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no points are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Payloads of all points inside `rect`.
+    pub fn report(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.report_into(rect, &mut out);
+        out
+    }
+
+    /// Like [`RangeReporter::report`] but reusing an output buffer.
+    pub fn report_into(&self, rect: &Rect, out: &mut Vec<u32>) {
+        if rect.is_empty() || self.len == 0 {
+            return;
+        }
+        // Translate the x-range into a rank range over the x-sorted points.
+        let lo = self.xs.partition_point(|&x| x < rect.x_lo);
+        let hi = self.xs.partition_point(|&x| x < rect.x_hi);
+        if lo >= hi {
+            return;
+        }
+        // Canonical decomposition of [lo, hi) over the segment tree.
+        let (mut l, mut r) = (lo + self.size, hi + self.size);
+        while l < r {
+            if l & 1 == 1 {
+                self.emit(l, rect, out);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                self.emit(r, rect, out);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+    }
+
+    /// Number of points inside `rect`.
+    pub fn count(&self, rect: &Rect) -> usize {
+        if rect.is_empty() || self.len == 0 {
+            return 0;
+        }
+        let lo = self.xs.partition_point(|&x| x < rect.x_lo);
+        let hi = self.xs.partition_point(|&x| x < rect.x_hi);
+        if lo >= hi {
+            return 0;
+        }
+        let (mut l, mut r) = (lo + self.size, hi + self.size);
+        let mut total = 0usize;
+        while l < r {
+            if l & 1 == 1 {
+                total += self.count_node(l, rect);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                total += self.count_node(r, rect);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        total
+    }
+
+    fn emit(&self, node: usize, rect: &Rect, out: &mut Vec<u32>) {
+        let pts = &self.node_points[node];
+        let start = pts.partition_point(|&(y, _)| y < rect.y_lo);
+        for &(y, payload) in &pts[start..] {
+            if y >= rect.y_hi {
+                break;
+            }
+            out.push(payload);
+        }
+    }
+
+    fn count_node(&self, node: usize, rect: &Rect) -> usize {
+        let pts = &self.node_points[node];
+        let start = pts.partition_point(|&(y, _)| y < rect.y_lo);
+        let end = pts.partition_point(|&(y, _)| y < rect.y_hi);
+        end - start
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let nodes: usize = self
+            .node_points
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<(u32, u32)>())
+            .sum();
+        self.xs.capacity() * 4 + nodes + self.node_points.capacity() * std::mem::size_of::<Vec<(u32, u32)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveGrid;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<GridPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Permutation pairing, as produced by the index (distinct x, distinct y).
+        let mut ys: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            ys.swap(i, j);
+        }
+        (0..n as u32).map(|x| GridPoint::new(x, ys[x as usize], 1000 + x)).collect()
+    }
+
+    #[test]
+    fn matches_naive_on_permutation_points() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [0usize, 1, 2, 7, 64, 200] {
+            let points = random_points(n, n as u64);
+            let naive = NaiveGrid::new(points.clone());
+            let fast = RangeReporter::new(points);
+            assert_eq!(fast.len(), n);
+            for _ in 0..200 {
+                let x1 = rng.gen_range(0..=(n as u32 + 2));
+                let x2 = rng.gen_range(0..=(n as u32 + 2));
+                let y1 = rng.gen_range(0..=(n as u32 + 2));
+                let y2 = rng.gen_range(0..=(n as u32 + 2));
+                let rect = Rect::new((x1.min(x2), x1.max(x2)), (y1.min(y2), y1.max(y2)));
+                let mut a = naive.report(&rect);
+                let mut b = fast.report(&rect);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "n={n} rect={rect:?}");
+                assert_eq!(naive.count(&rect), fast.count(&rect));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_supported() {
+        // Even though the index produces permutations, the structure should
+        // not silently break on duplicates.
+        let points = vec![
+            GridPoint::new(3, 3, 1),
+            GridPoint::new(3, 3, 2),
+            GridPoint::new(3, 4, 3),
+            GridPoint::new(4, 3, 4),
+        ];
+        let naive = NaiveGrid::new(points.clone());
+        let fast = RangeReporter::new(points);
+        let rect = Rect::new((3, 4), (3, 4));
+        let mut a = naive.report(&rect);
+        let mut b = fast.report(&rect);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2]);
+    }
+
+    #[test]
+    fn full_rectangle_reports_everything() {
+        let points = random_points(100, 9);
+        let fast = RangeReporter::new(points);
+        let rect = Rect::new((0, 100), (0, 100));
+        assert_eq!(fast.report(&rect).len(), 100);
+        assert_eq!(fast.count(&rect), 100);
+    }
+
+    #[test]
+    fn memory_grows_superlinearly_but_modestly() {
+        let small = RangeReporter::new(random_points(128, 1)).memory_bytes();
+        let large = RangeReporter::new(random_points(1024, 1)).memory_bytes();
+        assert!(large > small);
+        // N log N scaling: 1024·11 vs 128·8 ⇒ factor ≈ 11; allow a wide band.
+        assert!(large < small * 32);
+    }
+}

@@ -1,0 +1,584 @@
+//! Heavy-string encoding of solid factors (Lemma 3 / Corollary 4).
+//!
+//! Every z-solid factor differs from the heavy string `H_X` at no more than
+//! `⌊log₂ z⌋` positions, so a factor anchored at a known position can be
+//! stored as *(anchor, length, list of mismatches)* — `O(log z)` words instead
+//! of its full text. The minimizer solid factor trees and arrays store all
+//! their leaf strings this way; the structures in this module provide
+//!
+//! * the storage ([`EncodedFactorSet`]) and its builder,
+//! * a [`LabelProvider`] implementation so that `ius-text`'s compacted tries
+//!   and the array binary searches can read factor letters transparently,
+//! * lexicographic comparison and LCP of two encoded factors in
+//!   `O(log z)` time using an LCE index over the heavy view (the operation
+//!   the paper uses to sort the sampled factors, Theorem 12), and
+//! * the probability machinery needed to *verify* a candidate occurrence in
+//!   `O(log z)` time without access to `X`: each mismatch stores the ratio
+//!   `p(letter)/p(heavy letter)` so a window's occurrence probability is the
+//!   heavy prefix-product times the ratios of the mismatches inside it.
+
+use ius_text::lce::LceIndex;
+use ius_text::trie::LabelProvider;
+use std::cmp::Ordering;
+
+/// One stored deviation of a factor from the heavy string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mismatch {
+    /// Depth of the mismatch within the factor (0 = at the anchor).
+    pub depth: u32,
+    /// The factor's letter at that depth (≠ the heavy letter there).
+    pub letter: u8,
+    /// `p(letter) / p(heavy letter)` at the corresponding position of `X`.
+    pub ratio: f64,
+}
+
+/// Reading direction of a factor set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Factors read left-to-right starting at the anchor (the `T_suff` tree).
+    Forward,
+    /// Factors read right-to-left starting at the anchor (the `T_pref` tree).
+    Backward,
+}
+
+/// A factor to be inserted into an [`EncodedFactorSet`].
+#[derive(Debug, Clone)]
+pub struct PendingFactor {
+    /// Anchor position in `X` (the minimizer position).
+    pub anchor_x: u32,
+    /// Factor length (letters read from the anchor in the set's direction).
+    pub len: u32,
+    /// Strand the factor was sampled from (`u32::MAX` for the strand-free
+    /// space-efficient construction).
+    pub strand: u32,
+    /// Deviations from the heavy string, sorted by increasing depth.
+    pub mismatches: Vec<Mismatch>,
+}
+
+/// A sorted set of heavy-encoded factors anchored at minimizer positions.
+///
+/// The set owns its *heavy view*: the heavy string read in the set's
+/// direction (`H_X` itself for forward sets, its reverse for backward sets),
+/// so that the letter at depth `d` of a factor anchored at view position `a`
+/// is `heavy_view[a + d]` unless overridden by a stored mismatch.
+#[derive(Debug, Clone)]
+pub struct EncodedFactorSet {
+    direction: Direction,
+    heavy_view: Vec<u8>,
+    /// Anchor in view coordinates, per sorted leaf.
+    anchor_view: Vec<u32>,
+    /// Anchor in `X` coordinates (the minimizer position), per sorted leaf.
+    anchor_x: Vec<u32>,
+    /// Factor length per sorted leaf.
+    lens: Vec<u32>,
+    /// Strand per sorted leaf (`u32::MAX` when strand-free).
+    strands: Vec<u32>,
+    /// Offsets into `mismatches`, one per leaf plus a trailing total.
+    mism_start: Vec<u32>,
+    mismatches: Vec<Mismatch>,
+}
+
+impl EncodedFactorSet {
+    /// Number of stored factors (leaves).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// `true` iff the set stores no factor.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lens.is_empty()
+    }
+
+    /// Reading direction of the set.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The anchor (minimizer position in `X`) of the `leaf`-th sorted factor.
+    #[inline]
+    pub fn anchor_x(&self, leaf: usize) -> usize {
+        self.anchor_x[leaf] as usize
+    }
+
+    /// The strand of the `leaf`-th factor (`u32::MAX` when strand-free).
+    #[inline]
+    pub fn strand(&self, leaf: usize) -> u32 {
+        self.strands[leaf]
+    }
+
+    /// The length of the `leaf`-th factor.
+    #[inline]
+    pub fn factor_len(&self, leaf: usize) -> usize {
+        self.lens[leaf] as usize
+    }
+
+    /// The stored mismatches of the `leaf`-th factor.
+    #[inline]
+    pub fn mismatches(&self, leaf: usize) -> &[Mismatch] {
+        let lo = self.mism_start[leaf] as usize;
+        let hi = self.mism_start[leaf + 1] as usize;
+        &self.mismatches[lo..hi]
+    }
+
+    /// Total number of stored mismatches.
+    #[inline]
+    pub fn total_mismatches(&self) -> usize {
+        self.mismatches.len()
+    }
+
+    /// The letter at `depth` of the `leaf`-th factor, or `None` past its end.
+    #[inline]
+    pub fn letter_at(&self, leaf: usize, depth: usize) -> Option<u8> {
+        if depth >= self.lens[leaf] as usize {
+            return None;
+        }
+        for m in self.mismatches(leaf) {
+            if m.depth as usize == depth {
+                return Some(m.letter);
+            }
+        }
+        Some(self.heavy_view[self.anchor_view[leaf] as usize + depth])
+    }
+
+    /// Materialises the `leaf`-th factor (used by tests and debugging).
+    pub fn materialize(&self, leaf: usize) -> Vec<u8> {
+        (0..self.factor_len(leaf))
+            .map(|d| self.letter_at(leaf, d).expect("depth within factor"))
+            .collect()
+    }
+
+    /// The half-open range of sorted leaves whose factors have `pattern` as a
+    /// prefix, by binary search (`O(m log N)` letter accesses) — the
+    /// array-based (MWSA) lookup.
+    pub fn equal_range(&self, pattern: &[u8]) -> (usize, usize) {
+        let lo = self.partition_point(|leaf| self.compare_leaf_to_pattern(leaf, pattern).is_lt());
+        let hi = self.partition_point(|leaf| {
+            // Leaf's prefix (of pattern length) ≤ pattern?
+            self.compare_leaf_prefix_to_pattern(leaf, pattern) != Ordering::Greater
+        });
+        (lo, hi)
+    }
+
+    /// Heap bytes retained by the set.
+    pub fn memory_bytes(&self) -> usize {
+        self.heavy_view.capacity()
+            + (self.anchor_view.capacity()
+                + self.anchor_x.capacity()
+                + self.lens.capacity()
+                + self.strands.capacity()
+                + self.mism_start.capacity())
+                * 4
+            + self.mismatches.capacity() * std::mem::size_of::<Mismatch>()
+    }
+
+    /// Heap bytes excluding the heavy view (which is shared conceptually with
+    /// the index-wide heavy string and must not be double counted when both
+    /// a forward and a backward set are held by one index).
+    pub fn memory_bytes_without_heavy(&self) -> usize {
+        self.memory_bytes() - self.heavy_view.capacity()
+    }
+
+    fn partition_point<F: Fn(usize) -> bool>(&self, pred: F) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(mid) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Compares the full factor of `leaf` with `pattern` (pattern treated as
+    /// a plain string; a factor that is a proper prefix of the pattern is
+    /// smaller).
+    fn compare_leaf_to_pattern(&self, leaf: usize, pattern: &[u8]) -> Ordering {
+        let len = self.factor_len(leaf);
+        for d in 0..len.min(pattern.len()) {
+            let c = self.letter_at(leaf, d).expect("within factor");
+            match c.cmp(&pattern[d]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        len.cmp(&pattern.len())
+    }
+
+    /// Compares the length-`|pattern|` prefix of the factor with `pattern`
+    /// (a shorter factor counts as smaller).
+    fn compare_leaf_prefix_to_pattern(&self, leaf: usize, pattern: &[u8]) -> Ordering {
+        let len = self.factor_len(leaf);
+        for d in 0..len.min(pattern.len()) {
+            let c = self.letter_at(leaf, d).expect("within factor");
+            match c.cmp(&pattern[d]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        if len >= pattern.len() {
+            Ordering::Equal
+        } else {
+            Ordering::Less
+        }
+    }
+}
+
+impl LabelProvider for EncodedFactorSet {
+    #[inline]
+    fn letter(&self, leaf: usize, depth: usize) -> Option<u8> {
+        self.letter_at(leaf, depth)
+    }
+
+    #[inline]
+    fn len(&self, leaf: usize) -> usize {
+        self.factor_len(leaf)
+    }
+}
+
+/// Builder collecting factors before sorting them into an
+/// [`EncodedFactorSet`].
+#[derive(Debug)]
+pub struct EncodedFactorSetBuilder {
+    direction: Direction,
+    /// Heavy string of `X` (always in forward orientation).
+    heavy_forward: Vec<u8>,
+    factors: Vec<PendingFactor>,
+}
+
+impl EncodedFactorSetBuilder {
+    /// Creates a builder for the given direction over the heavy string of `X`
+    /// (given in forward orientation; the builder derives the view it needs).
+    pub fn new(direction: Direction, heavy_forward: Vec<u8>) -> Self {
+        Self { direction, heavy_forward, factors: Vec::new() }
+    }
+
+    /// Adds a factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a mismatch depth exceeds the factor length or
+    /// mismatches are not sorted by depth.
+    pub fn push(&mut self, factor: PendingFactor) {
+        debug_assert!(
+            factor.mismatches.windows(2).all(|w| w[0].depth < w[1].depth),
+            "mismatches must be sorted by depth"
+        );
+        debug_assert!(
+            factor.mismatches.iter().all(|m| m.depth < factor.len),
+            "mismatch depth beyond factor length"
+        );
+        self.factors.push(factor);
+    }
+
+    /// Number of factors pushed so far.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// `true` iff nothing was pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Sorts the factors lexicographically and returns the finished set
+    /// together with the LCP values of neighbouring factors (entry 0 is 0) —
+    /// exactly what [`ius_text::trie::CompactedTrie::build`] needs.
+    pub fn finish(self) -> (EncodedFactorSet, Vec<usize>) {
+        let n = self.heavy_forward.len();
+        let heavy_view: Vec<u8> = match self.direction {
+            Direction::Forward => self.heavy_forward,
+            Direction::Backward => {
+                let mut v = self.heavy_forward;
+                v.reverse();
+                v
+            }
+        };
+        let anchor_to_view = |anchor_x: u32| -> u32 {
+            match self.direction {
+                Direction::Forward => anchor_x,
+                Direction::Backward => (n as u32) - 1 - anchor_x,
+            }
+        };
+        let lce = LceIndex::new(&heavy_view);
+        let mut order: Vec<usize> = (0..self.factors.len()).collect();
+        let factors = self.factors;
+        order.sort_unstable_by(|&a, &b| {
+            compare_pending(
+                &factors[a],
+                anchor_to_view(factors[a].anchor_x) as usize,
+                &factors[b],
+                anchor_to_view(factors[b].anchor_x) as usize,
+                &heavy_view,
+                &lce,
+            )
+            .then(factors[a].anchor_x.cmp(&factors[b].anchor_x))
+            .then(factors[a].strand.cmp(&factors[b].strand))
+        });
+
+        let mut set = EncodedFactorSet {
+            direction: self.direction,
+            heavy_view,
+            anchor_view: Vec::with_capacity(order.len()),
+            anchor_x: Vec::with_capacity(order.len()),
+            lens: Vec::with_capacity(order.len()),
+            strands: Vec::with_capacity(order.len()),
+            mism_start: Vec::with_capacity(order.len() + 1),
+            mismatches: Vec::new(),
+        };
+        set.mism_start.push(0);
+        let mut lcps = vec![0usize; order.len()];
+        for (rank, &idx) in order.iter().enumerate() {
+            let f = &factors[idx];
+            set.anchor_view.push(anchor_to_view(f.anchor_x));
+            set.anchor_x.push(f.anchor_x);
+            set.lens.push(f.len);
+            set.strands.push(f.strand);
+            set.mismatches.extend_from_slice(&f.mismatches);
+            set.mism_start.push(set.mismatches.len() as u32);
+            if rank > 0 {
+                let prev = &factors[order[rank - 1]];
+                lcps[rank] = lcp_pending(
+                    prev,
+                    anchor_to_view(prev.anchor_x) as usize,
+                    f,
+                    anchor_to_view(f.anchor_x) as usize,
+                    &set.heavy_view,
+                    &lce,
+                );
+            }
+        }
+        (set, lcps)
+    }
+}
+
+fn mismatch_letter(f: &PendingFactor, depth: usize) -> Option<u8> {
+    f.mismatches.iter().find(|m| m.depth as usize == depth).map(|m| m.letter)
+}
+
+fn letter_of(f: &PendingFactor, view: &[u8], anchor_view: usize, depth: usize) -> u8 {
+    mismatch_letter(f, depth).unwrap_or(view[anchor_view + depth])
+}
+
+/// Walks two encoded factors and returns the first depth at which they
+/// differ, capped at the shorter length. `O(#mismatches)` LCE queries.
+fn lcp_pending(
+    a: &PendingFactor,
+    a_view: usize,
+    b: &PendingFactor,
+    b_view: usize,
+    view: &[u8],
+    lce: &LceIndex,
+) -> usize {
+    let limit = (a.len.min(b.len)) as usize;
+    let mut d = 0usize;
+    let mut ai = 0usize;
+    let mut bi = 0usize;
+    while d < limit {
+        // Skip mismatches whose depth is behind `d`.
+        while ai < a.mismatches.len() && (a.mismatches[ai].depth as usize) < d {
+            ai += 1;
+        }
+        while bi < b.mismatches.len() && (b.mismatches[bi].depth as usize) < d {
+            bi += 1;
+        }
+        let next_a = a.mismatches.get(ai).map_or(usize::MAX, |m| m.depth as usize);
+        let next_b = b.mismatches.get(bi).map_or(usize::MAX, |m| m.depth as usize);
+        if next_a == d || next_b == d {
+            if letter_of(a, view, a_view, d) != letter_of(b, view, b_view, d) {
+                return d;
+            }
+            d += 1;
+            continue;
+        }
+        // Both factors follow the heavy view until the next mismatch.
+        let stretch_end = limit.min(next_a).min(next_b);
+        let heavy_lce = lce.lce(a_view + d, b_view + d);
+        let step = heavy_lce.min(stretch_end - d);
+        if step < stretch_end - d {
+            return d + step;
+        }
+        d = stretch_end;
+    }
+    limit
+}
+
+/// Lexicographic comparison of two encoded factors (`O(log z)` LCE queries).
+fn compare_pending(
+    a: &PendingFactor,
+    a_view: usize,
+    b: &PendingFactor,
+    b_view: usize,
+    view: &[u8],
+    lce: &LceIndex,
+) -> Ordering {
+    let l = lcp_pending(a, a_view, b, b_view, view, lce);
+    let limit = (a.len.min(b.len)) as usize;
+    if l >= limit {
+        return a.len.cmp(&b.len);
+    }
+    letter_of(a, view, a_view, l).cmp(&letter_of(b, view, b_view, l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Reference materialisation of a pending factor over a heavy view.
+    fn materialize_pending(f: &PendingFactor, view: &[u8], anchor_view: usize) -> Vec<u8> {
+        (0..f.len as usize).map(|d| letter_of(f, view, anchor_view, d)).collect()
+    }
+
+    fn random_factor(
+        rng: &mut StdRng,
+        n: usize,
+        direction: Direction,
+        sigma: u8,
+        heavy: &[u8],
+    ) -> PendingFactor {
+        let anchor_x = rng.gen_range(0..n as u32);
+        let max_len = match direction {
+            Direction::Forward => n as u32 - anchor_x,
+            Direction::Backward => anchor_x + 1,
+        };
+        let len = rng.gen_range(1..=max_len.min(30));
+        let mut depths: Vec<u32> = (0..len).collect();
+        // Choose up to 4 mismatch depths.
+        let count = rng.gen_range(0..=3.min(len as usize));
+        let mut mismatches = Vec::new();
+        for _ in 0..count {
+            let idx = rng.gen_range(0..depths.len());
+            let depth = depths.swap_remove(idx);
+            let abs = match direction {
+                Direction::Forward => anchor_x + depth,
+                Direction::Backward => anchor_x - depth,
+            } as usize;
+            let heavy_letter = heavy[abs];
+            let mut letter = rng.gen_range(0..sigma);
+            if letter == heavy_letter {
+                letter = (letter + 1) % sigma;
+            }
+            mismatches.push(Mismatch { depth, letter, ratio: 0.5 });
+        }
+        mismatches.sort_by_key(|m| m.depth);
+        PendingFactor { anchor_x, len, strand: 0, mismatches }
+    }
+
+    #[test]
+    fn sorted_set_orders_and_lcps_match_materialised_strings() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for direction in [Direction::Forward, Direction::Backward] {
+            let n = 60usize;
+            let sigma = 3u8;
+            let heavy: Vec<u8> = (0..n).map(|_| rng.gen_range(0..sigma)).collect();
+            let mut builder = EncodedFactorSetBuilder::new(direction, heavy.clone());
+            let mut pendings = Vec::new();
+            for _ in 0..80 {
+                let f = random_factor(&mut rng, n, direction, sigma, &heavy);
+                pendings.push(f.clone());
+                builder.push(f);
+            }
+            let (set, lcps) = builder.finish();
+            assert_eq!(set.len(), pendings.len());
+            // Materialised strings must be sorted and LCPs must match.
+            let strings: Vec<Vec<u8>> = (0..set.len()).map(|i| set.materialize(i)).collect();
+            for i in 1..strings.len() {
+                assert!(strings[i - 1] <= strings[i], "factors not sorted at {i}");
+                let expected = strings[i - 1]
+                    .iter()
+                    .zip(strings[i].iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                assert_eq!(lcps[i], expected, "LCP mismatch at {i} ({direction:?})");
+            }
+            // And the materialisation must agree with the pending-factor view.
+            let view: Vec<u8> = match direction {
+                Direction::Forward => heavy.clone(),
+                Direction::Backward => {
+                    let mut v = heavy.clone();
+                    v.reverse();
+                    v
+                }
+            };
+            for (leaf, s) in strings.iter().enumerate() {
+                let anchor_x = set.anchor_x(leaf) as u32;
+                let anchor_view = match direction {
+                    Direction::Forward => anchor_x,
+                    Direction::Backward => (n as u32) - 1 - anchor_x,
+                } as usize;
+                let original = pendings
+                    .iter()
+                    .find(|f| {
+                        f.anchor_x == anchor_x
+                            && f.len as usize == s.len()
+                            && materialize_pending(f, &view, anchor_view) == *s
+                    })
+                    .expect("every sorted factor corresponds to a pushed factor");
+                assert_eq!(&materialize_pending(original, &view, anchor_view), s);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_range_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 50usize;
+        let sigma = 2u8;
+        let heavy: Vec<u8> = (0..n).map(|_| rng.gen_range(0..sigma)).collect();
+        let mut builder = EncodedFactorSetBuilder::new(Direction::Forward, heavy.clone());
+        for _ in 0..60 {
+            builder.push(random_factor(&mut rng, n, Direction::Forward, sigma, &heavy));
+        }
+        let (set, _) = builder.finish();
+        for _ in 0..200 {
+            let m = rng.gen_range(1..8usize);
+            let pattern: Vec<u8> = (0..m).map(|_| rng.gen_range(0..sigma)).collect();
+            let (lo, hi) = set.equal_range(&pattern);
+            for leaf in 0..set.len() {
+                let is_prefix = set.materialize(leaf).starts_with(&pattern);
+                let in_range = leaf >= lo && leaf < hi;
+                assert_eq!(is_prefix, in_range, "leaf {leaf} pattern {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn letter_at_and_label_provider_agree() {
+        let heavy = vec![0u8, 1, 2, 3, 0, 1, 2, 3];
+        let mut builder = EncodedFactorSetBuilder::new(Direction::Forward, heavy);
+        builder.push(PendingFactor {
+            anchor_x: 2,
+            len: 5,
+            strand: 7,
+            mismatches: vec![Mismatch { depth: 1, letter: 0, ratio: 0.25 }],
+        });
+        let (set, _) = builder.finish();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.materialize(0), vec![2, 0, 0, 1, 2]);
+        assert_eq!(set.letter_at(0, 1), Some(0));
+        assert_eq!(set.letter_at(0, 5), None);
+        assert_eq!(LabelProvider::letter(&set, 0, 4), Some(2));
+        assert_eq!(LabelProvider::len(&set, 0), 5);
+        assert_eq!(set.strand(0), 7);
+        assert_eq!(set.anchor_x(0), 2);
+        assert_eq!(set.mismatches(0).len(), 1);
+        assert_eq!(set.total_mismatches(), 1);
+        assert!(set.memory_bytes() > set.memory_bytes_without_heavy());
+    }
+
+    #[test]
+    fn empty_builder_finishes_cleanly() {
+        let builder = EncodedFactorSetBuilder::new(Direction::Backward, vec![0, 1, 0]);
+        assert!(builder.is_empty());
+        let (set, lcps) = builder.finish();
+        assert!(set.is_empty());
+        assert!(lcps.is_empty());
+        assert_eq!(set.equal_range(&[0]), (0, 0));
+    }
+}

@@ -1,0 +1,77 @@
+//! The naive scan "index": the ground truth every real index is tested
+//! against.
+
+use crate::traits::{IndexStats, UncertainIndex};
+use ius_weighted::{solid, Error, Result, WeightedString};
+
+/// A trivial index that stores only `z` and scans `X` at query time.
+///
+/// `O(1)` size, `O(n·m)` query — useful as the correctness oracle and as a
+/// baseline in micro-benchmarks for very short texts.
+#[derive(Debug, Clone)]
+pub struct NaiveIndex {
+    z: f64,
+}
+
+impl NaiveIndex {
+    /// Creates the index for a weight threshold `1/z`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidThreshold`] unless `z ≥ 1` and finite.
+    pub fn new(z: f64) -> Result<Self> {
+        if !(z.is_finite() && z >= 1.0) {
+            return Err(Error::InvalidThreshold(z));
+        }
+        Ok(Self { z })
+    }
+
+    /// The threshold denominator.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+}
+
+impl UncertainIndex for NaiveIndex {
+    fn name(&self) -> &'static str {
+        "NAIVE"
+    }
+
+    fn query(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>> {
+        if pattern.is_empty() {
+            return Err(Error::EmptyInput("pattern"));
+        }
+        Ok(solid::occurrences(x, pattern, self.z))
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats { name: self.name().to_string(), size_bytes: self.size_bytes(), ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ius_weighted::string::paper_example;
+
+    #[test]
+    fn queries_match_reference_matcher() {
+        let x = paper_example();
+        let idx = NaiveIndex::new(4.0).unwrap();
+        assert_eq!(idx.query(&[0, 0, 0, 0], &x).unwrap(), vec![0]);
+        assert_eq!(idx.query(&[0, 1], &x).unwrap(), vec![0, 3, 4]);
+        assert!(idx.query(&[], &x).is_err());
+        assert_eq!(idx.name(), "NAIVE");
+        assert!(idx.size_bytes() < 64);
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        assert!(NaiveIndex::new(0.0).is_err());
+        assert!(NaiveIndex::new(f64::INFINITY).is_err());
+    }
+}

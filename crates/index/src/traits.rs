@@ -1,0 +1,77 @@
+//! The common interface of every uncertain-string index.
+
+use ius_weighted::{Result, WeightedString};
+
+/// Structural statistics of an index, used by the benchmark harness to
+/// reproduce the paper's size and construction-space figures and by tests to
+/// check asymptotic expectations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexStats {
+    /// Human-readable index name (`WST`, `MWSA-G`, …).
+    pub name: String,
+    /// Heap bytes owned by the index (excluding the input `X`).
+    pub size_bytes: usize,
+    /// Number of tree nodes (0 for array-based indexes).
+    pub num_nodes: usize,
+    /// Number of leaves / array entries.
+    pub num_leaves: usize,
+    /// Number of 2D grid points (0 when no grid is built).
+    pub num_grid_points: usize,
+    /// Number of stored heavy-string mismatches (minimizer indexes only).
+    pub num_mismatches: usize,
+}
+
+/// An index over one uncertain string `X` and one weight threshold `1/z`,
+/// answering solid-occurrence pattern-matching queries.
+pub trait UncertainIndex {
+    /// Short display name of the index family (e.g. `"MWSA"`).
+    fn name(&self) -> &'static str;
+
+    /// Reports all 0-based starting positions of z-solid occurrences of the
+    /// rank-encoded `pattern` in `X`, sorted increasingly and deduplicated.
+    ///
+    /// The weighted string is passed back in so that indexes which verify
+    /// candidates by random access to `X` (the simple query of Section 5 of
+    /// the paper) can do so without owning a copy; indexes that do not need
+    /// it simply ignore the argument.
+    ///
+    /// # Errors
+    ///
+    /// * [`ius_weighted::Error::PatternTooShort`] if the index was built with
+    ///   a lower bound `ℓ` and `|pattern| < ℓ`;
+    /// * [`ius_weighted::Error::EmptyInput`] for an empty pattern.
+    fn query(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>>;
+
+    /// Heap bytes owned by the index (excluding `X` itself).
+    fn size_bytes(&self) -> usize;
+
+    /// Structural statistics (size, node/leaf/point counts).
+    fn stats(&self) -> IndexStats;
+}
+
+/// Deduplicates and sorts a list of candidate positions in place and returns
+/// it — the common post-processing step of every query implementation.
+pub fn finalize_positions(mut positions: Vec<usize>) -> Vec<usize> {
+    positions.sort_unstable();
+    positions.dedup();
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_sorts_and_dedups() {
+        assert_eq!(finalize_positions(vec![5, 1, 5, 3, 1]), vec![1, 3, 5]);
+        assert_eq!(finalize_positions(vec![]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = IndexStats::default();
+        assert_eq!(s.size_bytes, 0);
+        assert_eq!(s.num_nodes, 0);
+        assert!(s.name.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! The weighted suffix array (WSA) baseline.
+//!
+//! The WSA (Charalampopoulos, Iliopoulos, Liu, Pissis — "Property Suffix
+//! Array with applications in indexing weighted sequences") is the
+//! state-of-the-art *array-based* index for Weighted Indexing: the property
+//! suffix array of the z-estimation. Its size and construction space are
+//! `Θ(nz)`; queries are answered by binary search in `O(m log(nz) + |Occ|)`
+//! time. It is one of the two baselines every figure of the paper compares
+//! against.
+
+use crate::property_text::PropertyText;
+use crate::traits::{finalize_positions, IndexStats, UncertainIndex};
+use ius_weighted::{Error, Result, WeightedString, ZEstimation};
+
+/// The weighted (property) suffix array.
+#[derive(Debug, Clone)]
+pub struct Wsa {
+    z: f64,
+    property_text: PropertyText,
+}
+
+impl Wsa {
+    /// Builds the WSA from a weighted string, materialising the z-estimation
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates threshold validation errors from the z-estimation.
+    pub fn build(x: &WeightedString, z: f64) -> Result<Self> {
+        let estimation = ZEstimation::build(x, z)?;
+        Self::build_from_estimation(&estimation)
+    }
+
+    /// Builds the WSA from an existing z-estimation (the benchmark harness
+    /// shares one estimation across all indexes of a configuration).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyInput`] if the estimation has no strands.
+    pub fn build_from_estimation(estimation: &ZEstimation) -> Result<Self> {
+        Ok(Self { z: estimation.z(), property_text: PropertyText::build(estimation)? })
+    }
+
+    /// The weight-threshold denominator.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The underlying property text (exposed for the tree baseline and for
+    /// white-box tests).
+    pub fn property_text(&self) -> &PropertyText {
+        &self.property_text
+    }
+}
+
+impl UncertainIndex for Wsa {
+    fn name(&self) -> &'static str {
+        "WSA"
+    }
+
+    fn query(&self, pattern: &[u8], _x: &WeightedString) -> Result<Vec<usize>> {
+        if pattern.is_empty() {
+            return Err(Error::EmptyInput("pattern"));
+        }
+        Ok(finalize_positions(self.property_text.positions_of(pattern)))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.property_text.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            name: self.name().to_string(),
+            size_bytes: self.size_bytes(),
+            num_nodes: 0,
+            num_leaves: self.property_text.psa().len(),
+            num_grid_points: 0,
+            num_mismatches: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ius_datasets::uniform::UniformConfig;
+    use ius_weighted::solid;
+    use ius_weighted::string::paper_example;
+
+    #[test]
+    fn paper_example_queries() {
+        let x = paper_example();
+        let wsa = Wsa::build(&x, 4.0).unwrap();
+        assert_eq!(wsa.query(&[0, 0, 0, 0], &x).unwrap(), vec![0]);
+        assert_eq!(wsa.query(&[0, 1], &x).unwrap(), vec![0, 3, 4]);
+        assert_eq!(wsa.query(&[1, 0, 1, 0], &x).unwrap(), Vec::<usize>::new());
+        assert!(wsa.query(&[], &x).is_err());
+        assert_eq!(wsa.name(), "WSA");
+        assert!(wsa.size_bytes() > 0);
+        assert_eq!(wsa.z(), 4.0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for (n, sigma, z) in [(150usize, 2usize, 5.0f64), (200, 4, 9.0), (120, 3, 2.0)] {
+            let x = UniformConfig { n, sigma, spread: 0.7, seed: n as u64 }.generate();
+            let wsa = Wsa::build(&x, z).unwrap();
+            for len in 1..=7 {
+                for _ in 0..25 {
+                    let pattern: Vec<u8> =
+                        (0..len).map(|_| rng.gen_range(0..sigma as u8)).collect();
+                    assert_eq!(
+                        wsa.query(&pattern, &x).unwrap(),
+                        solid::occurrences(&x, &pattern, z),
+                        "pattern {pattern:?} n={n} z={z}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let x = paper_example();
+        let wsa = Wsa::build(&x, 4.0).unwrap();
+        let stats = wsa.stats();
+        assert_eq!(stats.name, "WSA");
+        assert!(stats.num_leaves > 0);
+        assert_eq!(stats.num_nodes, 0);
+        assert_eq!(stats.size_bytes, wsa.size_bytes());
+    }
+
+    #[test]
+    fn size_grows_with_z() {
+        let x = UniformConfig { n: 300, sigma: 4, spread: 0.4, seed: 2 }.generate();
+        let small = Wsa::build(&x, 2.0).unwrap().size_bytes();
+        let large = Wsa::build(&x, 16.0).unwrap().size_bytes();
+        assert!(large > small);
+    }
+}

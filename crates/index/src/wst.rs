@@ -1,0 +1,196 @@
+//! The weighted suffix tree (WST) baseline.
+//!
+//! The WST (Barton, Kociumaka, Liu, Pissis, Radoszewski — "Indexing weighted
+//! sequences: neat and efficient") is the state-of-the-art *tree-based* index
+//! for Weighted Indexing: the compacted trie of the property-respecting
+//! suffixes of the z-estimation, answering queries in optimal `O(m + |Occ|)`
+//! time at the price of `Θ(nz)` size and construction space — the very cost
+//! the paper's minimizer-based indexes attack. It is assembled here from the
+//! property suffix array plus truncated LCP values (the array-to-tree
+//! construction referenced in the paper).
+
+use crate::property_text::PropertyText;
+use crate::traits::{finalize_positions, IndexStats, UncertainIndex};
+use ius_text::trie::{CompactedTrie, LabelProvider};
+use ius_weighted::{Error, Result, WeightedString, ZEstimation};
+
+/// The weighted (property) suffix tree.
+#[derive(Debug, Clone)]
+pub struct Wst {
+    z: f64,
+    property_text: PropertyText,
+    /// `(start, length)` of the truncated suffix of each sorted leaf — the
+    /// label source for trie traversals (precomputed once so queries do not
+    /// re-derive it).
+    fragments: Vec<(u32, u32)>,
+    trie: CompactedTrie,
+}
+
+/// Label access for [`Wst`] queries: letters come straight from the
+/// concatenated z-estimation, truncated at the property extents.
+struct WstLabels<'a> {
+    text: &'a [u8],
+    fragments: &'a [(u32, u32)],
+}
+
+impl LabelProvider for WstLabels<'_> {
+    #[inline]
+    fn letter(&self, leaf: usize, depth: usize) -> Option<u8> {
+        let (start, len) = self.fragments[leaf];
+        if depth < len as usize {
+            Some(self.text[start as usize + depth])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn len(&self, leaf: usize) -> usize {
+        self.fragments[leaf].1 as usize
+    }
+}
+
+impl Wst {
+    /// Builds the WST from a weighted string, materialising the z-estimation
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates threshold validation errors from the z-estimation.
+    pub fn build(x: &WeightedString, z: f64) -> Result<Self> {
+        let estimation = ZEstimation::build(x, z)?;
+        Self::build_from_estimation(&estimation)
+    }
+
+    /// Builds the WST from an existing z-estimation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyInput`] if the estimation has no strands.
+    pub fn build_from_estimation(estimation: &ZEstimation) -> Result<Self> {
+        let property_text = PropertyText::build_with_lcp(estimation)?;
+        let lengths = property_text.psa_lengths();
+        let lcps = property_text.psa_truncated_lcp();
+        let fragments: Vec<(u32, u32)> = property_text
+            .psa()
+            .iter()
+            .map(|&s| (s, property_text.trunc(s as usize) as u32))
+            .collect();
+        let labels = WstLabels { text: property_text.text(), fragments: &fragments };
+        let trie = CompactedTrie::build(&lengths, &lcps, &labels);
+        Ok(Self { z: estimation.z(), property_text, fragments, trie })
+    }
+
+    /// The weight-threshold denominator.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// Number of nodes of the suffix tree.
+    pub fn num_nodes(&self) -> usize {
+        self.trie.num_nodes()
+    }
+}
+
+impl UncertainIndex for Wst {
+    fn name(&self) -> &'static str {
+        "WST"
+    }
+
+    fn query(&self, pattern: &[u8], _x: &WeightedString) -> Result<Vec<usize>> {
+        if pattern.is_empty() {
+            return Err(Error::EmptyInput("pattern"));
+        }
+        let labels = WstLabels { text: self.property_text.text(), fragments: &self.fragments };
+        let Some(descent) = self.trie.descend(pattern, &labels) else {
+            return Ok(Vec::new());
+        };
+        let (lo, hi) = descent.leaves;
+        let positions: Vec<usize> = (lo..hi)
+            .map(|leaf| {
+                let text_pos = self.property_text.psa()[leaf as usize] as usize;
+                self.property_text.position_in_x(text_pos)
+            })
+            .collect();
+        Ok(finalize_positions(positions))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.property_text.memory_bytes()
+            + self.fragments.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.trie.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            name: self.name().to_string(),
+            size_bytes: self.size_bytes(),
+            num_nodes: self.trie.num_nodes(),
+            num_leaves: self.trie.num_leaves(),
+            num_grid_points: 0,
+            num_mismatches: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wsa::Wsa;
+    use ius_datasets::uniform::UniformConfig;
+    use ius_weighted::solid;
+    use ius_weighted::string::paper_example;
+
+    #[test]
+    fn paper_example_queries() {
+        let x = paper_example();
+        let wst = Wst::build(&x, 4.0).unwrap();
+        assert_eq!(wst.query(&[0, 0, 0, 0], &x).unwrap(), vec![0]);
+        assert_eq!(wst.query(&[0, 1], &x).unwrap(), vec![0, 3, 4]);
+        assert_eq!(wst.query(&[1, 0, 1, 0], &x).unwrap(), Vec::<usize>::new());
+        assert!(wst.query(&[], &x).is_err());
+        assert!(wst.num_nodes() > 0);
+    }
+
+    #[test]
+    fn agrees_with_wsa_and_naive() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        for (n, sigma, z) in [(150usize, 2usize, 6.0f64), (180, 4, 3.0)] {
+            let x = UniformConfig { n, sigma, spread: 0.6, seed: 91 + n as u64 }.generate();
+            let est = ius_weighted::ZEstimation::build(&x, z).unwrap();
+            let wst = Wst::build_from_estimation(&est).unwrap();
+            let wsa = Wsa::build_from_estimation(&est).unwrap();
+            for len in 1..=6 {
+                for _ in 0..25 {
+                    let pattern: Vec<u8> =
+                        (0..len).map(|_| rng.gen_range(0..sigma as u8)).collect();
+                    let expected = solid::occurrences(&x, &pattern, z);
+                    assert_eq!(wst.query(&pattern, &x).unwrap(), expected, "WST {pattern:?}");
+                    assert_eq!(wsa.query(&pattern, &x).unwrap(), expected, "WSA {pattern:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_larger_than_array() {
+        // The paper's Figure 6: the tree-based baseline occupies several
+        // times more space than the array-based one.
+        let x = UniformConfig { n: 400, sigma: 4, spread: 0.5, seed: 6 }.generate();
+        let est = ius_weighted::ZEstimation::build(&x, 8.0).unwrap();
+        let wst = Wst::build_from_estimation(&est).unwrap();
+        let wsa = Wsa::build_from_estimation(&est).unwrap();
+        assert!(wst.size_bytes() > wsa.size_bytes());
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let x = paper_example();
+        let wst = Wst::build(&x, 4.0).unwrap();
+        let stats = wst.stats();
+        assert_eq!(stats.name, "WST");
+        assert!(stats.num_nodes >= stats.num_leaves);
+        assert!(stats.num_leaves > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Density of minimizer schemes (Definition 1 / Lemma 1 of the paper).
+
+use crate::minimizer::MinimizerScheme;
+
+/// The recommended k-mer length for an `(ℓ, k)`-minimizer scheme over an
+/// alphabet of size `sigma`: `⌈log_σ ℓ⌉ + 1`, clamped to `[1, ℓ]`.
+///
+/// Lemma 1 (Zheng, Kingsford, Marçais) guarantees expected density `O(1/ℓ)`
+/// for `k ≥ log_σ ℓ + c`.
+pub fn recommended_k(ell: usize, sigma: usize) -> usize {
+    assert!(ell > 0, "ℓ must be positive");
+    let sigma = sigma.max(2) as f64;
+    let k = (ell as f64).log(sigma).ceil() as usize + 1;
+    k.clamp(1, ell)
+}
+
+/// The *specific density* of a scheme on a string: `|M_f(S)| / |S|`.
+///
+/// Returns 0 when the text is shorter than the window length.
+pub fn measure_density(scheme: &MinimizerScheme, text: &[u8]) -> f64 {
+    if text.is_empty() {
+        return 0.0;
+    }
+    scheme.minimizers(text).len() as f64 / text.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::KmerOrder;
+
+    #[test]
+    fn recommended_k_values() {
+        assert_eq!(recommended_k(64, 4), 4);
+        assert_eq!(recommended_k(256, 4), 5);
+        assert_eq!(recommended_k(1024, 4), 6);
+        assert_eq!(recommended_k(1024, 91), 3);
+        assert_eq!(recommended_k(4, 2), 3);
+        // Clamped to ℓ.
+        assert_eq!(recommended_k(2, 2), 2);
+        assert_eq!(recommended_k(1, 2), 1);
+    }
+
+    #[test]
+    fn density_decreases_with_ell() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let text: Vec<u8> = (0..30_000).map(|_| rng.gen_range(0..4u8)).collect();
+        let mut last = 1.0f64;
+        for ell in [16usize, 64, 256, 1024] {
+            let scheme = MinimizerScheme::with_recommended_k(ell, 4);
+            let d = measure_density(&scheme, &text);
+            assert!(d < last, "density should decrease as ℓ grows ({d} !< {last})");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn density_scales_like_inverse_ell_on_random_text() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let text: Vec<u8> = (0..40_000).map(|_| rng.gen_range(0..4u8)).collect();
+        for ell in [32usize, 128, 512] {
+            let scheme = MinimizerScheme::with_recommended_k(ell, 4);
+            let d = measure_density(&scheme, &text);
+            let expected = 2.0 / (ell as f64 - scheme.k() as f64 + 2.0);
+            assert!(
+                d < 2.5 * expected && d > 0.3 * expected,
+                "ℓ = {ell}: density {d} far from the random-order expectation {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn karp_rabin_handles_repetitive_text_better_than_lexicographic_worst_case() {
+        // The paper's Section 8 worst case: on abcdefg… every position is a
+        // lexicographic minimizer. On a*n the lexicographic scheme also picks
+        // many positions; the fingerprint order has no such degeneracy on
+        // periodic strings of period > k... here we simply document the
+        // degenerate case: strictly increasing text makes every window pick
+        // its first k-mer.
+        let ell = 16usize;
+        let k = 3usize;
+        let text: Vec<u8> = (0..200u8).collect();
+        let lex = MinimizerScheme::new(ell, k, 200, KmerOrder::Lexicographic);
+        let lex_density = measure_density(&lex, &text);
+        assert!(lex_density > 0.8, "every window selects its leftmost k-mer");
+        let kr = MinimizerScheme::new(ell, k, 200, KmerOrder::KarpRabin { seed: 3 });
+        let kr_density = measure_density(&kr, &text);
+        assert!(kr_density < 0.5 * lex_density, "fingerprint order avoids the degeneracy");
+    }
+
+    #[test]
+    fn density_of_empty_text_is_zero() {
+        let scheme = MinimizerScheme::with_recommended_k(8, 4);
+        assert_eq!(measure_density(&scheme, &[]), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Karp–Rabin style fingerprints for k-mers.
+//!
+//! The fingerprints serve as a pseudo-random total order on k-mers for the
+//! minimizer schemes (as in the paper's implementation, which computes
+//! minimizers with Karp–Rabin fingerprints). They are *not* used for string
+//! equality testing anywhere in the workspace, so collisions only perturb the
+//! sampling density, never correctness.
+
+/// A Karp–Rabin rolling hasher over letter ranks.
+///
+/// Hashes are computed over a fixed word size (`u64`, wrapping arithmetic
+/// modulo 2⁶⁴) with an odd multiplier, followed by a strong bit-mixing
+/// finaliser; the mixed value is what defines the k-mer order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KarpRabin {
+    /// Odd multiplier for the polynomial rolling hash.
+    base: u64,
+    /// `base^(k-1)`, used to remove the outgoing letter when rolling.
+    lead_power: u64,
+    /// k-mer length.
+    k: usize,
+}
+
+impl KarpRabin {
+    /// Creates a hasher for k-mers of length `k` with a seeded multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "k-mer length must be positive");
+        // Derive an odd multiplier from the seed with a splitmix64 step.
+        let base = splitmix64(seed) | 1;
+        let mut lead_power = 1u64;
+        for _ in 0..k - 1 {
+            lead_power = lead_power.wrapping_mul(base);
+        }
+        Self { base, lead_power, k }
+    }
+
+    /// The k-mer length this hasher was built for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Raw (un-mixed) polynomial hash of `kmer` (must have length `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.len() != k`.
+    pub fn raw(&self, kmer: &[u8]) -> u64 {
+        assert_eq!(kmer.len(), self.k, "k-mer length mismatch");
+        let mut h = 0u64;
+        for &c in kmer {
+            h = h.wrapping_mul(self.base).wrapping_add(c as u64 + 1);
+        }
+        h
+    }
+
+    /// Rolls a raw hash one position to the right: removes `outgoing` (the
+    /// letter leaving on the left) and appends `incoming`.
+    #[inline]
+    pub fn roll(&self, raw: u64, outgoing: u8, incoming: u8) -> u64 {
+        raw.wrapping_sub((outgoing as u64 + 1).wrapping_mul(self.lead_power))
+            .wrapping_mul(self.base)
+            .wrapping_add(incoming as u64 + 1)
+    }
+
+    /// The mixed fingerprint defining the k-mer order.
+    #[inline]
+    pub fn finalize(&self, raw: u64) -> u64 {
+        splitmix64(raw)
+    }
+
+    /// Fingerprint of a k-mer in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.len() != k`.
+    #[inline]
+    pub fn fingerprint(&self, kmer: &[u8]) -> u64 {
+        self.finalize(self.raw(kmer))
+    }
+}
+
+/// The splitmix64 bit mixer (public-domain constant schedule).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_matches_direct() {
+        let text: Vec<u8> = vec![0, 1, 2, 3, 0, 1, 1, 2, 3, 3, 0, 2];
+        for k in 1..=6 {
+            let kr = KarpRabin::new(k, 0xDEADBEEF);
+            let mut raw = kr.raw(&text[..k]);
+            for i in 1..=text.len() - k {
+                raw = kr.roll(raw, text[i - 1], text[i + k - 1]);
+                assert_eq!(raw, kr.raw(&text[i..i + k]), "k={k}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_kmers_have_equal_fingerprints() {
+        let kr = KarpRabin::new(4, 7);
+        assert_eq!(kr.fingerprint(&[1, 2, 3, 0]), kr.fingerprint(&[1, 2, 3, 0]));
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a = KarpRabin::new(3, 1);
+        let b = KarpRabin::new(3, 2);
+        // At least one pair of k-mers must compare differently for the two
+        // seeds (overwhelmingly likely; fixed k-mers chosen to make this
+        // deterministic for the chosen constants).
+        let kmers: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i % 2, (i / 2) % 2, i / 4]).collect();
+        let order = |kr: &KarpRabin| {
+            let mut v: Vec<usize> = (0..kmers.len()).collect();
+            v.sort_by_key(|&i| kr.fingerprint(&kmers[i]));
+            v
+        };
+        assert_ne!(order(&a), order(&b));
+    }
+
+    #[test]
+    fn fingerprints_spread_over_u64() {
+        let kr = KarpRabin::new(2, 42);
+        let mut values: Vec<u64> = Vec::new();
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                values.push(kr.fingerprint(&[a, b]));
+            }
+        }
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 16, "all 16 two-letter k-mers should hash distinctly");
+    }
+
+    #[test]
+    #[should_panic(expected = "k-mer length mismatch")]
+    fn wrong_length_panics() {
+        let kr = KarpRabin::new(3, 0);
+        let _ = kr.raw(&[0, 1]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # ius-sampling — string sampling mechanisms
+//!
+//! This crate implements the *(ℓ, k)-minimizer schemes* (Roberts et al.,
+//! Schleimer et al.) used by the space-efficient uncertain-string indexes:
+//! given a window length `ℓ` and a k-mer length `k ≤ ℓ`, the scheme selects in
+//! every length-`ℓ` window the starting position of the leftmost occurrence of
+//! the smallest length-`k` substring, under a configurable total order on
+//! k-mers. The set of selected positions over all windows has expected density
+//! `O(1/ℓ)` when `k ≳ log_σ ℓ` (Lemma 1 of the paper).
+//!
+//! Two k-mer orders are provided, mirroring the paper's implementation:
+//!
+//! * [`KmerOrder::Lexicographic`] — plain lexicographic order on the letters;
+//! * [`KmerOrder::KarpRabin`] — the order of Karp–Rabin style fingerprints,
+//!   which behaves like a random order and achieves the expected density in
+//!   practice even on repetitive inputs.
+//!
+//! The crate also provides:
+//!
+//! * [`window::SlidingWindowMinimizer`] — the linear-time monotone-deque
+//!   scanner used when the text is available left to right;
+//! * [`window::FrontWindowMinimizer`] — an ordered-multiset variant that
+//!   supports *prepending* letters (the access pattern of the space-efficient
+//!   DFS construction of Section 4 of the paper) in `O(log ℓ)` per update;
+//! * density measurement helpers used by the ablation benchmarks.
+//!
+//! Positions are 0-based.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod fingerprint;
+pub mod minimizer;
+pub mod order;
+pub mod window;
+
+pub use density::{measure_density, recommended_k};
+pub use fingerprint::KarpRabin;
+pub use minimizer::MinimizerScheme;
+pub use order::KmerOrder;
+pub use window::{BackWindowMinimizer, FrontWindowMinimizer, SlidingWindowMinimizer};

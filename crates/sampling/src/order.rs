@@ -1,0 +1,229 @@
+//! Total orders on k-mers.
+//!
+//! A minimizer scheme needs a total order on length-`k` substrings. The order
+//! is realised by mapping every k-mer to a `u64` *key*; k-mers are compared by
+//! key, and ties between equal keys are broken towards the leftmost occurrence
+//! (as the paper's definition requires).
+
+use crate::fingerprint::KarpRabin;
+
+/// The supported k-mer orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KmerOrder {
+    /// Plain lexicographic order on the letter ranks.
+    Lexicographic,
+    /// Order induced by Karp–Rabin style fingerprints with the given seed —
+    /// a pseudo-random order, as used in the paper's implementation.
+    KarpRabin {
+        /// Seed of the fingerprint multiplier / mixer.
+        seed: u64,
+    },
+}
+
+impl Default for KmerOrder {
+    fn default() -> Self {
+        KmerOrder::KarpRabin { seed: 0x5EED_1005 }
+    }
+}
+
+/// A keyer turning k-mers (and rolling windows of a text) into order keys.
+#[derive(Debug, Clone)]
+pub struct KmerKeyer {
+    k: usize,
+    kind: KeyerKind,
+}
+
+#[derive(Debug, Clone)]
+enum KeyerKind {
+    /// Lexicographic keys: the k-mer is packed into a `u64` in base
+    /// `radix` (requires `radix^k` to fit in 64 bits).
+    LexPacked { radix: u64, lead: u64 },
+    /// Lexicographic comparison for k-mers too long to pack (keys are not
+    /// used; the caller falls back to slice comparison).
+    LexPlain,
+    /// Fingerprint keys.
+    Hash(KarpRabin),
+}
+
+impl KmerKeyer {
+    /// Creates a keyer for k-mers of length `k` over an alphabet of size
+    /// `sigma`, under the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `sigma == 0`.
+    pub fn new(order: KmerOrder, k: usize, sigma: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(sigma > 0, "alphabet must be non-empty");
+        let kind = match order {
+            KmerOrder::Lexicographic => {
+                let radix = sigma as u64;
+                // Does radix^k fit into u64 (so packed keys order correctly)?
+                let fits = (k as f64) * (radix as f64).log2() <= 63.0;
+                if fits {
+                    let mut lead = 1u64;
+                    for _ in 0..k - 1 {
+                        lead *= radix;
+                    }
+                    KeyerKind::LexPacked { radix, lead }
+                } else {
+                    KeyerKind::LexPlain
+                }
+            }
+            KmerOrder::KarpRabin { seed } => KeyerKind::Hash(KarpRabin::new(k, seed)),
+        };
+        Self { k, kind }
+    }
+
+    /// The k-mer length.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `true` if [`KmerKeyer::key`] yields keys whose numeric order equals the
+    /// desired k-mer order. When `false` the caller must compare k-mers
+    /// directly (only happens for very long lexicographic k-mers).
+    #[inline]
+    pub fn has_total_keys(&self) -> bool {
+        !matches!(self.kind, KeyerKind::LexPlain)
+    }
+
+    /// The key of one k-mer (`kmer.len()` must equal `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from `k`.
+    pub fn key(&self, kmer: &[u8]) -> u64 {
+        assert_eq!(kmer.len(), self.k, "k-mer length mismatch");
+        match &self.kind {
+            KeyerKind::LexPacked { radix, .. } => {
+                let mut v = 0u64;
+                for &c in kmer {
+                    v = v * radix + c as u64;
+                }
+                v
+            }
+            KeyerKind::LexPlain => 0,
+            KeyerKind::Hash(kr) => kr.fingerprint(kmer),
+        }
+    }
+
+    /// Keys for all k-mers of `text` (length `|text| - k + 1`), computed with
+    /// rolling updates in `O(|text|)` time.
+    ///
+    /// Returns an empty vector when `|text| < k`.
+    pub fn keys(&self, text: &[u8]) -> Vec<u64> {
+        if text.len() < self.k {
+            return Vec::new();
+        }
+        let count = text.len() - self.k + 1;
+        let mut keys = Vec::with_capacity(count);
+        match &self.kind {
+            KeyerKind::LexPacked { radix, lead } => {
+                let mut v = 0u64;
+                for &c in &text[..self.k] {
+                    v = v * radix + c as u64;
+                }
+                keys.push(v);
+                for i in 1..count {
+                    v = (v - text[i - 1] as u64 * lead) * radix + text[i + self.k - 1] as u64;
+                    keys.push(v);
+                }
+            }
+            KeyerKind::LexPlain => {
+                // Rare fallback: rank the k-mers by sorting suffix slices.
+                let mut idx: Vec<usize> = (0..count).collect();
+                idx.sort_by(|&a, &b| text[a..a + self.k].cmp(&text[b..b + self.k]));
+                let mut rank = vec![0u64; count];
+                let mut current = 0u64;
+                for w in 0..count {
+                    if w > 0 {
+                        let prev = idx[w - 1];
+                        let this = idx[w];
+                        if text[prev..prev + self.k] != text[this..this + self.k] {
+                            current += 1;
+                        }
+                    }
+                    rank[idx[w]] = current;
+                }
+                keys = rank;
+            }
+            KeyerKind::Hash(kr) => {
+                let mut raw = kr.raw(&text[..self.k]);
+                keys.push(kr.finalize(raw));
+                for i in 1..count {
+                    raw = kr.roll(raw, text[i - 1], text[i + self.k - 1]);
+                    keys.push(kr.finalize(raw));
+                }
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_keys_order_like_slices() {
+        let keyer = KmerKeyer::new(KmerOrder::Lexicographic, 3, 4);
+        assert!(keyer.has_total_keys());
+        let kmers: Vec<Vec<u8>> = vec![
+            vec![0, 0, 0],
+            vec![0, 0, 1],
+            vec![0, 1, 0],
+            vec![3, 3, 3],
+            vec![1, 2, 3],
+            vec![1, 2, 0],
+        ];
+        for a in &kmers {
+            for b in &kmers {
+                assert_eq!(keyer.key(a).cmp(&keyer.key(b)), a.cmp(b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_keys_match_pointwise_keys() {
+        let text: Vec<u8> = vec![2, 0, 1, 0, 2, 3, 1, 1, 0, 2, 3, 0, 1];
+        for order in [KmerOrder::Lexicographic, KmerOrder::KarpRabin { seed: 99 }] {
+            for k in 1..=5 {
+                let keyer = KmerKeyer::new(order, k, 4);
+                let rolled = keyer.keys(&text);
+                assert_eq!(rolled.len(), text.len() - k + 1);
+                for (i, &key) in rolled.iter().enumerate() {
+                    assert_eq!(key, keyer.key(&text[i..i + k]), "order {order:?} k {k} i {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keys_of_short_text_is_empty() {
+        let keyer = KmerKeyer::new(KmerOrder::default(), 4, 4);
+        assert!(keyer.keys(&[0, 1, 2]).is_empty());
+    }
+
+    #[test]
+    fn lex_plain_fallback_ranks_correctly() {
+        // k large enough that sigma^k overflows u64: 91^12 > 2^63.
+        let keyer = KmerKeyer::new(KmerOrder::Lexicographic, 12, 91);
+        assert!(!keyer.has_total_keys());
+        let text: Vec<u8> = (0..40u32).map(|i| ((i * 37) % 91) as u8).collect();
+        let keys = keyer.keys(&text);
+        // The returned ranks must order windows exactly like slice comparison.
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                let slice_cmp = text[i..i + 12].cmp(&text[j..j + 12]);
+                assert_eq!(keys[i].cmp(&keys[j]), slice_cmp, "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_order_is_karp_rabin() {
+        assert!(matches!(KmerOrder::default(), KmerOrder::KarpRabin { .. }));
+    }
+}

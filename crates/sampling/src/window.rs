@@ -1,0 +1,392 @@
+//! Window-minimum structures used to compute minimizers.
+//!
+//! Two access patterns arise in the paper:
+//!
+//! * scanning a text left to right (index construction from an explicit
+//!   z-estimation, query-time minimizer of a pattern) — served by the
+//!   monotone-deque [`SlidingWindowMinimizer`] in `O(1)` amortised per
+//!   position;
+//! * growing a string by *prepending* letters during the DFS of the
+//!   space-efficient construction (Section 4), where the window is always the
+//!   first `ℓ` letters of the current string — served by
+//!   [`FrontWindowMinimizer`] in `O(log ℓ)` per update (the paper uses a heap;
+//!   we use an ordered set, which gives the same bound);
+//! * the mirrored pattern — growing by *appending* letters, used by the
+//!   backward pass of the space-efficient construction — served by
+//!   [`BackWindowMinimizer`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Monotone deque for leftmost-minimum queries over a sliding window of
+/// keys. Keys are pushed left to right; the window is `[i - w + 1, i]` for a
+/// caller-managed width.
+#[derive(Debug, Clone, Default)]
+pub struct SlidingWindowMinimizer {
+    /// Indices with non-decreasing keys; front is the leftmost minimum.
+    deque: VecDeque<(usize, u64)>,
+}
+
+impl SlidingWindowMinimizer {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes the key of position `index` (indices must be pushed in
+    /// increasing order).
+    pub fn push(&mut self, index: usize, key: u64) {
+        // Strictly greater keys at the back can never be a *leftmost*
+        // minimum once `key` is present.
+        while matches!(self.deque.back(), Some(&(_, back)) if back > key) {
+            self.deque.pop_back();
+        }
+        self.deque.push_back((index, key));
+    }
+
+    /// Drops entries with index `< lower_bound` (the window's left edge).
+    pub fn retire(&mut self, lower_bound: usize) {
+        while matches!(self.deque.front(), Some(&(idx, _)) if idx < lower_bound) {
+            self.deque.pop_front();
+        }
+    }
+
+    /// The index of the leftmost occurrence of the smallest key currently in
+    /// the window, if any.
+    #[inline]
+    pub fn argmin(&self) -> Option<usize> {
+        self.deque.front().map(|&(idx, _)| idx)
+    }
+
+    /// Clears the structure.
+    pub fn clear(&mut self) {
+        self.deque.clear();
+    }
+}
+
+/// Ordered-set window minimizer for strings grown by prepending letters.
+///
+/// The window always consists of the k-mers starting at the `w` smallest
+/// *positions* currently present (`w = ℓ - k + 1` when used for an
+/// `(ℓ, k)`-minimizer scheme). Positions here are the caller's absolute
+/// positions, which *decrease* as letters are prepended.
+#[derive(Debug, Clone)]
+pub struct FrontWindowMinimizer {
+    /// Number of k-mer slots in the window.
+    width: usize,
+    /// All currently live (key, position) pairs, ordered, for argmin queries.
+    set: BTreeSet<(u64, usize)>,
+    /// Positions currently inside the window with their keys.
+    positions: BTreeMap<usize, u64>,
+    /// Positions evicted from the window (too far right) with their keys,
+    /// kept so they can re-enter when the front shrinks.
+    parked: BTreeMap<usize, u64>,
+}
+
+impl FrontWindowMinimizer {
+    /// Creates a window over `width` k-mer positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "window width must be positive");
+        Self { width, set: BTreeSet::new(), positions: BTreeMap::new(), parked: BTreeMap::new() }
+    }
+
+    /// Number of k-mer positions the window can hold.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of k-mer positions currently inside the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` iff the window holds no k-mer.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// `true` iff the window is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.set.len() == self.width
+    }
+
+    /// Inserts the k-mer starting at `position` with order key `key`.
+    /// `position` must be smaller than every position previously inserted and
+    /// not yet removed (the prepend access pattern).
+    pub fn push_front(&mut self, position: usize, key: u64) {
+        debug_assert!(
+            self.positions.keys().next().map(|&p| position < p).unwrap_or(true),
+            "push_front must use strictly decreasing positions"
+        );
+        self.positions.insert(position, key);
+        self.set.insert((key, position));
+        if self.positions.len() > self.width {
+            // Evict the largest position (the back of the window).
+            let (&back, &back_key) = self.positions.iter().next_back().expect("non-empty");
+            self.positions.remove(&back);
+            self.set.remove(&(back_key, back));
+            self.parked.insert(back, back_key);
+        }
+    }
+
+    /// Removes the front-most k-mer (the one with the smallest position);
+    /// the k-mer that was evicted earliest re-enters the window, restoring
+    /// the state before the matching [`FrontWindowMinimizer::push_front`].
+    ///
+    /// Returns the removed position, if any.
+    pub fn pop_front(&mut self) -> Option<usize> {
+        let (&front, &front_key) = self.positions.iter().next()?;
+        self.positions.remove(&front);
+        self.set.remove(&(front_key, front));
+        // Re-admit the parked k-mer with the smallest position, if any.
+        if self.positions.len() < self.width {
+            if let Some((&pos, &key)) = self.parked.iter().next() {
+                self.parked.remove(&pos);
+                self.positions.insert(pos, key);
+                self.set.insert((key, pos));
+            }
+        }
+        Some(front)
+    }
+
+    /// The position of the leftmost occurrence of the smallest key currently
+    /// in the window.
+    #[inline]
+    pub fn argmin(&self) -> Option<usize> {
+        self.set.iter().next().map(|&(_, p)| p)
+    }
+}
+
+/// Ordered-set window minimizer for strings grown by *appending* letters
+/// (the access pattern of the space-efficient construction's backward pass).
+///
+/// The window always consists of the k-mers starting at the `width` *largest*
+/// positions currently present; ties between equal keys are still broken
+/// towards the smallest (leftmost) position, as the minimizer definition
+/// requires.
+#[derive(Debug, Clone)]
+pub struct BackWindowMinimizer {
+    width: usize,
+    set: BTreeSet<(u64, usize)>,
+    positions: BTreeMap<usize, u64>,
+    /// Positions evicted on the left, ready to re-enter when the back shrinks.
+    parked: BTreeMap<usize, u64>,
+}
+
+impl BackWindowMinimizer {
+    /// Creates a window over `width` k-mer positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "window width must be positive");
+        Self { width, set: BTreeSet::new(), positions: BTreeMap::new(), parked: BTreeMap::new() }
+    }
+
+    /// Number of k-mer positions currently inside the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` iff the window holds no k-mer.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Inserts the k-mer starting at `position` (must exceed every position
+    /// previously inserted and not yet removed).
+    pub fn push_back(&mut self, position: usize, key: u64) {
+        debug_assert!(
+            self.positions.keys().next_back().map(|&p| position > p).unwrap_or(true),
+            "push_back must use strictly increasing positions"
+        );
+        self.positions.insert(position, key);
+        self.set.insert((key, position));
+        if self.positions.len() > self.width {
+            let (&front, &front_key) = self.positions.iter().next().expect("non-empty");
+            self.positions.remove(&front);
+            self.set.remove(&(front_key, front));
+            self.parked.insert(front, front_key);
+        }
+    }
+
+    /// Removes the most recently pushed k-mer, restoring the state before the
+    /// matching [`BackWindowMinimizer::push_back`]. Returns its position.
+    pub fn pop_back(&mut self) -> Option<usize> {
+        let (&back, &back_key) = self.positions.iter().next_back()?;
+        self.positions.remove(&back);
+        self.set.remove(&(back_key, back));
+        if self.positions.len() < self.width {
+            if let Some((&pos, &key)) = self.parked.iter().next_back() {
+                self.parked.remove(&pos);
+                self.positions.insert(pos, key);
+                self.set.insert((key, pos));
+            }
+        }
+        Some(back)
+    }
+
+    /// The position of the leftmost occurrence of the smallest key currently
+    /// in the window.
+    #[inline]
+    pub fn argmin(&self) -> Option<usize> {
+        self.set.iter().next().map(|&(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_leftmost_min(keys: &[(usize, u64)]) -> Option<usize> {
+        keys.iter().copied().min_by_key(|&(p, k)| (k, p)).map(|(p, _)| p)
+    }
+
+    #[test]
+    fn sliding_window_matches_bruteforce() {
+        let keys: Vec<u64> = vec![5, 3, 9, 3, 7, 1, 4, 4, 8, 2, 6, 1, 1, 0, 9];
+        for width in 1..=keys.len() {
+            let mut sw = SlidingWindowMinimizer::new();
+            for i in 0..keys.len() {
+                sw.push(i, keys[i]);
+                if i + 1 >= width {
+                    let start = i + 1 - width;
+                    sw.retire(start);
+                    let window: Vec<(usize, u64)> =
+                        (start..=i).map(|j| (j, keys[j])).collect();
+                    assert_eq!(sw.argmin(), brute_leftmost_min(&window), "w={width} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_ties_pick_leftmost() {
+        let mut sw = SlidingWindowMinimizer::new();
+        sw.push(0, 7);
+        sw.push(1, 7);
+        sw.push(2, 7);
+        sw.retire(0);
+        assert_eq!(sw.argmin(), Some(0));
+        sw.retire(1);
+        assert_eq!(sw.argmin(), Some(1));
+    }
+
+    #[test]
+    fn front_window_basic() {
+        // Positions pushed in decreasing order: 9, 8, 7, ... with keys.
+        let mut fw = FrontWindowMinimizer::new(3);
+        fw.push_front(9, 50);
+        fw.push_front(8, 20);
+        fw.push_front(7, 70);
+        assert!(fw.is_full());
+        assert_eq!(fw.argmin(), Some(8));
+        // Adding position 6 evicts position 9.
+        fw.push_front(6, 60);
+        assert_eq!(fw.len(), 3);
+        assert_eq!(fw.argmin(), Some(8));
+        // Adding position 5 evicts position 8 → min becomes 5 vs 6 vs 7.
+        fw.push_front(5, 65);
+        assert_eq!(fw.argmin(), Some(6));
+        // Undo: removing 5 restores 8 into the window.
+        assert_eq!(fw.pop_front(), Some(5));
+        assert_eq!(fw.argmin(), Some(8));
+        assert_eq!(fw.pop_front(), Some(6));
+        assert_eq!(fw.argmin(), Some(8));
+    }
+
+    #[test]
+    fn front_window_mirrors_stack_of_windows() {
+        // Randomised push/pop sequence checked against brute force.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let width = 4;
+        let mut fw = FrontWindowMinimizer::new(width);
+        // Stack of (position, key) with positions decreasing as we push.
+        let mut stack: Vec<(usize, u64)> = Vec::new();
+        let mut next_pos = 1000usize;
+        for _ in 0..400 {
+            let push = stack.is_empty() || rng.gen_bool(0.6);
+            if push {
+                next_pos -= 1;
+                let key = rng.gen_range(0..30) as u64;
+                stack.push((next_pos, key));
+                fw.push_front(next_pos, key);
+            } else {
+                let (pos, _) = stack.pop().unwrap();
+                next_pos = pos + 1;
+                assert_eq!(fw.pop_front(), Some(pos));
+            }
+            // Brute force: the window is the first `width` entries from the top
+            // of the stack (smallest positions).
+            let window: Vec<(usize, u64)> =
+                stack.iter().rev().take(width).copied().collect();
+            assert_eq!(fw.argmin(), brute_leftmost_min(&window));
+        }
+    }
+
+    #[test]
+    fn front_window_ties_pick_smallest_position() {
+        let mut fw = FrontWindowMinimizer::new(4);
+        fw.push_front(30, 5);
+        fw.push_front(29, 5);
+        fw.push_front(28, 5);
+        assert_eq!(fw.argmin(), Some(28));
+    }
+
+    #[test]
+    fn pop_from_empty_returns_none() {
+        let mut fw = FrontWindowMinimizer::new(2);
+        assert_eq!(fw.pop_front(), None);
+        assert!(fw.is_empty());
+        let mut bw = BackWindowMinimizer::new(2);
+        assert_eq!(bw.pop_back(), None);
+        assert!(bw.is_empty());
+    }
+
+    #[test]
+    fn back_window_mirrors_stack_of_windows() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let width = 5;
+        let mut bw = BackWindowMinimizer::new(width);
+        let mut stack: Vec<(usize, u64)> = Vec::new();
+        let mut next_pos = 0usize;
+        for _ in 0..500 {
+            let push = stack.is_empty() || rng.gen_bool(0.6);
+            if push {
+                let key = rng.gen_range(0..20) as u64;
+                stack.push((next_pos, key));
+                bw.push_back(next_pos, key);
+                next_pos += 1;
+            } else {
+                let (pos, _) = stack.pop().unwrap();
+                next_pos = pos;
+                assert_eq!(bw.pop_back(), Some(pos));
+            }
+            // The window is the last `width` pushed entries (largest positions).
+            let window: Vec<(usize, u64)> = stack.iter().rev().take(width).copied().collect();
+            assert_eq!(bw.argmin(), brute_leftmost_min(&window));
+        }
+    }
+
+    #[test]
+    fn back_window_ties_pick_smallest_position() {
+        let mut bw = BackWindowMinimizer::new(4);
+        bw.push_back(10, 5);
+        bw.push_back(11, 5);
+        bw.push_back(12, 5);
+        assert_eq!(bw.argmin(), Some(10));
+        assert_eq!(bw.len(), 3);
+    }
+}

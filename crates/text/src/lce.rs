@@ -1,0 +1,147 @@
+//! Longest-common-extension index: suffix array + LCP + RMQ.
+//!
+//! Supports `O(1)`-ish LCE queries between arbitrary suffixes of a text and
+//! lexicographic comparison of arbitrary fragments — the workhorse of the
+//! property suffix array construction (sorting truncated suffixes) and of the
+//! heavy-string LCP computations used when reversing the minimizer extended
+//! solid factor tree (Theorem 12 of the paper).
+
+use crate::lcp::lcp_array;
+use crate::rmq::Rmq;
+use crate::sa::{inverse_suffix_array, suffix_array};
+use std::cmp::Ordering;
+
+/// Longest-common-extension index over one text.
+#[derive(Debug, Clone)]
+pub struct LceIndex {
+    text_len: usize,
+    sa: Vec<u32>,
+    rank: Vec<u32>,
+    rmq: Rmq,
+}
+
+impl LceIndex {
+    /// Builds the index (suffix array, LCP array and RMQ) over `text`.
+    pub fn new(text: &[u8]) -> Self {
+        let sa = suffix_array(text);
+        let rank = inverse_suffix_array(&sa);
+        let lcp = lcp_array(text, &sa);
+        let rmq = Rmq::new(lcp);
+        Self { text_len: text.len(), sa, rank, rmq }
+    }
+
+    /// Length of the indexed text.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.text_len
+    }
+
+    /// `true` iff the indexed text is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.text_len == 0
+    }
+
+    /// The suffix array of the indexed text.
+    #[inline]
+    pub fn sa(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// The rank (inverse suffix array) of the indexed text.
+    #[inline]
+    pub fn rank(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// Length of the longest common prefix of the suffixes starting at `i`
+    /// and `j`.
+    pub fn lce(&self, i: usize, j: usize) -> usize {
+        if i == j {
+            return self.text_len - i;
+        }
+        if i >= self.text_len || j >= self.text_len {
+            return 0;
+        }
+        let (mut a, mut b) = (self.rank[i] as usize, self.rank[j] as usize);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        self.rmq.min(a + 1, b + 1) as usize
+    }
+
+    /// Lexicographically compares the fragments `[i, i+len_i)` and
+    /// `[j, j+len_j)` of the text (clamped to the text end), treating a
+    /// proper prefix as smaller.
+    pub fn compare_fragments(&self, i: usize, len_i: usize, j: usize, len_j: usize) -> Ordering {
+        let len_i = len_i.min(self.text_len.saturating_sub(i));
+        let len_j = len_j.min(self.text_len.saturating_sub(j));
+        let common = self.lce(i, j).min(len_i).min(len_j);
+        if common == len_i || common == len_j {
+            return len_i.cmp(&len_j);
+        }
+        // The suffixes differ at offset `common` (< both lengths); their
+        // suffix-array ranks give the order.
+        self.rank[i + common].cmp(&self.rank[j + common])
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.sa.capacity() * 4 + self.rank.capacity() * 4 + self.rmq.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcp::lcp_of;
+
+    #[test]
+    fn lce_matches_direct() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let text: Vec<u8> = (0..400).map(|_| rng.gen_range(0..3u8)).collect();
+        let lce = LceIndex::new(&text);
+        for _ in 0..3000 {
+            let i = rng.gen_range(0..text.len());
+            let j = rng.gen_range(0..text.len());
+            assert_eq!(lce.lce(i, j), lcp_of(&text[i..], &text[j..]), "i={i} j={j}");
+        }
+        assert_eq!(lce.lce(5, 5), text.len() - 5);
+        assert_eq!(lce.lce(0, text.len()), 0);
+    }
+
+    #[test]
+    fn compare_fragments_matches_slice_cmp() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let text: Vec<u8> = (0..200).map(|_| rng.gen_range(0..2u8)).collect();
+        let lce = LceIndex::new(&text);
+        for _ in 0..5000 {
+            let i = rng.gen_range(0..text.len());
+            let j = rng.gen_range(0..text.len());
+            let li = rng.gen_range(0..40usize);
+            let lj = rng.gen_range(0..40usize);
+            let a = &text[i..(i + li).min(text.len())];
+            let b = &text[j..(j + lj).min(text.len())];
+            assert_eq!(lce.compare_fragments(i, li, j, lj), a.cmp(b), "i={i} li={li} j={j} lj={lj}");
+        }
+    }
+
+    #[test]
+    fn empty_text() {
+        let lce = LceIndex::new(b"");
+        assert!(lce.is_empty());
+        assert_eq!(lce.lce(0, 0), 0);
+    }
+
+    #[test]
+    fn repetitive_text_lce() {
+        let text = vec![1u8; 100];
+        let lce = LceIndex::new(&text);
+        assert_eq!(lce.lce(0, 50), 50);
+        assert_eq!(lce.lce(10, 90), 10);
+        assert_eq!(lce.compare_fragments(0, 10, 50, 10), Ordering::Equal);
+        assert_eq!(lce.compare_fragments(0, 9, 50, 10), Ordering::Less);
+    }
+}

@@ -1,0 +1,84 @@
+//! Longest-common-prefix arrays (Kasai's algorithm).
+
+/// Computes the LCP array of `text` given its suffix array: `lcp[r]` is the
+/// length of the longest common prefix of the suffixes `sa[r-1]` and `sa[r]`
+/// (`lcp[0] = 0`).
+///
+/// Kasai's algorithm, `O(n)` time.
+pub fn lcp_array(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    assert_eq!(sa.len(), n, "suffix array length mismatch");
+    let mut lcp = vec![0u32; n];
+    if n == 0 {
+        return lcp;
+    }
+    let mut rank = vec![0u32; n];
+    for (r, &s) in sa.iter().enumerate() {
+        rank[s as usize] = r as u32;
+    }
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r == 0 {
+            h = 0;
+            continue;
+        }
+        let j = sa[r - 1] as usize;
+        while i + h < n && j + h < n && text[i + h] == text[j + h] {
+            h += 1;
+        }
+        lcp[r] = h as u32;
+        h = h.saturating_sub(1);
+    }
+    lcp
+}
+
+/// Longest common prefix of two byte slices, by direct comparison (used in
+/// tests and as a fallback).
+pub fn lcp_of(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::suffix_array;
+
+    #[test]
+    fn banana_lcp() {
+        let text = b"banana";
+        let sa = suffix_array(text);
+        let lcp = lcp_array(text, &sa);
+        // SA: a, ana, anana, banana, na, nana → LCP: 0, 1, 3, 0, 0, 2.
+        assert_eq!(lcp, vec![0, 1, 3, 0, 0, 2]);
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(lcp_array(b"", &[]).is_empty());
+    }
+
+    #[test]
+    fn matches_direct_comparison() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [1usize, 2, 10, 100, 400] {
+            let text: Vec<u8> = (0..len).map(|_| rng.gen_range(0..3u8)).collect();
+            let sa = suffix_array(&text);
+            let lcp = lcp_array(&text, &sa);
+            for r in 1..len {
+                let a = sa[r - 1] as usize;
+                let b = sa[r] as usize;
+                assert_eq!(lcp[r] as usize, lcp_of(&text[a..], &text[b..]), "r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn lcp_of_basics() {
+        assert_eq!(lcp_of(b"abcd", b"abxd"), 2);
+        assert_eq!(lcp_of(b"", b"abc"), 0);
+        assert_eq!(lcp_of(b"abc", b"abc"), 3);
+        assert_eq!(lcp_of(b"abc", b"abcd"), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Range-minimum queries.
+//!
+//! Block-decomposed sparse table: the input is split into blocks of 32
+//! entries; block minima are indexed by a standard sparse table
+//! (`O((n/32)·log(n/32))` words), and in-block queries scan at most 64
+//! entries. Queries run in `O(1)`-ish time with ~1/8 of the memory of a plain
+//! sparse table — important because the LCE structures of the weighted
+//! indexes are built over texts of length `n·z`.
+
+/// Block size of the decomposition.
+const BLOCK: usize = 32;
+
+/// A range-minimum-query structure over a `u32` array (by value).
+#[derive(Debug, Clone)]
+pub struct Rmq {
+    values: Vec<u32>,
+    /// Sparse table over block minima: `table[level][block]`.
+    table: Vec<Vec<u32>>,
+}
+
+impl Rmq {
+    /// Builds the structure over `values` (the values are copied).
+    pub fn new(values: Vec<u32>) -> Self {
+        let nblocks = values.len().div_ceil(BLOCK);
+        let mut level0 = Vec::with_capacity(nblocks);
+        for b in 0..nblocks {
+            let start = b * BLOCK;
+            let end = (start + BLOCK).min(values.len());
+            level0.push(values[start..end].iter().copied().min().unwrap_or(u32::MAX));
+        }
+        let mut table = vec![level0];
+        let mut width = 1usize;
+        while width * 2 <= nblocks {
+            let prev = table.last().expect("at least one level");
+            let mut next = Vec::with_capacity(nblocks - width * 2 + 1);
+            for b in 0..=nblocks - width * 2 {
+                next.push(prev[b].min(prev[b + width]));
+            }
+            table.push(next);
+            width *= 2;
+        }
+        Self { values, table }
+    }
+
+    /// Number of stored values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff the structure is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Minimum over the half-open range `[from, to)`.
+    ///
+    /// Returns `u32::MAX` when the range is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to > len()`.
+    pub fn min(&self, from: usize, to: usize) -> u32 {
+        assert!(to <= self.values.len(), "range end out of bounds");
+        if from >= to {
+            return u32::MAX;
+        }
+        let first_block = from / BLOCK;
+        let last_block = (to - 1) / BLOCK;
+        if first_block == last_block {
+            return self.values[from..to].iter().copied().min().expect("non-empty");
+        }
+        let left_end = (first_block + 1) * BLOCK;
+        let right_start = last_block * BLOCK;
+        let mut best = self.values[from..left_end].iter().copied().min().expect("non-empty");
+        best = best.min(self.values[right_start..to].iter().copied().min().expect("non-empty"));
+        // Full blocks strictly between.
+        let lo = first_block + 1;
+        let hi = last_block; // exclusive
+        if lo < hi {
+            let span = hi - lo;
+            let level = usize::BITS as usize - 1 - span.leading_zeros() as usize;
+            let width = 1usize << level;
+            best = best.min(self.table[level][lo]);
+            best = best.min(self.table[level][hi - width]);
+        }
+        best
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let table: usize = self.table.iter().map(|l| l.capacity() * 4).sum();
+        self.values.capacity() * 4 + table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(values: &[u32], from: usize, to: usize) -> u32 {
+        values[from..to].iter().copied().min().unwrap_or(u32::MAX)
+    }
+
+    #[test]
+    fn small_exhaustive() {
+        let values: Vec<u32> = vec![5, 2, 8, 1, 9, 9, 3, 0, 4, 7, 2, 2];
+        let rmq = Rmq::new(values.clone());
+        for from in 0..=values.len() {
+            for to in from..=values.len() {
+                assert_eq!(rmq.min(from, to), brute(&values, from, to), "[{from}, {to})");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_randomised() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(44);
+        let values: Vec<u32> = (0..5000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let rmq = Rmq::new(values.clone());
+        for _ in 0..2000 {
+            let from = rng.gen_range(0..values.len());
+            let to = rng.gen_range(from..=values.len());
+            assert_eq!(rmq.min(from, to), brute(&values, from, to));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let rmq = Rmq::new(vec![]);
+        assert!(rmq.is_empty());
+        assert_eq!(rmq.min(0, 0), u32::MAX);
+        let rmq = Rmq::new(vec![7]);
+        assert_eq!(rmq.min(0, 1), 7);
+        assert_eq!(rmq.min(1, 1), u32::MAX);
+    }
+
+    #[test]
+    fn exact_block_boundaries() {
+        let values: Vec<u32> = (0..(BLOCK as u32 * 4)).map(|i| (i * 37) % 101).collect();
+        let rmq = Rmq::new(values.clone());
+        assert_eq!(rmq.min(0, BLOCK), brute(&values, 0, BLOCK));
+        assert_eq!(rmq.min(BLOCK, 2 * BLOCK), brute(&values, BLOCK, 2 * BLOCK));
+        assert_eq!(rmq.min(0, 4 * BLOCK), brute(&values, 0, 4 * BLOCK));
+        assert_eq!(rmq.min(1, 4 * BLOCK - 1), brute(&values, 1, 4 * BLOCK - 1));
+        assert_eq!(rmq.min(BLOCK - 1, 3 * BLOCK + 1), brute(&values, BLOCK - 1, 3 * BLOCK + 1));
+    }
+
+    #[test]
+    fn memory_is_reported() {
+        let rmq = Rmq::new((0..10_000u32).collect());
+        assert!(rmq.memory_bytes() >= 40_000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Suffix array construction.
+//!
+//! The main construction is prefix doubling with radix sort: `O(n log n)`
+//! time, `O(n)` additional space, no recursion, and straightforward to audit.
+//! A naive `O(n² log n)` construction is provided for differential testing.
+//!
+//! Suffixes are compared as if the text were followed by a unique sentinel
+//! smaller than every letter (the usual `$` convention), i.e. a proper prefix
+//! sorts before any string it prefixes.
+
+/// Builds the suffix array of `text`: `sa[r]` is the starting position of the
+/// `r`-th smallest suffix.
+///
+/// Runs in `O(n log n)` time using prefix doubling with counting sort.
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+
+    // Initial ranks: the letters themselves (+1 so that 0 is free for "past
+    // the end", which must sort first).
+    let mut rank: Vec<u32> = text.iter().map(|&c| c as u32 + 1).collect();
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut tmp_rank: Vec<u32> = vec![0; n];
+    let mut buckets: Vec<u32> = Vec::new();
+    let mut sorted_by_second: Vec<u32> = vec![0; n];
+
+    let mut h = 1usize;
+    loop {
+        // Radix sort by (rank[i], rank[i + h]) — least significant digit
+        // (the second component) first, then the first component, both with
+        // counting sort for stability.
+        let key2 = |i: u32| -> u32 {
+            let j = i as usize + h;
+            if j < n {
+                rank[j]
+            } else {
+                0
+            }
+        };
+
+        // Counting sort by second component. Keys are ranks, which start as
+        // letter values (+1) and later become at most n; size the buckets for
+        // both regimes.
+        let max_key = (n as u32 + 1).max(257);
+        buckets.clear();
+        buckets.resize(max_key as usize + 1, 0);
+        for i in 0..n as u32 {
+            buckets[key2(i) as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for b in buckets.iter_mut() {
+            let c = *b;
+            *b = sum;
+            sum += c;
+        }
+        for i in 0..n as u32 {
+            let k = key2(i) as usize;
+            sorted_by_second[buckets[k] as usize] = i;
+            buckets[k] += 1;
+        }
+
+        // Counting sort by first component (stable).
+        buckets.clear();
+        buckets.resize(max_key as usize + 1, 0);
+        for &i in sorted_by_second.iter() {
+            buckets[rank[i as usize] as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for b in buckets.iter_mut() {
+            let c = *b;
+            *b = sum;
+            sum += c;
+        }
+        for &i in sorted_by_second.iter() {
+            let k = rank[i as usize] as usize;
+            sa[buckets[k] as usize] = i;
+            buckets[k] += 1;
+        }
+
+        // Re-rank.
+        let mut r = 1u32;
+        tmp_rank[sa[0] as usize] = 1;
+        for w in 1..n {
+            let a = sa[w - 1] as usize;
+            let b = sa[w] as usize;
+            let ka = (rank[a], if a + h < n { rank[a + h] } else { 0 });
+            let kb = (rank[b], if b + h < n { rank[b + h] } else { 0 });
+            if ka != kb {
+                r += 1;
+            }
+            tmp_rank[b] = r;
+        }
+        std::mem::swap(&mut rank, &mut tmp_rank);
+        if r as usize == n {
+            break;
+        }
+        h *= 2;
+        if h >= n {
+            // All ranks must already be distinct once h ≥ n; one more pass
+            // would be a no-op, but guard against pathological inputs.
+            break;
+        }
+    }
+    sa
+}
+
+/// The inverse suffix array (`rank`): `rank[i]` is the position of suffix `i`
+/// in the suffix array.
+pub fn inverse_suffix_array(sa: &[u32]) -> Vec<u32> {
+    let mut rank = vec![0u32; sa.len()];
+    for (r, &s) in sa.iter().enumerate() {
+        rank[s as usize] = r as u32;
+    }
+    rank
+}
+
+/// Naive `O(n² log n)` suffix array, for differential testing only.
+pub fn suffix_array_naive(text: &[u8]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_tiny() {
+        assert!(suffix_array(b"").is_empty());
+        assert_eq!(suffix_array(b"a"), vec![0]);
+        assert_eq!(suffix_array(b"ba"), vec![1, 0]);
+        assert_eq!(suffix_array(b"ab"), vec![0, 1]);
+        assert_eq!(suffix_array(b"aa"), vec![1, 0]);
+    }
+
+    #[test]
+    fn banana() {
+        // Classic example: suffixes of "banana" sorted: a, ana, anana, banana, na, nana.
+        assert_eq!(suffix_array(b"banana"), vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn paper_figure2_text() {
+        // Fig. 2 of the paper: suffix tree of CAGAGA$; the suffix array of
+        // "CAGAGA" (without sentinel, ranks) sorted: A(5), AGA(3), AGAGA(1),
+        // CAGAGA(0), GA(4), GAGA(2).
+        assert_eq!(suffix_array(b"CAGAGA"), vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_texts() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        for sigma in [1u8, 2, 4, 8, 91] {
+            for len in [2usize, 3, 7, 50, 257, 1000] {
+                let text: Vec<u8> = (0..len).map(|_| rng.gen_range(0..sigma)).collect();
+                assert_eq!(
+                    suffix_array(&text),
+                    suffix_array_naive(&text),
+                    "sigma={sigma} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repetitive_text() {
+        let text = vec![0u8; 500];
+        let sa = suffix_array(&text);
+        // All-equal letters: suffixes sort by decreasing length ⇒ sa = n-1, n-2, …, 0.
+        let expected: Vec<u32> = (0..500u32).rev().collect();
+        assert_eq!(sa, expected);
+    }
+
+    #[test]
+    fn inverse_is_a_permutation_inverse() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let text: Vec<u8> = (0..300).map(|_| rng.gen_range(0..4u8)).collect();
+        let sa = suffix_array(&text);
+        let rank = inverse_suffix_array(&sa);
+        for (r, &s) in sa.iter().enumerate() {
+            assert_eq!(rank[s as usize] as usize, r);
+        }
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let text: Vec<u8> = (0..777).map(|_| rng.gen_range(0..3u8)).collect();
+        let mut sa = suffix_array(&text);
+        sa.sort_unstable();
+        assert_eq!(sa, (0..777u32).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,140 @@
+//! Pattern search over suffix arrays.
+
+use crate::sa::suffix_array;
+
+/// A plain suffix-array index over one text, answering pattern-matching
+/// queries by binary search in `O(m log n)` time.
+///
+/// Used directly by the classic (non-weighted) baselines and the examples; the
+/// weighted indexes use richer structures but share the same search shape.
+#[derive(Debug, Clone)]
+pub struct SuffixArraySearcher {
+    text: Vec<u8>,
+    sa: Vec<u32>,
+}
+
+impl SuffixArraySearcher {
+    /// Builds the index, taking ownership of the text.
+    pub fn new(text: Vec<u8>) -> Self {
+        let sa = suffix_array(&text);
+        Self { text, sa }
+    }
+
+    /// The indexed text.
+    #[inline]
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The suffix array.
+    #[inline]
+    pub fn sa(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// The half-open suffix-array interval of suffixes having `pattern` as a
+    /// prefix.
+    pub fn equal_range(&self, pattern: &[u8]) -> (usize, usize) {
+        let lo = self.partition_point(|suffix| suffix < pattern);
+        let hi = self.partition_point(|suffix| {
+            let prefix_len = suffix.len().min(pattern.len());
+            &suffix[..prefix_len] <= pattern
+        });
+        (lo, hi)
+    }
+
+    /// All starting positions of `pattern` in the text, in increasing order.
+    pub fn find_all(&self, pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() {
+            return (0..self.text.len()).collect();
+        }
+        let (lo, hi) = self.equal_range(pattern);
+        let mut positions: Vec<usize> = self.sa[lo..hi].iter().map(|&s| s as usize).collect();
+        positions.sort_unstable();
+        positions
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        if pattern.is_empty() {
+            return self.text.len();
+        }
+        let (lo, hi) = self.equal_range(pattern);
+        hi - lo
+    }
+
+    /// First index in the suffix array for which `pred(suffix)` is false
+    /// (the suffix array must be "partitioned" by `pred`, which holds for the
+    /// monotone predicates used above).
+    fn partition_point<F: Fn(&[u8]) -> bool>(&self, pred: F) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.sa.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let suffix = &self.text[self.sa[mid] as usize..];
+            if pred(suffix) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.text.capacity() + self.sa.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_find(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .collect()
+    }
+
+    #[test]
+    fn banana_queries() {
+        let idx = SuffixArraySearcher::new(b"banana".to_vec());
+        assert_eq!(idx.find_all(b"ana"), vec![1, 3]);
+        assert_eq!(idx.find_all(b"na"), vec![2, 4]);
+        assert_eq!(idx.find_all(b"banana"), vec![0]);
+        assert_eq!(idx.find_all(b"bananaa"), Vec::<usize>::new());
+        assert_eq!(idx.find_all(b"x"), Vec::<usize>::new());
+        assert_eq!(idx.count(b"a"), 3);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let text: Vec<u8> = (0..300).map(|_| rng.gen_range(0..3u8)).collect();
+            let idx = SuffixArraySearcher::new(text.clone());
+            for _ in 0..50 {
+                let len = rng.gen_range(1..8usize);
+                let start = rng.gen_range(0..text.len() - len);
+                let pattern: Vec<u8> = if rng.gen_bool(0.7) {
+                    text[start..start + len].to_vec()
+                } else {
+                    (0..len).map(|_| rng.gen_range(0..3u8)).collect()
+                };
+                assert_eq!(idx.find_all(&pattern), naive_find(&text, &pattern));
+                assert_eq!(idx.count(&pattern), naive_find(&text, &pattern).len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere() {
+        let idx = SuffixArraySearcher::new(b"abc".to_vec());
+        assert_eq!(idx.find_all(b""), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Suffix trees for standard strings.
+//!
+//! Built from the suffix array + LCP array (rather than Ukkonen/Weiner
+//! online construction); the result is the classic compacted trie of all
+//! suffixes (Fig. 2 of the paper) and supports `O(m + occ)`-style pattern
+//! queries. It also demonstrates how [`crate::trie::CompactedTrie`] is meant
+//! to be driven — the weighted indexes use the same machinery with richer
+//! label providers.
+
+use crate::lcp::lcp_array;
+use crate::sa::suffix_array;
+use crate::trie::{CompactedTrie, LabelProvider, SliceLabels};
+
+/// A suffix tree over one text.
+#[derive(Debug, Clone)]
+pub struct SuffixTree {
+    text: Vec<u8>,
+    /// Suffix start position per sorted leaf.
+    leaf_to_suffix: Vec<u32>,
+    trie: CompactedTrie,
+}
+
+impl SuffixTree {
+    /// Builds the suffix tree of `text`.
+    pub fn new(text: Vec<u8>) -> Self {
+        let sa = suffix_array(&text);
+        let lcp = lcp_array(&text, &sa);
+        let n = text.len();
+        let fragments: Vec<(u32, u32)> =
+            sa.iter().map(|&s| (s, (n as u32) - s)).collect();
+        let lengths: Vec<usize> = fragments.iter().map(|&(_, l)| l as usize).collect();
+        let lcps: Vec<usize> = lcp.iter().map(|&v| v as usize).collect();
+        let labels = SliceLabels::new(&text, fragments);
+        let trie = CompactedTrie::build(&lengths, &lcps, &labels);
+        Self { text, leaf_to_suffix: sa, trie }
+    }
+
+    /// The indexed text.
+    #[inline]
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Number of nodes of the tree.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.trie.num_nodes()
+    }
+
+    /// The underlying compacted trie.
+    #[inline]
+    pub fn trie(&self) -> &CompactedTrie {
+        &self.trie
+    }
+
+    /// All starting positions of `pattern` in the text, in increasing order.
+    pub fn find_all(&self, pattern: &[u8]) -> Vec<usize> {
+        let labels = self.labels();
+        match self.trie.descend(pattern, &labels) {
+            Some(descent) => {
+                let (lo, hi) = descent.leaves;
+                let mut positions: Vec<usize> = (lo..hi)
+                    .map(|leaf| self.leaf_to_suffix[leaf as usize] as usize)
+                    .filter(|&s| s + pattern.len() <= self.text.len())
+                    .collect();
+                positions.sort_unstable();
+                positions
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.find_all(pattern).len()
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.text.capacity()
+            + self.leaf_to_suffix.capacity() * 4
+            + self.trie.memory_bytes()
+    }
+
+    fn labels(&self) -> SliceLabels<'_> {
+        let n = self.text.len() as u32;
+        let fragments: Vec<(u32, u32)> =
+            self.leaf_to_suffix.iter().map(|&s| (s, n - s)).collect();
+        SliceLabels::new(&self.text, fragments)
+    }
+}
+
+/// A [`LabelProvider`] adapter exposing suffixes of a borrowed text; public
+/// so downstream crates can reuse it when they keep their own suffix lists.
+#[derive(Debug, Clone)]
+pub struct SuffixLabels<'a> {
+    text: &'a [u8],
+    starts: &'a [u32],
+}
+
+impl<'a> SuffixLabels<'a> {
+    /// Creates the provider; `starts[leaf]` is the text position where the
+    /// `leaf`-th (sorted) suffix begins.
+    pub fn new(text: &'a [u8], starts: &'a [u32]) -> Self {
+        Self { text, starts }
+    }
+}
+
+impl LabelProvider for SuffixLabels<'_> {
+    #[inline]
+    fn letter(&self, leaf: usize, depth: usize) -> Option<u8> {
+        self.text.get(self.starts[leaf] as usize + depth).copied()
+    }
+
+    #[inline]
+    fn len(&self, leaf: usize) -> usize {
+        self.text.len() - self.starts[leaf] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_find(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .collect()
+    }
+
+    #[test]
+    fn figure2_example() {
+        // Fig. 2 of the paper: suffix tree of CAGAGA$. We index CAGAGA
+        // without the sentinel; the suffix count and query results match.
+        let st = SuffixTree::new(b"CAGAGA".to_vec());
+        assert_eq!(st.find_all(b"GA"), vec![2, 4]);
+        assert_eq!(st.find_all(b"AGA"), vec![1, 3]);
+        assert_eq!(st.find_all(b"CAGAGA"), vec![0]);
+        assert_eq!(st.find_all(b"GAGAGA"), Vec::<usize>::new());
+        // A suffix tree over n letters has at most 2n nodes (plus root).
+        assert!(st.num_nodes() <= 2 * 6 + 1);
+    }
+
+    #[test]
+    fn matches_naive_search() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let text: Vec<u8> = (0..250).map(|_| rng.gen_range(0..4u8)).collect();
+            let st = SuffixTree::new(text.clone());
+            for _ in 0..40 {
+                let len = rng.gen_range(1..9usize);
+                let pattern: Vec<u8> = if rng.gen_bool(0.7) {
+                    let start = rng.gen_range(0..text.len() - len);
+                    text[start..start + len].to_vec()
+                } else {
+                    (0..len).map(|_| rng.gen_range(0..4u8)).collect()
+                };
+                assert_eq!(st.find_all(&pattern), naive_find(&text, &pattern));
+            }
+        }
+    }
+
+    #[test]
+    fn single_letter_text() {
+        let st = SuffixTree::new(vec![3u8]);
+        assert_eq!(st.find_all(&[3]), vec![0]);
+        assert!(st.find_all(&[2]).is_empty());
+        assert_eq!(st.count(&[3]), 1);
+    }
+
+    #[test]
+    fn memory_is_linear_ish() {
+        let st_small = SuffixTree::new(vec![0u8; 100]);
+        let st_large = SuffixTree::new(vec![0u8; 1000]);
+        assert!(st_large.memory_bytes() > st_small.memory_bytes());
+        assert!(st_large.memory_bytes() < 200 * 1000);
+    }
+}

@@ -1,0 +1,494 @@
+//! Compacted tries over implicitly labelled string sets.
+//!
+//! A [`CompactedTrie`] is the compacted trie (Patricia trie) of a
+//! lexicographically sorted collection of strings. Crucially, the trie does
+//! **not** store its edge labels: all label accesses go through a
+//! [`LabelProvider`], so the very same structure serves
+//!
+//! * the classic weighted suffix tree, whose labels are fragments of the
+//!   concatenated z-estimation (provided by [`SliceLabels`]), and
+//! * the minimizer solid factor trees of the paper, whose labels are
+//!   reconstructed from the heavy string plus at most `log₂ z` stored
+//!   mismatches per factor (Corollary 4) — the `O(log z)`-bits-per-edge
+//!   encoding that makes the index small.
+//!
+//! Construction takes the sorted strings' lengths and the LCP values of
+//! neighbouring strings; it is the standard stack-based suffix-array-to-tree
+//! algorithm and runs in linear time in the number of strings.
+
+/// Access to the letters of the sorted strings underlying a trie.
+pub trait LabelProvider {
+    /// The letter at depth `depth` (0-based from the string start) of the
+    /// `leaf`-th string in sorted order, or `None` past its end.
+    fn letter(&self, leaf: usize, depth: usize) -> Option<u8>;
+
+    /// Length of the `leaf`-th string.
+    fn len(&self, leaf: usize) -> usize;
+}
+
+/// A [`LabelProvider`] for strings that are fragments of one backing text.
+#[derive(Debug, Clone)]
+pub struct SliceLabels<'a> {
+    text: &'a [u8],
+    /// `(start, length)` of each sorted string within `text`.
+    fragments: Vec<(u32, u32)>,
+}
+
+impl<'a> SliceLabels<'a> {
+    /// Creates a provider for the given fragments (already in sorted string
+    /// order).
+    pub fn new(text: &'a [u8], fragments: Vec<(u32, u32)>) -> Self {
+        Self { text, fragments }
+    }
+
+    /// The fragments backing each sorted string.
+    pub fn fragments(&self) -> &[(u32, u32)] {
+        &self.fragments
+    }
+}
+
+impl LabelProvider for SliceLabels<'_> {
+    #[inline]
+    fn letter(&self, leaf: usize, depth: usize) -> Option<u8> {
+        let (start, len) = self.fragments[leaf];
+        if depth < len as usize {
+            Some(self.text[start as usize + depth])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn len(&self, leaf: usize) -> usize {
+        self.fragments[leaf].1 as usize
+    }
+}
+
+/// Sentinel "first letter" for zero-length edges (duplicate strings).
+const NO_LETTER: u8 = u8::MAX;
+
+/// One node of a compacted trie.
+#[derive(Debug, Clone)]
+struct Node {
+    /// String depth: number of letters on the root-to-node path.
+    depth: u32,
+    /// Half-open range of sorted leaf indices below this node.
+    leaf_lo: u32,
+    leaf_hi: u32,
+    /// Start of this node's children in the flattened child table.
+    children_start: u32,
+    /// Number of children.
+    children_len: u16,
+    /// `true` if the node is a leaf (corresponds to exactly one sorted string).
+    is_leaf: bool,
+}
+
+/// The result of descending a pattern in a trie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descent {
+    /// The node at or below which every matching leaf lives.
+    pub node: u32,
+    /// Half-open range of sorted leaf indices whose strings have the pattern
+    /// as a prefix.
+    pub leaves: (u32, u32),
+}
+
+/// A compacted trie over a sorted string collection with external labels.
+#[derive(Debug, Clone)]
+pub struct CompactedTrie {
+    nodes: Vec<Node>,
+    /// Flattened `(first letter, child node)` table, grouped per node.
+    children: Vec<(u8, u32)>,
+    root: u32,
+    num_leaves: usize,
+}
+
+impl CompactedTrie {
+    /// Builds the compacted trie of `num_leaves` sorted strings.
+    ///
+    /// * `lengths[i]` — length of the `i`-th string;
+    /// * `lcps[i]` — LCP of strings `i-1` and `i` (`lcps[0]` is ignored);
+    /// * `labels` — label access used to record the first letter of each edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs have inconsistent lengths or LCP values exceed
+    /// the string lengths.
+    pub fn build<L: LabelProvider>(lengths: &[usize], lcps: &[usize], labels: &L) -> Self {
+        let num_leaves = lengths.len();
+        assert_eq!(lcps.len(), num_leaves, "lcps must have one entry per string");
+        let mut trie = CompactedTrie {
+            nodes: Vec::with_capacity(2 * num_leaves.max(1)),
+            children: Vec::with_capacity(2 * num_leaves.max(1)),
+            root: 0,
+            num_leaves,
+        };
+        // Temporary children lists; flattened at the end.
+        let mut temp_children: Vec<Vec<u32>> = Vec::with_capacity(2 * num_leaves.max(1));
+        let new_node = |nodes: &mut Vec<Node>,
+                            temp_children: &mut Vec<Vec<u32>>,
+                            depth: u32,
+                            leaf_lo: u32,
+                            is_leaf: bool|
+         -> u32 {
+            let id = nodes.len() as u32;
+            nodes.push(Node {
+                depth,
+                leaf_lo,
+                leaf_hi: leaf_lo,
+                children_start: 0,
+                children_len: 0,
+                is_leaf,
+            });
+            temp_children.push(Vec::new());
+            id
+        };
+
+        let root = new_node(&mut trie.nodes, &mut temp_children, 0, 0, false);
+        trie.root = root;
+        // Stack of the rightmost path: node ids with strictly increasing depth.
+        let mut stack: Vec<u32> = vec![root];
+
+        for i in 0..num_leaves {
+            let len = lengths[i];
+            let lcp = if i == 0 { 0 } else { lcps[i] };
+            if i > 0 {
+                assert!(
+                    lcp <= len && lcp <= lengths[i - 1],
+                    "lcp[{i}] = {lcp} exceeds a neighbouring string length"
+                );
+            }
+            // Pop nodes deeper than the LCP.
+            let mut last_popped: Option<u32> = None;
+            while trie.nodes[*stack.last().expect("stack never empty") as usize].depth > lcp as u32
+            {
+                last_popped = stack.pop();
+            }
+            let top = *stack.last().expect("stack never empty");
+            let branch = if trie.nodes[top as usize].depth == lcp as u32 {
+                top
+            } else {
+                // Split: create an internal node at depth `lcp` between `top`
+                // and `last_popped`.
+                let popped = last_popped.expect("a node deeper than lcp was popped");
+                let popped_leaf_lo = trie.nodes[popped as usize].leaf_lo;
+                let split = new_node(
+                    &mut trie.nodes,
+                    &mut temp_children,
+                    lcp as u32,
+                    popped_leaf_lo,
+                    false,
+                );
+                // Replace `popped` with `split` among `top`'s children.
+                let top_children = &mut temp_children[top as usize];
+                let slot = top_children
+                    .iter()
+                    .position(|&c| c == popped)
+                    .expect("popped node must be a child of the stack top");
+                top_children[slot] = split;
+                temp_children[split as usize].push(popped);
+                stack.push(split);
+                split
+            };
+            // Attach the new leaf.
+            let leaf = new_node(&mut trie.nodes, &mut temp_children, len as u32, i as u32, true);
+            trie.nodes[leaf as usize].leaf_hi = i as u32 + 1;
+            temp_children[branch as usize].push(leaf);
+            if len as u32 > trie.nodes[branch as usize].depth {
+                stack.push(leaf);
+            }
+        }
+
+        // Propagate leaf ranges bottom-up (nodes are created before their
+        // descendants except for split nodes, so do an explicit traversal).
+        trie.finish(&mut temp_children, labels);
+        trie
+    }
+
+    /// Flattens children, fills leaf ranges and records edge first letters.
+    fn finish<L: LabelProvider>(&mut self, temp_children: &mut [Vec<u32>], labels: &L) {
+        // Iterative post-order to compute leaf ranges.
+        let mut order: Vec<u32> = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<u32> = vec![self.root];
+        while let Some(node) = stack.pop() {
+            order.push(node);
+            for &c in &temp_children[node as usize] {
+                stack.push(c);
+            }
+        }
+        for &node in order.iter().rev() {
+            if !temp_children[node as usize].is_empty() {
+                let lo = temp_children[node as usize]
+                    .iter()
+                    .map(|&c| self.nodes[c as usize].leaf_lo)
+                    .min()
+                    .expect("non-empty");
+                let hi = temp_children[node as usize]
+                    .iter()
+                    .map(|&c| self.nodes[c as usize].leaf_hi)
+                    .max()
+                    .expect("non-empty");
+                let n = &mut self.nodes[node as usize];
+                n.leaf_lo = n.leaf_lo.min(lo);
+                n.leaf_hi = n.leaf_hi.max(hi);
+            }
+        }
+        // Flatten children, sorted by first letter (they are produced in
+        // lexicographic order already, but zero-length duplicate edges keep
+        // this robust).
+        for node in 0..self.nodes.len() {
+            let depth = self.nodes[node].depth as usize;
+            let kids = &mut temp_children[node];
+            let start = self.children.len() as u32;
+            for &c in kids.iter() {
+                let child = &self.nodes[c as usize];
+                let first = labels.letter(child.leaf_lo as usize, depth).unwrap_or(NO_LETTER);
+                self.children.push((first, c));
+            }
+            self.nodes[node].children_start = start;
+            self.nodes[node].children_len = kids.len() as u16;
+            kids.clear();
+        }
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Number of strings (leaves may be fewer nodes than strings only if the
+    /// collection was empty).
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Total number of nodes (internal + leaves).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// String depth of a node.
+    #[inline]
+    pub fn depth(&self, node: u32) -> usize {
+        self.nodes[node as usize].depth as usize
+    }
+
+    /// Half-open range of sorted leaf indices under `node`.
+    #[inline]
+    pub fn leaf_range(&self, node: u32) -> (u32, u32) {
+        let n = &self.nodes[node as usize];
+        (n.leaf_lo, n.leaf_hi)
+    }
+
+    /// Children of `node` as `(first edge letter, child id)` pairs.
+    #[inline]
+    pub fn children(&self, node: u32) -> &[(u8, u32)] {
+        let n = &self.nodes[node as usize];
+        let start = n.children_start as usize;
+        &self.children[start..start + n.children_len as usize]
+    }
+
+    /// `true` iff `node` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, node: u32) -> bool {
+        self.nodes[node as usize].is_leaf
+    }
+
+    /// Descends `pattern` from the root, returning the range of leaves whose
+    /// strings have `pattern` as a prefix (or `None` if no string does).
+    ///
+    /// Runs in `O(|pattern| + σ·(tree depth))` label accesses.
+    pub fn descend<L: LabelProvider>(&self, pattern: &[u8], labels: &L) -> Option<Descent> {
+        let mut node = self.root;
+        let mut matched = 0usize;
+        loop {
+            if matched == pattern.len() {
+                let (lo, hi) = self.leaf_range(node);
+                return Some(Descent { node, leaves: (lo, hi) });
+            }
+            // Pick the child whose edge starts with the next pattern letter.
+            let next_letter = pattern[matched];
+            let mut next: Option<u32> = None;
+            for &(first, child) in self.children(node) {
+                if first == next_letter {
+                    next = Some(child);
+                    break;
+                }
+            }
+            let child = next?;
+            // Match along the edge using the labels of the child's first leaf.
+            let child_depth = self.nodes[child as usize].depth as usize;
+            let leaf = self.nodes[child as usize].leaf_lo as usize;
+            while matched < pattern.len() && matched < child_depth {
+                match labels.letter(leaf, matched) {
+                    Some(c) if c == pattern[matched] => matched += 1,
+                    _ => return None,
+                }
+            }
+            node = child;
+        }
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.children.capacity() * std::mem::size_of::<(u8, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcp::lcp_of;
+
+    /// Builds a trie from explicit strings (sorting them first); returns the
+    /// trie, the provider text and sorted strings for reference.
+    fn build_from_strings(strings: &[&[u8]]) -> (CompactedTrie, Vec<u8>, Vec<Vec<u8>>) {
+        let mut sorted: Vec<Vec<u8>> = strings.iter().map(|s| s.to_vec()).collect();
+        sorted.sort();
+        let mut text = Vec::new();
+        let mut fragments = Vec::new();
+        for s in &sorted {
+            fragments.push((text.len() as u32, s.len() as u32));
+            text.extend_from_slice(s);
+        }
+        let lengths: Vec<usize> = sorted.iter().map(|s| s.len()).collect();
+        let mut lcps = vec![0usize; sorted.len()];
+        for i in 1..sorted.len() {
+            lcps[i] = lcp_of(&sorted[i - 1], &sorted[i]);
+        }
+        // SliceLabels borrows text, so rebuild it inside the closure scope.
+        let labels = SliceLabels::new(&text, fragments.clone());
+        let trie = CompactedTrie::build(&lengths, &lcps, &labels);
+        (trie, text, sorted)
+    }
+
+    fn descend_leaves(
+        trie: &CompactedTrie,
+        text: &[u8],
+        sorted: &[Vec<u8>],
+        pattern: &[u8],
+    ) -> Vec<usize> {
+        let mut fragments = Vec::new();
+        let mut offset = 0u32;
+        for s in sorted {
+            fragments.push((offset, s.len() as u32));
+            offset += s.len() as u32;
+        }
+        let labels = SliceLabels::new(text, fragments);
+        match trie.descend(pattern, &labels) {
+            Some(d) => (d.leaves.0..d.leaves.1).map(|x| x as usize).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    #[test]
+    fn single_string() {
+        let (trie, text, sorted) = build_from_strings(&[b"GATTACA"]);
+        assert_eq!(trie.num_leaves(), 1);
+        assert_eq!(descend_leaves(&trie, &text, &sorted, b"GAT"), vec![0]);
+        assert_eq!(descend_leaves(&trie, &text, &sorted, b"GATTACA"), vec![0]);
+        assert!(descend_leaves(&trie, &text, &sorted, b"GATTACAA").is_empty());
+        assert!(descend_leaves(&trie, &text, &sorted, b"T").is_empty());
+    }
+
+    #[test]
+    fn suffixes_of_banana() {
+        let strings: Vec<&[u8]> =
+            vec![b"banana", b"anana", b"nana", b"ana", b"na", b"a"];
+        let (trie, text, sorted) = build_from_strings(&strings);
+        assert_eq!(trie.num_leaves(), 6);
+        // Every leaf string with prefix "an": ana, anana → sorted indices.
+        let hits = descend_leaves(&trie, &text, &sorted, b"an");
+        let expected: Vec<usize> = sorted
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.starts_with(b"an"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits, expected);
+        // "n" matches nana, na.
+        let hits = descend_leaves(&trie, &text, &sorted, b"n");
+        assert_eq!(hits.len(), 2);
+        // Nodes of a compacted trie over k strings: at most 2k.
+        assert!(trie.num_nodes() <= 2 * 6 + 1);
+    }
+
+    #[test]
+    fn duplicates_and_prefix_strings() {
+        let strings: Vec<&[u8]> = vec![b"ab", b"ab", b"abc", b"a", b"b"];
+        let (trie, text, sorted) = build_from_strings(&strings);
+        assert_eq!(trie.num_leaves(), 5);
+        // "ab" is a prefix of ab, ab, abc.
+        assert_eq!(descend_leaves(&trie, &text, &sorted, b"ab").len(), 3);
+        // "a" is a prefix of a, ab, ab, abc.
+        assert_eq!(descend_leaves(&trie, &text, &sorted, b"a").len(), 4);
+        assert_eq!(descend_leaves(&trie, &text, &sorted, b"b").len(), 1);
+        assert_eq!(descend_leaves(&trie, &text, &sorted, b"").len(), 5);
+        assert!(descend_leaves(&trie, &text, &sorted, b"abd").is_empty());
+    }
+
+    #[test]
+    fn randomised_against_bruteforce() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            let count = rng.gen_range(1..40usize);
+            let strings: Vec<Vec<u8>> = (0..count)
+                .map(|_| {
+                    let len = rng.gen_range(1..12usize);
+                    (0..len).map(|_| rng.gen_range(0..3u8)).collect()
+                })
+                .collect();
+            let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+            let (trie, text, sorted) = build_from_strings(&refs);
+            for _ in 0..30 {
+                let len = rng.gen_range(0..6usize);
+                let pattern: Vec<u8> = (0..len).map(|_| rng.gen_range(0..3u8)).collect();
+                let got = descend_leaves(&trie, &text, &sorted, &pattern);
+                let expected: Vec<usize> = sorted
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.starts_with(&pattern[..]))
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(got, expected, "pattern {pattern:?} over {sorted:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collection() {
+        let labels = SliceLabels::new(b"", Vec::new());
+        let trie = CompactedTrie::build(&[], &[], &labels);
+        assert_eq!(trie.num_leaves(), 0);
+        assert_eq!(trie.descend(b"a", &labels), None);
+        assert!(trie.descend(b"", &labels).is_some());
+    }
+
+    #[test]
+    fn leaf_ranges_are_consistent() {
+        let strings: Vec<&[u8]> = vec![b"aa", b"ab", b"abb", b"ba", b"bb", b"bba"];
+        let (trie, _text, _sorted) = build_from_strings(&strings);
+        // Root covers everything.
+        assert_eq!(trie.leaf_range(trie.root()), (0, 6));
+        // Every node's range is contained in its parent's and children
+        // partition (or at least tile) the parent range.
+        for node in 0..trie.num_nodes() as u32 {
+            let (lo, hi) = trie.leaf_range(node);
+            assert!(lo <= hi);
+            let mut covered: u32 = 0;
+            for &(_, child) in trie.children(node) {
+                let (clo, chi) = trie.leaf_range(child);
+                assert!(clo >= lo && chi <= hi);
+                covered += chi - clo;
+            }
+            if !trie.children(node).is_empty() && !trie.is_leaf(node) {
+                assert_eq!(covered, hi - lo, "children must tile node {node}");
+            }
+        }
+    }
+}

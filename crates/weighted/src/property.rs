@@ -1,0 +1,354 @@
+//! Property strings: standard strings equipped with a hereditary property.
+//!
+//! A *property* Π of a string `S` is a hereditary collection of integer
+//! intervals of `[0, n)`. Following the paper we represent Π with an array
+//! `π` such that the longest interval starting at position `i` is
+//! `[i, π[i]]`. Internally we store the *exclusive* end `extent[i] = π[i]+1`,
+//! so `extent[i] == i` means that position `i` is not covered by any interval.
+//!
+//! Property strings are the building blocks of z-estimations: each strand of
+//! a z-estimation is a [`PropertyString`] whose property intervals are exactly
+//! the (occurrences of) solid factors the strand is responsible for.
+
+use crate::error::{Error, Result};
+use crate::string::WeightedString;
+use crate::{is_solid, PROB_EPSILON};
+
+/// A standard string (of letter ranks) together with a property array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PropertyString {
+    seq: Vec<u8>,
+    /// Exclusive end of the longest property interval starting at each
+    /// position; `extent[i] ∈ [i, n]`.
+    extent: Vec<u32>,
+}
+
+impl PropertyString {
+    /// Creates a property string from a rank sequence and exclusive extents.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProperty`] if lengths differ, an extent is out of
+    /// range, or the (inclusive) property array is not non-decreasing.
+    pub fn new(seq: Vec<u8>, extent: Vec<u32>) -> Result<Self> {
+        if seq.len() != extent.len() {
+            return Err(Error::InvalidProperty(format!(
+                "sequence has length {} but extent array has length {}",
+                seq.len(),
+                extent.len()
+            )));
+        }
+        let n = seq.len() as u32;
+        let mut prev = 0u32;
+        for (i, &e) in extent.iter().enumerate() {
+            let i = i as u32;
+            if e < i || e > n {
+                return Err(Error::InvalidProperty(format!(
+                    "extent[{i}] = {e} outside [{i}, {n}]"
+                )));
+            }
+            // A hereditary property is closed under subintervals, hence the
+            // inclusive π array is non-decreasing (π[i-1] ≤ π[i]), which in
+            // terms of exclusive extents is plain monotonicity.
+            if e < prev {
+                return Err(Error::InvalidProperty(format!(
+                    "property array not hereditary/monotone at position {i}: extent {e} < previous {prev}"
+                )));
+            }
+            prev = e;
+        }
+        Ok(Self { seq, extent })
+    }
+
+    /// Creates a property string whose property covers the whole string
+    /// (every interval is allowed). This makes the property string behave
+    /// like an ordinary string.
+    pub fn unrestricted(seq: Vec<u8>) -> Self {
+        let n = seq.len() as u32;
+        let extent = vec![n; seq.len()];
+        Self { seq, extent }
+    }
+
+    /// Length of the underlying string.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// `true` iff the underlying string is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// The underlying rank sequence.
+    #[inline]
+    pub fn seq(&self) -> &[u8] {
+        &self.seq
+    }
+
+    /// The letter rank at `pos`.
+    #[inline]
+    pub fn letter(&self, pos: usize) -> u8 {
+        self.seq[pos]
+    }
+
+    /// Exclusive end of the longest property interval starting at `pos`.
+    #[inline]
+    pub fn extent(&self, pos: usize) -> usize {
+        self.extent[pos] as usize
+    }
+
+    /// Exclusive extents for all positions.
+    #[inline]
+    pub fn extents(&self) -> &[u32] {
+        &self.extent
+    }
+
+    /// Inclusive `π[pos]` as in the paper, or `None` when position `pos` is
+    /// not covered by any property interval (`π[pos] = pos - 1`).
+    #[inline]
+    pub fn pi(&self, pos: usize) -> Option<usize> {
+        let e = self.extent[pos] as usize;
+        if e == pos {
+            None
+        } else {
+            Some(e - 1)
+        }
+    }
+
+    /// Returns `true` iff position `pos` is covered by some property interval.
+    #[inline]
+    pub fn covered(&self, pos: usize) -> bool {
+        (self.extent[pos] as usize) > pos
+    }
+
+    /// The longest property-respecting factor starting at `pos`.
+    #[inline]
+    pub fn factor_at(&self, pos: usize) -> &[u8] {
+        &self.seq[pos..self.extent[pos] as usize]
+    }
+
+    /// Does `pattern` occur at `pos` respecting the property?
+    pub fn occurs_at(&self, pattern: &[u8], pos: usize) -> bool {
+        if pattern.is_empty() {
+            return true;
+        }
+        let end = pos + pattern.len();
+        end <= self.extent[pos] as usize && &self.seq[pos..end] == pattern
+    }
+
+    /// All positions where `pattern` occurs respecting the property
+    /// (`Occ_π(P, S)` in the paper), by a naive scan.
+    pub fn occurrences(&self, pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > self.seq.len() {
+            return Vec::new();
+        }
+        (0..=self.seq.len() - pattern.len())
+            .filter(|&i| self.occurs_at(pattern, i))
+            .collect()
+    }
+
+    /// Total number of positions covered by the property (sum of lengths of
+    /// the maximal intervals starting at each position is *not* what the
+    /// paper reports; this is the count of positions `i` with `π[i] ≥ i`).
+    pub fn covered_positions(&self) -> usize {
+        (0..self.len()).filter(|&i| self.covered(i)).count()
+    }
+
+    /// Verifies the *soundness* of this property string against a weighted
+    /// string: every property-respecting factor must be a z-solid factor of
+    /// `x` at the same position.
+    ///
+    /// Because solidity is hereditary it suffices to check the maximal factor
+    /// at each position.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProperty`] naming the first offending position.
+    pub fn verify_sound(&self, x: &WeightedString, z: f64) -> Result<()> {
+        if self.len() != x.len() {
+            return Err(Error::InvalidProperty(format!(
+                "property string has length {} but X has length {}",
+                self.len(),
+                x.len()
+            )));
+        }
+        for i in 0..self.len() {
+            if !self.covered(i) {
+                continue;
+            }
+            let factor = self.factor_at(i);
+            let p = x.occurrence_probability(i, factor);
+            if !is_solid(p, z) {
+                return Err(Error::InvalidProperty(format!(
+                    "factor of length {} at position {i} has probability {p:.6e} < 1/z (z = {z})",
+                    factor.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate heap usage in bytes (sequence + extent array).
+    pub fn memory_bytes(&self) -> usize {
+        self.seq.capacity() + self.extent.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Builds the property string of *maximal solid factors* of `x`, i.e. the
+/// property suffix-array-style pair `(S, π)` where `S` is an arbitrary string
+/// containing the solid factors of one strand.
+///
+/// This helper derives, for a given strand string `seq`, the maximal sound
+/// property with respect to `x` and `z`: `extent[i]` is the largest `e` such
+/// that `seq[i..e]` is z-solid at `i` (note this is monotone because
+/// solidity is hereditary).
+pub fn derive_maximal_property(seq: Vec<u8>, x: &WeightedString, z: f64) -> Result<PropertyString> {
+    if seq.len() != x.len() {
+        return Err(Error::InvalidProperty(format!(
+            "sequence has length {} but X has length {}",
+            seq.len(),
+            x.len()
+        )));
+    }
+    let n = seq.len();
+    let mut extent = vec![0u32; n];
+    let threshold = 1.0 / z;
+    // Two-pointer sweep: maintain the product of probabilities over the
+    // window [i, j).
+    let mut j = 0usize;
+    let mut product = 1.0f64;
+    for i in 0..n {
+        if j < i {
+            j = i;
+            product = 1.0;
+        }
+        while j < n {
+            let p = x.prob(j, seq[j]);
+            if p <= 0.0 || product * p + PROB_EPSILON < threshold {
+                break;
+            }
+            product *= p;
+            j += 1;
+        }
+        extent[i] = j as u32;
+        if j > i {
+            let p = x.prob(i, seq[i]);
+            product /= p;
+        }
+        // Guard against drift from repeated division.
+        if product > 1.0 {
+            product = 1.0;
+        }
+    }
+    // Recompute products periodically to avoid floating-point drift on very
+    // long strings: the two-pointer invariant is re-established lazily above,
+    // which is sufficient for the tolerances used in this workspace.
+    PropertyString::new(seq, extent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string::paper_example;
+
+    /// The pair (S2, π2) from Table 1 of the paper (0-based extents).
+    fn table1_s2() -> PropertyString {
+        // S2 = AAAAAB, π2 (1-based) = 4 4 5 6 6 6 → exclusive extents 4 4 5 6 6 6.
+        PropertyString::new(vec![0, 0, 0, 0, 0, 1], vec![4, 4, 5, 6, 6, 6]).unwrap()
+    }
+
+    #[test]
+    fn example3_occurrence() {
+        // Example 3: P = AAA occurs at position 3 (1-based) = 2 (0-based) in (S2, π2).
+        let s2 = table1_s2();
+        assert!(s2.occurs_at(&[0, 0, 0], 2));
+        assert_eq!(s2.occurrences(&[0, 0, 0]), vec![0, 1, 2]);
+        // AAAA only occurs at 0 and 1 within the property... 0: end 4 ≤ 4 ✓, 1: end 5 > 4 ✗.
+        assert_eq!(s2.occurrences(&[0, 0, 0, 0]), vec![0]);
+    }
+
+    #[test]
+    fn example4_occ_pi() {
+        // Example 4: for P = AB and S3 = ABAABB with π3 = 4 4 5 6 6 6 (1-based),
+        // Occ_π(P, S3) = {1, 4} (1-based) = {0, 3} (0-based).
+        let s3 = PropertyString::new(vec![0, 1, 0, 0, 1, 1], vec![4, 4, 5, 6, 6, 6]).unwrap();
+        assert_eq!(s3.occurrences(&[0, 1]), vec![0, 3]);
+    }
+
+    #[test]
+    fn pi_and_covered() {
+        let s = PropertyString::new(vec![0, 1, 0], vec![2, 2, 2]).unwrap();
+        assert_eq!(s.pi(0), Some(1));
+        assert_eq!(s.pi(1), Some(1));
+        assert!(s.covered(1));
+        assert_eq!(s.pi(2), None);
+        assert!(!s.covered(2));
+        assert_eq!(s.factor_at(0), &[0, 1]);
+        assert_eq!(s.factor_at(2), &[] as &[u8]);
+    }
+
+    #[test]
+    fn rejects_invalid_extents() {
+        // Empty extents everywhere are fine.
+        assert!(PropertyString::new(vec![0, 0], vec![0, 1]).is_ok());
+        // extent[i] < i.
+        assert!(PropertyString::new(vec![0, 0], vec![2, 1]).is_err());
+        assert!(PropertyString::new(vec![0, 0], vec![0, 0]).is_err());
+        // extent > n.
+        assert!(PropertyString::new(vec![0, 0], vec![3, 2]).is_err());
+        // length mismatch.
+        assert!(PropertyString::new(vec![0, 0], vec![2]).is_err());
+        // Non-monotone hereditary representation: π = [2, 0] (extent [3, 1]).
+        assert!(PropertyString::new(vec![0, 0, 0], vec![3, 1, 3]).is_err());
+    }
+
+    #[test]
+    fn unrestricted_behaves_like_plain_string() {
+        let s = PropertyString::unrestricted(vec![0, 1, 0, 1, 0]);
+        assert_eq!(s.occurrences(&[0, 1]), vec![0, 2]);
+        assert_eq!(s.occurrences(&[1, 0]), vec![1, 3]);
+        assert_eq!(s.occurrences(&[]), Vec::<usize>::new());
+        assert_eq!(s.covered_positions(), 5);
+    }
+
+    #[test]
+    fn table1_strands_are_sound_for_z4() {
+        let x = paper_example();
+        let s2 = table1_s2();
+        s2.verify_sound(&x, 4.0).unwrap();
+        // An unsound property: claim ABAB is allowed at position 0 (prob 3/40 < 1/4).
+        let bad = PropertyString::new(vec![0, 1, 0, 1, 0, 0], vec![4, 4, 5, 6, 6, 6]).unwrap();
+        assert!(bad.verify_sound(&x, 4.0).is_err());
+    }
+
+    #[test]
+    fn derive_maximal_property_matches_bruteforce() {
+        let x = paper_example();
+        let z = 4.0;
+        for seq in [vec![0u8, 0, 0, 0, 0, 0], vec![0, 1, 0, 0, 1, 1], vec![1, 1, 1, 1, 1, 1]] {
+            let ps = derive_maximal_property(seq.clone(), &x, z).unwrap();
+            for i in 0..x.len() {
+                // Brute-force maximal extent.
+                let mut best = i;
+                for e in (i + 1)..=x.len() {
+                    if is_solid(x.occurrence_probability(i, &seq[i..e]), z) {
+                        best = e;
+                    } else {
+                        break;
+                    }
+                }
+                assert_eq!(ps.extent(i), best, "position {i} of strand {seq:?}");
+            }
+            ps.verify_sound(&x, z).unwrap();
+        }
+    }
+
+    #[test]
+    fn occurrences_of_overlong_pattern_is_empty() {
+        let s = PropertyString::unrestricted(vec![0, 1]);
+        assert!(s.occurrences(&[0, 1, 0]).is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Solid (valid) factors of a weighted string.
+//!
+//! A string `U` is a *z-solid factor* of `X` at position `i` if
+//! `P(X[i..i+|U|-1] = U) ≥ 1/z`. This module provides:
+//!
+//! * the naive reference pattern matcher ([`occurrences`]) used by every
+//!   correctness test in the workspace to validate the real indexes,
+//! * enumeration of (right-)maximal solid factors ([`SolidFactorSet`]),
+//! * small utilities on individual factors.
+
+use crate::error::Result;
+use crate::string::WeightedString;
+use crate::{is_solid, PROB_EPSILON};
+
+/// A maximal solid factor occurrence of a weighted string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaximalSolidFactor {
+    /// 0-based starting position of the occurrence in `X`.
+    pub start: usize,
+    /// The factor itself, as letter ranks.
+    pub letters: Vec<u8>,
+    /// Its occurrence probability at `start`.
+    pub probability: f64,
+}
+
+impl MaximalSolidFactor {
+    /// Inclusive end position of the occurrence.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.start + self.letters.len() - 1
+    }
+
+    /// Length of the factor.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// `true` iff the factor is empty (never produced by enumeration).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+}
+
+/// The set of maximal solid factors of a weighted string for a threshold
+/// `1/z`.
+#[derive(Debug, Clone)]
+pub struct SolidFactorSet {
+    z: f64,
+    factors: Vec<MaximalSolidFactor>,
+}
+
+impl SolidFactorSet {
+    /// Enumerates all *right-maximal* solid factors: solid factors that
+    /// cannot be extended to the right while remaining solid. One factor is
+    /// reported per (start position, trie leaf).
+    ///
+    /// The output has at most `⌊z⌋` factors per starting position.
+    pub fn right_maximal(x: &WeightedString, z: f64) -> Self {
+        let mut factors = Vec::new();
+        for start in 0..x.len() {
+            enumerate_from(x, z, start, &mut factors);
+        }
+        Self { z, factors }
+    }
+
+    /// Enumerates all *maximal* solid factors: solid factors that can be
+    /// extended neither to the right nor to the left while remaining solid.
+    pub fn maximal(x: &WeightedString, z: f64) -> Self {
+        let right = Self::right_maximal(x, z);
+        let factors = right
+            .factors
+            .into_iter()
+            .filter(|f| {
+                if f.start == 0 {
+                    return true;
+                }
+                let best_prev = x
+                    .distribution(f.start - 1)
+                    .iter()
+                    .cloned()
+                    .fold(0.0f64, f64::max);
+                !is_solid(best_prev * f.probability, z)
+            })
+            .collect();
+        Self { z, factors }
+    }
+
+    /// The threshold denominator `z` the set was computed for.
+    #[inline]
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The enumerated factors.
+    #[inline]
+    pub fn factors(&self) -> &[MaximalSolidFactor] {
+        &self.factors
+    }
+
+    /// Number of factors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// `true` iff no factor was enumerated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Sum of the lengths of all enumerated factors — the quantity that drives
+    /// the `O(nz)` bound of the solid factor trees (Lemma 10 of the paper).
+    pub fn total_length(&self) -> usize {
+        self.factors.iter().map(MaximalSolidFactor::len).sum()
+    }
+
+    /// The longest factor length (0 if the set is empty).
+    pub fn max_length(&self) -> usize {
+        self.factors.iter().map(MaximalSolidFactor::len).max().unwrap_or(0)
+    }
+}
+
+/// DFS over solid right-extensions from `start`, pushing right-maximal leaves.
+fn enumerate_from(x: &WeightedString, z: f64, start: usize, out: &mut Vec<MaximalSolidFactor>) {
+    let threshold = 1.0 / z;
+    let mut letters: Vec<u8> = Vec::new();
+    // Stack of (depth, letter, probability-of-prefix-ending-with-letter).
+    let mut stack: Vec<(usize, u8, f64)> = Vec::new();
+    for (c, p) in x.letters_at(start) {
+        if p + PROB_EPSILON >= threshold {
+            stack.push((0, c, p));
+        }
+    }
+    // If no single letter is solid at `start`, nothing starts here.
+    while let Some((depth, letter, prob)) = stack.pop() {
+        letters.truncate(depth);
+        letters.push(letter);
+        // Try to extend to the right.
+        let next = start + depth + 1;
+        let mut extended = false;
+        if next < x.len() {
+            for (c, p) in x.letters_at(next) {
+                let q = prob * p;
+                if q + PROB_EPSILON >= threshold {
+                    stack.push((depth + 1, c, q));
+                    extended = true;
+                }
+            }
+        }
+        if !extended {
+            out.push(MaximalSolidFactor {
+                start,
+                letters: letters.clone(),
+                probability: prob,
+            });
+        }
+    }
+}
+
+/// Naive reference matcher: all 0-based positions where `pattern`
+/// (rank-encoded) has a z-solid occurrence in `x`.
+///
+/// Runs in `O(n·m)` time and is the ground truth for every index in the
+/// workspace.
+pub fn occurrences(x: &WeightedString, pattern: &[u8], z: f64) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > x.len() {
+        return Vec::new();
+    }
+    (0..=x.len() - pattern.len())
+        .filter(|&i| is_solid(x.occurrence_probability(i, pattern), z))
+        .collect()
+}
+
+/// Naive reference matcher over a byte pattern.
+///
+/// # Errors
+///
+/// Propagates [`crate::Error::UnknownSymbol`] from encoding the pattern.
+pub fn occurrences_bytes(x: &WeightedString, pattern: &[u8], z: f64) -> Result<Vec<usize>> {
+    let encoded = x.alphabet().encode(pattern)?;
+    Ok(occurrences(x, &encoded, z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string::paper_example;
+    use crate::Alphabet;
+
+    #[test]
+    fn naive_matcher_on_paper_example() {
+        let x = paper_example();
+        // AAAA is valid at position 1 (1-based) with probability 0.3 (Example 6).
+        assert_eq!(occurrences_bytes(&x, b"AAAA", 4.0).unwrap(), vec![0]);
+        // ABAB is not valid at position 1 (probability 3/40).
+        assert_eq!(occurrences_bytes(&x, b"ABAB", 4.0).unwrap(), Vec::<usize>::new());
+        // AB has probability 1/2 at position 1, 3/16 at 2 (not valid), 4/25... let's trust maths:
+        // positions (0-based) where p ≥ 1/4: 0 (0.5), 3 (0.8*0.5=0.4), 4 (0.5*0.75=0.375).
+        assert_eq!(occurrences_bytes(&x, b"AB", 4.0).unwrap(), vec![0, 3, 4]);
+        // Single letter B: positions with p_B ≥ 1/4: 1, 2(0.25), 4, 5.
+        assert_eq!(occurrences_bytes(&x, b"B", 4.0).unwrap(), vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn empty_and_overlong_patterns() {
+        let x = paper_example();
+        assert!(occurrences(&x, &[], 4.0).is_empty());
+        assert!(occurrences(&x, &[0; 7], 4.0).is_empty());
+    }
+
+    #[test]
+    fn threshold_one_means_certain_patterns_only() {
+        let x = paper_example();
+        // z = 1 → only probability-1 factors. Only X[0] = A is certain.
+        assert_eq!(occurrences_bytes(&x, b"A", 1.0).unwrap(), vec![0]);
+        assert_eq!(occurrences_bytes(&x, b"AA", 1.0).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn right_maximal_factors_of_paper_example() {
+        let x = paper_example();
+        let set = SolidFactorSet::right_maximal(&x, 4.0);
+        // Every reported factor is solid and cannot be extended right.
+        for f in set.factors() {
+            assert!(is_solid(x.occurrence_probability(f.start, &f.letters), 4.0));
+            let next = f.start + f.len();
+            if next < x.len() {
+                for (_, p) in x.letters_at(next) {
+                    assert!(!is_solid(f.probability * p, 4.0));
+                }
+            }
+        }
+        // Factors starting at position 0 include AAAA (Example 6).
+        assert!(set
+            .factors()
+            .iter()
+            .any(|f| f.start == 0 && f.letters == vec![0, 0, 0, 0]));
+        assert!(set.max_length() >= 4);
+        assert!(set.total_length() >= set.len());
+    }
+
+    #[test]
+    fn maximal_factors_are_not_left_extensible() {
+        let x = paper_example();
+        let z = 4.0;
+        let set = SolidFactorSet::maximal(&x, z);
+        assert!(!set.is_empty());
+        for f in set.factors() {
+            if f.start > 0 {
+                for (_, p) in x.letters_at(f.start - 1) {
+                    assert!(
+                        !is_solid(p * f.probability, z),
+                        "factor at {} can be extended left",
+                        f.start
+                    );
+                }
+            }
+        }
+        assert_eq!(set.z(), z);
+    }
+
+    #[test]
+    fn per_start_leaf_count_is_at_most_z() {
+        // Uniform distributions: many short factors; at most ⌊z⌋ leaves per start.
+        let alphabet = Alphabet::new(b"AB").unwrap();
+        let rows: Vec<Vec<f64>> = (0..12).map(|_| vec![0.5, 0.5]).collect();
+        let x = WeightedString::from_rows(alphabet, &rows).unwrap();
+        for z in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            let set = SolidFactorSet::right_maximal(&x, z);
+            for start in 0..x.len() {
+                let count = set.factors().iter().filter(|f| f.start == start).count();
+                assert!(
+                    count <= z as usize,
+                    "start {start}: {count} right-maximal factors for z = {z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_string_has_one_maximal_factor() {
+        let x = WeightedString::deterministic(Alphabet::dna(), b"ACGTACGT").unwrap();
+        let set = SolidFactorSet::maximal(&x, 8.0);
+        // The only maximal solid factor is the whole string at position 0.
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.factors()[0].start, 0);
+        assert_eq!(set.factors()[0].len(), 8);
+        // Right-maximal: one per starting position (each suffix).
+        let rm = SolidFactorSet::right_maximal(&x, 8.0);
+        assert_eq!(rm.len(), 8);
+    }
+}

@@ -1,0 +1,525 @@
+//! z-estimations (Theorem 2 of the paper, due to Barton et al.).
+//!
+//! A *z-estimation* of a weighted string `X` of length `n` is an indexed
+//! family `S = (S_j, π_j)_{j=1..⌊z⌋}` of property strings such that for every
+//! string `P` and every position `i`,
+//!
+//! ```text
+//! Count_S(P, i) = ⌊ P(X[i..i+|P|-1] = P) · z ⌋ ,
+//! ```
+//!
+//! where `Count_S(P, i)` is the number of strands in which `P` occurs at `i`
+//! respecting the property. In particular every z-solid factor of `X` occurs
+//! in at least one strand (completeness), and every property-respecting
+//! factor of a strand is z-solid in `X` (soundness) — the two facts all the
+//! indexes in this workspace rely on.
+//!
+//! # Construction
+//!
+//! The construction implemented here processes `X` left to right and
+//! maintains, for every *active* starting position `s ≤ i`, the family of
+//! *designation groups*: a group holds the strands that are currently
+//! designated to carry one particular solid factor starting at `s`, together
+//! with that factor's occurrence probability. The designated sets form a
+//! laminar family (groups of earlier starting positions refine groups of
+//! later ones), which allows the per-position letter assignment to satisfy
+//! the exact-count contract at *every* active starting position
+//! simultaneously: groups are processed from the earliest start to the
+//! latest, each group first keeps the strands forced by deeper groups and
+//! then tops up each letter's quota `⌊p·z⌋` from its unassigned members;
+//! leftover members are cut, which fixes the property value `π_j[s]`.
+//!
+//! The construction runs in `O(nz)` space (the size of the output, as in
+//! Theorem 2) and time `O(nz + W)` where `W` is the total number of
+//! designation updates at uncertain positions.
+
+use crate::error::{Error, Result};
+use crate::heavy::HeavyString;
+use crate::property::PropertyString;
+use crate::solid_multiplicity;
+use crate::string::WeightedString;
+
+/// The family of `⌊z⌋` property strings estimating a weighted string.
+#[derive(Debug, Clone)]
+pub struct ZEstimation {
+    z: f64,
+    n: usize,
+    strands: Vec<PropertyString>,
+}
+
+/// A group of strands designated to carry one solid factor that starts at a
+/// common position and spans up to the current position.
+struct Group {
+    /// Occurrence probability of the factor carried by this group.
+    prob: f64,
+    /// Strand ids designated for this factor.
+    members: Vec<u32>,
+}
+
+/// All designation groups for one active starting position.
+struct Level {
+    /// 0-based starting position of the factors carried by this level.
+    start: usize,
+    groups: Vec<Group>,
+}
+
+impl ZEstimation {
+    /// Builds a z-estimation of `x` for the weight threshold `1/z`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidThreshold`] unless `z ≥ 1` and finite.
+    pub fn build(x: &WeightedString, z: f64) -> Result<Self> {
+        if !(z.is_finite() && z >= 1.0) {
+            return Err(Error::InvalidThreshold(z));
+        }
+        let n = x.len();
+        let num_strands = z.floor() as usize;
+        let sigma = x.sigma();
+        let heavy = HeavyString::new(x);
+
+        // Output buffers.
+        let mut letters: Vec<Vec<u8>> = vec![vec![0u8; n]; num_strands];
+        // extents[j][s] starts as the empty interval `s` and is overwritten
+        // when strand j is cut from level `s` (or at the final flush).
+        let mut extents: Vec<Vec<u32>> = (0..num_strands)
+            .map(|_| (0..n as u32).collect::<Vec<u32>>())
+            .collect();
+
+        // Active designation levels, ordered by increasing start position.
+        let mut levels: Vec<Level> = Vec::new();
+        // Letter assigned to each strand during the current transition.
+        let mut assigned: Vec<Option<u8>> = vec![None; num_strands];
+        // Scratch buffers reused across positions.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); sigma];
+        let mut leftovers: Vec<u32> = Vec::new();
+
+        for pos in 0..n {
+            let dist = x.distribution(pos);
+            let heavy_letter = heavy.letter(pos);
+            let heavy_prob = dist[heavy_letter as usize];
+
+            if heavy_prob >= 1.0 {
+                // Deterministic position: every designation continues with the
+                // single certain letter; all strands take it, and the new
+                // level designates every strand.
+                for strand_letters in letters.iter_mut() {
+                    strand_letters[pos] = heavy_letter;
+                }
+                levels.push(Level {
+                    start: pos,
+                    groups: vec![Group { prob: 1.0, members: (0..num_strands as u32).collect() }],
+                });
+                continue;
+            }
+
+            // Uncertain position: reset the per-transition assignment.
+            for a in assigned.iter_mut() {
+                *a = None;
+            }
+
+            // Process existing levels from the earliest start (deepest groups,
+            // whose choices are forced upon shallower ones) to the latest.
+            for level in levels.iter_mut() {
+                let start = level.start;
+                let mut new_groups: Vec<Group> = Vec::with_capacity(level.groups.len());
+                for group in level.groups.drain(..) {
+                    split_group(
+                        group,
+                        dist,
+                        z,
+                        pos,
+                        start,
+                        &mut assigned,
+                        &mut extents,
+                        &mut buckets,
+                        &mut leftovers,
+                        &mut new_groups,
+                    );
+                }
+                level.groups = new_groups;
+            }
+            // Drop levels that lost all their designations.
+            levels.retain(|level| !level.groups.is_empty());
+
+            // Create the level for the new starting position `pos`. Forced
+            // members are exactly the strands that received a letter in this
+            // transition (they are designated at some earlier start and the
+            // laminar nesting requires them to be designated here as well).
+            let mut new_level = Level { start: pos, groups: Vec::new() };
+            for bucket in buckets.iter_mut() {
+                bucket.clear();
+            }
+            leftovers.clear();
+            for (strand, a) in assigned.iter().enumerate() {
+                match a {
+                    Some(letter) => buckets[*letter as usize].push(strand as u32),
+                    None => leftovers.push(strand as u32),
+                }
+            }
+            let mut next_leftover = 0usize;
+            for (letter, bucket) in buckets.iter_mut().enumerate() {
+                let target = solid_multiplicity(dist[letter], z) as usize;
+                let quota = target.max(bucket.len());
+                while bucket.len() < quota && next_leftover < leftovers.len() {
+                    let strand = leftovers[next_leftover];
+                    next_leftover += 1;
+                    assigned[strand as usize] = Some(letter as u8);
+                    bucket.push(strand);
+                }
+                if !bucket.is_empty() {
+                    for &strand in bucket.iter() {
+                        letters[strand as usize][pos] = letter as u8;
+                    }
+                    new_level
+                        .groups
+                        .push(Group { prob: dist[letter], members: std::mem::take(bucket) });
+                }
+            }
+            // Undesignated strands take the heavy letter; they do not count
+            // for any starting position, so the choice is immaterial.
+            for &strand in &leftovers[next_leftover..] {
+                letters[strand as usize][pos] = heavy_letter;
+            }
+            if !new_level.groups.is_empty() {
+                levels.push(new_level);
+            }
+        }
+
+        // Final flush: designations alive at the end of the string cover up
+        // to position n-1.
+        for level in &levels {
+            for group in &level.groups {
+                for &m in &group.members {
+                    extents[m as usize][level.start] = n as u32;
+                }
+            }
+        }
+
+        let strands = letters
+            .into_iter()
+            .zip(extents)
+            .map(|(seq, extent)| PropertyString::new(seq, extent))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { z, n, strands })
+    }
+
+    /// The weight-threshold denominator `z`.
+    #[inline]
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// Length `n` of the estimated weighted string.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the underlying weighted string was empty (never the case
+    /// for a constructed value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of strands, `⌊z⌋`.
+    #[inline]
+    pub fn num_strands(&self) -> usize {
+        self.strands.len()
+    }
+
+    /// The strands `(S_j, π_j)`.
+    #[inline]
+    pub fn strands(&self) -> &[PropertyString] {
+        &self.strands
+    }
+
+    /// One strand.
+    #[inline]
+    pub fn strand(&self, j: usize) -> &PropertyString {
+        &self.strands[j]
+    }
+
+    /// `Count_S(P, i)`: the number of strands in which the rank-encoded
+    /// pattern occurs at position `i` respecting the property.
+    pub fn count(&self, pattern: &[u8], position: usize) -> usize {
+        self.strands.iter().filter(|s| s.occurs_at(pattern, position)).count()
+    }
+
+    /// [`ZEstimation::count`] for a byte pattern; the alphabet of the original
+    /// weighted string must be supplied for encoding.
+    ///
+    /// This convenience method assumes the strands were produced from a
+    /// weighted string over the alphabet `{A, B, …}` used in the paper's
+    /// examples: ranks are taken as `pattern[i] - b'A'`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSymbol`] if a byte is not an uppercase ASCII letter
+    /// within the first `σ`-many letters.
+    pub fn count_bytes(&self, pattern: &[u8], position: usize) -> Result<usize> {
+        let encoded: Vec<u8> = pattern
+            .iter()
+            .map(|&b| {
+                if b.is_ascii_uppercase() {
+                    Ok(b - b'A')
+                } else {
+                    Err(Error::UnknownSymbol(b))
+                }
+            })
+            .collect::<Result<Vec<u8>>>()?;
+        Ok(self.count(&encoded, position))
+    }
+
+    /// Verifies the defining contract of a z-estimation against `x` by brute
+    /// force, for every position and every solid factor up to length
+    /// `max_len` (plus soundness of every strand). Intended for tests.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProperty`] describing the first violated constraint.
+    pub fn verify_contract(&self, x: &WeightedString, max_len: usize) -> Result<()> {
+        for strand in &self.strands {
+            strand.verify_sound(x, self.z)?;
+        }
+        let sigma = x.sigma() as u8;
+        for start in 0..x.len() {
+            // Enumerate all strings over the alphabet of length ≤ max_len
+            // whose occurrence probability is positive, via DFS.
+            let mut stack: Vec<(Vec<u8>, f64)> = vec![(Vec::new(), 1.0)];
+            while let Some((prefix, prob)) = stack.pop() {
+                if prefix.len() >= max_len || start + prefix.len() >= x.len() {
+                    continue;
+                }
+                for c in 0..sigma {
+                    let p = prob * x.prob(start + prefix.len(), c);
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    let mut factor = prefix.clone();
+                    factor.push(c);
+                    let expected = solid_multiplicity(p, self.z) as usize;
+                    let got = self.count(&factor, start);
+                    if got != expected {
+                        return Err(Error::InvalidProperty(format!(
+                            "Count_S mismatch at position {start} for factor {factor:?}: expected {expected}, got {got} (p = {p:.6})"
+                        )));
+                    }
+                    if expected > 0 {
+                        stack.push((factor, p));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total heap size of the family in bytes (letters + property arrays).
+    ///
+    /// This is the "size of z-estimation" statistic of Table 2.
+    pub fn memory_bytes(&self) -> usize {
+        self.strands.iter().map(PropertyString::memory_bytes).sum()
+    }
+}
+
+/// Splits one designation group according to the letter distribution at
+/// position `pos`, honouring letters already forced by deeper groups, topping
+/// up each letter's quota from unassigned members, and cutting the rest.
+#[allow(clippy::too_many_arguments)]
+fn split_group(
+    group: Group,
+    dist: &[f64],
+    z: f64,
+    pos: usize,
+    start: usize,
+    assigned: &mut [Option<u8>],
+    extents: &mut [Vec<u32>],
+    buckets: &mut [Vec<u32>],
+    leftovers: &mut Vec<u32>,
+    out: &mut Vec<Group>,
+) {
+    let sigma = dist.len();
+    // Letter quotas for the extended factors.
+    let mut total_quota = 0usize;
+    let mut quotas: Vec<usize> = Vec::with_capacity(sigma);
+    for &p in dist.iter() {
+        let q = solid_multiplicity(group.prob * p, z) as usize;
+        quotas.push(q);
+        total_quota += q;
+    }
+    if total_quota == 0 {
+        // The whole group dies: every member is cut at this level.
+        for &m in &group.members {
+            extents[m as usize][start] = pos as u32;
+        }
+        return;
+    }
+    for bucket in buckets.iter_mut() {
+        bucket.clear();
+    }
+    leftovers.clear();
+    // Forced members keep the letter a deeper group gave them.
+    for &m in &group.members {
+        match assigned[m as usize] {
+            Some(letter) => buckets[letter as usize].push(m),
+            None => leftovers.push(m),
+        }
+    }
+    let mut next_leftover = 0usize;
+    for (letter, bucket) in buckets.iter_mut().enumerate() {
+        // Defensive: forced members can exceed the quota only through
+        // floating-point drift; designated strands are never dropped.
+        let quota = quotas[letter].max(bucket.len());
+        while bucket.len() < quota && next_leftover < leftovers.len() {
+            let m = leftovers[next_leftover];
+            next_leftover += 1;
+            assigned[m as usize] = Some(letter as u8);
+            bucket.push(m);
+        }
+        if !bucket.is_empty() {
+            out.push(Group {
+                prob: group.prob * dist[letter],
+                members: std::mem::take(bucket),
+            });
+        }
+    }
+    // Remaining members are cut from this level.
+    for &m in &leftovers[next_leftover..] {
+        extents[m as usize][start] = pos as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string::paper_example;
+    use crate::{is_solid, Alphabet};
+
+    #[test]
+    fn rejects_invalid_z() {
+        let x = paper_example();
+        assert!(ZEstimation::build(&x, 0.5).is_err());
+        assert!(ZEstimation::build(&x, f64::NAN).is_err());
+        assert!(ZEstimation::build(&x, f64::INFINITY).is_err());
+        assert!(ZEstimation::build(&x, 1.0).is_ok());
+    }
+
+    #[test]
+    fn paper_example_z4_counts() {
+        // Example 4 of the paper: for z = 4, P = AB at position 1 (1-based)
+        // occurs in exactly 2 strands respecting the property.
+        let x = paper_example();
+        let est = ZEstimation::build(&x, 4.0).unwrap();
+        assert_eq!(est.num_strands(), 4);
+        assert_eq!(est.count_bytes(b"AB", 0).unwrap(), 2);
+        // AAAA at position 1 (1-based) has probability 0.3 → ⌊1.2⌋ = 1.
+        assert_eq!(est.count_bytes(b"AAAA", 0).unwrap(), 1);
+        // ABAB at position 1 has probability 3/40 → 0.
+        assert_eq!(est.count_bytes(b"ABAB", 0).unwrap(), 0);
+        // Single letters at position 2 (1-based): both A and B have p = 1/2 → 2 strands each.
+        assert_eq!(est.count_bytes(b"A", 1).unwrap(), 2);
+        assert_eq!(est.count_bytes(b"B", 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn paper_example_full_contract() {
+        let x = paper_example();
+        for z in [1.0, 2.0, 3.0, 4.0, 5.5, 8.0, 16.0] {
+            let est = ZEstimation::build(&x, z).unwrap();
+            est.verify_contract(&x, x.len()).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_string_estimation() {
+        let x = WeightedString::deterministic(Alphabet::dna(), b"ACGTACGTAC").unwrap();
+        let est = ZEstimation::build(&x, 7.0).unwrap();
+        assert_eq!(est.num_strands(), 7);
+        for strand in est.strands() {
+            // Every strand spells the text and covers everything.
+            assert_eq!(strand.seq(), x.alphabet().encode(b"ACGTACGTAC").unwrap().as_slice());
+            assert_eq!(strand.extent(0), 10);
+            assert_eq!(strand.extent(9), 10);
+        }
+        est.verify_contract(&x, 10).unwrap();
+    }
+
+    #[test]
+    fn uniform_positions_split_strands_evenly() {
+        // Two positions, uniform over {A, B}; z = 4 → each of AA, AB, BA, BB
+        // must appear in exactly one strand.
+        let alphabet = Alphabet::new(b"AB").unwrap();
+        let x = WeightedString::from_rows(alphabet, &[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        let est = ZEstimation::build(&x, 4.0).unwrap();
+        est.verify_contract(&x, 2).unwrap();
+        for pattern in [[0u8, 0], [0, 1], [1, 0], [1, 1]] {
+            assert_eq!(est.count(&pattern, 0), 1, "pattern {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn completeness_every_solid_factor_is_covered() {
+        // Randomised check on a slightly larger string.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let alphabet = Alphabet::new(b"AB").unwrap();
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|_| {
+                let p: f64 = rng.gen_range(0.0..=1.0);
+                vec![p, 1.0 - p]
+            })
+            .collect();
+        let x = WeightedString::from_rows(alphabet, &rows).unwrap();
+        for z in [2.0, 4.0, 9.0] {
+            let est = ZEstimation::build(&x, z).unwrap();
+            // For a sample of positions and lengths, solid factors must occur
+            // in ≥ 1 strand and non-solid ones in 0 strands.
+            for start in 0..x.len() {
+                for len in 1..=(x.len() - start).min(10) {
+                    // Check the heavy-ish pattern built by taking argmax letters.
+                    let pattern: Vec<u8> = (start..start + len)
+                        .map(|i| if x.prob(i, 0) >= x.prob(i, 1) { 0u8 } else { 1u8 })
+                        .collect();
+                    let p = x.occurrence_probability(start, &pattern);
+                    let count = est.count(&pattern, start);
+                    assert_eq!(count, solid_multiplicity(p, z) as usize);
+                    if is_solid(p, z) {
+                        assert!(count >= 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strands_are_sound() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let alphabet = Alphabet::dna();
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|_| {
+                let mut v: Vec<f64> = (0..4).map(|_| rng.gen_range(0.01..1.0)).collect();
+                let s: f64 = v.iter().sum();
+                v.iter_mut().for_each(|p| *p /= s);
+                v
+            })
+            .collect();
+        let x = WeightedString::from_rows(alphabet, &rows).unwrap();
+        for z in [1.0, 3.0, 8.0, 20.0] {
+            let est = ZEstimation::build(&x, z).unwrap();
+            for strand in est.strands() {
+                strand.verify_sound(&x, z).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn memory_reporting_is_positive_and_scales() {
+        let x = paper_example();
+        let small = ZEstimation::build(&x, 2.0).unwrap().memory_bytes();
+        let large = ZEstimation::build(&x, 16.0).unwrap().memory_bytes();
+        assert!(small > 0);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the weighted-string model.
+//!
+//! These tests exercise the defining contracts of the core objects on random
+//! weighted strings: the z-estimation counting identity (Theorem 2), the
+//! soundness of property strands, Lemma 3 (heavy-string mismatch bound) and
+//! agreement between the naive matcher and first principles.
+
+use ius_weighted::heavy::max_solid_mismatches;
+use ius_weighted::property::derive_maximal_property;
+use ius_weighted::solid::{occurrences, SolidFactorSet};
+use ius_weighted::{
+    is_solid, solid_multiplicity, Alphabet, HeavyString, WeightedString, ZEstimation,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random weighted string over a binary or DNA alphabet.
+fn weighted_string_strategy(
+    max_len: usize,
+    sigma: usize,
+) -> impl Strategy<Value = WeightedString> {
+    let letters = prop::collection::vec(
+        prop::collection::vec(0.01f64..1.0, sigma),
+        1..=max_len,
+    );
+    letters.prop_map(move |rows| {
+        let alphabet = Alphabet::integer(sigma).unwrap();
+        let rows: Vec<Vec<f64>> = rows
+            .into_iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum();
+                row.into_iter().map(|p| p / total).collect()
+            })
+            .collect();
+        WeightedString::from_rows(alphabet, &rows).unwrap()
+    })
+}
+
+/// Strategy: a "peaked" weighted string — most of the mass on one letter —
+/// which produces long solid factors (the pangenome-like regime).
+fn peaked_string_strategy(max_len: usize, sigma: usize) -> impl Strategy<Value = WeightedString> {
+    let rows = prop::collection::vec((0usize..sigma, 0.0f64..0.3), 1..=max_len);
+    rows.prop_map(move |rows| {
+        let alphabet = Alphabet::integer(sigma).unwrap();
+        let rows: Vec<Vec<f64>> = rows
+            .into_iter()
+            .map(|(major, minor_mass)| {
+                let mut row = vec![minor_mass / (sigma as f64 - 1.0); sigma];
+                row[major] = 1.0 - minor_mass;
+                row
+            })
+            .collect();
+        WeightedString::from_rows(alphabet, &rows).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The z-estimation satisfies its exact-counting contract on every factor
+    /// (checked exhaustively up to length 6).
+    #[test]
+    fn zestimation_contract_binary(x in weighted_string_strategy(14, 2), z in 1.0f64..12.0) {
+        let est = ZEstimation::build(&x, z).unwrap();
+        prop_assert_eq!(est.num_strands(), z.floor() as usize);
+        est.verify_contract(&x, 6).unwrap();
+    }
+
+    /// Same contract over a 4-letter alphabet with peaked distributions.
+    #[test]
+    fn zestimation_contract_dna(x in peaked_string_strategy(20, 4), z in 1.0f64..20.0) {
+        let est = ZEstimation::build(&x, z).unwrap();
+        est.verify_contract(&x, 5).unwrap();
+    }
+
+    /// Completeness and soundness stated via the naive matcher: a pattern has
+    /// a solid occurrence at `i` iff it occurs (respecting properties) in at
+    /// least one strand at `i`.
+    #[test]
+    fn zestimation_matches_naive_matcher(
+        x in weighted_string_strategy(16, 2),
+        z in 1.0f64..10.0,
+        pattern in prop::collection::vec(0u8..2, 1..6),
+    ) {
+        let est = ZEstimation::build(&x, z).unwrap();
+        let naive = occurrences(&x, &pattern, z);
+        for i in 0..x.len() {
+            let in_estimation = est.count(&pattern, i) > 0;
+            prop_assert_eq!(naive.contains(&i), in_estimation, "position {}", i);
+        }
+    }
+
+    /// Lemma 3: every solid factor differs from the heavy string in at most
+    /// ⌊log₂ z⌋ positions.
+    #[test]
+    fn heavy_mismatch_bound(x in weighted_string_strategy(16, 3), z in 1.0f64..32.0) {
+        let heavy = HeavyString::new(&x);
+        let bound = max_solid_mismatches(z);
+        let factors = SolidFactorSet::right_maximal(&x, z);
+        for f in factors.factors() {
+            prop_assert!(heavy.mismatches(f.start, &f.letters) <= bound);
+        }
+    }
+
+    /// The derived maximal property of any strand-like sequence is sound and
+    /// pointwise maximal.
+    #[test]
+    fn derived_property_is_sound_and_maximal(
+        x in weighted_string_strategy(16, 2),
+        z in 1.0f64..10.0,
+        seed in prop::collection::vec(0u8..2, 16),
+    ) {
+        let seq: Vec<u8> = (0..x.len()).map(|i| seed[i % seed.len()]).collect();
+        let ps = derive_maximal_property(seq.clone(), &x, z).unwrap();
+        ps.verify_sound(&x, z).unwrap();
+        for i in 0..x.len() {
+            let e = ps.extent(i);
+            if e < x.len() {
+                // Extending by one more position must not be solid.
+                let p = x.occurrence_probability(i, &seq[i..e + 1]);
+                prop_assert!(!is_solid(p, z));
+            }
+        }
+    }
+
+    /// The naive matcher agrees with direct probability computation.
+    #[test]
+    fn naive_matcher_definition(
+        x in weighted_string_strategy(20, 2),
+        z in 1.0f64..16.0,
+        pattern in prop::collection::vec(0u8..2, 1..5),
+    ) {
+        let occ = occurrences(&x, &pattern, z);
+        for i in 0..x.len() {
+            let solid = pattern.len() + i <= x.len()
+                && is_solid(x.occurrence_probability(i, &pattern), z);
+            prop_assert_eq!(occ.contains(&i), solid);
+        }
+    }
+
+    /// Multiplicities are monotone under factor extension: appending a letter
+    /// can only decrease ⌊p·z⌋.
+    #[test]
+    fn multiplicity_monotone_under_extension(
+        x in weighted_string_strategy(12, 2),
+        z in 1.0f64..10.0,
+    ) {
+        for start in 0..x.len() {
+            let mut p = 1.0;
+            let mut last = z.floor() as u64;
+            for i in start..x.len() {
+                // Follow the heavier letter greedily.
+                let d = x.distribution(i);
+                let c = if d[0] >= d[1] { 0 } else { 1 };
+                p *= d[c];
+                let m = solid_multiplicity(p, z);
+                prop_assert!(m <= last);
+                last = m;
+            }
+        }
+    }
+
+    /// Maximal solid factors: each is solid, non-extensible, and its every
+    /// position is covered by the factor probability definition.
+    #[test]
+    fn maximal_factors_are_consistent(x in peaked_string_strategy(24, 4), z in 1.0f64..16.0) {
+        let set = SolidFactorSet::maximal(&x, z);
+        for f in set.factors() {
+            let p = x.occurrence_probability(f.start, &f.letters);
+            prop_assert!(is_solid(p, z));
+            prop_assert!((p - f.probability).abs() <= 1e-9 * p.max(1e-300));
+            prop_assert!(f.end() < x.len());
+        }
+    }
+}

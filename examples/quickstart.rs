@@ -1,0 +1,88 @@
+//! Quickstart: build every index over the paper's running example and a small
+//! synthetic pangenome, and compare their answers and sizes.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ius::prelude::*;
+use ius::weighted::string::paper_example;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. The running example of the paper (Example 1): n = 6, Σ = {A, B}.
+    // ---------------------------------------------------------------
+    let x = paper_example();
+    let z = 4.0;
+    println!("== Paper running example (n = {}, sigma = {}, z = {z}) ==", x.len(), x.sigma());
+
+    // Its 4-estimation (Table 1 of the paper).
+    let est = ZEstimation::build(&x, z).expect("valid threshold");
+    for (j, strand) in est.strands().iter().enumerate() {
+        let letters: String =
+            strand.seq().iter().map(|&r| x.alphabet().symbol(r) as char).collect();
+        let pi: Vec<usize> = (0..x.len()).map(|i| strand.pi(i).map_or(0, |v| v + 1)).collect();
+        println!("  S{} = {}   pi = {:?}", j + 1, letters, pi);
+    }
+    // Count_S(AB, position 1) = 2 (Example 4).
+    println!("  Count_S(AB, 1) = {}", est.count_bytes(b"AB", 0).unwrap());
+
+    // Occurrence probabilities and solid occurrences of AAAA (Example 6).
+    let p = x.occurrence_probability_bytes(0, b"AAAA").unwrap();
+    println!("  P(X[1..4] = AAAA) = {p}   (solid for z = 4: {})", ius::weighted::is_solid(p, z));
+
+    // ---------------------------------------------------------------
+    // 2. A synthetic pangenome, indexed by every method of the paper.
+    // ---------------------------------------------------------------
+    let x = PangenomeConfig { n: 20_000, delta: 0.05, seed: 42, ..Default::default() }.generate();
+    let z = 32.0;
+    let ell = 64usize;
+    println!();
+    println!(
+        "== Synthetic pangenome (n = {}, Δ = {:.1}%, z = {z}, ℓ = {ell}) ==",
+        x.len(),
+        x.uncertainty_fraction() * 100.0
+    );
+
+    let est = ZEstimation::build(&x, z).expect("valid threshold");
+    println!("  z-estimation size: {:.1} MB", est.memory_bytes() as f64 / 1e6);
+
+    let params = IndexParams::new(z, ell, x.sigma()).expect("valid parameters");
+    let wst = Wst::build_from_estimation(&est).expect("WST");
+    let wsa = Wsa::build_from_estimation(&est).expect("WSA");
+    let mwst =
+        MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Tree).expect("MWST");
+    let mwsa =
+        MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).expect("MWSA");
+    let mwsa_g = MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::ArrayGrid)
+        .expect("MWSA-G");
+    let mwst_se =
+        SpaceEfficientBuilder::new(params).build(&x, IndexVariant::Array).expect("MWST-SE");
+
+    let naive = NaiveIndex::new(z).expect("naive");
+    let mut sampler = PatternSampler::new(&est, 7);
+    let patterns = sampler.sample_many(ell, 50);
+    println!("  sampled {} query patterns of length {ell}", patterns.len());
+
+    let indexes: Vec<(&str, &dyn UncertainIndex)> = vec![
+        ("WST", &wst),
+        ("WSA", &wsa),
+        ("MWST", &mwst),
+        ("MWSA", &mwsa),
+        ("MWSA-G", &mwsa_g),
+        ("MWSA (space-efficient construction)", &mwst_se),
+    ];
+    println!("  {:<40} {:>12} {:>12}", "index", "size (KB)", "occurrences");
+    let mut total_naive = 0usize;
+    for p in &patterns {
+        total_naive += naive.query(p, &x).unwrap().len();
+    }
+    for (name, index) in &indexes {
+        let mut total = 0usize;
+        for p in &patterns {
+            let occ = index.query(p, &x).expect("query succeeds");
+            total += occ.len();
+        }
+        assert_eq!(total, total_naive, "{name} disagrees with the naive matcher");
+        println!("  {:<40} {:>12.1} {:>12}", name, index.size_bytes() as f64 / 1e3, total);
+    }
+    println!("  all indexes agree with the naive matcher ({total_naive} occurrences in total)");
+}
