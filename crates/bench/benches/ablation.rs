@@ -19,7 +19,9 @@ fn ablation_benches(c: &mut Criterion) {
     let patterns = sample_patterns(&est, ell, 64, 7);
 
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
 
     // (1) Simple verification query (Section 5) vs grid query (Theorem 9).
     for (label, variant) in [
@@ -30,21 +32,28 @@ fn ablation_benches(c: &mut Criterion) {
     ] {
         let index =
             MinimizerIndex::build_from_estimation(&x, &est, params, variant).expect("index");
-        group.bench_with_input(BenchmarkId::new("query-strategy", label), &patterns, |b, ps| {
-            let mut cursor = 0usize;
-            b.iter(|| {
-                let p = &ps[cursor % ps.len()];
-                cursor += 1;
-                index.query(p, &x).expect("query")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("query-strategy", label),
+            &patterns,
+            |b, ps| {
+                let mut cursor = 0usize;
+                b.iter(|| {
+                    let p = &ps[cursor % ps.len()];
+                    cursor += 1;
+                    index.query(p, &x).expect("query")
+                })
+            },
+        );
     }
 
     // (2) Minimizer k-mer order: construction cost of the sampled factor sets.
-    for (label, order) in
-        [("kr-order", KmerOrder::default()), ("lex-order", KmerOrder::Lexicographic)]
-    {
-        let p = IndexParams::new(z, ell, x.sigma()).expect("params").with_order(order);
+    for (label, order) in [
+        ("kr-order", KmerOrder::default()),
+        ("lex-order", KmerOrder::Lexicographic),
+    ] {
+        let p = IndexParams::new(z, ell, x.sigma())
+            .expect("params")
+            .with_order(order);
         group.bench_function(BenchmarkId::new("kmer-order-build", label), |b| {
             b.iter(|| {
                 MinimizerIndex::build_from_estimation(&x, &est, p, IndexVariant::Array)
@@ -69,12 +78,15 @@ fn ablation_benches(c: &mut Criterion) {
     }
 
     // Report the ablation statistics once so they appear in the bench log.
-    for (label, order) in
-        [("kr-order", KmerOrder::default()), ("lex-order", KmerOrder::Lexicographic)]
-    {
-        let p = IndexParams::new(z, ell, x.sigma()).expect("params").with_order(order);
-        let index = MinimizerIndex::build_from_estimation(&x, &est, p, IndexVariant::Array)
-            .expect("index");
+    for (label, order) in [
+        ("kr-order", KmerOrder::default()),
+        ("lex-order", KmerOrder::Lexicographic),
+    ] {
+        let p = IndexParams::new(z, ell, x.sigma())
+            .expect("params")
+            .with_order(order);
+        let index =
+            MinimizerIndex::build_from_estimation(&x, &est, p, IndexVariant::Array).expect("index");
         println!(
             "[ablation] {label}: {} sampled factors, {:.2} MB",
             index.num_sampled_factors(),

@@ -15,7 +15,9 @@ fn construction_benches(c: &mut Criterion) {
     let est = ZEstimation::build(&x, z).expect("estimation");
 
     let mut group = c.benchmark_group("construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     // The z-estimation itself (the shared substrate of the classic indexes).
     group.bench_function("z-estimation/EFM*-12k/z=32", |b| {
@@ -30,7 +32,11 @@ fn construction_benches(c: &mut Criterion) {
             &kind,
             |b, &kind| {
                 b.iter(|| {
-                    let estimation = if kind.needs_estimation() { Some(&est) } else { None };
+                    let estimation = if kind.needs_estimation() {
+                        Some(&est)
+                    } else {
+                        None
+                    };
                     kind.build(&x, estimation, params).expect("build")
                 })
             },
@@ -45,7 +51,9 @@ fn construction_benches(c: &mut Criterion) {
             &ell,
             |b, _| {
                 b.iter(|| {
-                    IndexKind::Mwsa.build(&x, Some(&est), params).expect("build")
+                    IndexKind::Mwsa
+                        .build(&x, Some(&est), params)
+                        .expect("build")
                 })
             },
         );

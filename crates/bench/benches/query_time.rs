@@ -14,7 +14,9 @@ fn query_benches(c: &mut Criterion) {
     let est = ZEstimation::build(&x, z).expect("estimation");
 
     let mut group = c.benchmark_group("query");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
 
     for ell in [64usize, 256] {
         let params = IndexParams::new(z, ell, x.sigma()).expect("params");

@@ -17,7 +17,9 @@ fn substrate_benches(c: &mut Criterion) {
     let text: Vec<u8> = (0..200_000).map(|_| rng.gen_range(0..4u8)).collect();
 
     let mut group = c.benchmark_group("substrates");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
 
     group.bench_function("suffix_array/200k-dna", |b| b.iter(|| suffix_array(&text)));
 
@@ -37,9 +39,10 @@ fn substrate_benches(c: &mut Criterion) {
         b.iter(|| SuffixTree::new(text[..50_000].to_vec()))
     });
 
-    for (label, order) in
-        [("kr", KmerOrder::default()), ("lex", KmerOrder::Lexicographic)]
-    {
+    for (label, order) in [
+        ("kr", KmerOrder::default()),
+        ("lex", KmerOrder::Lexicographic),
+    ] {
         let scheme = MinimizerScheme::new(256, 6, 4, order);
         group.bench_function(format!("minimizers/200k-dna/ell=256/{label}"), |b| {
             b.iter(|| scheme.minimizers(&text))
@@ -52,8 +55,9 @@ fn substrate_benches(c: &mut Criterion) {
         let j = rng.gen_range(0..=i);
         ys.swap(i, j);
     }
-    let points: Vec<GridPoint> =
-        (0..100_000u32).map(|x| GridPoint::new(x, ys[x as usize], x)).collect();
+    let points: Vec<GridPoint> = (0..100_000u32)
+        .map(|x| GridPoint::new(x, ys[x as usize], x))
+        .collect();
     group.bench_function("grid_build/100k-points", |b| {
         b.iter(|| RangeReporter::new(points.clone()))
     });
@@ -68,7 +72,9 @@ fn substrate_benches(c: &mut Criterion) {
 
     // Heavy string of a pangenome-like weighted string.
     let x = ius_datasets::pangenome::efm_like(100_000, 3);
-    group.bench_function("heavy_string/EFM*-100k", |b| b.iter(|| HeavyString::new(&x)));
+    group.bench_function("heavy_string/EFM*-100k", |b| {
+        b.iter(|| HeavyString::new(&x))
+    });
 
     group.finish();
 }

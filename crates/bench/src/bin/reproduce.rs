@@ -14,6 +14,7 @@
 //! including the z-estimation where the index needs it) and average query
 //! time over patterns sampled from the z-estimation.
 
+use ius_bench::construction::{render_json, run_construction_bench, ConstructionBenchConfig};
 use ius_bench::experiments::ExperimentId;
 use ius_bench::measure::{
     measure_build, measure_estimation, measure_queries, sample_patterns, IndexKind,
@@ -43,6 +44,8 @@ struct Config {
     max_patterns: usize,
     ell_sweep: Vec<usize>,
     default_ell: usize,
+    bench_construction: bool,
+    bench_n: usize,
 }
 
 fn main() {
@@ -65,6 +68,27 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if config.bench_construction {
+        let bench_config = ConstructionBenchConfig {
+            n: config.bench_n,
+            reps: 3,
+        };
+        let results = run_construction_bench(&bench_config);
+        let json = render_json(&bench_config, &results);
+        let path = config
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_construction.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, &json).expect("write BENCH_construction.json");
+        println!("{json}");
+        println!("wrote {}", path.display());
+        return;
+    }
 
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
@@ -101,19 +125,17 @@ fn main() {
     }
 
     // Keep only the rows belonging to the requested experiments.
-    rows.retain(|r| {
-        config
-            .experiments
-            .iter()
-            .any(|id| id.key() == r.experiment)
-    });
+    rows.retain(|r| config.experiments.iter().any(|id| id.key() == r.experiment));
 
     println!("{}", render_table(&rows));
     if let Some(dir) = &config.out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
         for id in &config.experiments {
-            let subset: Vec<Row> =
-                rows.iter().filter(|r| r.experiment == id.key()).cloned().collect();
+            let subset: Vec<Row> = rows
+                .iter()
+                .filter(|r| r.experiment == id.key())
+                .cloned()
+                .collect();
             if subset.is_empty() {
                 continue;
             }
@@ -139,6 +161,9 @@ fn print_help() {
          \x20 --out <dir>          also write one CSV per experiment\n\
          \x20 --max-patterns <n>   cap on query patterns per configuration (default 200)\n\
          \x20 --full-sweep         sweep all five ℓ values instead of three\n\
+         \x20 --bench-construction run the before/after construction benchmark and write\n\
+         \x20                      BENCH_construction.json (to --out or the working directory)\n\
+         \x20 --bench-n <n>        string length for --bench-construction (default 100000)\n\
          \x20 --list               list experiments\n"
     );
 }
@@ -149,9 +174,23 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut out_dir = None;
     let mut max_patterns = 200usize;
     let mut full_sweep = false;
+    let mut bench_construction = false;
+    let mut bench_n = 100_000usize;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
+            "--bench-construction" => {
+                bench_construction = true;
+                i += 1;
+            }
+            "--bench-n" => {
+                bench_n = args
+                    .get(i + 1)
+                    .ok_or("--bench-n needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --bench-n: {e}"))?;
+                i += 2;
+            }
             "--exp" => {
                 let value = args.get(i + 1).ok_or("--exp needs a value")?;
                 if value == "all" {
@@ -193,13 +232,29 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     if experiments.is_empty() {
         experiments.extend(ExperimentId::all());
     }
-    let ell_sweep =
-        if full_sweep { vec![64, 128, 256, 512, 1024] } else { vec![64, 256, 1024] };
-    Ok(Config { experiments, scale, out_dir, max_patterns, ell_sweep, default_ell: 256 })
+    let ell_sweep = if full_sweep {
+        vec![64, 128, 256, 512, 1024]
+    } else {
+        vec![64, 256, 1024]
+    };
+    Ok(Config {
+        experiments,
+        scale,
+        out_dir,
+        max_patterns,
+        ell_sweep,
+        default_ell: 256,
+        bench_construction,
+        bench_n,
+    })
 }
 
 fn dna_datasets(config: &Config) -> Vec<Dataset> {
-    vec![sars_star(config.scale), efm_star(config.scale), human_star(config.scale)]
+    vec![
+        sars_star(config.scale),
+        efm_star(config.scale),
+        human_star(config.scale),
+    ]
 }
 
 fn row(
@@ -229,13 +284,50 @@ fn table2(config: &Config) -> Vec<Row> {
     datasets.push(rssi_star(config.scale));
     for dataset in &datasets {
         let x = &dataset.weighted;
-        eprintln!("[table2] {} (n = {}, z = {})", dataset.name, x.len(), dataset.default_z);
+        eprintln!(
+            "[table2] {} (n = {}, z = {})",
+            dataset.name,
+            x.len(),
+            dataset.default_z
+        );
         let est = ZEstimation::build(x, dataset.default_z).expect("estimation");
         let e = ExperimentId::Table2;
-        rows.push(row(e, dataset.name, "n", "-", 0.0, "length", x.len() as f64));
-        rows.push(row(e, dataset.name, "sigma", "-", 0.0, "alphabet_size", x.sigma() as f64));
-        rows.push(row(e, dataset.name, "delta", "-", 0.0, "uncertain_percent", dataset.delta_percent()));
-        rows.push(row(e, dataset.name, "default_z", "-", 0.0, "z", dataset.default_z));
+        rows.push(row(
+            e,
+            dataset.name,
+            "n",
+            "-",
+            0.0,
+            "length",
+            x.len() as f64,
+        ));
+        rows.push(row(
+            e,
+            dataset.name,
+            "sigma",
+            "-",
+            0.0,
+            "alphabet_size",
+            x.sigma() as f64,
+        ));
+        rows.push(row(
+            e,
+            dataset.name,
+            "delta",
+            "-",
+            0.0,
+            "uncertain_percent",
+            dataset.delta_percent(),
+        ));
+        rows.push(row(
+            e,
+            dataset.name,
+            "default_z",
+            "-",
+            0.0,
+            "z",
+            dataset.default_z,
+        ));
         rows.push(row(
             e,
             dataset.name,
@@ -288,7 +380,11 @@ fn measure_configuration(
         kinds.push(IndexKind::MwstSe);
     }
     for kind in kinds {
-        let estimation = if kind.needs_estimation() { Some(&est) } else { None };
+        let estimation = if kind.needs_estimation() {
+            Some(&est)
+        } else {
+            None
+        };
         let built = match measure_build(kind, x, estimation, est_cost, params) {
             Ok(b) => b,
             Err(err) => {
@@ -356,7 +452,10 @@ fn sweep_vs_ell(config: &Config) -> Vec<Row> {
             if ell > x.len() {
                 continue;
             }
-            eprintln!("[vs-ell] {} z={} ell={}", dataset.name, dataset.default_z, ell);
+            eprintln!(
+                "[vs-ell] {} z={} ell={}",
+                dataset.name, dataset.default_z, ell
+            );
             measure_configuration(
                 config,
                 dataset.name,
@@ -445,54 +544,61 @@ fn sweep_rssi(config: &Config) -> Vec<Row> {
     let base = rssi_star(config.scale);
     let base_n = base.n();
     let kinds = [IndexKind::Wsa, IndexKind::MwstSe];
-    let measure_one = |x: &WeightedString,
-                           z: f64,
-                           ell: usize,
-                           param: &str,
-                           value: f64,
-                           rows: &mut Vec<Row>| {
-        let params = IndexParams::new(z, ell, x.sigma()).expect("valid parameters");
-        let (est, est_cost) = measure_estimation(x, z).expect("z-estimation");
-        for kind in kinds {
-            let estimation = if kind.needs_estimation() { Some(&est) } else { None };
-            let built = match measure_build(kind, x, estimation, est_cost, params) {
-                Ok(b) => b,
-                Err(err) => {
-                    eprintln!("  [skip] {}: {err}", kind.name());
-                    continue;
-                }
-            };
-            eprintln!(
-                "  RSSI* {param}={value} {:<8} space {:>9.2} MB  time {:>7.2} s",
-                kind.name(),
-                built.peak_bytes as f64 / 1e6,
-                built.wall.as_secs_f64()
-            );
-            rows.push(row(
-                ExperimentId::Fig14,
-                "RSSI*",
-                kind.name(),
-                param,
-                value,
-                "construction_space_mb",
-                built.peak_bytes as f64 / 1e6,
-            ));
-            rows.push(row(
-                ExperimentId::Fig16,
-                "RSSI*",
-                kind.name(),
-                param,
-                value,
-                "construction_time_s",
-                built.wall.as_secs_f64(),
-            ));
-        }
-    };
+    let measure_one =
+        |x: &WeightedString, z: f64, ell: usize, param: &str, value: f64, rows: &mut Vec<Row>| {
+            let params = IndexParams::new(z, ell, x.sigma()).expect("valid parameters");
+            let (est, est_cost) = measure_estimation(x, z).expect("z-estimation");
+            for kind in kinds {
+                let estimation = if kind.needs_estimation() {
+                    Some(&est)
+                } else {
+                    None
+                };
+                let built = match measure_build(kind, x, estimation, est_cost, params) {
+                    Ok(b) => b,
+                    Err(err) => {
+                        eprintln!("  [skip] {}: {err}", kind.name());
+                        continue;
+                    }
+                };
+                eprintln!(
+                    "  RSSI* {param}={value} {:<8} space {:>9.2} MB  time {:>7.2} s",
+                    kind.name(),
+                    built.peak_bytes as f64 / 1e6,
+                    built.wall.as_secs_f64()
+                );
+                rows.push(row(
+                    ExperimentId::Fig14,
+                    "RSSI*",
+                    kind.name(),
+                    param,
+                    value,
+                    "construction_space_mb",
+                    built.peak_bytes as f64 / 1e6,
+                ));
+                rows.push(row(
+                    ExperimentId::Fig16,
+                    "RSSI*",
+                    kind.name(),
+                    param,
+                    value,
+                    "construction_time_s",
+                    built.wall.as_secs_f64(),
+                ));
+            }
+        };
 
     // (a) vs ℓ at the default z.
     for &ell in &config.ell_sweep {
         eprintln!("[rssi vs-ell] ell={ell}");
-        measure_one(&base.weighted, base.default_z, ell, "ell", ell as f64, &mut rows);
+        measure_one(
+            &base.weighted,
+            base.default_z,
+            ell,
+            "ell",
+            ell as f64,
+            &mut rows,
+        );
     }
     // (b) vs z at the default ℓ.
     for &z in &base.z_sweep {
@@ -503,14 +609,28 @@ fn sweep_rssi(config: &Config) -> Vec<Row> {
     for sigma in [16usize, 32, 64, 91] {
         eprintln!("[rssi vs-sigma] sigma={sigma}");
         let x = rssi_scaled(base_n, sigma, 0x0551);
-        measure_one(&x, base.default_z, config.default_ell, "sigma", sigma as f64, &mut rows);
+        measure_one(
+            &x,
+            base.default_z,
+            config.default_ell,
+            "sigma",
+            sigma as f64,
+            &mut rows,
+        );
     }
     // (d) vs n at fixed σ = 32.
     for factor in [1usize, 2, 4] {
         let n = base_n * factor;
         eprintln!("[rssi vs-n] n={n}");
         let x = rssi_scaled(n, 32, 0x0551);
-        measure_one(&x, base.default_z, config.default_ell, "n", n as f64, &mut rows);
+        measure_one(
+            &x,
+            base.default_z,
+            config.default_ell,
+            "n",
+            n as f64,
+            &mut rows,
+        );
     }
     rows
 }
@@ -537,11 +657,26 @@ fn ablation(config: &Config) -> Vec<Row> {
         ("MWSA-G", IndexVariant::ArrayGrid),
     ] {
         let params = IndexParams::new(z, ell, x.sigma()).expect("params");
-        let index =
-            MinimizerIndex::build_from_estimation(x, &est, params, variant).expect("index");
+        let index = MinimizerIndex::build_from_estimation(x, &est, params, variant).expect("index");
         let q = measure_queries(&index, &patterns, x);
-        rows.push(row(e, dataset.name, label, "query", 0.0, "avg_query_us", q.avg_micros));
-        rows.push(row(e, dataset.name, label, "query", 0.0, "index_size_mb", index.size_bytes() as f64 / 1e6));
+        rows.push(row(
+            e,
+            dataset.name,
+            label,
+            "query",
+            0.0,
+            "avg_query_us",
+            q.avg_micros,
+        ));
+        rows.push(row(
+            e,
+            dataset.name,
+            label,
+            "query",
+            0.0,
+            "index_size_mb",
+            index.size_bytes() as f64 / 1e6,
+        ));
     }
 
     // (2) k-mer order: Karp–Rabin fingerprints vs lexicographic.
@@ -549,8 +684,9 @@ fn ablation(config: &Config) -> Vec<Row> {
         ("KR-order", KmerOrder::default()),
         ("lex-order", KmerOrder::Lexicographic),
     ] {
-        let params =
-            IndexParams::new(z, ell, x.sigma()).expect("params").with_order(order);
+        let params = IndexParams::new(z, ell, x.sigma())
+            .expect("params")
+            .with_order(order);
         let index = MinimizerIndex::build_from_estimation(x, &est, params, IndexVariant::Array)
             .expect("index");
         rows.push(row(

@@ -116,12 +116,20 @@ pub struct Experiment {
 impl Experiment {
     /// The paper's sweeps: ℓ, m ∈ {64, 128, 256, 512, 1024}, default 256.
     pub fn with_paper_defaults(id: ExperimentId) -> Self {
-        Self { id, ell_sweep: vec![64, 128, 256, 512, 1024], default_ell: 256 }
+        Self {
+            id,
+            ell_sweep: vec![64, 128, 256, 512, 1024],
+            default_ell: 256,
+        }
     }
 
     /// A reduced sweep for quick runs.
     pub fn quick(id: ExperimentId) -> Self {
-        Self { id, ell_sweep: vec![64, 256, 1024], default_ell: 256 }
+        Self {
+            id,
+            ell_sweep: vec![64, 256, 1024],
+            default_ell: 256,
+        }
     }
 }
 

@@ -9,10 +9,12 @@
 
 #![warn(missing_docs)]
 
+pub mod construction;
 pub mod experiments;
 pub mod measure;
 pub mod report;
 
+pub use construction::{ConstructionBenchConfig, DatasetBench, StageTiming};
 pub use experiments::{Experiment, ExperimentId};
 pub use measure::{BuildMeasurement, IndexKind, QueryMeasurement};
 pub use report::Row;

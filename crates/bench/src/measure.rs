@@ -197,7 +197,9 @@ pub fn measure_build(
     let mut peak = mem.peak_bytes;
     if kind.needs_estimation() {
         wall += estimation_cost.wall;
-        peak = estimation_cost.peak_bytes.max(estimation_cost.retained_bytes + mem.peak_bytes);
+        peak = estimation_cost
+            .peak_bytes
+            .max(estimation_cost.retained_bytes + mem.peak_bytes);
     }
     Ok(BuildMeasurement {
         kind,
@@ -262,7 +264,13 @@ mod tests {
 
     #[test]
     fn all_kinds_build_and_answer_queries() {
-        let x = PangenomeConfig { n: 800, delta: 0.06, seed: 4, ..Default::default() }.generate();
+        let x = PangenomeConfig {
+            n: 800,
+            delta: 0.06,
+            seed: 4,
+            ..Default::default()
+        }
+        .generate();
         let z = 8.0;
         let ell = 16usize;
         let params = IndexParams::new(z, ell, x.sigma()).unwrap();
@@ -271,7 +279,11 @@ mod tests {
         assert!(!patterns.is_empty());
         let mut reference: Option<usize> = None;
         for kind in IndexKind::all() {
-            let estimation = if kind.needs_estimation() { Some(&est) } else { None };
+            let estimation = if kind.needs_estimation() {
+                Some(&est)
+            } else {
+                None
+            };
             let b = measure_build(kind, &x, estimation, est_cost, params).unwrap();
             // The space-efficient construction produces an MWST; all other
             // kinds report their own name.
@@ -286,7 +298,8 @@ mod tests {
             match reference {
                 None => reference = Some(q.total_occurrences),
                 Some(expected) => assert_eq!(
-                    q.total_occurrences, expected,
+                    q.total_occurrences,
+                    expected,
                     "{} reports a different occurrence total",
                     kind.name()
                 ),

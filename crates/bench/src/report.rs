@@ -99,7 +99,10 @@ mod tests {
         let csv = render_csv(&[sample_row()]);
         let mut lines = csv.lines();
         assert_eq!(lines.next().unwrap(), Row::csv_header());
-        assert_eq!(lines.next().unwrap(), "fig6,EFM*,MWSA,ell,256,index_size_mb,12.5");
+        assert_eq!(
+            lines.next().unwrap(),
+            "fig6,EFM*,MWSA,ell,256,index_size_mb,12.5"
+        );
     }
 
     #[test]

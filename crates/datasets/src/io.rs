@@ -31,7 +31,11 @@ pub fn write_weighted<W: Write>(x: &WeightedString, mut out: W) -> Result<()> {
     let alphabet_str: String = x.alphabet().symbols().iter().map(|&b| b as char).collect();
     writeln!(out, "alphabet {alphabet_str}").map_err(io_err)?;
     for i in 0..x.len() {
-        let row: Vec<String> = x.distribution(i).iter().map(|p| format!("{p:.9}")).collect();
+        let row: Vec<String> = x
+            .distribution(i)
+            .iter()
+            .map(|p| format!("{p:.9}"))
+            .collect();
         writeln!(out, "{}", row.join(" ")).map_err(io_err)?;
     }
     Ok(())
@@ -54,9 +58,7 @@ pub fn read_weighted<R: Read>(input: R) -> Result<WeightedString> {
                         return Ok(line);
                     }
                 }
-                Some(Err(e)) => {
-                    return Err(Error::InvalidParameters(format!("read failed: {e}")))
-                }
+                Some(Err(e)) => return Err(Error::InvalidParameters(format!("read failed: {e}"))),
                 None => return Err(Error::InvalidParameters("unexpected end of file".into())),
             }
         }
@@ -64,7 +66,9 @@ pub fn read_weighted<R: Read>(input: R) -> Result<WeightedString> {
 
     let magic = next_line()?;
     if magic != "IUSW 1" {
-        return Err(Error::InvalidParameters(format!("bad magic line: {magic:?}")));
+        return Err(Error::InvalidParameters(format!(
+            "bad magic line: {magic:?}"
+        )));
     }
     let n: usize = parse_field(&next_line()?, "n")?;
     let sigma: usize = parse_field(&next_line()?, "sigma")?;
@@ -96,9 +100,9 @@ pub fn read_weighted<R: Read>(input: R) -> Result<WeightedString> {
 }
 
 fn parse_field(line: &str, name: &str) -> Result<usize> {
-    let rest = line
-        .strip_prefix(name)
-        .ok_or_else(|| Error::InvalidParameters(format!("expected `{name} <value>`, got {line:?}")))?;
+    let rest = line.strip_prefix(name).ok_or_else(|| {
+        Error::InvalidParameters(format!("expected `{name} <value>`, got {line:?}"))
+    })?;
     rest.trim()
         .parse::<usize>()
         .map_err(|e| Error::InvalidParameters(format!("bad {name} value in {line:?}: {e}")))
@@ -111,7 +115,13 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_probabilities() {
-        let x = UniformConfig { n: 100, sigma: 5, spread: 0.7, seed: 4 }.generate();
+        let x = UniformConfig {
+            n: 100,
+            sigma: 5,
+            spread: 0.7,
+            seed: 4,
+        }
+        .generate();
         let mut buffer = Vec::new();
         write_weighted(&x, &mut buffer).unwrap();
         let y = read_weighted(&buffer[..]).unwrap();

@@ -47,7 +47,10 @@ impl PangenomeConfig {
     /// Panics if `n == 0` or the fractions are outside `[0, 1]`.
     pub fn generate(&self) -> WeightedString {
         assert!(self.n > 0, "n must be positive");
-        assert!((0.0..=1.0).contains(&self.delta), "delta must be a fraction");
+        assert!(
+            (0.0..=1.0).contains(&self.delta),
+            "delta must be a fraction"
+        );
         assert!(
             (0.0..=1.0).contains(&self.common_variant_fraction),
             "common_variant_fraction must be a fraction"
@@ -69,8 +72,8 @@ impl PangenomeConfig {
                 };
                 // Round to a multiple of 1/samples, keeping at least one
                 // minor-allele sample so the position stays ambiguous.
-                let minor_count =
-                    ((minor_freq * self.samples as f64).round() as usize).clamp(1, self.samples / 2);
+                let minor_count = ((minor_freq * self.samples as f64).round() as usize)
+                    .clamp(1, self.samples / 2);
                 let minor_freq = minor_count as f64 / self.samples as f64;
                 // Occasionally the variant is tri-allelic (two minor alleles).
                 let mut alt = rng.gen_range(0..sigma - 1);
@@ -152,7 +155,12 @@ mod tests {
 
     #[test]
     fn delta_matches_configuration() {
-        let x = PangenomeConfig { n: 20_000, delta: 0.05, ..Default::default() }.generate();
+        let x = PangenomeConfig {
+            n: 20_000,
+            delta: 0.05,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(x.len(), 20_000);
         assert_eq!(x.sigma(), 4);
         let delta = x.uncertainty_fraction();
@@ -186,7 +194,10 @@ mod tests {
                 ius_weighted::is_solid(p, z)
             })
             .count();
-        assert!(solid_windows > 0, "no solid window of length {len} for z = {z}");
+        assert!(
+            solid_windows > 0,
+            "no solid window of length {len} for z = {z}"
+        );
     }
 
     #[test]
@@ -202,6 +213,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "n must be positive")]
     fn zero_length_panics() {
-        let _ = PangenomeConfig { n: 0, ..Default::default() }.generate();
+        let _ = PangenomeConfig {
+            n: 0,
+            ..Default::default()
+        }
+        .generate();
     }
 }

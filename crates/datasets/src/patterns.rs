@@ -21,7 +21,10 @@ pub struct PatternSampler<'a> {
 impl<'a> PatternSampler<'a> {
     /// Creates a sampler over `estimation` with a deterministic seed.
     pub fn new(estimation: &'a ZEstimation, seed: u64) -> Self {
-        Self { estimation, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            estimation,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The number of patterns the paper samples for a given `n` and `z`:
@@ -151,6 +154,8 @@ mod tests {
         let mut sampler = PatternSampler::new(&est, 3);
         let pats = sampler.sample_random(12, 5, 4);
         assert_eq!(pats.len(), 5);
-        assert!(pats.iter().all(|p| p.len() == 12 && p.iter().all(|&c| c < 4)));
+        assert!(pats
+            .iter()
+            .all(|p| p.len() == 12 && p.iter().all(|&c| c < 4)));
     }
 }

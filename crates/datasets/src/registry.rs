@@ -127,7 +127,12 @@ pub fn rssi_star(scale: Scale) -> Dataset {
 
 /// All four stand-ins, in the order of Table 2.
 pub fn standard_datasets(scale: Scale) -> Vec<Dataset> {
-    vec![sars_star(scale), efm_star(scale), human_star(scale), rssi_star(scale)]
+    vec![
+        sars_star(scale),
+        efm_star(scale),
+        human_star(scale),
+        rssi_star(scale),
+    ]
 }
 
 fn scale_n(full: usize, scale: Scale) -> usize {

@@ -32,7 +32,14 @@ pub struct RssiConfig {
 
 impl Default for RssiConfig {
     fn default() -> Self {
-        Self { n: 50_000, sigma: 91, channels: 16, noise: 0.35, drift: 0.2, seed: 0x0551 }
+        Self {
+            n: 50_000,
+            sigma: 91,
+            channels: 16,
+            noise: 0.35,
+            drift: 0.2,
+            seed: 0x0551,
+        }
     }
 }
 
@@ -71,7 +78,10 @@ impl RssiConfig {
             }
             // Guarantee Δ = 100 %: if all channels agreed, nudge one reading.
             if counts.iter().filter(|&&c| c > 0).count() == 1 {
-                let v = counts.iter().position(|&c| c > 0).expect("some value observed");
+                let v = counts
+                    .iter()
+                    .position(|&c| c > 0)
+                    .expect("some value observed");
                 let neighbour = if v + 1 < self.sigma { v + 1 } else { v - 1 };
                 counts[v] -= 1;
                 counts[neighbour] += 1;
@@ -86,13 +96,24 @@ impl RssiConfig {
 
 /// A scaled-down stand-in for the paper's RSSI dataset (σ = 91, Δ = 100 %).
 pub fn rssi_like(n: usize, seed: u64) -> WeightedString {
-    RssiConfig { n, seed, ..Default::default() }.generate()
+    RssiConfig {
+        n,
+        seed,
+        ..Default::default()
+    }
+    .generate()
 }
 
 /// The `RSSI_{n,σ}` family of the paper: the base string scaled in length and
 /// re-quantised to a smaller alphabet.
 pub fn rssi_scaled(n: usize, sigma: usize, seed: u64) -> WeightedString {
-    RssiConfig { n, sigma, seed, ..Default::default() }.generate()
+    RssiConfig {
+        n,
+        sigma,
+        seed,
+        ..Default::default()
+    }
+    .generate()
 }
 
 #[cfg(test)]
@@ -139,6 +160,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "sigma must be at least 3")]
     fn tiny_alphabet_panics() {
-        let _ = RssiConfig { sigma: 2, ..Default::default() }.generate();
+        let _ = RssiConfig {
+            sigma: 2,
+            ..Default::default()
+        }
+        .generate();
     }
 }

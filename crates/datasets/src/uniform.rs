@@ -21,7 +21,12 @@ pub struct UniformConfig {
 
 impl Default for UniformConfig {
     fn default() -> Self {
-        Self { n: 10_000, sigma: 4, spread: 0.5, seed: 0xF00D }
+        Self {
+            n: 10_000,
+            sigma: 4,
+            spread: 0.5,
+            seed: 0xF00D,
+        }
     }
 }
 
@@ -34,22 +39,29 @@ impl UniformConfig {
     pub fn generate(&self) -> WeightedString {
         assert!(self.n > 0, "n must be positive");
         assert!(self.sigma > 0, "sigma must be positive");
-        assert!((0.0..=1.0).contains(&self.spread), "spread must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&self.spread),
+            "spread must be in [0, 1]"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let alphabet = Alphabet::integer(self.sigma).expect("sigma bounded by u8");
         let rows: Vec<Vec<f64>> = (0..self.n)
             .map(|_| {
                 let major = rng.gen_range(0..self.sigma);
-                let minor_mass: f64 =
-                    if self.spread > 0.0 { rng.gen_range(0.0..self.spread) } else { 0.0 };
+                let minor_mass: f64 = if self.spread > 0.0 {
+                    rng.gen_range(0.0..self.spread)
+                } else {
+                    0.0
+                };
                 let mut row = vec![0.0f64; self.sigma];
                 if self.sigma == 1 {
                     row[0] = 1.0;
                     return row;
                 }
                 // Distribute the minor mass over the other letters randomly.
-                let mut weights: Vec<f64> =
-                    (0..self.sigma - 1).map(|_| rng.gen_range(0.01..1.0)).collect();
+                let mut weights: Vec<f64> = (0..self.sigma - 1)
+                    .map(|_| rng.gen_range(0.01..1.0))
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 weights.iter_mut().for_each(|w| *w *= minor_mass / total);
                 let mut it = weights.into_iter();
@@ -72,28 +84,54 @@ mod tests {
 
     #[test]
     fn respects_parameters() {
-        let x = UniformConfig { n: 500, sigma: 6, spread: 0.8, seed: 1 }.generate();
+        let x = UniformConfig {
+            n: 500,
+            sigma: 6,
+            spread: 0.8,
+            seed: 1,
+        }
+        .generate();
         assert_eq!(x.len(), 500);
         assert_eq!(x.sigma(), 6);
     }
 
     #[test]
     fn zero_spread_is_deterministic_string() {
-        let x = UniformConfig { n: 200, sigma: 4, spread: 0.0, seed: 2 }.generate();
+        let x = UniformConfig {
+            n: 200,
+            sigma: 4,
+            spread: 0.0,
+            seed: 2,
+        }
+        .generate();
         assert_eq!(x.uncertainty_fraction(), 0.0);
     }
 
     #[test]
     fn single_letter_alphabet() {
-        let x = UniformConfig { n: 50, sigma: 1, spread: 0.5, seed: 3 }.generate();
+        let x = UniformConfig {
+            n: 50,
+            sigma: 1,
+            spread: 0.5,
+            seed: 3,
+        }
+        .generate();
         assert_eq!(x.sigma(), 1);
         assert_eq!(x.prob(0, 0), 1.0);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = UniformConfig { seed: 11, ..Default::default() }.generate();
-        let b = UniformConfig { seed: 11, ..Default::default() }.generate();
+        let a = UniformConfig {
+            seed: 11,
+            ..Default::default()
+        }
+        .generate();
+        let b = UniformConfig {
+            seed: 11,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a, b);
     }
 }

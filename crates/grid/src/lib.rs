@@ -62,7 +62,12 @@ pub struct Rect {
 impl Rect {
     /// Convenience constructor from half-open ranges.
     pub fn new(x: (u32, u32), y: (u32, u32)) -> Self {
-        Self { x_lo: x.0, x_hi: x.1, y_lo: y.0, y_hi: y.1 }
+        Self {
+            x_lo: x.0,
+            x_hi: x.1,
+            y_lo: y.0,
+            y_hi: y.1,
+        }
     }
 
     /// `true` iff the rectangle contains the point.

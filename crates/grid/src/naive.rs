@@ -33,7 +33,11 @@ impl NaiveGrid {
         if rect.is_empty() {
             return Vec::new();
         }
-        self.points.iter().filter(|p| rect.contains(p)).map(|p| p.payload).collect()
+        self.points
+            .iter()
+            .filter(|p| rect.contains(p))
+            .map(|p| p.payload)
+            .collect()
     }
 
     /// Number of points inside `rect`.

@@ -36,8 +36,7 @@ impl RangeReporter {
         // Merge upwards.
         for node in (1..size).rev() {
             let (left, right) = (2 * node, 2 * node + 1);
-            let mut merged =
-                Vec::with_capacity(node_points[left].len() + node_points[right].len());
+            let mut merged = Vec::with_capacity(node_points[left].len() + node_points[right].len());
             let (a, b) = (&node_points[left], &node_points[right]);
             let (mut i, mut j) = (0usize, 0usize);
             while i < a.len() && j < b.len() {
@@ -53,7 +52,12 @@ impl RangeReporter {
             merged.extend_from_slice(&b[j..]);
             node_points[node] = merged;
         }
-        Self { size, len, xs, node_points }
+        Self {
+            size,
+            len,
+            xs,
+            node_points,
+        }
     }
 
     /// Number of stored points.
@@ -154,7 +158,9 @@ impl RangeReporter {
             .iter()
             .map(|v| v.capacity() * std::mem::size_of::<(u32, u32)>())
             .sum();
-        self.xs.capacity() * 4 + nodes + self.node_points.capacity() * std::mem::size_of::<Vec<(u32, u32)>>()
+        self.xs.capacity() * 4
+            + nodes
+            + self.node_points.capacity() * std::mem::size_of::<Vec<(u32, u32)>>()
     }
 }
 
@@ -172,7 +178,9 @@ mod tests {
             let j = rng.gen_range(0..=i);
             ys.swap(i, j);
         }
-        (0..n as u32).map(|x| GridPoint::new(x, ys[x as usize], 1000 + x)).collect()
+        (0..n as u32)
+            .map(|x| GridPoint::new(x, ys[x as usize], 1000 + x))
+            .collect()
     }
 
     #[test]

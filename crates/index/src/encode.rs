@@ -20,6 +20,7 @@
 use ius_text::lce::LceIndex;
 use ius_text::trie::LabelProvider;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// One stored deviation of a factor from the heavy string.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +65,10 @@ pub struct PendingFactor {
 #[derive(Debug, Clone)]
 pub struct EncodedFactorSet {
     direction: Direction,
-    heavy_view: Vec<u8>,
+    /// The heavy string read in the set's direction. Forward sets share the
+    /// index-wide heavy allocation (no copy); backward sets own the reversed
+    /// copy.
+    heavy_view: Arc<Vec<u8>>,
     /// Anchor in view coordinates, per sorted leaf.
     anchor_view: Vec<u32>,
     /// Anchor in `X` coordinates (the minimizer position), per sorted leaf.
@@ -162,7 +166,9 @@ impl EncodedFactorSet {
         (lo, hi)
     }
 
-    /// Heap bytes retained by the set.
+    /// Heap bytes retained by the set, counting the heavy view even when it
+    /// is shared (see [`EncodedFactorSet::memory_bytes_without_heavy`] for
+    /// the variant that avoids double counting a shared view).
     pub fn memory_bytes(&self) -> usize {
         self.heavy_view.capacity()
             + (self.anchor_view.capacity()
@@ -174,11 +180,17 @@ impl EncodedFactorSet {
             + self.mismatches.capacity() * std::mem::size_of::<Mismatch>()
     }
 
-    /// Heap bytes excluding the heavy view (which is shared conceptually with
-    /// the index-wide heavy string and must not be double counted when both
-    /// a forward and a backward set are held by one index).
+    /// Heap bytes excluding the heavy view. Forward sets share the view's
+    /// allocation with the index-wide heavy string, so counting it again
+    /// would double count.
     pub fn memory_bytes_without_heavy(&self) -> usize {
         self.memory_bytes() - self.heavy_view.capacity()
+    }
+
+    /// `true` iff this set is the sole owner of its heavy view (backward
+    /// sets own their reversed copy; forward sets usually share).
+    pub fn owns_heavy_view(&self) -> bool {
+        Arc::strong_count(&self.heavy_view) == 1
     }
 
     fn partition_point<F: Fn(usize) -> bool>(&self, pred: F) -> usize {
@@ -200,9 +212,9 @@ impl EncodedFactorSet {
     /// smaller).
     fn compare_leaf_to_pattern(&self, leaf: usize, pattern: &[u8]) -> Ordering {
         let len = self.factor_len(leaf);
-        for d in 0..len.min(pattern.len()) {
+        for (d, &pc) in pattern.iter().enumerate().take(len) {
             let c = self.letter_at(leaf, d).expect("within factor");
-            match c.cmp(&pattern[d]) {
+            match c.cmp(&pc) {
                 Ordering::Equal => {}
                 other => return other,
             }
@@ -214,9 +226,9 @@ impl EncodedFactorSet {
     /// (a shorter factor counts as smaller).
     fn compare_leaf_prefix_to_pattern(&self, leaf: usize, pattern: &[u8]) -> Ordering {
         let len = self.factor_len(leaf);
-        for d in 0..len.min(pattern.len()) {
+        for (d, &pc) in pattern.iter().enumerate().take(len) {
             let c = self.letter_at(leaf, d).expect("within factor");
-            match c.cmp(&pattern[d]) {
+            match c.cmp(&pc) {
                 Ordering::Equal => {}
                 other => return other,
             }
@@ -246,16 +258,24 @@ impl LabelProvider for EncodedFactorSet {
 #[derive(Debug)]
 pub struct EncodedFactorSetBuilder {
     direction: Direction,
-    /// Heavy string of `X` (always in forward orientation).
-    heavy_forward: Vec<u8>,
+    /// Heavy string of `X` (always in forward orientation), borrowed from
+    /// the index-wide heavy string — the builder never copies it.
+    heavy_forward: Arc<Vec<u8>>,
     factors: Vec<PendingFactor>,
 }
 
 impl EncodedFactorSetBuilder {
     /// Creates a builder for the given direction over the heavy string of `X`
     /// (given in forward orientation; the builder derives the view it needs).
-    pub fn new(direction: Direction, heavy_forward: Vec<u8>) -> Self {
-        Self { direction, heavy_forward, factors: Vec::new() }
+    /// Pass [`ius_weighted::HeavyString::shared_ranks`] — no letters are
+    /// copied for forward sets; backward sets materialise one reversed copy
+    /// at [`EncodedFactorSetBuilder::finish`] time.
+    pub fn new(direction: Direction, heavy_forward: Arc<Vec<u8>>) -> Self {
+        Self {
+            direction,
+            heavy_forward,
+            factors: Vec::new(),
+        }
     }
 
     /// Adds a factor.
@@ -266,7 +286,10 @@ impl EncodedFactorSetBuilder {
     /// mismatches are not sorted by depth.
     pub fn push(&mut self, factor: PendingFactor) {
         debug_assert!(
-            factor.mismatches.windows(2).all(|w| w[0].depth < w[1].depth),
+            factor
+                .mismatches
+                .windows(2)
+                .all(|w| w[0].depth < w[1].depth),
             "mismatches must be sorted by depth"
         );
         debug_assert!(
@@ -291,12 +314,15 @@ impl EncodedFactorSetBuilder {
     /// exactly what [`ius_text::trie::CompactedTrie::build`] needs.
     pub fn finish(self) -> (EncodedFactorSet, Vec<usize>) {
         let n = self.heavy_forward.len();
-        let heavy_view: Vec<u8> = match self.direction {
+        let heavy_view: Arc<Vec<u8>> = match self.direction {
+            // Forward sets read the heavy string as-is: share the allocation.
             Direction::Forward => self.heavy_forward,
+            // Backward sets read it reversed: one owned copy, unavoidable
+            // because the LCE index is built over the view's orientation.
             Direction::Backward => {
-                let mut v = self.heavy_forward;
+                let mut v = (*self.heavy_forward).clone();
                 v.reverse();
-                v
+                Arc::new(v)
             }
         };
         let anchor_to_view = |anchor_x: u32| -> u32 {
@@ -306,6 +332,73 @@ impl EncodedFactorSetBuilder {
             }
         };
         let lce = LceIndex::new(&heavy_view);
+        let mut order: Vec<usize> = (0..self.factors.len()).collect();
+        let factors = self.factors;
+        // Packed prefix keys decide almost every comparison with one integer
+        // compare; the O(log z) LCE comparator only breaks the ties of
+        // factors sharing their first eight letters.
+        let prefix_keys: Vec<u64> = factors
+            .iter()
+            .map(|f| prefix_key(f, &heavy_view, anchor_to_view(f.anchor_x) as usize))
+            .collect();
+        order.sort_unstable_by(|&a, &b| {
+            prefix_keys[a]
+                .cmp(&prefix_keys[b])
+                .then_with(|| {
+                    compare_pending(
+                        &factors[a],
+                        anchor_to_view(factors[a].anchor_x) as usize,
+                        &factors[b],
+                        anchor_to_view(factors[b].anchor_x) as usize,
+                        &heavy_view,
+                        &lce,
+                    )
+                })
+                .then(factors[a].anchor_x.cmp(&factors[b].anchor_x))
+                .then(factors[a].strand.cmp(&factors[b].strand))
+        });
+
+        let total_mismatches: usize = factors.iter().map(|f| f.mismatches.len()).sum();
+        let mut set = EncodedFactorSet {
+            direction: self.direction,
+            heavy_view,
+            anchor_view: Vec::with_capacity(order.len()),
+            anchor_x: Vec::with_capacity(order.len()),
+            lens: Vec::with_capacity(order.len()),
+            strands: Vec::with_capacity(order.len()),
+            mism_start: Vec::with_capacity(order.len() + 1),
+            mismatches: Vec::with_capacity(total_mismatches),
+        };
+        set.mism_start.push(0);
+        let lcps = Self::emit_sorted(&factors, &order, &mut set, &lce, anchor_to_view);
+        (set, lcps)
+    }
+
+    /// The pre-overhaul `finish`: builds the LCE substrate from the retained
+    /// prefix-doubling suffix array and sorts with the `O(log z)` comparator
+    /// alone (no packed prefix keys). Retained for differential testing and
+    /// as the "before" measurement of the construction benchmark; produces
+    /// exactly the same sorted set as [`EncodedFactorSetBuilder::finish`].
+    pub fn finish_reference(self) -> (EncodedFactorSet, Vec<usize>) {
+        use ius_text::sa::suffix_array_prefix_doubling;
+        let n = self.heavy_forward.len();
+        let heavy_view: Arc<Vec<u8>> = {
+            // The seed copied the heavy letters into every builder; keep that
+            // cost in the reference path.
+            let mut v = (*self.heavy_forward).clone();
+            if self.direction == Direction::Backward {
+                v.reverse();
+            }
+            Arc::new(v)
+        };
+        let anchor_to_view = |anchor_x: u32| -> u32 {
+            match self.direction {
+                Direction::Forward => anchor_x,
+                Direction::Backward => (n as u32) - 1 - anchor_x,
+            }
+        };
+        let lce =
+            LceIndex::from_suffix_array(&heavy_view, suffix_array_prefix_doubling(&heavy_view));
         let mut order: Vec<usize> = (0..self.factors.len()).collect();
         let factors = self.factors;
         order.sort_unstable_by(|&a, &b| {
@@ -332,6 +425,19 @@ impl EncodedFactorSetBuilder {
             mismatches: Vec::new(),
         };
         set.mism_start.push(0);
+        let lcps = Self::emit_sorted(&factors, &order, &mut set, &lce, anchor_to_view);
+        (set, lcps)
+    }
+
+    /// Emits the factors into `set` in sorted order and computes neighbour
+    /// LCPs (shared tail of `finish` and `finish_reference`).
+    fn emit_sorted(
+        factors: &[PendingFactor],
+        order: &[usize],
+        set: &mut EncodedFactorSet,
+        lce: &LceIndex,
+        anchor_to_view: impl Fn(u32) -> u32,
+    ) -> Vec<usize> {
         let mut lcps = vec![0usize; order.len()];
         for (rank, &idx) in order.iter().enumerate() {
             let f = &factors[idx];
@@ -349,16 +455,32 @@ impl EncodedFactorSetBuilder {
                     f,
                     anchor_to_view(f.anchor_x) as usize,
                     &set.heavy_view,
-                    &lce,
+                    lce,
                 );
             }
         }
-        (set, lcps)
+        lcps
     }
 }
 
+/// Packs the first eight letters of a factor into a big-endian `u64` whose
+/// integer order equals the lexicographic order of those prefixes (letters
+/// are stored as `rank + 1`, so "past the factor's end" packs as 0 and a
+/// proper prefix sorts first).
+fn prefix_key(f: &PendingFactor, view: &[u8], anchor_view: usize) -> u64 {
+    let mut key = 0u64;
+    let take = (f.len as usize).min(8);
+    for d in 0..take {
+        key = (key << 8) | (letter_of(f, view, anchor_view, d) as u64 + 1);
+    }
+    key << (8 * (8 - take))
+}
+
 fn mismatch_letter(f: &PendingFactor, depth: usize) -> Option<u8> {
-    f.mismatches.iter().find(|m| m.depth as usize == depth).map(|m| m.letter)
+    f.mismatches
+        .iter()
+        .find(|m| m.depth as usize == depth)
+        .map(|m| m.letter)
 }
 
 fn letter_of(f: &PendingFactor, view: &[u8], anchor_view: usize, depth: usize) -> u8 {
@@ -387,8 +509,14 @@ fn lcp_pending(
         while bi < b.mismatches.len() && (b.mismatches[bi].depth as usize) < d {
             bi += 1;
         }
-        let next_a = a.mismatches.get(ai).map_or(usize::MAX, |m| m.depth as usize);
-        let next_b = b.mismatches.get(bi).map_or(usize::MAX, |m| m.depth as usize);
+        let next_a = a
+            .mismatches
+            .get(ai)
+            .map_or(usize::MAX, |m| m.depth as usize);
+        let next_b = b
+            .mismatches
+            .get(bi)
+            .map_or(usize::MAX, |m| m.depth as usize);
         if next_a == d || next_b == d {
             if letter_of(a, view, a_view, d) != letter_of(b, view, b_view, d) {
                 return d;
@@ -432,7 +560,9 @@ mod tests {
 
     /// Reference materialisation of a pending factor over a heavy view.
     fn materialize_pending(f: &PendingFactor, view: &[u8], anchor_view: usize) -> Vec<u8> {
-        (0..f.len as usize).map(|d| letter_of(f, view, anchor_view, d)).collect()
+        (0..f.len as usize)
+            .map(|d| letter_of(f, view, anchor_view, d))
+            .collect()
     }
 
     fn random_factor(
@@ -464,10 +594,19 @@ mod tests {
             if letter == heavy_letter {
                 letter = (letter + 1) % sigma;
             }
-            mismatches.push(Mismatch { depth, letter, ratio: 0.5 });
+            mismatches.push(Mismatch {
+                depth,
+                letter,
+                ratio: 0.5,
+            });
         }
         mismatches.sort_by_key(|m| m.depth);
-        PendingFactor { anchor_x, len, strand: 0, mismatches }
+        PendingFactor {
+            anchor_x,
+            len,
+            strand: 0,
+            mismatches,
+        }
     }
 
     #[test]
@@ -476,51 +615,53 @@ mod tests {
         for direction in [Direction::Forward, Direction::Backward] {
             let n = 60usize;
             let sigma = 3u8;
-            let heavy: Vec<u8> = (0..n).map(|_| rng.gen_range(0..sigma)).collect();
-            let mut builder = EncodedFactorSetBuilder::new(direction, heavy.clone());
-            let mut pendings = Vec::new();
-            for _ in 0..80 {
-                let f = random_factor(&mut rng, n, direction, sigma, &heavy);
-                pendings.push(f.clone());
-                builder.push(f);
-            }
-            let (set, lcps) = builder.finish();
-            assert_eq!(set.len(), pendings.len());
-            // Materialised strings must be sorted and LCPs must match.
-            let strings: Vec<Vec<u8>> = (0..set.len()).map(|i| set.materialize(i)).collect();
-            for i in 1..strings.len() {
-                assert!(strings[i - 1] <= strings[i], "factors not sorted at {i}");
-                let expected = strings[i - 1]
-                    .iter()
-                    .zip(strings[i].iter())
-                    .take_while(|(a, b)| a == b)
-                    .count();
-                assert_eq!(lcps[i], expected, "LCP mismatch at {i} ({direction:?})");
-            }
-            // And the materialisation must agree with the pending-factor view.
+            let heavy: Arc<Vec<u8>> = Arc::new((0..n).map(|_| rng.gen_range(0..sigma)).collect());
             let view: Vec<u8> = match direction {
-                Direction::Forward => heavy.clone(),
+                Direction::Forward => (*heavy).clone(),
                 Direction::Backward => {
-                    let mut v = heavy.clone();
+                    let mut v = (*heavy).clone();
                     v.reverse();
                     v
                 }
             };
-            for (leaf, s) in strings.iter().enumerate() {
-                let anchor_x = set.anchor_x(leaf) as u32;
-                let anchor_view = match direction {
-                    Direction::Forward => anchor_x,
-                    Direction::Backward => (n as u32) - 1 - anchor_x,
-                } as usize;
-                let original = pendings
+            let anchor_to_view = |anchor_x: u32| match direction {
+                Direction::Forward => anchor_x as usize,
+                Direction::Backward => n - 1 - anchor_x as usize,
+            };
+            // Materialise each factor's expected string up front, then move
+            // the factor into the builder — no per-factor clone needed.
+            let mut builder = EncodedFactorSetBuilder::new(direction, Arc::clone(&heavy));
+            let mut expected: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..80 {
+                let f = random_factor(&mut rng, n, direction, sigma, &heavy);
+                expected.push(materialize_pending(&f, &view, anchor_to_view(f.anchor_x)));
+                builder.push(f);
+            }
+            let (set, lcps) = builder.finish();
+            assert_eq!(set.len(), expected.len());
+            // The sorted set must materialise exactly the pushed multiset of
+            // strings, in sorted order, with matching neighbour LCPs.
+            expected.sort();
+            let strings: Vec<Vec<u8>> = (0..set.len()).map(|i| set.materialize(i)).collect();
+            assert_eq!(strings, expected, "sorted factors differ ({direction:?})");
+            for i in 1..strings.len() {
+                let direct = strings[i - 1]
                     .iter()
-                    .find(|f| {
-                        f.anchor_x == anchor_x
-                            && f.len as usize == s.len()
-                            && materialize_pending(f, &view, anchor_view) == *s
-                    })
-                    .expect("every sorted factor corresponds to a pushed factor");
-                assert_eq!(&materialize_pending(original, &view, anchor_view), s);
+                    .zip(strings[i].iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                assert_eq!(lcps[i], direct, "LCP mismatch at {i} ({direction:?})");
+            }
+            // The stored view letters must agree with the anchors.
+            for (leaf, s) in strings.iter().enumerate() {
+                let anchor_view = anchor_to_view(set.anchor_x(leaf) as u32);
+                for (d, &letter) in s.iter().enumerate() {
+                    let stored = set.letter_at(leaf, d).unwrap();
+                    assert_eq!(stored, letter, "leaf {leaf} depth {d}");
+                    if set.mismatches(leaf).iter().all(|m| m.depth as usize != d) {
+                        assert_eq!(view[anchor_view + d], letter);
+                    }
+                }
             }
         }
     }
@@ -530,10 +671,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let n = 50usize;
         let sigma = 2u8;
-        let heavy: Vec<u8> = (0..n).map(|_| rng.gen_range(0..sigma)).collect();
-        let mut builder = EncodedFactorSetBuilder::new(Direction::Forward, heavy.clone());
+        let heavy: Arc<Vec<u8>> = Arc::new((0..n).map(|_| rng.gen_range(0..sigma)).collect());
+        let mut builder = EncodedFactorSetBuilder::new(Direction::Forward, Arc::clone(&heavy));
         for _ in 0..60 {
-            builder.push(random_factor(&mut rng, n, Direction::Forward, sigma, &heavy));
+            builder.push(random_factor(
+                &mut rng,
+                n,
+                Direction::Forward,
+                sigma,
+                &heavy,
+            ));
         }
         let (set, _) = builder.finish();
         for _ in 0..200 {
@@ -550,13 +697,17 @@ mod tests {
 
     #[test]
     fn letter_at_and_label_provider_agree() {
-        let heavy = vec![0u8, 1, 2, 3, 0, 1, 2, 3];
+        let heavy = Arc::new(vec![0u8, 1, 2, 3, 0, 1, 2, 3]);
         let mut builder = EncodedFactorSetBuilder::new(Direction::Forward, heavy);
         builder.push(PendingFactor {
             anchor_x: 2,
             len: 5,
             strand: 7,
-            mismatches: vec![Mismatch { depth: 1, letter: 0, ratio: 0.25 }],
+            mismatches: vec![Mismatch {
+                depth: 1,
+                letter: 0,
+                ratio: 0.25,
+            }],
         });
         let (set, _) = builder.finish();
         assert_eq!(set.len(), 1);
@@ -574,7 +725,7 @@ mod tests {
 
     #[test]
     fn empty_builder_finishes_cleanly() {
-        let builder = EncodedFactorSetBuilder::new(Direction::Backward, vec![0, 1, 0]);
+        let builder = EncodedFactorSetBuilder::new(Direction::Backward, Arc::new(vec![0, 1, 0]));
         assert!(builder.is_empty());
         let (set, lcps) = builder.finish();
         assert!(set.is_empty());

@@ -14,7 +14,9 @@
 //!   that pairs the two parts and verifies candidates in `O(log z)` time from
 //!   the stored mismatches alone (the **grid** variants of Theorem 9).
 
-use crate::encode::{Direction, EncodedFactorSet, EncodedFactorSetBuilder, Mismatch, PendingFactor};
+use crate::encode::{
+    Direction, EncodedFactorSet, EncodedFactorSetBuilder, Mismatch, PendingFactor,
+};
 use crate::params::IndexParams;
 use crate::traits::{finalize_positions, IndexStats, UncertainIndex};
 use ius_grid::{GridPoint, RangeReporter, Rect};
@@ -96,11 +98,7 @@ impl MinimizerIndex {
     /// # Errors
     ///
     /// Propagates parameter and estimation validation errors.
-    pub fn build(
-        x: &WeightedString,
-        params: IndexParams,
-        variant: IndexVariant,
-    ) -> Result<Self> {
+    pub fn build(x: &WeightedString, params: IndexParams, variant: IndexVariant) -> Result<Self> {
         let estimation = ZEstimation::build(x, params.z)?;
         Self::build_from_estimation(x, &estimation, params, variant)
     }
@@ -134,23 +132,28 @@ impl MinimizerIndex {
         let heavy = HeavyString::new(x);
         let scheme = MinimizerScheme::new(params.ell, params.k, x.sigma(), params.order);
 
+        // Both builders borrow the heavy ranks — nothing is copied here, and
+        // the forward factor set keeps sharing the allocation after `finish`.
         let mut fwd_builder =
-            EncodedFactorSetBuilder::new(Direction::Forward, heavy.as_ranks().to_vec());
+            EncodedFactorSetBuilder::new(Direction::Forward, heavy.shared_ranks());
         let mut bwd_builder =
-            EncodedFactorSetBuilder::new(Direction::Backward, heavy.as_ranks().to_vec());
+            EncodedFactorSetBuilder::new(Direction::Backward, heavy.shared_ranks());
 
+        // Per-strand deviation buffer, reused across strands.
+        let mut deviations: Vec<(u32, u8, f64)> = Vec::new();
         for (strand_id, strand) in estimation.strands().iter().enumerate() {
             let seq = strand.seq();
             let extents = strand.extents();
             // Positions where this strand deviates from the heavy string,
             // with the probability ratios needed for O(log z) verification.
-            let deviations: Vec<(u32, u8, f64)> = (0..seq.len())
-                .filter(|&p| seq[p] != heavy.letter(p))
-                .map(|p| {
-                    let ratio = x.prob(p, seq[p]) / x.prob(p, heavy.letter(p));
-                    (p as u32, seq[p], ratio)
-                })
-                .collect();
+            deviations.clear();
+            let heavy_ranks = heavy.as_ranks();
+            for (p, (&s, &h)) in seq.iter().zip(heavy_ranks).enumerate() {
+                if s != h {
+                    let ratio = x.prob(p, s) / x.prob(p, h);
+                    deviations.push((p as u32, s, ratio));
+                }
+            }
             let minimizers = scheme.minimizers_respecting(seq, extents);
             // For backward factors we need, per minimizer position i, the
             // earliest start b whose property interval still covers i.
@@ -159,12 +162,10 @@ impl MinimizerIndex {
                 // starting at the minimizer.
                 let end = strand.extent(anchor);
                 let fwd_len = (end - anchor) as u32;
-                let fwd_mismatches = collect_mismatches(
-                    &deviations,
-                    anchor as u32,
-                    end as u32,
-                    |pos| pos - anchor as u32,
-                );
+                let fwd_mismatches =
+                    collect_mismatches(&deviations, anchor as u32, end as u32, false, |pos| {
+                        pos - anchor as u32
+                    });
                 fwd_builder.push(PendingFactor {
                     anchor_x: anchor as u32,
                     len: fwd_len,
@@ -174,16 +175,15 @@ impl MinimizerIndex {
                 // Backward factor: the longest property-respecting factor
                 // ending at the minimizer, reversed. Its start is the first
                 // position whose extent reaches past the anchor (extents are
-                // non-decreasing, so binary search applies).
+                // non-decreasing, so binary search applies). Depths decrease
+                // with position, so the collector emits in reverse to keep
+                // them sorted without a post-hoc sort.
                 let b = extents.partition_point(|&e| (e as usize) < anchor + 1);
                 let bwd_len = (anchor - b + 1) as u32;
-                let mut bwd_mismatches = collect_mismatches(
-                    &deviations,
-                    b as u32,
-                    anchor as u32 + 1,
-                    |pos| anchor as u32 - pos,
-                );
-                bwd_mismatches.sort_by_key(|m| m.depth);
+                let bwd_mismatches =
+                    collect_mismatches(&deviations, b as u32, anchor as u32 + 1, true, |pos| {
+                        anchor as u32 - pos
+                    });
                 bwd_builder.push(PendingFactor {
                     anchor_x: anchor as u32,
                     len: bwd_len,
@@ -195,7 +195,97 @@ impl MinimizerIndex {
 
         let (fwd, fwd_lcps) = fwd_builder.finish();
         let (bwd, bwd_lcps) = bwd_builder.finish();
-        Self::assemble(x, params, variant, heavy, fwd, fwd_lcps, bwd, bwd_lcps, "explicit")
+        Self::assemble(
+            x, params, variant, heavy, fwd, fwd_lcps, bwd, bwd_lcps, "explicit",
+        )
+    }
+
+    /// The pre-overhaul explicit construction, retained for differential
+    /// testing and as the "before" measurement of the construction
+    /// benchmark: copies the heavy letters into each builder, collects the
+    /// per-strand deviations into fresh vectors, sorts backward mismatches
+    /// post hoc and finishes through [`EncodedFactorSetBuilder::finish_reference`]
+    /// (prefix-doubling suffix array, key-less comparator sort). Produces an
+    /// index identical to [`MinimizerIndex::build_from_estimation`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MinimizerIndex::build_from_estimation`].
+    pub fn build_from_estimation_reference(
+        x: &WeightedString,
+        estimation: &ZEstimation,
+        params: IndexParams,
+        variant: IndexVariant,
+    ) -> Result<Self> {
+        if (estimation.z() - params.z).abs() > 1e-9 {
+            return Err(Error::InvalidParameters(format!(
+                "estimation built for z = {} but parameters say z = {}",
+                estimation.z(),
+                params.z
+            )));
+        }
+        if estimation.len() != x.len() {
+            return Err(Error::InvalidParameters(format!(
+                "estimation length {} does not match |X| = {}",
+                estimation.len(),
+                x.len()
+            )));
+        }
+        let heavy = HeavyString::new(x);
+        let scheme = MinimizerScheme::new(params.ell, params.k, x.sigma(), params.order);
+
+        let mut fwd_builder = EncodedFactorSetBuilder::new(
+            Direction::Forward,
+            std::sync::Arc::new(heavy.as_ranks().to_vec()),
+        );
+        let mut bwd_builder = EncodedFactorSetBuilder::new(
+            Direction::Backward,
+            std::sync::Arc::new(heavy.as_ranks().to_vec()),
+        );
+
+        for (strand_id, strand) in estimation.strands().iter().enumerate() {
+            let seq = strand.seq();
+            let extents = strand.extents();
+            let deviations: Vec<(u32, u8, f64)> = (0..seq.len())
+                .filter(|&p| seq[p] != heavy.letter(p))
+                .map(|p| {
+                    let ratio = x.prob(p, seq[p]) / x.prob(p, heavy.letter(p));
+                    (p as u32, seq[p], ratio)
+                })
+                .collect();
+            let minimizers = scheme.minimizers_respecting(seq, extents);
+            for &anchor in &minimizers {
+                let end = strand.extent(anchor);
+                let fwd_mismatches =
+                    collect_mismatches(&deviations, anchor as u32, end as u32, false, |pos| {
+                        pos - anchor as u32
+                    });
+                fwd_builder.push(PendingFactor {
+                    anchor_x: anchor as u32,
+                    len: (end - anchor) as u32,
+                    strand: strand_id as u32,
+                    mismatches: fwd_mismatches,
+                });
+                let b = extents.partition_point(|&e| (e as usize) < anchor + 1);
+                let mut bwd_mismatches =
+                    collect_mismatches(&deviations, b as u32, anchor as u32 + 1, false, |pos| {
+                        anchor as u32 - pos
+                    });
+                bwd_mismatches.sort_by_key(|m| m.depth);
+                bwd_builder.push(PendingFactor {
+                    anchor_x: anchor as u32,
+                    len: (anchor - b + 1) as u32,
+                    strand: strand_id as u32,
+                    mismatches: bwd_mismatches,
+                });
+            }
+        }
+
+        let (fwd, fwd_lcps) = fwd_builder.finish_reference();
+        let (bwd, bwd_lcps) = bwd_builder.finish_reference();
+        Self::assemble(
+            x, params, variant, heavy, fwd, fwd_lcps, bwd, bwd_lcps, "explicit",
+        )
     }
 
     /// Assembles the final index from the sorted factor sets (shared by the
@@ -298,8 +388,12 @@ impl MinimizerIndex {
                 lower_bound: self.params.ell,
             });
         }
-        let scheme =
-            MinimizerScheme::new(self.params.ell, self.params.k, self.sigma, self.params.order);
+        let scheme = MinimizerScheme::new(
+            self.params.ell,
+            self.params.k,
+            self.sigma,
+            self.params.order,
+        );
         let mu = scheme.window_minimizer(&pattern[..self.params.ell]);
         let suffix_part = &pattern[mu..];
         let prefix_part_rev: Vec<u8> = pattern[..=mu].iter().rev().copied().collect();
@@ -318,12 +412,19 @@ impl MinimizerIndex {
                 let (fwd_leaf, bwd_leaf) = self.pairs[payload as usize];
                 stats.candidates += 1;
                 let anchor = self.fwd.anchor_x(fwd_leaf as usize);
-                let Some(start) = anchor.checked_sub(mu) else { continue };
+                let Some(start) = anchor.checked_sub(mu) else {
+                    continue;
+                };
                 if start + pattern.len() > self.n {
                     continue;
                 }
-                if self.verify_encoded(pattern.len(), mu, start, fwd_leaf as usize, bwd_leaf as usize)
-                {
+                if self.verify_encoded(
+                    pattern.len(),
+                    mu,
+                    start,
+                    fwd_leaf as usize,
+                    bwd_leaf as usize,
+                ) {
                     stats.verified += 1;
                     positions.push(start);
                 }
@@ -342,7 +443,9 @@ impl MinimizerIndex {
             for leaf in lo..hi {
                 stats.candidates += 1;
                 let anchor = set.anchor_x(leaf);
-                let Some(start) = anchor.checked_sub(mu) else { continue };
+                let Some(start) = anchor.checked_sub(mu) else {
+                    continue;
+                };
                 if start + pattern.len() > self.n {
                     continue;
                 }
@@ -412,18 +515,27 @@ impl MinimizerIndex {
 
 /// Extracts the deviations of a strand from the heavy string that fall into
 /// `[from, to)` (absolute positions), mapping them to factor-relative depths.
+/// With `reverse` the slice is walked back to front, which keeps the output
+/// sorted by depth when `depth_of` is position-decreasing (backward factors).
 fn collect_mismatches(
     deviations: &[(u32, u8, f64)],
     from: u32,
     to: u32,
+    reverse: bool,
     depth_of: impl Fn(u32) -> u32,
 ) -> Vec<Mismatch> {
     let lo = deviations.partition_point(|&(p, _, _)| p < from);
     let hi = deviations.partition_point(|&(p, _, _)| p < to);
-    deviations[lo..hi]
-        .iter()
-        .map(|&(p, letter, ratio)| Mismatch { depth: depth_of(p), letter, ratio })
-        .collect()
+    let map = |&(p, letter, ratio): &(u32, u8, f64)| Mismatch {
+        depth: depth_of(p),
+        letter,
+        ratio,
+    };
+    if reverse {
+        deviations[lo..hi].iter().rev().map(map).collect()
+    } else {
+        deviations[lo..hi].iter().map(map).collect()
+    }
 }
 
 impl UncertainIndex for MinimizerIndex {
@@ -432,7 +544,8 @@ impl UncertainIndex for MinimizerIndex {
     }
 
     fn query(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>> {
-        self.query_with_stats(pattern, x).map(|(positions, _)| positions)
+        self.query_with_stats(pattern, x)
+            .map(|(positions, _)| positions)
     }
 
     fn size_bytes(&self) -> usize {
@@ -440,7 +553,16 @@ impl UncertainIndex for MinimizerIndex {
             + self.bwd_trie.as_ref().map_or(0, |t| t.memory_bytes());
         let grid = self.grid.as_ref().map_or(0, |g| g.memory_bytes())
             + self.pairs.capacity() * std::mem::size_of::<(u32, u32)>();
-        self.heavy.memory_bytes() + self.fwd.memory_bytes() + self.bwd.memory_bytes() + tries + grid
+        // The forward set normally shares its heavy view with `self.heavy`
+        // (count the allocation once), but the reference construction path
+        // gives it an owned copy. The backward set always owns its reversed
+        // copy.
+        let fwd_bytes = if self.fwd.owns_heavy_view() {
+            self.fwd.memory_bytes()
+        } else {
+            self.fwd.memory_bytes_without_heavy()
+        };
+        self.heavy.memory_bytes() + fwd_bytes + self.bwd.memory_bytes() + tries + grid
     }
 
     fn stats(&self) -> IndexStats {
@@ -465,15 +587,15 @@ mod tests {
     use ius_datasets::uniform::UniformConfig;
 
     fn all_variants() -> [IndexVariant; 4] {
-        [IndexVariant::Tree, IndexVariant::Array, IndexVariant::TreeGrid, IndexVariant::ArrayGrid]
+        [
+            IndexVariant::Tree,
+            IndexVariant::Array,
+            IndexVariant::TreeGrid,
+            IndexVariant::ArrayGrid,
+        ]
     }
 
-    fn check_against_naive(
-        x: &WeightedString,
-        z: f64,
-        ell: usize,
-        patterns: &[Vec<u8>],
-    ) {
+    fn check_against_naive(x: &WeightedString, z: f64, ell: usize, patterns: &[Vec<u8>]) {
         let estimation = ZEstimation::build(x, z).unwrap();
         let naive = NaiveIndex::new(z).unwrap();
         let params = IndexParams::new(z, ell, x.sigma()).unwrap();
@@ -483,14 +605,26 @@ mod tests {
             for pattern in patterns {
                 let expected = naive.query(pattern, x).unwrap();
                 let got = index.query(pattern, x).unwrap();
-                assert_eq!(got, expected, "{} pattern of length {}", index.name(), pattern.len());
+                assert_eq!(
+                    got,
+                    expected,
+                    "{} pattern of length {}",
+                    index.name(),
+                    pattern.len()
+                );
             }
         }
     }
 
     #[test]
     fn matches_naive_on_uniform_strings() {
-        let x = UniformConfig { n: 300, sigma: 2, spread: 0.5, seed: 41 }.generate();
+        let x = UniformConfig {
+            n: 300,
+            sigma: 2,
+            spread: 0.5,
+            seed: 41,
+        }
+        .generate();
         let z = 8.0;
         let ell = 8;
         let est = ZEstimation::build(&x, z).unwrap();
@@ -503,7 +637,13 @@ mod tests {
 
     #[test]
     fn matches_naive_on_pangenome_strings() {
-        let x = PangenomeConfig { n: 1_500, delta: 0.08, seed: 5, ..Default::default() }.generate();
+        let x = PangenomeConfig {
+            n: 1_500,
+            delta: 0.08,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
         let z = 16.0;
         let ell = 32;
         let est = ZEstimation::build(&x, z).unwrap();
@@ -515,13 +655,79 @@ mod tests {
     }
 
     #[test]
+    fn overhauled_construction_matches_reference_construction() {
+        // The clone-free/pre-sized pipeline must produce exactly the factor
+        // sets of the retained pre-overhaul path.
+        for (x, z, ell) in [
+            (
+                UniformConfig {
+                    n: 400,
+                    sigma: 2,
+                    spread: 0.5,
+                    seed: 2,
+                }
+                .generate(),
+                8.0,
+                8usize,
+            ),
+            (
+                PangenomeConfig {
+                    n: 2_000,
+                    delta: 0.08,
+                    seed: 7,
+                    ..Default::default()
+                }
+                .generate(),
+                16.0,
+                32usize,
+            ),
+        ] {
+            let est = ZEstimation::build(&x, z).unwrap();
+            let params = IndexParams::new(z, ell, x.sigma()).unwrap();
+            for variant in [IndexVariant::Array, IndexVariant::TreeGrid] {
+                let new = MinimizerIndex::build_from_estimation(&x, &est, params, variant).unwrap();
+                let reference =
+                    MinimizerIndex::build_from_estimation_reference(&x, &est, params, variant)
+                        .unwrap();
+                assert_eq!(new.num_sampled_factors(), reference.num_sampled_factors());
+                for set in [(&new.fwd, &reference.fwd), (&new.bwd, &reference.bwd)] {
+                    let (a, b) = set;
+                    assert_eq!(a.len(), b.len());
+                    for leaf in 0..a.len() {
+                        assert_eq!(a.anchor_x(leaf), b.anchor_x(leaf), "leaf {leaf}");
+                        assert_eq!(a.factor_len(leaf), b.factor_len(leaf), "leaf {leaf}");
+                        assert_eq!(a.strand(leaf), b.strand(leaf), "leaf {leaf}");
+                        assert_eq!(a.mismatches(leaf), b.mismatches(leaf), "leaf {leaf}");
+                    }
+                }
+                let mut sampler = PatternSampler::new(&est, 5);
+                for pattern in sampler.sample_many(ell, 10) {
+                    assert_eq!(
+                        new.query(&pattern, &x).unwrap(),
+                        reference.query(&pattern, &x).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rejects_short_patterns_and_empty_patterns() {
-        let x = UniformConfig { n: 120, sigma: 2, spread: 0.5, seed: 4 }.generate();
+        let x = UniformConfig {
+            n: 120,
+            sigma: 2,
+            spread: 0.5,
+            seed: 4,
+        }
+        .generate();
         let params = IndexParams::new(4.0, 16, 2).unwrap();
         let index = MinimizerIndex::build(&x, params, IndexVariant::Array).unwrap();
         assert!(matches!(
             index.query(&[0; 8], &x),
-            Err(Error::PatternTooShort { pattern: 8, lower_bound: 16 })
+            Err(Error::PatternTooShort {
+                pattern: 8,
+                lower_bound: 16
+            })
         ));
         assert!(index.query(&[], &x).is_err());
     }
@@ -530,7 +736,13 @@ mod tests {
     fn index_is_much_smaller_than_baselines_for_large_ell() {
         use crate::wsa::Wsa;
         use crate::wst::Wst;
-        let x = PangenomeConfig { n: 4_000, delta: 0.05, seed: 9, ..Default::default() }.generate();
+        let x = PangenomeConfig {
+            n: 4_000,
+            delta: 0.05,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
         let z = 32.0;
         let est = ZEstimation::build(&x, z).unwrap();
         let wst = Wst::build_from_estimation(&est).unwrap();
@@ -540,23 +752,40 @@ mod tests {
             MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).unwrap();
         let mwst =
             MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Tree).unwrap();
-        assert!(mwsa.size_bytes() * 4 < wsa.size_bytes(), "MWSA should be ≫ smaller than WSA");
-        assert!(mwst.size_bytes() * 4 < wst.size_bytes(), "MWST should be ≫ smaller than WST");
+        assert!(
+            mwsa.size_bytes() * 4 < wsa.size_bytes(),
+            "MWSA should be ≫ smaller than WSA"
+        );
+        assert!(
+            mwst.size_bytes() * 4 < wst.size_bytes(),
+            "MWST should be ≫ smaller than WST"
+        );
         // Array variants are smaller than tree variants (Fig. 6 vs 6b shape).
         assert!(mwsa.size_bytes() < mwst.size_bytes());
     }
 
     #[test]
     fn size_decreases_with_ell_and_grows_with_z() {
-        let x = PangenomeConfig { n: 3_000, delta: 0.06, seed: 2, ..Default::default() }.generate();
+        let x = PangenomeConfig {
+            n: 3_000,
+            delta: 0.06,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         let sizes: Vec<usize> = [32usize, 128, 512]
             .iter()
             .map(|&ell| {
                 let params = IndexParams::new(16.0, ell, 4).unwrap();
-                MinimizerIndex::build(&x, params, IndexVariant::Array).unwrap().size_bytes()
+                MinimizerIndex::build(&x, params, IndexVariant::Array)
+                    .unwrap()
+                    .size_bytes()
             })
             .collect();
-        assert!(sizes[0] > sizes[1] && sizes[1] > sizes[2], "sizes {sizes:?} not decreasing in ℓ");
+        assert!(
+            sizes[0] > sizes[1] && sizes[1] > sizes[2],
+            "sizes {sizes:?} not decreasing in ℓ"
+        );
         let size_small_z = MinimizerIndex::build(
             &x,
             IndexParams::new(4.0, 64, 4).unwrap(),
@@ -578,7 +807,13 @@ mod tests {
     fn stats_and_metadata_are_consistent() {
         // A pangenome-style string guarantees that solid windows of length ℓ
         // exist, so every variant actually samples factors.
-        let x = PangenomeConfig { n: 600, delta: 0.05, seed: 13, ..Default::default() }.generate();
+        let x = PangenomeConfig {
+            n: 600,
+            delta: 0.05,
+            seed: 13,
+            ..Default::default()
+        }
+        .generate();
         let params = IndexParams::new(8.0, 16, 4).unwrap();
         for variant in all_variants() {
             let index = MinimizerIndex::build(&x, params, variant).unwrap();
@@ -598,7 +833,13 @@ mod tests {
         // High-entropy distributions with a small z: no window of length ℓ is
         // solid, so nothing is sampled; queries must still answer correctly
         // (with the empty set).
-        let x = UniformConfig { n: 200, sigma: 4, spread: 0.9, seed: 13 }.generate();
+        let x = UniformConfig {
+            n: 200,
+            sigma: 4,
+            spread: 0.9,
+            seed: 13,
+        }
+        .generate();
         let params = IndexParams::new(2.0, 16, 4).unwrap();
         for variant in all_variants() {
             let index = MinimizerIndex::build(&x, params, variant).unwrap();
@@ -610,14 +851,22 @@ mod tests {
 
     #[test]
     fn query_stats_count_candidates() {
-        let x = PangenomeConfig { n: 1_000, delta: 0.05, seed: 21, ..Default::default() }.generate();
+        let x = PangenomeConfig {
+            n: 1_000,
+            delta: 0.05,
+            seed: 21,
+            ..Default::default()
+        }
+        .generate();
         let z = 8.0;
         let est = ZEstimation::build(&x, z).unwrap();
         let params = IndexParams::new(z, 32, 4).unwrap();
         let index =
             MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).unwrap();
         let mut sampler = PatternSampler::new(&est, 1);
-        let pattern = sampler.sample(32).expect("a solid pattern of length 32 exists");
+        let pattern = sampler
+            .sample(32)
+            .expect("a solid pattern of length 32 exists");
         let (positions, stats) = index.query_with_stats(&pattern, &x).unwrap();
         assert!(!positions.is_empty());
         assert!(stats.candidates >= stats.verified);

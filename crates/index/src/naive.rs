@@ -49,7 +49,11 @@ impl UncertainIndex for NaiveIndex {
     }
 
     fn stats(&self) -> IndexStats {
-        IndexStats { name: self.name().to_string(), size_bytes: self.size_bytes(), ..Default::default() }
+        IndexStats {
+            name: self.name().to_string(),
+            size_bytes: self.size_bytes(),
+            ..Default::default()
+        }
     }
 }
 

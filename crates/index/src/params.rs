@@ -32,7 +32,12 @@ impl IndexParams {
         if ell == 0 {
             return Err(Error::InvalidParameters("ℓ must be positive".into()));
         }
-        Ok(Self { z, ell, k: recommended_k(ell, sigma), order: KmerOrder::default() })
+        Ok(Self {
+            z,
+            ell,
+            k: recommended_k(ell, sigma),
+            order: KmerOrder::default(),
+        })
     }
 
     /// Overrides the k-mer length.

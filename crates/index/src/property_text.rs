@@ -81,7 +81,9 @@ impl PropertyText {
 
         // Sort the covered positions by truncated suffix.
         let lce = LceIndex::new(&text);
-        let mut psa: Vec<u32> = (0..total as u32).filter(|&s| trunc[s as usize] > 0).collect();
+        let mut psa: Vec<u32> = (0..total as u32)
+            .filter(|&s| trunc[s as usize] > 0)
+            .collect();
         psa.sort_unstable_by(|&a, &b| {
             compare_truncated(&text, &trunc, &lce, a as usize, b as usize)
         });
@@ -97,7 +99,14 @@ impl PropertyText {
         } else {
             None
         };
-        Ok(Self { n, num_strands, text, trunc, psa, trunc_lcp })
+        Ok(Self {
+            n,
+            num_strands,
+            text,
+            trunc,
+            psa,
+            trunc_lcp,
+        })
     }
 
     /// Length of the original weighted string.
@@ -121,7 +130,7 @@ impl PropertyText {
     /// Truncation length of text position `s`.
     #[inline]
     pub fn trunc(&self, s: usize) -> usize {
-        self.trunc[s as usize] as usize
+        self.trunc[s] as usize
     }
 
     /// The property suffix array (positions of covered text suffixes in
@@ -152,14 +161,20 @@ impl PropertyText {
     /// A [`SliceLabels`] provider exposing the truncated suffixes in PSA
     /// order (used to build and to traverse the WST).
     pub fn labels(&self) -> SliceLabels<'_> {
-        let fragments: Vec<(u32, u32)> =
-            self.psa.iter().map(|&s| (s, self.trunc[s as usize])).collect();
+        let fragments: Vec<(u32, u32)> = self
+            .psa
+            .iter()
+            .map(|&s| (s, self.trunc[s as usize]))
+            .collect();
         SliceLabels::new(&self.text, fragments)
     }
 
     /// Lengths of the truncated suffixes in PSA order.
     pub fn psa_lengths(&self) -> Vec<usize> {
-        self.psa.iter().map(|&s| self.trunc[s as usize] as usize).collect()
+        self.psa
+            .iter()
+            .map(|&s| self.trunc[s as usize] as usize)
+            .collect()
     }
 
     /// LCP values of adjacent truncated suffixes in PSA order (entry 0 is 0).
@@ -172,6 +187,7 @@ impl PropertyText {
             return stored.iter().map(|&v| v as usize).collect();
         }
         let mut lcps = vec![0usize; self.psa.len()];
+        #[allow(clippy::needless_range_loop)]
         for r in 1..self.psa.len() {
             let a = self.psa[r - 1] as usize;
             let b = self.psa[r] as usize;
@@ -200,8 +216,10 @@ impl PropertyText {
     /// property (sorted, deduplicated across strands).
     pub fn positions_of(&self, pattern: &[u8]) -> Vec<usize> {
         let (lo, hi) = self.equal_range(pattern);
-        let mut positions: Vec<usize> =
-            self.psa[lo..hi].iter().map(|&s| self.position_in_x(s as usize)).collect();
+        let mut positions: Vec<usize> = self.psa[lo..hi]
+            .iter()
+            .map(|&s| self.position_in_x(s as usize))
+            .collect();
         positions.sort_unstable();
         positions.dedup();
         positions
@@ -233,13 +251,7 @@ impl PropertyText {
 }
 
 /// Compares two truncated suffixes using the LCE index over the concatenation.
-fn compare_truncated(
-    text: &[u8],
-    trunc: &[u32],
-    lce: &LceIndex,
-    a: usize,
-    b: usize,
-) -> Ordering {
+fn compare_truncated(text: &[u8], trunc: &[u32], lce: &LceIndex, a: usize, b: usize) -> Ordering {
     if a == b {
         return Ordering::Equal;
     }
@@ -296,7 +308,10 @@ mod tests {
         let (x, pt) = build_example(4.0);
         // AB is solid at positions 0, 3, 4 of the paper's example (0-based).
         let positions = pt.positions_of(&[0, 1]);
-        assert_eq!(positions, ius_weighted::solid::occurrences(&x, &[0, 1], 4.0));
+        assert_eq!(
+            positions,
+            ius_weighted::solid::occurrences(&x, &[0, 1], 4.0)
+        );
         // AAAA is solid only at 0.
         assert_eq!(pt.positions_of(&[0, 0, 0, 0]), vec![0]);
         // ABAB occurs nowhere with probability ≥ 1/4.
@@ -306,7 +321,13 @@ mod tests {
     #[test]
     fn positions_match_naive_matcher_on_random_input() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
-        let x = UniformConfig { n: 200, sigma: 3, spread: 0.6, seed: 5 }.generate();
+        let x = UniformConfig {
+            n: 200,
+            sigma: 3,
+            spread: 0.6,
+            seed: 5,
+        }
+        .generate();
         let z = 6.0;
         let est = ZEstimation::build(&x, z).unwrap();
         let pt = PropertyText::build(&est).unwrap();
@@ -327,10 +348,13 @@ mod tests {
     fn truncated_lcp_matches_direct_comparison() {
         let x = paper_example();
         let est = ZEstimation::build(&x, 4.0).unwrap();
-        for pt in [PropertyText::build(&est).unwrap(), PropertyText::build_with_lcp(&est).unwrap()]
-        {
+        for pt in [
+            PropertyText::build(&est).unwrap(),
+            PropertyText::build_with_lcp(&est).unwrap(),
+        ] {
             let lcps = pt.psa_truncated_lcp();
             assert_eq!(lcps.len(), pt.psa().len());
+            #[allow(clippy::needless_range_loop)]
             for r in 1..pt.psa().len() {
                 let a = pt.truncated_suffix(pt.psa()[r - 1] as usize);
                 let b = pt.truncated_suffix(pt.psa()[r] as usize);

@@ -63,7 +63,10 @@ pub struct SeBuildStats {
 impl SpaceEfficientBuilder {
     /// Creates the builder.
     pub fn new(params: IndexParams) -> Self {
-        Self { params, node_cap_factor: 64.0 }
+        Self {
+            params,
+            node_cap_factor: 64.0,
+        }
     }
 
     /// Overrides the node-cap factor (multiples of `n·z` after which the
@@ -110,23 +113,43 @@ impl SpaceEfficientBuilder {
                 x.len()
             )));
         }
+        // The DFS keys each k-mer in isolation, so it needs an order whose
+        // raw keys are totally ordered. The lexicographic fallback for
+        // σ^k beyond u64 produces range-local *ranks*, which cannot be
+        // computed incrementally here — the explicit construction handles
+        // those parameters correctly.
+        if !KmerKeyer::new(self.params.order, self.params.k, x.sigma()).has_total_keys() {
+            return Err(Error::InvalidParameters(format!(
+                "the space-efficient construction requires a k-mer order with total \
+                 keys, but σ = {} and k = {} overflow the packed lexicographic keys; \
+                 use the explicit construction (or the Karp–Rabin order) instead",
+                x.sigma(),
+                self.params.k
+            )));
+        }
         let node_cap = ((x.len() as f64) * self.params.z * self.node_cap_factor)
             .min(usize::MAX as f64) as usize;
         let heavy = HeavyString::new(x);
         let mut stats = SeBuildStats::default();
 
-        // Forward pass on X.
+        // Forward pass on X. The builder borrows the heavy ranks (no copy).
         let mut fwd_builder =
-            EncodedFactorSetBuilder::new(Direction::Forward, heavy.as_ranks().to_vec());
-        stats.forward_nodes =
-            dfs_collect(x, &heavy, &self.params, Direction::Forward, &mut fwd_builder, node_cap)?;
+            EncodedFactorSetBuilder::new(Direction::Forward, heavy.shared_ranks());
+        stats.forward_nodes = dfs_collect(
+            x,
+            &heavy,
+            &self.params,
+            Direction::Forward,
+            &mut fwd_builder,
+            node_cap,
+        )?;
         stats.forward_factors = fwd_builder.len();
 
         // Backward pass on the reversed string.
         let x_rev = x.reversed();
         let heavy_rev = HeavyString::new(&x_rev);
         let mut bwd_builder =
-            EncodedFactorSetBuilder::new(Direction::Backward, heavy.as_ranks().to_vec());
+            EncodedFactorSetBuilder::new(Direction::Backward, heavy.shared_ranks());
         stats.backward_nodes = dfs_collect(
             &x_rev,
             &heavy_rev,
@@ -260,15 +283,20 @@ fn dfs_collect(
                 let pushed_diff = c != heavy_letter;
                 if pushed_diff {
                     let ratio = p_letter / dfs_x.prob(i, heavy_letter);
-                    diff.push(Mismatch0 { pos: i as u32, letter: c, ratio });
+                    diff.push(Mismatch0 {
+                        pos: i as u32,
+                        letter: c,
+                        ratio,
+                    });
                 }
                 cur[i] = c;
                 // Push the newly completed k-mer into the window structure.
                 let pushed_kmer = match (&mut window, orientation) {
                     (WindowMin::Forward(w), Direction::Forward) => {
                         if i + k <= n {
-                            kmer_buf.copy_from_slice(&cur[i..i + k]);
-                            w.push_front(i, keyer.key(&kmer_buf));
+                            // The forward k-mer is contiguous in `cur`; key it
+                            // in place (no buffer copy).
+                            w.push_front(i, keyer.key(&cur[i..i + k]));
                             true
                         } else {
                             false
@@ -347,35 +375,29 @@ fn dfs_collect(
             // the DFS string and deviates from the heavy string exactly at
             // the current Diff entries (all of which lie at positions ≥ q).
             let len = (n - q) as u32;
-            let (anchor_x, mismatches) = match orientation {
-                Direction::Forward => {
-                    let mut ms: Vec<Mismatch> = diff
-                        .iter()
-                        .map(|m| Mismatch {
-                            depth: m.pos - q as u32,
-                            letter: m.letter,
-                            ratio: m.ratio,
-                        })
-                        .collect();
-                    ms.sort_by_key(|m| m.depth);
-                    (q as u32, ms)
-                }
-                Direction::Backward => {
-                    let anchor = (n - 1 - q) as u32;
-                    let mut ms: Vec<Mismatch> = diff
-                        .iter()
-                        .map(|m| Mismatch {
-                            depth: m.pos - q as u32,
-                            letter: m.letter,
-                            // Ratios are position-wise and orientation-free.
-                            ratio: m.ratio,
-                        })
-                        .collect();
-                    ms.sort_by_key(|m| m.depth);
-                    (anchor, ms)
-                }
+            // `diff` is a stack of strictly decreasing DFS positions, so
+            // reverse iteration yields strictly increasing depths — already
+            // sorted, no post-hoc sort needed. Ratios are position-wise and
+            // orientation-free.
+            let mismatches: Vec<Mismatch> = diff
+                .iter()
+                .rev()
+                .map(|m| Mismatch {
+                    depth: m.pos - q as u32,
+                    letter: m.letter,
+                    ratio: m.ratio,
+                })
+                .collect();
+            let anchor_x = match orientation {
+                Direction::Forward => q as u32,
+                Direction::Backward => (n - 1 - q) as u32,
             };
-            builder.push(PendingFactor { anchor_x, len, strand: u32::MAX, mismatches });
+            builder.push(PendingFactor {
+                anchor_x,
+                len,
+                strand: u32::MAX,
+                mismatches,
+            });
         }
         // Undo the prepend that created this node.
         if frame.pushed_diff {
@@ -418,18 +440,32 @@ mod tests {
 
     #[test]
     fn rejects_grid_variants_and_oversized_ell() {
-        let x = UniformConfig { n: 100, sigma: 2, spread: 0.5, seed: 1 }.generate();
+        let x = UniformConfig {
+            n: 100,
+            sigma: 2,
+            spread: 0.5,
+            seed: 1,
+        }
+        .generate();
         let params = IndexParams::new(4.0, 16, 2).unwrap();
         let builder = SpaceEfficientBuilder::new(params);
         assert!(builder.build(&x, IndexVariant::TreeGrid).is_err());
         assert!(builder.build(&x, IndexVariant::ArrayGrid).is_err());
         let params = IndexParams::new(4.0, 1000, 2).unwrap();
-        assert!(SpaceEfficientBuilder::new(params).build(&x, IndexVariant::Tree).is_err());
+        assert!(SpaceEfficientBuilder::new(params)
+            .build(&x, IndexVariant::Tree)
+            .is_err());
     }
 
     #[test]
     fn se_index_matches_naive_and_explicit_on_uniform_data() {
-        let x = UniformConfig { n: 260, sigma: 2, spread: 0.5, seed: 77 }.generate();
+        let x = UniformConfig {
+            n: 260,
+            sigma: 2,
+            spread: 0.5,
+            seed: 77,
+        }
+        .generate();
         let z = 8.0;
         let ell = 8;
         let params = IndexParams::new(z, ell, 2).unwrap();
@@ -449,7 +485,11 @@ mod tests {
         patterns.extend(sampler.sample_random(ell, 20, 2));
         for pattern in &patterns {
             let expected = naive.query(pattern, &x).unwrap();
-            assert_eq!(se.query(pattern, &x).unwrap(), expected, "SE vs naive {pattern:?}");
+            assert_eq!(
+                se.query(pattern, &x).unwrap(),
+                expected,
+                "SE vs naive {pattern:?}"
+            );
             assert_eq!(
                 explicit.query(pattern, &x).unwrap(),
                 expected,
@@ -460,13 +500,21 @@ mod tests {
 
     #[test]
     fn se_index_matches_naive_on_pangenome_data() {
-        let x = PangenomeConfig { n: 1_200, delta: 0.08, seed: 31, ..Default::default() }.generate();
+        let x = PangenomeConfig {
+            n: 1_200,
+            delta: 0.08,
+            seed: 31,
+            ..Default::default()
+        }
+        .generate();
         let z = 16.0;
         let ell = 32;
         let params = IndexParams::new(z, ell, 4).unwrap();
         let naive = NaiveIndex::new(z).unwrap();
         for variant in [IndexVariant::Tree, IndexVariant::Array] {
-            let se = SpaceEfficientBuilder::new(params).build(&x, variant).unwrap();
+            let se = SpaceEfficientBuilder::new(params)
+                .build(&x, variant)
+                .unwrap();
             let est = ZEstimation::build(&x, z).unwrap();
             let mut sampler = PatternSampler::new(&est, 9);
             let mut patterns = sampler.sample_many(ell, 25);
@@ -485,8 +533,50 @@ mod tests {
     }
 
     #[test]
+    fn rejects_orders_without_total_keys() {
+        // σ = 4, k = 40 overflows the packed lexicographic keys (4^40 > 2^63);
+        // keying such k-mers in isolation yields the constant 0, which would
+        // silently mis-sample anchors — the builder must refuse instead. The
+        // explicit construction handles the same parameters correctly.
+        use ius_sampling::KmerOrder;
+        let x = UniformConfig {
+            n: 400,
+            sigma: 4,
+            spread: 0.4,
+            seed: 9,
+        }
+        .generate();
+        let params = IndexParams::new(4.0, 48, 4)
+            .unwrap()
+            .with_k(40)
+            .unwrap()
+            .with_order(KmerOrder::Lexicographic);
+        let err = SpaceEfficientBuilder::new(params)
+            .build(&x, IndexVariant::Array)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameters(msg) if msg.contains("total")));
+        let est = ZEstimation::build(&x, 4.0).unwrap();
+        let explicit =
+            MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).unwrap();
+        let naive = NaiveIndex::new(4.0).unwrap();
+        let mut sampler = PatternSampler::new(&est, 2);
+        for pattern in sampler.sample_many(48, 10) {
+            assert_eq!(
+                explicit.query(&pattern, &x).unwrap(),
+                naive.query(&pattern, &x).unwrap()
+            );
+        }
+    }
+
+    #[test]
     fn node_cap_aborts_gracefully() {
-        let x = UniformConfig { n: 400, sigma: 2, spread: 0.9, seed: 3 }.generate();
+        let x = UniformConfig {
+            n: 400,
+            sigma: 2,
+            spread: 0.9,
+            seed: 3,
+        }
+        .generate();
         let params = IndexParams::new(16.0, 8, 2).unwrap();
         let builder = SpaceEfficientBuilder::new(params).with_node_cap_factor(1.0);
         // With a cap of n·z nodes the uniform high-entropy string may or may

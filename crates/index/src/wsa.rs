@@ -38,7 +38,10 @@ impl Wsa {
     ///
     /// [`Error::EmptyInput`] if the estimation has no strands.
     pub fn build_from_estimation(estimation: &ZEstimation) -> Result<Self> {
-        Ok(Self { z: estimation.z(), property_text: PropertyText::build(estimation)? })
+        Ok(Self {
+            z: estimation.z(),
+            property_text: PropertyText::build(estimation)?,
+        })
     }
 
     /// The weight-threshold denominator.
@@ -106,7 +109,13 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(77);
         for (n, sigma, z) in [(150usize, 2usize, 5.0f64), (200, 4, 9.0), (120, 3, 2.0)] {
-            let x = UniformConfig { n, sigma, spread: 0.7, seed: n as u64 }.generate();
+            let x = UniformConfig {
+                n,
+                sigma,
+                spread: 0.7,
+                seed: n as u64,
+            }
+            .generate();
             let wsa = Wsa::build(&x, z).unwrap();
             for len in 1..=7 {
                 for _ in 0..25 {
@@ -135,7 +144,13 @@ mod tests {
 
     #[test]
     fn size_grows_with_z() {
-        let x = UniformConfig { n: 300, sigma: 4, spread: 0.4, seed: 2 }.generate();
+        let x = UniformConfig {
+            n: 300,
+            sigma: 4,
+            spread: 0.4,
+            seed: 2,
+        }
+        .generate();
         let small = Wsa::build(&x, 2.0).unwrap().size_bytes();
         let large = Wsa::build(&x, 16.0).unwrap().size_bytes();
         assert!(large > small);

@@ -76,9 +76,17 @@ impl Wst {
             .iter()
             .map(|&s| (s, property_text.trunc(s as usize) as u32))
             .collect();
-        let labels = WstLabels { text: property_text.text(), fragments: &fragments };
+        let labels = WstLabels {
+            text: property_text.text(),
+            fragments: &fragments,
+        };
         let trie = CompactedTrie::build(&lengths, &lcps, &labels);
-        Ok(Self { z: estimation.z(), property_text, fragments, trie })
+        Ok(Self {
+            z: estimation.z(),
+            property_text,
+            fragments,
+            trie,
+        })
     }
 
     /// The weight-threshold denominator.
@@ -101,7 +109,10 @@ impl UncertainIndex for Wst {
         if pattern.is_empty() {
             return Err(Error::EmptyInput("pattern"));
         }
-        let labels = WstLabels { text: self.property_text.text(), fragments: &self.fragments };
+        let labels = WstLabels {
+            text: self.property_text.text(),
+            fragments: &self.fragments,
+        };
         let Some(descent) = self.trie.descend(pattern, &labels) else {
             return Ok(Vec::new());
         };
@@ -157,7 +168,13 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(8);
         for (n, sigma, z) in [(150usize, 2usize, 6.0f64), (180, 4, 3.0)] {
-            let x = UniformConfig { n, sigma, spread: 0.6, seed: 91 + n as u64 }.generate();
+            let x = UniformConfig {
+                n,
+                sigma,
+                spread: 0.6,
+                seed: 91 + n as u64,
+            }
+            .generate();
             let est = ius_weighted::ZEstimation::build(&x, z).unwrap();
             let wst = Wst::build_from_estimation(&est).unwrap();
             let wsa = Wsa::build_from_estimation(&est).unwrap();
@@ -166,8 +183,16 @@ mod tests {
                     let pattern: Vec<u8> =
                         (0..len).map(|_| rng.gen_range(0..sigma as u8)).collect();
                     let expected = solid::occurrences(&x, &pattern, z);
-                    assert_eq!(wst.query(&pattern, &x).unwrap(), expected, "WST {pattern:?}");
-                    assert_eq!(wsa.query(&pattern, &x).unwrap(), expected, "WSA {pattern:?}");
+                    assert_eq!(
+                        wst.query(&pattern, &x).unwrap(),
+                        expected,
+                        "WST {pattern:?}"
+                    );
+                    assert_eq!(
+                        wsa.query(&pattern, &x).unwrap(),
+                        expected,
+                        "WSA {pattern:?}"
+                    );
                 }
             }
         }
@@ -177,7 +202,13 @@ mod tests {
     fn tree_is_larger_than_array() {
         // The paper's Figure 6: the tree-based baseline occupies several
         // times more space than the array-based one.
-        let x = UniformConfig { n: 400, sigma: 4, spread: 0.5, seed: 6 }.generate();
+        let x = UniformConfig {
+            n: 400,
+            sigma: 4,
+            spread: 0.5,
+            seed: 6,
+        }
+        .generate();
         let est = ius_weighted::ZEstimation::build(&x, 8.0).unwrap();
         let wst = Wst::build_from_estimation(&est).unwrap();
         let wsa = Wsa::build_from_estimation(&est).unwrap();

@@ -21,9 +21,9 @@
 
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Live heap bytes allocated through [`CountingAllocator`].
 static LIVE: AtomicUsize = AtomicUsize::new(0);
@@ -137,7 +137,11 @@ pub fn reset_peak() {
 /// Measurements are serialised by an internal lock; nested calls would
 /// deadlock, so keep measured regions flat (the benchmark harness does).
 pub fn measure<T, F: FnOnce() -> T>(f: F) -> (T, MemoryStats) {
-    let _guard = MEASURE_LOCK.lock();
+    // A poisoned lock only means a previous measurement panicked; the
+    // counters are monotone and self-consistent, so continue regardless.
+    let _guard = MEASURE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let before = live_bytes();
     reset_peak();
     let value = f();

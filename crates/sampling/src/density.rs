@@ -50,7 +50,10 @@ mod tests {
         for ell in [16usize, 64, 256, 1024] {
             let scheme = MinimizerScheme::with_recommended_k(ell, 4);
             let d = measure_density(&scheme, &text);
-            assert!(d < last, "density should decrease as ℓ grows ({d} !< {last})");
+            assert!(
+                d < last,
+                "density should decrease as ℓ grows ({d} !< {last})"
+            );
             last = d;
         }
     }
@@ -87,7 +90,10 @@ mod tests {
         assert!(lex_density > 0.8, "every window selects its leftmost k-mer");
         let kr = MinimizerScheme::new(ell, k, 200, KmerOrder::KarpRabin { seed: 3 });
         let kr_density = measure_density(&kr, &text);
-        assert!(kr_density < 0.5 * lex_density, "fingerprint order avoids the degeneracy");
+        assert!(
+            kr_density < 0.5 * lex_density,
+            "fingerprint order avoids the degeneracy"
+        );
     }
 
     #[test]

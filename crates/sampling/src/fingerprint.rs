@@ -35,7 +35,11 @@ impl KarpRabin {
         for _ in 0..k - 1 {
             lead_power = lead_power.wrapping_mul(base);
         }
-        Self { base, lead_power, k }
+        Self {
+            base,
+            lead_power,
+            k,
+        }
     }
 
     /// The k-mer length this hasher was built for.
@@ -143,7 +147,11 @@ mod tests {
         }
         values.sort_unstable();
         values.dedup();
-        assert_eq!(values.len(), 16, "all 16 two-letter k-mers should hash distinctly");
+        assert_eq!(
+            values.len(),
+            16,
+            "all 16 two-letter k-mers should hash distinctly"
+        );
     }
 
     #[test]

@@ -26,7 +26,12 @@ impl MinimizerScheme {
         assert!(k > 0, "k must be positive");
         assert!(ell >= k, "window length ℓ = {ell} must be at least k = {k}");
         let keyer = KmerKeyer::new(order, k, sigma);
-        Self { ell, k, order, keyer }
+        Self {
+            ell,
+            k,
+            order,
+            keyer,
+        }
     }
 
     /// Creates a scheme with the recommended `k ≈ ⌈log_σ ℓ⌉ + 1` (Lemma 1)
@@ -75,7 +80,12 @@ impl MinimizerScheme {
     ///
     /// Panics if `window.len() != ℓ`.
     pub fn window_minimizer(&self, window: &[u8]) -> usize {
-        assert_eq!(window.len(), self.ell, "window must have length ℓ = {}", self.ell);
+        assert_eq!(
+            window.len(),
+            self.ell,
+            "window must have length ℓ = {}",
+            self.ell
+        );
         if self.keyer.has_total_keys() {
             let keys = self.keyer.keys(window);
             let mut best = 0usize;
@@ -117,23 +127,22 @@ impl MinimizerScheme {
         I: IntoIterator<Item = (usize, usize)>,
     {
         let mut out = Vec::new();
-        let keys = if self.keyer.has_total_keys() { self.keyer.keys(text) } else { Vec::new() };
+        let width = self.window_width();
+        let mut sw = SlidingWindowMinimizer::with_capacity(width);
         for (start, end) in ranges {
             let end = end.min(text.len());
             if end < start || end - start < self.ell {
                 continue;
             }
-            let mut sw = SlidingWindowMinimizer::new();
-            let width = self.window_width();
+            // Rolling keys for exactly this range. For orders without total
+            // keys (very long lexicographic k-mers) `keys` returns ranks,
+            // which order correctly within one range — unlike raw `key()`
+            // values, which would collapse the fallback to "always leftmost".
+            let keys = self.keyer.keys(&text[start..end]);
+            sw.clear();
             // k-mer starting positions to consider: start ..= end - k.
             for pos in start..=end - self.k {
-                let key = if self.keyer.has_total_keys() {
-                    keys[pos]
-                } else {
-                    // Rare fallback path; recompute the key rank lazily.
-                    self.keyer.key(&text[pos..pos + self.k])
-                };
-                sw.push(pos, key);
+                sw.push(pos, keys[pos - start]);
                 // Window of k-mers [w, w + width) where w = pos + 1 - width.
                 if pos + 1 >= start + width {
                     let window_start = pos + 1 - width;
@@ -182,8 +191,8 @@ impl MinimizerScheme {
             }
             // Windows for starts i..=last; k-mers live in [i, last + ℓ).
             let range_end = (last + self.ell).min(n);
-            let mut sw = SlidingWindowMinimizer::new();
             let width = self.window_width();
+            let mut sw = SlidingWindowMinimizer::with_capacity(width);
             let keys = self.keyer.keys(&seq[i..range_end]);
             for pos in i..=range_end - self.k {
                 let key = keys[pos - i];
@@ -205,6 +214,15 @@ impl MinimizerScheme {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// Per-window rescan minimizers: every window is scanned independently
+    /// with [`MinimizerScheme::window_minimizer`], costing `O(n·(ℓ−k))`
+    /// letter work instead of the deque scan's amortised `O(1)` per
+    /// position. Retained as the differential-testing ground truth and as
+    /// the "before" measurement of the construction benchmark.
+    pub fn minimizers_rescan(&self, text: &[u8]) -> Vec<usize> {
+        self.minimizers_bruteforce(text)
     }
 
     /// Brute-force minimizers (quadratic), used as ground truth in tests.
@@ -272,7 +290,10 @@ mod tests {
         let text: Vec<u8> = (0..120).map(|_| rng.gen_range(0..4u8)).collect();
         let extent: Vec<u32> = vec![text.len() as u32; text.len()];
         let scheme = MinimizerScheme::new(12, 3, 4, KmerOrder::default());
-        assert_eq!(scheme.minimizers_respecting(&text, &extent), scheme.minimizers(&text));
+        assert_eq!(
+            scheme.minimizers_respecting(&text, &extent),
+            scheme.minimizers(&text)
+        );
     }
 
     #[test]
@@ -331,6 +352,9 @@ mod tests {
         // Lemma 1: density O(1/ℓ); the known expectation for random minimizers
         // is ≈ 2/(ℓ-k+2). Allow generous slack.
         assert!(density < 4.0 / ell as f64, "density {density} too high");
-        assert!(density > 0.5 / ell as f64, "density {density} suspiciously low");
+        assert!(
+            density > 0.5 / ell as f64,
+            "density {density} suspiciously low"
+        );
     }
 }

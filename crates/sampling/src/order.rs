@@ -194,7 +194,11 @@ mod tests {
                 let rolled = keyer.keys(&text);
                 assert_eq!(rolled.len(), text.len() - k + 1);
                 for (i, &key) in rolled.iter().enumerate() {
-                    assert_eq!(key, keyer.key(&text[i..i + k]), "order {order:?} k {k} i {i}");
+                    assert_eq!(
+                        key,
+                        keyer.key(&text[i..i + k]),
+                        "order {order:?} k {k} i {i}"
+                    );
                 }
             }
         }

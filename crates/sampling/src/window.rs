@@ -32,6 +32,15 @@ impl SlidingWindowMinimizer {
         Self::default()
     }
 
+    /// Creates an empty structure with room for `width` entries (the deque
+    /// never holds more than one entry per window slot), avoiding regrowth
+    /// during long scans.
+    pub fn with_capacity(width: usize) -> Self {
+        Self {
+            deque: VecDeque::with_capacity(width),
+        }
+    }
+
     /// Pushes the key of position `index` (indices must be pushed in
     /// increasing order).
     pub fn push(&mut self, index: usize, key: u64) {
@@ -90,7 +99,12 @@ impl FrontWindowMinimizer {
     /// Panics if `width == 0`.
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "window width must be positive");
-        Self { width, set: BTreeSet::new(), positions: BTreeMap::new(), parked: BTreeMap::new() }
+        Self {
+            width,
+            set: BTreeSet::new(),
+            positions: BTreeMap::new(),
+            parked: BTreeMap::new(),
+        }
     }
 
     /// Number of k-mer positions the window can hold.
@@ -122,7 +136,11 @@ impl FrontWindowMinimizer {
     /// not yet removed (the prepend access pattern).
     pub fn push_front(&mut self, position: usize, key: u64) {
         debug_assert!(
-            self.positions.keys().next().map(|&p| position < p).unwrap_or(true),
+            self.positions
+                .keys()
+                .next()
+                .map(|&p| position < p)
+                .unwrap_or(true),
             "push_front must use strictly decreasing positions"
         );
         self.positions.insert(position, key);
@@ -188,7 +206,12 @@ impl BackWindowMinimizer {
     /// Panics if `width == 0`.
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "window width must be positive");
-        Self { width, set: BTreeSet::new(), positions: BTreeMap::new(), parked: BTreeMap::new() }
+        Self {
+            width,
+            set: BTreeSet::new(),
+            positions: BTreeMap::new(),
+            parked: BTreeMap::new(),
+        }
     }
 
     /// Number of k-mer positions currently inside the window.
@@ -207,7 +230,11 @@ impl BackWindowMinimizer {
     /// previously inserted and not yet removed).
     pub fn push_back(&mut self, position: usize, key: u64) {
         debug_assert!(
-            self.positions.keys().next_back().map(|&p| position > p).unwrap_or(true),
+            self.positions
+                .keys()
+                .next_back()
+                .map(|&p| position > p)
+                .unwrap_or(true),
             "push_back must use strictly increasing positions"
         );
         self.positions.insert(position, key);
@@ -249,7 +276,10 @@ mod tests {
     use super::*;
 
     fn brute_leftmost_min(keys: &[(usize, u64)]) -> Option<usize> {
-        keys.iter().copied().min_by_key(|&(p, k)| (k, p)).map(|(p, _)| p)
+        keys.iter()
+            .copied()
+            .min_by_key(|&(p, k)| (k, p))
+            .map(|(p, _)| p)
     }
 
     #[test]
@@ -262,8 +292,7 @@ mod tests {
                 if i + 1 >= width {
                     let start = i + 1 - width;
                     sw.retire(start);
-                    let window: Vec<(usize, u64)> =
-                        (start..=i).map(|j| (j, keys[j])).collect();
+                    let window: Vec<(usize, u64)> = (start..=i).map(|j| (j, keys[j])).collect();
                     assert_eq!(sw.argmin(), brute_leftmost_min(&window), "w={width} i={i}");
                 }
             }
@@ -329,8 +358,7 @@ mod tests {
             }
             // Brute force: the window is the first `width` entries from the top
             // of the stack (smallest positions).
-            let window: Vec<(usize, u64)> =
-                stack.iter().rev().take(width).copied().collect();
+            let window: Vec<(usize, u64)> = stack.iter().rev().take(width).copied().collect();
             assert_eq!(fw.argmin(), brute_leftmost_min(&window));
         }
     }

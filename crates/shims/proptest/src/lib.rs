@@ -1,0 +1,178 @@
+//! Offline stand-in for the parts of the `proptest` API used by this
+//! workspace: the [`proptest!`] macro, range and tuple strategies,
+//! `prop::collection::vec`, [`Strategy::prop_map`], [`ProptestConfig`] and the
+//! `prop_assert*` macros.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case panics
+//! with the values that produced it (cases are deterministic per test name,
+//! so a failure reproduces by re-running the test). Generation quality and
+//! the testing model (N random cases per property) are preserved, which is
+//! what the workspace's property tests rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Per-property configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Error type produced by `prop_assert*` (a message describing the failure).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives the cases of one property; created by the [`proptest!`] expansion.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded from the test's (stable) name.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the fully qualified test name: deterministic across
+        // runs, different per property.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The runner's RNG, used by strategies to draw one case.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::Strategy::generate(&$strat, runner.rng());)*
+                    let inputs = [
+                        $(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),*
+                    ].join(", ");
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            runner.cases(),
+                            e,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "both sides equal {:?}", l);
+    }};
+}

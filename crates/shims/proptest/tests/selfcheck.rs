@@ -1,0 +1,41 @@
+//! Self-checks of the proptest stand-in: bodies run, failures fail.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static RUNS: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    // Deliberately not #[test]: invoked (once) by `case_count_honoured` so
+    // the counter is not racy.
+    #[allow(unused)]
+    fn bodies_run_once_per_case(x in 0u32..100, v in prop::collection::vec(0u8..4, 1..9)) {
+        RUNS.fetch_add(1, Ordering::Relaxed);
+        prop_assert!(x < 100);
+        prop_assert!((1..9).contains(&v.len()));
+        prop_assert!(v.iter().all(|&b| b < 4));
+    }
+}
+
+#[test]
+fn case_count_honoured() {
+    bodies_run_once_per_case();
+    assert_eq!(RUNS.load(Ordering::Relaxed), 17);
+}
+
+#[test]
+fn failing_property_panics() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert_eq!(x, 99u32, "x can never be 99");
+            }
+        }
+        always_fails();
+    });
+    assert!(result.is_err(), "a failing property must panic");
+}

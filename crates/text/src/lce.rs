@@ -23,11 +23,28 @@ pub struct LceIndex {
 impl LceIndex {
     /// Builds the index (suffix array, LCP array and RMQ) over `text`.
     pub fn new(text: &[u8]) -> Self {
-        let sa = suffix_array(text);
+        Self::from_suffix_array(text, suffix_array(text))
+    }
+
+    /// Builds the index from a pre-computed suffix array of `text` (useful
+    /// when the caller already has one, and for benchmarking alternative
+    /// suffix-array constructions through the same downstream structures).
+    ///
+    /// # Panics
+    ///
+    /// Panics (possibly later, on use) if `sa` is not the suffix array of
+    /// `text`.
+    pub fn from_suffix_array(text: &[u8], sa: Vec<u32>) -> Self {
+        debug_assert_eq!(sa.len(), text.len());
         let rank = inverse_suffix_array(&sa);
         let lcp = lcp_array(text, &sa);
         let rmq = Rmq::new(lcp);
-        Self { text_len: text.len(), sa, rank, rmq }
+        Self {
+            text_len: text.len(),
+            sa,
+            rank,
+            rmq,
+        }
     }
 
     /// Length of the indexed text.
@@ -124,7 +141,11 @@ mod tests {
             let lj = rng.gen_range(0..40usize);
             let a = &text[i..(i + li).min(text.len())];
             let b = &text[j..(j + lj).min(text.len())];
-            assert_eq!(lce.compare_fragments(i, li, j, lj), a.cmp(b), "i={i} li={li} j={j} lj={lj}");
+            assert_eq!(
+                lce.compare_fragments(i, li, j, lj),
+                a.cmp(b),
+                "i={i} li={li} j={j} lj={lj}"
+            );
         }
     }
 

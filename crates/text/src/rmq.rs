@@ -69,12 +69,26 @@ impl Rmq {
         let first_block = from / BLOCK;
         let last_block = (to - 1) / BLOCK;
         if first_block == last_block {
-            return self.values[from..to].iter().copied().min().expect("non-empty");
+            return self.values[from..to]
+                .iter()
+                .copied()
+                .min()
+                .expect("non-empty");
         }
         let left_end = (first_block + 1) * BLOCK;
         let right_start = last_block * BLOCK;
-        let mut best = self.values[from..left_end].iter().copied().min().expect("non-empty");
-        best = best.min(self.values[right_start..to].iter().copied().min().expect("non-empty"));
+        let mut best = self.values[from..left_end]
+            .iter()
+            .copied()
+            .min()
+            .expect("non-empty");
+        best = best.min(
+            self.values[right_start..to]
+                .iter()
+                .copied()
+                .min()
+                .expect("non-empty"),
+        );
         // Full blocks strictly between.
         let lo = first_block + 1;
         let hi = last_block; // exclusive
@@ -109,7 +123,11 @@ mod tests {
         let rmq = Rmq::new(values.clone());
         for from in 0..=values.len() {
             for to in from..=values.len() {
-                assert_eq!(rmq.min(from, to), brute(&values, from, to), "[{from}, {to})");
+                assert_eq!(
+                    rmq.min(from, to),
+                    brute(&values, from, to),
+                    "[{from}, {to})"
+                );
             }
         }
     }
@@ -145,7 +163,10 @@ mod tests {
         assert_eq!(rmq.min(BLOCK, 2 * BLOCK), brute(&values, BLOCK, 2 * BLOCK));
         assert_eq!(rmq.min(0, 4 * BLOCK), brute(&values, 0, 4 * BLOCK));
         assert_eq!(rmq.min(1, 4 * BLOCK - 1), brute(&values, 1, 4 * BLOCK - 1));
-        assert_eq!(rmq.min(BLOCK - 1, 3 * BLOCK + 1), brute(&values, BLOCK - 1, 3 * BLOCK + 1));
+        assert_eq!(
+            rmq.min(BLOCK - 1, 3 * BLOCK + 1),
+            brute(&values, BLOCK - 1, 3 * BLOCK + 1)
+        );
     }
 
     #[test]

@@ -26,13 +26,16 @@ impl SuffixTree {
         let sa = suffix_array(&text);
         let lcp = lcp_array(&text, &sa);
         let n = text.len();
-        let fragments: Vec<(u32, u32)> =
-            sa.iter().map(|&s| (s, (n as u32) - s)).collect();
+        let fragments: Vec<(u32, u32)> = sa.iter().map(|&s| (s, (n as u32) - s)).collect();
         let lengths: Vec<usize> = fragments.iter().map(|&(_, l)| l as usize).collect();
         let lcps: Vec<usize> = lcp.iter().map(|&v| v as usize).collect();
         let labels = SliceLabels::new(&text, fragments);
         let trie = CompactedTrie::build(&lengths, &lcps, &labels);
-        Self { text, leaf_to_suffix: sa, trie }
+        Self {
+            text,
+            leaf_to_suffix: sa,
+            trie,
+        }
     }
 
     /// The indexed text.
@@ -77,15 +80,12 @@ impl SuffixTree {
 
     /// Approximate heap usage in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.text.capacity()
-            + self.leaf_to_suffix.capacity() * 4
-            + self.trie.memory_bytes()
+        self.text.capacity() + self.leaf_to_suffix.capacity() * 4 + self.trie.memory_bytes()
     }
 
     fn labels(&self) -> SliceLabels<'_> {
         let n = self.text.len() as u32;
-        let fragments: Vec<(u32, u32)> =
-            self.leaf_to_suffix.iter().map(|&s| (s, n - s)).collect();
+        let fragments: Vec<(u32, u32)> = self.leaf_to_suffix.iter().map(|&s| (s, n - s)).collect();
         SliceLabels::new(&self.text, fragments)
     }
 }

@@ -116,7 +116,11 @@ impl CompactedTrie {
     /// the string lengths.
     pub fn build<L: LabelProvider>(lengths: &[usize], lcps: &[usize], labels: &L) -> Self {
         let num_leaves = lengths.len();
-        assert_eq!(lcps.len(), num_leaves, "lcps must have one entry per string");
+        assert_eq!(
+            lcps.len(),
+            num_leaves,
+            "lcps must have one entry per string"
+        );
         let mut trie = CompactedTrie {
             nodes: Vec::with_capacity(2 * num_leaves.max(1)),
             children: Vec::with_capacity(2 * num_leaves.max(1)),
@@ -126,10 +130,10 @@ impl CompactedTrie {
         // Temporary children lists; flattened at the end.
         let mut temp_children: Vec<Vec<u32>> = Vec::with_capacity(2 * num_leaves.max(1));
         let new_node = |nodes: &mut Vec<Node>,
-                            temp_children: &mut Vec<Vec<u32>>,
-                            depth: u32,
-                            leaf_lo: u32,
-                            is_leaf: bool|
+                        temp_children: &mut Vec<Vec<u32>>,
+                        depth: u32,
+                        leaf_lo: u32,
+                        is_leaf: bool|
          -> u32 {
             let id = nodes.len() as u32;
             nodes.push(Node {
@@ -191,7 +195,13 @@ impl CompactedTrie {
                 split
             };
             // Attach the new leaf.
-            let leaf = new_node(&mut trie.nodes, &mut temp_children, len as u32, i as u32, true);
+            let leaf = new_node(
+                &mut trie.nodes,
+                &mut temp_children,
+                len as u32,
+                i as u32,
+                true,
+            );
             trie.nodes[leaf as usize].leaf_hi = i as u32 + 1;
             temp_children[branch as usize].push(leaf);
             if len as u32 > trie.nodes[branch as usize].depth {
@@ -236,13 +246,16 @@ impl CompactedTrie {
         // Flatten children, sorted by first letter (they are produced in
         // lexicographic order already, but zero-length duplicate edges keep
         // this robust).
+        #[allow(clippy::needless_range_loop)]
         for node in 0..self.nodes.len() {
             let depth = self.nodes[node].depth as usize;
             let kids = &mut temp_children[node];
             let start = self.children.len() as u32;
             for &c in kids.iter() {
                 let child = &self.nodes[c as usize];
-                let first = labels.letter(child.leaf_lo as usize, depth).unwrap_or(NO_LETTER);
+                let first = labels
+                    .letter(child.leaf_lo as usize, depth)
+                    .unwrap_or(NO_LETTER);
                 self.children.push((first, c));
             }
             self.nodes[node].children_start = start;
@@ -307,7 +320,10 @@ impl CompactedTrie {
         loop {
             if matched == pattern.len() {
                 let (lo, hi) = self.leaf_range(node);
-                return Some(Descent { node, leaves: (lo, hi) });
+                return Some(Descent {
+                    node,
+                    leaves: (lo, hi),
+                });
             }
             // Pick the child whose edge starts with the next pattern letter.
             let next_letter = pattern[matched];
@@ -397,8 +413,7 @@ mod tests {
 
     #[test]
     fn suffixes_of_banana() {
-        let strings: Vec<&[u8]> =
-            vec![b"banana", b"anana", b"nana", b"ana", b"na", b"a"];
+        let strings: Vec<&[u8]> = vec![b"banana", b"anana", b"nana", b"ana", b"na", b"a"];
         let (trie, text, sorted) = build_from_strings(&strings);
         assert_eq!(trie.num_leaves(), 6);
         // Every leaf string with prefix "an": ana, anana → sorted indices.

@@ -51,7 +51,10 @@ impl Alphabet {
             }
             rank_of[sym as usize] = Some(rank as u8);
         }
-        Ok(Self { symbols: symbols.to_vec(), rank_of })
+        Ok(Self {
+            symbols: symbols.to_vec(),
+            rank_of,
+        })
     }
 
     /// The standard DNA alphabet `{A, C, G, T}` (σ = 4).
@@ -157,7 +160,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_duplicates() {
         assert!(matches!(Alphabet::new(b""), Err(Error::InvalidAlphabet(_))));
-        assert!(matches!(Alphabet::new(b"AA"), Err(Error::InvalidAlphabet(_))));
+        assert!(matches!(
+            Alphabet::new(b"AA"),
+            Err(Error::InvalidAlphabet(_))
+        ));
         assert!(Alphabet::new(b"AB").is_ok());
     }
 

@@ -83,9 +83,15 @@ mod tests {
     fn display_is_informative() {
         let e = Error::UnknownSymbol(b'Z');
         assert!(e.to_string().contains('Z'));
-        let e = Error::PositionOutOfBounds { position: 7, length: 3 };
+        let e = Error::PositionOutOfBounds {
+            position: 7,
+            length: 3,
+        };
         assert!(e.to_string().contains('7') && e.to_string().contains('3'));
-        let e = Error::PatternTooShort { pattern: 3, lower_bound: 8 };
+        let e = Error::PatternTooShort {
+            pattern: 3,
+            lower_bound: 8,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('8'));
     }
 

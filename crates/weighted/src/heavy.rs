@@ -9,17 +9,23 @@
 
 use crate::error::{Error, Result};
 use crate::string::WeightedString;
+use std::sync::Arc;
 
 /// The heavy string of a weighted string, together with prefix products of
 /// its letter probabilities.
 ///
 /// The prefix products are kept in log-space so that arbitrarily long ranges
 /// can be multiplied without underflow; see [`HeavyString::range_probability`].
+///
+/// The letter ranks live behind an [`Arc`] so that consumers needing their
+/// own handle on the heavy text (most prominently the encoded factor sets,
+/// whose forward heavy view *is* this string) share the allocation instead
+/// of cloning `n` bytes per consumer; see [`HeavyString::shared_ranks`].
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HeavyString {
-    /// Heavy letters as dense ranks, one per position.
-    letters: Vec<u8>,
+    /// Heavy letters as dense ranks, one per position (shared).
+    letters: Arc<Vec<u8>>,
     /// `log_prefix[i]` = Σ_{j < i} ln p_j(H_X[j]); length `n + 1`.
     log_prefix: Vec<f64>,
 }
@@ -48,7 +54,10 @@ impl HeavyString {
             letters.push(best as u8);
             log_prefix.push(log_prefix[i] + best_p.ln());
         }
-        Self { letters, log_prefix }
+        Self {
+            letters: Arc::new(letters),
+            log_prefix,
+        }
     }
 
     /// Length of the heavy string (equals the length of `X`).
@@ -79,6 +88,13 @@ impl HeavyString {
         &self.letters
     }
 
+    /// A shared handle on the rank vector — the clone-free way to hand the
+    /// heavy text to another owner (no bytes are copied).
+    #[inline]
+    pub fn shared_ranks(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.letters)
+    }
+
     /// Probability of the heavy fragment `H_X[start..end]` (half-open range),
     /// i.e. `Π_{i ∈ [start, end)} p_i(H_X[i])`.
     ///
@@ -87,7 +103,10 @@ impl HeavyString {
     /// [`Error::PositionOutOfBounds`] if `end > n` or `start > end`.
     pub fn range_probability(&self, start: usize, end: usize) -> Result<f64> {
         if end > self.len() || start > end {
-            return Err(Error::PositionOutOfBounds { position: end, length: self.len() });
+            return Err(Error::PositionOutOfBounds {
+                position: end,
+                length: self.len(),
+            });
         }
         Ok((self.log_prefix[end] - self.log_prefix[start]).exp())
     }
@@ -112,7 +131,10 @@ impl HeavyString {
             .iter()
             .enumerate()
             .filter(|(off, &c)| {
-                self.letters.get(start + off).map(|&h| h != c).unwrap_or(true)
+                self.letters
+                    .get(start + off)
+                    .map(|&h| h != c)
+                    .unwrap_or(true)
             })
             .count()
     }
@@ -124,7 +146,10 @@ impl HeavyString {
             .iter()
             .enumerate()
             .filter(|(off, &c)| {
-                self.letters.get(start + off).map(|&h| h != c).unwrap_or(true)
+                self.letters
+                    .get(start + off)
+                    .map(|&h| h != c)
+                    .unwrap_or(true)
             })
             .map(|(off, _)| start + off)
             .collect()
@@ -166,7 +191,9 @@ mod tests {
         assert!((h.range_probability(0, 1).unwrap() - 1.0).abs() < 1e-12);
         assert!((h.range_probability(0, 2).unwrap() - 0.5).abs() < 1e-12);
         assert!((h.range_probability(2, 4).unwrap() - 0.6).abs() < 1e-12);
-        assert!((h.range_probability(0, 6).unwrap() - 1.0 * 0.5 * 0.75 * 0.8 * 0.5 * 0.75).abs() < 1e-9);
+        assert!(
+            (h.range_probability(0, 6).unwrap() - 1.0 * 0.5 * 0.75 * 0.8 * 0.5 * 0.75).abs() < 1e-9
+        );
     }
 
     #[test]

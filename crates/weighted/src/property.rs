@@ -328,7 +328,11 @@ mod tests {
     fn derive_maximal_property_matches_bruteforce() {
         let x = paper_example();
         let z = 4.0;
-        for seq in [vec![0u8, 0, 0, 0, 0, 0], vec![0, 1, 0, 0, 1, 1], vec![1, 1, 1, 1, 1, 1]] {
+        for seq in [
+            vec![0u8, 0, 0, 0, 0, 0],
+            vec![0, 1, 0, 0, 1, 1],
+            vec![1, 1, 1, 1, 1, 1],
+        ] {
             let ps = derive_maximal_property(seq.clone(), &x, z).unwrap();
             for i in 0..x.len() {
                 // Brute-force maximal extent.

@@ -119,7 +119,11 @@ impl SolidFactorSet {
 
     /// The longest factor length (0 if the set is empty).
     pub fn max_length(&self) -> usize {
-        self.factors.iter().map(MaximalSolidFactor::len).max().unwrap_or(0)
+        self.factors
+            .iter()
+            .map(MaximalSolidFactor::len)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -196,7 +200,10 @@ mod tests {
         // AAAA is valid at position 1 (1-based) with probability 0.3 (Example 6).
         assert_eq!(occurrences_bytes(&x, b"AAAA", 4.0).unwrap(), vec![0]);
         // ABAB is not valid at position 1 (probability 3/40).
-        assert_eq!(occurrences_bytes(&x, b"ABAB", 4.0).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            occurrences_bytes(&x, b"ABAB", 4.0).unwrap(),
+            Vec::<usize>::new()
+        );
         // AB has probability 1/2 at position 1, 3/16 at 2 (not valid), 4/25... let's trust maths:
         // positions (0-based) where p ≥ 1/4: 0 (0.5), 3 (0.8*0.5=0.4), 4 (0.5*0.75=0.375).
         assert_eq!(occurrences_bytes(&x, b"AB", 4.0).unwrap(), vec![0, 3, 4]);
@@ -216,7 +223,10 @@ mod tests {
         let x = paper_example();
         // z = 1 → only probability-1 factors. Only X[0] = A is certain.
         assert_eq!(occurrences_bytes(&x, b"A", 1.0).unwrap(), vec![0]);
-        assert_eq!(occurrences_bytes(&x, b"AA", 1.0).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            occurrences_bytes(&x, b"AA", 1.0).unwrap(),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl WeightedString {
             validate_row(i, row, sigma)?;
             probs.extend_from_slice(row);
         }
-        Ok(Self { alphabet, n: rows.len(), probs })
+        Ok(Self {
+            alphabet,
+            n: rows.len(),
+            probs,
+        })
     }
 
     /// Builds a weighted string from a flat row-major probability matrix.
@@ -57,7 +61,7 @@ impl WeightedString {
     /// Same validation as [`WeightedString::from_rows`].
     pub fn from_flat(alphabet: Alphabet, flat: Vec<f64>) -> Result<Self> {
         let sigma = alphabet.size();
-        if flat.is_empty() || flat.len() % sigma != 0 {
+        if flat.is_empty() || !flat.len().is_multiple_of(sigma) {
             return Err(Error::InvalidParameters(format!(
                 "flat probability matrix of length {} is not a non-zero multiple of σ = {sigma}",
                 flat.len()
@@ -67,7 +71,11 @@ impl WeightedString {
         for i in 0..n {
             validate_row(i, &flat[i * sigma..(i + 1) * sigma], sigma)?;
         }
-        Ok(Self { alphabet, n, probs: flat })
+        Ok(Self {
+            alphabet,
+            n,
+            probs: flat,
+        })
     }
 
     /// Builds a *deterministic* weighted string: position `i` has probability
@@ -87,7 +95,11 @@ impl WeightedString {
             let r = alphabet.rank_checked(b)? as usize;
             probs[i * sigma + r] = 1.0;
         }
-        Ok(Self { alphabet, n: text.len(), probs })
+        Ok(Self {
+            alphabet,
+            n: text.len(),
+            probs,
+        })
     }
 
     /// Builds a weighted string from non-negative per-position counts
@@ -255,7 +267,11 @@ impl WeightedString {
         for i in (0..self.n).rev() {
             probs.extend_from_slice(&self.probs[i * sigma..(i + 1) * sigma]);
         }
-        Self { alphabet: self.alphabet.clone(), n: self.n, probs }
+        Self {
+            alphabet: self.alphabet.clone(),
+            n: self.n,
+            probs,
+        }
     }
 
     /// Approximate heap size of the probability matrix, in bytes.
@@ -266,7 +282,10 @@ impl WeightedString {
     #[inline]
     fn check_pos(&self, pos: usize) -> Result<()> {
         if pos >= self.n {
-            Err(Error::PositionOutOfBounds { position: pos, length: self.n })
+            Err(Error::PositionOutOfBounds {
+                position: pos,
+                length: self.n,
+            })
         } else {
             Ok(())
         }
@@ -395,7 +414,10 @@ mod tests {
             Err(Error::InvalidDistribution { position: 0, .. })
         ));
         // Empty.
-        assert!(matches!(WeightedString::from_rows(a, &[]), Err(Error::EmptyInput(_))));
+        assert!(matches!(
+            WeightedString::from_rows(a, &[]),
+            Err(Error::EmptyInput(_))
+        ));
     }
 
     #[test]

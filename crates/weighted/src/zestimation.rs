@@ -32,6 +32,23 @@
 //! The construction runs in `O(nz)` space (the size of the output, as in
 //! Theorem 2) and time `O(nz + W)` where `W` is the total number of
 //! designation updates at uncertain positions.
+//!
+//! Three structural optimisations keep the constants small without changing
+//! the letter assignment (the output is bit-identical to the direct
+//! formulation):
+//!
+//! * levels created during a run of deterministic positions are merged into
+//!   one *range level* — their designation state starts identical (every
+//!   strand, probability 1) and evolves identically forever after, so one
+//!   representative carries the whole run and cuts/flushes fan out over the
+//!   start range;
+//! * each level stores its groups as slices of one arena vector
+//!   (`members` + per-group end offsets), and dead levels return their
+//!   buffers to a pool — the steady state allocates nothing;
+//! * letters are written position-major (one contiguous row per position)
+//!   into a bounded staging buffer that is transposed into the per-strand
+//!   sequences block by block, replacing `⌊z⌋` scattered writes per position
+//!   with one while keeping the peak heap at a single letter matrix.
 
 use crate::error::{Error, Result};
 use crate::heavy::HeavyString;
@@ -47,20 +64,70 @@ pub struct ZEstimation {
     strands: Vec<PropertyString>,
 }
 
-/// A group of strands designated to carry one solid factor that starts at a
-/// common position and spans up to the current position.
-struct Group {
-    /// Occurrence probability of the factor carried by this group.
-    prob: f64,
-    /// Strand ids designated for this factor.
-    members: Vec<u32>,
+/// Sentinel for "no letter assigned in this transition". Ranks reach at most
+/// 254 (`Alphabet` caps σ at 255), so no collision is possible.
+const NO_LETTER: u8 = u8::MAX;
+
+/// Positions per staging block of the letter transpose (the staging buffer
+/// holds `TRANSPOSE_BLOCK · ⌊z⌋` bytes and stays cache-resident).
+const TRANSPOSE_BLOCK: usize = 2048;
+
+/// Copies the staging rows of the block ending at `pos` into the per-strand
+/// sequences once the block is full (or the string ends).
+#[inline]
+fn flush_staging_block(
+    staging: &[u8],
+    letters: &mut [Vec<u8>],
+    pos: usize,
+    n: usize,
+    num_strands: usize,
+) {
+    if !(pos + 1).is_multiple_of(TRANSPOSE_BLOCK) && pos + 1 != n {
+        return;
+    }
+    let block_start = pos - (pos % TRANSPOSE_BLOCK);
+    for (strand, seq) in letters.iter_mut().enumerate() {
+        for p in block_start..=pos {
+            seq[p] = staging[(p - block_start) * num_strands + strand];
+        }
+    }
 }
 
-/// All designation groups for one active starting position.
+/// One designation group inside a level's arena: the strands in
+/// `members[previous end..end]` carry a factor of probability `prob`.
+#[derive(Clone, Copy)]
+struct GroupMeta {
+    /// Occurrence probability of the factor carried by this group.
+    prob: f64,
+    /// Exclusive end offset of the group's slice of the level's `members`.
+    end: u32,
+}
+
+/// All designation groups for a contiguous range of active starting
+/// positions whose designation state is identical (a deterministic run
+/// produces one level covering every start of the run).
 struct Level {
-    /// 0-based starting position of the factors carried by this level.
-    start: usize,
-    groups: Vec<Group>,
+    /// First 0-based starting position represented by this level.
+    first_start: u32,
+    /// Last starting position represented by this level (inclusive).
+    last_start: u32,
+    /// `true` while the level is the single all-strand probability-1 group
+    /// created by a deterministic run (the state in which merging is valid).
+    pristine: bool,
+    /// Concatenated member strand ids, grouped.
+    members: Vec<u32>,
+    groups: Vec<GroupMeta>,
+}
+
+impl Level {
+    /// Marks every represented start of `strand` as cut at `pos`.
+    #[inline]
+    fn cut(&self, extents: &mut [Vec<u32>], strand: u32, pos: u32) {
+        let row = &mut extents[strand as usize];
+        for s in self.first_start..=self.last_start {
+            row[s as usize] = pos;
+        }
+    }
 }
 
 impl ZEstimation {
@@ -76,23 +143,41 @@ impl ZEstimation {
         let n = x.len();
         let num_strands = z.floor() as usize;
         let sigma = x.sigma();
+        // Ranks reach sigma − 1, so the sentinel collides only for
+        // sigma > 255 — which `Alphabet` already rejects; sigma = 255 is fine.
+        assert!(
+            sigma <= NO_LETTER as usize,
+            "alphabet too large for the letter sentinel"
+        );
         let heavy = HeavyString::new(x);
 
-        // Output buffers.
+        // Output buffers. Letters are accumulated position-major (one
+        // contiguous row of `⌊z⌋` bytes per position) in a bounded staging
+        // buffer and transposed into the per-strand sequences block by block,
+        // so the peak heap stays at one full-size letter matrix plus
+        // `TRANSPOSE_BLOCK·⌊z⌋` staging bytes. extents[j][s] starts as the
+        // empty interval `s` and is overwritten when strand j is cut from
+        // level `s` (or at the final flush).
         let mut letters: Vec<Vec<u8>> = vec![vec![0u8; n]; num_strands];
-        // extents[j][s] starts as the empty interval `s` and is overwritten
-        // when strand j is cut from level `s` (or at the final flush).
+        let mut staging: Vec<u8> = vec![0u8; TRANSPOSE_BLOCK.min(n.max(1)) * num_strands];
         let mut extents: Vec<Vec<u32>> = (0..num_strands)
             .map(|_| (0..n as u32).collect::<Vec<u32>>())
             .collect();
 
         // Active designation levels, ordered by increasing start position.
         let mut levels: Vec<Level> = Vec::new();
-        // Letter assigned to each strand during the current transition.
-        let mut assigned: Vec<Option<u8>> = vec![None; num_strands];
-        // Scratch buffers reused across positions.
+        // Letter assigned to each strand during the current transition
+        // (`NO_LETTER` = unassigned).
+        let mut assigned: Vec<u8> = vec![NO_LETTER; num_strands];
+        // Scratch buffers reused across positions and buffer pools fed by
+        // dead levels, so the steady state allocates nothing.
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); sigma];
         let mut leftovers: Vec<u32> = Vec::new();
+        let mut quotas: Vec<usize> = Vec::with_capacity(sigma);
+        let mut scratch_members: Vec<u32> = Vec::new();
+        let mut scratch_groups: Vec<GroupMeta> = Vec::new();
+        let mut member_pool: Vec<Vec<u32>> = Vec::new();
+        let mut group_pool: Vec<Vec<GroupMeta>> = Vec::new();
 
         for pos in 0..n {
             let dist = x.distribution(pos);
@@ -102,51 +187,383 @@ impl ZEstimation {
             if heavy_prob >= 1.0 {
                 // Deterministic position: every designation continues with the
                 // single certain letter; all strands take it, and the new
-                // level designates every strand.
-                for strand_letters in letters.iter_mut() {
-                    strand_letters[pos] = heavy_letter;
+                // level designates every strand. Consecutive deterministic
+                // starts share one range level (identical state evolution).
+                let at = (pos % TRANSPOSE_BLOCK) * num_strands;
+                staging[at..at + num_strands].fill(heavy_letter);
+                flush_staging_block(&staging, &mut letters, pos, n, num_strands);
+                match levels.last_mut() {
+                    Some(level) if level.pristine && level.last_start as usize + 1 == pos => {
+                        level.last_start = pos as u32;
+                    }
+                    _ => {
+                        let mut members = member_pool.pop().unwrap_or_default();
+                        members.clear();
+                        members.extend(0..num_strands as u32);
+                        let mut groups = group_pool.pop().unwrap_or_default();
+                        groups.clear();
+                        groups.push(GroupMeta {
+                            prob: 1.0,
+                            end: num_strands as u32,
+                        });
+                        levels.push(Level {
+                            first_start: pos as u32,
+                            last_start: pos as u32,
+                            pristine: true,
+                            members,
+                            groups,
+                        });
+                    }
                 }
-                levels.push(Level {
-                    start: pos,
-                    groups: vec![Group { prob: 1.0, members: (0..num_strands as u32).collect() }],
-                });
                 continue;
             }
 
             // Uncertain position: reset the per-transition assignment.
-            for a in assigned.iter_mut() {
-                *a = None;
-            }
+            assigned.fill(NO_LETTER);
 
             // Process existing levels from the earliest start (deepest groups,
             // whose choices are forced upon shallower ones) to the latest.
             for level in levels.iter_mut() {
-                let start = level.start;
-                let mut new_groups: Vec<Group> = Vec::with_capacity(level.groups.len());
-                for group in level.groups.drain(..) {
-                    split_group(
-                        group,
-                        dist,
-                        z,
-                        pos,
-                        start,
-                        &mut assigned,
-                        &mut extents,
-                        &mut buckets,
-                        &mut leftovers,
-                        &mut new_groups,
-                    );
+                scratch_members.clear();
+                scratch_groups.clear();
+                let mut begin = 0usize;
+                for g in level.groups.iter() {
+                    let members = &level.members[begin..g.end as usize];
+                    begin = g.end as usize;
+
+                    // Singleton fast path: the deep tail of the designation
+                    // forest is dominated by one-strand groups, whose split
+                    // needs no bucketing — the member keeps its forced letter
+                    // or takes the first letter whose quota admits it.
+                    if let [m] = *members {
+                        let forced = assigned[m as usize];
+                        let letter = if forced != NO_LETTER {
+                            Some(forced)
+                        } else {
+                            // First letter (in rank order) with a positive
+                            // quota, exactly as the bucket loop would assign.
+                            dist.iter()
+                                .position(|&p| solid_multiplicity(g.prob * p, z) > 0)
+                                .map(|l| l as u8)
+                        };
+                        match letter {
+                            Some(letter) => {
+                                assigned[m as usize] = letter;
+                                scratch_members.push(m);
+                                scratch_groups.push(GroupMeta {
+                                    prob: g.prob * dist[letter as usize],
+                                    end: scratch_members.len() as u32,
+                                });
+                            }
+                            None => level.cut(&mut extents, m, pos as u32),
+                        }
+                        continue;
+                    }
+
+                    // All-forced fast paths. A forced member's deeper
+                    // designation has probability ≤ this group's, so its
+                    // letter's quota here is positive: the death check cannot
+                    // fire and no member is cut — the group splits purely by
+                    // letter, no quota arithmetic needed.
+                    let first_letter = assigned[members[0] as usize];
+                    if first_letter != NO_LETTER {
+                        let mut all_same = true;
+                        let mut all_forced = true;
+                        for &m in &members[1..] {
+                            let letter = assigned[m as usize];
+                            if letter == NO_LETTER {
+                                all_forced = false;
+                                break;
+                            }
+                            all_same &= letter == first_letter;
+                        }
+                        if all_forced && all_same {
+                            scratch_members.extend_from_slice(members);
+                            scratch_groups.push(GroupMeta {
+                                prob: g.prob * dist[first_letter as usize],
+                                end: scratch_members.len() as u32,
+                            });
+                            continue;
+                        }
+                        if all_forced && members.len() * sigma <= 64 {
+                            // Small mixed group: σ passes beat the bucket
+                            // machinery; emission stays in letter-rank order.
+                            for letter in 0..sigma as u8 {
+                                let before = scratch_members.len();
+                                for &m in members {
+                                    if assigned[m as usize] == letter {
+                                        scratch_members.push(m);
+                                    }
+                                }
+                                if scratch_members.len() > before {
+                                    scratch_groups.push(GroupMeta {
+                                        prob: g.prob * dist[letter as usize],
+                                        end: scratch_members.len() as u32,
+                                    });
+                                }
+                            }
+                            continue;
+                        }
+                        // Large mixed all-forced groups fall through to the
+                        // bucket path, where the quota arithmetic amortises.
+                    }
+
+                    // Letter quotas for the extended factors.
+                    quotas.clear();
+                    let mut total_quota = 0usize;
+                    for &p in dist {
+                        let q = solid_multiplicity(g.prob * p, z) as usize;
+                        quotas.push(q);
+                        total_quota += q;
+                    }
+                    if total_quota == 0 {
+                        // The whole group dies: every member is cut at every
+                        // start this level represents.
+                        for &m in members {
+                            level.cut(&mut extents, m, pos as u32);
+                        }
+                        continue;
+                    }
+                    for bucket in buckets.iter_mut() {
+                        bucket.clear();
+                    }
+                    leftovers.clear();
+                    // Forced members keep the letter a deeper group gave them.
+                    for &m in members {
+                        let letter = assigned[m as usize];
+                        if letter != NO_LETTER {
+                            buckets[letter as usize].push(m);
+                        } else {
+                            leftovers.push(m);
+                        }
+                    }
+                    let mut next_leftover = 0usize;
+                    for (letter, bucket) in buckets.iter_mut().enumerate() {
+                        // Defensive: forced members can exceed the quota only
+                        // through floating-point drift; designated strands are
+                        // never dropped.
+                        let quota = quotas[letter].max(bucket.len());
+                        while bucket.len() < quota && next_leftover < leftovers.len() {
+                            let m = leftovers[next_leftover];
+                            next_leftover += 1;
+                            assigned[m as usize] = letter as u8;
+                            bucket.push(m);
+                        }
+                        if !bucket.is_empty() {
+                            scratch_members.extend_from_slice(bucket);
+                            scratch_groups.push(GroupMeta {
+                                prob: g.prob * dist[letter],
+                                end: scratch_members.len() as u32,
+                            });
+                        }
+                    }
+                    // Remaining members are cut from this level.
+                    for &m in &leftovers[next_leftover..] {
+                        level.cut(&mut extents, m, pos as u32);
+                    }
                 }
-                level.groups = new_groups;
+                std::mem::swap(&mut level.members, &mut scratch_members);
+                std::mem::swap(&mut level.groups, &mut scratch_groups);
+                level.pristine = false;
             }
-            // Drop levels that lost all their designations.
-            levels.retain(|level| !level.groups.is_empty());
+            // Drop levels that lost all their designations, recycling their
+            // buffers.
+            levels.retain_mut(|level| {
+                if level.groups.is_empty() {
+                    member_pool.push(std::mem::take(&mut level.members));
+                    group_pool.push(std::mem::take(&mut level.groups));
+                    false
+                } else {
+                    true
+                }
+            });
 
             // Create the level for the new starting position `pos`. Forced
             // members are exactly the strands that received a letter in this
             // transition (they are designated at some earlier start and the
             // laminar nesting requires them to be designated here as well).
-            let mut new_level = Level { start: pos, groups: Vec::new() };
+            for bucket in buckets.iter_mut() {
+                bucket.clear();
+            }
+            leftovers.clear();
+            for (strand, &letter) in assigned.iter().enumerate() {
+                if letter != NO_LETTER {
+                    buckets[letter as usize].push(strand as u32);
+                } else {
+                    leftovers.push(strand as u32);
+                }
+            }
+            let mut members = member_pool.pop().unwrap_or_default();
+            members.clear();
+            let mut groups = group_pool.pop().unwrap_or_default();
+            groups.clear();
+            let at = (pos % TRANSPOSE_BLOCK) * num_strands;
+            let row = &mut staging[at..at + num_strands];
+            let mut next_leftover = 0usize;
+            for (letter, bucket) in buckets.iter_mut().enumerate() {
+                let target = solid_multiplicity(dist[letter], z) as usize;
+                let quota = target.max(bucket.len());
+                while bucket.len() < quota && next_leftover < leftovers.len() {
+                    let strand = leftovers[next_leftover];
+                    next_leftover += 1;
+                    bucket.push(strand);
+                }
+                if !bucket.is_empty() {
+                    for &strand in bucket.iter() {
+                        row[strand as usize] = letter as u8;
+                    }
+                    members.extend_from_slice(bucket);
+                    groups.push(GroupMeta {
+                        prob: dist[letter],
+                        end: members.len() as u32,
+                    });
+                }
+            }
+            // Undesignated strands take the heavy letter; they do not count
+            // for any starting position, so the choice is immaterial.
+            for &strand in &leftovers[next_leftover..] {
+                row[strand as usize] = heavy_letter;
+            }
+            if groups.is_empty() {
+                member_pool.push(members);
+                group_pool.push(groups);
+            } else {
+                levels.push(Level {
+                    first_start: pos as u32,
+                    last_start: pos as u32,
+                    pristine: false,
+                    members,
+                    groups,
+                });
+            }
+            flush_staging_block(&staging, &mut letters, pos, n, num_strands);
+        }
+
+        // Final flush: designations alive at the end of the string cover up
+        // to position n-1.
+        for level in &levels {
+            for &m in &level.members {
+                level.cut(&mut extents, m, n as u32);
+            }
+        }
+
+        let strands = letters
+            .into_iter()
+            .zip(extents)
+            .map(|(seq, extent)| PropertyString::new(seq, extent))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { z, n, strands })
+    }
+
+    /// The direct (pre-overhaul) formulation of the construction: one level
+    /// per position, one heap-allocated member list per group. Produces the
+    /// same strands as [`ZEstimation::build`] letter for letter; retained as
+    /// the differential-testing baseline and as the "before" measurement of
+    /// the construction benchmark.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidThreshold`] unless `z ≥ 1` and finite.
+    pub fn build_reference(x: &WeightedString, z: f64) -> Result<Self> {
+        if !(z.is_finite() && z >= 1.0) {
+            return Err(Error::InvalidThreshold(z));
+        }
+        struct Group {
+            prob: f64,
+            members: Vec<u32>,
+        }
+        struct RefLevel {
+            start: usize,
+            groups: Vec<Group>,
+        }
+        let n = x.len();
+        let num_strands = z.floor() as usize;
+        let sigma = x.sigma();
+        let heavy = HeavyString::new(x);
+
+        let mut letters: Vec<Vec<u8>> = vec![vec![0u8; n]; num_strands];
+        let mut extents: Vec<Vec<u32>> = (0..num_strands)
+            .map(|_| (0..n as u32).collect::<Vec<u32>>())
+            .collect();
+        let mut levels: Vec<RefLevel> = Vec::new();
+        let mut assigned: Vec<Option<u8>> = vec![None; num_strands];
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); sigma];
+        let mut leftovers: Vec<u32> = Vec::new();
+
+        for pos in 0..n {
+            let dist = x.distribution(pos);
+            let heavy_letter = heavy.letter(pos);
+            if dist[heavy_letter as usize] >= 1.0 {
+                for strand_letters in letters.iter_mut() {
+                    strand_letters[pos] = heavy_letter;
+                }
+                levels.push(RefLevel {
+                    start: pos,
+                    groups: vec![Group {
+                        prob: 1.0,
+                        members: (0..num_strands as u32).collect(),
+                    }],
+                });
+                continue;
+            }
+            for a in assigned.iter_mut() {
+                *a = None;
+            }
+            for level in levels.iter_mut() {
+                let start = level.start;
+                let mut new_groups: Vec<Group> = Vec::with_capacity(level.groups.len());
+                for group in level.groups.drain(..) {
+                    let mut total_quota = 0usize;
+                    let mut quotas: Vec<usize> = Vec::with_capacity(sigma);
+                    for &p in dist.iter() {
+                        let q = solid_multiplicity(group.prob * p, z) as usize;
+                        quotas.push(q);
+                        total_quota += q;
+                    }
+                    if total_quota == 0 {
+                        for &m in &group.members {
+                            extents[m as usize][start] = pos as u32;
+                        }
+                        continue;
+                    }
+                    for bucket in buckets.iter_mut() {
+                        bucket.clear();
+                    }
+                    leftovers.clear();
+                    for &m in &group.members {
+                        match assigned[m as usize] {
+                            Some(letter) => buckets[letter as usize].push(m),
+                            None => leftovers.push(m),
+                        }
+                    }
+                    let mut next_leftover = 0usize;
+                    for (letter, bucket) in buckets.iter_mut().enumerate() {
+                        let quota = quotas[letter].max(bucket.len());
+                        while bucket.len() < quota && next_leftover < leftovers.len() {
+                            let m = leftovers[next_leftover];
+                            next_leftover += 1;
+                            assigned[m as usize] = Some(letter as u8);
+                            bucket.push(m);
+                        }
+                        if !bucket.is_empty() {
+                            new_groups.push(Group {
+                                prob: group.prob * dist[letter],
+                                members: std::mem::take(bucket),
+                            });
+                        }
+                    }
+                    for &m in &leftovers[next_leftover..] {
+                        extents[m as usize][start] = pos as u32;
+                    }
+                }
+                level.groups = new_groups;
+            }
+            levels.retain(|level| !level.groups.is_empty());
+
+            let mut new_level = RefLevel {
+                start: pos,
+                groups: Vec::new(),
+            };
             for bucket in buckets.iter_mut() {
                 bucket.clear();
             }
@@ -171,13 +588,12 @@ impl ZEstimation {
                     for &strand in bucket.iter() {
                         letters[strand as usize][pos] = letter as u8;
                     }
-                    new_level
-                        .groups
-                        .push(Group { prob: dist[letter], members: std::mem::take(bucket) });
+                    new_level.groups.push(Group {
+                        prob: dist[letter],
+                        members: std::mem::take(bucket),
+                    });
                 }
             }
-            // Undesignated strands take the heavy letter; they do not count
-            // for any starting position, so the choice is immaterial.
             for &strand in &leftovers[next_leftover..] {
                 letters[strand as usize][pos] = heavy_letter;
             }
@@ -186,8 +602,6 @@ impl ZEstimation {
             }
         }
 
-        // Final flush: designations alive at the end of the string cover up
-        // to position n-1.
         for level in &levels {
             for group in &level.groups {
                 for &m in &group.members {
@@ -244,7 +658,10 @@ impl ZEstimation {
     /// `Count_S(P, i)`: the number of strands in which the rank-encoded
     /// pattern occurs at position `i` respecting the property.
     pub fn count(&self, pattern: &[u8], position: usize) -> usize {
-        self.strands.iter().filter(|s| s.occurs_at(pattern, position)).count()
+        self.strands
+            .iter()
+            .filter(|s| s.occurs_at(pattern, position))
+            .count()
     }
 
     /// [`ZEstimation::count`] for a byte pattern; the alphabet of the original
@@ -323,73 +740,6 @@ impl ZEstimation {
     }
 }
 
-/// Splits one designation group according to the letter distribution at
-/// position `pos`, honouring letters already forced by deeper groups, topping
-/// up each letter's quota from unassigned members, and cutting the rest.
-#[allow(clippy::too_many_arguments)]
-fn split_group(
-    group: Group,
-    dist: &[f64],
-    z: f64,
-    pos: usize,
-    start: usize,
-    assigned: &mut [Option<u8>],
-    extents: &mut [Vec<u32>],
-    buckets: &mut [Vec<u32>],
-    leftovers: &mut Vec<u32>,
-    out: &mut Vec<Group>,
-) {
-    let sigma = dist.len();
-    // Letter quotas for the extended factors.
-    let mut total_quota = 0usize;
-    let mut quotas: Vec<usize> = Vec::with_capacity(sigma);
-    for &p in dist.iter() {
-        let q = solid_multiplicity(group.prob * p, z) as usize;
-        quotas.push(q);
-        total_quota += q;
-    }
-    if total_quota == 0 {
-        // The whole group dies: every member is cut at this level.
-        for &m in &group.members {
-            extents[m as usize][start] = pos as u32;
-        }
-        return;
-    }
-    for bucket in buckets.iter_mut() {
-        bucket.clear();
-    }
-    leftovers.clear();
-    // Forced members keep the letter a deeper group gave them.
-    for &m in &group.members {
-        match assigned[m as usize] {
-            Some(letter) => buckets[letter as usize].push(m),
-            None => leftovers.push(m),
-        }
-    }
-    let mut next_leftover = 0usize;
-    for (letter, bucket) in buckets.iter_mut().enumerate() {
-        // Defensive: forced members can exceed the quota only through
-        // floating-point drift; designated strands are never dropped.
-        let quota = quotas[letter].max(bucket.len());
-        while bucket.len() < quota && next_leftover < leftovers.len() {
-            let m = leftovers[next_leftover];
-            next_leftover += 1;
-            assigned[m as usize] = Some(letter as u8);
-            bucket.push(m);
-        }
-        if !bucket.is_empty() {
-            out.push(Group {
-                prob: group.prob * dist[letter],
-                members: std::mem::take(bucket),
-            });
-        }
-    }
-    // Remaining members are cut from this level.
-    for &m in &leftovers[next_leftover..] {
-        extents[m as usize][start] = pos as u32;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,7 +788,10 @@ mod tests {
         assert_eq!(est.num_strands(), 7);
         for strand in est.strands() {
             // Every strand spells the text and covers everything.
-            assert_eq!(strand.seq(), x.alphabet().encode(b"ACGTACGTAC").unwrap().as_slice());
+            assert_eq!(
+                strand.seq(),
+                x.alphabet().encode(b"ACGTACGTAC").unwrap().as_slice()
+            );
             assert_eq!(strand.extent(0), 10);
             assert_eq!(strand.extent(9), 10);
         }
@@ -479,7 +832,13 @@ mod tests {
                 for len in 1..=(x.len() - start).min(10) {
                     // Check the heavy-ish pattern built by taking argmax letters.
                     let pattern: Vec<u8> = (start..start + len)
-                        .map(|i| if x.prob(i, 0) >= x.prob(i, 1) { 0u8 } else { 1u8 })
+                        .map(|i| {
+                            if x.prob(i, 0) >= x.prob(i, 1) {
+                                0u8
+                            } else {
+                                1u8
+                            }
+                        })
                         .collect();
                     let p = x.occurrence_probability(start, &pattern);
                     let count = est.count(&pattern, start);
@@ -511,6 +870,76 @@ mod tests {
             for strand in est.strands() {
                 strand.verify_sound(&x, z).unwrap();
             }
+        }
+    }
+
+    #[test]
+    fn optimized_build_is_bit_identical_to_reference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xE57);
+        for sigma in [2usize, 4] {
+            for trial in 0..6 {
+                // Mix deterministic and uncertain positions so both the
+                // range-level merging and the singleton fast path trigger.
+                let alphabet = Alphabet::integer(sigma).unwrap();
+                let rows: Vec<Vec<f64>> = (0..200)
+                    .map(|_| {
+                        if rng.gen_bool(0.6) {
+                            let mut row = vec![0.0; sigma];
+                            row[rng.gen_range(0..sigma)] = 1.0;
+                            row
+                        } else {
+                            let mut v: Vec<f64> =
+                                (0..sigma).map(|_| rng.gen_range(0.05..1.0)).collect();
+                            let s: f64 = v.iter().sum();
+                            v.iter_mut().for_each(|p| *p /= s);
+                            v
+                        }
+                    })
+                    .collect();
+                let x = WeightedString::from_rows(alphabet, &rows).unwrap();
+                for z in [1.0, 3.0, 7.5, 16.0] {
+                    let fast = ZEstimation::build(&x, z).unwrap();
+                    let reference = ZEstimation::build_reference(&x, z).unwrap();
+                    assert_eq!(fast.num_strands(), reference.num_strands());
+                    for (a, b) in fast.strands().iter().zip(reference.strands()) {
+                        assert_eq!(a.seq(), b.seq(), "sigma={sigma} trial={trial} z={z}");
+                        assert_eq!(
+                            a.extents(),
+                            b.extents(),
+                            "sigma={sigma} trial={trial} z={z}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maximum_alphabet_size_is_supported() {
+        // σ = 255 is the largest size `Alphabet` accepts; ranks reach 254 and
+        // must not collide with the construction's letter sentinel.
+        let sigma = 255usize;
+        let alphabet = Alphabet::integer(sigma).unwrap();
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let mut row = vec![0.0; sigma];
+                if i % 3 == 0 {
+                    row[i % sigma] = 1.0;
+                } else {
+                    row[i % sigma] = 0.6;
+                    row[(i + 100) % sigma] = 0.4;
+                }
+                row
+            })
+            .collect();
+        let x = WeightedString::from_rows(alphabet, &rows).unwrap();
+        let est = ZEstimation::build(&x, 4.0).unwrap();
+        est.verify_contract(&x, 4).unwrap();
+        let reference = ZEstimation::build_reference(&x, 4.0).unwrap();
+        for (a, b) in est.strands().iter().zip(reference.strands()) {
+            assert_eq!(a.seq(), b.seq());
+            assert_eq!(a.extents(), b.extents());
         }
     }
 

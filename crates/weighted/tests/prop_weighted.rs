@@ -14,14 +14,8 @@ use ius_weighted::{
 use proptest::prelude::*;
 
 /// Strategy: a random weighted string over a binary or DNA alphabet.
-fn weighted_string_strategy(
-    max_len: usize,
-    sigma: usize,
-) -> impl Strategy<Value = WeightedString> {
-    let letters = prop::collection::vec(
-        prop::collection::vec(0.01f64..1.0, sigma),
-        1..=max_len,
-    );
+fn weighted_string_strategy(max_len: usize, sigma: usize) -> impl Strategy<Value = WeightedString> {
+    let letters = prop::collection::vec(prop::collection::vec(0.01f64..1.0, sigma), 1..=max_len);
     letters.prop_map(move |rows| {
         let alphabet = Alphabet::integer(sigma).unwrap();
         let rows: Vec<Vec<f64>> = rows

@@ -13,8 +13,10 @@ use std::time::Instant;
 type Builder<'a> = Box<dyn Fn() -> Box<dyn UncertainIndex> + 'a>;
 
 fn main() {
-    let ell: usize =
-        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(128);
+    let ell: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
     let dataset = ius::datasets::registry::sars_star(Scale::Tiny);
     let x = dataset.weighted.clone();
     let z = 128.0;
@@ -33,8 +35,14 @@ fn main() {
     println!("{} query patterns of length {ell}\n", patterns.len());
 
     let builders: Vec<(&str, Builder)> = vec![
-        ("WST", Box::new(|| Box::new(Wst::build_from_estimation(&est).unwrap()))),
-        ("WSA", Box::new(|| Box::new(Wsa::build_from_estimation(&est).unwrap()))),
+        (
+            "WST",
+            Box::new(|| Box::new(Wst::build_from_estimation(&est).unwrap())),
+        ),
+        (
+            "WSA",
+            Box::new(|| Box::new(Wsa::build_from_estimation(&est).unwrap())),
+        ),
         (
             "MWST",
             Box::new(|| {
@@ -66,15 +74,24 @@ fn main() {
             "MWSA-G",
             Box::new(|| {
                 Box::new(
-                    MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::ArrayGrid)
-                        .unwrap(),
+                    MinimizerIndex::build_from_estimation(
+                        &x,
+                        &est,
+                        params,
+                        IndexVariant::ArrayGrid,
+                    )
+                    .unwrap(),
                 )
             }),
         ),
         (
             "MWST-SE",
             Box::new(|| {
-                Box::new(SpaceEfficientBuilder::new(params).build(&x, IndexVariant::Tree).unwrap())
+                Box::new(
+                    SpaceEfficientBuilder::new(params)
+                        .build(&x, IndexVariant::Tree)
+                        .unwrap(),
+                )
             }),
         ),
     ];
@@ -90,7 +107,7 @@ fn main() {
     }
     for (name, build) in &builders {
         let start = Instant::now();
-        let (index, mem) = measure(|| build());
+        let (index, mem) = measure(build);
         let build_time = start.elapsed();
         let t = Instant::now();
         let mut total = 0usize;
@@ -98,7 +115,10 @@ fn main() {
             total += index.query(p, &x).expect("query").len();
         }
         let per_query = t.elapsed().as_micros() as f64 / patterns.len().max(1) as f64;
-        assert_eq!(total, expected_total, "{name} disagrees with the naive matcher");
+        assert_eq!(
+            total, expected_total,
+            "{name} disagrees with the naive matcher"
+        );
         println!(
             "{:<8} {:>12.1} {:>14.1} {:>16.1} {:>14.2} {:>12}",
             name,

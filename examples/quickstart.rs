@@ -12,14 +12,23 @@ fn main() {
     // ---------------------------------------------------------------
     let x = paper_example();
     let z = 4.0;
-    println!("== Paper running example (n = {}, sigma = {}, z = {z}) ==", x.len(), x.sigma());
+    println!(
+        "== Paper running example (n = {}, sigma = {}, z = {z}) ==",
+        x.len(),
+        x.sigma()
+    );
 
     // Its 4-estimation (Table 1 of the paper).
     let est = ZEstimation::build(&x, z).expect("valid threshold");
     for (j, strand) in est.strands().iter().enumerate() {
-        let letters: String =
-            strand.seq().iter().map(|&r| x.alphabet().symbol(r) as char).collect();
-        let pi: Vec<usize> = (0..x.len()).map(|i| strand.pi(i).map_or(0, |v| v + 1)).collect();
+        let letters: String = strand
+            .seq()
+            .iter()
+            .map(|&r| x.alphabet().symbol(r) as char)
+            .collect();
+        let pi: Vec<usize> = (0..x.len())
+            .map(|i| strand.pi(i).map_or(0, |v| v + 1))
+            .collect();
         println!("  S{} = {}   pi = {:?}", j + 1, letters, pi);
     }
     // Count_S(AB, position 1) = 2 (Example 4).
@@ -27,12 +36,21 @@ fn main() {
 
     // Occurrence probabilities and solid occurrences of AAAA (Example 6).
     let p = x.occurrence_probability_bytes(0, b"AAAA").unwrap();
-    println!("  P(X[1..4] = AAAA) = {p}   (solid for z = 4: {})", ius::weighted::is_solid(p, z));
+    println!(
+        "  P(X[1..4] = AAAA) = {p}   (solid for z = 4: {})",
+        ius::weighted::is_solid(p, z)
+    );
 
     // ---------------------------------------------------------------
     // 2. A synthetic pangenome, indexed by every method of the paper.
     // ---------------------------------------------------------------
-    let x = PangenomeConfig { n: 20_000, delta: 0.05, seed: 42, ..Default::default() }.generate();
+    let x = PangenomeConfig {
+        n: 20_000,
+        delta: 0.05,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate();
     let z = 32.0;
     let ell = 64usize;
     println!();
@@ -43,7 +61,10 @@ fn main() {
     );
 
     let est = ZEstimation::build(&x, z).expect("valid threshold");
-    println!("  z-estimation size: {:.1} MB", est.memory_bytes() as f64 / 1e6);
+    println!(
+        "  z-estimation size: {:.1} MB",
+        est.memory_bytes() as f64 / 1e6
+    );
 
     let params = IndexParams::new(z, ell, x.sigma()).expect("valid parameters");
     let wst = Wst::build_from_estimation(&est).expect("WST");
@@ -54,13 +75,17 @@ fn main() {
         MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).expect("MWSA");
     let mwsa_g = MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::ArrayGrid)
         .expect("MWSA-G");
-    let mwst_se =
-        SpaceEfficientBuilder::new(params).build(&x, IndexVariant::Array).expect("MWST-SE");
+    let mwst_se = SpaceEfficientBuilder::new(params)
+        .build(&x, IndexVariant::Array)
+        .expect("MWST-SE");
 
     let naive = NaiveIndex::new(z).expect("naive");
     let mut sampler = PatternSampler::new(&est, 7);
     let patterns = sampler.sample_many(ell, 50);
-    println!("  sampled {} query patterns of length {ell}", patterns.len());
+    println!(
+        "  sampled {} query patterns of length {ell}",
+        patterns.len()
+    );
 
     let indexes: Vec<(&str, &dyn UncertainIndex)> = vec![
         ("WST", &wst),
@@ -70,7 +95,10 @@ fn main() {
         ("MWSA-G", &mwsa_g),
         ("MWSA (space-efficient construction)", &mwst_se),
     ];
-    println!("  {:<40} {:>12} {:>12}", "index", "size (KB)", "occurrences");
+    println!(
+        "  {:<40} {:>12} {:>12}",
+        "index", "size (KB)", "occurrences"
+    );
     let mut total_naive = 0usize;
     for p in &patterns {
         total_naive += naive.query(p, &x).unwrap().len();
@@ -81,8 +109,16 @@ fn main() {
             let occ = index.query(p, &x).expect("query succeeds");
             total += occ.len();
         }
-        assert_eq!(total, total_naive, "{name} disagrees with the naive matcher");
-        println!("  {:<40} {:>12.1} {:>12}", name, index.size_bytes() as f64 / 1e3, total);
+        assert_eq!(
+            total, total_naive,
+            "{name} disagrees with the naive matcher"
+        );
+        println!(
+            "  {:<40} {:>12.1} {:>12}",
+            name,
+            index.size_bytes() as f64 / 1e3,
+            total
+        );
     }
     println!("  all indexes agree with the naive matcher ({total_naive} occurrences in total)");
 }

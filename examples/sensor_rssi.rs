@@ -16,9 +16,18 @@ fn main() {
     let z = 16.0;
     let ell = 32usize;
 
-    println!("{:<12} {:>8} {:>6} {:>14} {:>14} {:>12}", "dataset", "n", "σ", "MWSA-SE (KB)", "WSA (KB)", "ratio");
+    println!(
+        "{:<12} {:>8} {:>6} {:>14} {:>14} {:>12}",
+        "dataset", "n", "σ", "MWSA-SE (KB)", "WSA (KB)", "ratio"
+    );
     for sigma in [16usize, 32, 64, 91] {
-        let x = RssiConfig { n: 20_000, sigma, seed: 7, ..Default::default() }.generate();
+        let x = RssiConfig {
+            n: 20_000,
+            sigma,
+            seed: 7,
+            ..Default::default()
+        }
+        .generate();
         let params = IndexParams::new(z, ell, x.sigma()).expect("params");
 
         let t = Instant::now();

@@ -87,6 +87,9 @@ mod tests {
         let index = MinimizerIndex::build(&x, params, IndexVariant::Tree).unwrap();
         let naive = NaiveIndex::new(4.0).unwrap();
         let pattern = vec![0u8; 8];
-        assert_eq!(index.query(&pattern, &x).unwrap(), naive.query(&pattern, &x).unwrap());
+        assert_eq!(
+            index.query(&pattern, &x).unwrap(),
+            naive.query(&pattern, &x).unwrap()
+        );
     }
 }

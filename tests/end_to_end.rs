@@ -7,7 +7,13 @@ use ius::weighted::solid;
 
 /// Builds one small pangenome-style dataset shared by the tests.
 fn small_pangenome() -> WeightedString {
-    PangenomeConfig { n: 3_000, delta: 0.05, seed: 0xE2E, ..Default::default() }.generate()
+    PangenomeConfig {
+        n: 3_000,
+        delta: 0.05,
+        seed: 0xE2E,
+        ..Default::default()
+    }
+    .generate()
 }
 
 #[test]
@@ -21,12 +27,15 @@ fn all_indexes_agree_with_naive_on_sampled_and_random_patterns() {
     let wst = Wst::build_from_estimation(&est).unwrap();
     let wsa = Wsa::build_from_estimation(&est).unwrap();
     let mwst = MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Tree).unwrap();
-    let mwsa = MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).unwrap();
+    let mwsa =
+        MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).unwrap();
     let mwst_g =
         MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::TreeGrid).unwrap();
     let mwsa_g =
         MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::ArrayGrid).unwrap();
-    let mwst_se = SpaceEfficientBuilder::new(params).build(&x, IndexVariant::Tree).unwrap();
+    let mwst_se = SpaceEfficientBuilder::new(params)
+        .build(&x, IndexVariant::Tree)
+        .unwrap();
     let indexes: Vec<&dyn UncertainIndex> =
         vec![&wst, &wsa, &mwst, &mwsa, &mwst_g, &mwsa_g, &mwst_se];
 
@@ -83,17 +92,30 @@ fn headline_size_relationships_hold() {
     // The paper's headline: for large ℓ the minimizer indexes are orders of
     // magnitude smaller than the baselines, and array variants are smaller
     // than tree variants.
-    let x = PangenomeConfig { n: 8_000, delta: 0.05, seed: 3, ..Default::default() }.generate();
+    let x = PangenomeConfig {
+        n: 8_000,
+        delta: 0.05,
+        seed: 3,
+        ..Default::default()
+    }
+    .generate();
     let z = 64.0;
     let est = ZEstimation::build(&x, z).unwrap();
     let params = IndexParams::new(z, 512, x.sigma()).unwrap();
     let wst = Wst::build_from_estimation(&est).unwrap();
     let wsa = Wsa::build_from_estimation(&est).unwrap();
     let mwst = MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Tree).unwrap();
-    let mwsa = MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).unwrap();
+    let mwsa =
+        MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).unwrap();
 
-    assert!(wst.size_bytes() > wsa.size_bytes(), "WST should be larger than WSA");
-    assert!(mwst.size_bytes() > mwsa.size_bytes(), "MWST should be larger than MWSA");
+    assert!(
+        wst.size_bytes() > wsa.size_bytes(),
+        "WST should be larger than WSA"
+    );
+    assert!(
+        mwst.size_bytes() > mwsa.size_bytes(),
+        "MWST should be larger than MWSA"
+    );
     assert!(
         wsa.size_bytes() as f64 / mwsa.size_bytes() as f64 > 8.0,
         "MWSA should be much smaller than WSA (got {} vs {})",
@@ -123,7 +145,9 @@ fn error_paths_are_reported() {
     assert!(IndexParams::new(0.2, 64, 4).is_err());
     assert!(IndexParams::new(16.0, 0, 4).is_err());
     // Grid variants cannot be built space-efficiently.
-    assert!(SpaceEfficientBuilder::new(params).build(&x, IndexVariant::ArrayGrid).is_err());
+    assert!(SpaceEfficientBuilder::new(params)
+        .build(&x, IndexVariant::ArrayGrid)
+        .is_err());
 }
 
 #[test]

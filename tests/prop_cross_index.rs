@@ -11,7 +11,13 @@ use proptest::prelude::*;
 /// distributions (so that solid factors of useful length exist).
 fn weighted_string_strategy() -> impl Strategy<Value = WeightedString> {
     (2usize..=3, 40usize..=120, 0u64..1_000_000).prop_map(|(sigma, n, seed)| {
-        ius::datasets::uniform::UniformConfig { n, sigma, spread: 0.55, seed }.generate()
+        ius::datasets::uniform::UniformConfig {
+            n,
+            sigma,
+            spread: 0.55,
+            seed,
+        }
+        .generate()
     })
 }
 
