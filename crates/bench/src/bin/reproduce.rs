@@ -19,6 +19,7 @@ use ius_bench::experiments::ExperimentId;
 use ius_bench::measure::{
     measure_build, measure_estimation, measure_queries, sample_patterns, IndexKind,
 };
+use ius_bench::query_bench::{render_query_json, run_query_bench, QueryBenchConfig};
 use ius_bench::report::{render_csv, render_table, Row};
 use ius_datasets::registry::{efm_star, human_star, rssi_star, sars_star, Dataset, Scale};
 use ius_datasets::rssi::rssi_scaled;
@@ -45,7 +46,11 @@ struct Config {
     ell_sweep: Vec<usize>,
     default_ell: usize,
     bench_construction: bool,
+    bench_query: bool,
     bench_n: usize,
+    bench_reps: usize,
+    bench_patterns: usize,
+    bench_threads: Option<usize>,
 }
 
 fn main() {
@@ -72,7 +77,7 @@ fn main() {
     if config.bench_construction {
         let bench_config = ConstructionBenchConfig {
             n: config.bench_n,
-            reps: 3,
+            reps: config.bench_reps,
         };
         let results = run_construction_bench(&bench_config);
         let json = render_json(&bench_config, &results);
@@ -85,6 +90,31 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
         std::fs::write(&path, &json).expect("write BENCH_construction.json");
+        println!("{json}");
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    if config.bench_query {
+        let bench_config = QueryBenchConfig {
+            n: config.bench_n,
+            reps: config.bench_reps,
+            patterns: config.bench_patterns,
+            threads: config
+                .bench_threads
+                .unwrap_or_else(|| QueryBenchConfig::default().threads),
+        };
+        let results = run_query_bench(&bench_config);
+        let json = render_query_json(&bench_config, &results);
+        let path = config
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_query.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, &json).expect("write BENCH_query.json");
         println!("{json}");
         println!("wrote {}", path.display());
         return;
@@ -163,7 +193,13 @@ fn print_help() {
          \x20 --full-sweep         sweep all five ℓ values instead of three\n\
          \x20 --bench-construction run the before/after construction benchmark and write\n\
          \x20                      BENCH_construction.json (to --out or the working directory)\n\
-         \x20 --bench-n <n>        string length for --bench-construction (default 100000)\n\
+         \x20 --bench-query        run the before/after query benchmark (old single-shot vs\n\
+         \x20                      sink-based engine, single-thread and batched) and write\n\
+         \x20                      BENCH_query.json (to --out or the working directory)\n\
+         \x20 --bench-n <n>        string length for --bench-* (default 100000)\n\
+         \x20 --bench-reps <r>     repetitions per timed side for --bench-* (default 3)\n\
+         \x20 --bench-patterns <p> query patterns per dataset for --bench-query (default 400)\n\
+         \x20 --bench-threads <t>  batch workers for --bench-query (default: all CPUs)\n\
          \x20 --list               list experiments\n"
     );
 }
@@ -175,12 +211,20 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut max_patterns = 200usize;
     let mut full_sweep = false;
     let mut bench_construction = false;
+    let mut bench_query = false;
     let mut bench_n = 100_000usize;
+    let mut bench_reps = 3usize;
+    let mut bench_patterns = 400usize;
+    let mut bench_threads = None;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
             "--bench-construction" => {
                 bench_construction = true;
+                i += 1;
+            }
+            "--bench-query" => {
+                bench_query = true;
                 i += 1;
             }
             "--bench-n" => {
@@ -189,6 +233,31 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                     .ok_or("--bench-n needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --bench-n: {e}"))?;
+                i += 2;
+            }
+            "--bench-reps" => {
+                bench_reps = args
+                    .get(i + 1)
+                    .ok_or("--bench-reps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --bench-reps: {e}"))?;
+                i += 2;
+            }
+            "--bench-patterns" => {
+                bench_patterns = args
+                    .get(i + 1)
+                    .ok_or("--bench-patterns needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --bench-patterns: {e}"))?;
+                i += 2;
+            }
+            "--bench-threads" => {
+                bench_threads = Some(
+                    args.get(i + 1)
+                        .ok_or("--bench-threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --bench-threads: {e}"))?,
+                );
                 i += 2;
             }
             "--exp" => {
@@ -245,7 +314,11 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         ell_sweep,
         default_ell: 256,
         bench_construction,
+        bench_query,
         bench_n,
+        bench_reps,
+        bench_patterns,
+        bench_threads,
     })
 }
 

@@ -12,9 +12,11 @@
 pub mod construction;
 pub mod experiments;
 pub mod measure;
+pub mod query_bench;
 pub mod report;
 
 pub use construction::{ConstructionBenchConfig, DatasetBench, StageTiming};
 pub use experiments::{Experiment, ExperimentId};
 pub use measure::{BuildMeasurement, IndexKind, QueryMeasurement};
+pub use query_bench::{FamilyQueryBench, QueryBenchConfig, QueryDatasetBench};
 pub use report::Row;

@@ -87,7 +87,7 @@ impl IndexKind {
         x: &WeightedString,
         estimation: Option<&ZEstimation>,
         params: IndexParams,
-    ) -> Result<Box<dyn UncertainIndex>> {
+    ) -> Result<Box<dyn UncertainIndex + Sync>> {
         let est = || estimation.expect("estimation required for this index kind");
         Ok(match self {
             IndexKind::Wst => Box::new(Wst::build_from_estimation(est())?),
@@ -140,7 +140,7 @@ pub struct BuildMeasurement {
     /// Structural statistics of the index.
     pub stats: IndexStats,
     /// The built index, for subsequent query measurements.
-    pub index: Box<dyn UncertainIndex>,
+    pub index: Box<dyn UncertainIndex + Sync>,
 }
 
 /// Peak/retained heap of building the shared z-estimation, measured once per
@@ -223,6 +223,10 @@ pub struct QueryMeasurement {
 }
 
 /// Runs every pattern through the index and reports the averages.
+///
+/// Uses the sink-based serving path (`query_into` with one reused scratch
+/// and output buffer) — the configuration the query figures are meant to
+/// describe.
 pub fn measure_queries(
     index: &dyn UncertainIndex,
     patterns: &[Vec<u8>],
@@ -231,10 +235,15 @@ pub fn measure_queries(
     if patterns.is_empty() {
         return QueryMeasurement::default();
     }
+    let mut scratch = ius_query::QueryScratch::new();
+    let mut out: Vec<usize> = Vec::new();
     let start = Instant::now();
     let mut total = 0usize;
     for pattern in patterns {
-        total += index.query(pattern, x).map(|occ| occ.len()).unwrap_or(0);
+        out.clear();
+        if index.query_into(pattern, x, &mut scratch, &mut out).is_ok() {
+            total += out.len();
+        }
     }
     let elapsed = start.elapsed();
     QueryMeasurement {

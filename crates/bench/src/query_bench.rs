@@ -1,0 +1,432 @@
+//! The query-path before/after benchmark behind `reproduce --bench-query`
+//! and `BENCH_query.json`.
+//!
+//! Every "old" number is a real measurement of retained runnable code (not a
+//! simulation): [`UncertainIndex::query_reference`] is the pre-overhaul
+//! single-shot query of each family — per-call scheme construction, fresh
+//! reversed-prefix/candidate/grid-report vectors at every layer, and the
+//! letter-at-a-time `equal_range_reference` binary search. The "new" side is
+//! the sink-based `query_into` engine with one reused [`QueryScratch`] and a
+//! reused output vector; "batched" runs the same engine through the
+//! [`QueryBatch`] executor (per-worker scratch, deterministic output order).
+//! Outputs of all three paths are asserted identical, per pattern, before
+//! any timing is trusted, and both sides take the minimum over the same
+//! repetition count.
+//!
+//! On a single-CPU host the batched numbers measure the executor's overhead
+//! plus scratch reuse, not parallelism — the worker count is recorded in the
+//! JSON so the numbers can be read honestly.
+
+use ius_datasets::pangenome::PangenomeConfig;
+use ius_datasets::patterns::PatternSampler;
+use ius_datasets::uniform::UniformConfig;
+use ius_index::{
+    query_batch, IndexParams, IndexVariant, MinimizerIndex, QueryBatch, QueryScratch,
+    UncertainIndex, Wsa, Wst,
+};
+use ius_weighted::{WeightedString, ZEstimation};
+use std::time::Instant;
+
+/// Above this `n·⌊z⌋` product the WST baseline is skipped (its trie over the
+/// full property text dominates build time without adding query coverage).
+const WST_NZ_LIMIT: usize = 1_500_000;
+
+/// Parameters of one query-benchmark run.
+#[derive(Debug, Clone)]
+pub struct QueryBenchConfig {
+    /// Length of the generated weighted strings.
+    pub n: usize,
+    /// Repetitions per timed side (the minimum is reported).
+    pub reps: usize,
+    /// Query patterns sampled per dataset (half at ℓ, half at 2ℓ).
+    pub patterns: usize,
+    /// Worker threads of the batched executor.
+    pub threads: usize,
+}
+
+impl Default for QueryBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            reps: 3,
+            patterns: 400,
+            threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+        }
+    }
+}
+
+/// Old/new/batched timings of one index family on one dataset.
+#[derive(Debug, Clone)]
+pub struct FamilyQueryBench {
+    /// Family label (`WSA`, `MWSA-G`, …).
+    pub family: String,
+    /// Number of patterns answered per repetition.
+    pub patterns: usize,
+    /// Total occurrences reported over the pattern set (identical across the
+    /// three paths by assertion).
+    pub occurrences: usize,
+    /// Microseconds per query of the retained pre-overhaul `query_reference`.
+    pub old_us: f64,
+    /// Microseconds per query of `query_into` with a reused scratch.
+    pub new_us: f64,
+    /// Microseconds per query of the batched executor (whole set / count).
+    pub batched_us: f64,
+}
+
+impl FamilyQueryBench {
+    /// `old / new`: the single-thread gain from the engine overhaul.
+    pub fn single_thread_speedup(&self) -> f64 {
+        self.old_us / self.new_us
+    }
+
+    /// `old / batched`: the serving-throughput gain of the batched engine
+    /// over the pre-overhaul single-shot loop.
+    pub fn batched_speedup(&self) -> f64 {
+        self.old_us / self.batched_us
+    }
+}
+
+/// All family timings for one dataset configuration.
+#[derive(Debug, Clone)]
+pub struct QueryDatasetBench {
+    /// Dataset label (`uniform`, `pangenome`, …).
+    pub name: String,
+    /// Human-readable generator parameters.
+    pub params: String,
+    /// Weight threshold z.
+    pub z: f64,
+    /// Minimum pattern length ℓ the indexes were built for.
+    pub ell: usize,
+    /// Per-family results.
+    pub families: Vec<FamilyQueryBench>,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(ms(t));
+        out = Some(v);
+    }
+    (out.expect("at least one rep"), best)
+}
+
+/// Benchmarks one family over one pattern set, asserting the three query
+/// paths produce identical outputs before timing them.
+fn bench_family(
+    label: &str,
+    index: &(dyn UncertainIndex + Sync),
+    x: &WeightedString,
+    patterns: &[Vec<u8>],
+    oracle: Option<&[Vec<usize>]>,
+    config: &QueryBenchConfig,
+) -> (FamilyQueryBench, Vec<Vec<usize>>) {
+    // Correctness first: old, new and batched answers must agree pattern by
+    // pattern (and with the previous family's answers when one is given).
+    let old_outputs: Vec<Vec<usize>> = patterns
+        .iter()
+        .map(|p| index.query_reference(p, x).expect("old query"))
+        .collect();
+    let mut scratch = QueryScratch::new();
+    let new_outputs: Vec<Vec<usize>> = patterns
+        .iter()
+        .map(|p| {
+            let mut out = Vec::new();
+            index
+                .query_into(p, x, &mut scratch, &mut out)
+                .expect("new query");
+            out
+        })
+        .collect();
+    let executor = QueryBatch::with_threads(config.threads);
+    let batched_outputs: Vec<Vec<usize>> = query_batch(index, patterns, x, &executor)
+        .into_iter()
+        .map(|entry| entry.expect("batched query").0)
+        .collect();
+    assert_eq!(old_outputs, new_outputs, "{label}: old vs new outputs");
+    assert_eq!(
+        old_outputs, batched_outputs,
+        "{label}: old vs batched outputs"
+    );
+    if let Some(oracle) = oracle {
+        assert_eq!(
+            old_outputs, oracle,
+            "{label}: outputs differ from the previous family"
+        );
+    }
+    let occurrences: usize = old_outputs.iter().map(Vec::len).sum();
+
+    // Timing. Each side accumulates the occurrence total so the work cannot
+    // be optimised away; the totals must match the asserted outputs.
+    let (old_total, old_ms) = time_min(config.reps, || {
+        let mut total = 0usize;
+        for p in patterns {
+            total += index.query_reference(p, x).expect("old query").len();
+        }
+        total
+    });
+    let mut out: Vec<usize> = Vec::new();
+    let (new_total, new_ms) = time_min(config.reps, || {
+        let mut total = 0usize;
+        for p in patterns {
+            out.clear();
+            index
+                .query_into(p, x, &mut scratch, &mut out)
+                .expect("new query");
+            total += out.len();
+        }
+        total
+    });
+    let (batched_total, batched_ms) = time_min(config.reps, || {
+        query_batch(index, patterns, x, &executor)
+            .into_iter()
+            .map(|entry| entry.expect("batched query").0.len())
+            .sum::<usize>()
+    });
+    assert_eq!(old_total, occurrences);
+    assert_eq!(new_total, occurrences);
+    assert_eq!(batched_total, occurrences);
+
+    let per_query = |total_ms: f64| total_ms * 1e3 / patterns.len() as f64;
+    let result = FamilyQueryBench {
+        family: label.to_string(),
+        patterns: patterns.len(),
+        occurrences,
+        old_us: per_query(old_ms),
+        new_us: per_query(new_ms),
+        batched_us: per_query(batched_ms),
+    };
+    eprintln!(
+        "  {label:<8} old {:>8.2} us  new {:>8.2} us  batched {:>8.2} us  ({}x / {}x)",
+        result.old_us,
+        result.new_us,
+        result.batched_us,
+        (result.single_thread_speedup() * 100.0).round() / 100.0,
+        (result.batched_speedup() * 100.0).round() / 100.0,
+    );
+    (result, old_outputs)
+}
+
+/// Benchmarks one `(x, z, ℓ)` configuration across the index families.
+fn bench_dataset(
+    name: &str,
+    params_label: String,
+    x: &WeightedString,
+    z: f64,
+    ell: usize,
+    config: &QueryBenchConfig,
+) -> QueryDatasetBench {
+    eprintln!(
+        "[bench-query] {name} (n = {}, z = {z}, ell = {ell}, {} patterns, {} thread(s))",
+        x.len(),
+        config.patterns,
+        config.threads
+    );
+    let est = ZEstimation::build(x, z).expect("estimation");
+    let mut sampler = PatternSampler::new(&est, 0x9E41);
+    let mut patterns = sampler.sample_many(ell, config.patterns / 2);
+    patterns.extend(sampler.sample_many(2 * ell, config.patterns - config.patterns / 2));
+    assert!(
+        !patterns.is_empty(),
+        "{name}: no solid patterns of length {ell} — pick a smaller ell"
+    );
+
+    let index_params = IndexParams::new(z, ell, x.sigma()).expect("params");
+    let mut families: Vec<(String, Box<dyn UncertainIndex + Sync>)> = Vec::new();
+    families.push((
+        "WSA".into(),
+        Box::new(Wsa::build_from_estimation(&est).expect("WSA")),
+    ));
+    let nz = x.len() * z.floor() as usize;
+    if nz <= WST_NZ_LIMIT {
+        families.push((
+            "WST".into(),
+            Box::new(Wst::build_from_estimation(&est).expect("WST")),
+        ));
+    } else {
+        eprintln!("  [skip] WST (n·z = {nz} exceeds the build budget)");
+    }
+    for variant in [
+        IndexVariant::Tree,
+        IndexVariant::Array,
+        IndexVariant::ArrayGrid,
+    ] {
+        families.push((
+            variant.name().into(),
+            Box::new(
+                MinimizerIndex::build_from_estimation(x, &est, index_params, variant)
+                    .expect("minimizer index"),
+            ),
+        ));
+    }
+
+    let mut results = Vec::new();
+    let mut oracle: Option<Vec<Vec<usize>>> = None;
+    for (label, index) in &families {
+        let (result, outputs) = bench_family(
+            label,
+            index.as_ref(),
+            x,
+            &patterns,
+            oracle.as_deref(),
+            config,
+        );
+        oracle.get_or_insert(outputs);
+        results.push(result);
+    }
+    QueryDatasetBench {
+        name: name.to_string(),
+        params: params_label,
+        z,
+        ell,
+        families: results,
+    }
+}
+
+/// Runs the full before/after query benchmark on the three PR-1 datasets.
+pub fn run_query_bench(config: &QueryBenchConfig) -> Vec<QueryDatasetBench> {
+    let n = config.n;
+    let mut results = Vec::new();
+
+    // Near-deterministic uniform strings: long solid factors, ℓ = 64.
+    let uniform = UniformConfig {
+        n,
+        sigma: 4,
+        spread: 0.05,
+        seed: 0xBEC,
+    }
+    .generate();
+    results.push(bench_dataset(
+        "uniform",
+        "sigma=4 spread=0.05 seed=0xBEC".into(),
+        &uniform,
+        8.0,
+        64,
+        config,
+    ));
+
+    // High-entropy uniform strings: solid windows are short, so the indexes
+    // are built for a small ℓ (the pattern-length regime this distribution
+    // admits at z = 32).
+    let uniform_he = UniformConfig {
+        n,
+        sigma: 4,
+        spread: 0.2,
+        seed: 0xBEC,
+    }
+    .generate();
+    results.push(bench_dataset(
+        "uniform_high_entropy",
+        "sigma=4 spread=0.2 seed=0xBEC".into(),
+        &uniform_he,
+        32.0,
+        24,
+        config,
+    ));
+
+    // Pangenome-style strings (SNP allele frequencies), the paper's regime.
+    let pangenome = PangenomeConfig {
+        n,
+        delta: 0.05,
+        seed: 0xDA7A,
+        ..Default::default()
+    }
+    .generate();
+    results.push(bench_dataset(
+        "pangenome",
+        "delta=0.05 seed=0xDA7A".into(),
+        &pangenome,
+        32.0,
+        128,
+        config,
+    ));
+
+    results
+}
+
+/// Renders the benchmark results as the `BENCH_query.json` document.
+pub fn render_query_json(config: &QueryBenchConfig, results: &[QueryDatasetBench]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {}, \"batch_threads\": {},\n",
+        config.n, config.patterns, config.reps, config.threads
+    ));
+    out.push_str(
+        "  \"note\": \"old = retained pre-overhaul query path (query_reference: per-call \
+         minimizer-scheme setup, fresh reversed-prefix/candidate/grid-report vectors, \
+         letter-at-a-time equal_range_reference binary search); new = sink-based query_into \
+         with one reused QueryScratch and reused output vector; batched = the same engine \
+         through the QueryBatch executor with batch_threads workers (per-worker scratch, \
+         deterministic output order — on a 1-CPU host this measures executor overhead plus \
+         reuse, not parallelism). Both sides take the minimum over the same repetition \
+         count, and the outputs of all three paths are asserted identical per pattern \
+         before timing.\",\n",
+    );
+    out.push_str("  \"datasets\": [\n");
+    for (i, d) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", d.name));
+        out.push_str(&format!("      \"params\": \"{}\",\n", d.params));
+        out.push_str(&format!("      \"z\": {}, \"ell\": {},\n", d.z, d.ell));
+        out.push_str("      \"families\": [\n");
+        for (j, f) in d.families.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"family\": \"{}\", \"patterns\": {}, \"occurrences\": {}, \
+                 \"old_us_per_query\": {:.3}, \"new_us_per_query\": {:.3}, \
+                 \"batched_us_per_query\": {:.3}, \"single_thread_speedup\": {:.2}, \
+                 \"batched_speedup\": {:.2}, \"outputs_identical\": true }}{}\n",
+                f.family,
+                f.patterns,
+                f.occurrences,
+                f.old_us,
+                f.new_us,
+                f.batched_us,
+                f.single_thread_speedup(),
+                f.batched_speedup(),
+                if j + 1 == d.families.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_asserts_identical_outputs_and_renders_json() {
+        // A tiny end-to-end run: the assertions inside bench_family are the
+        // test; the JSON must contain every family row.
+        let config = QueryBenchConfig {
+            n: 2_000,
+            reps: 1,
+            patterns: 12,
+            threads: 2,
+        };
+        let results = run_query_bench(&config);
+        assert_eq!(results.len(), 3);
+        let json = render_query_json(&config, &results);
+        for d in &results {
+            assert!(!d.families.is_empty());
+            for f in &d.families {
+                assert!(json.contains(&format!("\"family\": \"{}\"", f.family)));
+                assert!(f.old_us > 0.0 && f.new_us > 0.0 && f.batched_us > 0.0);
+            }
+        }
+    }
+}

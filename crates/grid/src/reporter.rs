@@ -79,31 +79,44 @@ impl RangeReporter {
         out
     }
 
-    /// Like [`RangeReporter::report`] but reusing an output buffer.
-    pub fn report_into(&self, rect: &Rect, out: &mut Vec<u32>) {
+    /// Like [`RangeReporter::report`] but appending into a reused output
+    /// buffer. Returns the number of canonical segment-tree nodes touched
+    /// (the `O(log N)` term of the query cost), for query instrumentation.
+    pub fn report_into(&self, rect: &Rect, out: &mut Vec<u32>) -> usize {
+        self.report_with(rect, |payload| out.push(payload))
+    }
+
+    /// Callback form of [`RangeReporter::report`]: invokes `emit` once per
+    /// point payload inside `rect`, allocating nothing. Returns the number of
+    /// canonical segment-tree nodes touched.
+    pub fn report_with(&self, rect: &Rect, mut emit: impl FnMut(u32)) -> usize {
         if rect.is_empty() || self.len == 0 {
-            return;
+            return 0;
         }
         // Translate the x-range into a rank range over the x-sorted points.
         let lo = self.xs.partition_point(|&x| x < rect.x_lo);
         let hi = self.xs.partition_point(|&x| x < rect.x_hi);
         if lo >= hi {
-            return;
+            return 0;
         }
         // Canonical decomposition of [lo, hi) over the segment tree.
+        let mut nodes = 0usize;
         let (mut l, mut r) = (lo + self.size, hi + self.size);
         while l < r {
             if l & 1 == 1 {
-                self.emit(l, rect, out);
+                self.emit(l, rect, &mut emit);
+                nodes += 1;
                 l += 1;
             }
             if r & 1 == 1 {
                 r -= 1;
-                self.emit(r, rect, out);
+                self.emit(r, rect, &mut emit);
+                nodes += 1;
             }
             l >>= 1;
             r >>= 1;
         }
+        nodes
     }
 
     /// Number of points inside `rect`.
@@ -133,14 +146,14 @@ impl RangeReporter {
         total
     }
 
-    fn emit(&self, node: usize, rect: &Rect, out: &mut Vec<u32>) {
+    fn emit(&self, node: usize, rect: &Rect, emit: &mut impl FnMut(u32)) {
         let pts = &self.node_points[node];
         let start = pts.partition_point(|&(y, _)| y < rect.y_lo);
         for &(y, payload) in &pts[start..] {
             if y >= rect.y_hi {
                 break;
             }
-            out.push(payload);
+            emit(payload);
         }
     }
 
@@ -226,6 +239,35 @@ mod tests {
         b.sort_unstable();
         assert_eq!(a, b);
         assert_eq!(a, vec![1, 2]);
+    }
+
+    #[test]
+    fn report_forms_agree_and_count_canonical_nodes() {
+        let points = random_points(200, 3);
+        let fast = RangeReporter::new(points);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut reused = Vec::new();
+        for _ in 0..100 {
+            let x1 = rng.gen_range(0..=202u32);
+            let x2 = rng.gen_range(0..=202u32);
+            let y1 = rng.gen_range(0..=202u32);
+            let y2 = rng.gen_range(0..=202u32);
+            let rect = Rect::new((x1.min(x2), x1.max(x2)), (y1.min(y2), y1.max(y2)));
+            let direct = fast.report(&rect);
+            reused.clear();
+            let nodes_into = fast.report_into(&rect, &mut reused);
+            let mut via_callback = Vec::new();
+            let nodes_with = fast.report_with(&rect, |p| via_callback.push(p));
+            assert_eq!(direct, reused);
+            assert_eq!(direct, via_callback);
+            assert_eq!(nodes_into, nodes_with);
+            // The canonical decomposition of any rank range over a segment
+            // tree with 256 leaves touches at most 2·log2(256) nodes.
+            assert!(nodes_into <= 16, "nodes {nodes_into}");
+            if !direct.is_empty() {
+                assert!(nodes_into > 0);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Batched query execution over one shared index.
+//!
+//! The serving-path counterpart of the per-query engine: many patterns are
+//! answered over one immutable index with a [`QueryBatch`] executor —
+//! scoped threads, one [`ius_query::QueryScratch`] per worker, and an output
+//! vector whose `i`-th entry always answers the `i`-th pattern regardless of
+//! scheduling.
+
+use crate::traits::UncertainIndex;
+use ius_query::{QueryBatch, QueryStats};
+use ius_weighted::{Error, Result, WeightedString};
+
+/// Answers every pattern in `patterns` over `index`, returning one entry per
+/// pattern **in pattern order**: the sorted, deduplicated occurrence
+/// positions plus the query's [`QueryStats`].
+///
+/// Per-pattern errors (empty pattern, pattern shorter than the index's `ℓ`)
+/// are reported in the corresponding slot instead of aborting the batch.
+pub fn query_batch(
+    index: &(dyn UncertainIndex + Sync),
+    patterns: &[Vec<u8>],
+    x: &WeightedString,
+    executor: &QueryBatch,
+) -> Vec<Result<(Vec<usize>, QueryStats)>> {
+    executor.run::<(Vec<usize>, QueryStats), Error, _>(patterns.len(), |i, scratch| {
+        let mut positions = Vec::new();
+        let stats = index.query_into(&patterns[i], x, scratch, &mut positions)?;
+        Ok((positions, stats))
+    })
+}
+
+/// Convenience wrapper over [`query_batch`] that fails on the first
+/// per-pattern error and drops the stats — the batched equivalent of calling
+/// [`UncertainIndex::query`] in a loop.
+///
+/// # Errors
+///
+/// The first per-pattern validation error, if any.
+pub fn query_batch_positions(
+    index: &(dyn UncertainIndex + Sync),
+    patterns: &[Vec<u8>],
+    x: &WeightedString,
+    executor: &QueryBatch,
+) -> Result<Vec<Vec<usize>>> {
+    query_batch(index, patterns, x, executor)
+        .into_iter()
+        .map(|entry| entry.map(|(positions, _)| positions))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimizer_index::{IndexVariant, MinimizerIndex};
+    use crate::naive::NaiveIndex;
+    use crate::params::IndexParams;
+    use ius_datasets::patterns::PatternSampler;
+    use ius_datasets::uniform::UniformConfig;
+    use ius_weighted::ZEstimation;
+
+    #[test]
+    fn batched_answers_match_single_shot_in_pattern_order() {
+        let x = UniformConfig {
+            n: 240,
+            sigma: 2,
+            spread: 0.5,
+            seed: 9,
+        }
+        .generate();
+        let z = 8.0;
+        let ell = 8usize;
+        let est = ZEstimation::build(&x, z).unwrap();
+        let params = IndexParams::new(z, ell, x.sigma()).unwrap();
+        let index =
+            MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::ArrayGrid)
+                .unwrap();
+        let mut sampler = PatternSampler::new(&est, 4);
+        let patterns = sampler.sample_many(ell, 25);
+        assert!(!patterns.is_empty());
+        for threads in [1usize, 3] {
+            let executor = QueryBatch::with_threads(threads);
+            let batched = query_batch(&index, &patterns, &x, &executor);
+            assert_eq!(batched.len(), patterns.len());
+            for (pattern, entry) in patterns.iter().zip(&batched) {
+                let (positions, stats) = entry.as_ref().unwrap();
+                assert_eq!(positions, &index.query(pattern, &x).unwrap());
+                assert_eq!(stats.reported, positions.len());
+            }
+            let only_positions = query_batch_positions(&index, &patterns, &x, &executor).unwrap();
+            assert_eq!(only_positions.len(), patterns.len());
+        }
+    }
+
+    #[test]
+    fn per_pattern_errors_stay_in_their_slot() {
+        let x = UniformConfig {
+            n: 60,
+            sigma: 2,
+            spread: 0.4,
+            seed: 2,
+        }
+        .generate();
+        let naive = NaiveIndex::new(4.0).unwrap();
+        let patterns = vec![vec![0u8, 1], Vec::new(), vec![1u8]];
+        let results = query_batch(&naive, &patterns, &x, &QueryBatch::with_threads(2));
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(Error::EmptyInput("pattern"))));
+        assert!(results[2].is_ok());
+        assert!(
+            query_batch_positions(&naive, &patterns, &x, &QueryBatch::with_threads(2)).is_err()
+        );
+    }
+}

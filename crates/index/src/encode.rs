@@ -80,6 +80,15 @@ pub struct EncodedFactorSet {
     /// Offsets into `mismatches`, one per leaf plus a trailing total.
     mism_start: Vec<u32>,
     mismatches: Vec<Mismatch>,
+    /// `ln(ratio)` per stored mismatch, precomputed at build time so grid
+    /// verification sums log-probabilities without per-query `ln` calls.
+    mism_log_ratios: Vec<f64>,
+    /// Packed 8-letter prefix key per sorted leaf (see [`prefix_key`]),
+    /// carried over from the construction sort. Non-decreasing in leaf
+    /// order; used to narrow `equal_range` with integer comparisons before
+    /// any letter is compared. Empty for sets built by the retained
+    /// reference pipeline (the binary search then skips the narrowing).
+    prefix_keys: Vec<u64>,
 }
 
 impl EncodedFactorSet {
@@ -127,6 +136,15 @@ impl EncodedFactorSet {
         &self.mismatches[lo..hi]
     }
 
+    /// The precomputed `ln(ratio)` of each stored mismatch of the `leaf`-th
+    /// factor, aligned with [`EncodedFactorSet::mismatches`].
+    #[inline]
+    pub fn mismatch_log_ratios(&self, leaf: usize) -> &[f64] {
+        let lo = self.mism_start[leaf] as usize;
+        let hi = self.mism_start[leaf + 1] as usize;
+        &self.mism_log_ratios[lo..hi]
+    }
+
     /// Total number of stored mismatches.
     #[inline]
     pub fn total_mismatches(&self) -> usize {
@@ -155,15 +173,97 @@ impl EncodedFactorSet {
     }
 
     /// The half-open range of sorted leaves whose factors have `pattern` as a
-    /// prefix, by binary search (`O(m log N)` letter accesses) — the
-    /// array-based (MWSA) lookup.
+    /// prefix, by binary search — the array-based (MWSA) lookup.
+    ///
+    /// Two layers of acceleration over the retained reference search:
+    /// patterns of length ≥ 8 are first narrowed to the run of leaves whose
+    /// packed 8-letter [`prefix_key`] equals the pattern's (pure integer
+    /// comparisons), and every remaining comparison walks the factor's
+    /// heavy-view stretches *between* mismatches with slice (memcmp-style)
+    /// comparisons instead of decoding one letter at a time — `O(m/word +
+    /// log z)` per comparison rather than `O(m · log z)`.
     pub fn equal_range(&self, pattern: &[u8]) -> (usize, usize) {
-        let lo = self.partition_point(|leaf| self.compare_leaf_to_pattern(leaf, pattern).is_lt());
+        let (search_lo, search_hi) = if pattern.len() >= 8 && !self.prefix_keys.is_empty() {
+            // Any factor having the (≥ 8 letter) pattern as a prefix packs
+            // exactly the pattern's first eight letters, so its key equals
+            // `pat_key`; keys are non-decreasing in leaf order, truncated
+            // factors pad with 0 and letters pack as rank+1, so no shorter
+            // factor collides with the full key.
+            let pat_key = pattern_prefix_key(pattern);
+            let lo = self.prefix_keys.partition_point(|&k| k < pat_key);
+            let hi = self.prefix_keys.partition_point(|&k| k <= pat_key);
+            (lo, hi)
+        } else {
+            (0, self.len())
+        };
+        let lo = search_lo
+            + partition_point_in(search_hi - search_lo, |i| {
+                self.cmp_leaf(search_lo + i, pattern, false).is_lt()
+            });
+        let hi = search_lo
+            + partition_point_in(search_hi - search_lo, |i| {
+                // Leaf's prefix (of pattern length) ≤ pattern?
+                self.cmp_leaf(search_lo + i, pattern, true) != Ordering::Greater
+            });
+        (lo, hi)
+    }
+
+    /// The pre-overhaul `equal_range`: binary search whose comparator decodes
+    /// the factor one [`EncodedFactorSet::letter_at`] call (a linear scan of
+    /// the mismatch list) per letter. Retained for differential testing and
+    /// as the "before" side of the query benchmark; returns exactly the same
+    /// range as [`EncodedFactorSet::equal_range`].
+    pub fn equal_range_reference(&self, pattern: &[u8]) -> (usize, usize) {
+        let lo = self.partition_point(|leaf| {
+            self.compare_leaf_to_pattern_reference(leaf, pattern)
+                .is_lt()
+        });
         let hi = self.partition_point(|leaf| {
-            // Leaf's prefix (of pattern length) ≤ pattern?
-            self.compare_leaf_prefix_to_pattern(leaf, pattern) != Ordering::Greater
+            self.compare_leaf_prefix_to_pattern_reference(leaf, pattern) != Ordering::Greater
         });
         (lo, hi)
+    }
+
+    /// Compares the `leaf`-th factor with `pattern` by comparing the pure
+    /// heavy-view stretches between stored mismatches as slices.
+    ///
+    /// With `prefix_only` the factor is compared only up to `|pattern|`
+    /// letters (a shorter factor counts as smaller, an equal-or-longer one as
+    /// equal); otherwise the full factor is compared as a plain string.
+    fn cmp_leaf(&self, leaf: usize, pattern: &[u8], prefix_only: bool) -> Ordering {
+        let len = self.factor_len(leaf);
+        let limit = len.min(pattern.len());
+        let base = self.anchor_view[leaf] as usize;
+        let heavy = &self.heavy_view[base..base + limit];
+        let mut d = 0usize;
+        for m in self.mismatches(leaf) {
+            let md = m.depth as usize;
+            if md >= limit {
+                break;
+            }
+            match heavy[d..md].cmp(&pattern[d..md]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+            match m.letter.cmp(&pattern[md]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+            d = md + 1;
+        }
+        match heavy[d..limit].cmp(&pattern[d..limit]) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+        if prefix_only {
+            if len >= pattern.len() {
+                Ordering::Equal
+            } else {
+                Ordering::Less
+            }
+        } else {
+            len.cmp(&pattern.len())
+        }
     }
 
     /// Heap bytes retained by the set, counting the heavy view even when it
@@ -178,6 +278,8 @@ impl EncodedFactorSet {
                 + self.mism_start.capacity())
                 * 4
             + self.mismatches.capacity() * std::mem::size_of::<Mismatch>()
+            + self.mism_log_ratios.capacity() * 8
+            + self.prefix_keys.capacity() * 8
     }
 
     /// Heap bytes excluding the heavy view. Forward sets share the view's
@@ -194,23 +296,14 @@ impl EncodedFactorSet {
     }
 
     fn partition_point<F: Fn(usize) -> bool>(&self, pred: F) -> usize {
-        let mut lo = 0usize;
-        let mut hi = self.len();
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if pred(mid) {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        partition_point_in(self.len(), pred)
     }
 
     /// Compares the full factor of `leaf` with `pattern` (pattern treated as
     /// a plain string; a factor that is a proper prefix of the pattern is
-    /// smaller).
-    fn compare_leaf_to_pattern(&self, leaf: usize, pattern: &[u8]) -> Ordering {
+    /// smaller). Pre-overhaul letter-at-a-time comparator, retained for
+    /// [`EncodedFactorSet::equal_range_reference`].
+    fn compare_leaf_to_pattern_reference(&self, leaf: usize, pattern: &[u8]) -> Ordering {
         let len = self.factor_len(leaf);
         for (d, &pc) in pattern.iter().enumerate().take(len) {
             let c = self.letter_at(leaf, d).expect("within factor");
@@ -223,8 +316,9 @@ impl EncodedFactorSet {
     }
 
     /// Compares the length-`|pattern|` prefix of the factor with `pattern`
-    /// (a shorter factor counts as smaller).
-    fn compare_leaf_prefix_to_pattern(&self, leaf: usize, pattern: &[u8]) -> Ordering {
+    /// (a shorter factor counts as smaller). Pre-overhaul letter-at-a-time
+    /// comparator, retained for [`EncodedFactorSet::equal_range_reference`].
+    fn compare_leaf_prefix_to_pattern_reference(&self, leaf: usize, pattern: &[u8]) -> Ordering {
         let len = self.factor_len(leaf);
         for (d, &pc) in pattern.iter().enumerate().take(len) {
             let c = self.letter_at(leaf, d).expect("within factor");
@@ -368,9 +462,14 @@ impl EncodedFactorSetBuilder {
             strands: Vec::with_capacity(order.len()),
             mism_start: Vec::with_capacity(order.len() + 1),
             mismatches: Vec::with_capacity(total_mismatches),
+            mism_log_ratios: Vec::with_capacity(total_mismatches),
+            prefix_keys: Vec::new(),
         };
         set.mism_start.push(0);
         let lcps = Self::emit_sorted(&factors, &order, &mut set, &lce, anchor_to_view);
+        // Keep the construction sort's packed keys, reordered to leaf order,
+        // as the integer narrowing index of `equal_range`.
+        set.prefix_keys = order.iter().map(|&idx| prefix_keys[idx]).collect();
         (set, lcps)
     }
 
@@ -423,6 +522,10 @@ impl EncodedFactorSetBuilder {
             strands: Vec::with_capacity(order.len()),
             mism_start: Vec::with_capacity(order.len() + 1),
             mismatches: Vec::new(),
+            mism_log_ratios: Vec::new(),
+            // The reference pipeline predates the packed keys; leaving them
+            // empty makes `equal_range` skip the integer narrowing.
+            prefix_keys: Vec::new(),
         };
         set.mism_start.push(0);
         let lcps = Self::emit_sorted(&factors, &order, &mut set, &lce, anchor_to_view);
@@ -446,6 +549,8 @@ impl EncodedFactorSetBuilder {
             set.lens.push(f.len);
             set.strands.push(f.strand);
             set.mismatches.extend_from_slice(&f.mismatches);
+            set.mism_log_ratios
+                .extend(f.mismatches.iter().map(|m| m.ratio.ln()));
             set.mism_start.push(set.mismatches.len() as u32);
             if rank > 0 {
                 let prev = &factors[order[rank - 1]];
@@ -461,6 +566,33 @@ impl EncodedFactorSetBuilder {
         }
         lcps
     }
+}
+
+/// First index in `0..len` for which `pred` is false (`pred` must be
+/// monotone), the shared binary-search kernel of the range lookups.
+fn partition_point_in<F: Fn(usize) -> bool>(len: usize, pred: F) -> usize {
+    let mut lo = 0usize;
+    let mut hi = len;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Packs the first eight letters of a (length ≥ 8) pattern exactly like
+/// [`prefix_key`] packs a factor's, for the integer narrowing of
+/// [`EncodedFactorSet::equal_range`].
+fn pattern_prefix_key(pattern: &[u8]) -> u64 {
+    let mut key = 0u64;
+    for &c in &pattern[..8] {
+        key = (key << 8) | (c as u64 + 1);
+    }
+    key
 }
 
 /// Packs the first eight letters of a factor into a big-endian `u64` whose
@@ -683,10 +815,31 @@ mod tests {
             ));
         }
         let (set, _) = builder.finish();
-        for _ in 0..200 {
-            let m = rng.gen_range(1..8usize);
-            let pattern: Vec<u8> = (0..m).map(|_| rng.gen_range(0..sigma)).collect();
+        for _ in 0..300 {
+            // Lengths up to 15 cover both search branches: plain binary
+            // search (m < 8) and the packed-prefix-key narrowing (m ≥ 8).
+            let m = rng.gen_range(1..16usize);
+            let pattern: Vec<u8> = if rng.gen_bool(0.5) {
+                // Borrow a real factor's prefix so long patterns also hit
+                // non-empty ranges, not just misses.
+                let leaf = rng.gen_range(0..set.len());
+                let mut p = set.materialize(leaf);
+                p.truncate(m);
+                while p.len() < m {
+                    p.push(rng.gen_range(0..sigma));
+                }
+                p
+            } else {
+                (0..m).map(|_| rng.gen_range(0..sigma)).collect()
+            };
             let (lo, hi) = set.equal_range(&pattern);
+            // The slice-stretch comparator must agree exactly with the
+            // retained letter-at-a-time binary search.
+            assert_eq!(
+                (lo, hi),
+                set.equal_range_reference(&pattern),
+                "pattern {pattern:?}"
+            );
             for leaf in 0..set.len() {
                 let is_prefix = set.materialize(leaf).starts_with(&pattern);
                 let in_range = leaf >= lo && leaf < hi;

@@ -14,14 +14,19 @@
 //!
 //! All indexes answer the same query: given a pattern `P` (of length `m ≥ ℓ`
 //! for the minimizer-based ones), report every position of the uncertain
-//! string `X` where `P` occurs with probability at least `1/z`
-//! ([`UncertainIndex::query`]). Every index is differentially tested against
-//! [`NaiveIndex`] in this crate's test-suite and in `tests/` at the workspace
-//! root.
+//! string `X` where `P` occurs with probability at least `1/z`. The serving
+//! entry point is the sink-based [`UncertainIndex::query_into`] (reusable
+//! [`QueryScratch`], pluggable [`MatchSink`], per-query [`QueryStats`]);
+//! [`UncertainIndex::query`] is a thin allocating wrapper over it, and
+//! [`query_batch`] answers many patterns over one index with per-worker
+//! scratch and deterministic output order. Every index is differentially
+//! tested against [`NaiveIndex`] in this crate's test-suite (see
+//! `tests/differential.rs`) and in `tests/` at the workspace root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod encode;
 pub mod minimizer_index;
 pub mod naive;
@@ -32,10 +37,14 @@ pub mod traits;
 pub mod wsa;
 pub mod wst;
 
+pub use batch::{query_batch, query_batch_positions};
+pub use ius_query::{
+    finalize_into, CountSink, FirstKSink, MatchSink, QueryBatch, QueryScratch, QueryStats,
+};
 pub use minimizer_index::{IndexVariant, MinimizerIndex};
 pub use naive::NaiveIndex;
 pub use params::IndexParams;
 pub use space_efficient::SpaceEfficientBuilder;
-pub use traits::{IndexStats, UncertainIndex};
+pub use traits::{validate_pattern, IndexStats, UncertainIndex};
 pub use wsa::Wsa;
 pub use wst::Wst;

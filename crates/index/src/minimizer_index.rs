@@ -18,12 +18,15 @@ use crate::encode::{
     Direction, EncodedFactorSet, EncodedFactorSetBuilder, Mismatch, PendingFactor,
 };
 use crate::params::IndexParams;
-use crate::traits::{finalize_positions, IndexStats, UncertainIndex};
+use crate::traits::{finalize_positions, validate_pattern, IndexStats, UncertainIndex};
 use ius_grid::{GridPoint, RangeReporter, Rect};
+use ius_query::{finalize_into, MatchSink, QueryScratch};
 use ius_sampling::MinimizerScheme;
 use ius_text::trie::CompactedTrie;
 use ius_weighted::{is_solid, Error, HeavyString, Result, WeightedString, ZEstimation};
 use std::collections::HashMap;
+
+pub use ius_query::QueryStats;
 
 /// Which of the four index variants of the paper to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,17 +63,6 @@ impl IndexVariant {
     }
 }
 
-/// Statistics of a single query, used by the ablation benchmarks.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct QueryStats {
-    /// Candidate occurrences produced before verification.
-    pub candidates: usize,
-    /// Candidates that passed verification (counted with multiplicity).
-    pub verified: usize,
-    /// Distinct reported positions.
-    pub reported: usize,
-}
-
 /// A minimizer-based uncertain-string index (any of MWST / MWSA / MWST-G /
 /// MWSA-G, depending on the [`IndexVariant`]).
 #[derive(Debug, Clone)]
@@ -79,6 +71,9 @@ pub struct MinimizerIndex {
     variant: IndexVariant,
     n: usize,
     sigma: usize,
+    /// The minimizer scheme, constructed once at build time so queries do
+    /// not re-derive the keyer for every pattern.
+    scheme: MinimizerScheme,
     heavy: HeavyString,
     fwd: EncodedFactorSet,
     bwd: EncodedFactorSet,
@@ -338,6 +333,7 @@ impl MinimizerIndex {
             variant,
             n: x.len(),
             sigma: x.sigma(),
+            scheme: MinimizerScheme::new(params.ell, params.k, x.sigma(), params.order),
             heavy,
             fwd,
             bwd,
@@ -369,7 +365,9 @@ impl MinimizerIndex {
         self.fwd.len()
     }
 
-    /// Runs a query and additionally reports candidate/verification counts.
+    /// Runs a query and additionally reports candidate/verification counts —
+    /// a convenience wrapper over the sink-based engine with a one-shot
+    /// scratch.
     ///
     /// # Errors
     ///
@@ -379,36 +377,46 @@ impl MinimizerIndex {
         pattern: &[u8],
         x: &WeightedString,
     ) -> Result<(Vec<usize>, QueryStats)> {
-        if pattern.is_empty() {
-            return Err(Error::EmptyInput("pattern"));
-        }
-        if pattern.len() < self.params.ell {
-            return Err(Error::PatternTooShort {
-                pattern: pattern.len(),
-                lower_bound: self.params.ell,
-            });
-        }
-        let scheme = MinimizerScheme::new(
-            self.params.ell,
-            self.params.k,
-            self.sigma,
-            self.params.order,
-        );
-        let mu = scheme.window_minimizer(&pattern[..self.params.ell]);
+        let mut scratch = QueryScratch::new();
+        let mut positions = Vec::new();
+        let stats = self.run_query(pattern, x, &mut scratch, &mut positions)?;
+        Ok((positions, stats))
+    }
+
+    /// The sink-based query engine: locate the two pattern parts, enumerate
+    /// candidates (grid pairing or subtree walk), verify, and stream the
+    /// survivors into `sink`. All intermediate state lives in `scratch`, so
+    /// steady-state calls allocate nothing.
+    fn run_query(
+        &self,
+        pattern: &[u8],
+        x: &WeightedString,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats> {
+        validate_pattern(pattern, self.params.ell)?;
+        let mu = self
+            .scheme
+            .window_minimizer_with(&pattern[..self.params.ell], &mut scratch.kmer_keys);
         let suffix_part = &pattern[mu..];
-        let prefix_part_rev: Vec<u8> = pattern[..=mu].iter().rev().copied().collect();
+        scratch.pattern_rev.clear();
+        scratch
+            .pattern_rev
+            .extend(pattern[..=mu].iter().rev().copied());
 
         let mut stats = QueryStats::default();
-        let mut positions = Vec::new();
+        scratch.positions.clear();
         if self.variant.has_grid() {
             let fwd_range = self.locate(&self.fwd, self.fwd_trie.as_ref(), suffix_part);
-            let bwd_range = self.locate(&self.bwd, self.bwd_trie.as_ref(), &prefix_part_rev);
+            let bwd_range = self.locate(&self.bwd, self.bwd_trie.as_ref(), &scratch.pattern_rev);
             let rect = Rect::new(
                 (fwd_range.0 as u32, fwd_range.1 as u32),
                 (bwd_range.0 as u32, bwd_range.1 as u32),
             );
             let grid = self.grid.as_ref().expect("grid variant holds a grid");
-            for payload in grid.report(&rect) {
+            scratch.grid.clear();
+            stats.grid_nodes = grid.report_into(&rect, &mut scratch.grid);
+            for &payload in &scratch.grid {
                 let (fwd_leaf, bwd_leaf) = self.pairs[payload as usize];
                 stats.candidates += 1;
                 let anchor = self.fwd.anchor_x(fwd_leaf as usize);
@@ -426,18 +434,23 @@ impl MinimizerIndex {
                     bwd_leaf as usize,
                 ) {
                     stats.verified += 1;
-                    positions.push(start);
+                    scratch.positions.push(start);
                 }
             }
         } else {
             // Simple query (Section 5): walk the longer of the two parts and
-            // verify every leaf below it against X.
-            let use_forward = suffix_part.len() >= prefix_part_rev.len();
+            // verify every leaf below it against X. The reversed prefix part
+            // has mu + 1 letters.
+            let use_forward = suffix_part.len() > mu;
             let (set, trie, part): (&EncodedFactorSet, Option<&CompactedTrie>, &[u8]) =
                 if use_forward {
                     (&self.fwd, self.fwd_trie.as_ref(), suffix_part)
                 } else {
-                    (&self.bwd, self.bwd_trie.as_ref(), &prefix_part_rev)
+                    (
+                        &self.bwd,
+                        self.bwd_trie.as_ref(),
+                        scratch.pattern_rev.as_slice(),
+                    )
                 };
             let (lo, hi) = self.locate(set, trie, part);
             for leaf in lo..hi {
@@ -452,13 +465,12 @@ impl MinimizerIndex {
                 let p = x.occurrence_probability(start, pattern);
                 if is_solid(p, self.params.z) {
                     stats.verified += 1;
-                    positions.push(start);
+                    scratch.positions.push(start);
                 }
             }
         }
-        let positions = finalize_positions(positions);
-        stats.reported = positions.len();
-        Ok((positions, stats))
+        stats.reported = finalize_into(&mut scratch.positions, false, sink);
+        Ok(stats)
     }
 
     /// Locates the half-open sorted-leaf range whose factors have `part` as a
@@ -478,8 +490,28 @@ impl MinimizerIndex {
         }
     }
 
+    /// Like [`MinimizerIndex::locate`] but through the retained pre-overhaul
+    /// binary search ([`EncodedFactorSet::equal_range_reference`]).
+    fn locate_reference(
+        &self,
+        set: &EncodedFactorSet,
+        trie: Option<&CompactedTrie>,
+        part: &[u8],
+    ) -> (usize, usize) {
+        match trie {
+            Some(trie) => match trie.descend(part, set) {
+                Some(descent) => (descent.leaves.0 as usize, descent.leaves.1 as usize),
+                None => (0, 0),
+            },
+            None => set.equal_range_reference(part),
+        }
+    }
+
     /// Verifies a grid candidate in `O(log z)` time from the heavy prefix
-    /// products and the stored mismatch ratios — no access to `X`.
+    /// products and the stored mismatch ratios — no access to `X`. Uses the
+    /// log-ratios precomputed at build time, so no `ln` is evaluated per
+    /// candidate (the sums are bit-identical to the reference path, which
+    /// takes the same `ln` of the same ratios at query time).
     fn verify_encoded(
         &self,
         m: usize,
@@ -494,15 +526,54 @@ impl MinimizerIndex {
         // depth d corresponds to position anchor - d, so depths 1..=mu fall
         // inside the pattern window (depth 0 is the anchor itself, accounted
         // for by the forward factor).
+        for (mis, log_ratio) in self
+            .bwd
+            .mismatches(bwd_leaf)
+            .iter()
+            .zip(self.bwd.mismatch_log_ratios(bwd_leaf))
+        {
+            let d = mis.depth as usize;
+            if d >= 1 && d <= mu {
+                log_prob += log_ratio;
+            }
+        }
+        // Mismatches of the forward factor cover positions [anchor, end);
+        // depth d corresponds to position anchor + d, inside the window for
+        // d < m - mu.
+        for (mis, log_ratio) in self
+            .fwd
+            .mismatches(fwd_leaf)
+            .iter()
+            .zip(self.fwd.mismatch_log_ratios(fwd_leaf))
+        {
+            let d = mis.depth as usize;
+            if d < m - mu {
+                log_prob += log_ratio;
+            }
+        }
+        is_solid(log_prob.exp(), self.params.z)
+    }
+
+    /// The pre-overhaul candidate verification, retained for
+    /// [`UncertainIndex::query_reference`]: takes `ln` of every in-window
+    /// mismatch ratio at query time. Identical outcome to
+    /// [`MinimizerIndex::verify_encoded`].
+    fn verify_encoded_reference(
+        &self,
+        m: usize,
+        mu: usize,
+        start: usize,
+        fwd_leaf: usize,
+        bwd_leaf: usize,
+    ) -> bool {
+        let end = start + m;
+        let mut log_prob = self.heavy.range_log_probability(start, end);
         for mis in self.bwd.mismatches(bwd_leaf) {
             let d = mis.depth as usize;
             if d >= 1 && d <= mu {
                 log_prob += mis.ratio.ln();
             }
         }
-        // Mismatches of the forward factor cover positions [anchor, end);
-        // depth d corresponds to position anchor + d, inside the window for
-        // d < m - mu.
         for mis in self.fwd.mismatches(fwd_leaf) {
             let d = mis.depth as usize;
             if d < m - mu {
@@ -543,9 +614,93 @@ impl UncertainIndex for MinimizerIndex {
         self.variant.name()
     }
 
-    fn query(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>> {
-        self.query_with_stats(pattern, x)
-            .map(|(positions, _)| positions)
+    fn query_into(
+        &self,
+        pattern: &[u8],
+        x: &WeightedString,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats> {
+        self.run_query(pattern, x, scratch, sink)
+    }
+
+    fn query_reference(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>> {
+        // The pre-overhaul single-shot query, retained verbatim for
+        // differential testing and as the "before" side of the query
+        // benchmark: per-query scheme construction, fresh reversed-prefix /
+        // candidate / grid-report vectors, letter-at-a-time binary search.
+        if pattern.is_empty() {
+            return Err(Error::EmptyInput("pattern"));
+        }
+        if pattern.len() < self.params.ell {
+            return Err(Error::PatternTooShort {
+                pattern: pattern.len(),
+                lower_bound: self.params.ell,
+            });
+        }
+        let scheme = MinimizerScheme::new(
+            self.params.ell,
+            self.params.k,
+            self.sigma,
+            self.params.order,
+        );
+        let mu = scheme.window_minimizer(&pattern[..self.params.ell]);
+        let suffix_part = &pattern[mu..];
+        let prefix_part_rev: Vec<u8> = pattern[..=mu].iter().rev().copied().collect();
+
+        let mut positions = Vec::new();
+        if self.variant.has_grid() {
+            let fwd_range = self.locate_reference(&self.fwd, self.fwd_trie.as_ref(), suffix_part);
+            let bwd_range =
+                self.locate_reference(&self.bwd, self.bwd_trie.as_ref(), &prefix_part_rev);
+            let rect = Rect::new(
+                (fwd_range.0 as u32, fwd_range.1 as u32),
+                (bwd_range.0 as u32, bwd_range.1 as u32),
+            );
+            let grid = self.grid.as_ref().expect("grid variant holds a grid");
+            for payload in grid.report(&rect) {
+                let (fwd_leaf, bwd_leaf) = self.pairs[payload as usize];
+                let anchor = self.fwd.anchor_x(fwd_leaf as usize);
+                let Some(start) = anchor.checked_sub(mu) else {
+                    continue;
+                };
+                if start + pattern.len() > self.n {
+                    continue;
+                }
+                if self.verify_encoded_reference(
+                    pattern.len(),
+                    mu,
+                    start,
+                    fwd_leaf as usize,
+                    bwd_leaf as usize,
+                ) {
+                    positions.push(start);
+                }
+            }
+        } else {
+            let use_forward = suffix_part.len() >= prefix_part_rev.len();
+            let (set, trie, part): (&EncodedFactorSet, Option<&CompactedTrie>, &[u8]) =
+                if use_forward {
+                    (&self.fwd, self.fwd_trie.as_ref(), suffix_part)
+                } else {
+                    (&self.bwd, self.bwd_trie.as_ref(), &prefix_part_rev)
+                };
+            let (lo, hi) = self.locate_reference(set, trie, part);
+            for leaf in lo..hi {
+                let anchor = set.anchor_x(leaf);
+                let Some(start) = anchor.checked_sub(mu) else {
+                    continue;
+                };
+                if start + pattern.len() > self.n {
+                    continue;
+                }
+                let p = x.occurrence_probability(start, pattern);
+                if is_solid(p, self.params.z) {
+                    positions.push(start);
+                }
+            }
+        }
+        Ok(finalize_positions(positions))
     }
 
     fn size_bytes(&self) -> usize {
@@ -581,7 +736,6 @@ impl UncertainIndex for MinimizerIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive::NaiveIndex;
     use ius_datasets::pangenome::PangenomeConfig;
     use ius_datasets::patterns::PatternSampler;
     use ius_datasets::uniform::UniformConfig;
@@ -595,50 +749,15 @@ mod tests {
         ]
     }
 
-    fn check_against_naive(x: &WeightedString, z: f64, ell: usize, patterns: &[Vec<u8>]) {
-        let estimation = ZEstimation::build(x, z).unwrap();
-        let naive = NaiveIndex::new(z).unwrap();
-        let params = IndexParams::new(z, ell, x.sigma()).unwrap();
-        for variant in all_variants() {
-            let index =
-                MinimizerIndex::build_from_estimation(x, &estimation, params, variant).unwrap();
-            for pattern in patterns {
-                let expected = naive.query(pattern, x).unwrap();
-                let got = index.query(pattern, x).unwrap();
-                assert_eq!(
-                    got,
-                    expected,
-                    "{} pattern of length {}",
-                    index.name(),
-                    pattern.len()
-                );
-            }
-        }
-    }
+    // The cross-family differential coverage that used to live here (the
+    // copy-pasted `check_against_naive` helpers) moved into the shared
+    // harness `tests/differential.rs`, which also exercises the sink-based
+    // and batched entry points.
 
     #[test]
-    fn matches_naive_on_uniform_strings() {
-        let x = UniformConfig {
-            n: 300,
-            sigma: 2,
-            spread: 0.5,
-            seed: 41,
-        }
-        .generate();
-        let z = 8.0;
-        let ell = 8;
-        let est = ZEstimation::build(&x, z).unwrap();
-        let mut sampler = PatternSampler::new(&est, 11);
-        let mut patterns = sampler.sample_many(ell, 30);
-        patterns.extend(sampler.sample_many(12, 20));
-        patterns.extend(sampler.sample_random(ell, 20, 2));
-        check_against_naive(&x, z, ell, &patterns);
-    }
-
-    #[test]
-    fn matches_naive_on_pangenome_strings() {
+    fn new_engine_matches_the_retained_reference_query() {
         let x = PangenomeConfig {
-            n: 1_500,
+            n: 1_200,
             delta: 0.08,
             seed: 5,
             ..Default::default()
@@ -647,11 +766,27 @@ mod tests {
         let z = 16.0;
         let ell = 32;
         let est = ZEstimation::build(&x, z).unwrap();
+        let params = IndexParams::new(z, ell, x.sigma()).unwrap();
         let mut sampler = PatternSampler::new(&est, 3);
-        let mut patterns = sampler.sample_many(ell, 25);
-        patterns.extend(sampler.sample_many(64, 25));
-        patterns.extend(sampler.sample_random(ell, 10, 4));
-        check_against_naive(&x, z, ell, &patterns);
+        let mut patterns = sampler.sample_many(ell, 20);
+        patterns.extend(sampler.sample_many(64, 10));
+        patterns.extend(sampler.sample_random(ell, 5, 4));
+        for variant in all_variants() {
+            let index = MinimizerIndex::build_from_estimation(&x, &est, params, variant).unwrap();
+            let mut scratch = QueryScratch::new();
+            for pattern in &patterns {
+                let old = index.query_reference(pattern, &x).unwrap();
+                let mut new = Vec::new();
+                let stats = index
+                    .query_into(pattern, &x, &mut scratch, &mut new)
+                    .unwrap();
+                assert_eq!(new, old, "{} pattern {:?}", index.name(), &pattern[..4]);
+                assert_eq!(stats.reported, new.len());
+                if variant.has_grid() && !new.is_empty() {
+                    assert!(stats.grid_nodes > 0);
+                }
+            }
+        }
     }
 
     #[test]

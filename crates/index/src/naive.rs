@@ -1,8 +1,9 @@
 //! The naive scan "index": the ground truth every real index is tested
 //! against.
 
-use crate::traits::{IndexStats, UncertainIndex};
-use ius_weighted::{solid, Error, Result, WeightedString};
+use crate::traits::{validate_pattern, IndexStats, UncertainIndex};
+use ius_query::{finalize_into, MatchSink, QueryScratch, QueryStats};
+use ius_weighted::{is_solid, solid, Error, Result, WeightedString};
 
 /// A trivial index that stores only `z` and scans `X` at query time.
 ///
@@ -37,7 +38,32 @@ impl UncertainIndex for NaiveIndex {
         "NAIVE"
     }
 
-    fn query(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>> {
+    fn query_into(
+        &self,
+        pattern: &[u8],
+        x: &WeightedString,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats> {
+        validate_pattern(pattern, 1)?;
+        let mut stats = QueryStats::default();
+        scratch.positions.clear();
+        if pattern.len() <= x.len() {
+            for start in 0..=x.len() - pattern.len() {
+                stats.candidates += 1;
+                if is_solid(x.occurrence_probability(start, pattern), self.z) {
+                    stats.verified += 1;
+                    scratch.positions.push(start);
+                }
+            }
+        }
+        // The scan emits strictly increasing positions: no sort needed.
+        stats.reported = finalize_into(&mut scratch.positions, true, sink);
+        Ok(stats)
+    }
+
+    fn query_reference(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>> {
+        // The pre-overhaul implementation: one fresh output vector per call.
         if pattern.is_empty() {
             return Err(Error::EmptyInput("pattern"));
         }
@@ -69,8 +95,31 @@ mod tests {
         assert_eq!(idx.query(&[0, 0, 0, 0], &x).unwrap(), vec![0]);
         assert_eq!(idx.query(&[0, 1], &x).unwrap(), vec![0, 3, 4]);
         assert!(idx.query(&[], &x).is_err());
+        assert!(idx.query_reference(&[], &x).is_err());
+        assert_eq!(idx.query_reference(&[0, 1], &x).unwrap(), vec![0, 3, 4]);
         assert_eq!(idx.name(), "NAIVE");
         assert!(idx.size_bytes() < 64);
+    }
+
+    #[test]
+    fn sink_query_reports_scan_stats() {
+        let x = paper_example();
+        let idx = NaiveIndex::new(4.0).unwrap();
+        let mut scratch = QueryScratch::new();
+        let mut positions = Vec::new();
+        let stats = idx
+            .query_into(&[0, 1], &x, &mut scratch, &mut positions)
+            .unwrap();
+        assert_eq!(positions, vec![0, 3, 4]);
+        assert_eq!(stats.candidates, x.len() - 1);
+        assert_eq!(stats.verified, 3);
+        assert_eq!(stats.reported, 3);
+        assert_eq!(stats.grid_nodes, 0);
+        // Longer than the text: no candidates, empty answer.
+        let stats = idx
+            .query_into(&vec![0u8; x.len() + 1], &x, &mut scratch, &mut positions)
+            .unwrap();
+        assert_eq!(stats.candidates, 0);
     }
 
     #[test]

@@ -225,6 +225,20 @@ impl PropertyText {
         positions
     }
 
+    /// Appends the (unsorted, possibly duplicated across strands) `X`
+    /// positions of the PSA interval matching `pattern` into `out` and
+    /// returns the interval width — the allocation-free locate step of the
+    /// sink-based WSA query, which sorts and deduplicates once downstream.
+    pub fn positions_into(&self, pattern: &[u8], out: &mut Vec<usize>) -> usize {
+        let (lo, hi) = self.equal_range(pattern);
+        out.extend(
+            self.psa[lo..hi]
+                .iter()
+                .map(|&s| self.position_in_x(s as usize)),
+        );
+        hi - lo
+    }
+
     /// Heap bytes retained by the structure.
     pub fn memory_bytes(&self) -> usize {
         self.text.capacity()

@@ -433,7 +433,6 @@ mod tests {
     use super::*;
     use crate::naive::NaiveIndex;
     use crate::traits::UncertainIndex;
-    use ius_datasets::pangenome::PangenomeConfig;
     use ius_datasets::patterns::PatternSampler;
     use ius_datasets::uniform::UniformConfig;
     use ius_weighted::ZEstimation;
@@ -457,8 +456,12 @@ mod tests {
             .is_err());
     }
 
+    // The full differential coverage of the space-efficient construction
+    // against the naive oracle (uniform + pangenome corpora, all entry
+    // points) lives in the shared harness `tests/differential.rs`.
+
     #[test]
-    fn se_index_matches_naive_and_explicit_on_uniform_data() {
+    fn se_build_stats_and_query_agree_with_the_explicit_construction() {
         let x = UniformConfig {
             n: 260,
             sigma: 2,
@@ -470,7 +473,6 @@ mod tests {
         let ell = 8;
         let params = IndexParams::new(z, ell, 2).unwrap();
         let est = ZEstimation::build(&x, z).unwrap();
-        let naive = NaiveIndex::new(z).unwrap();
         let explicit =
             MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::Array).unwrap();
         let (se, stats) = SpaceEfficientBuilder::new(params)
@@ -480,55 +482,14 @@ mod tests {
         assert!(stats.forward_nodes > 0 && stats.backward_nodes > 0);
         assert!(stats.forward_factors > 0 && stats.backward_factors > 0);
         let mut sampler = PatternSampler::new(&est, 5);
-        let mut patterns = sampler.sample_many(ell, 40);
-        patterns.extend(sampler.sample_many(14, 20));
-        patterns.extend(sampler.sample_random(ell, 20, 2));
+        let mut patterns = sampler.sample_many(ell, 20);
+        patterns.extend(sampler.sample_many(14, 10));
         for pattern in &patterns {
-            let expected = naive.query(pattern, &x).unwrap();
             assert_eq!(
                 se.query(pattern, &x).unwrap(),
-                expected,
-                "SE vs naive {pattern:?}"
-            );
-            assert_eq!(
                 explicit.query(pattern, &x).unwrap(),
-                expected,
-                "explicit vs naive {pattern:?}"
+                "SE vs explicit {pattern:?}"
             );
-        }
-    }
-
-    #[test]
-    fn se_index_matches_naive_on_pangenome_data() {
-        let x = PangenomeConfig {
-            n: 1_200,
-            delta: 0.08,
-            seed: 31,
-            ..Default::default()
-        }
-        .generate();
-        let z = 16.0;
-        let ell = 32;
-        let params = IndexParams::new(z, ell, 4).unwrap();
-        let naive = NaiveIndex::new(z).unwrap();
-        for variant in [IndexVariant::Tree, IndexVariant::Array] {
-            let se = SpaceEfficientBuilder::new(params)
-                .build(&x, variant)
-                .unwrap();
-            let est = ZEstimation::build(&x, z).unwrap();
-            let mut sampler = PatternSampler::new(&est, 9);
-            let mut patterns = sampler.sample_many(ell, 25);
-            patterns.extend(sampler.sample_many(64, 15));
-            patterns.extend(sampler.sample_random(ell, 10, 4));
-            for pattern in &patterns {
-                assert_eq!(
-                    se.query(pattern, &x).unwrap(),
-                    naive.query(pattern, &x).unwrap(),
-                    "{} pattern of length {}",
-                    se.name(),
-                    pattern.len()
-                );
-            }
         }
     }
 

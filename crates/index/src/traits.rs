@@ -1,6 +1,7 @@
 //! The common interface of every uncertain-string index.
 
-use ius_weighted::{Result, WeightedString};
+use ius_query::{MatchSink, QueryScratch, QueryStats};
+use ius_weighted::{Error, Result, WeightedString};
 
 /// Structural statistics of an index, used by the benchmark harness to
 /// reproduce the paper's size and construction-space figures and by tests to
@@ -27,20 +28,57 @@ pub trait UncertainIndex {
     /// Short display name of the index family (e.g. `"MWSA"`).
     fn name(&self) -> &'static str;
 
-    /// Reports all 0-based starting positions of z-solid occurrences of the
-    /// rank-encoded `pattern` in `X`, sorted increasingly and deduplicated.
+    /// The sink-based query entry point: reports every 0-based starting
+    /// position of a z-solid occurrence of the rank-encoded `pattern` in `X`
+    /// to `sink`, sorted increasingly and deduplicated, and returns the
+    /// query's [`QueryStats`].
     ///
-    /// The weighted string is passed back in so that indexes which verify
-    /// candidates by random access to `X` (the simple query of Section 5 of
-    /// the paper) can do so without owning a copy; indexes that do not need
-    /// it simply ignore the argument.
+    /// `scratch` owns the reusable buffers; once they have warmed up to the
+    /// workload's high-water mark, steady-state queries perform no heap
+    /// allocation on the hot paths. The weighted string is passed back in so
+    /// that indexes which verify candidates by random access to `X` (the
+    /// simple query of Section 5 of the paper) can do so without owning a
+    /// copy; indexes that do not need it simply ignore the argument.
     ///
     /// # Errors
     ///
     /// * [`ius_weighted::Error::PatternTooShort`] if the index was built with
     ///   a lower bound `ℓ` and `|pattern| < ℓ`;
     /// * [`ius_weighted::Error::EmptyInput`] for an empty pattern.
-    fn query(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>>;
+    fn query_into(
+        &self,
+        pattern: &[u8],
+        x: &WeightedString,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats>;
+
+    /// Reports all z-solid occurrence positions as a fresh vector — a thin
+    /// wrapper over [`UncertainIndex::query_into`] with a one-shot scratch
+    /// and a collect-all sink.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`UncertainIndex::query_into`].
+    fn query(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>> {
+        let mut scratch = QueryScratch::new();
+        let mut positions = Vec::new();
+        self.query_into(pattern, x, &mut scratch, &mut positions)?;
+        Ok(positions)
+    }
+
+    /// The retained pre-overhaul single-shot query implementation, kept
+    /// compiled so the query benchmark measures real old code (fresh buffers
+    /// at every layer, byte-at-a-time factor comparisons, per-query scheme
+    /// setup). Families without a distinct legacy path fall back to
+    /// [`UncertainIndex::query`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`UncertainIndex::query`].
+    fn query_reference(&self, pattern: &[u8], x: &WeightedString) -> Result<Vec<usize>> {
+        self.query(pattern, x)
+    }
 
     /// Heap bytes owned by the index (excluding `X` itself).
     fn size_bytes(&self) -> usize;
@@ -49,8 +87,32 @@ pub trait UncertainIndex {
     fn stats(&self) -> IndexStats;
 }
 
+/// Validates the pattern-length contract shared by every index family:
+/// a pattern must be non-empty and at least `lower_bound` letters long
+/// (families without a length bound pass `lower_bound = 1`).
+///
+/// # Errors
+///
+/// [`Error::EmptyInput`] for an empty pattern,
+/// [`Error::PatternTooShort`] when `|pattern| < lower_bound`.
+pub fn validate_pattern(pattern: &[u8], lower_bound: usize) -> Result<()> {
+    if pattern.is_empty() {
+        return Err(Error::EmptyInput("pattern"));
+    }
+    if pattern.len() < lower_bound {
+        return Err(Error::PatternTooShort {
+            pattern: pattern.len(),
+            lower_bound,
+        });
+    }
+    Ok(())
+}
+
 /// Deduplicates and sorts a list of candidate positions in place and returns
-/// it — the common post-processing step of every query implementation.
+/// it — the Vec-based post-processing step of the retained legacy query
+/// paths. The sink-based engine uses [`ius_query::finalize_into`] instead,
+/// whose `sorted` fast path lets already-sorted sources (e.g. the naive
+/// scan) skip the redundant sort under a debug assertion.
 pub fn finalize_positions(mut positions: Vec<usize>) -> Vec<usize> {
     positions.sort_unstable();
     positions.dedup();
@@ -65,6 +127,23 @@ mod tests {
     fn finalize_sorts_and_dedups() {
         assert_eq!(finalize_positions(vec![5, 1, 5, 3, 1]), vec![1, 3, 5]);
         assert_eq!(finalize_positions(vec![]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn pattern_validation_covers_both_error_paths() {
+        assert!(matches!(
+            validate_pattern(&[], 1),
+            Err(Error::EmptyInput("pattern"))
+        ));
+        assert!(matches!(
+            validate_pattern(&[0, 1], 4),
+            Err(Error::PatternTooShort {
+                pattern: 2,
+                lower_bound: 4
+            })
+        ));
+        assert!(validate_pattern(&[0, 1], 1).is_ok());
+        assert!(validate_pattern(&[0, 1], 2).is_ok());
     }
 
     #[test]

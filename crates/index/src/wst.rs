@@ -10,7 +10,8 @@
 //! construction referenced in the paper).
 
 use crate::property_text::PropertyText;
-use crate::traits::{finalize_positions, IndexStats, UncertainIndex};
+use crate::traits::{finalize_positions, validate_pattern, IndexStats, UncertainIndex};
+use ius_query::{finalize_into, MatchSink, QueryScratch, QueryStats};
 use ius_text::trie::{CompactedTrie, LabelProvider};
 use ius_weighted::{Error, Result, WeightedString, ZEstimation};
 
@@ -105,7 +106,37 @@ impl UncertainIndex for Wst {
         "WST"
     }
 
-    fn query(&self, pattern: &[u8], _x: &WeightedString) -> Result<Vec<usize>> {
+    fn query_into(
+        &self,
+        pattern: &[u8],
+        _x: &WeightedString,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats> {
+        validate_pattern(pattern, 1)?;
+        let labels = WstLabels {
+            text: self.property_text.text(),
+            fragments: &self.fragments,
+        };
+        let mut stats = QueryStats::default();
+        scratch.positions.clear();
+        if let Some(descent) = self.trie.descend(pattern, &labels) {
+            let (lo, hi) = descent.leaves;
+            stats.candidates = (hi - lo) as usize;
+            // Every leaf below the descent is a true occurrence.
+            stats.verified = stats.candidates;
+            scratch.positions.extend((lo..hi).map(|leaf| {
+                let text_pos = self.property_text.psa()[leaf as usize] as usize;
+                self.property_text.position_in_x(text_pos)
+            }));
+        }
+        stats.reported = finalize_into(&mut scratch.positions, false, sink);
+        Ok(stats)
+    }
+
+    fn query_reference(&self, pattern: &[u8], _x: &WeightedString) -> Result<Vec<usize>> {
+        // The pre-overhaul implementation: a fresh per-node result vector,
+        // sorted and deduplicated by `finalize_positions`.
         if pattern.is_empty() {
             return Err(Error::EmptyInput("pattern"));
         }
@@ -163,38 +194,32 @@ mod tests {
         assert!(wst.num_nodes() > 0);
     }
 
+    // Cross-family differential coverage (including random inputs) lives in
+    // the shared harness `tests/differential.rs` of this crate.
+
     #[test]
-    fn agrees_with_wsa_and_naive() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(8);
-        for (n, sigma, z) in [(150usize, 2usize, 6.0f64), (180, 4, 3.0)] {
-            let x = UniformConfig {
-                n,
-                sigma,
-                spread: 0.6,
-                seed: 91 + n as u64,
-            }
-            .generate();
-            let est = ius_weighted::ZEstimation::build(&x, z).unwrap();
-            let wst = Wst::build_from_estimation(&est).unwrap();
-            let wsa = Wsa::build_from_estimation(&est).unwrap();
-            for len in 1..=6 {
-                for _ in 0..25 {
-                    let pattern: Vec<u8> =
-                        (0..len).map(|_| rng.gen_range(0..sigma as u8)).collect();
-                    let expected = solid::occurrences(&x, &pattern, z);
-                    assert_eq!(
-                        wst.query(&pattern, &x).unwrap(),
-                        expected,
-                        "WST {pattern:?}"
-                    );
-                    assert_eq!(
-                        wsa.query(&pattern, &x).unwrap(),
-                        expected,
-                        "WSA {pattern:?}"
-                    );
-                }
-            }
+    fn sink_forms_agree_with_the_reference_path() {
+        let x = UniformConfig {
+            n: 150,
+            sigma: 2,
+            spread: 0.6,
+            seed: 241,
+        }
+        .generate();
+        let z = 6.0;
+        let wst = Wst::build(&x, z).unwrap();
+        let mut scratch = QueryScratch::new();
+        for pattern in [&[0u8][..], &[1, 0], &[0, 0, 1], &[1, 1, 1, 0]] {
+            let expected = solid::occurrences(&x, pattern, z);
+            assert_eq!(wst.query(pattern, &x).unwrap(), expected);
+            assert_eq!(wst.query_reference(pattern, &x).unwrap(), expected);
+            let mut positions = Vec::new();
+            let stats = wst
+                .query_into(pattern, &x, &mut scratch, &mut positions)
+                .unwrap();
+            assert_eq!(positions, expected);
+            assert_eq!(stats.reported, expected.len());
+            assert_eq!(stats.candidates, stats.verified);
         }
     }
 

@@ -1,0 +1,247 @@
+//! The shared differential harness: every index family must return exactly
+//! the naive oracle's answers through **every** query entry point — the
+//! classic `query()`, the retained `query_reference()`, the sink-based
+//! `query_into` (collect and count sinks), and the batched engine — on
+//! shared uniform and pangenome corpora. This replaces the per-file
+//! `check_against_naive` helpers that used to be copy-pasted across
+//! `minimizer_index.rs`, `wsa.rs`, `wst.rs` and `space_efficient.rs`.
+
+use ius_datasets::pangenome::PangenomeConfig;
+use ius_datasets::patterns::PatternSampler;
+use ius_datasets::uniform::UniformConfig;
+use ius_index::{
+    query_batch, CountSink, IndexParams, IndexVariant, MinimizerIndex, NaiveIndex, QueryBatch,
+    QueryScratch, SpaceEfficientBuilder, UncertainIndex, Wsa, Wst,
+};
+use ius_weighted::{Error, WeightedString, ZEstimation};
+
+/// One corpus of the harness: a weighted string with its parameters and a
+/// mixed pattern workload (sampled at ℓ and 2ℓ, plus random negatives and
+/// short patterns that only the baselines accept).
+struct Corpus {
+    label: &'static str,
+    x: WeightedString,
+    z: f64,
+    ell: usize,
+    patterns: Vec<Vec<u8>>,
+}
+
+fn corpora() -> Vec<Corpus> {
+    let mut out = Vec::new();
+    {
+        let x = UniformConfig {
+            n: 300,
+            sigma: 2,
+            spread: 0.5,
+            seed: 41,
+        }
+        .generate();
+        let (z, ell) = (8.0, 8usize);
+        let est = ZEstimation::build(&x, z).unwrap();
+        let mut sampler = PatternSampler::new(&est, 11);
+        let mut patterns = sampler.sample_many(ell, 25);
+        patterns.extend(sampler.sample_many(2 * ell, 15));
+        patterns.extend(sampler.sample_random(ell, 15, 2));
+        patterns.extend(sampler.sample_many(3, 10)); // baselines only
+        out.push(Corpus {
+            label: "uniform",
+            x,
+            z,
+            ell,
+            patterns,
+        });
+    }
+    {
+        let x = PangenomeConfig {
+            n: 1_500,
+            delta: 0.08,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let (z, ell) = (16.0, 32usize);
+        let est = ZEstimation::build(&x, z).unwrap();
+        let mut sampler = PatternSampler::new(&est, 3);
+        let mut patterns = sampler.sample_many(ell, 20);
+        patterns.extend(sampler.sample_many(2 * ell, 15));
+        patterns.extend(sampler.sample_random(ell, 8, 4));
+        patterns.extend(sampler.sample_many(5, 8)); // baselines only
+        out.push(Corpus {
+            label: "pangenome",
+            x,
+            z,
+            ell,
+            patterns,
+        });
+    }
+    out
+}
+
+/// Builds every index family over one corpus. The space-efficient builder
+/// contributes both of the variants it supports.
+fn build_families(corpus: &Corpus) -> Vec<(String, Box<dyn UncertainIndex + Sync>)> {
+    let est = ZEstimation::build(&corpus.x, corpus.z).unwrap();
+    let params = IndexParams::new(corpus.z, corpus.ell, corpus.x.sigma()).unwrap();
+    let mut families: Vec<(String, Box<dyn UncertainIndex + Sync>)> = vec![
+        (
+            "WST".into(),
+            Box::new(Wst::build_from_estimation(&est).unwrap()),
+        ),
+        (
+            "WSA".into(),
+            Box::new(Wsa::build_from_estimation(&est).unwrap()),
+        ),
+    ];
+    for variant in [
+        IndexVariant::Tree,
+        IndexVariant::Array,
+        IndexVariant::TreeGrid,
+        IndexVariant::ArrayGrid,
+    ] {
+        families.push((
+            variant.name().into(),
+            Box::new(
+                MinimizerIndex::build_from_estimation(&corpus.x, &est, params, variant).unwrap(),
+            ),
+        ));
+    }
+    for variant in [IndexVariant::Tree, IndexVariant::Array] {
+        families.push((
+            format!("SE-{}", variant.name()),
+            Box::new(
+                SpaceEfficientBuilder::new(params)
+                    .build(&corpus.x, variant)
+                    .unwrap(),
+            ),
+        ));
+    }
+    families
+}
+
+/// `true` iff this family enforces the minimum pattern length ℓ.
+fn has_length_bound(label: &str) -> bool {
+    !matches!(label, "WST" | "WSA")
+}
+
+#[test]
+fn every_family_agrees_with_naive_through_every_entry_point() {
+    for corpus in corpora() {
+        let naive = NaiveIndex::new(corpus.z).unwrap();
+        let expected: Vec<Vec<usize>> = corpus
+            .patterns
+            .iter()
+            .map(|p| naive.query(p, &corpus.x).unwrap())
+            .collect();
+        for (label, index) in build_families(&corpus) {
+            let mut scratch = QueryScratch::new();
+            let mut admissible: Vec<Vec<u8>> = Vec::new();
+            let mut admissible_expected: Vec<Vec<usize>> = Vec::new();
+            for (pattern, expect) in corpus.patterns.iter().zip(&expected) {
+                if has_length_bound(&label) && pattern.len() < corpus.ell {
+                    // Short patterns must fail with the documented error.
+                    assert!(
+                        matches!(
+                            index.query(pattern, &corpus.x),
+                            Err(Error::PatternTooShort { .. })
+                        ),
+                        "{} on {}: short pattern must be rejected",
+                        label,
+                        corpus.label
+                    );
+                    continue;
+                }
+                admissible.push(pattern.clone());
+                admissible_expected.push(expect.clone());
+                // Classic single-shot query.
+                assert_eq!(
+                    &index.query(pattern, &corpus.x).unwrap(),
+                    expect,
+                    "{} on {}: query()",
+                    label,
+                    corpus.label
+                );
+                // Retained pre-overhaul path.
+                assert_eq!(
+                    &index.query_reference(pattern, &corpus.x).unwrap(),
+                    expect,
+                    "{} on {}: query_reference()",
+                    label,
+                    corpus.label
+                );
+                // Sink-based engine with a reused scratch.
+                let mut positions = Vec::new();
+                let stats = index
+                    .query_into(pattern, &corpus.x, &mut scratch, &mut positions)
+                    .unwrap();
+                assert_eq!(
+                    &positions, expect,
+                    "{} on {}: query_into",
+                    label, corpus.label
+                );
+                assert_eq!(stats.reported, expect.len());
+                assert!(stats.candidates >= stats.verified);
+                assert!(stats.verified >= stats.reported);
+                // Count-only sink sees the same cardinality.
+                let mut count = CountSink::new();
+                index
+                    .query_into(pattern, &corpus.x, &mut scratch, &mut count)
+                    .unwrap();
+                assert_eq!(count.count, expect.len());
+            }
+            assert!(
+                !admissible.is_empty(),
+                "{} on {}: no admissible patterns",
+                label,
+                corpus.label
+            );
+            // Batched engine, single- and multi-worker, deterministic order.
+            for threads in [1usize, 4] {
+                let executor = QueryBatch::with_threads(threads);
+                let batched = query_batch(index.as_ref(), &admissible, &corpus.x, &executor);
+                for (i, entry) in batched.iter().enumerate() {
+                    let (positions, stats) = entry.as_ref().unwrap();
+                    assert_eq!(
+                        positions, &admissible_expected[i],
+                        "{} on {}: batch slot {} ({} threads)",
+                        label, corpus.label, i, threads
+                    );
+                    assert_eq!(stats.reported, positions.len());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_family_rejects_the_empty_pattern() {
+    let corpus = &corpora()[0];
+    let naive = NaiveIndex::new(corpus.z).unwrap();
+    assert!(matches!(
+        naive.query(&[], &corpus.x),
+        Err(Error::EmptyInput("pattern"))
+    ));
+    for (label, index) in build_families(corpus) {
+        assert!(
+            matches!(
+                index.query(&[], &corpus.x),
+                Err(Error::EmptyInput("pattern"))
+            ),
+            "{label}: empty pattern must be rejected"
+        );
+        assert!(
+            matches!(
+                index.query_reference(&[], &corpus.x),
+                Err(Error::EmptyInput("pattern"))
+            ),
+            "{label}: empty pattern must be rejected by the reference path"
+        );
+        let mut scratch = QueryScratch::new();
+        let mut sink = Vec::new();
+        assert!(
+            index
+                .query_into(&[], &corpus.x, &mut scratch, &mut sink)
+                .is_err(),
+            "{label}: empty pattern must be rejected by query_into"
+        );
+    }
+}

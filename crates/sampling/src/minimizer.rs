@@ -80,6 +80,18 @@ impl MinimizerScheme {
     ///
     /// Panics if `window.len() != ℓ`.
     pub fn window_minimizer(&self, window: &[u8]) -> usize {
+        let mut keys = Vec::new();
+        self.window_minimizer_with(window, &mut keys)
+    }
+
+    /// Like [`MinimizerScheme::window_minimizer`] but reusing a key buffer,
+    /// so steady-state callers (one call per query in the minimizer indexes)
+    /// allocate nothing once the buffer has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != ℓ`.
+    pub fn window_minimizer_with(&self, window: &[u8], key_buf: &mut Vec<u64>) -> usize {
         assert_eq!(
             window.len(),
             self.ell,
@@ -87,7 +99,8 @@ impl MinimizerScheme {
             self.ell
         );
         if self.keyer.has_total_keys() {
-            let keys = self.keyer.keys(window);
+            self.keyer.keys_into(window, key_buf);
+            let keys = key_buf.as_slice();
             let mut best = 0usize;
             for (i, &key) in keys.iter().enumerate().skip(1) {
                 if key < keys[best] {

@@ -114,11 +114,21 @@ impl KmerKeyer {
     ///
     /// Returns an empty vector when `|text| < k`.
     pub fn keys(&self, text: &[u8]) -> Vec<u64> {
+        let mut keys = Vec::new();
+        self.keys_into(text, &mut keys);
+        keys
+    }
+
+    /// Like [`KmerKeyer::keys`] but writing into a reused buffer (cleared
+    /// first), so steady-state callers allocate nothing once the buffer has
+    /// warmed up.
+    pub fn keys_into(&self, text: &[u8], keys: &mut Vec<u64>) {
+        keys.clear();
         if text.len() < self.k {
-            return Vec::new();
+            return;
         }
         let count = text.len() - self.k + 1;
-        let mut keys = Vec::with_capacity(count);
+        keys.reserve(count);
         match &self.kind {
             KeyerKind::LexPacked { radix, lead } => {
                 let mut v = 0u64;
@@ -147,7 +157,7 @@ impl KmerKeyer {
                     }
                     rank[idx[w]] = current;
                 }
-                keys = rank;
+                keys.extend_from_slice(&rank);
             }
             KeyerKind::Hash(kr) => {
                 let mut raw = kr.raw(&text[..self.k]);
@@ -158,7 +168,6 @@ impl KmerKeyer {
                 }
             }
         }
-        keys
     }
 }
 

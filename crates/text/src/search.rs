@@ -45,13 +45,25 @@ impl SuffixArraySearcher {
 
     /// All starting positions of `pattern` in the text, in increasing order.
     pub fn find_all(&self, pattern: &[u8]) -> Vec<usize> {
+        let mut positions = Vec::new();
+        self.find_all_into(pattern, &mut positions);
+        positions
+    }
+
+    /// Like [`SuffixArraySearcher::find_all`] but appending into a reused
+    /// buffer (cleared first), so steady-state lookups allocate nothing once
+    /// the buffer has warmed up. [`SuffixArraySearcher::count`] and
+    /// [`SuffixArraySearcher::equal_range`] skip position materialisation
+    /// entirely.
+    pub fn find_all_into(&self, pattern: &[u8], out: &mut Vec<usize>) {
+        out.clear();
         if pattern.is_empty() {
-            return (0..self.text.len()).collect();
+            out.extend(0..self.text.len());
+            return;
         }
         let (lo, hi) = self.equal_range(pattern);
-        let mut positions: Vec<usize> = self.sa[lo..hi].iter().map(|&s| s as usize).collect();
-        positions.sort_unstable();
-        positions
+        out.extend(self.sa[lo..hi].iter().map(|&s| s as usize));
+        out.sort_unstable();
     }
 
     /// Number of occurrences of `pattern`.
@@ -136,5 +148,17 @@ mod tests {
     fn empty_pattern_matches_everywhere() {
         let idx = SuffixArraySearcher::new(b"abc".to_vec());
         assert_eq!(idx.find_all(b""), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn find_all_into_reuses_the_buffer() {
+        let idx = SuffixArraySearcher::new(b"banana".to_vec());
+        let mut buf = vec![99, 98, 97];
+        idx.find_all_into(b"ana", &mut buf);
+        assert_eq!(buf, vec![1, 3]);
+        idx.find_all_into(b"zzz", &mut buf);
+        assert!(buf.is_empty());
+        idx.find_all_into(b"", &mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3, 4, 5]);
     }
 }

@@ -87,7 +87,7 @@ fn main() {
         patterns.len()
     );
 
-    let indexes: Vec<(&str, &dyn UncertainIndex)> = vec![
+    let indexes: Vec<(&str, &(dyn UncertainIndex + Sync))> = vec![
         ("WST", &wst),
         ("WSA", &wsa),
         ("MWST", &mwst),
@@ -104,9 +104,16 @@ fn main() {
         total_naive += naive.query(p, &x).unwrap().len();
     }
     for (name, index) in &indexes {
+        // The serving path: one reused scratch, a reused output vector —
+        // steady-state queries allocate nothing.
+        let mut scratch = QueryScratch::new();
+        let mut occ: Vec<usize> = Vec::new();
         let mut total = 0usize;
         for p in &patterns {
-            let occ = index.query(p, &x).expect("query succeeds");
+            occ.clear();
+            index
+                .query_into(p, &x, &mut scratch, &mut occ)
+                .expect("query succeeds");
             total += occ.len();
         }
         assert_eq!(
@@ -121,4 +128,41 @@ fn main() {
         );
     }
     println!("  all indexes agree with the naive matcher ({total_naive} occurrences in total)");
+
+    // ---------------------------------------------------------------
+    // 3. The batched engine and the non-collecting sinks.
+    // ---------------------------------------------------------------
+    println!();
+    println!("== Batched queries and match sinks ==");
+    // Answer the whole pattern set over MWSA-G with per-worker scratch;
+    // results come back in pattern order no matter how work is scheduled.
+    let executor = QueryBatch::new();
+    let batched = query_batch(&mwsa_g, &patterns, &x, &executor);
+    let batched_total: usize = batched
+        .iter()
+        .map(|entry| entry.as_ref().expect("valid pattern").0.len())
+        .sum();
+    assert_eq!(batched_total, total_naive);
+    println!(
+        "  QueryBatch over {} workers: {} occurrences (identical to single-shot)",
+        executor.threads(),
+        batched_total
+    );
+    // Count-only and first-k sinks skip materialising positions.
+    let mut scratch = QueryScratch::new();
+    let mut count = CountSink::new();
+    let stats = mwsa_g
+        .query_into(&patterns[0], &x, &mut scratch, &mut count)
+        .expect("count query");
+    let mut first = FirstKSink::new(1);
+    mwsa_g
+        .query_into(&patterns[0], &x, &mut scratch, &mut first)
+        .expect("first-k query");
+    println!(
+        "  pattern 0: {} occurrence(s), first at {:?}; {} grid candidate(s), {} grid node(s)",
+        count.count,
+        first.positions.first(),
+        stats.candidates,
+        stats.grid_nodes
+    );
 }

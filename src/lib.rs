@@ -52,6 +52,7 @@
 pub use ius_datasets as datasets;
 pub use ius_grid as grid;
 pub use ius_index as index;
+pub use ius_query as query;
 pub use ius_sampling as sampling;
 pub use ius_text as text;
 pub use ius_weighted as weighted;
@@ -63,8 +64,9 @@ pub mod prelude {
     pub use ius_datasets::registry::{standard_datasets, Dataset, Scale};
     pub use ius_datasets::rssi::RssiConfig;
     pub use ius_index::{
-        IndexParams, IndexVariant, MinimizerIndex, NaiveIndex, SpaceEfficientBuilder,
-        UncertainIndex, Wsa, Wst,
+        query_batch, query_batch_positions, CountSink, FirstKSink, IndexParams, IndexVariant,
+        MatchSink, MinimizerIndex, NaiveIndex, QueryBatch, QueryScratch, QueryStats,
+        SpaceEfficientBuilder, UncertainIndex, Wsa, Wst,
     };
     pub use ius_sampling::{KmerOrder, MinimizerScheme};
     pub use ius_weighted::{Alphabet, HeavyString, WeightedString, ZEstimation};

@@ -1,0 +1,119 @@
+//! Asserts the acceptance criterion of the query-engine overhaul: once a
+//! [`QueryScratch`]'s buffers have warmed up, `query_into` performs **no
+//! heap allocation** on the minimizer-index hot paths (simple and grid
+//! queries, count-only sink).
+//!
+//! This integration test is its own binary, so installing the counting
+//! allocator here affects nothing else in the workspace.
+
+use ius::prelude::*;
+use ius_memtrack::CountingAllocator;
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator::new();
+
+fn workload() -> (WeightedString, ZEstimation, Vec<Vec<u8>>, IndexParams) {
+    let x = PangenomeConfig {
+        n: 2_000,
+        delta: 0.05,
+        seed: 0xA110C,
+        ..Default::default()
+    }
+    .generate();
+    let z = 16.0;
+    let ell = 32usize;
+    let est = ZEstimation::build(&x, z).unwrap();
+    let mut sampler = PatternSampler::new(&est, 77);
+    let mut patterns = sampler.sample_many(ell, 40);
+    patterns.extend(sampler.sample_many(2 * ell, 20));
+    assert!(patterns.len() >= 40, "workload needs patterns");
+    let params = IndexParams::new(z, ell, x.sigma()).unwrap();
+    (x, est, patterns, params)
+}
+
+/// Runs every pattern once to warm the scratch, then asserts that a second
+/// full pass allocates zero heap bytes.
+fn assert_steady_state_allocation_free(variant: IndexVariant, label: &str) {
+    let (x, est, patterns, params) = workload();
+    let index = MinimizerIndex::build_from_estimation(&x, &est, params, variant).unwrap();
+    let mut scratch = QueryScratch::new();
+    let mut sink = CountSink::new();
+
+    // Warm-up pass: buffers grow to the workload's high-water mark.
+    let mut warm_count = 0usize;
+    for pattern in &patterns {
+        index
+            .query_into(pattern, &x, &mut scratch, &mut sink)
+            .unwrap();
+        warm_count = sink.count;
+    }
+
+    // Steady-state pass: must not touch the allocator at all.
+    let (steady_count, mem) = ius_memtrack::measure(|| {
+        let mut sink = CountSink::new();
+        for pattern in &patterns {
+            index
+                .query_into(pattern, &x, &mut scratch, &mut sink)
+                .unwrap();
+        }
+        sink.count
+    });
+    assert!(ius_memtrack::is_installed());
+    assert_eq!(
+        mem.peak_bytes,
+        0,
+        "{label}: steady-state query_into allocated {} bytes over {} queries",
+        mem.peak_bytes,
+        patterns.len()
+    );
+    assert_eq!(mem.retained_bytes, 0, "{label}: steady state retained heap");
+    assert!(
+        steady_count >= warm_count,
+        "{label}: queries kept answering"
+    );
+    assert!(steady_count > 0, "{label}: workload found occurrences");
+}
+
+#[test]
+fn mwsa_simple_query_is_allocation_free_after_warmup() {
+    assert_steady_state_allocation_free(IndexVariant::Array, "MWSA");
+}
+
+#[test]
+fn mwsa_grid_query_is_allocation_free_after_warmup() {
+    assert_steady_state_allocation_free(IndexVariant::ArrayGrid, "MWSA-G");
+}
+
+#[test]
+fn mwst_tree_query_is_allocation_free_after_warmup() {
+    assert_steady_state_allocation_free(IndexVariant::Tree, "MWST");
+}
+
+#[test]
+fn collecting_into_a_warm_reused_vector_is_also_allocation_free() {
+    let (x, est, patterns, params) = workload();
+    let index =
+        MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::ArrayGrid).unwrap();
+    let mut scratch = QueryScratch::new();
+    let mut out: Vec<usize> = Vec::new();
+    let mut high_water = 0usize;
+    for pattern in &patterns {
+        out.clear();
+        index
+            .query_into(pattern, &x, &mut scratch, &mut out)
+            .unwrap();
+        high_water = high_water.max(out.len());
+    }
+    // `out` has warmed to the largest single answer; replaying the workload
+    // into it allocates nothing.
+    let (_, mem) = ius_memtrack::measure(|| {
+        for pattern in &patterns {
+            out.clear();
+            index
+                .query_into(pattern, &x, &mut scratch, &mut out)
+                .unwrap();
+        }
+    });
+    assert_eq!(mem.peak_bytes, 0, "reused collect sink allocated");
+    assert!(high_water > 0);
+}
