@@ -21,6 +21,7 @@ use ius_bench::measure::{
 };
 use ius_bench::query_bench::{render_query_json, run_query_bench, QueryBenchConfig};
 use ius_bench::report::{render_csv, render_table, Row};
+use ius_bench::space_bench::{render_space_json, run_space_bench, SpaceBenchConfig};
 use ius_datasets::registry::{efm_star, human_star, rssi_star, sars_star, Dataset, Scale};
 use ius_datasets::rssi::rssi_scaled;
 use ius_index::IndexParams;
@@ -47,10 +48,12 @@ struct Config {
     default_ell: usize,
     bench_construction: bool,
     bench_query: bool,
+    bench_space: bool,
     bench_n: usize,
     bench_reps: usize,
     bench_patterns: usize,
     bench_threads: Option<usize>,
+    bench_shards: Vec<usize>,
 }
 
 fn main() {
@@ -115,6 +118,29 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
         std::fs::write(&path, &json).expect("write BENCH_query.json");
+        println!("{json}");
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    if config.bench_space {
+        let bench_config = SpaceBenchConfig {
+            n: config.bench_n,
+            reps: config.bench_reps,
+            patterns: config.bench_patterns.min(200),
+            shard_counts: config.bench_shards.clone(),
+        };
+        let results = run_space_bench(&bench_config);
+        let json = render_space_json(&bench_config, &results);
+        let path = config
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_space.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, &json).expect("write BENCH_space.json");
         println!("{json}");
         println!("wrote {}", path.display());
         return;
@@ -196,10 +222,15 @@ fn print_help() {
          \x20 --bench-query        run the before/after query benchmark (old single-shot vs\n\
          \x20                      sink-based engine, single-thread and batched) and write\n\
          \x20                      BENCH_query.json (to --out or the working directory)\n\
+         \x20 --bench-space        run the index-lifecycle space benchmark (footprint,\n\
+         \x20                      serialized size, save/load vs rebuild, sharded vs\n\
+         \x20                      unsharded throughput) and write BENCH_space.json\n\
          \x20 --bench-n <n>        string length for --bench-* (default 100000)\n\
          \x20 --bench-reps <r>     repetitions per timed side for --bench-* (default 3)\n\
-         \x20 --bench-patterns <p> query patterns per dataset for --bench-query (default 400)\n\
+         \x20 --bench-patterns <p> query patterns per dataset for --bench-query/--bench-space\n\
+         \x20                      (default 400; the space bench caps at 200)\n\
          \x20 --bench-threads <t>  batch workers for --bench-query (default: all CPUs)\n\
+         \x20 --bench-shards <s,..> shard counts for --bench-space (default 1,4,8)\n\
          \x20 --list               list experiments\n"
     );
 }
@@ -212,10 +243,12 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut full_sweep = false;
     let mut bench_construction = false;
     let mut bench_query = false;
+    let mut bench_space = false;
     let mut bench_n = 100_000usize;
     let mut bench_reps = 3usize;
     let mut bench_patterns = 400usize;
     let mut bench_threads = None;
+    let mut bench_shards = vec![1usize, 4, 8];
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -226,6 +259,23 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
             "--bench-query" => {
                 bench_query = true;
                 i += 1;
+            }
+            "--bench-space" => {
+                bench_space = true;
+                i += 1;
+            }
+            "--bench-shards" => {
+                bench_shards = args
+                    .get(i + 1)
+                    .ok_or("--bench-shards needs a value")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map_err(|e| format!("bad --bench-shards: {e}"))?;
+                if bench_shards.is_empty() || bench_shards.contains(&0) {
+                    return Err("--bench-shards needs positive shard counts".into());
+                }
+                i += 2;
             }
             "--bench-n" => {
                 bench_n = args
@@ -315,10 +365,12 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         default_ell: 256,
         bench_construction,
         bench_query,
+        bench_space,
         bench_n,
         bench_reps,
         bench_patterns,
         bench_threads,
+        bench_shards,
     })
 }
 

@@ -13,6 +13,7 @@
 //! timing is trusted.
 
 use ius_datasets::pangenome::PangenomeConfig;
+use ius_datasets::rssi::rssi_like;
 use ius_datasets::uniform::UniformConfig;
 use ius_index::{IndexParams, IndexVariant, MinimizerIndex};
 use ius_sampling::{KmerOrder, MinimizerScheme};
@@ -266,6 +267,20 @@ pub fn run_construction_bench(config: &ConstructionBenchConfig) -> Vec<DatasetBe
         &pangenome,
         32.0,
         128,
+        reps,
+    ));
+
+    // Sensor-style strings (the paper's RSSI regime): σ = 91, every position
+    // uncertain, concentrated distributions. Solid windows are short here
+    // (heavy mass ≈ 0.69 per position), so ℓ = 8 at z = 64 is the workable
+    // pattern-length regime.
+    let rssi = rssi_like(n, 0x0551);
+    results.push(bench_dataset(
+        "rssi",
+        "sigma=91 channels=16 seed=0x0551".into(),
+        &rssi,
+        64.0,
+        8,
         reps,
     ));
 

@@ -14,9 +14,11 @@ pub mod experiments;
 pub mod measure;
 pub mod query_bench;
 pub mod report;
+pub mod space_bench;
 
 pub use construction::{ConstructionBenchConfig, DatasetBench, StageTiming};
 pub use experiments::{Experiment, ExperimentId};
 pub use measure::{BuildMeasurement, IndexKind, QueryMeasurement};
 pub use query_bench::{FamilyQueryBench, QueryBenchConfig, QueryDatasetBench};
 pub use report::Row;
+pub use space_bench::{FamilySpaceBench, ShardBench, SpaceBenchConfig, SpaceDatasetBench};

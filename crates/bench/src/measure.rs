@@ -1,10 +1,7 @@
 //! Measurement helpers: wall-clock, peak heap, index size and query latency.
 
 use ius_datasets::patterns::PatternSampler;
-use ius_index::{
-    IndexParams, IndexStats, IndexVariant, MinimizerIndex, SpaceEfficientBuilder, UncertainIndex,
-    Wsa, Wst,
-};
+use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexStats, IndexVariant, UncertainIndex};
 use ius_weighted::{Result, WeightedString, ZEstimation};
 use std::time::{Duration, Instant};
 
@@ -65,9 +62,29 @@ impl IndexKind {
         }
     }
 
+    /// The builder-layer family this kind maps to. All construction now goes
+    /// through the unified [`IndexSpec`] entry point — the per-family match
+    /// arms this harness used to hand-roll live in `ius_index::builder`.
+    pub fn family(&self) -> IndexFamily {
+        match self {
+            IndexKind::Wst => IndexFamily::Wst,
+            IndexKind::Wsa => IndexFamily::Wsa,
+            IndexKind::Mwst => IndexFamily::Minimizer(IndexVariant::Tree),
+            IndexKind::Mwsa => IndexFamily::Minimizer(IndexVariant::Array),
+            IndexKind::MwstG => IndexFamily::Minimizer(IndexVariant::TreeGrid),
+            IndexKind::MwsaG => IndexFamily::Minimizer(IndexVariant::ArrayGrid),
+            IndexKind::MwstSe => IndexFamily::SpaceEfficient(IndexVariant::Tree),
+        }
+    }
+
+    /// The buildable descriptor of this kind under the given parameters.
+    pub fn spec(&self, params: IndexParams) -> IndexSpec {
+        IndexSpec::new(self.family(), params)
+    }
+
     /// Does constructing this index require the explicit z-estimation?
     pub fn needs_estimation(&self) -> bool {
-        !matches!(self, IndexKind::MwstSe)
+        self.family().needs_estimation()
     }
 
     /// Is this one of the `Θ(nz)`-sized baselines?
@@ -75,7 +92,7 @@ impl IndexKind {
         matches!(self, IndexKind::Wst | IndexKind::Wsa)
     }
 
-    /// Builds the index.
+    /// Builds the index through the unified builder layer.
     ///
     /// `estimation` must be `Some` for every kind except [`IndexKind::MwstSe`].
     ///
@@ -88,38 +105,21 @@ impl IndexKind {
         estimation: Option<&ZEstimation>,
         params: IndexParams,
     ) -> Result<Box<dyn UncertainIndex + Sync>> {
-        let est = || estimation.expect("estimation required for this index kind");
-        Ok(match self {
-            IndexKind::Wst => Box::new(Wst::build_from_estimation(est())?),
-            IndexKind::Wsa => Box::new(Wsa::build_from_estimation(est())?),
-            IndexKind::Mwst => Box::new(MinimizerIndex::build_from_estimation(
-                x,
-                est(),
-                params,
-                IndexVariant::Tree,
-            )?),
-            IndexKind::Mwsa => Box::new(MinimizerIndex::build_from_estimation(
-                x,
-                est(),
-                params,
-                IndexVariant::Array,
-            )?),
-            IndexKind::MwstG => Box::new(MinimizerIndex::build_from_estimation(
-                x,
-                est(),
-                params,
-                IndexVariant::TreeGrid,
-            )?),
-            IndexKind::MwsaG => Box::new(MinimizerIndex::build_from_estimation(
-                x,
-                est(),
-                params,
-                IndexVariant::ArrayGrid,
-            )?),
-            IndexKind::MwstSe => {
-                Box::new(SpaceEfficientBuilder::new(params).build(x, IndexVariant::Tree)?)
+        let spec = self.spec(params);
+        // Fail loudly on misuse rather than silently re-deriving the
+        // estimation inside the caller's timed/measured region (its cost is
+        // folded in separately by `measure_build`).
+        assert!(
+            estimation.is_some() || !spec.family.needs_estimation(),
+            "estimation required for this index kind"
+        );
+        let index = match estimation {
+            Some(estimation) if spec.family.needs_estimation() => {
+                spec.build_with_estimation(x, estimation)?
             }
-        })
+            _ => spec.build(x)?,
+        };
+        Ok(Box::new(index))
     }
 }
 

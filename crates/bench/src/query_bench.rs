@@ -19,6 +19,7 @@
 
 use ius_datasets::pangenome::PangenomeConfig;
 use ius_datasets::patterns::PatternSampler;
+use ius_datasets::rssi::rssi_like;
 use ius_datasets::uniform::UniformConfig;
 use ius_index::{
     query_batch, IndexParams, IndexVariant, MinimizerIndex, QueryBatch, QueryScratch,
@@ -347,6 +348,18 @@ pub fn run_query_bench(config: &QueryBenchConfig) -> Vec<QueryDatasetBench> {
         config,
     ));
 
+    // Sensor-style strings (the paper's RSSI regime): large alphabet, every
+    // position uncertain, short solid windows — ℓ = 8 at z = 64.
+    let rssi = rssi_like(n, 0x0551);
+    results.push(bench_dataset(
+        "rssi",
+        "sigma=91 channels=16 seed=0x0551".into(),
+        &rssi,
+        64.0,
+        8,
+        config,
+    ));
+
     results
 }
 
@@ -419,7 +432,7 @@ mod tests {
             threads: 2,
         };
         let results = run_query_bench(&config);
-        assert_eq!(results.len(), 3);
+        assert_eq!(results.len(), 4);
         let json = render_query_json(&config, &results);
         for d in &results {
             assert!(!d.families.is_empty());

@@ -1,0 +1,490 @@
+//! The index-lifecycle space benchmark behind `reproduce --bench-space` and
+//! `BENCH_space.json`.
+//!
+//! The paper sells its indexes on *space*; this benchmark makes the byte
+//! footprint a first-class measured artifact alongside the construction and
+//! query timings. Per family it reports the in-memory footprint
+//! (`size_bytes()`, cross-checked against the counting allocator by
+//! `tests/size_accounting.rs`), the serialized file size, save/load wall
+//! times over in-memory buffers, and the load-vs-rebuild speedup — loading
+//! never re-runs construction (no z-estimation, no suffix sorting, no tree
+//! merging), so it beats a rebuild by an order of magnitude and makes
+//! build-once / serve-many deployments practical. A second section measures
+//! sharded ([`ius_index::ShardedIndex`]) vs unsharded query throughput at
+//! `S ∈ {1, 4, 8}`.
+//!
+//! Correctness is asserted before any number is trusted: every loaded index
+//! must answer the pattern set exactly like the index it was saved from (and
+//! re-save byte-identically), and every sharded configuration must answer
+//! exactly like the unsharded index.
+
+use ius_datasets::pangenome::PangenomeConfig;
+use ius_datasets::patterns::PatternSampler;
+use ius_datasets::rssi::rssi_like;
+use ius_datasets::uniform::UniformConfig;
+use ius_index::{
+    load_index, AnyIndex, IndexFamily, IndexParams, IndexSpec, IndexVariant, QueryScratch,
+    ShardedIndex, UncertainIndex,
+};
+use ius_weighted::{WeightedString, ZEstimation};
+use std::time::Instant;
+
+/// Above this `n·⌊z⌋` product the WST baseline is skipped (same budget rule
+/// as the query benchmark).
+const WST_NZ_LIMIT: usize = 1_500_000;
+
+/// Parameters of one space-benchmark run.
+#[derive(Debug, Clone)]
+pub struct SpaceBenchConfig {
+    /// Length of the generated weighted strings.
+    pub n: usize,
+    /// Repetitions per timed side (the minimum is reported).
+    pub reps: usize,
+    /// Query patterns per dataset (half at ℓ, half at 2ℓ).
+    pub patterns: usize,
+    /// Shard counts of the sharded-vs-unsharded throughput section.
+    pub shard_counts: Vec<usize>,
+}
+
+impl Default for SpaceBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            reps: 3,
+            patterns: 200,
+            shard_counts: vec![1, 4, 8],
+        }
+    }
+}
+
+/// Footprint and save/load timings of one family on one dataset.
+#[derive(Debug, Clone)]
+pub struct FamilySpaceBench {
+    /// Family label (`WSA`, `MWSA-G`, …).
+    pub family: String,
+    /// In-memory footprint reported by `size_bytes()`.
+    pub size_bytes: usize,
+    /// Length of the serialized representation.
+    pub file_bytes: usize,
+    /// Milliseconds to serialize (into a reused in-memory buffer).
+    pub save_ms: f64,
+    /// Milliseconds to deserialize.
+    pub load_ms: f64,
+    /// Milliseconds of a from-scratch rebuild (including the z-estimation
+    /// where the family needs one).
+    pub rebuild_ms: f64,
+}
+
+impl FamilySpaceBench {
+    /// `rebuild / load`: how much faster loading is than rebuilding.
+    pub fn load_speedup(&self) -> f64 {
+        self.rebuild_ms / self.load_ms
+    }
+}
+
+/// One sharded configuration's build cost, footprint and query latency.
+#[derive(Debug, Clone)]
+pub struct ShardBench {
+    /// Number of shards requested.
+    pub shards: usize,
+    /// Milliseconds to build all per-shard indexes.
+    pub build_ms: f64,
+    /// Aggregate footprint (per-shard indexes + owned chunks).
+    pub size_bytes: usize,
+    /// Microseconds per query through the routing executor.
+    pub query_us: f64,
+}
+
+/// All space measurements for one dataset configuration.
+#[derive(Debug, Clone)]
+pub struct SpaceDatasetBench {
+    /// Dataset label (`uniform`, `pangenome`, `rssi`).
+    pub name: String,
+    /// Human-readable generator parameters.
+    pub params: String,
+    /// Weight threshold z.
+    pub z: f64,
+    /// Minimum pattern length ℓ the indexes were built for.
+    pub ell: usize,
+    /// Per-family footprint and persistence timings.
+    pub families: Vec<FamilySpaceBench>,
+    /// Family used in the sharding section.
+    pub shard_family: String,
+    /// Microseconds per query of the unsharded shard-section family.
+    pub unsharded_query_us: f64,
+    /// Sharded configurations (one per shard count).
+    pub sharded: Vec<ShardBench>,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(ms(t));
+        out = Some(v);
+    }
+    (out.expect("at least one rep"), best)
+}
+
+/// Answers every pattern once with a reused scratch/output buffer and
+/// returns (total occurrences, microseconds per query, min over `reps`).
+fn time_queries(
+    index: &dyn UncertainIndex,
+    x: &WeightedString,
+    patterns: &[Vec<u8>],
+    reps: usize,
+) -> (usize, f64) {
+    let mut scratch = QueryScratch::new();
+    let mut out: Vec<usize> = Vec::new();
+    let (total, total_ms) = time_min(reps, || {
+        let mut total = 0usize;
+        for pattern in patterns {
+            out.clear();
+            index
+                .query_into(pattern, x, &mut scratch, &mut out)
+                .expect("query");
+            total += out.len();
+        }
+        total
+    });
+    (total, total_ms * 1e3 / patterns.len() as f64)
+}
+
+/// Measures one family: footprint, serialized size, save/load/rebuild times,
+/// with the loaded index asserted identical before timing is trusted.
+fn bench_family(
+    spec: IndexSpec,
+    x: &WeightedString,
+    estimation: &ZEstimation,
+    patterns: &[Vec<u8>],
+    config: &SpaceBenchConfig,
+) -> FamilySpaceBench {
+    let label = spec.family.name();
+    let index = spec.build_with_estimation(x, estimation).expect("build");
+
+    // Serialize once for correctness checks, then time both directions.
+    let mut bytes = Vec::new();
+    index.save_to(&mut bytes).expect("save");
+    let loaded = load_index(&mut bytes.as_slice()).expect("load");
+    let mut resaved = Vec::new();
+    loaded.save_to(&mut resaved).expect("re-save");
+    assert_eq!(bytes, resaved, "{label}: re-save not byte-identical");
+    assert_eq!(
+        loaded.size_bytes(),
+        index.size_bytes(),
+        "{label}: size drift"
+    );
+    let mut scratch = QueryScratch::new();
+    for pattern in patterns {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        index
+            .query_into(pattern, x, &mut scratch, &mut a)
+            .expect("query");
+        loaded
+            .query_into(pattern, x, &mut scratch, &mut b)
+            .expect("loaded query");
+        assert_eq!(a, b, "{label}: loaded index answers differently");
+    }
+
+    let mut buf = Vec::with_capacity(bytes.len());
+    let (_, save_ms) = time_min(config.reps, || {
+        buf.clear();
+        index.save_to(&mut buf).expect("save");
+        buf.len()
+    });
+    let (reloaded, load_ms) = time_min(config.reps, || {
+        load_index(&mut bytes.as_slice()).expect("load")
+    });
+    drop::<AnyIndex>(reloaded);
+    // The rebuild side runs the full from-scratch construction, including
+    // the z-estimation for the families that need it — the cost a serving
+    // process pays when it cannot load.
+    let (rebuilt, rebuild_ms) = time_min(config.reps, || spec.build(x).expect("rebuild"));
+    assert_eq!(rebuilt.size_bytes(), index.size_bytes());
+
+    let result = FamilySpaceBench {
+        family: label.to_string(),
+        size_bytes: index.size_bytes(),
+        file_bytes: bytes.len(),
+        save_ms,
+        load_ms,
+        rebuild_ms,
+    };
+    eprintln!(
+        "  {label:<8} size {:>8.2} MB  file {:>8.2} MB  save {:>7.1} ms  load {:>7.1} ms  \
+         rebuild {:>8.1} ms  ({:.1}x)",
+        result.size_bytes as f64 / 1e6,
+        result.file_bytes as f64 / 1e6,
+        result.save_ms,
+        result.load_ms,
+        result.rebuild_ms,
+        result.load_speedup(),
+    );
+    result
+}
+
+/// Benchmarks one `(x, z, ℓ)` configuration: per-family persistence plus the
+/// sharded-vs-unsharded throughput section.
+fn bench_dataset(
+    name: &str,
+    params_label: String,
+    x: &WeightedString,
+    z: f64,
+    ell: usize,
+    config: &SpaceBenchConfig,
+) -> SpaceDatasetBench {
+    eprintln!(
+        "[bench-space] {name} (n = {}, z = {z}, ell = {ell}, {} patterns)",
+        x.len(),
+        config.patterns
+    );
+    let estimation = ZEstimation::build(x, z).expect("estimation");
+    let mut sampler = PatternSampler::new(&estimation, 0x5ACE);
+    let mut patterns = sampler.sample_many(ell, config.patterns / 2);
+    patterns.extend(sampler.sample_many(2 * ell, config.patterns - config.patterns / 2));
+    assert!(
+        !patterns.is_empty(),
+        "{name}: no solid patterns of length {ell} — pick a smaller ell"
+    );
+
+    let index_params = IndexParams::new(z, ell, x.sigma()).expect("params");
+    let mut families_to_run = vec![IndexFamily::Wsa];
+    let nz = x.len() * z.floor() as usize;
+    if nz <= WST_NZ_LIMIT {
+        families_to_run.push(IndexFamily::Wst);
+    } else {
+        eprintln!("  [skip] WST (n·z = {nz} exceeds the build budget)");
+    }
+    families_to_run.extend([
+        IndexFamily::Minimizer(IndexVariant::Tree),
+        IndexFamily::Minimizer(IndexVariant::Array),
+        IndexFamily::Minimizer(IndexVariant::TreeGrid),
+        IndexFamily::Minimizer(IndexVariant::ArrayGrid),
+    ]);
+    let families: Vec<FamilySpaceBench> = families_to_run
+        .into_iter()
+        .map(|family| {
+            bench_family(
+                IndexSpec::new(family, index_params),
+                x,
+                &estimation,
+                &patterns,
+                config,
+            )
+        })
+        .collect();
+
+    // Sharded vs unsharded throughput on the grid-array family (the paper's
+    // strongest query configuration). Patterns reach 2ℓ, so the shard
+    // overlap is 2ℓ − 1.
+    let shard_spec = IndexSpec::new(
+        IndexFamily::Minimizer(IndexVariant::ArrayGrid),
+        index_params,
+    );
+    let unsharded = shard_spec
+        .build_with_estimation(x, &estimation)
+        .expect("unsharded");
+    let expected: Vec<Vec<usize>> = patterns
+        .iter()
+        .map(|p| unsharded.query(p, x).expect("unsharded query"))
+        .collect();
+    let (_, unsharded_query_us) = time_queries(&unsharded, x, &patterns, config.reps);
+    let mut sharded_results = Vec::new();
+    for &shards in &config.shard_counts {
+        let (sharded, build_ms) = time_min(1, || {
+            ShardedIndex::build(x, shard_spec, shards, 2 * ell).expect("sharded build")
+        });
+        for (pattern, expect) in patterns.iter().zip(&expected) {
+            assert_eq!(
+                &sharded.query(pattern, x).expect("sharded query"),
+                expect,
+                "S = {shards}: sharded output differs from unsharded"
+            );
+        }
+        let (_, query_us) = time_queries(&sharded, x, &patterns, config.reps);
+        eprintln!(
+            "  sharded S={shards:<2} build {build_ms:>8.1} ms  size {:>8.2} MB  query {query_us:>8.2} us \
+             (unsharded {unsharded_query_us:.2} us)",
+            sharded.size_bytes() as f64 / 1e6,
+        );
+        sharded_results.push(ShardBench {
+            shards,
+            build_ms,
+            size_bytes: sharded.size_bytes(),
+            query_us,
+        });
+    }
+
+    SpaceDatasetBench {
+        name: name.to_string(),
+        params: params_label,
+        z,
+        ell,
+        families,
+        shard_family: shard_spec.family.name().to_string(),
+        unsharded_query_us,
+        sharded: sharded_results,
+    }
+}
+
+/// Runs the full space benchmark on the uniform, pangenome and RSSI corpora.
+pub fn run_space_bench(config: &SpaceBenchConfig) -> Vec<SpaceDatasetBench> {
+    let n = config.n;
+    let mut results = Vec::new();
+
+    let uniform = UniformConfig {
+        n,
+        sigma: 4,
+        spread: 0.05,
+        seed: 0xBEC,
+    }
+    .generate();
+    results.push(bench_dataset(
+        "uniform",
+        "sigma=4 spread=0.05 seed=0xBEC".into(),
+        &uniform,
+        8.0,
+        64,
+        config,
+    ));
+
+    let pangenome = PangenomeConfig {
+        n,
+        delta: 0.05,
+        seed: 0xDA7A,
+        ..Default::default()
+    }
+    .generate();
+    results.push(bench_dataset(
+        "pangenome",
+        "delta=0.05 seed=0xDA7A".into(),
+        &pangenome,
+        32.0,
+        128,
+        config,
+    ));
+
+    // Sensor-style strings (the paper's RSSI regime): σ = 91, short solid
+    // windows, ℓ = 8 at z = 64.
+    let rssi = rssi_like(n, 0x0551);
+    results.push(bench_dataset(
+        "rssi",
+        "sigma=91 channels=16 seed=0x0551".into(),
+        &rssi,
+        64.0,
+        8,
+        config,
+    ));
+
+    results
+}
+
+/// Renders the benchmark results as the `BENCH_space.json` document.
+pub fn render_space_json(config: &SpaceBenchConfig, results: &[SpaceDatasetBench]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {},\n",
+        config.n, config.patterns, config.reps
+    ));
+    out.push_str(
+        "  \"note\": \"size_bytes = in-memory footprint reported by the index (cross-checked \
+         against the counting allocator in tests/size_accounting.rs); file_bytes = serialized \
+         size of the versioned binary format; save/load are timed over in-memory buffers and \
+         rebuild runs the full from-scratch construction including the z-estimation where the \
+         family needs it (minimum over the same repetition count on every side). Loading never \
+         re-runs construction. Before timing, every loaded index is asserted byte-identical on \
+         re-save and answer-identical on the pattern set, and every sharded configuration is \
+         asserted answer-identical to the unsharded index. Sharded query times route through \
+         the QueryBatch executor with per-shard scratch — on a single-CPU host they measure \
+         the routing overhead, not parallelism.\",\n",
+    );
+    out.push_str("  \"datasets\": [\n");
+    for (i, d) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", d.name));
+        out.push_str(&format!("      \"params\": \"{}\",\n", d.params));
+        out.push_str(&format!("      \"z\": {}, \"ell\": {},\n", d.z, d.ell));
+        out.push_str("      \"families\": [\n");
+        for (j, f) in d.families.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"family\": \"{}\", \"size_bytes\": {}, \"file_bytes\": {}, \
+                 \"save_ms\": {:.2}, \"load_ms\": {:.2}, \"rebuild_ms\": {:.2}, \
+                 \"load_speedup\": {:.2}, \"loaded_outputs_identical\": true }}{}\n",
+                f.family,
+                f.size_bytes,
+                f.file_bytes,
+                f.save_ms,
+                f.load_ms,
+                f.rebuild_ms,
+                f.load_speedup(),
+                if j + 1 == d.families.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"shard_family\": \"{}\", \"unsharded_query_us\": {:.3},\n",
+            d.shard_family, d.unsharded_query_us
+        ));
+        out.push_str("      \"sharded\": [\n");
+        for (j, s) in d.sharded.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"shards\": {}, \"build_ms\": {:.2}, \"size_bytes\": {}, \
+                 \"query_us\": {:.3}, \"outputs_identical_to_unsharded\": true }}{}\n",
+                s.shards,
+                s.build_ms,
+                s.size_bytes,
+                s.query_us,
+                if j + 1 == d.sharded.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_asserts_round_trips_and_renders_json() {
+        // A tiny end-to-end run; the assertions inside bench_family and the
+        // sharded section are the real test. Shard counts kept small so the
+        // smallest corpus still admits them.
+        let config = SpaceBenchConfig {
+            n: 3_000,
+            reps: 1,
+            patterns: 10,
+            shard_counts: vec![1, 2],
+        };
+        let results = run_space_bench(&config);
+        assert_eq!(results.len(), 3);
+        let json = render_space_json(&config, &results);
+        for d in &results {
+            assert!(!d.families.is_empty());
+            assert_eq!(d.sharded.len(), 2);
+            for f in &d.families {
+                assert!(json.contains(&format!("\"family\": \"{}\"", f.family)));
+                assert!(f.size_bytes > 0 && f.file_bytes > 0);
+                assert!(f.save_ms >= 0.0 && f.load_ms > 0.0 && f.rebuild_ms > 0.0);
+            }
+            for s in &d.sharded {
+                assert!(s.size_bytes > 0 && s.query_us > 0.0);
+            }
+        }
+    }
+}

@@ -25,7 +25,7 @@ pub mod naive;
 pub mod reporter;
 
 pub use naive::NaiveGrid;
-pub use reporter::RangeReporter;
+pub use reporter::{RangeReporter, ReporterParts};
 
 /// A point of the grid: a pair of leaf ranks plus an opaque payload
 /// (the index stores the minimizer label it needs to verify a candidate).

@@ -2,6 +2,25 @@
 
 use crate::{GridPoint, Rect};
 
+/// The flat representation of a [`RangeReporter`], used by the persistence
+/// layer to save the structure without re-running the `O(N log N)` merge on
+/// load. `node_lens[i]` is the number of `(y, payload)` entries of segment
+/// tree node `i`; the entries themselves are concatenated in node order in
+/// `ys`/`payloads`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReporterParts {
+    /// Number of stored points.
+    pub len: u64,
+    /// x-coordinate of each point in x-sorted order.
+    pub xs: Vec<u32>,
+    /// Entry count per segment-tree node (always `2 · size` nodes).
+    pub node_lens: Vec<u32>,
+    /// Concatenated y-values of all nodes' entries.
+    pub ys: Vec<u32>,
+    /// Concatenated payloads of all nodes' entries.
+    pub payloads: Vec<u32>,
+}
+
 /// A static merge-sort tree over a point set.
 ///
 /// Points are sorted by `x`; a perfect binary segment tree is laid over that
@@ -51,6 +70,12 @@ impl RangeReporter {
             merged.extend_from_slice(&a[i..]);
             merged.extend_from_slice(&b[j..]);
             node_points[node] = merged;
+        }
+        // Leaf vectors were grown by `push` and may hold slack capacity;
+        // release it so the retained footprint is minimal and matches a
+        // reloaded copy of the structure.
+        for node in &mut node_points {
+            node.shrink_to_fit();
         }
         Self {
             size,
@@ -175,6 +200,80 @@ impl RangeReporter {
             + nodes
             + self.node_points.capacity() * std::mem::size_of::<Vec<(u32, u32)>>()
     }
+
+    /// Exports the structure as its flat representation (see
+    /// [`ReporterParts`]).
+    pub fn to_parts(&self) -> ReporterParts {
+        let total: usize = self.node_points.iter().map(Vec::len).sum();
+        let mut parts = ReporterParts {
+            len: self.len as u64,
+            xs: self.xs.clone(),
+            node_lens: Vec::with_capacity(self.node_points.len()),
+            ys: Vec::with_capacity(total),
+            payloads: Vec::with_capacity(total),
+        };
+        for node in &self.node_points {
+            parts.node_lens.push(node.len() as u32);
+            for &(y, payload) in node {
+                parts.ys.push(y);
+                parts.payloads.push(payload);
+            }
+        }
+        parts
+    }
+
+    /// Reassembles the structure from its flat representation — the inverse
+    /// of [`RangeReporter::to_parts`], in linear time (the merge-sort tree is
+    /// *not* rebuilt).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural inconsistency.
+    pub fn from_parts(parts: ReporterParts) -> Result<Self, String> {
+        let len = parts.len as usize;
+        if parts.xs.len() != len {
+            return Err(format!(
+                "xs has {} entries for {len} points",
+                parts.xs.len()
+            ));
+        }
+        let size = len.next_power_of_two().max(1);
+        if parts.node_lens.len() != 2 * size {
+            return Err(format!(
+                "expected {} segment-tree nodes, found {}",
+                2 * size,
+                parts.node_lens.len()
+            ));
+        }
+        let total: usize = parts.node_lens.iter().map(|&l| l as usize).sum();
+        if parts.ys.len() != total || parts.payloads.len() != total {
+            return Err("entry arrays do not match the per-node lengths".into());
+        }
+        let mut node_points = Vec::with_capacity(2 * size);
+        let mut offset = 0usize;
+        for &node_len in &parts.node_lens {
+            let node_len = node_len as usize;
+            let node: Vec<(u32, u32)> = parts.ys[offset..offset + node_len]
+                .iter()
+                .zip(&parts.payloads[offset..offset + node_len])
+                .map(|(&y, &payload)| (y, payload))
+                .collect();
+            if node.windows(2).any(|w| w[0].0 > w[1].0) {
+                return Err("a segment-tree node's entries are not y-sorted".into());
+            }
+            node_points.push(node);
+            offset += node_len;
+        }
+        if parts.xs.windows(2).any(|w| w[0] > w[1]) {
+            return Err("point x-coordinates are not sorted".into());
+        }
+        Ok(Self {
+            size,
+            len,
+            xs: parts.xs,
+            node_points,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +367,44 @@ mod tests {
                 assert!(nodes_into > 0);
             }
         }
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_reports() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [0usize, 1, 5, 100] {
+            let points = random_points(n, n as u64 + 7);
+            let original = RangeReporter::new(points);
+            let rebuilt = RangeReporter::from_parts(original.to_parts()).unwrap();
+            assert_eq!(rebuilt.len(), original.len());
+            for _ in 0..50 {
+                let x1 = rng.gen_range(0..=(n as u32 + 2));
+                let x2 = rng.gen_range(0..=(n as u32 + 2));
+                let y1 = rng.gen_range(0..=(n as u32 + 2));
+                let y2 = rng.gen_range(0..=(n as u32 + 2));
+                let rect = Rect::new((x1.min(x2), x1.max(x2)), (y1.min(y2), y1.max(y2)));
+                assert_eq!(rebuilt.report(&rect), original.report(&rect));
+            }
+            assert_eq!(rebuilt.to_parts(), original.to_parts());
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupted_input() {
+        let original = RangeReporter::new(random_points(9, 1));
+        let good = original.to_parts();
+        let mut bad = good.clone();
+        bad.xs.pop();
+        assert!(RangeReporter::from_parts(bad).is_err());
+        let mut bad = good.clone();
+        bad.node_lens.pop();
+        assert!(RangeReporter::from_parts(bad).is_err());
+        let mut bad = good.clone();
+        bad.ys.push(0);
+        assert!(RangeReporter::from_parts(bad).is_err());
+        let mut bad = good;
+        bad.xs.reverse();
+        assert!(RangeReporter::from_parts(bad).is_err());
     }
 
     #[test]

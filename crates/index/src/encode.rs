@@ -299,6 +299,117 @@ impl EncodedFactorSet {
         partition_point_in(self.len(), pred)
     }
 
+    // ---- persistence support (see `crate::persist`) --------------------
+
+    /// Anchors in `X` coordinates, per sorted leaf.
+    pub(crate) fn anchor_x_raw(&self) -> &[u32] {
+        &self.anchor_x
+    }
+
+    /// Factor lengths, per sorted leaf.
+    pub(crate) fn lens_raw(&self) -> &[u32] {
+        &self.lens
+    }
+
+    /// Strand ids, per sorted leaf.
+    pub(crate) fn strands_raw(&self) -> &[u32] {
+        &self.strands
+    }
+
+    /// Mismatch offsets (one per leaf plus the trailing total).
+    pub(crate) fn mism_start_raw(&self) -> &[u32] {
+        &self.mism_start
+    }
+
+    /// The concatenated mismatch storage.
+    pub(crate) fn mismatches_raw(&self) -> &[Mismatch] {
+        &self.mismatches
+    }
+
+    /// The packed prefix keys (empty for reference-built sets).
+    pub(crate) fn prefix_keys_raw(&self) -> &[u64] {
+        &self.prefix_keys
+    }
+
+    /// Reassembles a set from its persisted parts. `heavy_view` must be the
+    /// heavy string read in the set's direction (shared for forward sets,
+    /// an owned reversed copy for backward sets); anchor view coordinates
+    /// and the mismatch log-ratios are recomputed (both are derived data —
+    /// no construction, i.e. no sorting, is re-run).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural inconsistency.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_loaded_parts(
+        direction: Direction,
+        heavy_view: Arc<Vec<u8>>,
+        anchor_x: Vec<u32>,
+        lens: Vec<u32>,
+        strands: Vec<u32>,
+        mism_start: Vec<u32>,
+        mismatches: Vec<Mismatch>,
+        prefix_keys: Vec<u64>,
+    ) -> Result<EncodedFactorSet, String> {
+        let n = heavy_view.len();
+        let leaves = anchor_x.len();
+        if lens.len() != leaves || strands.len() != leaves {
+            return Err("factor-set leaf arrays have inconsistent lengths".into());
+        }
+        if mism_start.len() != leaves + 1 || mism_start.first().copied().unwrap_or(1) != 0 {
+            return Err("mismatch offset table is malformed".into());
+        }
+        if mism_start.windows(2).any(|w| w[0] > w[1])
+            || mism_start.last().map(|&v| v as usize) != Some(mismatches.len())
+        {
+            return Err("mismatch offsets do not cover the mismatch storage".into());
+        }
+        if !prefix_keys.is_empty() && prefix_keys.len() != leaves {
+            return Err("prefix-key table length does not match the leaf count".into());
+        }
+        let mut anchor_view = Vec::with_capacity(leaves);
+        for (leaf, &a) in anchor_x.iter().enumerate() {
+            let view = match direction {
+                Direction::Forward => a as usize,
+                Direction::Backward => {
+                    if a as usize >= n {
+                        return Err(format!("anchor {a} of leaf {leaf} out of range"));
+                    }
+                    n - 1 - a as usize
+                }
+            };
+            if view + lens[leaf] as usize > n {
+                return Err(format!("factor of leaf {leaf} runs past the heavy view"));
+            }
+            anchor_view.push(view as u32);
+        }
+        for (leaf, window) in mism_start.windows(2).enumerate() {
+            let (lo, hi) = (window[0] as usize, window[1] as usize);
+            // Ratios are probability quotients: strictly positive and finite,
+            // or the recomputed log-ratios would be NaN/-inf and silently
+            // corrupt grid verification.
+            if mismatches[lo..hi]
+                .iter()
+                .any(|m| m.depth >= lens[leaf] || !m.ratio.is_finite() || m.ratio <= 0.0)
+            {
+                return Err(format!("mismatch of leaf {leaf} is out of range"));
+            }
+        }
+        let mism_log_ratios: Vec<f64> = mismatches.iter().map(|m| m.ratio.ln()).collect();
+        Ok(EncodedFactorSet {
+            direction,
+            heavy_view,
+            anchor_view,
+            anchor_x,
+            lens,
+            strands,
+            mism_start,
+            mismatches,
+            mism_log_ratios,
+            prefix_keys,
+        })
+    }
+
     /// Compares the full factor of `leaf` with `pattern` (pattern treated as
     /// a plain string; a factor that is a proper prefix of the pattern is
     /// smaller). Pre-overhaul letter-at-a-time comparator, retained for
@@ -874,6 +985,61 @@ mod tests {
         assert_eq!(set.mismatches(0).len(), 1);
         assert_eq!(set.total_mismatches(), 1);
         assert!(set.memory_bytes() > set.memory_bytes_without_heavy());
+    }
+
+    #[test]
+    fn loaded_parts_validation_rejects_corruption() {
+        let heavy: Arc<Vec<u8>> = Arc::new(vec![0, 1, 0, 1, 0]);
+        let good = |ratio: f64| {
+            EncodedFactorSet::from_loaded_parts(
+                Direction::Forward,
+                Arc::clone(&heavy),
+                vec![1],
+                vec![3],
+                vec![0],
+                vec![0, 1],
+                vec![Mismatch {
+                    depth: 2,
+                    letter: 0,
+                    ratio,
+                }],
+                Vec::new(),
+            )
+        };
+        assert!(good(0.5).is_ok());
+        // Non-positive or non-finite ratios would make the recomputed
+        // log-ratios NaN/-inf and silently corrupt verification.
+        assert!(good(0.0).is_err());
+        assert!(good(-1.0).is_err());
+        assert!(good(f64::NAN).is_err());
+        // Depth beyond the factor length.
+        assert!(EncodedFactorSet::from_loaded_parts(
+            Direction::Forward,
+            Arc::clone(&heavy),
+            vec![1],
+            vec![3],
+            vec![0],
+            vec![0, 1],
+            vec![Mismatch {
+                depth: 3,
+                letter: 0,
+                ratio: 0.5,
+            }],
+            Vec::new(),
+        )
+        .is_err());
+        // Factor running past the heavy view.
+        assert!(EncodedFactorSet::from_loaded_parts(
+            Direction::Forward,
+            Arc::clone(&heavy),
+            vec![4],
+            vec![2],
+            vec![0],
+            vec![0, 0],
+            Vec::new(),
+            Vec::new(),
+        )
+        .is_err());
     }
 
     #[test]

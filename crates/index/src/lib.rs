@@ -27,23 +27,29 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod builder;
 pub mod encode;
 pub mod minimizer_index;
 pub mod naive;
 pub mod params;
+pub mod persist;
 pub mod property_text;
+pub mod shard;
 pub mod space_efficient;
 pub mod traits;
 pub mod wsa;
 pub mod wst;
 
 pub use batch::{query_batch, query_batch_positions};
+pub use builder::{AnyIndex, IndexFamily, IndexSpec};
 pub use ius_query::{
     finalize_into, CountSink, FirstKSink, MatchSink, QueryBatch, QueryScratch, QueryStats,
 };
 pub use minimizer_index::{IndexVariant, MinimizerIndex};
 pub use naive::NaiveIndex;
 pub use params::IndexParams;
+pub use persist::{load_index, save_index, FORMAT_VERSION};
+pub use shard::ShardedIndex;
 pub use space_efficient::SpaceEfficientBuilder;
 pub use traits::{validate_pattern, IndexStats, UncertainIndex};
 pub use wsa::Wsa;

@@ -323,6 +323,9 @@ impl MinimizerIndex {
                     points.push(GridPoint::new(fwd_leaf, bwd_leaf as u32, payload));
                 }
             }
+            // Unpaired backward leaves leave slack behind the capacity guess;
+            // the pair table is retained for the index's lifetime.
+            pairs.shrink_to_fit();
             (Some(RangeReporter::new(points)), pairs)
         } else {
             (None, Vec::new())
@@ -358,6 +361,57 @@ impl MinimizerIndex {
     /// `"explicit"` or `"space-efficient"` — which construction produced it.
     pub fn construction(&self) -> &'static str {
         self.construction
+    }
+
+    // ---- persistence support (see `crate::persist`) --------------------
+
+    pub(crate) fn persist_parts(&self) -> MinimizerParts<'_> {
+        MinimizerParts {
+            n: self.n,
+            sigma: self.sigma,
+            heavy: &self.heavy,
+            fwd: &self.fwd,
+            bwd: &self.bwd,
+            fwd_trie: self.fwd_trie.as_ref(),
+            bwd_trie: self.bwd_trie.as_ref(),
+            grid: self.grid.as_ref(),
+            pairs: &self.pairs,
+        }
+    }
+
+    /// Reassembles a minimizer index from its persisted parts. Only the
+    /// minimizer scheme is re-derived (an `O(1)` keyer setup, not a
+    /// construction step); everything else is taken as loaded.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_loaded_parts(
+        params: IndexParams,
+        variant: IndexVariant,
+        n: usize,
+        sigma: usize,
+        heavy: HeavyString,
+        fwd: EncodedFactorSet,
+        bwd: EncodedFactorSet,
+        fwd_trie: Option<CompactedTrie>,
+        bwd_trie: Option<CompactedTrie>,
+        grid: Option<RangeReporter>,
+        pairs: Vec<(u32, u32)>,
+        construction: &'static str,
+    ) -> Self {
+        Self {
+            params,
+            variant,
+            n,
+            sigma,
+            scheme: MinimizerScheme::new(params.ell, params.k, sigma, params.order),
+            heavy,
+            fwd,
+            bwd,
+            fwd_trie,
+            bwd_trie,
+            grid,
+            pairs,
+            construction,
+        }
     }
 
     /// Number of sampled minimizer factors (leaves of the forward structure).
@@ -582,6 +636,20 @@ impl MinimizerIndex {
         }
         is_solid(log_prob.exp(), self.params.z)
     }
+}
+
+/// A borrowed view of the persisted state of a [`MinimizerIndex`], consumed
+/// by `crate::persist`.
+pub(crate) struct MinimizerParts<'a> {
+    pub(crate) n: usize,
+    pub(crate) sigma: usize,
+    pub(crate) heavy: &'a HeavyString,
+    pub(crate) fwd: &'a EncodedFactorSet,
+    pub(crate) bwd: &'a EncodedFactorSet,
+    pub(crate) fwd_trie: Option<&'a CompactedTrie>,
+    pub(crate) bwd_trie: Option<&'a CompactedTrie>,
+    pub(crate) grid: Option<&'a RangeReporter>,
+    pub(crate) pairs: &'a [(u32, u32)],
 }
 
 /// Extracts the deviations of a strand from the heavy string that fall into

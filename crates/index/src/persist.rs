@@ -1,0 +1,1021 @@
+//! Versioned binary persistence for every index family.
+//!
+//! The build environment has no crates.io access, so the format is
+//! hand-rolled rather than serde-derived: a little-endian binary layout
+//! behind a fixed envelope
+//!
+//! ```text
+//! magic "IUSX" (4 bytes) · format version (u16) · family tag (u8) · payload
+//! ```
+//!
+//! Family tags: `0` NAIVE, `1` WST, `2` WSA, `3` minimizer (any of
+//! MWST/MWSA/MWST-G/MWSA-G, explicit or space-efficient construction),
+//! `4` sharded. Every multi-byte integer and float is little-endian
+//! (`f64` as the LE bytes of its IEEE-754 bits, so round trips are
+//! bit-exact). Vectors are a `u64` length followed by the elements.
+//!
+//! **Version policy:** the version is bumped on any layout change; readers
+//! reject versions they do not know (no silent migration). Derived data is
+//! not stored when reloading it is linear-time and allocation-only — leaf
+//! fragments of the WST, anchor view coordinates and mismatch log-ratios of
+//! the factor sets, and the minimizer scheme (re-derived from the stored
+//! parameters) are all recomputed on load; the expensive construction steps
+//! (z-estimation, suffix sorting, trie and merge-sort-tree assembly) are
+//! **never** re-run, which is what makes loading an order of magnitude
+//! faster than rebuilding (see `BENCH_space.json`).
+//!
+//! Entry points: [`save_index`]/[`load_index`] over [`AnyIndex`], plus
+//! inherent `save_to`/`load_from` on every concrete family (including
+//! [`ShardedIndex`], whose payload nests one envelope per shard).
+
+use crate::builder::AnyIndex;
+use crate::encode::{Direction, EncodedFactorSet, Mismatch};
+use crate::minimizer_index::{IndexVariant, MinimizerIndex};
+use crate::naive::NaiveIndex;
+use crate::params::IndexParams;
+use crate::property_text::PropertyText;
+use crate::shard::ShardedIndex;
+use crate::traits::UncertainIndex;
+use crate::wsa::Wsa;
+use crate::wst::Wst;
+use ius_grid::{RangeReporter, ReporterParts};
+use ius_sampling::KmerOrder;
+use ius_text::trie::{CompactedTrie, TrieParts};
+use ius_weighted::HeavyString;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// The four magic bytes opening every saved index.
+pub const MAGIC: [u8; 4] = *b"IUSX";
+
+/// The current on-disk format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+const TAG_NAIVE: u8 = 0;
+const TAG_WST: u8 = 1;
+const TAG_WSA: u8 = 2;
+const TAG_MINIMIZER: u8 = 3;
+const TAG_SHARDED: u8 = 4;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Wire primitives
+// ---------------------------------------------------------------------------
+
+fn write_u8(w: &mut dyn Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+fn write_u16(w: &mut dyn Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u32(w: &mut dyn Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut dyn Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64(w: &mut dyn Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_bits().to_le_bytes())
+}
+
+fn read_u8(r: &mut dyn Read) -> io::Result<u8> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+fn read_u16(r: &mut dyn Read) -> io::Result<u16> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut dyn Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f64(r: &mut dyn Read) -> io::Result<f64> {
+    Ok(f64::from_bits(read_u64(r)?))
+}
+
+fn read_len(r: &mut dyn Read) -> io::Result<usize> {
+    let len = read_u64(r)?;
+    usize::try_from(len).map_err(|_| bad("length prefix exceeds the address space"))
+}
+
+/// Reads `len` raw bytes in bounded chunks, so a corrupted length prefix
+/// fails with EOF instead of one absurd up-front allocation.
+fn read_byte_vec(r: &mut dyn Read, len: usize) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 8192];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        r.read_exact(&mut buf[..take])?;
+        out.extend_from_slice(&buf[..take]);
+        remaining -= take;
+    }
+    // Loaded vectors are retained for the index's lifetime: keep them exact
+    // so a loaded index's footprint matches the built one's.
+    out.shrink_to_fit();
+    Ok(out)
+}
+
+fn write_bytes(w: &mut dyn Write, bytes: &[u8]) -> io::Result<()> {
+    write_u64(w, bytes.len() as u64)?;
+    w.write_all(bytes)
+}
+
+fn read_bytes(r: &mut dyn Read) -> io::Result<Vec<u8>> {
+    let len = read_len(r)?;
+    read_byte_vec(r, len)
+}
+
+/// Elements per chunk of the vector writers below: conversions go through a
+/// bounded stack-side buffer and reach the writer as large `write_all`s, so
+/// saving to an unbuffered `File` does not degenerate into one syscall per
+/// element.
+const WRITE_CHUNK: usize = 8192;
+
+fn write_vec_u32(w: &mut dyn Write, values: &[u32]) -> io::Result<()> {
+    write_u64(w, values.len() as u64)?;
+    let mut buf = Vec::with_capacity(WRITE_CHUNK.min(values.len()) * 4);
+    for chunk in values.chunks(WRITE_CHUNK) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn read_vec_u32(r: &mut dyn Read) -> io::Result<Vec<u32>> {
+    let len = read_len(r)?;
+    let bytes = read_byte_vec(
+        r,
+        len.checked_mul(4)
+            .ok_or_else(|| bad("u32 vector overflow"))?,
+    )?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn write_vec_u16(w: &mut dyn Write, values: &[u16]) -> io::Result<()> {
+    write_u64(w, values.len() as u64)?;
+    let mut buf = Vec::with_capacity(WRITE_CHUNK.min(values.len()) * 2);
+    for chunk in values.chunks(WRITE_CHUNK) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn read_vec_u16(r: &mut dyn Read) -> io::Result<Vec<u16>> {
+    let len = read_len(r)?;
+    let bytes = read_byte_vec(
+        r,
+        len.checked_mul(2)
+            .ok_or_else(|| bad("u16 vector overflow"))?,
+    )?;
+    Ok(bytes
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect())
+}
+
+fn write_vec_u64(w: &mut dyn Write, values: &[u64]) -> io::Result<()> {
+    write_u64(w, values.len() as u64)?;
+    let mut buf = Vec::with_capacity(WRITE_CHUNK.min(values.len()) * 8);
+    for chunk in values.chunks(WRITE_CHUNK) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn read_vec_u64(r: &mut dyn Read) -> io::Result<Vec<u64>> {
+    let len = read_len(r)?;
+    let bytes = read_byte_vec(
+        r,
+        len.checked_mul(8)
+            .ok_or_else(|| bad("u64 vector overflow"))?,
+    )?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect())
+}
+
+fn write_vec_f64(w: &mut dyn Write, values: &[f64]) -> io::Result<()> {
+    write_u64(w, values.len() as u64)?;
+    let mut buf = Vec::with_capacity(WRITE_CHUNK.min(values.len()) * 8);
+    for chunk in values.chunks(WRITE_CHUNK) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn read_vec_f64(r: &mut dyn Read) -> io::Result<Vec<f64>> {
+    Ok(read_vec_u64(r)?.into_iter().map(f64::from_bits).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+fn write_envelope(w: &mut dyn Write, tag: u8) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    write_u16(w, FORMAT_VERSION)?;
+    write_u8(w, tag)
+}
+
+fn read_envelope(r: &mut dyn Read) -> io::Result<u8> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad("not an IUSX index file (bad magic)"));
+    }
+    let version = read_u16(r)?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
+        )));
+    }
+    read_u8(r)
+}
+
+// ---------------------------------------------------------------------------
+// Shared components
+// ---------------------------------------------------------------------------
+
+fn write_order(w: &mut dyn Write, order: KmerOrder) -> io::Result<()> {
+    match order {
+        KmerOrder::Lexicographic => {
+            write_u8(w, 0)?;
+            write_u64(w, 0)
+        }
+        KmerOrder::KarpRabin { seed } => {
+            write_u8(w, 1)?;
+            write_u64(w, seed)
+        }
+    }
+}
+
+fn read_order(r: &mut dyn Read) -> io::Result<KmerOrder> {
+    let tag = read_u8(r)?;
+    let seed = read_u64(r)?;
+    match tag {
+        0 => Ok(KmerOrder::Lexicographic),
+        1 => Ok(KmerOrder::KarpRabin { seed }),
+        other => Err(bad(format!("unknown k-mer order tag {other}"))),
+    }
+}
+
+pub(crate) fn write_params(w: &mut dyn Write, params: &IndexParams) -> io::Result<()> {
+    write_f64(w, params.z)?;
+    write_u64(w, params.ell as u64)?;
+    write_u64(w, params.k as u64)?;
+    write_order(w, params.order)
+}
+
+pub(crate) fn read_params(r: &mut dyn Read) -> io::Result<IndexParams> {
+    let z = read_f64(r)?;
+    let ell = read_len(r)?;
+    let k = read_len(r)?;
+    let order = read_order(r)?;
+    if !(z.is_finite() && z >= 1.0) {
+        return Err(bad(format!("invalid stored threshold z = {z}")));
+    }
+    if ell == 0 || k == 0 || k > ell {
+        return Err(bad(format!("invalid stored parameters ℓ = {ell}, k = {k}")));
+    }
+    Ok(IndexParams { z, ell, k, order })
+}
+
+fn write_property_text(w: &mut dyn Write, pt: &PropertyText) -> io::Result<()> {
+    write_u64(w, pt.n() as u64)?;
+    write_u64(w, pt.num_strands() as u64)?;
+    write_bytes(w, pt.text())?;
+    write_vec_u32(w, pt.trunc_raw())?;
+    write_vec_u32(w, pt.psa())?;
+    match pt.trunc_lcp_raw() {
+        Some(lcps) => {
+            write_u8(w, 1)?;
+            write_vec_u32(w, lcps)
+        }
+        None => write_u8(w, 0),
+    }
+}
+
+fn read_property_text(r: &mut dyn Read) -> io::Result<PropertyText> {
+    let n = read_len(r)?;
+    let num_strands = read_len(r)?;
+    let text = read_bytes(r)?;
+    let trunc = read_vec_u32(r)?;
+    let psa = read_vec_u32(r)?;
+    let trunc_lcp = match read_u8(r)? {
+        0 => None,
+        1 => Some(read_vec_u32(r)?),
+        other => return Err(bad(format!("bad truncated-LCP flag {other}"))),
+    };
+    PropertyText::from_parts(n, num_strands, text, trunc, psa, trunc_lcp).map_err(bad)
+}
+
+fn write_trie(w: &mut dyn Write, trie: &CompactedTrie) -> io::Result<()> {
+    let parts = trie.to_parts();
+    write_vec_u32(w, &parts.depth)?;
+    write_vec_u32(w, &parts.leaf_lo)?;
+    write_vec_u32(w, &parts.leaf_hi)?;
+    write_vec_u32(w, &parts.children_start)?;
+    write_vec_u16(w, &parts.children_len)?;
+    write_bytes(w, &parts.is_leaf)?;
+    write_bytes(w, &parts.child_letters)?;
+    write_vec_u32(w, &parts.child_nodes)?;
+    write_u32(w, parts.root)?;
+    write_u64(w, parts.num_leaves)
+}
+
+fn read_trie(r: &mut dyn Read) -> io::Result<CompactedTrie> {
+    let parts = TrieParts {
+        depth: read_vec_u32(r)?,
+        leaf_lo: read_vec_u32(r)?,
+        leaf_hi: read_vec_u32(r)?,
+        children_start: read_vec_u32(r)?,
+        children_len: read_vec_u16(r)?,
+        is_leaf: read_bytes(r)?,
+        child_letters: read_bytes(r)?,
+        child_nodes: read_vec_u32(r)?,
+        root: read_u32(r)?,
+        num_leaves: read_u64(r)?,
+    };
+    CompactedTrie::from_parts(parts).map_err(bad)
+}
+
+fn write_reporter(w: &mut dyn Write, reporter: &RangeReporter) -> io::Result<()> {
+    let parts = reporter.to_parts();
+    write_u64(w, parts.len)?;
+    write_vec_u32(w, &parts.xs)?;
+    write_vec_u32(w, &parts.node_lens)?;
+    write_vec_u32(w, &parts.ys)?;
+    write_vec_u32(w, &parts.payloads)
+}
+
+fn read_reporter_parts(r: &mut dyn Read) -> io::Result<ReporterParts> {
+    Ok(ReporterParts {
+        len: read_u64(r)?,
+        xs: read_vec_u32(r)?,
+        node_lens: read_vec_u32(r)?,
+        ys: read_vec_u32(r)?,
+        payloads: read_vec_u32(r)?,
+    })
+}
+
+fn write_heavy(w: &mut dyn Write, heavy: &HeavyString) -> io::Result<()> {
+    write_bytes(w, heavy.as_ranks())?;
+    write_vec_f64(w, heavy.log_prefix())
+}
+
+fn read_heavy(r: &mut dyn Read) -> io::Result<HeavyString> {
+    let letters = read_bytes(r)?;
+    let log_prefix = read_vec_f64(r)?;
+    HeavyString::from_parts(letters, log_prefix).map_err(|e| bad(e.to_string()))
+}
+
+/// Writes a factor set. The heavy view is *not* stored: forward sets read
+/// the index-wide heavy string (shared or as their own copy — only the
+/// ownership flag is recorded), backward sets read its reversal; both are
+/// reconstructed from the heavy string on load.
+fn write_factor_set(w: &mut dyn Write, set: &EncodedFactorSet) -> io::Result<()> {
+    write_u8(
+        w,
+        match set.direction() {
+            Direction::Forward => 0,
+            Direction::Backward => 1,
+        },
+    )?;
+    write_u8(w, u8::from(set.owns_heavy_view()))?;
+    write_vec_u32(w, set.anchor_x_raw())?;
+    write_vec_u32(w, set.lens_raw())?;
+    write_vec_u32(w, set.strands_raw())?;
+    write_vec_u32(w, set.mism_start_raw())?;
+    let mismatches = set.mismatches_raw();
+    write_u64(w, mismatches.len() as u64)?;
+    let mut buf = Vec::with_capacity(WRITE_CHUNK.min(mismatches.len()) * 13);
+    for chunk in mismatches.chunks(WRITE_CHUNK) {
+        buf.clear();
+        for m in chunk {
+            buf.extend_from_slice(&m.depth.to_le_bytes());
+            buf.push(m.letter);
+            buf.extend_from_slice(&m.ratio.to_bits().to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    write_vec_u64(w, set.prefix_keys_raw())
+}
+
+fn read_factor_set(r: &mut dyn Read, heavy: &HeavyString) -> io::Result<EncodedFactorSet> {
+    let direction = match read_u8(r)? {
+        0 => Direction::Forward,
+        1 => Direction::Backward,
+        other => return Err(bad(format!("unknown factor-set direction {other}"))),
+    };
+    let owns_view = match read_u8(r)? {
+        0 => false,
+        1 => true,
+        other => return Err(bad(format!("bad heavy-view ownership flag {other}"))),
+    };
+    let heavy_view: Arc<Vec<u8>> = match (direction, owns_view) {
+        (Direction::Forward, false) => heavy.shared_ranks(),
+        (Direction::Forward, true) => Arc::new(heavy.as_ranks().to_vec()),
+        (Direction::Backward, _) => {
+            let mut reversed = heavy.as_ranks().to_vec();
+            reversed.reverse();
+            Arc::new(reversed)
+        }
+    };
+    let anchor_x = read_vec_u32(r)?;
+    let lens = read_vec_u32(r)?;
+    let strands = read_vec_u32(r)?;
+    let mism_start = read_vec_u32(r)?;
+    let mism_count = read_len(r)?;
+    let mut mismatches = Vec::with_capacity(mism_count.min(1 << 20));
+    for _ in 0..mism_count {
+        mismatches.push(Mismatch {
+            depth: read_u32(r)?,
+            letter: read_u8(r)?,
+            ratio: read_f64(r)?,
+        });
+    }
+    mismatches.shrink_to_fit();
+    let prefix_keys = read_vec_u64(r)?;
+    EncodedFactorSet::from_loaded_parts(
+        direction,
+        heavy_view,
+        anchor_x,
+        lens,
+        strands,
+        mism_start,
+        mismatches,
+        prefix_keys,
+    )
+    .map_err(bad)
+}
+
+// ---------------------------------------------------------------------------
+// Family payloads
+// ---------------------------------------------------------------------------
+
+fn write_minimizer_payload(w: &mut dyn Write, index: &MinimizerIndex) -> io::Result<()> {
+    write_params(w, index.params())?;
+    write_u8(
+        w,
+        match index.variant() {
+            IndexVariant::Tree => 0,
+            IndexVariant::Array => 1,
+            IndexVariant::TreeGrid => 2,
+            IndexVariant::ArrayGrid => 3,
+        },
+    )?;
+    write_u8(
+        w,
+        match index.construction() {
+            "space-efficient" => 1,
+            _ => 0,
+        },
+    )?;
+    let parts = index.persist_parts();
+    write_u64(w, parts.n as u64)?;
+    write_u64(w, parts.sigma as u64)?;
+    write_heavy(w, parts.heavy)?;
+    write_factor_set(w, parts.fwd)?;
+    write_factor_set(w, parts.bwd)?;
+    for trie in [parts.fwd_trie, parts.bwd_trie] {
+        match trie {
+            Some(trie) => {
+                write_u8(w, 1)?;
+                write_trie(w, trie)?;
+            }
+            None => write_u8(w, 0)?,
+        }
+    }
+    match parts.grid {
+        Some(grid) => {
+            write_u8(w, 1)?;
+            write_reporter(w, grid)?;
+            write_u64(w, parts.pairs.len() as u64)?;
+            for &(fwd_leaf, bwd_leaf) in parts.pairs {
+                write_u32(w, fwd_leaf)?;
+                write_u32(w, bwd_leaf)?;
+            }
+        }
+        None => write_u8(w, 0)?,
+    }
+    Ok(())
+}
+
+fn read_minimizer_payload(r: &mut dyn Read) -> io::Result<MinimizerIndex> {
+    let params = read_params(r)?;
+    let variant = match read_u8(r)? {
+        0 => IndexVariant::Tree,
+        1 => IndexVariant::Array,
+        2 => IndexVariant::TreeGrid,
+        3 => IndexVariant::ArrayGrid,
+        other => return Err(bad(format!("unknown index variant tag {other}"))),
+    };
+    let construction = match read_u8(r)? {
+        0 => "explicit",
+        1 => "space-efficient",
+        other => return Err(bad(format!("unknown construction tag {other}"))),
+    };
+    let n = read_len(r)?;
+    let sigma = read_len(r)?;
+    if sigma == 0 || sigma > 256 {
+        return Err(bad(format!("invalid stored alphabet size {sigma}")));
+    }
+    let heavy = read_heavy(r)?;
+    if heavy.len() != n {
+        return Err(bad("heavy string length does not match the stored n"));
+    }
+    let fwd = read_factor_set(r, &heavy)?;
+    let bwd = read_factor_set(r, &heavy)?;
+    if fwd.direction() != Direction::Forward || bwd.direction() != Direction::Backward {
+        return Err(bad("factor sets stored in the wrong order"));
+    }
+    let mut tries = [None, None];
+    for slot in &mut tries {
+        *slot = match read_u8(r)? {
+            0 => None,
+            1 => Some(read_trie(r)?),
+            other => return Err(bad(format!("bad trie presence flag {other}"))),
+        };
+    }
+    let [fwd_trie, bwd_trie] = tries;
+    if variant.has_tree() != fwd_trie.is_some() || variant.has_tree() != bwd_trie.is_some() {
+        return Err(bad("stored tries do not match the index variant"));
+    }
+    if let (Some(trie), set_len) = (&fwd_trie, fwd.len()) {
+        if trie.num_leaves() != set_len {
+            return Err(bad("forward trie does not match the forward factor set"));
+        }
+    }
+    if let (Some(trie), set_len) = (&bwd_trie, bwd.len()) {
+        if trie.num_leaves() != set_len {
+            return Err(bad("backward trie does not match the backward factor set"));
+        }
+    }
+    let (grid, pairs) = match read_u8(r)? {
+        0 => (None, Vec::new()),
+        1 => {
+            let grid_parts = read_reporter_parts(r)?;
+            let count = read_len(r)?;
+            let mut pairs = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                let fwd_leaf = read_u32(r)?;
+                let bwd_leaf = read_u32(r)?;
+                if fwd_leaf as usize >= fwd.len() || bwd_leaf as usize >= bwd.len() {
+                    return Err(bad("grid pair references a leaf out of range"));
+                }
+                pairs.push((fwd_leaf, bwd_leaf));
+            }
+            pairs.shrink_to_fit();
+            // Every grid point's payload indexes the pair table at query
+            // time; reject out-of-range payloads here rather than panicking
+            // on the first grid query.
+            if grid_parts
+                .payloads
+                .iter()
+                .any(|&payload| payload as usize >= pairs.len())
+            {
+                return Err(bad("grid payload references a pair out of range"));
+            }
+            let grid = RangeReporter::from_parts(grid_parts).map_err(bad)?;
+            if grid.len() != pairs.len() {
+                return Err(bad("grid point count does not match the pair table"));
+            }
+            (Some(grid), pairs)
+        }
+        other => return Err(bad(format!("bad grid presence flag {other}"))),
+    };
+    if variant.has_grid() != grid.is_some() {
+        return Err(bad("stored grid does not match the index variant"));
+    }
+    Ok(MinimizerIndex::from_loaded_parts(
+        params,
+        variant,
+        n,
+        sigma,
+        heavy,
+        fwd,
+        bwd,
+        fwd_trie,
+        bwd_trie,
+        grid,
+        pairs,
+        construction,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Public per-family API
+// ---------------------------------------------------------------------------
+
+impl NaiveIndex {
+    /// Serializes the index into `w` (envelope + payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_envelope(w, TAG_NAIVE)?;
+        write_f64(w, self.z())
+    }
+
+    /// Deserializes an index previously written by [`NaiveIndex::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed or mismatched file.
+    pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
+        match load_index(r)? {
+            AnyIndex::Naive(index) => Ok(index),
+            other => Err(bad(format!(
+                "expected a NAIVE file, found {}",
+                other.name()
+            ))),
+        }
+    }
+}
+
+impl Wst {
+    /// Serializes the index into `w` (envelope + payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_envelope(w, TAG_WST)?;
+        write_f64(w, self.z())?;
+        write_property_text(w, self.property_text_ref())?;
+        write_trie(w, self.trie_ref())
+    }
+
+    /// Deserializes an index previously written by [`Wst::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed or mismatched file.
+    pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
+        match load_index(r)? {
+            AnyIndex::Wst(index) => Ok(index),
+            other => Err(bad(format!("expected a WST file, found {}", other.name()))),
+        }
+    }
+}
+
+impl Wsa {
+    /// Serializes the index into `w` (envelope + payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_envelope(w, TAG_WSA)?;
+        write_f64(w, self.z())?;
+        write_property_text(w, self.property_text())
+    }
+
+    /// Deserializes an index previously written by [`Wsa::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed or mismatched file.
+    pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
+        match load_index(r)? {
+            AnyIndex::Wsa(index) => Ok(index),
+            other => Err(bad(format!("expected a WSA file, found {}", other.name()))),
+        }
+    }
+}
+
+impl MinimizerIndex {
+    /// Serializes the index into `w` (envelope + payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_envelope(w, TAG_MINIMIZER)?;
+        write_minimizer_payload(w, self)
+    }
+
+    /// Deserializes an index previously written by
+    /// [`MinimizerIndex::save_to`]. No construction is re-run: the factor
+    /// sets, tries and grid come back exactly as stored.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed or mismatched file.
+    pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
+        match load_index(r)? {
+            AnyIndex::Minimizer(index) => Ok(*index),
+            other => Err(bad(format!(
+                "expected a minimizer-index file, found {}",
+                other.name()
+            ))),
+        }
+    }
+}
+
+impl AnyIndex {
+    /// Serializes the contained index — an alias of [`save_index`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        save_index(self, w)
+    }
+
+    /// Deserializes any single-machine family — an alias of [`load_index`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed file.
+    pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
+        load_index(r)
+    }
+}
+
+/// Serializes any index family into `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors of the writer.
+pub fn save_index(index: &AnyIndex, w: &mut dyn Write) -> io::Result<()> {
+    match index {
+        AnyIndex::Naive(index) => index.save_to(w),
+        AnyIndex::Wst(index) => index.save_to(w),
+        AnyIndex::Wsa(index) => index.save_to(w),
+        AnyIndex::Minimizer(index) => {
+            write_envelope(w, TAG_MINIMIZER)?;
+            write_minimizer_payload(w, index)
+        }
+    }
+}
+
+/// Deserializes an index saved by [`save_index`] (or any family's
+/// `save_to`), dispatching on the stored family tag. Loading performs only
+/// linear-time reassembly — the z-estimation, suffix sorts and tree merges
+/// of construction are never re-run.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` on bad magic, an unknown version/tag, or a
+/// structurally inconsistent payload.
+pub fn load_index(r: &mut dyn Read) -> io::Result<AnyIndex> {
+    let tag = read_envelope(r)?;
+    match tag {
+        TAG_NAIVE => {
+            let z = read_f64(r)?;
+            NaiveIndex::new(z)
+                .map(AnyIndex::Naive)
+                .map_err(|e| bad(e.to_string()))
+        }
+        TAG_WST => {
+            let z = read_f64(r)?;
+            if !(z.is_finite() && z >= 1.0) {
+                return Err(bad(format!("invalid stored threshold z = {z}")));
+            }
+            let property_text = read_property_text(r)?;
+            let trie = read_trie(r)?;
+            if trie.num_leaves() != property_text.psa().len() {
+                return Err(bad("trie does not match the property suffix array"));
+            }
+            Ok(AnyIndex::Wst(Wst::from_loaded_parts(
+                z,
+                property_text,
+                trie,
+            )))
+        }
+        TAG_WSA => {
+            let z = read_f64(r)?;
+            if !(z.is_finite() && z >= 1.0) {
+                return Err(bad(format!("invalid stored threshold z = {z}")));
+            }
+            let property_text = read_property_text(r)?;
+            Ok(AnyIndex::Wsa(Wsa::from_loaded_parts(z, property_text)))
+        }
+        TAG_MINIMIZER => Ok(AnyIndex::Minimizer(Box::new(read_minimizer_payload(r)?))),
+        TAG_SHARDED => Err(bad(
+            "this is a sharded-index file; use ShardedIndex::load_from",
+        )),
+        other => Err(bad(format!("unknown family tag {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded indexes (payload nests one envelope per shard)
+// ---------------------------------------------------------------------------
+
+impl ShardedIndex {
+    /// Serializes the sharded index: routing metadata, the per-shard chunks
+    /// of `X` (each shard owns its chunk, so the file is self-contained) and
+    /// one nested index envelope per shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_envelope(w, TAG_SHARDED)?;
+        write_params(w, &self.spec().params)?;
+        write_u8(w, family_tag(self.spec().family))?;
+        write_u64(w, self.len() as u64)?;
+        write_u64(w, self.max_pattern_len() as u64)?;
+        write_u64(w, self.num_shards() as u64)?;
+        for shard in self.shards() {
+            write_u64(w, shard.offset as u64)?;
+            write_u64(w, shard.home_len as u64)?;
+            write_bytes(w, shard.x.alphabet().symbols())?;
+            write_u64(w, shard.x.len() as u64)?;
+            write_vec_f64(w, shard.x.flat_probs())?;
+            shard.index.save_to(w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a sharded index written by [`ShardedIndex::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed file.
+    pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
+        let tag = read_envelope(r)?;
+        if tag != TAG_SHARDED {
+            return Err(bad(format!(
+                "expected a sharded-index file (tag {TAG_SHARDED}), found tag {tag}"
+            )));
+        }
+        let params = read_params(r)?;
+        let family = family_from_tag(read_u8(r)?)?;
+        let n = read_len(r)?;
+        let max_pattern_len = read_len(r)?;
+        let num_shards = read_len(r)?;
+        let mut shards = Vec::with_capacity(num_shards.min(1 << 16));
+        for _ in 0..num_shards {
+            let offset = read_len(r)?;
+            let home_len = read_len(r)?;
+            let symbols = read_bytes(r)?;
+            let chunk_len = read_len(r)?;
+            let probs = read_vec_f64(r)?;
+            let alphabet = ius_weighted::Alphabet::new(&symbols).map_err(|e| bad(e.to_string()))?;
+            if probs.len() != chunk_len * alphabet.size() {
+                return Err(bad("shard probability matrix has the wrong shape"));
+            }
+            let x = ius_weighted::WeightedString::from_flat(alphabet, probs)
+                .map_err(|e| bad(e.to_string()))?;
+            let index = load_index(r)?;
+            shards.push(crate::shard::Shard {
+                offset,
+                home_len,
+                x,
+                index,
+            });
+        }
+        ShardedIndex::from_loaded_parts(
+            crate::builder::IndexSpec::new(family, params),
+            n,
+            max_pattern_len,
+            shards,
+        )
+        .map_err(bad)
+    }
+}
+
+fn family_tag(family: crate::builder::IndexFamily) -> u8 {
+    use crate::builder::IndexFamily;
+    match family {
+        IndexFamily::Naive => 0,
+        IndexFamily::Wst => 1,
+        IndexFamily::Wsa => 2,
+        IndexFamily::Minimizer(IndexVariant::Tree) => 3,
+        IndexFamily::Minimizer(IndexVariant::Array) => 4,
+        IndexFamily::Minimizer(IndexVariant::TreeGrid) => 5,
+        IndexFamily::Minimizer(IndexVariant::ArrayGrid) => 6,
+        IndexFamily::SpaceEfficient(IndexVariant::Tree) => 7,
+        IndexFamily::SpaceEfficient(IndexVariant::Array) => 8,
+        IndexFamily::SpaceEfficient(IndexVariant::TreeGrid) => 9,
+        IndexFamily::SpaceEfficient(IndexVariant::ArrayGrid) => 10,
+    }
+}
+
+fn family_from_tag(tag: u8) -> io::Result<crate::builder::IndexFamily> {
+    use crate::builder::IndexFamily;
+    Ok(match tag {
+        0 => IndexFamily::Naive,
+        1 => IndexFamily::Wst,
+        2 => IndexFamily::Wsa,
+        3 => IndexFamily::Minimizer(IndexVariant::Tree),
+        4 => IndexFamily::Minimizer(IndexVariant::Array),
+        5 => IndexFamily::Minimizer(IndexVariant::TreeGrid),
+        6 => IndexFamily::Minimizer(IndexVariant::ArrayGrid),
+        7 => IndexFamily::SpaceEfficient(IndexVariant::Tree),
+        8 => IndexFamily::SpaceEfficient(IndexVariant::Array),
+        9 => IndexFamily::SpaceEfficient(IndexVariant::TreeGrid),
+        10 => IndexFamily::SpaceEfficient(IndexVariant::ArrayGrid),
+        other => return Err(bad(format!("unknown index-family tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{IndexFamily, IndexSpec};
+    use crate::traits::UncertainIndex;
+    use ius_datasets::uniform::UniformConfig;
+
+    fn sample_bytes() -> Vec<u8> {
+        let x = UniformConfig {
+            n: 160,
+            sigma: 2,
+            spread: 0.5,
+            seed: 8,
+        }
+        .generate();
+        let params = IndexParams::new(4.0, 8, x.sigma()).unwrap();
+        let index = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::ArrayGrid), params)
+            .build(&x)
+            .unwrap();
+        let mut bytes = Vec::new();
+        index.save_to(&mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn envelope_is_validated() {
+        let bytes = sample_bytes();
+        // Truncation anywhere fails cleanly, never panics.
+        for cut in [0usize, 3, 5, 7, 20, bytes.len() - 1] {
+            assert!(load_index(&mut &bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Bad magic.
+        let mut corrupt = bytes.clone();
+        corrupt[0] = b'X';
+        assert!(load_index(&mut corrupt.as_slice()).is_err());
+        // Unknown version.
+        let mut corrupt = bytes.clone();
+        corrupt[4] = 0xFF;
+        assert!(load_index(&mut corrupt.as_slice()).is_err());
+        // Unknown family tag.
+        let mut corrupt = bytes;
+        corrupt[6] = 0xEE;
+        assert!(load_index(&mut corrupt.as_slice()).is_err());
+    }
+
+    #[test]
+    fn typed_loaders_reject_other_families() {
+        let bytes = sample_bytes();
+        assert!(Wsa::load_from(&mut bytes.as_slice()).is_err());
+        assert!(Wst::load_from(&mut bytes.as_slice()).is_err());
+        assert!(NaiveIndex::load_from(&mut bytes.as_slice()).is_err());
+        assert!(ShardedIndex::load_from(&mut bytes.as_slice()).is_err());
+        assert!(MinimizerIndex::load_from(&mut bytes.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn naive_round_trip() {
+        let naive = NaiveIndex::new(7.5).unwrap();
+        let mut bytes = Vec::new();
+        naive.save_to(&mut bytes).unwrap();
+        let loaded = NaiveIndex::load_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.z(), 7.5);
+        assert_eq!(loaded.name(), "NAIVE");
+    }
+}

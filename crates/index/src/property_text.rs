@@ -84,6 +84,9 @@ impl PropertyText {
         let mut psa: Vec<u32> = (0..total as u32)
             .filter(|&s| trunc[s as usize] > 0)
             .collect();
+        // `collect` through a filter can overshoot; the PSA is retained for
+        // the index's whole lifetime, so drop the slack.
+        psa.shrink_to_fit();
         psa.sort_unstable_by(|&a, &b| {
             compare_truncated(&text, &trunc, &lce, a as usize, b as usize)
         });
@@ -237,6 +240,68 @@ impl PropertyText {
                 .map(|&s| self.position_in_x(s as usize)),
         );
         hi - lo
+    }
+
+    // ---- persistence support (see `crate::persist`) --------------------
+
+    /// The full truncation table (one entry per text position).
+    pub(crate) fn trunc_raw(&self) -> &[u32] {
+        &self.trunc
+    }
+
+    /// The stored truncated-LCP table, when the structure was built for the
+    /// tree baseline.
+    pub(crate) fn trunc_lcp_raw(&self) -> Option<&[u32]> {
+        self.trunc_lcp.as_deref()
+    }
+
+    /// Reassembles a property text from its persisted parts without re-running
+    /// the suffix sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural inconsistency (the PSA
+    /// order itself is trusted; it is covered by the round-trip tests).
+    pub(crate) fn from_parts(
+        n: usize,
+        num_strands: usize,
+        text: Vec<u8>,
+        trunc: Vec<u32>,
+        psa: Vec<u32>,
+        trunc_lcp: Option<Vec<u32>>,
+    ) -> std::result::Result<Self, String> {
+        let total = n
+            .checked_mul(num_strands)
+            .ok_or("property-text dimensions overflow")?;
+        if text.len() != total || trunc.len() != total {
+            return Err("text/truncation tables do not match n × strands".into());
+        }
+        for (s, &t) in trunc.iter().enumerate() {
+            // A truncated suffix never crosses its strand's end.
+            let strand_end = (s / n.max(1) + 1) * n;
+            if s + t as usize > strand_end {
+                return Err(format!("truncation at text position {s} crosses a strand"));
+            }
+        }
+        if psa
+            .iter()
+            .any(|&s| (s as usize) >= total || trunc[s as usize] == 0)
+        {
+            return Err("PSA references an uncovered or out-of-range position".into());
+        }
+        if let Some(lcps) = &trunc_lcp {
+            if lcps.len() != psa.len() {
+                return Err("truncated-LCP table length does not match the PSA".into());
+            }
+        }
+        Ok(Self {
+            n,
+            num_strands,
+            text,
+            trunc,
+            psa,
+            trunc_lcp,
+        })
     }
 
     /// Heap bytes retained by the structure.

@@ -1,0 +1,439 @@
+//! Sharded composite indexes: one logical index over `S` overlapping chunks
+//! of `X`.
+//!
+//! A [`ShardedIndex`] partitions the weighted string into `S` *home ranges*
+//! of roughly `n/S` positions each and builds one per-shard index (any
+//! family, through the [`crate::builder`] layer) over the home range
+//! extended by an **overlap** of `max_pattern_len − 1` positions to the
+//! right. Any occurrence starts in exactly one home range, and because its
+//! window is at most `max_pattern_len` letters it lies entirely inside that
+//! shard's chunk — so no cross-boundary occurrence is ever lost, and
+//! occurrence probabilities computed inside a chunk equal the global ones
+//! (they only read the window's distributions).
+//!
+//! A query is routed to every shard through the PR-2 [`QueryBatch`]
+//! executor (one [`QueryScratch`] per worker). Each shard reports
+//! shard-local positions; hits that fall into the overlap region (their
+//! start belongs to the *next* shard's home range) are dropped before the
+//! sink sees them — that single home-range filter is the deduplication, and
+//! it makes the concatenated per-shard outputs globally sorted, so the
+//! final merge is allocation-free and sort-free. The differential harness
+//! asserts the result identical to the unsharded index for every family.
+
+use crate::builder::{AnyIndex, IndexSpec};
+use crate::traits::{validate_pattern, IndexStats, UncertainIndex};
+use ius_query::{finalize_into, MatchSink, QueryBatch, QueryScratch, QueryStats};
+use ius_weighted::{Error, Result, WeightedString};
+
+/// One shard: its global offset, the width of the home range it is
+/// authoritative for, its chunk of `X` and the index built over the chunk.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    /// Global position of the chunk's first letter.
+    pub(crate) offset: usize,
+    /// Width of the home range (occurrence starts this shard reports).
+    pub(crate) home_len: usize,
+    /// The chunk of `X` (home range + overlap), owned by the shard.
+    pub(crate) x: WeightedString,
+    /// The index over the chunk.
+    pub(crate) index: AnyIndex,
+}
+
+/// A sharded composite index over one weighted string.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    spec: IndexSpec,
+    /// Length of the global string.
+    n: usize,
+    /// Upper bound on supported pattern lengths (the overlap covers
+    /// occurrences up to this length; longer patterns are rejected).
+    max_pattern_len: usize,
+    shards: Vec<Shard>,
+    executor: QueryBatch,
+}
+
+impl ShardedIndex {
+    /// Builds one per-shard index of the `spec`'s family over `num_shards`
+    /// overlapping chunks of `x`. `max_pattern_len` bounds the pattern
+    /// lengths the sharded index will serve; the chunk overlap is
+    /// `max_pattern_len − 1`.
+    ///
+    /// Home ranges are `⌈n / num_shards⌉` wide; when `n` is not an exact
+    /// multiple, trailing shards shrink and empty trailing home ranges are
+    /// dropped (so [`ShardedIndex::num_shards`] can be smaller than
+    /// requested).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameters`] if `num_shards` is zero or exceeds `n`,
+    /// or if `max_pattern_len` is smaller than the family's minimum pattern
+    /// length; construction errors of the per-shard builds are propagated.
+    pub fn build(
+        x: &WeightedString,
+        spec: IndexSpec,
+        num_shards: usize,
+        max_pattern_len: usize,
+    ) -> Result<Self> {
+        let n = x.len();
+        if num_shards == 0 || num_shards > n {
+            return Err(Error::InvalidParameters(format!(
+                "num_shards = {num_shards} must be in 1..={n}"
+            )));
+        }
+        if max_pattern_len < spec.lower_bound() {
+            return Err(Error::InvalidParameters(format!(
+                "max_pattern_len = {max_pattern_len} is below the family's minimum \
+                 pattern length {}",
+                spec.lower_bound()
+            )));
+        }
+        let overlap = max_pattern_len - 1;
+        let home = n.div_ceil(num_shards);
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut offset = 0usize;
+        while offset < n {
+            let home_len = home.min(n - offset);
+            let end = (offset + home_len + overlap).min(n);
+            let chunk = x.substring(offset, end)?;
+            let index = spec.build(&chunk)?;
+            shards.push(Shard {
+                offset,
+                home_len,
+                x: chunk,
+                index,
+            });
+            offset += home_len;
+        }
+        Ok(Self {
+            spec,
+            n,
+            max_pattern_len,
+            shards,
+            executor: QueryBatch::new(),
+        })
+    }
+
+    /// Overrides the number of worker threads the routing executor uses
+    /// (defaults to all available CPUs).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = QueryBatch::with_threads(threads);
+        self
+    }
+
+    /// The family/parameter descriptor the shards were built from.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// Length of the global string.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the global string is empty (never the case for a
+    /// successfully built index).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of shards actually built.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The maximum pattern length this index serves.
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_pattern_len
+    }
+
+    /// The chunk overlap (`max_pattern_len − 1`).
+    pub fn overlap(&self) -> usize {
+        self.max_pattern_len - 1
+    }
+
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Reassembles a sharded index from persisted parts (see
+    /// `crate::persist`), validating the routing invariants: home ranges
+    /// tile `[0, n)` in order and every chunk covers its home range plus the
+    /// overlap (clipped at `n`).
+    pub(crate) fn from_loaded_parts(
+        spec: IndexSpec,
+        n: usize,
+        max_pattern_len: usize,
+        shards: Vec<Shard>,
+    ) -> std::result::Result<Self, String> {
+        if max_pattern_len < spec.lower_bound() {
+            return Err("stored max_pattern_len is below the family's lower bound".into());
+        }
+        if shards.is_empty() {
+            return Err("a sharded index needs at least one shard".into());
+        }
+        let overlap = max_pattern_len - 1;
+        let mut expected_offset = 0usize;
+        for (i, shard) in shards.iter().enumerate() {
+            if shard.offset != expected_offset || shard.home_len == 0 {
+                return Err(format!("shard {i} does not tile the string"));
+            }
+            let end = (shard.offset + shard.home_len + overlap).min(n);
+            if shard.x.len() != end - shard.offset {
+                return Err(format!("shard {i}'s chunk does not cover its overlap"));
+            }
+            expected_offset += shard.home_len;
+        }
+        if expected_offset != n {
+            return Err("shard home ranges do not cover the string".into());
+        }
+        Ok(Self {
+            spec,
+            n,
+            max_pattern_len,
+            shards,
+            executor: QueryBatch::new(),
+        })
+    }
+}
+
+impl UncertainIndex for ShardedIndex {
+    fn name(&self) -> &'static str {
+        "SHARDED"
+    }
+
+    fn query_into(
+        &self,
+        pattern: &[u8],
+        _x: &WeightedString,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats> {
+        validate_pattern(pattern, self.spec.lower_bound())?;
+        if pattern.len() > self.max_pattern_len {
+            return Err(Error::PatternTooLong {
+                pattern: pattern.len(),
+                upper_bound: self.max_pattern_len,
+            });
+        }
+        // Fan out over the shards; every worker queries against its shard's
+        // own chunk (shard-local coordinates), then hits are filtered to the
+        // home range and translated to global offsets.
+        let per_shard = self.executor.run::<(Vec<usize>, QueryStats), Error, _>(
+            self.shards.len(),
+            |i, worker_scratch| {
+                let shard = &self.shards[i];
+                let mut local = Vec::new();
+                let stats =
+                    shard
+                        .index
+                        .query_into(pattern, &shard.x, worker_scratch, &mut local)?;
+                // Keep only home-range starts: overlap-region hits are the
+                // next shard's responsibility (this is the deduplication).
+                local.retain(|&pos| pos < shard.home_len);
+                for pos in &mut local {
+                    *pos += shard.offset;
+                }
+                Ok((local, stats))
+            },
+        );
+        let mut total = QueryStats::default();
+        scratch.positions.clear();
+        for entry in per_shard {
+            let (positions, stats) = entry?;
+            total.accumulate(&stats);
+            // Home ranges are disjoint and increasing, and each shard's
+            // output is sorted: the concatenation is globally sorted.
+            scratch.positions.extend(positions);
+        }
+        // The accumulated `reported` counted shard-local deliveries
+        // (including overlap hits dropped above); the authoritative count is
+        // what actually reaches the sink.
+        total.reported = finalize_into(&mut scratch.positions, true, sink);
+        Ok(total)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.index.size_bytes() + shard.x.memory_bytes())
+            .sum()
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut aggregate = IndexStats {
+            name: format!(
+                "SHARDED-{}(S={})",
+                self.spec.family.name(),
+                self.shards.len()
+            ),
+            ..Default::default()
+        };
+        for shard in &self.shards {
+            let stats = shard.index.stats();
+            aggregate.size_bytes += stats.size_bytes + shard.x.memory_bytes();
+            aggregate.num_nodes += stats.num_nodes;
+            aggregate.num_leaves += stats.num_leaves;
+            aggregate.num_grid_points += stats.num_grid_points;
+            aggregate.num_mismatches += stats.num_mismatches;
+        }
+        aggregate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexFamily;
+    use crate::minimizer_index::IndexVariant;
+    use crate::naive::NaiveIndex;
+    use crate::params::IndexParams;
+    use ius_datasets::pangenome::PangenomeConfig;
+    use ius_datasets::patterns::PatternSampler;
+    use ius_datasets::uniform::UniformConfig;
+    use ius_weighted::ZEstimation;
+
+    #[test]
+    fn sharded_output_is_identical_to_unsharded_for_any_shard_count() {
+        let x = PangenomeConfig {
+            n: 1_100,
+            delta: 0.07,
+            seed: 23,
+            ..Default::default()
+        }
+        .generate();
+        let (z, ell) = (16.0, 32usize);
+        let params = IndexParams::new(z, ell, x.sigma()).unwrap();
+        let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::ArrayGrid), params);
+        let unsharded = spec.build(&x).unwrap();
+        let est = ZEstimation::build(&x, z).unwrap();
+        let mut sampler = PatternSampler::new(&est, 9);
+        let mut patterns = sampler.sample_many(ell, 20);
+        patterns.extend(sampler.sample_many(2 * ell, 10));
+        patterns.extend(sampler.sample_random(ell, 10, 7));
+        assert!(!patterns.is_empty());
+        for num_shards in [1usize, 3, 4, 7] {
+            let sharded = ShardedIndex::build(&x, spec, num_shards, 2 * ell)
+                .unwrap()
+                .with_threads(2);
+            assert!(sharded.num_shards() >= 1 && sharded.num_shards() <= num_shards);
+            assert_eq!(sharded.overlap(), 2 * ell - 1);
+            for pattern in &patterns {
+                assert_eq!(
+                    sharded.query(pattern, &x).unwrap(),
+                    unsharded.query(pattern, &x).unwrap(),
+                    "S = {num_shards}, pattern {:?}…",
+                    &pattern[..4]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_naive_matches_direct_scan_including_boundaries() {
+        // A deliberately tiny string with many shards, so nearly every
+        // occurrence window crosses a chunk boundary.
+        let x = UniformConfig {
+            n: 64,
+            sigma: 2,
+            spread: 0.4,
+            seed: 5,
+        }
+        .generate();
+        let z = 6.0;
+        let params = IndexParams::new(z, 1, x.sigma()).unwrap();
+        let spec = IndexSpec::new(IndexFamily::Naive, params);
+        let direct = NaiveIndex::new(z).unwrap();
+        let sharded = ShardedIndex::build(&x, spec, 8, 12).unwrap();
+        for len in 1..=12usize {
+            for letter in 0..2u8 {
+                let pattern = vec![letter; len];
+                assert_eq!(
+                    sharded.query(&pattern, &x).unwrap(),
+                    direct.query(&pattern, &x).unwrap(),
+                    "pattern {pattern:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_length_contract() {
+        let x = UniformConfig {
+            n: 200,
+            sigma: 2,
+            spread: 0.5,
+            seed: 2,
+        }
+        .generate();
+        let params = IndexParams::new(8.0, 8, x.sigma()).unwrap();
+        let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::Array), params);
+        let sharded = ShardedIndex::build(&x, spec, 4, 16).unwrap();
+        assert_eq!(sharded.max_pattern_len(), 16);
+        assert!(matches!(
+            sharded.query(&[], &x),
+            Err(Error::EmptyInput("pattern"))
+        ));
+        assert!(matches!(
+            sharded.query(&[0u8; 4], &x),
+            Err(Error::PatternTooShort { .. })
+        ));
+        assert!(matches!(
+            sharded.query(&[0u8; 17], &x),
+            Err(Error::PatternTooLong {
+                pattern: 17,
+                upper_bound: 16
+            })
+        ));
+        assert!(sharded.query(&[0u8; 16], &x).is_ok());
+    }
+
+    #[test]
+    fn build_validation() {
+        let x = UniformConfig {
+            n: 50,
+            sigma: 2,
+            spread: 0.5,
+            seed: 1,
+        }
+        .generate();
+        let params = IndexParams::new(4.0, 8, x.sigma()).unwrap();
+        let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::Array), params);
+        assert!(ShardedIndex::build(&x, spec, 0, 16).is_err());
+        assert!(ShardedIndex::build(&x, spec, 51, 16).is_err());
+        // max_pattern_len below ℓ.
+        assert!(ShardedIndex::build(&x, spec, 2, 4).is_err());
+        let ok = ShardedIndex::build(&x, spec, 2, 8).unwrap();
+        assert_eq!(ok.len(), 50);
+        assert!(!ok.is_empty());
+        assert!(ok.size_bytes() > 0);
+        let stats = ok.stats();
+        assert!(stats.name.contains("MWSA") && stats.name.contains("S=2"));
+        assert_eq!(stats.size_bytes, ok.size_bytes());
+    }
+
+    #[test]
+    fn stats_aggregate_over_shards() {
+        let x = PangenomeConfig {
+            n: 600,
+            delta: 0.05,
+            seed: 31,
+            ..Default::default()
+        }
+        .generate();
+        let params = IndexParams::new(8.0, 16, x.sigma()).unwrap();
+        let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::TreeGrid), params);
+        let sharded = ShardedIndex::build(&x, spec, 3, 32).unwrap();
+        let est = ZEstimation::build(&x, 8.0).unwrap();
+        let pattern = PatternSampler::new(&est, 1).sample(16).unwrap();
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        let stats = sharded
+            .query_into(&pattern, &x, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(stats.reported, out.len());
+        assert!(stats.candidates >= stats.verified);
+        let aggregate = sharded.stats();
+        assert!(aggregate.num_nodes > 0);
+        assert!(aggregate.num_grid_points > 0);
+    }
+}

@@ -55,6 +55,11 @@ impl Wsa {
     pub fn property_text(&self) -> &PropertyText {
         &self.property_text
     }
+
+    /// Reassembles a WSA from its persisted parts (see `crate::persist`).
+    pub(crate) fn from_loaded_parts(z: f64, property_text: PropertyText) -> Self {
+        Self { z, property_text }
+    }
 }
 
 impl UncertainIndex for Wsa {

@@ -99,6 +99,37 @@ impl Wst {
     pub fn num_nodes(&self) -> usize {
         self.trie.num_nodes()
     }
+
+    // ---- persistence support (see `crate::persist`) --------------------
+
+    pub(crate) fn property_text_ref(&self) -> &PropertyText {
+        &self.property_text
+    }
+
+    pub(crate) fn trie_ref(&self) -> &CompactedTrie {
+        &self.trie
+    }
+
+    /// Reassembles a WST from its persisted parts. The leaf fragments are
+    /// recomputed from the property text (a linear map, not a construction
+    /// step); the trie is taken as loaded.
+    pub(crate) fn from_loaded_parts(
+        z: f64,
+        property_text: PropertyText,
+        trie: CompactedTrie,
+    ) -> Self {
+        let fragments: Vec<(u32, u32)> = property_text
+            .psa()
+            .iter()
+            .map(|&s| (s, property_text.trunc(s as usize) as u32))
+            .collect();
+        Self {
+            z,
+            property_text,
+            fragments,
+            trie,
+        }
+    }
 }
 
 impl UncertainIndex for Wst {

@@ -10,8 +10,8 @@ use ius_datasets::pangenome::PangenomeConfig;
 use ius_datasets::patterns::PatternSampler;
 use ius_datasets::uniform::UniformConfig;
 use ius_index::{
-    query_batch, CountSink, IndexParams, IndexVariant, MinimizerIndex, NaiveIndex, QueryBatch,
-    QueryScratch, SpaceEfficientBuilder, UncertainIndex, Wsa, Wst,
+    query_batch, AnyIndex, CountSink, IndexFamily, IndexParams, IndexSpec, NaiveIndex, QueryBatch,
+    QueryScratch, ShardedIndex, UncertainIndex,
 };
 use ius_weighted::{Error, WeightedString, ZEstimation};
 
@@ -77,45 +77,30 @@ fn corpora() -> Vec<Corpus> {
     out
 }
 
-/// Builds every index family over one corpus. The space-efficient builder
-/// contributes both of the variants it supports.
-fn build_families(corpus: &Corpus) -> Vec<(String, Box<dyn UncertainIndex + Sync>)> {
+/// The families the harness exercises (everything buildable except the
+/// NAIVE oracle itself, which is the reference side).
+fn harness_families() -> Vec<IndexFamily> {
+    IndexFamily::all()
+        .into_iter()
+        .filter(|family| !matches!(family, IndexFamily::Naive))
+        .collect()
+}
+
+/// Builds every index family over one corpus through the unified builder
+/// layer (no per-family match arms — see `ius_index::builder`).
+fn build_families(corpus: &Corpus) -> Vec<(String, AnyIndex)> {
     let est = ZEstimation::build(&corpus.x, corpus.z).unwrap();
     let params = IndexParams::new(corpus.z, corpus.ell, corpus.x.sigma()).unwrap();
-    let mut families: Vec<(String, Box<dyn UncertainIndex + Sync>)> = vec![
-        (
-            "WST".into(),
-            Box::new(Wst::build_from_estimation(&est).unwrap()),
-        ),
-        (
-            "WSA".into(),
-            Box::new(Wsa::build_from_estimation(&est).unwrap()),
-        ),
-    ];
-    for variant in [
-        IndexVariant::Tree,
-        IndexVariant::Array,
-        IndexVariant::TreeGrid,
-        IndexVariant::ArrayGrid,
-    ] {
-        families.push((
-            variant.name().into(),
-            Box::new(
-                MinimizerIndex::build_from_estimation(&corpus.x, &est, params, variant).unwrap(),
-            ),
-        ));
-    }
-    for variant in [IndexVariant::Tree, IndexVariant::Array] {
-        families.push((
-            format!("SE-{}", variant.name()),
-            Box::new(
-                SpaceEfficientBuilder::new(params)
-                    .build(&corpus.x, variant)
-                    .unwrap(),
-            ),
-        ));
-    }
-    families
+    harness_families()
+        .into_iter()
+        .map(|family| {
+            let spec = IndexSpec::new(family, params);
+            (
+                family.name().to_string(),
+                spec.build_with_estimation(&corpus.x, &est).unwrap(),
+            )
+        })
+        .collect()
 }
 
 /// `true` iff this family enforces the minimum pattern length ℓ.
@@ -197,7 +182,7 @@ fn every_family_agrees_with_naive_through_every_entry_point() {
             // Batched engine, single- and multi-worker, deterministic order.
             for threads in [1usize, 4] {
                 let executor = QueryBatch::with_threads(threads);
-                let batched = query_batch(index.as_ref(), &admissible, &corpus.x, &executor);
+                let batched = query_batch(&index, &admissible, &corpus.x, &executor);
                 for (i, entry) in batched.iter().enumerate() {
                     let (positions, stats) = entry.as_ref().unwrap();
                     assert_eq!(
@@ -208,6 +193,77 @@ fn every_family_agrees_with_naive_through_every_entry_point() {
                     assert_eq!(stats.reported, positions.len());
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn every_family_loaded_from_disk_agrees_with_naive() {
+    // The persistence half of the harness: every family is saved, reloaded
+    // and the *loaded* index is run against the oracle on both corpora.
+    for corpus in corpora() {
+        let naive = NaiveIndex::new(corpus.z).unwrap();
+        for (label, index) in build_families(&corpus) {
+            let mut bytes = Vec::new();
+            index.save_to(&mut bytes).unwrap();
+            let loaded = AnyIndex::load_from(&mut bytes.as_slice()).unwrap();
+            let mut scratch = QueryScratch::new();
+            let mut checked = 0usize;
+            for pattern in &corpus.patterns {
+                if has_length_bound(&label) && pattern.len() < corpus.ell {
+                    continue;
+                }
+                let expected = naive.query(pattern, &corpus.x).unwrap();
+                let mut positions = Vec::new();
+                loaded
+                    .query_into(pattern, &corpus.x, &mut scratch, &mut positions)
+                    .unwrap();
+                assert_eq!(
+                    positions, expected,
+                    "{} on {}: loaded-from-disk index disagrees with NAIVE",
+                    label, corpus.label
+                );
+                checked += 1;
+            }
+            assert!(checked > 0, "{label}: no patterns checked");
+        }
+    }
+}
+
+#[test]
+fn sharded_indexes_agree_with_their_unsharded_family_and_naive() {
+    // The acceptance gate of the sharding layer: S = 4 output identical to
+    // the unsharded index — and hence to NAIVE — for every family, on both
+    // corpora. Short patterns (below ℓ or above the configured maximum) are
+    // rejected by the same contract as the unsharded families.
+    for corpus in corpora() {
+        let naive = NaiveIndex::new(corpus.z).unwrap();
+        let params = IndexParams::new(corpus.z, corpus.ell, corpus.x.sigma()).unwrap();
+        let max_len = 3 * corpus.ell;
+        for family in harness_families() {
+            let spec = IndexSpec::new(family, params);
+            let unsharded = spec.build(&corpus.x).unwrap();
+            let sharded = ShardedIndex::build(&corpus.x, spec, 4, max_len)
+                .unwrap()
+                .with_threads(2);
+            let mut checked = 0usize;
+            for pattern in &corpus.patterns {
+                if pattern.len() < spec.lower_bound() || pattern.len() > max_len {
+                    assert!(sharded.query(pattern, &corpus.x).is_err());
+                    continue;
+                }
+                let expected = naive.query(pattern, &corpus.x).unwrap();
+                assert_eq!(
+                    sharded.query(pattern, &corpus.x).unwrap(),
+                    expected,
+                    "{} on {}: sharded (S=4) disagrees with NAIVE",
+                    family.name(),
+                    corpus.label
+                );
+                assert_eq!(unsharded.query(pattern, &corpus.x).unwrap(), expected);
+                checked += 1;
+            }
+            assert!(checked > 0, "{}: no patterns checked", family.name());
         }
     }
 }

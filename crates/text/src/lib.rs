@@ -39,4 +39,4 @@ pub use rmq::Rmq;
 pub use sa::{inverse_suffix_array, suffix_array, suffix_array_prefix_doubling};
 pub use search::SuffixArraySearcher;
 pub use suffix_tree::SuffixTree;
-pub use trie::{CompactedTrie, LabelProvider, SliceLabels};
+pub use trie::{CompactedTrie, LabelProvider, SliceLabels, TrieParts};

@@ -83,6 +83,35 @@ struct Node {
     is_leaf: bool,
 }
 
+/// The flat (struct-of-arrays) representation of a [`CompactedTrie`], used by
+/// the persistence layer to save a trie without re-running the stack-based
+/// construction on load. All vectors describing nodes have one entry per
+/// node; `child_letters`/`child_nodes` hold the flattened child table in the
+/// same grouping [`CompactedTrie::children`] exposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrieParts {
+    /// String depth per node.
+    pub depth: Vec<u32>,
+    /// Lower end (inclusive) of each node's sorted-leaf range.
+    pub leaf_lo: Vec<u32>,
+    /// Upper end (exclusive) of each node's sorted-leaf range.
+    pub leaf_hi: Vec<u32>,
+    /// Start of each node's children in the flattened child table.
+    pub children_start: Vec<u32>,
+    /// Number of children per node.
+    pub children_len: Vec<u16>,
+    /// Leaf flag per node (`1` for leaves, `0` otherwise).
+    pub is_leaf: Vec<u8>,
+    /// First edge letter per flattened child entry.
+    pub child_letters: Vec<u8>,
+    /// Child node id per flattened child entry.
+    pub child_nodes: Vec<u32>,
+    /// The root node id.
+    pub root: u32,
+    /// Number of strings the trie was built over.
+    pub num_leaves: u64,
+}
+
 /// The result of descending a pattern in a trie.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Descent {
@@ -262,6 +291,11 @@ impl CompactedTrie {
             self.nodes[node].children_len = kids.len() as u16;
             kids.clear();
         }
+        // The builder's capacity guesses (2k nodes) can overshoot; release
+        // the slack so the retained footprint — and `memory_bytes`, which
+        // reports real capacities — is minimal.
+        self.nodes.shrink_to_fit();
+        self.children.shrink_to_fit();
     }
 
     /// The root node id.
@@ -352,6 +386,107 @@ impl CompactedTrie {
     pub fn memory_bytes(&self) -> usize {
         self.nodes.capacity() * std::mem::size_of::<Node>()
             + self.children.capacity() * std::mem::size_of::<(u8, u32)>()
+    }
+
+    /// Exports the trie as its flat representation (see [`TrieParts`]).
+    pub fn to_parts(&self) -> TrieParts {
+        let mut parts = TrieParts {
+            depth: Vec::with_capacity(self.nodes.len()),
+            leaf_lo: Vec::with_capacity(self.nodes.len()),
+            leaf_hi: Vec::with_capacity(self.nodes.len()),
+            children_start: Vec::with_capacity(self.nodes.len()),
+            children_len: Vec::with_capacity(self.nodes.len()),
+            is_leaf: Vec::with_capacity(self.nodes.len()),
+            child_letters: Vec::with_capacity(self.children.len()),
+            child_nodes: Vec::with_capacity(self.children.len()),
+            root: self.root,
+            num_leaves: self.num_leaves as u64,
+        };
+        for node in &self.nodes {
+            parts.depth.push(node.depth);
+            parts.leaf_lo.push(node.leaf_lo);
+            parts.leaf_hi.push(node.leaf_hi);
+            parts.children_start.push(node.children_start);
+            parts.children_len.push(node.children_len);
+            parts.is_leaf.push(u8::from(node.is_leaf));
+        }
+        for &(letter, child) in &self.children {
+            parts.child_letters.push(letter);
+            parts.child_nodes.push(child);
+        }
+        parts
+    }
+
+    /// Reassembles a trie from its flat representation — the inverse of
+    /// [`CompactedTrie::to_parts`], in `O(nodes + children)` time (no
+    /// construction is re-run).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural inconsistency (length
+    /// mismatches, out-of-range node ids, child tables out of bounds).
+    pub fn from_parts(parts: TrieParts) -> Result<Self, String> {
+        let n = parts.depth.len();
+        if [
+            parts.leaf_lo.len(),
+            parts.leaf_hi.len(),
+            parts.children_start.len(),
+            parts.children_len.len(),
+            parts.is_leaf.len(),
+        ]
+        .iter()
+        .any(|&len| len != n)
+        {
+            return Err("trie node arrays have inconsistent lengths".into());
+        }
+        if parts.child_letters.len() != parts.child_nodes.len() {
+            return Err("trie child arrays have inconsistent lengths".into());
+        }
+        if n == 0 {
+            return Err("a trie always has at least a root node".into());
+        }
+        if parts.root as usize >= n {
+            return Err(format!("root {} out of range ({n} nodes)", parts.root));
+        }
+        let children_total = parts.child_nodes.len();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = parts.children_start[i] as usize;
+            let len = parts.children_len[i] as usize;
+            if start + len > children_total {
+                return Err(format!("child table of node {i} out of bounds"));
+            }
+            if parts.is_leaf[i] > 1 {
+                return Err(format!("node {i} has a non-boolean leaf flag"));
+            }
+            if parts.leaf_lo[i] > parts.leaf_hi[i] || u64::from(parts.leaf_hi[i]) > parts.num_leaves
+            {
+                return Err(format!("leaf range of node {i} out of bounds"));
+            }
+            nodes.push(Node {
+                depth: parts.depth[i],
+                leaf_lo: parts.leaf_lo[i],
+                leaf_hi: parts.leaf_hi[i],
+                children_start: parts.children_start[i],
+                children_len: parts.children_len[i],
+                is_leaf: parts.is_leaf[i] == 1,
+            });
+        }
+        let children: Vec<(u8, u32)> = parts
+            .child_letters
+            .iter()
+            .zip(&parts.child_nodes)
+            .map(|(&letter, &child)| (letter, child))
+            .collect();
+        if children.iter().any(|&(_, child)| child as usize >= n) {
+            return Err("child table references a node out of range".into());
+        }
+        Ok(Self {
+            nodes,
+            children,
+            root: parts.root,
+            num_leaves: parts.num_leaves as usize,
+        })
     }
 }
 
@@ -473,6 +608,53 @@ mod tests {
                 assert_eq!(got, expected, "pattern {pattern:?} over {sorted:?}");
             }
         }
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_descents() {
+        let strings: Vec<&[u8]> = vec![b"banana", b"anana", b"nana", b"ana", b"na", b"a"];
+        let (trie, text, sorted) = build_from_strings(&strings);
+        let rebuilt = CompactedTrie::from_parts(trie.to_parts()).unwrap();
+        assert_eq!(rebuilt.num_nodes(), trie.num_nodes());
+        assert_eq!(rebuilt.num_leaves(), trie.num_leaves());
+        for pattern in [&b"an"[..], b"na", b"banana", b"x", b""] {
+            assert_eq!(
+                descend_leaves(&rebuilt, &text, &sorted, pattern),
+                descend_leaves(&trie, &text, &sorted, pattern),
+                "pattern {pattern:?}"
+            );
+        }
+        // The round trip is exact.
+        assert_eq!(rebuilt.to_parts(), trie.to_parts());
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupted_input() {
+        let (trie, _, _) = build_from_strings(&[b"ab", b"ba"]);
+        let good = trie.to_parts();
+        let mut bad = good.clone();
+        bad.root = 10_000;
+        assert!(CompactedTrie::from_parts(bad).is_err());
+        let mut bad = good.clone();
+        bad.leaf_lo.pop();
+        assert!(CompactedTrie::from_parts(bad).is_err());
+        let mut bad = good.clone();
+        if let Some(first) = bad.child_nodes.first_mut() {
+            *first = u32::MAX;
+        }
+        assert!(CompactedTrie::from_parts(bad).is_err());
+        // Leaf ranges must stay inside the string count.
+        let mut bad = good.clone();
+        bad.leaf_lo[0] = 1_000_000_000;
+        bad.leaf_hi[0] = 1_000_000_001;
+        assert!(CompactedTrie::from_parts(bad).is_err());
+        let mut bad = good.clone();
+        bad.leaf_hi[0] = 0;
+        bad.leaf_lo[0] = 1;
+        assert!(CompactedTrie::from_parts(bad).is_err());
+        let mut bad = good;
+        bad.children_start[0] = u32::MAX;
+        assert!(CompactedTrie::from_parts(bad).is_err());
     }
 
     #[test]

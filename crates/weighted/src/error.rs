@@ -42,6 +42,15 @@ pub enum Error {
         /// Lower bound `ℓ` the index was built for.
         lower_bound: usize,
     },
+    /// The queried pattern is longer than the sharded index's configured
+    /// maximum pattern length (the shard overlap only covers occurrences up
+    /// to that length).
+    PatternTooLong {
+        /// Length of the supplied pattern.
+        pattern: usize,
+        /// Upper bound the sharded index was built for.
+        upper_bound: usize,
+    },
     /// Parameters passed to a builder are inconsistent.
     InvalidParameters(String),
 }
@@ -68,6 +77,11 @@ impl fmt::Display for Error {
                 f,
                 "pattern of length {pattern} is shorter than the index lower bound ℓ = {lower_bound}"
             ),
+            Error::PatternTooLong { pattern, upper_bound } => write!(
+                f,
+                "pattern of length {pattern} exceeds the sharded index's maximum supported \
+                 pattern length {upper_bound}"
+            ),
             Error::InvalidParameters(reason) => write!(f, "invalid parameters: {reason}"),
         }
     }
@@ -93,6 +107,11 @@ mod tests {
             lower_bound: 8,
         };
         assert!(e.to_string().contains('3') && e.to_string().contains('8'));
+        let e = Error::PatternTooLong {
+            pattern: 90,
+            upper_bound: 64,
+        };
+        assert!(e.to_string().contains("90") && e.to_string().contains("64"));
     }
 
     #[test]

@@ -155,6 +155,40 @@ impl HeavyString {
             .collect()
     }
 
+    /// The stored log-prefix products (`n + 1` entries; entry `i` is
+    /// `Σ_{j < i} ln p_j(H_X[j])`), exposed for the persistence layer.
+    #[inline]
+    pub fn log_prefix(&self) -> &[f64] {
+        &self.log_prefix
+    }
+
+    /// Reassembles a heavy string from its stored parts (letters and
+    /// log-prefix products) without recomputing either — the persistence
+    /// layer's constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameters`] unless `log_prefix` has exactly
+    /// `letters.len() + 1` finite entries starting at 0.
+    pub fn from_parts(letters: Vec<u8>, log_prefix: Vec<f64>) -> Result<Self> {
+        if log_prefix.len() != letters.len() + 1 {
+            return Err(Error::InvalidParameters(format!(
+                "log-prefix table has {} entries for {} letters",
+                log_prefix.len(),
+                letters.len()
+            )));
+        }
+        if log_prefix.first() != Some(&0.0) || log_prefix.iter().any(|v| !v.is_finite()) {
+            return Err(Error::InvalidParameters(
+                "log-prefix table must start at 0 and stay finite".into(),
+            ));
+        }
+        Ok(Self {
+            letters: Arc::new(letters),
+            log_prefix,
+        })
+    }
+
     /// Approximate heap usage in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.letters.capacity() + self.log_prefix.capacity() * std::mem::size_of::<f64>()
@@ -258,6 +292,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parts_round_trip_is_exact() {
+        let x = paper_example();
+        let h = HeavyString::new(&x);
+        let rebuilt =
+            HeavyString::from_parts(h.as_ranks().to_vec(), h.log_prefix().to_vec()).unwrap();
+        assert_eq!(rebuilt.as_ranks(), h.as_ranks());
+        assert_eq!(rebuilt.log_prefix(), h.log_prefix());
+        assert_eq!(
+            rebuilt.range_log_probability(1, 5).to_bits(),
+            h.range_log_probability(1, 5).to_bits()
+        );
+        // Malformed parts are rejected.
+        assert!(HeavyString::from_parts(vec![0, 1], vec![0.0, 0.5]).is_err());
+        assert!(HeavyString::from_parts(vec![0], vec![0.1, 0.2]).is_err());
+        assert!(HeavyString::from_parts(vec![0], vec![0.0, f64::NAN]).is_err());
     }
 
     #[test]

@@ -274,6 +274,36 @@ impl WeightedString {
         }
     }
 
+    /// The weighted substring `X[start..end)` (half-open range): position `i`
+    /// of the result carries the distribution of position `start + i`.
+    ///
+    /// Used by the sharding layer to give every shard its own chunk of `X`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PositionOutOfBounds`] if `end > n` or `start >= end`.
+    pub fn substring(&self, start: usize, end: usize) -> Result<Self> {
+        if end > self.n || start >= end {
+            return Err(Error::PositionOutOfBounds {
+                position: end.max(start),
+                length: self.n,
+            });
+        }
+        let sigma = self.alphabet.size();
+        Ok(Self {
+            alphabet: self.alphabet.clone(),
+            n: end - start,
+            probs: self.probs[start * sigma..end * sigma].to_vec(),
+        })
+    }
+
+    /// The flat row-major probability matrix (`n × σ`), exposed for the
+    /// persistence layer.
+    #[inline]
+    pub fn flat_probs(&self) -> &[f64] {
+        &self.probs
+    }
+
     /// Approximate heap size of the probability matrix, in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.probs.capacity() * std::mem::size_of::<f64>()
@@ -442,6 +472,24 @@ mod tests {
         assert_eq!(letters, vec![(0, 1.0)]);
         let letters: Vec<(u8, f64)> = x.letters_at(1).collect();
         assert_eq!(letters.len(), 2);
+    }
+
+    #[test]
+    fn substring_preserves_distributions() {
+        let x = paper_example();
+        let sub = x.substring(2, 5).unwrap();
+        assert_eq!(sub.len(), 3);
+        for i in 0..3 {
+            assert_eq!(sub.distribution(i), x.distribution(2 + i));
+        }
+        // Occurrence probabilities translate by the offset.
+        assert_eq!(
+            sub.occurrence_probability(0, &[0, 1]).to_bits(),
+            x.occurrence_probability(2, &[0, 1]).to_bits()
+        );
+        assert_eq!(x.substring(0, x.len()).unwrap(), x);
+        assert!(x.substring(3, 3).is_err());
+        assert!(x.substring(0, x.len() + 1).is_err());
     }
 
     #[test]

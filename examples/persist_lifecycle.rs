@@ -1,0 +1,110 @@
+//! The full index lifecycle on disk: build once → measure → save → load →
+//! serve, plus a sharded composite index routing the same queries.
+//!
+//! Run with `cargo run --release --example persist_lifecycle`.
+//! CI runs this as the save→load→query round-trip smoke test (the files go
+//! to a scratch directory under the system temp dir).
+
+use ius::prelude::*;
+use ius_index::{load_index, IndexFamily, IndexSpec, ShardedIndex};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::time::Instant;
+
+fn main() {
+    // A synthetic pangenome and a family selection to persist.
+    let x = PangenomeConfig {
+        n: 20_000,
+        delta: 0.05,
+        seed: 0xD15C,
+        ..Default::default()
+    }
+    .generate();
+    let (z, ell) = (16.0, 64usize);
+    let params = IndexParams::new(z, ell, x.sigma()).expect("valid parameters");
+    let est = ZEstimation::build(&x, z).expect("estimation");
+    let mut sampler = PatternSampler::new(&est, 7);
+    let patterns = sampler.sample_many(ell, 25);
+    assert!(!patterns.is_empty(), "no solid patterns sampled");
+
+    let dir = std::env::temp_dir().join(format!("ius-lifecycle-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch directory");
+    println!("scratch directory: {}", dir.display());
+
+    for family in [
+        IndexFamily::Wsa,
+        IndexFamily::Minimizer(IndexVariant::Array),
+        IndexFamily::Minimizer(IndexVariant::ArrayGrid),
+    ] {
+        let spec = IndexSpec::new(family, params);
+
+        // Build (once) and measure.
+        let t = Instant::now();
+        let index = spec.build_with_estimation(&x, &est).expect("build");
+        let build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Save to disk (buffered, like the read side below).
+        let path = dir.join(format!("{}.iusx", family.name().to_lowercase()));
+        let mut writer = BufWriter::new(File::create(&path).expect("create index file"));
+        index.save_to(&mut writer).expect("save");
+        writer.flush().expect("flush");
+        let file_bytes = std::fs::metadata(&path).expect("stat").len();
+
+        // Load from disk — no construction is re-run.
+        let t = Instant::now();
+        let mut reader = BufReader::new(File::open(&path).expect("open index file"));
+        let loaded = load_index(&mut reader).expect("load");
+        let load_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Serve: the loaded index answers exactly like the built one.
+        let mut total = 0usize;
+        for pattern in &patterns {
+            let expected = index.query(pattern, &x).expect("query");
+            let got = loaded.query(pattern, &x).expect("loaded query");
+            assert_eq!(got, expected, "loaded index diverged");
+            total += got.len();
+        }
+        println!(
+            "{:<8} build {build_ms:>8.1} ms   size {:>7.2} MB   file {:>7.2} MB   \
+             load {load_ms:>6.1} ms   {} occurrences over {} patterns",
+            family.name(),
+            index.size_bytes() as f64 / 1e6,
+            file_bytes as f64 / 1e6,
+            total,
+            patterns.len(),
+        );
+    }
+
+    // A sharded composite index: 4 chunks with a 2ℓ−1 overlap, answers
+    // asserted identical to the unsharded index, then saved and reloaded.
+    let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::ArrayGrid), params);
+    let unsharded = spec.build_with_estimation(&x, &est).expect("unsharded");
+    let sharded = ShardedIndex::build(&x, spec, 4, 2 * ell).expect("sharded build");
+    for pattern in &patterns {
+        assert_eq!(
+            sharded.query(pattern, &x).expect("sharded query"),
+            unsharded.query(pattern, &x).expect("unsharded query"),
+        );
+    }
+    let path = dir.join("mwsa-g.sharded.iusx");
+    let mut writer = BufWriter::new(File::create(&path).expect("create sharded file"));
+    sharded.save_to(&mut writer).expect("save sharded");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(File::open(&path).expect("open sharded file"));
+    let reloaded = ShardedIndex::load_from(&mut reader).expect("load sharded");
+    for pattern in &patterns {
+        assert_eq!(
+            reloaded.query(pattern, &x).expect("reloaded query"),
+            unsharded.query(pattern, &x).expect("unsharded query"),
+        );
+    }
+    println!(
+        "SHARDED  S={} overlap={}   size {:>7.2} MB   round-trip OK",
+        sharded.num_shards(),
+        sharded.overlap(),
+        sharded.size_bytes() as f64 / 1e6,
+    );
+
+    std::fs::remove_dir_all(&dir).expect("clean scratch directory");
+    println!("lifecycle round trip complete; scratch directory removed");
+}

@@ -18,7 +18,10 @@
 //! * [`grid`] — 2D range reporting;
 //! * [`index`] — the indexes themselves: the `WST`/`WSA` baselines and the
 //!   paper's `MWST`, `MWSA`, `MWST-G`, `MWSA-G` and the space-efficient
-//!   `MWST-SE` construction;
+//!   `MWST-SE` construction — plus the lifecycle layers around them: the
+//!   unified builder (`IndexSpec` → `AnyIndex`), versioned binary
+//!   persistence (`save_index`/`load_index`; loading never re-runs
+//!   construction) and sharded composite indexes (`ShardedIndex`);
 //! * [`datasets`] — synthetic stand-ins for the paper's datasets and the
 //!   pattern samplers used in the evaluation.
 //!
@@ -64,9 +67,10 @@ pub mod prelude {
     pub use ius_datasets::registry::{standard_datasets, Dataset, Scale};
     pub use ius_datasets::rssi::RssiConfig;
     pub use ius_index::{
-        query_batch, query_batch_positions, CountSink, FirstKSink, IndexParams, IndexVariant,
-        MatchSink, MinimizerIndex, NaiveIndex, QueryBatch, QueryScratch, QueryStats,
-        SpaceEfficientBuilder, UncertainIndex, Wsa, Wst,
+        load_index, query_batch, query_batch_positions, save_index, AnyIndex, CountSink,
+        FirstKSink, IndexFamily, IndexParams, IndexSpec, IndexVariant, MatchSink, MinimizerIndex,
+        NaiveIndex, QueryBatch, QueryScratch, QueryStats, ShardedIndex, SpaceEfficientBuilder,
+        UncertainIndex, Wsa, Wst,
     };
     pub use ius_sampling::{KmerOrder, MinimizerScheme};
     pub use ius_weighted::{Alphabet, HeavyString, WeightedString, ZEstimation};

@@ -1,0 +1,85 @@
+//! Cross-checks `size_bytes()` against the counting allocator: for every
+//! index family, the self-reported footprint must match the heap actually
+//! retained by construction. This is the audit net for the space figures —
+//! a forgotten allocation (packed prefix keys, precomputed log-ratios,
+//! grid pair tables, …) shows up here as under-reporting, a double count as
+//! over-reporting.
+//!
+//! This integration test is its own binary, so installing the counting
+//! allocator here affects nothing else in the workspace. All checks run
+//! inside a single `#[test]` so no parallel test perturbs the live-byte
+//! counters during a measurement.
+
+use ius::prelude::*;
+use ius_index::{AnyIndex, IndexFamily, IndexSpec, ShardedIndex};
+use ius_memtrack::CountingAllocator;
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator::new();
+
+/// Asserts `reported` is within `tolerance` (fractional) plus `slack_bytes`
+/// of `retained`, in both directions.
+fn assert_close(label: &str, reported: usize, retained: usize, tolerance: f64, slack_bytes: usize) {
+    let lo = retained as f64 * (1.0 - tolerance) - slack_bytes as f64;
+    let hi = retained as f64 * (1.0 + tolerance) + slack_bytes as f64;
+    assert!(
+        (reported as f64) >= lo && (reported as f64) <= hi,
+        "{label}: size_bytes() reports {reported} but construction retained {retained} \
+         heap bytes (allowed [{lo:.0}, {hi:.0}])"
+    );
+}
+
+#[test]
+fn size_bytes_matches_retained_heap_for_every_family() {
+    let x = PangenomeConfig {
+        n: 3_000,
+        delta: 0.06,
+        seed: 0x51E,
+        ..Default::default()
+    }
+    .generate();
+    let (z, ell) = (16.0, 32usize);
+    let params = IndexParams::new(z, ell, x.sigma()).unwrap();
+
+    for family in IndexFamily::all() {
+        if matches!(family, IndexFamily::Naive) {
+            continue; // O(1)-sized; nothing meaningful to cross-check.
+        }
+        let spec = IndexSpec::new(family, params);
+        // Everything construction-internal (the z-estimation, LCE tables,
+        // sort buffers) is freed inside the closure, so the net growth is
+        // exactly the index's retained heap.
+        let (index, mem) = ius_memtrack::measure(|| spec.build(&x).unwrap());
+        assert!(
+            mem.retained_bytes > 0,
+            "{}: nothing retained?",
+            family.name()
+        );
+        assert!(mem.peak_bytes >= mem.retained_bytes);
+        // 2% + 4 KB covers allocator-header noise (Arc control blocks) and
+        // the enum wrapper; anything beyond that is an accounting bug.
+        assert_close(
+            family.name(),
+            index.size_bytes(),
+            mem.retained_bytes,
+            0.02,
+            4096,
+        );
+        drop::<AnyIndex>(index);
+    }
+
+    // The sharded composite: shard chunks of X are owned allocations and
+    // must be part of the reported footprint. The per-shard Alphabet tables
+    // are the only heap size_bytes does not see — covered by the slack.
+    let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::ArrayGrid), params);
+    let (sharded, mem) =
+        ius_memtrack::measure(|| ShardedIndex::build(&x, spec, 4, 2 * ell).unwrap());
+    assert_close(
+        "SHARDED-MWSA-G(S=4)",
+        sharded.size_bytes(),
+        mem.retained_bytes,
+        0.03,
+        16 * 1024,
+    );
+    drop(sharded);
+}
