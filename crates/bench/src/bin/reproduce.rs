@@ -21,6 +21,7 @@ use ius_bench::measure::{
 };
 use ius_bench::query_bench::{render_query_json, run_query_bench, QueryBenchConfig};
 use ius_bench::report::{render_csv, render_table, Row};
+use ius_bench::serve_bench::{render_serve_json, run_serve_bench, ServeBenchConfig};
 use ius_bench::space_bench::{render_space_json, run_space_bench, SpaceBenchConfig};
 use ius_datasets::registry::{efm_star, human_star, rssi_star, sars_star, Dataset, Scale};
 use ius_datasets::rssi::rssi_scaled;
@@ -49,11 +50,14 @@ struct Config {
     bench_construction: bool,
     bench_query: bool,
     bench_space: bool,
+    bench_serve: bool,
     bench_n: usize,
     bench_reps: usize,
     bench_patterns: usize,
     bench_threads: Option<usize>,
     bench_shards: Vec<usize>,
+    bench_workers: Vec<usize>,
+    bench_clients: usize,
 }
 
 fn main() {
@@ -146,6 +150,30 @@ fn main() {
         return;
     }
 
+    if config.bench_serve {
+        let bench_config = ServeBenchConfig {
+            n: config.bench_n,
+            reps: config.bench_reps,
+            patterns: config.bench_patterns.min(400),
+            worker_counts: config.bench_workers.clone(),
+            clients: config.bench_clients,
+        };
+        let results = run_serve_bench(&bench_config);
+        let json = render_serve_json(&bench_config, &results);
+        let path = config
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_serve.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, &json).expect("write BENCH_serve.json");
+        println!("{json}");
+        println!("wrote {}", path.display());
+        return;
+    }
+
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
     let want = |ids: &[ExperimentId]| ids.iter().any(|id| config.experiments.contains(id));
@@ -225,12 +253,17 @@ fn print_help() {
          \x20 --bench-space        run the index-lifecycle space benchmark (footprint,\n\
          \x20                      serialized size, save/load vs rebuild, sharded vs\n\
          \x20                      unsharded throughput) and write BENCH_space.json\n\
+         \x20 --bench-serve        run the serving benchmark (persisted index served over\n\
+         \x20                      loopback TCP, throughput + p50/p99 latency vs worker\n\
+         \x20                      count, hot-reload stage) and write BENCH_serve.json\n\
          \x20 --bench-n <n>        string length for --bench-* (default 100000)\n\
          \x20 --bench-reps <r>     repetitions per timed side for --bench-* (default 3)\n\
-         \x20 --bench-patterns <p> query patterns per dataset for --bench-query/--bench-space\n\
-         \x20                      (default 400; the space bench caps at 200)\n\
+         \x20 --bench-patterns <p> query patterns per dataset for --bench-query/--bench-space/\n\
+         \x20                      --bench-serve (default 400; space/serve cap at 200/400)\n\
          \x20 --bench-threads <t>  batch workers for --bench-query (default: all CPUs)\n\
          \x20 --bench-shards <s,..> shard counts for --bench-space (default 1,4,8)\n\
+         \x20 --bench-workers <w,..> worker-pool sizes for --bench-serve (default 1,2,4)\n\
+         \x20 --bench-clients <c>  concurrent client threads for --bench-serve (default 4)\n\
          \x20 --list               list experiments\n"
     );
 }
@@ -244,11 +277,14 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut bench_construction = false;
     let mut bench_query = false;
     let mut bench_space = false;
+    let mut bench_serve = false;
     let mut bench_n = 100_000usize;
     let mut bench_reps = 3usize;
     let mut bench_patterns = 400usize;
     let mut bench_threads = None;
     let mut bench_shards = vec![1usize, 4, 8];
+    let mut bench_workers = vec![1usize, 2, 4];
+    let mut bench_clients = 4usize;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -263,6 +299,34 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
             "--bench-space" => {
                 bench_space = true;
                 i += 1;
+            }
+            "--bench-serve" => {
+                bench_serve = true;
+                i += 1;
+            }
+            "--bench-workers" => {
+                bench_workers = args
+                    .get(i + 1)
+                    .ok_or("--bench-workers needs a value")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map_err(|e| format!("bad --bench-workers: {e}"))?;
+                if bench_workers.is_empty() || bench_workers.contains(&0) {
+                    return Err("--bench-workers needs positive worker counts".into());
+                }
+                i += 2;
+            }
+            "--bench-clients" => {
+                bench_clients = args
+                    .get(i + 1)
+                    .ok_or("--bench-clients needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --bench-clients: {e}"))?;
+                if bench_clients == 0 {
+                    return Err("--bench-clients needs a positive count".into());
+                }
+                i += 2;
             }
             "--bench-shards" => {
                 bench_shards = args
@@ -366,11 +430,14 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         bench_construction,
         bench_query,
         bench_space,
+        bench_serve,
         bench_n,
         bench_reps,
         bench_patterns,
         bench_threads,
         bench_shards,
+        bench_workers,
+        bench_clients,
     })
 }
 

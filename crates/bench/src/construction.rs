@@ -12,9 +12,7 @@
 //! over the same repetition count, and outputs are asserted identical before
 //! timing is trusted.
 
-use ius_datasets::pangenome::PangenomeConfig;
-use ius_datasets::rssi::rssi_like;
-use ius_datasets::uniform::UniformConfig;
+use ius_datasets::corpora::bench_corpus;
 use ius_index::{IndexParams, IndexVariant, MinimizerIndex};
 use ius_sampling::{KmerOrder, MinimizerScheme};
 use ius_text::sa::{suffix_array, suffix_array_prefix_doubling};
@@ -217,70 +215,50 @@ pub fn run_construction_bench(config: &ConstructionBenchConfig) -> Vec<DatasetBe
     let reps = config.reps;
     let mut results = Vec::new();
 
-    // Near-deterministic uniform strings (every position uncertain, small
-    // minor mass): the regime where a pattern-length bound pays off.
-    let uniform = UniformConfig {
-        n,
-        sigma: 4,
-        spread: 0.05,
-        seed: 0xBEC,
-    }
-    .generate();
+    // The corpora come from the canonical shared definition
+    // (`ius_datasets::corpora`); z and ell stay per-bench parameters — the
+    // high-entropy corpus is deliberately measured at ell = 128 here
+    // (reported for transparency: short solid windows, the estimation
+    // dominates) instead of its query-regime ell = 24.
+    let corpus = |name: &str| bench_corpus(name, n, None).expect("known corpus name");
+
+    let uniform = corpus("uniform");
     results.push(bench_dataset(
-        "uniform",
-        "sigma=4 spread=0.05 seed=0xBEC".into(),
-        &uniform,
-        8.0,
-        64,
+        uniform.name,
+        uniform.params.clone(),
+        &uniform.x,
+        uniform.z,
+        uniform.ell,
         reps,
     ));
 
-    // High-entropy uniform strings, reported for transparency (short solid
-    // windows, so the estimation dominates and the sampled index is small).
-    let uniform_he = UniformConfig {
-        n,
-        sigma: 4,
-        spread: 0.2,
-        seed: 0xBEC,
-    }
-    .generate();
+    let uniform_he = corpus("uniform_high_entropy");
     results.push(bench_dataset(
-        "uniform_high_entropy",
-        "sigma=4 spread=0.2 seed=0xBEC".into(),
-        &uniform_he,
-        32.0,
+        uniform_he.name,
+        uniform_he.params.clone(),
+        &uniform_he.x,
+        uniform_he.z,
         128,
         reps,
     ));
 
-    // Pangenome-style strings (SNP allele frequencies), the paper's regime.
-    let pangenome = PangenomeConfig {
-        n,
-        delta: 0.05,
-        seed: 0xDA7A,
-        ..Default::default()
-    }
-    .generate();
+    let pangenome = corpus("pangenome");
     results.push(bench_dataset(
-        "pangenome",
-        "delta=0.05 seed=0xDA7A".into(),
-        &pangenome,
-        32.0,
-        128,
+        pangenome.name,
+        pangenome.params.clone(),
+        &pangenome.x,
+        pangenome.z,
+        pangenome.ell,
         reps,
     ));
 
-    // Sensor-style strings (the paper's RSSI regime): σ = 91, every position
-    // uncertain, concentrated distributions. Solid windows are short here
-    // (heavy mass ≈ 0.69 per position), so ℓ = 8 at z = 64 is the workable
-    // pattern-length regime.
-    let rssi = rssi_like(n, 0x0551);
+    let rssi = corpus("rssi");
     results.push(bench_dataset(
-        "rssi",
-        "sigma=91 channels=16 seed=0x0551".into(),
-        &rssi,
-        64.0,
-        8,
+        rssi.name,
+        rssi.params.clone(),
+        &rssi.x,
+        rssi.z,
+        rssi.ell,
         reps,
     ));
 

@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod measure;
 pub mod query_bench;
 pub mod report;
+pub mod serve_bench;
 pub mod space_bench;
 
 pub use construction::{ConstructionBenchConfig, DatasetBench, StageTiming};
@@ -21,4 +22,5 @@ pub use experiments::{Experiment, ExperimentId};
 pub use measure::{BuildMeasurement, IndexKind, QueryMeasurement};
 pub use query_bench::{FamilyQueryBench, QueryBenchConfig, QueryDatasetBench};
 pub use report::Row;
+pub use serve_bench::{ReloadBench, ServeBenchConfig, ServeDatasetBench, WorkerBench};
 pub use space_bench::{FamilySpaceBench, ShardBench, SpaceBenchConfig, SpaceDatasetBench};

@@ -17,10 +17,8 @@
 //! plus scratch reuse, not parallelism — the worker count is recorded in the
 //! JSON so the numbers can be read honestly.
 
-use ius_datasets::pangenome::PangenomeConfig;
+use ius_datasets::corpora::bench_corpora;
 use ius_datasets::patterns::PatternSampler;
-use ius_datasets::rssi::rssi_like;
-use ius_datasets::uniform::UniformConfig;
 use ius_index::{
     query_batch, IndexParams, IndexVariant, MinimizerIndex, QueryBatch, QueryScratch,
     UncertainIndex, Wsa, Wst,
@@ -290,77 +288,23 @@ fn bench_dataset(
     }
 }
 
-/// Runs the full before/after query benchmark on the three PR-1 datasets.
+/// Runs the full before/after query benchmark on the four canonical
+/// benchmark corpora (`ius_datasets::corpora` — the shared definition also
+/// behind the construction/space/serve benches and the `serve` presets).
 pub fn run_query_bench(config: &QueryBenchConfig) -> Vec<QueryDatasetBench> {
-    let n = config.n;
-    let mut results = Vec::new();
-
-    // Near-deterministic uniform strings: long solid factors, ℓ = 64.
-    let uniform = UniformConfig {
-        n,
-        sigma: 4,
-        spread: 0.05,
-        seed: 0xBEC,
-    }
-    .generate();
-    results.push(bench_dataset(
-        "uniform",
-        "sigma=4 spread=0.05 seed=0xBEC".into(),
-        &uniform,
-        8.0,
-        64,
-        config,
-    ));
-
-    // High-entropy uniform strings: solid windows are short, so the indexes
-    // are built for a small ℓ (the pattern-length regime this distribution
-    // admits at z = 32).
-    let uniform_he = UniformConfig {
-        n,
-        sigma: 4,
-        spread: 0.2,
-        seed: 0xBEC,
-    }
-    .generate();
-    results.push(bench_dataset(
-        "uniform_high_entropy",
-        "sigma=4 spread=0.2 seed=0xBEC".into(),
-        &uniform_he,
-        32.0,
-        24,
-        config,
-    ));
-
-    // Pangenome-style strings (SNP allele frequencies), the paper's regime.
-    let pangenome = PangenomeConfig {
-        n,
-        delta: 0.05,
-        seed: 0xDA7A,
-        ..Default::default()
-    }
-    .generate();
-    results.push(bench_dataset(
-        "pangenome",
-        "delta=0.05 seed=0xDA7A".into(),
-        &pangenome,
-        32.0,
-        128,
-        config,
-    ));
-
-    // Sensor-style strings (the paper's RSSI regime): large alphabet, every
-    // position uncertain, short solid windows — ℓ = 8 at z = 64.
-    let rssi = rssi_like(n, 0x0551);
-    results.push(bench_dataset(
-        "rssi",
-        "sigma=91 channels=16 seed=0x0551".into(),
-        &rssi,
-        64.0,
-        8,
-        config,
-    ));
-
-    results
+    bench_corpora(config.n)
+        .into_iter()
+        .map(|corpus| {
+            bench_dataset(
+                corpus.name,
+                corpus.params,
+                &corpus.x,
+                corpus.z,
+                corpus.ell,
+                config,
+            )
+        })
+        .collect()
 }
 
 /// Renders the benchmark results as the `BENCH_query.json` document.

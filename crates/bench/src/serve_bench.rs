@@ -1,0 +1,457 @@
+//! The serving benchmark behind `reproduce --bench-serve` and
+//! `BENCH_serve.json`.
+//!
+//! For each of the four benchmark corpora an MWSA-G index is built, saved,
+//! and served **from the file** over loopback TCP — the full production
+//! path: persistence load, admission queue, worker pool, wire encode/decode
+//! on both sides. Concurrent client threads then stream the pattern set in
+//! collect mode, and every wire answer is asserted byte-identical to a
+//! direct in-process `query_into` on the same index before any timing is
+//! trusted (count and first-`k` modes are asserted once outside the timed
+//! loop). Throughput takes the best of `reps` sweeps; latency percentiles
+//! pool the per-request round-trip times over all sweeps.
+//!
+//! A final hot-reload stage re-runs the sweep while a separate connection
+//! keeps swapping the index file in, asserting that every query issued
+//! during the swaps completes with the identical answer — the serving-side
+//! guarantee behind zero-downtime index updates.
+//!
+//! On a single-CPU host the worker sweep measures queueing and protocol
+//! overhead rather than parallel speedup; the worker and client counts are
+//! recorded in the JSON so the numbers can be read honestly.
+
+use ius_datasets::corpora::bench_corpora;
+use ius_datasets::patterns::PatternSampler;
+use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant, QueryScratch, UncertainIndex};
+use ius_server::{Client, ServedIndex, Server, ServerConfig};
+use ius_weighted::{WeightedString, ZEstimation};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parameters of one serving-benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Length of the generated weighted strings.
+    pub n: usize,
+    /// Timed sweeps per worker count (throughput takes the best).
+    pub reps: usize,
+    /// Query patterns sampled per dataset (half at ℓ, half at 2ℓ).
+    pub patterns: usize,
+    /// Worker-pool sizes to sweep.
+    pub worker_counts: Vec<usize>,
+    /// Concurrent client threads (one connection each).
+    pub clients: usize,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            reps: 3,
+            patterns: 200,
+            worker_counts: vec![1, 2, 4],
+            clients: 4,
+        }
+    }
+}
+
+/// Throughput/latency of one worker-pool size on one dataset.
+#[derive(Debug, Clone)]
+pub struct WorkerBench {
+    /// Worker threads serving the queries.
+    pub workers: usize,
+    /// Queries per timed sweep (`clients` threads × their stripes).
+    pub queries: usize,
+    /// Best-sweep throughput, queries per second.
+    pub throughput_qps: f64,
+    /// Median request round trip, microseconds (pooled over all sweeps).
+    pub p50_us: f64,
+    /// 99th-percentile request round trip, microseconds.
+    pub p99_us: f64,
+}
+
+/// The hot-reload stage of one dataset.
+#[derive(Debug, Clone)]
+pub struct ReloadBench {
+    /// Index swaps performed while the queries ran.
+    pub reloads: u64,
+    /// Queries answered during the swap storm (all asserted identical).
+    pub queries: usize,
+    /// Final index generation reported by the server.
+    pub final_generation: u64,
+}
+
+/// All serving measurements of one dataset.
+#[derive(Debug, Clone)]
+pub struct ServeDatasetBench {
+    /// Dataset label (`uniform`, `pangenome`, …).
+    pub name: String,
+    /// Human-readable generator parameters.
+    pub params: String,
+    /// Weight threshold z.
+    pub z: f64,
+    /// Minimum pattern length ℓ.
+    pub ell: usize,
+    /// Occurrences over the pattern set (identical on every path).
+    pub occurrences: usize,
+    /// Per-worker-count measurements.
+    pub workers: Vec<WorkerBench>,
+    /// The hot-reload stage.
+    pub reload: ReloadBench,
+}
+
+/// One timed sweep: `clients` threads, each a fresh connection, each
+/// streaming its stripe of the patterns in collect mode, asserting every
+/// answer against the expected outputs. Returns the per-request round-trip
+/// latencies (µs) and the sweep's wall time (seconds).
+fn timed_sweep(
+    addr: SocketAddr,
+    clients: usize,
+    patterns: &[Vec<u8>],
+    expected: &[Vec<usize>],
+) -> (Vec<f64>, f64) {
+    let sweep_start = Instant::now();
+    let mut all_latencies = Vec::with_capacity(patterns.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("bench client connect");
+                let mut latencies = Vec::new();
+                for (i, pattern) in patterns.iter().enumerate().skip(c).step_by(clients) {
+                    let t = Instant::now();
+                    let outcome = client.query(pattern).expect("bench query");
+                    latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                    assert_eq!(
+                        outcome.positions, expected[i],
+                        "served output differs from in-process query_into (pattern {i})"
+                    );
+                }
+                latencies
+            }));
+        }
+        for handle in handles {
+            all_latencies.extend(handle.join().expect("bench client thread"));
+        }
+    });
+    (all_latencies, sweep_start.elapsed().as_secs_f64())
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Benchmarks one corpus end to end. The index file outlives the function
+/// only inside `dir`.
+#[allow(clippy::too_many_arguments)]
+fn bench_dataset(
+    name: &str,
+    params_label: String,
+    x: &WeightedString,
+    z: f64,
+    ell: usize,
+    dir: &Path,
+    config: &ServeBenchConfig,
+) -> ServeDatasetBench {
+    eprintln!(
+        "[bench-serve] {name} (n = {}, z = {z}, ell = {ell}, {} patterns, {} client(s))",
+        x.len(),
+        config.patterns,
+        config.clients
+    );
+    let index_params = IndexParams::new(z, ell, x.sigma()).expect("params");
+    let spec = IndexSpec::new(
+        IndexFamily::Minimizer(IndexVariant::ArrayGrid),
+        index_params,
+    );
+    let index = spec.build(x).expect("build MWSA-G");
+
+    let est = ZEstimation::build(x, z).expect("estimation");
+    let mut sampler = PatternSampler::new(&est, 0x5E4E);
+    let mut patterns = sampler.sample_many(ell, config.patterns / 2);
+    patterns.extend(sampler.sample_many(2 * ell, config.patterns - config.patterns / 2));
+    assert!(
+        !patterns.is_empty(),
+        "{name}: no solid patterns of length {ell}"
+    );
+
+    // In-process ground truth through the same engine entry point the
+    // server uses.
+    let mut scratch = QueryScratch::new();
+    let expected: Vec<Vec<usize>> = patterns
+        .iter()
+        .map(|p| {
+            let mut out = Vec::new();
+            index
+                .query_into(p, x, &mut scratch, &mut out)
+                .expect("in-process query");
+            out
+        })
+        .collect();
+    let occurrences: usize = expected.iter().map(Vec::len).sum();
+
+    // Persist; the server loads from the file (the production path).
+    let path = dir.join(format!("{name}.iusx"));
+    index
+        .save_to(&mut std::fs::File::create(&path).expect("create index file"))
+        .expect("save index");
+    let corpus = Arc::new(x.clone());
+
+    let mut worker_rows = Vec::new();
+    for &workers in &config.worker_counts {
+        let served = ServedIndex::load(&path, Some(corpus.clone())).expect("load index file");
+        let server = Server::bind(
+            "127.0.0.1:0",
+            served,
+            Some(path.clone()),
+            &ServerConfig {
+                workers,
+                queue_depth: 64,
+                ..Default::default()
+            },
+        )
+        .expect("bind bench server");
+        let addr = server.local_addr();
+
+        // Correctness of the non-collect modes, once, before timing.
+        {
+            let mut client = Client::connect(addr).expect("connect");
+            for (i, pattern) in patterns.iter().enumerate().take(8) {
+                let (count, _) = client.query_count(pattern).expect("count mode");
+                assert_eq!(count as usize, expected[i].len(), "count mode differs");
+                let first = client.query_first_k(pattern, 3).expect("first-k mode");
+                assert_eq!(
+                    first.positions,
+                    expected[i][..expected[i].len().min(3)].to_vec(),
+                    "first-k mode differs"
+                );
+            }
+        }
+
+        let mut best_wall = f64::INFINITY;
+        let mut latencies = Vec::new();
+        for _ in 0..config.reps.max(1) {
+            let (sweep_latencies, wall) = timed_sweep(addr, config.clients, &patterns, &expected);
+            best_wall = best_wall.min(wall);
+            latencies.extend(sweep_latencies);
+        }
+        server.shutdown();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let row = WorkerBench {
+            workers,
+            queries: patterns.len(),
+            throughput_qps: patterns.len() as f64 / best_wall,
+            p50_us: percentile(&latencies, 0.50),
+            p99_us: percentile(&latencies, 0.99),
+        };
+        eprintln!(
+            "  workers {workers}: {:>9.0} q/s  p50 {:>8.1} us  p99 {:>8.1} us",
+            row.throughput_qps, row.p50_us, row.p99_us
+        );
+        worker_rows.push(row);
+    }
+
+    // Hot-reload stage: one sweep of queries while a second connection
+    // keeps swapping the index file back in. Every answer is still
+    // asserted identical — in-flight queries complete across swaps.
+    let served = ServedIndex::load(&path, Some(corpus.clone())).expect("load index file");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        served,
+        Some(path.clone()),
+        &ServerConfig {
+            workers: config.worker_counts.iter().copied().max().unwrap_or(2),
+            queue_depth: 64,
+            ..Default::default()
+        },
+    )
+    .expect("bind reload server");
+    let addr = server.local_addr();
+    let stop = AtomicBool::new(false);
+    let reloads = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..config.clients {
+            let patterns = &patterns;
+            let expected = &expected;
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (i, pattern) in patterns.iter().enumerate().skip(c).step_by(config.clients) {
+                    let outcome = client.query(pattern).expect("query during reload");
+                    assert_eq!(
+                        outcome.positions, expected[i],
+                        "output changed under hot reload (pattern {i})"
+                    );
+                }
+            }));
+        }
+        let reloader = scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect reloader");
+            loop {
+                client.reload(None).expect("hot reload");
+                reloads.fetch_add(1, Ordering::Relaxed);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        for handle in handles {
+            handle.join().expect("reload-stage client");
+        }
+        stop.store(true, Ordering::Relaxed);
+        reloader.join().expect("reloader");
+    });
+    let final_generation = {
+        let mut client = Client::connect(addr).expect("connect");
+        client.stats().expect("stats").generation
+    };
+    server.shutdown();
+    let reload = ReloadBench {
+        reloads: reloads.load(Ordering::Relaxed),
+        queries: patterns.len(),
+        final_generation,
+    };
+    eprintln!(
+        "  hot reload: {} swaps across {} in-flight queries, generation {}",
+        reload.reloads, reload.queries, reload.final_generation
+    );
+
+    ServeDatasetBench {
+        name: name.to_string(),
+        params: params_label,
+        z,
+        ell,
+        occurrences,
+        workers: worker_rows,
+        reload,
+    }
+}
+
+/// Runs the serving benchmark on the four corpora.
+pub fn run_serve_bench(config: &ServeBenchConfig) -> Vec<ServeDatasetBench> {
+    let dir: PathBuf = std::env::temp_dir().join(format!("ius-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let results = bench_corpora(config.n)
+        .into_iter()
+        .map(|corpus| {
+            bench_dataset(
+                corpus.name,
+                corpus.params,
+                &corpus.x,
+                corpus.z,
+                corpus.ell,
+                &dir,
+                config,
+            )
+        })
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    results
+}
+
+/// Renders the benchmark results as the `BENCH_serve.json` document.
+pub fn render_serve_json(config: &ServeBenchConfig, results: &[ServeDatasetBench]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {}, \"client_threads\": {}, \
+         \"family\": \"MWSA-G\",\n",
+        config.n, config.patterns, config.reps, config.clients
+    ));
+    out.push_str(
+        "  \"note\": \"Every row serves a persisted MWSA-G index loaded from disk over \
+         loopback TCP (length-prefixed binary protocol, bounded admission queue, per-worker \
+         QueryScratch). client_threads concurrent connections stream the pattern set in \
+         collect mode; every wire answer is asserted identical to a direct in-process \
+         query_into before timing (count/first-k modes asserted outside the timed loop). \
+         Throughput is the best of reps sweeps; p50/p99 pool per-request round trips over \
+         all sweeps. The hot_reload stage re-runs the sweep while a separate connection \
+         keeps swapping the index file in: reloads counts the swaps, and the asserted \
+         outputs prove in-flight queries complete across swaps. On a single-CPU host the \
+         worker sweep measures protocol and queueing overhead, not parallel speedup.\",\n",
+    );
+    out.push_str("  \"datasets\": [\n");
+    for (i, d) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", d.name));
+        out.push_str(&format!("      \"params\": \"{}\",\n", d.params));
+        out.push_str(&format!(
+            "      \"z\": {}, \"ell\": {}, \"occurrences\": {},\n",
+            d.z, d.ell, d.occurrences
+        ));
+        out.push_str("      \"workers\": [\n");
+        for (j, w) in d.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"workers\": {}, \"queries\": {}, \"throughput_qps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"outputs_identical\": true }}{}\n",
+                w.workers,
+                w.queries,
+                w.throughput_qps,
+                w.p50_us,
+                w.p99_us,
+                if j + 1 == d.workers.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"hot_reload\": {{ \"reloads\": {}, \"queries_during_swaps\": {}, \
+             \"final_generation\": {}, \"outputs_identical\": true }}\n",
+            d.reload.reloads, d.reload.queries, d.reload.final_generation
+        ));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_serves_all_corpora_and_renders_json() {
+        // Tiny end-to-end run; the output-identity assertions inside
+        // timed_sweep and the reload stage are the test.
+        let config = ServeBenchConfig {
+            n: 2_000,
+            reps: 1,
+            patterns: 8,
+            worker_counts: vec![1, 2],
+            clients: 2,
+        };
+        let results = run_serve_bench(&config);
+        assert_eq!(results.len(), 4);
+        let json = render_serve_json(&config, &results);
+        for d in &results {
+            assert!(json.contains(&format!("\"name\": \"{}\"", d.name)));
+            assert_eq!(d.workers.len(), 2);
+            for w in &d.workers {
+                assert!(w.throughput_qps > 0.0);
+                assert!(w.p50_us > 0.0 && w.p99_us >= w.p50_us);
+            }
+            assert!(d.reload.reloads >= 1);
+            assert_eq!(d.reload.final_generation, d.reload.reloads);
+        }
+    }
+
+    #[test]
+    fn percentile_is_robust() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+    }
+}

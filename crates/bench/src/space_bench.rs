@@ -18,10 +18,8 @@
 //! re-save byte-identically), and every sharded configuration must answer
 //! exactly like the unsharded index.
 
-use ius_datasets::pangenome::PangenomeConfig;
+use ius_datasets::corpora::bench_corpus;
 use ius_datasets::patterns::PatternSampler;
-use ius_datasets::rssi::rssi_like;
-use ius_datasets::uniform::UniformConfig;
 use ius_index::{
     load_index, AnyIndex, IndexFamily, IndexParams, IndexSpec, IndexVariant, QueryScratch,
     ShardedIndex, UncertainIndex,
@@ -334,56 +332,25 @@ fn bench_dataset(
     }
 }
 
-/// Runs the full space benchmark on the uniform, pangenome and RSSI corpora.
+/// Runs the full space benchmark on the uniform, pangenome and RSSI
+/// corpora (three of the four canonical benchmark corpora of
+/// `ius_datasets::corpora`; the high-entropy uniform corpus adds no
+/// lifecycle coverage).
 pub fn run_space_bench(config: &SpaceBenchConfig) -> Vec<SpaceDatasetBench> {
-    let n = config.n;
-    let mut results = Vec::new();
-
-    let uniform = UniformConfig {
-        n,
-        sigma: 4,
-        spread: 0.05,
-        seed: 0xBEC,
-    }
-    .generate();
-    results.push(bench_dataset(
-        "uniform",
-        "sigma=4 spread=0.05 seed=0xBEC".into(),
-        &uniform,
-        8.0,
-        64,
-        config,
-    ));
-
-    let pangenome = PangenomeConfig {
-        n,
-        delta: 0.05,
-        seed: 0xDA7A,
-        ..Default::default()
-    }
-    .generate();
-    results.push(bench_dataset(
-        "pangenome",
-        "delta=0.05 seed=0xDA7A".into(),
-        &pangenome,
-        32.0,
-        128,
-        config,
-    ));
-
-    // Sensor-style strings (the paper's RSSI regime): σ = 91, short solid
-    // windows, ℓ = 8 at z = 64.
-    let rssi = rssi_like(n, 0x0551);
-    results.push(bench_dataset(
-        "rssi",
-        "sigma=91 channels=16 seed=0x0551".into(),
-        &rssi,
-        64.0,
-        8,
-        config,
-    ));
-
-    results
+    ["uniform", "pangenome", "rssi"]
+        .into_iter()
+        .map(|name| {
+            let corpus = bench_corpus(name, config.n, None).expect("known corpus name");
+            bench_dataset(
+                corpus.name,
+                corpus.params,
+                &corpus.x,
+                corpus.z,
+                corpus.ell,
+                config,
+            )
+        })
+        .collect()
 }
 
 /// Renders the benchmark results as the `BENCH_space.json` document.

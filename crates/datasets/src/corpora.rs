@@ -1,0 +1,119 @@
+//! The canonical benchmark corpora: one shared definition of the four
+//! `(generator, z, ℓ)` configurations the `BENCH_*.json` documents and the
+//! `serve` binary's `--corpus` presets are built on, so the copies cannot
+//! drift apart — a drifted preset would regenerate a corpus that no longer
+//! matches a persisted index and serve wrong answers without an error.
+
+use crate::pangenome::PangenomeConfig;
+use crate::rssi::rssi_like;
+use crate::uniform::UniformConfig;
+use ius_weighted::WeightedString;
+
+/// One benchmark corpus: the generated string plus the benchmark's weight
+/// threshold and minimum pattern length for it.
+#[derive(Debug, Clone)]
+pub struct BenchCorpus {
+    /// Stable name (`uniform`, `uniform_high_entropy`, `pangenome`,
+    /// `rssi`).
+    pub name: &'static str,
+    /// Human-readable generator parameters (as recorded in the JSON).
+    pub params: String,
+    /// The generated weighted string.
+    pub x: WeightedString,
+    /// The benchmark weight threshold z.
+    pub z: f64,
+    /// The benchmark minimum pattern length ℓ.
+    pub ell: usize,
+}
+
+/// Generates one named corpus at length `n`, optionally overriding the
+/// preset's generator seed. `None` for an unknown name.
+pub fn bench_corpus(name: &str, n: usize, seed: Option<u64>) -> Option<BenchCorpus> {
+    Some(match name {
+        // Near-deterministic uniform strings: long solid factors.
+        "uniform" => BenchCorpus {
+            name: "uniform",
+            params: "sigma=4 spread=0.05 seed=0xBEC".into(),
+            x: UniformConfig {
+                n,
+                sigma: 4,
+                spread: 0.05,
+                seed: seed.unwrap_or(0xBEC),
+            }
+            .generate(),
+            z: 8.0,
+            ell: 64,
+        },
+        // High-entropy uniform strings: short solid windows, small ℓ.
+        "uniform_high_entropy" => BenchCorpus {
+            name: "uniform_high_entropy",
+            params: "sigma=4 spread=0.2 seed=0xBEC".into(),
+            x: UniformConfig {
+                n,
+                sigma: 4,
+                spread: 0.2,
+                seed: seed.unwrap_or(0xBEC),
+            }
+            .generate(),
+            z: 32.0,
+            ell: 24,
+        },
+        // Pangenome-style strings (SNP allele frequencies), the paper's
+        // regime.
+        "pangenome" => BenchCorpus {
+            name: "pangenome",
+            params: "delta=0.05 seed=0xDA7A".into(),
+            x: PangenomeConfig {
+                n,
+                delta: 0.05,
+                seed: seed.unwrap_or(0xDA7A),
+                ..Default::default()
+            }
+            .generate(),
+            z: 32.0,
+            ell: 128,
+        },
+        // Sensor-style strings (the paper's RSSI regime): large alphabet,
+        // every position uncertain.
+        "rssi" => BenchCorpus {
+            name: "rssi",
+            params: "sigma=91 channels=16 seed=0x0551".into(),
+            x: rssi_like(n, seed.unwrap_or(0x0551)),
+            z: 64.0,
+            ell: 8,
+        },
+        _ => return None,
+    })
+}
+
+/// The names of the four benchmark corpora, in benchmark order.
+pub const BENCH_CORPUS_NAMES: [&str; 4] = ["uniform", "uniform_high_entropy", "pangenome", "rssi"];
+
+/// Generates all four benchmark corpora at length `n`.
+pub fn bench_corpora(n: usize) -> Vec<BenchCorpus> {
+    BENCH_CORPUS_NAMES
+        .iter()
+        .map(|name| bench_corpus(name, n, None).expect("known corpus name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_deterministic_and_complete() {
+        let all = bench_corpora(500);
+        assert_eq!(all.len(), 4);
+        for corpus in &all {
+            assert_eq!(corpus.x.len(), 500);
+            assert!(corpus.z >= 1.0 && corpus.ell >= 1);
+            let again = bench_corpus(corpus.name, 500, None).expect("known name");
+            assert_eq!(again.x.flat_probs(), corpus.x.flat_probs());
+        }
+        assert!(bench_corpus("nope", 100, None).is_none());
+        // A seed override really changes the corpus.
+        let reseeded = bench_corpus("uniform", 500, Some(7)).expect("known name");
+        assert_ne!(reseeded.x.flat_probs(), all[0].x.flat_probs());
+    }
+}

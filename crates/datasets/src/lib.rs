@@ -17,6 +17,9 @@
 //! * [`uniform`] — unstructured random weighted strings for stress tests;
 //! * [`patterns`] — query-pattern samplers (patterns are drawn uniformly from
 //!   the z-estimation, as in Section 7.1 of the paper);
+//! * [`corpora`] — the canonical benchmark corpora (one shared definition
+//!   of the four `(generator, z, ℓ)` configurations behind `BENCH_*.json`
+//!   and the `serve` binary's presets);
 //! * [`io`] — a plain-text interchange format for weighted strings;
 //! * [`registry`] — the named, scaled-down stand-ins for the paper's datasets
 //!   (`SARS*`, `EFM*`, `HUMAN*`, `RSSI*`) with their default `z`, used by the
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpora;
 pub mod io;
 pub mod pangenome;
 pub mod patterns;
@@ -32,6 +36,7 @@ pub mod registry;
 pub mod rssi;
 pub mod uniform;
 
+pub use corpora::{bench_corpora, bench_corpus, BenchCorpus, BENCH_CORPUS_NAMES};
 pub use pangenome::PangenomeConfig;
 pub use patterns::PatternSampler;
 pub use registry::{standard_datasets, Dataset, Scale};

@@ -192,6 +192,17 @@ pub enum AnyIndex {
 }
 
 impl AnyIndex {
+    /// The length of the corpus the index was built over, when the family
+    /// records it (the minimizer variants do; the oracle and the
+    /// property-text baselines do not). Serving layers use this to reject
+    /// a corpus of the wrong length instead of failing per-query.
+    pub fn corpus_len_hint(&self) -> Option<usize> {
+        match self {
+            AnyIndex::Minimizer(index) => Some(index.corpus_len()),
+            _ => None,
+        }
+    }
+
     /// The contained index as a trait object.
     pub fn as_dyn(&self) -> &(dyn UncertainIndex + Sync) {
         match self {

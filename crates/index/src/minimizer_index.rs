@@ -363,6 +363,13 @@ impl MinimizerIndex {
         self.construction
     }
 
+    /// Length of the corpus `X` the index was built over (candidate starts
+    /// are verified against it, so serving the index with a corpus of a
+    /// different length is always an error).
+    pub fn corpus_len(&self) -> usize {
+        self.n
+    }
+
     // ---- persistence support (see `crate::persist`) --------------------
 
     pub(crate) fn persist_parts(&self) -> MinimizerParts<'_> {

@@ -802,6 +802,39 @@ pub fn save_index(index: &AnyIndex, w: &mut dyn Write) -> io::Result<()> {
 /// structurally inconsistent payload.
 pub fn load_index(r: &mut dyn Read) -> io::Result<AnyIndex> {
     let tag = read_envelope(r)?;
+    load_index_payload(tag, r)
+}
+
+/// Any structure a persisted index file can contain: a single-machine family
+/// or a sharded composite. Returned by [`load_any_index`], which is what
+/// consumers that accept *any* index file (e.g. the `ius_server` serving
+/// layer) dispatch on.
+#[derive(Debug, Clone)]
+pub enum LoadedAny {
+    /// A single-machine family (NAIVE/WST/WSA/minimizer variants).
+    Index(AnyIndex),
+    /// A sharded composite (self-contained: the shards own their chunks of
+    /// `X`).
+    Sharded(ShardedIndex),
+}
+
+/// Deserializes **any** index file — single-machine families and sharded
+/// composites alike — dispatching on the stored family tag.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` on bad magic, an unknown version/tag, or a
+/// structurally inconsistent payload.
+pub fn load_any_index(r: &mut dyn Read) -> io::Result<LoadedAny> {
+    let tag = read_envelope(r)?;
+    if tag == TAG_SHARDED {
+        read_sharded_payload(r).map(LoadedAny::Sharded)
+    } else {
+        load_index_payload(tag, r).map(LoadedAny::Index)
+    }
+}
+
+fn load_index_payload(tag: u8, r: &mut dyn Read) -> io::Result<AnyIndex> {
     match tag {
         TAG_NAIVE => {
             let z = read_f64(r)?;
@@ -883,40 +916,45 @@ impl ShardedIndex {
                 "expected a sharded-index file (tag {TAG_SHARDED}), found tag {tag}"
             )));
         }
-        let params = read_params(r)?;
-        let family = family_from_tag(read_u8(r)?)?;
-        let n = read_len(r)?;
-        let max_pattern_len = read_len(r)?;
-        let num_shards = read_len(r)?;
-        let mut shards = Vec::with_capacity(num_shards.min(1 << 16));
-        for _ in 0..num_shards {
-            let offset = read_len(r)?;
-            let home_len = read_len(r)?;
-            let symbols = read_bytes(r)?;
-            let chunk_len = read_len(r)?;
-            let probs = read_vec_f64(r)?;
-            let alphabet = ius_weighted::Alphabet::new(&symbols).map_err(|e| bad(e.to_string()))?;
-            if probs.len() != chunk_len * alphabet.size() {
-                return Err(bad("shard probability matrix has the wrong shape"));
-            }
-            let x = ius_weighted::WeightedString::from_flat(alphabet, probs)
-                .map_err(|e| bad(e.to_string()))?;
-            let index = load_index(r)?;
-            shards.push(crate::shard::Shard {
-                offset,
-                home_len,
-                x,
-                index,
-            });
-        }
-        ShardedIndex::from_loaded_parts(
-            crate::builder::IndexSpec::new(family, params),
-            n,
-            max_pattern_len,
-            shards,
-        )
-        .map_err(bad)
+        read_sharded_payload(r)
     }
+}
+
+/// Reads the sharded payload (everything after the envelope).
+fn read_sharded_payload(r: &mut dyn Read) -> io::Result<ShardedIndex> {
+    let params = read_params(r)?;
+    let family = family_from_tag(read_u8(r)?)?;
+    let n = read_len(r)?;
+    let max_pattern_len = read_len(r)?;
+    let num_shards = read_len(r)?;
+    let mut shards = Vec::with_capacity(num_shards.min(1 << 16));
+    for _ in 0..num_shards {
+        let offset = read_len(r)?;
+        let home_len = read_len(r)?;
+        let symbols = read_bytes(r)?;
+        let chunk_len = read_len(r)?;
+        let probs = read_vec_f64(r)?;
+        let alphabet = ius_weighted::Alphabet::new(&symbols).map_err(|e| bad(e.to_string()))?;
+        if probs.len() != chunk_len * alphabet.size() {
+            return Err(bad("shard probability matrix has the wrong shape"));
+        }
+        let x = ius_weighted::WeightedString::from_flat(alphabet, probs)
+            .map_err(|e| bad(e.to_string()))?;
+        let index = load_index(r)?;
+        shards.push(crate::shard::Shard {
+            offset,
+            home_len,
+            x,
+            index,
+        });
+    }
+    ShardedIndex::from_loaded_parts(
+        crate::builder::IndexSpec::new(family, params),
+        n,
+        max_pattern_len,
+        shards,
+    )
+    .map_err(bad)
 }
 
 fn family_tag(family: crate::builder::IndexFamily) -> u8 {

@@ -75,10 +75,24 @@ impl ShardedIndex {
         max_pattern_len: usize,
     ) -> Result<Self> {
         let n = x.len();
-        if num_shards == 0 || num_shards > n {
+        if n == 0 {
+            return Err(Error::EmptyInput("weighted string"));
+        }
+        if num_shards == 0 {
+            return Err(Error::InvalidParameters(
+                "num_shards = 0: a sharded index needs at least one shard".into(),
+            ));
+        }
+        if num_shards > n {
             return Err(Error::InvalidParameters(format!(
-                "num_shards = {num_shards} must be in 1..={n}"
+                "num_shards = {num_shards} exceeds the string length {n} \
+                 (every shard needs a non-empty home range)"
             )));
+        }
+        if max_pattern_len == 0 {
+            return Err(Error::InvalidParameters(
+                "max_pattern_len = 0: the sharded index could not serve any pattern".into(),
+            ));
         }
         if max_pattern_len < spec.lower_bound() {
             return Err(Error::InvalidParameters(format!(
@@ -155,6 +169,81 @@ impl ShardedIndex {
         &self.shards
     }
 
+    /// The sink-based query without an external corpus: every shard owns its
+    /// chunk of `X`, so a sharded index is fully self-contained (which is
+    /// what lets a persisted sharded file be served without regenerating the
+    /// corpus). [`UncertainIndex::query_into`] delegates here, ignoring its
+    /// `x` argument.
+    ///
+    /// # Errors
+    ///
+    /// Pattern-validation errors ([`Error::EmptyInput`],
+    /// [`Error::PatternTooShort`], [`Error::PatternTooLong`]) and query
+    /// errors of the per-shard indexes.
+    pub fn query_owned_into(
+        &self,
+        pattern: &[u8],
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats> {
+        validate_pattern(pattern, self.spec.lower_bound())?;
+        if pattern.len() > self.max_pattern_len {
+            return Err(Error::PatternTooLong {
+                pattern: pattern.len(),
+                upper_bound: self.max_pattern_len,
+            });
+        }
+        // Fan out over the shards; every worker queries against its shard's
+        // own chunk (shard-local coordinates), then hits are filtered to the
+        // home range and translated to global offsets.
+        let per_shard = self.executor.run::<(Vec<usize>, QueryStats), Error, _>(
+            self.shards.len(),
+            |i, worker_scratch| {
+                let shard = &self.shards[i];
+                let mut local = Vec::new();
+                let stats =
+                    shard
+                        .index
+                        .query_into(pattern, &shard.x, worker_scratch, &mut local)?;
+                // Keep only home-range starts: overlap-region hits are the
+                // next shard's responsibility (this is the deduplication).
+                local.retain(|&pos| pos < shard.home_len);
+                for pos in &mut local {
+                    *pos += shard.offset;
+                }
+                Ok((local, stats))
+            },
+        );
+        let mut total = QueryStats::default();
+        scratch.positions.clear();
+        for entry in per_shard {
+            let (positions, stats) = entry?;
+            total.accumulate(&stats);
+            // Home ranges are disjoint and increasing, and each shard's
+            // output is sorted: the concatenation is globally sorted.
+            scratch.positions.extend(positions);
+        }
+        // The accumulated `reported` counted shard-local deliveries
+        // (including overlap hits dropped above); the authoritative count is
+        // what actually reaches the sink.
+        total.reported = finalize_into(&mut scratch.positions, true, sink);
+        Ok(total)
+    }
+
+    /// Collects all occurrence positions without an external corpus — the
+    /// allocating convenience wrapper over
+    /// [`ShardedIndex::query_owned_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedIndex::query_owned_into`].
+    pub fn query_owned(&self, pattern: &[u8]) -> Result<Vec<usize>> {
+        let mut scratch = QueryScratch::new();
+        let mut positions = Vec::new();
+        self.query_owned_into(pattern, &mut scratch, &mut positions)?;
+        Ok(positions)
+    }
+
     /// Reassembles a sharded index from persisted parts (see
     /// `crate::persist`), validating the routing invariants: home ranges
     /// tile `[0, n)` in order and every chunk covers its home range plus the
@@ -208,48 +297,7 @@ impl UncertainIndex for ShardedIndex {
         scratch: &mut QueryScratch,
         sink: &mut dyn MatchSink,
     ) -> Result<QueryStats> {
-        validate_pattern(pattern, self.spec.lower_bound())?;
-        if pattern.len() > self.max_pattern_len {
-            return Err(Error::PatternTooLong {
-                pattern: pattern.len(),
-                upper_bound: self.max_pattern_len,
-            });
-        }
-        // Fan out over the shards; every worker queries against its shard's
-        // own chunk (shard-local coordinates), then hits are filtered to the
-        // home range and translated to global offsets.
-        let per_shard = self.executor.run::<(Vec<usize>, QueryStats), Error, _>(
-            self.shards.len(),
-            |i, worker_scratch| {
-                let shard = &self.shards[i];
-                let mut local = Vec::new();
-                let stats =
-                    shard
-                        .index
-                        .query_into(pattern, &shard.x, worker_scratch, &mut local)?;
-                // Keep only home-range starts: overlap-region hits are the
-                // next shard's responsibility (this is the deduplication).
-                local.retain(|&pos| pos < shard.home_len);
-                for pos in &mut local {
-                    *pos += shard.offset;
-                }
-                Ok((local, stats))
-            },
-        );
-        let mut total = QueryStats::default();
-        scratch.positions.clear();
-        for entry in per_shard {
-            let (positions, stats) = entry?;
-            total.accumulate(&stats);
-            // Home ranges are disjoint and increasing, and each shard's
-            // output is sorted: the concatenation is globally sorted.
-            scratch.positions.extend(positions);
-        }
-        // The accumulated `reported` counted shard-local deliveries
-        // (including overlap hits dropped above); the authoritative count is
-        // what actually reaches the sink.
-        total.reported = finalize_into(&mut scratch.positions, true, sink);
-        Ok(total)
+        self.query_owned_into(pattern, scratch, sink)
     }
 
     fn size_bytes(&self) -> usize {
@@ -398,8 +446,18 @@ mod tests {
         .generate();
         let params = IndexParams::new(4.0, 8, x.sigma()).unwrap();
         let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::Array), params);
-        assert!(ShardedIndex::build(&x, spec, 0, 16).is_err());
-        assert!(ShardedIndex::build(&x, spec, 51, 16).is_err());
+        // S = 0: typed error, no degenerate (shardless) map.
+        let err = ShardedIndex::build(&x, spec, 0, 16).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameters(_)));
+        assert!(err.to_string().contains("num_shards = 0"));
+        // S > |X|: typed error instead of empty trailing shards.
+        let err = ShardedIndex::build(&x, spec, 51, 16).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameters(_)));
+        assert!(err.to_string().contains("51") && err.to_string().contains("50"));
+        // max_pattern_len = 0: typed error instead of an overlap underflow.
+        let err = ShardedIndex::build(&x, spec, 2, 0).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameters(_)));
+        assert!(err.to_string().contains("max_pattern_len = 0"));
         // max_pattern_len below ℓ.
         assert!(ShardedIndex::build(&x, spec, 2, 4).is_err());
         let ok = ShardedIndex::build(&x, spec, 2, 8).unwrap();

@@ -1,0 +1,310 @@
+//! `serve` — run the query server over a persisted or freshly built index.
+//!
+//! ```text
+//! # serve a persisted sharded index (self-contained):
+//! serve --index shards.iusx --port 7878
+//!
+//! # serve a persisted single-machine index; the corpus it was built over
+//! # is regenerated from the named preset:
+//! serve --index mwsa.iusx --corpus pangenome --n 100000
+//!
+//! # build in-process, optionally persisting for later serves/reloads:
+//! serve --build mwsa-g --corpus uniform --n 100000 --save mwsa-g.iusx
+//! serve --build mwsa-g --corpus rssi --n 50000 --shards 4
+//! ```
+//!
+//! Corpus presets mirror the benchmark corpora (`BENCH_*.json`); `--z` and
+//! `--ell` default to each preset's benchmark parameters. The server runs
+//! until a client sends `SHUTDOWN` (or the process is killed).
+
+use ius_datasets::corpora::bench_corpus;
+use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant, ShardedIndex};
+use ius_server::{ServedIndex, Server, ServerConfig};
+use ius_weighted::WeightedString;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    index: Option<PathBuf>,
+    build: Option<IndexFamily>,
+    corpus: Option<String>,
+    n: usize,
+    seed: Option<u64>,
+    z: Option<f64>,
+    ell: Option<usize>,
+    shards: Option<usize>,
+    max_pattern_len: Option<usize>,
+    save: Option<PathBuf>,
+    host: String,
+    port: u16,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+}
+
+fn print_help() {
+    println!(
+        "serve — run the uncertain-string query server\n\n\
+         index source (exactly one):\n\
+         \x20 --index <path>        load a persisted index file (sharded files are\n\
+         \x20                       self-contained; single-machine files also need --corpus)\n\
+         \x20 --build <family>      build in-process: naive|wst|wsa|mwst|mwsa|mwst-g|mwsa-g|\n\
+         \x20                       se-mwst|se-mwsa (needs --corpus)\n\n\
+         corpus (synthetic presets, regenerated deterministically):\n\
+         \x20 --corpus <name>       uniform|uniform_high_entropy|pangenome|rssi\n\
+         \x20 --n <len>             corpus length (default 100000)\n\
+         \x20 --seed <seed>         override the preset's generator seed\n\
+         \x20 --z <z>               weight threshold (default: preset's benchmark z)\n\
+         \x20 --ell <ell>           minimum pattern length (default: preset's benchmark ell)\n\n\
+         build options:\n\
+         \x20 --shards <S>          build a sharded composite with S shards\n\
+         \x20 --max-pattern-len <m> sharded pattern-length bound (default 2*ell)\n\
+         \x20 --save <path>         persist the built index before serving\n\n\
+         server options:\n\
+         \x20 --host <host>         bind host (default 127.0.0.1)\n\
+         \x20 --port <port>         bind port (default 7878; 0 = ephemeral)\n\
+         \x20 --workers <w>         worker threads (default: all CPUs)\n\
+         \x20 --queue-depth <d>     admission-queue capacity (default 64)\n"
+    );
+}
+
+fn parse_family(name: &str) -> Result<IndexFamily, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "naive" => IndexFamily::Naive,
+        "wst" => IndexFamily::Wst,
+        "wsa" => IndexFamily::Wsa,
+        "mwst" => IndexFamily::Minimizer(IndexVariant::Tree),
+        "mwsa" => IndexFamily::Minimizer(IndexVariant::Array),
+        "mwst-g" => IndexFamily::Minimizer(IndexVariant::TreeGrid),
+        "mwsa-g" => IndexFamily::Minimizer(IndexVariant::ArrayGrid),
+        "se-mwst" => IndexFamily::SpaceEfficient(IndexVariant::Tree),
+        "se-mwsa" => IndexFamily::SpaceEfficient(IndexVariant::Array),
+        other => return Err(format!("unknown index family {other:?}")),
+    })
+}
+
+/// `(corpus, default z, default ell)` of one named preset — the canonical
+/// benchmark configurations, shared with the harness through
+/// `ius_datasets::corpora` so the served corpus can never drift from the
+/// one a persisted index was built over.
+fn corpus_preset(
+    name: &str,
+    n: usize,
+    seed: Option<u64>,
+) -> Result<(WeightedString, f64, usize), String> {
+    bench_corpus(name, n, seed)
+        .map(|corpus| (corpus.x, corpus.z, corpus.ell))
+        .ok_or_else(|| {
+            format!(
+                "unknown corpus preset {name:?} (use uniform|uniform_high_entropy|pangenome|rssi)"
+            )
+        })
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        index: None,
+        build: None,
+        corpus: None,
+        n: 100_000,
+        seed: None,
+        z: None,
+        ell: None,
+        shards: None,
+        max_pattern_len: None,
+        save: None,
+        host: "127.0.0.1".into(),
+        port: 7878,
+        workers: None,
+        queue_depth: None,
+    };
+    let mut i = 0usize;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => parsed.index = Some(PathBuf::from(value(args, i, "--index")?)),
+            "--build" => parsed.build = Some(parse_family(&value(args, i, "--build")?)?),
+            "--corpus" => parsed.corpus = Some(value(args, i, "--corpus")?),
+            "--n" => {
+                parsed.n = value(args, i, "--n")?
+                    .parse()
+                    .map_err(|e| format!("bad --n: {e}"))?
+            }
+            "--seed" => {
+                parsed.seed = Some(
+                    value(args, i, "--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--z" => {
+                parsed.z = Some(
+                    value(args, i, "--z")?
+                        .parse()
+                        .map_err(|e| format!("bad --z: {e}"))?,
+                )
+            }
+            "--ell" => {
+                parsed.ell = Some(
+                    value(args, i, "--ell")?
+                        .parse()
+                        .map_err(|e| format!("bad --ell: {e}"))?,
+                )
+            }
+            "--shards" => {
+                parsed.shards = Some(
+                    value(args, i, "--shards")?
+                        .parse()
+                        .map_err(|e| format!("bad --shards: {e}"))?,
+                )
+            }
+            "--max-pattern-len" => {
+                parsed.max_pattern_len = Some(
+                    value(args, i, "--max-pattern-len")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-pattern-len: {e}"))?,
+                )
+            }
+            "--save" => parsed.save = Some(PathBuf::from(value(args, i, "--save")?)),
+            "--host" => parsed.host = value(args, i, "--host")?,
+            "--port" => {
+                parsed.port = value(args, i, "--port")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?
+            }
+            "--workers" => {
+                parsed.workers = Some(
+                    value(args, i, "--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?,
+                )
+            }
+            "--queue-depth" => {
+                parsed.queue_depth = Some(
+                    value(args, i, "--queue-depth")?
+                        .parse()
+                        .map_err(|e| format!("bad --queue-depth: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+    if parsed.index.is_some() == parsed.build.is_some() {
+        return Err("exactly one of --index and --build is required".into());
+    }
+    if parsed.build.is_some() && parsed.corpus.is_none() {
+        return Err("--build needs --corpus".into());
+    }
+    Ok(parsed)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+
+    // Regenerate the corpus when one is named (needed for --build and for
+    // single-machine --index files).
+    let corpus = args.corpus.as_deref().map(|name| {
+        let (x, z, ell) = corpus_preset(name, args.n, args.seed).unwrap_or_else(|msg| {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "corpus {name}: n = {}, sigma = {} (z = {}, ell = {})",
+            x.len(),
+            x.sigma(),
+            args.z.unwrap_or(z),
+            args.ell.unwrap_or(ell)
+        );
+        (Arc::new(x), args.z.unwrap_or(z), args.ell.unwrap_or(ell))
+    });
+
+    let (served, reload_path) = if let Some(path) = &args.index {
+        let served = ServedIndex::load(path, corpus.as_ref().map(|(x, _, _)| x.clone()))
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot serve {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        (served, Some(path.clone()))
+    } else {
+        let family = args.build.expect("checked by parse_args");
+        let (x, z, ell) = corpus.clone().expect("checked by parse_args");
+        let params = IndexParams::new(z, ell, x.sigma()).unwrap_or_else(|e| {
+            eprintln!("error: invalid parameters: {e}");
+            std::process::exit(2);
+        });
+        let spec = IndexSpec::new(family, params);
+        let served = if let Some(shards) = args.shards {
+            let bound = args.max_pattern_len.unwrap_or(2 * ell);
+            let sharded = ShardedIndex::build(&x, spec, shards, bound).unwrap_or_else(|e| {
+                eprintln!("error: sharded build failed: {e}");
+                std::process::exit(1);
+            });
+            if let Some(path) = &args.save {
+                let mut file = std::fs::File::create(path).expect("create --save file");
+                sharded.save_to(&mut file).expect("persist sharded index");
+                eprintln!("saved sharded index to {}", path.display());
+            }
+            ServedIndex::sharded(sharded)
+        } else {
+            let index = spec.build(&x).unwrap_or_else(|e| {
+                eprintln!("error: build failed: {e}");
+                std::process::exit(1);
+            });
+            if let Some(path) = &args.save {
+                let mut file = std::fs::File::create(path).expect("create --save file");
+                index.save_to(&mut file).expect("persist index");
+                eprintln!("saved index to {}", path.display());
+            }
+            ServedIndex::single(index, x)
+        };
+        (served, args.save.clone())
+    };
+
+    let mut config = ServerConfig::default();
+    if let Some(workers) = args.workers {
+        config.workers = workers;
+    }
+    if let Some(depth) = args.queue_depth {
+        config.queue_depth = depth;
+    }
+    eprintln!(
+        "serving {} (corpus n = {}, index {} MB)",
+        served.name(),
+        served.corpus_len(),
+        served.size_bytes() / (1 << 20)
+    );
+    let server = Server::bind(
+        (args.host.as_str(), args.port),
+        served,
+        reload_path,
+        &config,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: bind failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "listening on {} ({} workers, queue depth {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_depth
+    );
+    server.join();
+    eprintln!("server shut down");
+}

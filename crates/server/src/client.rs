@@ -1,0 +1,260 @@
+//! A small blocking client for the wire protocol — what the tests, the
+//! examples and the serve benchmark talk to the server with.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, ErrorCode, ProtocolError, Request, Response,
+    ResultMode, StatsSnapshot, MAX_RESPONSE_FRAME,
+};
+use ius_query::QueryStats;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors of one client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes EOF mid-response).
+    Io(io::Error),
+    /// The server's bytes did not decode as a protocol frame.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The typed error code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered a different request than the one sent.
+    IdMismatch {
+        /// Id the client sent.
+        sent: u64,
+        /// Id the response carried.
+        got: u64,
+    },
+    /// The response decoded fine but has the wrong shape for the request
+    /// (e.g. a `Count` answer to a collect query).
+    UnexpectedResponse {
+        /// What the call expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server refused the request: {code}: {message}")
+            }
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "response id {got} does not match request id {sent}")
+            }
+            ClientError::UnexpectedResponse { expected } => {
+                write!(
+                    f,
+                    "response shape does not match the request (expected {expected})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A query answer: the delivered positions plus the engine counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Sorted, deduplicated occurrence positions (all of them in collect
+    /// mode, the `k` smallest in first-`k` mode).
+    pub positions: Vec<usize>,
+    /// The engine's per-query counters.
+    pub stats: QueryStats,
+}
+
+/// A blocking connection to one server. Requests are answered in order on
+/// the connection; ids are attached and checked automatically.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    send_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors of the connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
+        })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        encode_request(id, request, &mut self.send_buf);
+        self.stream.write_all(&self.send_buf)?;
+        if !read_frame(&mut self.stream, MAX_RESPONSE_FRAME, &mut self.recv_buf)? {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            )));
+        }
+        let (got_id, response) = decode_response(&self.recv_buf)?;
+        // Typed refusals that predate request parsing (overload, shutdown,
+        // header-level garbage) carry id 0.
+        if got_id != id && got_id != 0 {
+            return Err(ClientError::IdMismatch {
+                sent: id,
+                got: got_id,
+            });
+        }
+        if let Response::Error { code, message } = response {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol and server-refusal errors.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse { expected: "PONG" }),
+        }
+    }
+
+    /// Reports every occurrence of `pattern` (collect mode).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol and server-refusal errors (including the
+    /// engine's pattern contract as [`ClientError::Server`] with
+    /// [`ErrorCode::Query`]).
+    pub fn query(&mut self, pattern: &[u8]) -> Result<QueryOutcome, ClientError> {
+        self.query_mode(pattern, ResultMode::Collect)
+    }
+
+    /// Reports the `k` smallest occurrences of `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::query`].
+    pub fn query_first_k(&mut self, pattern: &[u8], k: u64) -> Result<QueryOutcome, ClientError> {
+        self.query_mode(pattern, ResultMode::FirstK(k))
+    }
+
+    fn query_mode(
+        &mut self,
+        pattern: &[u8],
+        mode: ResultMode,
+    ) -> Result<QueryOutcome, ClientError> {
+        let request = Request::Query {
+            mode,
+            pattern: pattern.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::Matches { stats, positions } => Ok(QueryOutcome {
+                positions: positions.into_iter().map(|p| p as usize).collect(),
+                stats: stats.into(),
+            }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "MATCHES",
+            }),
+        }
+    }
+
+    /// Counts the occurrences of `pattern` without materialising them.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::query`].
+    pub fn query_count(&mut self, pattern: &[u8]) -> Result<(u64, QueryStats), ClientError> {
+        let request = Request::Query {
+            mode: ResultMode::Count,
+            pattern: pattern.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::Count { stats, count } => Ok((count, stats.into())),
+            _ => Err(ClientError::UnexpectedResponse { expected: "COUNT" }),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol and server-refusal errors.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            _ => Err(ClientError::UnexpectedResponse { expected: "STATS" }),
+        }
+    }
+
+    /// Hot-reloads the served index from `path` (or the server's startup
+    /// path when `None`); returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol and server-refusal errors
+    /// ([`ErrorCode::Reload`] when the file is missing or corrupt).
+    pub fn reload(&mut self, path: Option<&str>) -> Result<u64, ClientError> {
+        let request = Request::Reload {
+            path: path.map(str::to_owned),
+        };
+        match self.call(&request)? {
+            Response::Reloaded { generation } => Ok(generation),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "RELOADED",
+            }),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol and server-refusal errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "SHUTTING_DOWN",
+            }),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # ius-server — the serving subsystem
+//!
+//! Turns the library into a runnable system: a **std-only** concurrent TCP
+//! server (no async runtime — consistent with the workspace's offline
+//! shim-crate policy) that loads persisted indexes (`ius_index::persist`,
+//! single-machine or sharded) and answers pattern queries over a
+//! length-prefixed binary wire protocol.
+//!
+//! * [`protocol`] — the wire format: magic + version + request id + op,
+//!   with `QUERY` (collect / count / first-`k` result modes mapping onto
+//!   the `ius_query` sinks), `STATS`, `PING`, `RELOAD` and `SHUTDOWN`,
+//!   and typed error frames for every malformed or refused input;
+//! * [`Server`] — acceptor + fixed worker pool (one [`QueryScratch`] per
+//!   worker, so steady-state serving is allocation-free on the hot path),
+//!   bounded admission queue with `OVERLOADED` backpressure, atomic
+//!   `Arc`-swap hot reload that never drops in-flight requests, graceful
+//!   shutdown;
+//! * [`Client`] — a small blocking client used by the tests, the examples
+//!   and `reproduce --bench-serve`;
+//! * the `serve` binary — loads (or builds) an index and serves it.
+//!
+//! ```no_run
+//! use ius_server::{Client, ServedIndex, Server, ServerConfig};
+//! use std::path::Path;
+//!
+//! // Serve a self-contained sharded index file on an ephemeral port.
+//! let served = ServedIndex::load(Path::new("index.iusx"), None)?;
+//! let server = Server::bind("127.0.0.1:0", served, None, &ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let hits = client.query(&[0, 1, 2, 3])?;
+//! println!("{} occurrences", hits.positions.len());
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`QueryScratch`]: ius_query::QueryScratch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, QueryOutcome};
+pub use metrics::ServerMetrics;
+pub use protocol::{
+    ErrorCode, ProtocolError, Request, Response, ResultMode, StatsSnapshot, WireStats,
+    MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, WIRE_MAGIC, WIRE_VERSION,
+};
+pub use server::{ServedIndex, Server, ServerConfig};

@@ -1,0 +1,100 @@
+//! Lock-free server counters, snapshotted into the wire-level
+//! [`StatsSnapshot`] on a `STATS` request.
+
+use crate::protocol::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared by the acceptor and every worker. All updates
+/// are relaxed atomics — the counters are operational telemetry, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted (admitted or refused).
+    pub connections: AtomicU64,
+    /// Frames read off admitted connections.
+    pub requests: AtomicU64,
+    /// Queries answered successfully.
+    pub queries: AtomicU64,
+    /// Occurrence positions delivered over all queries.
+    pub occurrences: AtomicU64,
+    /// Frames answered with a protocol-level error.
+    pub protocol_errors: AtomicU64,
+    /// Well-formed queries rejected by the engine (pattern contract).
+    pub query_errors: AtomicU64,
+    /// Connections refused with `OVERLOADED`.
+    pub overloaded: AtomicU64,
+    /// Successful hot reloads.
+    pub reloads: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Projects the counters plus the given serving context into the wire
+    /// snapshot.
+    pub fn snapshot(
+        &self,
+        index_name: String,
+        generation: u64,
+        corpus_len: u64,
+        index_size_bytes: u64,
+        workers: u64,
+        queue_depth: u64,
+    ) -> StatsSnapshot {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            index_name,
+            generation,
+            corpus_len,
+            index_size_bytes,
+            workers,
+            queue_depth,
+            connections: read(&self.connections),
+            requests: read(&self.requests),
+            queries: read(&self.queries),
+            occurrences: read(&self.occurrences),
+            protocol_errors: read(&self.protocol_errors),
+            query_errors: read(&self.query_errors),
+            overloaded: read(&self.overloaded),
+            reloads: read(&self.reloads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters_and_context() {
+        let metrics = ServerMetrics::new();
+        ServerMetrics::inc(&metrics.connections);
+        ServerMetrics::add(&metrics.occurrences, 41);
+        ServerMetrics::inc(&metrics.occurrences);
+        let snap = metrics.snapshot("MWSA".into(), 2, 1000, 4096, 3, 16);
+        assert_eq!(snap.index_name, "MWSA");
+        assert_eq!(snap.generation, 2);
+        assert_eq!(snap.corpus_len, 1000);
+        assert_eq!(snap.index_size_bytes, 4096);
+        assert_eq!(snap.workers, 3);
+        assert_eq!(snap.queue_depth, 16);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.occurrences, 42);
+        assert_eq!(snap.requests, 0);
+    }
+}

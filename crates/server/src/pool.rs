@@ -1,0 +1,135 @@
+//! The bounded admission queue between the acceptor and the worker pool.
+//!
+//! Admission control is the server's backpressure story: the acceptor
+//! [`AdmissionQueue::try_push`]es each accepted connection, and when the
+//! queue is at capacity the connection is *refused with a typed
+//! `OVERLOADED` response* instead of buffered without bound — a client that
+//! sees `OVERLOADED` knows to back off and retry, and the server's memory
+//! stays bounded by `queue_depth + workers` connections.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState {
+    jobs: VecDeque<TcpStream>,
+    open: bool,
+}
+
+/// A bounded MPMC queue of admitted connections (std `Mutex` + `Condvar`;
+/// no external dependencies).
+pub(crate) struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue admitting at most `depth` waiting connections
+    /// (at least 1).
+    pub(crate) fn new(depth: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(depth.max(1)),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Admits a connection, or gives it back when the queue is full or
+    /// closed so the caller can refuse it with a typed response.
+    pub(crate) fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        if !state.open || state.jobs.len() >= self.depth {
+            return Err(stream);
+        }
+        state.jobs.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next admitted connection; `None` once the queue is
+    /// closed (remaining entries are drained by [`AdmissionQueue::drain`]).
+    pub(crate) fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if !state.open {
+                return None;
+            }
+            if let Some(stream) = state.jobs.pop_front() {
+                return Some(stream);
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: `pop` returns `None`, `try_push` refuses.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue lock").open = false;
+        self.ready.notify_all();
+    }
+
+    /// Removes and returns every connection still waiting (used at shutdown
+    /// to answer them with `SHUTTING_DOWN`).
+    pub(crate) fn drain(&self) -> Vec<TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        state.jobs.drain(..).collect()
+    }
+
+    /// Number of connections currently waiting.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// A connected socket pair for queue tests.
+    fn stream() -> TcpStream {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let _server_side = listener.accept().expect("accept");
+        client
+    }
+
+    #[test]
+    fn push_respects_the_depth_bound() {
+        let queue = AdmissionQueue::new(2);
+        assert!(queue.try_push(stream()).is_ok());
+        assert!(queue.try_push(stream()).is_ok());
+        assert!(queue.try_push(stream()).is_err(), "third push must refuse");
+        assert_eq!(queue.len(), 2);
+        assert!(queue.pop().is_some());
+        assert!(queue.try_push(stream()).is_ok(), "slot freed by pop");
+    }
+
+    #[test]
+    fn close_wakes_poppers_and_refuses_pushes() {
+        let queue = std::sync::Arc::new(AdmissionQueue::new(4));
+        let waiter = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop())
+        };
+        queue.close();
+        assert!(waiter.join().expect("join").is_none());
+        assert!(queue.try_push(stream()).is_err());
+    }
+
+    #[test]
+    fn drain_empties_the_queue() {
+        let queue = AdmissionQueue::new(4);
+        queue.try_push(stream()).unwrap();
+        queue.try_push(stream()).unwrap();
+        queue.close();
+        assert_eq!(queue.drain().len(), 2);
+        assert_eq!(queue.len(), 0);
+    }
+}

@@ -1,0 +1,862 @@
+//! The concurrent TCP server: acceptor + fixed worker pool + hot-reloadable
+//! served index.
+//!
+//! ## Concurrency model
+//!
+//! One acceptor thread admits connections into the bounded
+//! [`crate::pool::AdmissionQueue`] (refusing with a typed `OVERLOADED`
+//! frame when it is full); `workers` threads each own one
+//! [`QueryScratch`] plus reusable frame/position buffers and serve one
+//! connection at a time, request after request — so steady-state query
+//! handling allocates nothing on the hot path beyond what the engine's
+//! warmed-up scratch already holds.
+//!
+//! ## Hot reload
+//!
+//! The served index lives behind `Mutex<Arc<ServedState>>`. A worker
+//! answering a query clones the `Arc` (a refcount bump) and runs against
+//! that snapshot; `RELOAD` builds the replacement off-lock and swaps the
+//! `Arc`. In-flight queries keep their snapshot alive until they finish —
+//! nothing is dropped mid-request, and the old index is freed exactly when
+//! its last in-flight query completes.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] (or a client `SHUTDOWN` frame) closes the queue,
+//! wakes the acceptor, answers queued-but-unserved connections with
+//! `SHUTTING_DOWN`, and joins every thread. Workers poll the shutdown flag
+//! between requests (connection reads run under a short timeout), so the
+//! current request always completes but idle connections are released
+//! promptly.
+
+use crate::metrics::ServerMetrics;
+use crate::pool::AdmissionQueue;
+use crate::protocol::{
+    decode_header, decode_query_body, decode_request_body, encode_matches_from_slice,
+    encode_response, read_frame, ErrorCode, ProtocolError, Request, Response, ResultMode,
+    StatsSnapshot, MAX_REQUEST_FRAME,
+};
+use ius_index::{load_any_index, AnyIndex, LoadedAny, ShardedIndex, UncertainIndex};
+use ius_query::{CountSink, FirstKSink, QueryScratch};
+use ius_weighted::WeightedString;
+use std::fs::File;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An index ready to serve: the structure plus whatever corpus access its
+/// queries need.
+///
+/// Single-machine families verify candidates by random access to the
+/// corpus, so they are paired with (shared ownership of) `X`; a
+/// [`ShardedIndex`] owns its chunks and is self-contained — which is why a
+/// persisted sharded file can be served or hot-reloaded without
+/// regenerating the corpus.
+#[derive(Debug, Clone)]
+pub enum ServedIndex {
+    /// One single-machine index over a shared corpus.
+    Single {
+        /// The index.
+        index: AnyIndex,
+        /// The corpus it was built over.
+        corpus: Arc<WeightedString>,
+    },
+    /// A self-contained sharded composite.
+    Sharded(ShardedIndex),
+}
+
+impl ServedIndex {
+    /// Pairs a single-machine index with its corpus.
+    pub fn single(index: AnyIndex, corpus: Arc<WeightedString>) -> Self {
+        ServedIndex::Single { index, corpus }
+    }
+
+    /// Wraps a self-contained sharded index.
+    pub fn sharded(index: ShardedIndex) -> Self {
+        ServedIndex::Sharded(index)
+    }
+
+    /// Loads a persisted index file of any family. Single-machine families
+    /// need the corpus they were built over; sharded files are
+    /// self-contained and ignore `corpus`.
+    ///
+    /// # Errors
+    ///
+    /// I/O and `InvalidData` errors of `ius_index::persist`, plus
+    /// `InvalidInput` when a single-machine file is loaded without a
+    /// corpus — or with a corpus whose length does not match the one
+    /// recorded in the file (minimizer families record it; a mismatch
+    /// would otherwise surface only as per-query panics or wrong
+    /// answers).
+    pub fn load(path: &Path, corpus: Option<Arc<WeightedString>>) -> io::Result<Self> {
+        let mut reader = BufReader::new(File::open(path)?);
+        match load_any_index(&mut reader)? {
+            LoadedAny::Sharded(index) => Ok(ServedIndex::Sharded(index)),
+            LoadedAny::Index(index) => {
+                let corpus = corpus.ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "{} is a single-machine index file; serving it needs the corpus \
+                             it was built over (sharded files are self-contained)",
+                            path.display()
+                        ),
+                    )
+                })?;
+                if let Some(expected) = index.corpus_len_hint() {
+                    if corpus.len() != expected {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!(
+                                "{} was built over a corpus of length {expected}, but the \
+                                 supplied corpus has length {} — wrong --n, preset or seed?",
+                                path.display(),
+                                corpus.len()
+                            ),
+                        ));
+                    }
+                }
+                Ok(ServedIndex::Single { index, corpus })
+            }
+        }
+    }
+
+    /// The sink-based query entry point (see
+    /// [`UncertainIndex::query_into`]).
+    ///
+    /// # Errors
+    ///
+    /// The engine's pattern-contract errors.
+    pub fn query_into(
+        &self,
+        pattern: &[u8],
+        scratch: &mut QueryScratch,
+        sink: &mut dyn ius_query::MatchSink,
+    ) -> ius_weighted::Result<ius_query::QueryStats> {
+        match self {
+            ServedIndex::Single { index, corpus } => {
+                index.query_into(pattern, corpus, scratch, sink)
+            }
+            ServedIndex::Sharded(index) => index.query_owned_into(pattern, scratch, sink),
+        }
+    }
+
+    /// Display name of the served structure.
+    pub fn name(&self) -> String {
+        match self {
+            ServedIndex::Single { index, .. } => index.name().to_string(),
+            ServedIndex::Sharded(index) => index.stats().name,
+        }
+    }
+
+    /// Length of the served corpus.
+    pub fn corpus_len(&self) -> usize {
+        match self {
+            ServedIndex::Single { corpus, .. } => corpus.len(),
+            ServedIndex::Sharded(index) => index.len(),
+        }
+    }
+
+    /// Heap bytes of the served index structure.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ServedIndex::Single { index, .. } => index.size_bytes(),
+            ServedIndex::Sharded(index) => index.size_bytes(),
+        }
+    }
+
+    /// The shared corpus, when one is attached (used by reloads so a new
+    /// single-machine index file can be served against the same `X`).
+    fn corpus(&self) -> Option<Arc<WeightedString>> {
+        match self {
+            ServedIndex::Single { corpus, .. } => Some(corpus.clone()),
+            ServedIndex::Sharded(_) => None,
+        }
+    }
+}
+
+/// One immutable serving snapshot: what `Arc` swaps exchange.
+#[derive(Debug)]
+struct ServedState {
+    index: ServedIndex,
+    generation: u64,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each owns a scratch and serves one connection at a
+    /// time). At least 1.
+    pub workers: usize,
+    /// Admission-queue capacity: connections waiting beyond the ones being
+    /// served. Full queue ⇒ typed `OVERLOADED` refusal. At least 1.
+    pub queue_depth: usize,
+    /// Poll interval of connection reads: the upper bound on how long an
+    /// idle connection can delay a worker noticing shutdown.
+    pub poll_interval: Duration,
+    /// Connections idle (no frame) longer than this are closed, releasing
+    /// the worker — without it, `workers` silent keep-alive clients would
+    /// pin the whole pool while admitted connections starve in the queue.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_depth: 64,
+            poll_interval: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<Arc<ServedState>>,
+    reload_path: Option<PathBuf>,
+    metrics: ServerMetrics,
+    queue: AdmissionQueue,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+    queue_depth: usize,
+    poll_interval: Duration,
+    idle_timeout: Duration,
+}
+
+/// A running server. Dropping the handle does **not** stop the threads;
+/// call [`Server::shutdown`] (or send a `SHUTDOWN` frame and then
+/// [`Server::join`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and worker threads serving `index`. `reload_path` is the
+    /// file a path-less `RELOAD` re-reads — pass the startup index path.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors of the bind.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        index: ServedIndex,
+        reload_path: Option<PathBuf>,
+        config: &ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Arc::new(ServedState {
+                index,
+                generation: 0,
+            })),
+            reload_path,
+            metrics: ServerMetrics::new(),
+            queue: AdmissionQueue::new(config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            addr,
+            workers: config.workers.max(1),
+            queue_depth: config.queue_depth.max(1),
+            poll_interval: config.poll_interval,
+            idle_timeout: config.idle_timeout,
+        });
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ius-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))
+                .expect("spawn acceptor")
+        };
+        let workers = (0..shared.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ius-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The current index generation (0 at startup, +1 per reload).
+    pub fn generation(&self) -> u64 {
+        self.shared.state.lock().expect("state lock").generation
+    }
+
+    /// Initiates a graceful shutdown and joins every thread: in-flight
+    /// requests complete, queued-but-unserved connections are answered
+    /// with `SHUTTING_DOWN`.
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.shared);
+        self.join_threads();
+    }
+
+    /// Waits for a shutdown initiated elsewhere (a client `SHUTDOWN`
+    /// frame), then cleans up — what the `serve` binary blocks on.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Everything still queued was never served: tell the clients.
+        let mut out = Vec::new();
+        for mut stream in self.shared.queue.drain() {
+            encode_response(
+                0,
+                &Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server shut down before this connection was served".into(),
+                },
+                &mut out,
+            );
+            let _ = stream.write_all(&out);
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    shared.queue.close();
+    // Wake the acceptor out of its blocking accept. A wildcard bind
+    // (0.0.0.0 / ::) is not connectable on every platform, so aim the
+    // wake-up at loopback on the same port.
+    let mut wake = shared.addr;
+    if wake.ip().is_unspecified() {
+        wake.set_ip(match wake {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect(wake);
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    let mut out = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (e.g. the process is out of file
+                // descriptors) must not busy-spin a core; back off briefly.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection from trigger_shutdown lands here; any
+            // real late connection gets the same typed answer.
+            let mut stream = stream;
+            encode_response(
+                0,
+                &Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".into(),
+                },
+                &mut out,
+            );
+            let _ = stream.write_all(&out);
+            return;
+        }
+        ServerMetrics::inc(&shared.metrics.connections);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.poll_interval));
+        if let Err(mut refused) = shared.queue.try_push(stream) {
+            ServerMetrics::inc(&shared.metrics.overloaded);
+            encode_response(
+                0,
+                &Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: format!(
+                        "admission queue full ({} waiting); retry later",
+                        shared.queue_depth
+                    ),
+                },
+                &mut out,
+            );
+            let _ = refused.write_all(&out);
+            // Dropping the stream closes the refused connection.
+        }
+    }
+}
+
+/// Per-worker reusable buffers: with these warmed up, answering a
+/// collect/count query allocates nothing beyond what the engine scratch
+/// already owns (the pattern is borrowed straight out of the frame buffer,
+/// never copied). The frame buffer lives outside this struct so its borrow
+/// can overlap the mutable use of the rest.
+struct WorkerBuffers {
+    scratch: QueryScratch,
+    positions: Vec<usize>,
+    out: Vec<u8>,
+}
+
+impl WorkerBuffers {
+    fn new() -> Self {
+        Self {
+            scratch: QueryScratch::new(),
+            positions: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut frame = Vec::new();
+    let mut buffers = WorkerBuffers::new();
+    while let Some(stream) = shared.queue.pop() {
+        // A panic while serving (an engine bug, an incompatible reloaded
+        // index) must cost one connection, not a pool slot: catch it, drop
+        // the possibly inconsistent buffers, keep serving.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(shared, stream, &mut frame, &mut buffers);
+        }));
+        if outcome.is_err() {
+            eprintln!("ius-server worker recovered from a panic; connection dropped");
+            frame = Vec::new();
+            buffers = WorkerBuffers::new();
+        }
+    }
+}
+
+enum FrameOutcome {
+    Frame,
+    Eof,
+    Shutdown,
+}
+
+/// How long a frame may take to arrive once its first byte is on the
+/// socket. A peer that stalls longer mid-frame is dropped.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Waits for the next frame, polling the shutdown flag while the
+/// connection is idle so it cannot pin a worker across shutdown, and
+/// closing connections idle beyond the configured `idle_timeout` so a
+/// handful of silent keep-alive clients cannot pin the whole pool while
+/// admitted connections starve in the queue.
+///
+/// The idle wait uses `peek` (non-consuming), so timing out never desyncs
+/// the stream; once the first byte is visible the whole frame is read
+/// under the longer [`FRAME_READ_TIMEOUT`]. A fully received frame is
+/// always answered — only waits *between* frames are interruptible.
+fn read_frame_or_shutdown(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    frame: &mut Vec<u8>,
+) -> io::Result<FrameOutcome> {
+    let mut probe = [0u8; 1];
+    let idle_since = std::time::Instant::now();
+    loop {
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(FrameOutcome::Eof),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(FrameOutcome::Shutdown);
+                }
+                if idle_since.elapsed() >= shared.idle_timeout {
+                    return Ok(FrameOutcome::Eof);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    stream.set_read_timeout(Some(FRAME_READ_TIMEOUT))?;
+    let result = read_frame(stream, MAX_REQUEST_FRAME, frame);
+    stream.set_read_timeout(Some(shared.poll_interval))?;
+    match result {
+        Ok(true) => Ok(FrameOutcome::Frame),
+        Ok(false) => Ok(FrameOutcome::Eof),
+        Err(e) => Err(e),
+    }
+}
+
+fn send(stream: &mut TcpStream, out: &[u8]) -> io::Result<()> {
+    stream.write_all(out)
+}
+
+fn handle_connection(
+    shared: &Shared,
+    mut stream: TcpStream,
+    frame: &mut Vec<u8>,
+    buffers: &mut WorkerBuffers,
+) {
+    loop {
+        match read_frame_or_shutdown(&mut stream, shared, frame) {
+            Ok(FrameOutcome::Frame) => {}
+            Ok(FrameOutcome::Eof) => return,
+            Ok(FrameOutcome::Shutdown) => {
+                encode_response(
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    },
+                    &mut buffers.out,
+                );
+                let _ = send(&mut stream, &buffers.out);
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized length prefix: refuse with a typed frame, then
+                // close (the stream offset can no longer be trusted).
+                ServerMetrics::inc(&shared.metrics.protocol_errors);
+                encode_response(
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                    &mut buffers.out,
+                );
+                let _ = send(&mut stream, &buffers.out);
+                return;
+            }
+            Err(_) => return, // transport error: drop the connection
+        }
+        ServerMetrics::inc(&shared.metrics.requests);
+        let (id, op, body) = match decode_header(frame) {
+            Ok(parts) => parts,
+            Err(err) => {
+                // The stream cannot be trusted to be frame-aligned after a
+                // header-level violation: answer once, then close.
+                ServerMetrics::inc(&shared.metrics.protocol_errors);
+                let code = match err {
+                    ProtocolError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+                    _ => ErrorCode::Malformed,
+                };
+                encode_response(
+                    0,
+                    &Response::Error {
+                        code,
+                        message: err.to_string(),
+                    },
+                    &mut buffers.out,
+                );
+                let _ = send(&mut stream, &buffers.out);
+                return;
+            }
+        };
+        // Hot path: QUERY bodies are decoded borrowing the pattern straight
+        // out of the frame buffer (no per-request allocation); other ops go
+        // through the owned decoder.
+        let close_after;
+        match decode_query_body(op, body) {
+            Some(Ok((mode, pattern))) => {
+                close_after = false;
+                answer_query(shared, id, mode, pattern, buffers);
+            }
+            Some(Err(err)) => {
+                close_after = false;
+                body_error(shared, id, &err, &mut buffers.out);
+            }
+            None => match decode_request_body(op, body) {
+                Ok(request) => {
+                    close_after = matches!(request, Request::Shutdown);
+                    answer(shared, id, request, buffers);
+                }
+                Err(err) => {
+                    // Body-level violations leave the framing intact: answer
+                    // with the request's own id and keep the connection.
+                    close_after = false;
+                    body_error(shared, id, &err, &mut buffers.out);
+                }
+            },
+        }
+        if send(&mut stream, &buffers.out).is_err() {
+            return;
+        }
+        if close_after {
+            return;
+        }
+    }
+}
+
+/// Encodes the typed error frame for a body-level protocol violation.
+fn body_error(shared: &Shared, id: u64, err: &ProtocolError, out: &mut Vec<u8>) {
+    ServerMetrics::inc(&shared.metrics.protocol_errors);
+    let code = match err {
+        ProtocolError::UnknownOp(_) => ErrorCode::UnknownOp,
+        _ => ErrorCode::Malformed,
+    };
+    encode_response(
+        id,
+        &Response::Error {
+            code,
+            message: err.to_string(),
+        },
+        out,
+    );
+}
+
+/// Answers one query, borrowing the pattern from the caller's frame
+/// buffer — the hot path. With warmed buffers, collect and count modes
+/// allocate nothing beyond what the engine scratch already owns.
+fn answer_query(
+    shared: &Shared,
+    id: u64,
+    mode: ResultMode,
+    pattern: &[u8],
+    buffers: &mut WorkerBuffers,
+) {
+    // Snapshot the served index: a reload swapping the Arc while this
+    // query runs does not affect it, and the old index stays alive until
+    // the last in-flight query drops its clone.
+    let state = shared.state.lock().expect("state lock").clone();
+    match mode {
+        ResultMode::Collect => {
+            buffers.positions.clear();
+            match state
+                .index
+                .query_into(pattern, &mut buffers.scratch, &mut buffers.positions)
+            {
+                Ok(stats) => {
+                    ServerMetrics::inc(&shared.metrics.queries);
+                    ServerMetrics::add(&shared.metrics.occurrences, buffers.positions.len() as u64);
+                    encode_matches_from_slice(
+                        id,
+                        &stats.into(),
+                        &buffers.positions,
+                        &mut buffers.out,
+                    );
+                }
+                Err(err) => query_error(shared, id, &err, &mut buffers.out),
+            }
+        }
+        ResultMode::Count => {
+            let mut sink = CountSink::new();
+            match state
+                .index
+                .query_into(pattern, &mut buffers.scratch, &mut sink)
+            {
+                Ok(stats) => {
+                    ServerMetrics::inc(&shared.metrics.queries);
+                    ServerMetrics::add(&shared.metrics.occurrences, sink.count as u64);
+                    encode_response(
+                        id,
+                        &Response::Count {
+                            stats: stats.into(),
+                            count: sink.count as u64,
+                        },
+                        &mut buffers.out,
+                    );
+                }
+                Err(err) => query_error(shared, id, &err, &mut buffers.out),
+            }
+        }
+        ResultMode::FirstK(k) => {
+            let mut sink = FirstKSink::new(usize::try_from(k).unwrap_or(usize::MAX));
+            match state
+                .index
+                .query_into(pattern, &mut buffers.scratch, &mut sink)
+            {
+                Ok(stats) => {
+                    ServerMetrics::inc(&shared.metrics.queries);
+                    ServerMetrics::add(&shared.metrics.occurrences, sink.positions.len() as u64);
+                    encode_matches_from_slice(id, &stats.into(), &sink.positions, &mut buffers.out);
+                }
+                Err(err) => query_error(shared, id, &err, &mut buffers.out),
+            }
+        }
+    }
+}
+
+/// Builds the response frame for one well-formed request into
+/// `buffers.out`.
+fn answer(shared: &Shared, id: u64, request: Request, buffers: &mut WorkerBuffers) {
+    match request {
+        Request::Ping => encode_response(id, &Response::Pong, &mut buffers.out),
+        Request::Query { mode, pattern } => answer_query(shared, id, mode, &pattern, buffers),
+        Request::Stats => {
+            let state = shared.state.lock().expect("state lock").clone();
+            let snapshot: StatsSnapshot = shared.metrics.snapshot(
+                state.index.name(),
+                state.generation,
+                state.index.corpus_len() as u64,
+                state.index.size_bytes() as u64,
+                shared.workers as u64,
+                shared.queue_depth as u64,
+            );
+            encode_response(id, &Response::Stats(snapshot), &mut buffers.out);
+        }
+        Request::Reload { path } => match reload(shared, path.as_deref()) {
+            Ok(generation) => {
+                ServerMetrics::inc(&shared.metrics.reloads);
+                encode_response(id, &Response::Reloaded { generation }, &mut buffers.out);
+            }
+            Err(message) => {
+                encode_response(
+                    id,
+                    &Response::Error {
+                        code: ErrorCode::Reload,
+                        message,
+                    },
+                    &mut buffers.out,
+                );
+            }
+        },
+        Request::Shutdown => {
+            trigger_shutdown(shared);
+            encode_response(id, &Response::ShuttingDown, &mut buffers.out);
+        }
+    }
+}
+
+fn query_error(shared: &Shared, id: u64, err: &ius_weighted::Error, out: &mut Vec<u8>) {
+    ServerMetrics::inc(&shared.metrics.query_errors);
+    encode_response(
+        id,
+        &Response::Error {
+            code: ErrorCode::Query,
+            message: err.to_string(),
+        },
+        out,
+    );
+}
+
+/// Loads the replacement index **off-lock**, then swaps the `Arc` under the
+/// lock. Returns the new generation.
+///
+/// **Contract:** a reloaded *single-machine* file must contain an index
+/// built over the corpus the server is already serving — the file stores
+/// the structure, not `X`. Minimizer files record the corpus *length*, so
+/// a wrong-length swap fails here with a typed `RELOAD_ERROR`; a
+/// same-length different corpus cannot be detected (no content
+/// fingerprint is stored) and yields wrong answers (or a panicked query,
+/// which costs that connection but not the worker — see `worker_loop`).
+/// Sharded files are self-contained and immune.
+fn reload(shared: &Shared, path: Option<&str>) -> Result<u64, String> {
+    let path: PathBuf = match (path, &shared.reload_path) {
+        (Some(p), _) => PathBuf::from(p),
+        (None, Some(p)) => p.clone(),
+        (None, None) => {
+            return Err(
+                "no reload path: the server was started from an in-memory index and the \
+                 RELOAD frame named no file"
+                    .into(),
+            )
+        }
+    };
+    // A reloaded single-machine index is served against the corpus already
+    // attached (the file stores the structure, not X); sharded files are
+    // self-contained.
+    let corpus = shared.state.lock().expect("state lock").index.corpus();
+    let index = ServedIndex::load(&path, corpus)
+        .map_err(|e| format!("reload of {} failed: {e}", path.display()))?;
+    let mut state = shared.state.lock().expect("state lock");
+    let generation = state.generation + 1;
+    *state = Arc::new(ServedState { index, generation });
+    Ok(generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_sane() {
+        let config = ServerConfig::default();
+        assert!(config.workers >= 1);
+        assert!(config.queue_depth >= 1);
+        assert!(config.poll_interval > Duration::ZERO);
+    }
+
+    #[test]
+    fn served_index_load_requires_a_corpus_for_single_machine_files() {
+        use ius_datasets::uniform::UniformConfig;
+        use ius_index::{IndexFamily, IndexParams, IndexSpec};
+        let x = UniformConfig {
+            n: 120,
+            sigma: 2,
+            spread: 0.4,
+            seed: 9,
+        }
+        .generate();
+        let params = IndexParams::new(4.0, 8, x.sigma()).unwrap();
+        let index = IndexSpec::new(IndexFamily::Wsa, params).build(&x).unwrap();
+        let dir = std::env::temp_dir().join(format!("ius-served-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wsa.iusx");
+        let mut file = std::fs::File::create(&path).unwrap();
+        index.save_to(&mut file).unwrap();
+        drop(file);
+        let err = ServedIndex::load(&path, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let served = ServedIndex::load(&path, Some(Arc::new(x.clone()))).unwrap();
+        assert_eq!(served.corpus_len(), 120);
+        assert_eq!(served.name(), "WSA");
+        assert!(served.size_bytes() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn served_index_load_rejects_a_corpus_of_the_wrong_length() {
+        use ius_datasets::uniform::UniformConfig;
+        use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant};
+        let x = UniformConfig {
+            n: 300,
+            sigma: 2,
+            spread: 0.4,
+            seed: 4,
+        }
+        .generate();
+        let params = IndexParams::new(4.0, 8, x.sigma()).unwrap();
+        let index = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::Array), params)
+            .build(&x)
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("ius-served-mismatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mwsa.iusx");
+        index
+            .save_to(&mut std::fs::File::create(&path).unwrap())
+            .unwrap();
+        // The minimizer file records |X| = 300; a 150-long corpus must be
+        // refused at load time, not fail per-query.
+        let short = UniformConfig {
+            n: 150,
+            sigma: 2,
+            spread: 0.4,
+            seed: 4,
+        }
+        .generate();
+        let err = ServedIndex::load(&path, Some(Arc::new(short))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("300") && err.to_string().contains("150"));
+        assert!(ServedIndex::load(&path, Some(Arc::new(x))).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,7 +23,11 @@
 //!   persistence (`save_index`/`load_index`; loading never re-runs
 //!   construction) and sharded composite indexes (`ShardedIndex`);
 //! * [`datasets`] — synthetic stand-ins for the paper's datasets and the
-//!   pattern samplers used in the evaluation.
+//!   pattern samplers used in the evaluation;
+//! * [`server`] — the serving subsystem: a std-only concurrent TCP server
+//!   (length-prefixed binary wire protocol, worker pool with per-worker
+//!   scratch, bounded admission with typed backpressure, atomic hot
+//!   reload) plus the matching blocking client and the `serve` binary.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@ pub use ius_grid as grid;
 pub use ius_index as index;
 pub use ius_query as query;
 pub use ius_sampling as sampling;
+pub use ius_server as server;
 pub use ius_text as text;
 pub use ius_weighted as weighted;
 
@@ -67,12 +72,13 @@ pub mod prelude {
     pub use ius_datasets::registry::{standard_datasets, Dataset, Scale};
     pub use ius_datasets::rssi::RssiConfig;
     pub use ius_index::{
-        load_index, query_batch, query_batch_positions, save_index, AnyIndex, CountSink,
-        FirstKSink, IndexFamily, IndexParams, IndexSpec, IndexVariant, MatchSink, MinimizerIndex,
-        NaiveIndex, QueryBatch, QueryScratch, QueryStats, ShardedIndex, SpaceEfficientBuilder,
-        UncertainIndex, Wsa, Wst,
+        load_any_index, load_index, query_batch, query_batch_positions, save_index, AnyIndex,
+        CountSink, FirstKSink, IndexFamily, IndexParams, IndexSpec, IndexVariant, LoadedAny,
+        MatchSink, MinimizerIndex, NaiveIndex, QueryBatch, QueryScratch, QueryStats, ShardedIndex,
+        SpaceEfficientBuilder, UncertainIndex, Wsa, Wst,
     };
     pub use ius_sampling::{KmerOrder, MinimizerScheme};
+    pub use ius_server::{Client, ResultMode, ServedIndex, Server, ServerConfig};
     pub use ius_weighted::{Alphabet, HeavyString, WeightedString, ZEstimation};
 }
 
