@@ -23,6 +23,7 @@ use ius_bench::query_bench::{render_query_json, run_query_bench, QueryBenchConfi
 use ius_bench::report::{render_csv, render_table, Row};
 use ius_bench::serve_bench::{render_serve_json, run_serve_bench, ServeBenchConfig};
 use ius_bench::space_bench::{render_space_json, run_space_bench, SpaceBenchConfig};
+use ius_bench::update_bench::{render_update_json, run_update_bench, UpdateBenchConfig};
 use ius_datasets::registry::{efm_star, human_star, rssi_star, sars_star, Dataset, Scale};
 use ius_datasets::rssi::rssi_scaled;
 use ius_index::IndexParams;
@@ -51,6 +52,7 @@ struct Config {
     bench_query: bool,
     bench_space: bool,
     bench_serve: bool,
+    bench_update: bool,
     bench_n: usize,
     bench_reps: usize,
     bench_patterns: usize,
@@ -58,6 +60,7 @@ struct Config {
     bench_shards: Vec<usize>,
     bench_workers: Vec<usize>,
     bench_clients: usize,
+    bench_batch: usize,
 }
 
 fn main() {
@@ -174,6 +177,30 @@ fn main() {
         return;
     }
 
+    if config.bench_update {
+        let bench_config = UpdateBenchConfig {
+            n: config.bench_n,
+            reps: config.bench_reps,
+            patterns: config.bench_patterns.min(400),
+            batch: config.bench_batch,
+            ..Default::default()
+        };
+        let results = run_update_bench(&bench_config);
+        let json = render_update_json(&bench_config, &results);
+        let path = config
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_update.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, &json).expect("write BENCH_update.json");
+        println!("{json}");
+        println!("wrote {}", path.display());
+        return;
+    }
+
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
     let want = |ids: &[ExperimentId]| ids.iter().any(|id| config.experiments.contains(id));
@@ -256,6 +283,11 @@ fn print_help() {
          \x20 --bench-serve        run the serving benchmark (persisted index served over\n\
          \x20                      loopback TCP, throughput + p50/p99 latency vs worker\n\
          \x20                      count, hot-reload stage) and write BENCH_serve.json\n\
+         \x20 --bench-update       run the dynamic-corpus benchmark (batch ingest into a\n\
+         \x20                      LiveIndex, append throughput + visible latency, query\n\
+         \x20                      latency vs segment count before/after compaction under\n\
+         \x20                      concurrent load, answers asserted identical to a\n\
+         \x20                      from-scratch rebuild) and write BENCH_update.json\n\
          \x20 --bench-n <n>        string length for --bench-* (default 100000)\n\
          \x20 --bench-reps <r>     repetitions per timed side for --bench-* (default 3)\n\
          \x20 --bench-patterns <p> query patterns per dataset for --bench-query/--bench-space/\n\
@@ -264,6 +296,7 @@ fn print_help() {
          \x20 --bench-shards <s,..> shard counts for --bench-space (default 1,4,8)\n\
          \x20 --bench-workers <w,..> worker-pool sizes for --bench-serve (default 1,2,4)\n\
          \x20 --bench-clients <c>  concurrent client threads for --bench-serve (default 4)\n\
+         \x20 --bench-batch <b>    rows per append batch for --bench-update (default 2000)\n\
          \x20 --list               list experiments\n"
     );
 }
@@ -278,6 +311,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut bench_query = false;
     let mut bench_space = false;
     let mut bench_serve = false;
+    let mut bench_update = false;
     let mut bench_n = 100_000usize;
     let mut bench_reps = 3usize;
     let mut bench_patterns = 400usize;
@@ -285,6 +319,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut bench_shards = vec![1usize, 4, 8];
     let mut bench_workers = vec![1usize, 2, 4];
     let mut bench_clients = 4usize;
+    let mut bench_batch = 2_000usize;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -303,6 +338,21 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
             "--bench-serve" => {
                 bench_serve = true;
                 i += 1;
+            }
+            "--bench-update" => {
+                bench_update = true;
+                i += 1;
+            }
+            "--bench-batch" => {
+                bench_batch = args
+                    .get(i + 1)
+                    .ok_or("--bench-batch needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --bench-batch: {e}"))?;
+                if bench_batch == 0 {
+                    return Err("--bench-batch needs a positive row count".into());
+                }
+                i += 2;
             }
             "--bench-workers" => {
                 bench_workers = args
@@ -431,6 +481,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         bench_query,
         bench_space,
         bench_serve,
+        bench_update,
         bench_n,
         bench_reps,
         bench_patterns,
@@ -438,6 +489,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         bench_shards,
         bench_workers,
         bench_clients,
+        bench_batch,
     })
 }
 

@@ -16,6 +16,7 @@ pub mod query_bench;
 pub mod report;
 pub mod serve_bench;
 pub mod space_bench;
+pub mod update_bench;
 
 pub use construction::{ConstructionBenchConfig, DatasetBench, StageTiming};
 pub use experiments::{Experiment, ExperimentId};
@@ -24,3 +25,4 @@ pub use query_bench::{FamilyQueryBench, QueryBenchConfig, QueryDatasetBench};
 pub use report::Row;
 pub use serve_bench::{ReloadBench, ServeBenchConfig, ServeDatasetBench, WorkerBench};
 pub use space_bench::{FamilySpaceBench, ShardBench, SpaceBenchConfig, SpaceDatasetBench};
+pub use update_bench::{CompactionPhase, QueryPhase, UpdateBenchConfig, UpdateDatasetBench};

@@ -31,6 +31,7 @@ pub mod builder;
 pub mod encode;
 pub mod minimizer_index;
 pub mod naive;
+pub mod overlap;
 pub mod params;
 pub mod persist;
 pub mod property_text;

@@ -21,6 +21,7 @@
 //! asserts the result identical to the unsharded index for every family.
 
 use crate::builder::{AnyIndex, IndexSpec};
+use crate::overlap::{chunk_end, overlap_len, retain_home_and_globalize};
 use crate::traits::{validate_pattern, IndexStats, UncertainIndex};
 use ius_query::{finalize_into, MatchSink, QueryBatch, QueryScratch, QueryStats};
 use ius_weighted::{Error, Result, WeightedString};
@@ -101,13 +102,13 @@ impl ShardedIndex {
                 spec.lower_bound()
             )));
         }
-        let overlap = max_pattern_len - 1;
+        let overlap = overlap_len(max_pattern_len);
         let home = n.div_ceil(num_shards);
         let mut shards = Vec::with_capacity(num_shards);
         let mut offset = 0usize;
         while offset < n {
             let home_len = home.min(n - offset);
-            let end = (offset + home_len + overlap).min(n);
+            let end = chunk_end(offset, home_len, overlap, n);
             let chunk = x.substring(offset, end)?;
             let index = spec.build(&chunk)?;
             shards.push(Shard {
@@ -206,11 +207,9 @@ impl ShardedIndex {
                         .index
                         .query_into(pattern, &shard.x, worker_scratch, &mut local)?;
                 // Keep only home-range starts: overlap-region hits are the
-                // next shard's responsibility (this is the deduplication).
-                local.retain(|&pos| pos < shard.home_len);
-                for pos in &mut local {
-                    *pos += shard.offset;
-                }
+                // next shard's responsibility (this is the deduplication —
+                // see `crate::overlap`).
+                retain_home_and_globalize(&mut local, shard.home_len, shard.offset);
                 Ok((local, stats))
             },
         );
@@ -260,13 +259,13 @@ impl ShardedIndex {
         if shards.is_empty() {
             return Err("a sharded index needs at least one shard".into());
         }
-        let overlap = max_pattern_len - 1;
+        let overlap = overlap_len(max_pattern_len);
         let mut expected_offset = 0usize;
         for (i, shard) in shards.iter().enumerate() {
             if shard.offset != expected_offset || shard.home_len == 0 {
                 return Err(format!("shard {i} does not tile the string"));
             }
-            let end = (shard.offset + shard.home_len + overlap).min(n);
+            let end = chunk_end(shard.offset, shard.home_len, overlap, n);
             if shard.x.len() != end - shard.offset {
                 return Err(format!("shard {i}'s chunk does not cover its overlap"));
             }

@@ -5,6 +5,13 @@
 //! shared uniform and pangenome corpora. This replaces the per-file
 //! `check_against_naive` helpers that used to be copy-pasted across
 //! `minimizer_index.rs`, `wsa.rs`, `wst.rs` and `space_efficient.rs`.
+//!
+//! The harness also covers the **dynamic** side: `ius_live::LiveIndex`
+//! (dev-dependency back-edge) after interleaved append / delete / flush /
+//! compact sequences — scripted and proptest-driven — is checked against
+//! NAIVE over the materialized final corpus, with the documented tombstone
+//! semantics (an occurrence survives iff its window intersects no deleted
+//! range) applied to the reference.
 
 use ius_datasets::pangenome::PangenomeConfig;
 use ius_datasets::patterns::PatternSampler;
@@ -264,6 +271,193 @@ fn sharded_indexes_agree_with_their_unsharded_family_and_naive() {
                 checked += 1;
             }
             assert!(checked > 0, "{}: no patterns checked", family.name());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live (dynamic) differentials
+// ---------------------------------------------------------------------
+
+use ius_live::{LiveConfig, LiveIndex};
+use proptest::prelude::*;
+
+fn live_config(flush_threshold: usize) -> LiveConfig {
+    LiveConfig {
+        flush_threshold,
+        compact_fanout: 3,
+        auto_compact: false,
+        threads: 2,
+    }
+}
+
+/// The documented live-query semantics, applied to the oracle: NAIVE
+/// occurrences over the materialized corpus, minus every start whose
+/// window `[p, p + m)` intersects a tombstoned range.
+fn live_reference(
+    x: &WeightedString,
+    tombstones: &[(usize, usize)],
+    pattern: &[u8],
+    z: f64,
+) -> Vec<usize> {
+    let naive = NaiveIndex::new(z).unwrap();
+    let mut positions = naive.query(pattern, x).unwrap();
+    positions.retain(|&p| {
+        tombstones
+            .iter()
+            .all(|&(s, e)| p + pattern.len() <= s || p >= e)
+    });
+    positions
+}
+
+/// Checks the live index against the oracle over its own materialized
+/// corpus for every admissible pattern of the workload.
+fn check_live(live: &LiveIndex, patterns: &[Vec<u8>], label: &str) {
+    let x = live.materialize().expect("non-empty live corpus");
+    let tombstones = live.tombstones();
+    let z = live.spec().params.z;
+    let mut checked = 0usize;
+    for pattern in patterns {
+        if pattern.len() < live.spec().lower_bound() || pattern.len() > live.max_pattern_len() {
+            assert!(
+                live.query_owned(pattern).is_err(),
+                "{label}: length contract"
+            );
+            continue;
+        }
+        assert_eq!(
+            live.query_owned(pattern).unwrap(),
+            live_reference(&x, &tombstones, pattern, z),
+            "{label}: live disagrees with NAIVE over the materialized corpus"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "{label}: no patterns checked");
+}
+
+#[test]
+fn live_indexes_agree_with_naive_after_scripted_mutations() {
+    // A fixed interleaving of every mutation kind, across three families,
+    // on both harness corpora; answers checked after every step.
+    for corpus in corpora() {
+        let params = IndexParams::new(corpus.z, corpus.ell, corpus.x.sigma()).unwrap();
+        for family in [
+            IndexFamily::Minimizer(ius_index::IndexVariant::Array),
+            IndexFamily::Minimizer(ius_index::IndexVariant::ArrayGrid),
+            IndexFamily::SpaceEfficient(ius_index::IndexVariant::Array),
+        ] {
+            let label = format!("{} on {}", family.name(), corpus.label);
+            let spec = IndexSpec::new(family, params);
+            let live = LiveIndex::new(
+                corpus.x.alphabet().clone(),
+                spec,
+                3 * corpus.ell,
+                live_config(corpus.x.len() / 6),
+            )
+            .unwrap();
+            let n = corpus.x.len();
+            let step = n.div_ceil(5);
+            let mut appended = 0usize;
+            while appended < n {
+                let end = (appended + step).min(n);
+                live.append(&corpus.x.substring(appended, end).unwrap())
+                    .unwrap();
+                appended = end;
+                check_live(&live, &corpus.patterns, &label);
+            }
+            live.delete_range(n / 10, n / 10 + n / 20).unwrap();
+            check_live(&live, &corpus.patterns, &label);
+            live.flush().unwrap();
+            live.delete_range(n / 2, n / 2 + 1).unwrap();
+            check_live(&live, &corpus.patterns, &label);
+            while live.compact_once().unwrap() > 0 {
+                check_live(&live, &corpus.patterns, &label);
+            }
+            live.compact_full().unwrap();
+            check_live(&live, &corpus.patterns, &label);
+            assert_eq!(live.len(), n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of append / delete / flush / compact over a
+    /// random uniform corpus: after every operation the live answers must
+    /// equal NAIVE over the materialized prefix with the tombstone mask.
+    #[test]
+    fn live_differential_under_random_op_sequences(
+        seed in 0u64..1 << 32,
+        threshold in 24usize..80,
+        ops in prop::collection::vec((0u8..4, 0.0f64..1.0, 0.0f64..1.0), 6..16),
+    ) {
+        let x = UniformConfig {
+            n: 400,
+            sigma: 2,
+            spread: 0.4,
+            seed,
+        }
+        .generate();
+        let (z, ell, max_len) = (8.0, 4usize, 12usize);
+        let params = IndexParams::new(z, ell, x.sigma()).unwrap();
+        let spec = IndexSpec::new(IndexFamily::Minimizer(ius_index::IndexVariant::Array), params);
+        let live = LiveIndex::new(x.alphabet().clone(), spec, max_len, live_config(threshold))
+            .unwrap();
+        let patterns: Vec<Vec<u8>> = (0..)
+            .map_while(|i| match i {
+                0 => Some(vec![0u8; ell]),
+                1 => Some(vec![1u8; ell]),
+                2 => Some((0..8).map(|j| (j % 2) as u8).collect()),
+                3 => Some(vec![0u8; max_len]),
+                4 => Some((0..max_len).map(|j| (j / 3 % 2) as u8).collect()),
+                _ => None,
+            })
+            .collect();
+        let mut appended = 0usize;
+        for &(kind, a, b) in &ops {
+            match kind {
+                // Append the next random-sized chunk of the corpus stream.
+                0 => {
+                    if appended < x.len() {
+                        let len = 1 + ((x.len() - appended) as f64 * a * 0.4) as usize;
+                        let end = (appended + len).min(x.len());
+                        live.append(&x.substring(appended, end).unwrap()).unwrap();
+                        appended = end;
+                    }
+                }
+                // Delete a random range of the current corpus.
+                1 => {
+                    if appended > 1 {
+                        let start = (a * (appended - 1) as f64) as usize;
+                        let len = 1 + (b * 20.0) as usize;
+                        let end = (start + len).min(appended);
+                        live.delete_range(start, end).unwrap();
+                    }
+                }
+                2 => {
+                    live.flush().unwrap();
+                }
+                _ => {
+                    live.compact_once().unwrap();
+                }
+            }
+            if appended == 0 {
+                continue;
+            }
+            let materialized = live.materialize().unwrap();
+            prop_assert_eq!(&materialized, &x.substring(0, appended).unwrap());
+            let tombstones = live.tombstones();
+            for pattern in &patterns {
+                prop_assert_eq!(
+                    live.query_owned(pattern).unwrap(),
+                    live_reference(&materialized, &tombstones, pattern, z),
+                    "after op {:?}, {} rows, {} segments",
+                    (kind, a, b),
+                    appended,
+                    live.num_segments()
+                );
+            }
         }
     }
 }

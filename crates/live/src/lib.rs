@@ -1,0 +1,1080 @@
+//! # ius-live — dynamic segmented indexing over uncertain strings
+//!
+//! Every index family in this workspace is built once over a fixed weighted
+//! string. This crate adds the first *mutable-corpus* structure: an
+//! LSM-style [`LiveIndex`] whose logical corpus grows by appends and
+//! shrinks (logically) by range deletions **while it is being queried** —
+//! no full rebuild, no downtime.
+//!
+//! ## Model
+//!
+//! The logical corpus is the weighted string `X[0, n)`; `n` only grows.
+//! Three structures cover it:
+//!
+//! * an ordered list of immutable **segments** — each one a chunk of `X`
+//!   plus a persisted-format index (any family, built through the PR-3
+//!   [`IndexSpec`] builder) over that chunk. Segment *home ranges* tile a
+//!   prefix `[0, h)` of the corpus, and each chunk extends
+//!   `max_pattern_len − 1` positions past its home range (the shared
+//!   overlap rule of `ius_index::overlap`), so every occurrence of a
+//!   supported pattern lies entirely inside the chunk of the segment whose
+//!   home range contains its start;
+//! * a **memtable tail**: the raw probability rows of `[h, n)`, served by
+//!   a naive `O(rows·m)` scan. Appends land here and are visible to the
+//!   very next query;
+//! * a **tombstone set** of deleted logical ranges. Positions are never
+//!   renumbered: `delete_range(s, e)` invalidates every occurrence whose
+//!   window intersects `[s, e)`, and reported positions keep their
+//!   original coordinates. (Space is not reclaimed — tombstones are a
+//!   query-time filter.)
+//!
+//! A **flush** freezes the memtable into a new segment: the new segment's
+//! home range is `[h, n − overlap)` and its chunk is all memtable rows
+//! `[h, n)`; the memtable retains the last `overlap` rows (its new home
+//! start is `n − overlap`), which is exactly what makes the frozen chunk
+//! cover its home range plus the overlap without ever needing future data.
+//!
+//! ## Queries
+//!
+//! [`LiveIndex::query_owned_into`] implements the workspace-wide
+//! `query_into(pattern, scratch, sink) → QueryStats` contract by fanning
+//! out over the segments (plus the memtable scan) through the PR-2
+//! [`QueryBatch`] executor, filtering each part's output to its home range
+//! (the shared dedup rule), concatenating — which is already globally
+//! sorted — filtering tombstoned windows, and streaming into the sink.
+//! Queries run against an [`Arc`] snapshot of the state: appends, flushes
+//! and compactions swap the snapshot and never block or corrupt an
+//! in-flight query (the PR-4 hot-reload discipline).
+//!
+//! ## Compaction
+//!
+//! Many small segments mean many fan-out parts per query. A **tiered**
+//! compaction policy merges runs of ≥ `compact_fanout` consecutive
+//! segments in the same size class (⌊log₂ home_len⌋) into one segment.
+//! [`LiveIndex::compact_once`] applies one round; with
+//! `LiveConfig::auto_compact` a background thread runs rounds after every
+//! flush. The merged segment is built entirely **off-lock** from a
+//! snapshot and swapped in only if its inputs are still present (checked
+//! by segment id), so concurrent queries, appends and flushes proceed
+//! untouched while a compaction builds.
+//!
+//! ## Persistence
+//!
+//! [`LiveIndex::save_to_dir`] / [`LiveIndex::open`] persist the whole
+//! structure as a directory: one `live.iusl` manifest (magic `IUSL`,
+//! versioned like the `IUSX` index format) naming the segment list,
+//! memtable and tombstones, plus one `seg-*.iusg` file per segment
+//! embedding the chunk and its index (saved via `ius_index::persist`, so
+//! reopening never re-runs construction). See [`manifest`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manifest;
+
+use ius_index::overlap::{overlap_len, retain_home_and_globalize};
+use ius_index::{validate_pattern, AnyIndex, IndexSpec, IndexStats, UncertainIndex};
+use ius_query::{finalize_into, MatchSink, QueryBatch, QueryScratch, QueryStats};
+use ius_weighted::{is_solid, Alphabet, Error, Result, WeightedString};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of one [`LiveIndex`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Memtable rows that trigger an automatic flush on append. The
+    /// effective threshold is at least `max_pattern_len` (a flush needs a
+    /// non-empty home range after retaining the overlap).
+    pub flush_threshold: usize,
+    /// Tiered-compaction fan-out `K`: a run of at least `K` consecutive
+    /// segments in the same size class is merged into one. At least 2.
+    pub compact_fanout: usize,
+    /// Spawn a background thread that runs compaction rounds after every
+    /// flush (and periodically), so queries never see an unbounded number
+    /// of small segments.
+    pub auto_compact: bool,
+    /// Worker threads of the query fan-out executor (0 = all CPUs).
+    pub threads: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            flush_threshold: 8_192,
+            compact_fanout: 4,
+            auto_compact: true,
+            threads: 0,
+        }
+    }
+}
+
+/// One immutable segment: its global offset, the width of the home range
+/// it is authoritative for, its chunk of `X` (home + overlap) and the
+/// index built over the chunk.
+#[derive(Debug)]
+pub(crate) struct Segment {
+    /// Unique id (stable across compactions of *other* segments; used by
+    /// the compaction swap to detect a concurrent change and by the
+    /// manifest to name the segment file).
+    pub(crate) id: u64,
+    /// Global position of the chunk's (and home range's) first row.
+    pub(crate) offset: usize,
+    /// Width of the home range.
+    pub(crate) home_len: usize,
+    /// The chunk `[offset, offset + home_len + overlap)`, owned.
+    pub(crate) x: WeightedString,
+    /// The index over the chunk.
+    pub(crate) index: AnyIndex,
+}
+
+/// Rows below which an append coalesces into the tail slab instead of
+/// starting a new one: bounds both the copy-on-write cost of a
+/// small-batch append and the slab count of the whole memtable.
+const SLAB_MIN_ROWS: usize = 256;
+
+/// The in-memory tail: raw probability rows of `[start, start + rows)`.
+///
+/// Rows are stored in **slabs** shared with snapshots via [`Arc`] — the
+/// per-mutation state clone copies only the slab pointer list, and an
+/// append either pushes a new slab or extends the (bounded) tail slab
+/// copy-on-write. Every slab holds a whole number of rows, so row-at-a-
+/// time wire ingest costs `O(batch + SLAB_MIN_ROWS)` per append instead
+/// of re-copying the entire memtable.
+#[derive(Debug, Clone)]
+pub(crate) struct Memtable {
+    /// Global position of the first stored row (= the memtable's home
+    /// start: the memtable is authoritative for every start ≥ `start`).
+    pub(crate) start: usize,
+    /// Stored rows.
+    pub(crate) rows: usize,
+    /// Row-major probability slabs (`Σ lengths = rows × σ`).
+    slabs: Vec<Arc<Vec<f64>>>,
+}
+
+impl Memtable {
+    pub(crate) fn empty(start: usize) -> Self {
+        Self {
+            start,
+            rows: 0,
+            slabs: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a memtable from one contiguous flat buffer (manifest
+    /// load).
+    pub(crate) fn from_flat(start: usize, rows: usize, flat: Vec<f64>) -> Self {
+        Self {
+            start,
+            rows,
+            slabs: if rows > 0 {
+                vec![Arc::new(flat)]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Appends `rows` row-major rows.
+    pub(crate) fn push_rows(&mut self, flat: &[f64], rows: usize, sigma: usize) {
+        debug_assert_eq!(flat.len(), rows * sigma);
+        if let Some(last) = self.slabs.last_mut() {
+            if last.len() < SLAB_MIN_ROWS * sigma {
+                // Coalesce into the tail slab; `make_mut` copies it only
+                // when a snapshot still shares it, and the slab is
+                // bounded, so the copy is too.
+                Arc::make_mut(last).extend_from_slice(flat);
+                self.rows += rows;
+                return;
+            }
+        }
+        self.slabs.push(Arc::new(flat.to_vec()));
+        self.rows += rows;
+    }
+
+    /// Appends the rows `[row_start, row_end)` onto `out` as one
+    /// contiguous row-major run.
+    pub(crate) fn copy_rows_into(
+        &self,
+        row_start: usize,
+        row_end: usize,
+        sigma: usize,
+        out: &mut Vec<f64>,
+    ) {
+        let mut skip = row_start * sigma;
+        let mut take = (row_end - row_start) * sigma;
+        out.reserve(take);
+        for slab in &self.slabs {
+            if take == 0 {
+                break;
+            }
+            if skip >= slab.len() {
+                skip -= slab.len();
+                continue;
+            }
+            let end = (skip + take).min(slab.len());
+            out.extend_from_slice(&slab[skip..end]);
+            take -= end - skip;
+            skip = 0;
+        }
+        debug_assert_eq!(take, 0, "requested rows exceed the memtable");
+    }
+
+    /// The rows `[row_start, row_end)` as one owned flat buffer.
+    pub(crate) fn flat_rows(&self, row_start: usize, row_end: usize, sigma: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.copy_rows_into(row_start, row_end, sigma, &mut out);
+        out
+    }
+
+    /// Drops the first `rows` rows, advancing `start` (a slab split at
+    /// the boundary is replaced by a copy of its tail, never mutated in
+    /// place — snapshots may share it).
+    pub(crate) fn drain_front(&mut self, rows: usize, sigma: usize) {
+        let mut drop_vals = rows * sigma;
+        while drop_vals > 0 {
+            let slab = self.slabs.first().expect("enough rows to drain");
+            if slab.len() <= drop_vals {
+                drop_vals -= slab.len();
+                self.slabs.remove(0);
+            } else {
+                let tail = Arc::new(slab[drop_vals..].to_vec());
+                self.slabs[0] = tail;
+                drop_vals = 0;
+            }
+        }
+        self.rows -= rows;
+        self.start += rows;
+    }
+
+    /// One borrowed slice per row, in order — the random-access view the
+    /// naive scan iterates.
+    pub(crate) fn row_slices(&self, sigma: usize) -> Vec<&[f64]> {
+        let mut rows = Vec::with_capacity(self.rows);
+        for slab in &self.slabs {
+            rows.extend(slab.chunks_exact(sigma));
+        }
+        debug_assert_eq!(rows.len(), self.rows);
+        rows
+    }
+
+    /// Heap bytes held by the slabs and the pointer list.
+    pub(crate) fn capacity_bytes(&self) -> usize {
+        self.slabs
+            .iter()
+            .map(|slab| slab.capacity() * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + self.slabs.capacity() * std::mem::size_of::<Arc<Vec<f64>>>()
+    }
+}
+
+/// One immutable snapshot of the whole structure — what queries clone and
+/// mutators swap.
+#[derive(Debug, Clone)]
+pub(crate) struct LiveState {
+    pub(crate) segments: Vec<Arc<Segment>>,
+    pub(crate) memtable: Memtable,
+    /// Sorted, disjoint, coalesced deleted ranges (half-open).
+    pub(crate) tombstones: Vec<(usize, usize)>,
+    /// Logical corpus length.
+    pub(crate) n: usize,
+}
+
+/// Operational counters of a [`LiveIndex`] (monotonic since creation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Logical corpus length `n`.
+    pub corpus_len: usize,
+    /// Immutable segments currently serving.
+    pub segments: usize,
+    /// Rows currently in the memtable tail.
+    pub memtable_rows: usize,
+    /// Tombstoned ranges currently filtering queries.
+    pub tombstones: usize,
+    /// Positions appended since creation.
+    pub appended: u64,
+    /// Memtable flushes since creation.
+    pub flushes: u64,
+    /// Compaction merges since creation.
+    pub compactions: u64,
+}
+
+struct Inner {
+    alphabet: Alphabet,
+    spec: IndexSpec,
+    max_pattern_len: usize,
+    config: LiveConfig,
+    /// Snapshot holder: queries clone the `Arc`, mutators swap it.
+    state: Mutex<Arc<LiveState>>,
+    /// Serializes mutators (append/delete/flush); compaction swaps are
+    /// id-checked instead, so a long merge build never stalls appends.
+    write_lock: Mutex<()>,
+    next_segment_id: AtomicU64,
+    executor: QueryBatch,
+    appended: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    /// Compactor wake-up: `(dirty, stop)` under the mutex.
+    compact_signal: Mutex<(bool, bool)>,
+    compact_cond: Condvar,
+}
+
+/// An LSM-style dynamic index over one growing uncertain string. All
+/// methods take `&self`; the structure is internally synchronized and is
+/// meant to be shared behind an [`Arc`] (the serving layer does exactly
+/// that).
+pub struct LiveIndex {
+    inner: Arc<Inner>,
+    compactor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for LiveIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.live_stats();
+        f.debug_struct("LiveIndex")
+            .field("family", &self.inner.spec.family.name())
+            .field("n", &stats.corpus_len)
+            .field("segments", &stats.segments)
+            .field("memtable_rows", &stats.memtable_rows)
+            .field("tombstones", &stats.tombstones)
+            .finish()
+    }
+}
+
+impl LiveIndex {
+    /// Creates an empty live index over `alphabet`: no segments, empty
+    /// memtable, length 0. `max_pattern_len` bounds the pattern lengths
+    /// the index will ever serve and fixes the segment overlap
+    /// (`max_pattern_len − 1`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameters`] if `max_pattern_len` is zero or below
+    /// the family's minimum pattern length, or if `compact_fanout < 2`.
+    pub fn new(
+        alphabet: Alphabet,
+        spec: IndexSpec,
+        max_pattern_len: usize,
+        config: LiveConfig,
+    ) -> Result<Self> {
+        if max_pattern_len == 0 {
+            return Err(Error::InvalidParameters(
+                "max_pattern_len = 0: the live index could not serve any pattern".into(),
+            ));
+        }
+        if max_pattern_len < spec.lower_bound() {
+            return Err(Error::InvalidParameters(format!(
+                "max_pattern_len = {max_pattern_len} is below the family's minimum \
+                 pattern length {}",
+                spec.lower_bound()
+            )));
+        }
+        if config.compact_fanout < 2 {
+            return Err(Error::InvalidParameters(format!(
+                "compact_fanout = {}: a merge needs at least two inputs",
+                config.compact_fanout
+            )));
+        }
+        let executor = if config.threads == 0 {
+            QueryBatch::new()
+        } else {
+            QueryBatch::with_threads(config.threads)
+        };
+        let auto_compact = config.auto_compact;
+        let inner = Arc::new(Inner {
+            alphabet,
+            spec,
+            max_pattern_len,
+            config,
+            state: Mutex::new(Arc::new(LiveState {
+                segments: Vec::new(),
+                memtable: Memtable::empty(0),
+                tombstones: Vec::new(),
+                n: 0,
+            })),
+            write_lock: Mutex::new(()),
+            next_segment_id: AtomicU64::new(0),
+            executor,
+            appended: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            compact_signal: Mutex::new((false, false)),
+            compact_cond: Condvar::new(),
+        });
+        let compactor = if auto_compact {
+            let worker = inner.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("ius-live-compact".into())
+                    .spawn(move || compactor_loop(&worker))
+                    .expect("spawn compactor"),
+            )
+        } else {
+            None
+        };
+        Ok(Self {
+            inner,
+            compactor: Mutex::new(compactor),
+        })
+    }
+
+    /// Seeds a live index from an existing corpus: creates an empty index,
+    /// appends `x` (auto-flushing at the configured threshold) and flushes
+    /// the remainder, so the bulk of the corpus serves from real segments
+    /// and only the trailing overlap stays in the memtable.
+    ///
+    /// # Errors
+    ///
+    /// Construction errors of [`LiveIndex::new`], [`LiveIndex::append`]
+    /// and [`LiveIndex::flush`].
+    pub fn from_corpus(
+        x: &WeightedString,
+        spec: IndexSpec,
+        max_pattern_len: usize,
+        config: LiveConfig,
+    ) -> Result<Self> {
+        let live = Self::new(x.alphabet().clone(), spec, max_pattern_len, config)?;
+        live.append(x)?;
+        live.flush()?;
+        Ok(live)
+    }
+
+    pub(crate) fn from_loaded_parts(
+        alphabet: Alphabet,
+        spec: IndexSpec,
+        max_pattern_len: usize,
+        config: LiveConfig,
+        state: LiveState,
+        next_segment_id: u64,
+    ) -> Result<Self> {
+        let live = Self::new(alphabet, spec, max_pattern_len, config)?;
+        *live.inner.state.lock().expect("state lock") = Arc::new(state);
+        live.inner
+            .next_segment_id
+            .store(next_segment_id, Ordering::SeqCst);
+        Ok(live)
+    }
+
+    /// The alphabet every appended row must be over.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.inner.alphabet
+    }
+
+    /// The family/parameter descriptor segments are built from.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.inner.spec
+    }
+
+    /// The maximum pattern length this index serves.
+    pub fn max_pattern_len(&self) -> usize {
+        self.inner.max_pattern_len
+    }
+
+    /// The segment overlap (`max_pattern_len − 1`).
+    pub fn overlap(&self) -> usize {
+        overlap_len(self.inner.max_pattern_len)
+    }
+
+    /// Logical corpus length `n`.
+    pub fn len(&self) -> usize {
+        self.snapshot().n
+    }
+
+    /// `true` iff nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of immutable segments currently serving.
+    pub fn num_segments(&self) -> usize {
+        self.snapshot().segments.len()
+    }
+
+    /// Operational counters.
+    pub fn live_stats(&self) -> LiveStats {
+        let state = self.snapshot();
+        LiveStats {
+            corpus_len: state.n,
+            segments: state.segments.len(),
+            memtable_rows: state.memtable.rows,
+            tombstones: state.tombstones.len(),
+            appended: self.inner.appended.load(Ordering::Relaxed),
+            flushes: self.inner.flushes.load(Ordering::Relaxed),
+            compactions: self.inner.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The current tombstone set (sorted, disjoint, coalesced half-open
+    /// ranges) — what the differential harness replays onto its reference.
+    pub fn tombstones(&self) -> Vec<(usize, usize)> {
+        self.snapshot().tombstones.clone()
+    }
+
+    /// Materializes the full logical corpus `X[0, n)` as one weighted
+    /// string (`None` while the index is empty). Linear time and space —
+    /// meant for tests and for differential verification, not serving.
+    pub fn materialize(&self) -> Option<WeightedString> {
+        let state = self.snapshot();
+        if state.n == 0 {
+            return None;
+        }
+        let sigma = self.inner.alphabet.size();
+        let mut flat = Vec::with_capacity(state.n * sigma);
+        for segment in &state.segments {
+            flat.extend_from_slice(&segment.x.flat_probs()[..segment.home_len * sigma]);
+        }
+        state
+            .memtable
+            .copy_rows_into(0, state.memtable.rows, sigma, &mut flat);
+        debug_assert_eq!(flat.len(), state.n * sigma);
+        Some(
+            WeightedString::from_flat(self.inner.alphabet.clone(), flat)
+                .expect("segment and memtable rows were validated on append"),
+        )
+    }
+
+    fn snapshot(&self) -> Arc<LiveState> {
+        self.inner.state.lock().expect("state lock").clone()
+    }
+
+    // -----------------------------------------------------------------
+    // Mutations
+    // -----------------------------------------------------------------
+
+    /// Appends `batch` to the logical corpus. The new rows are visible to
+    /// the very next query (served by the memtable scan until a flush
+    /// freezes them into a segment). Auto-flushes when the memtable
+    /// reaches the configured threshold.
+    ///
+    /// Returns the new corpus length.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameters`] if `batch` is over a different
+    /// alphabet; flush errors when the threshold triggers.
+    pub fn append(&self, batch: &WeightedString) -> Result<usize> {
+        if batch.alphabet() != &self.inner.alphabet {
+            return Err(Error::InvalidParameters(format!(
+                "appended rows are over alphabet {:?}, the live index over {:?}",
+                batch.alphabet().symbols(),
+                self.inner.alphabet.symbols()
+            )));
+        }
+        let _write = self.inner.write_lock.lock().expect("write lock");
+        let new_n;
+        {
+            let mut holder = self.inner.state.lock().expect("state lock");
+            let mut state = LiveState::clone(&holder);
+            state
+                .memtable
+                .push_rows(batch.flat_probs(), batch.len(), self.inner.alphabet.size());
+            state.n += batch.len();
+            new_n = state.n;
+            *holder = Arc::new(state);
+        }
+        self.inner
+            .appended
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // Auto-flush freezes only *full* threshold-sized segments (the
+        // remainder stays in the memtable), so segment sizes — and hence
+        // the tiered compaction classes — do not depend on how appends
+        // were batched.
+        if self.snapshot().memtable.rows >= self.max_home() + self.overlap() {
+            self.flush_locked(false)?;
+        }
+        Ok(new_n)
+    }
+
+    /// Home rows per frozen segment (the effective flush threshold).
+    fn max_home(&self) -> usize {
+        self.inner
+            .config
+            .flush_threshold
+            .max(self.inner.max_pattern_len)
+    }
+
+    /// Tombstones the logical range `[start, end)`: every occurrence whose
+    /// window intersects it disappears from query results. Positions are
+    /// never renumbered and space is not reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameters`] if `start ≥ end`;
+    /// [`Error::PositionOutOfBounds`] if `end` exceeds the corpus length.
+    pub fn delete_range(&self, start: usize, end: usize) -> Result<()> {
+        if start >= end {
+            return Err(Error::InvalidParameters(format!(
+                "delete_range({start}, {end}): the range is empty"
+            )));
+        }
+        let _write = self.inner.write_lock.lock().expect("write lock");
+        let mut holder = self.inner.state.lock().expect("state lock");
+        if end > holder.n {
+            return Err(Error::PositionOutOfBounds {
+                position: end,
+                length: holder.n,
+            });
+        }
+        let mut state = LiveState::clone(&holder);
+        insert_tombstone(&mut state.tombstones, start, end);
+        *holder = Arc::new(state);
+        Ok(())
+    }
+
+    /// Freezes the memtable into a new segment: home range
+    /// `[h, n − overlap)`, chunk `[h, n)`; the memtable retains the last
+    /// `overlap` rows. Returns `true` if a segment was created (`false`
+    /// when the memtable holds no more than `overlap` rows — there would
+    /// be nothing to be authoritative for).
+    ///
+    /// # Errors
+    ///
+    /// Construction errors of the per-segment build.
+    pub fn flush(&self) -> Result<bool> {
+        let _write = self.inner.write_lock.lock().expect("write lock");
+        self.flush_locked(true)
+    }
+
+    /// The flush body; the caller holds `write_lock`, so the memtable can
+    /// only be observed, not changed, while the segments build. A memtable
+    /// larger than the threshold (one huge append, a seeding
+    /// [`LiveIndex::from_corpus`]) is split into segments of at most
+    /// `flush_threshold` home rows each, so segmentation does not depend
+    /// on the append batching. With `drain == false` (the append-triggered
+    /// auto-flush) only *full* threshold-sized segments are frozen and the
+    /// remainder stays in the memtable — which keeps segment sizes (and
+    /// hence the tiered compaction classes) uniform; `drain == true` (an
+    /// explicit [`LiveIndex::flush`]) freezes everything above the
+    /// retained overlap.
+    fn flush_locked(&self, drain: bool) -> Result<bool> {
+        let overlap = self.overlap();
+        let snapshot = self.snapshot();
+        let mem = &snapshot.memtable;
+        if mem.rows <= overlap {
+            return Ok(false);
+        }
+        let sigma = self.inner.alphabet.size();
+        let max_home = self.max_home();
+        // Freeze the segments off-lock (queries proceed on the old
+        // snapshot; concurrent appends are excluded by write_lock).
+        let mut frozen: Vec<Arc<Segment>> = Vec::new();
+        let mut consumed = 0usize;
+        while if drain {
+            mem.rows - consumed > overlap
+        } else {
+            mem.rows - consumed >= max_home + overlap
+        } {
+            let home_len = (mem.rows - consumed - overlap).min(max_home);
+            let chunk_rows = home_len + overlap;
+            let flat = mem.flat_rows(consumed, consumed + chunk_rows, sigma);
+            let chunk = WeightedString::from_flat(self.inner.alphabet.clone(), flat)
+                .expect("memtable rows were validated on append");
+            let index = self.inner.spec.build(&chunk)?;
+            frozen.push(Arc::new(Segment {
+                id: self.inner.next_segment_id.fetch_add(1, Ordering::SeqCst),
+                offset: mem.start + consumed,
+                home_len,
+                x: chunk,
+                index,
+            }));
+            consumed += home_len;
+        }
+        if frozen.is_empty() {
+            return Ok(false);
+        }
+        {
+            let mut holder = self.inner.state.lock().expect("state lock");
+            let mut state = LiveState::clone(&holder);
+            debug_assert_eq!(state.memtable.start, mem.start, "write_lock held");
+            debug_assert_eq!(state.memtable.rows, mem.rows, "write_lock held");
+            state.segments.extend(frozen);
+            state.memtable.drain_front(consumed, sigma);
+            *holder = Arc::new(state);
+        }
+        self.inner.flushes.fetch_add(1, Ordering::Relaxed);
+        // Wake the background compactor: a flush is what grows the
+        // segment list.
+        let mut signal = self.inner.compact_signal.lock().expect("signal lock");
+        signal.0 = true;
+        self.inner.compact_cond.notify_all();
+        Ok(true)
+    }
+
+    /// Applies one round of the tiered compaction policy: the first
+    /// maximal run of at least `compact_fanout` consecutive segments in
+    /// the same size class (⌊log₂ home_len⌋) is merged into one segment.
+    /// The merged index builds off-lock from a snapshot; the swap is
+    /// id-checked, so a concurrent competing compaction simply loses and
+    /// nothing is blocked meanwhile.
+    ///
+    /// Returns the number of merges performed (0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// Construction errors of the merged build.
+    pub fn compact_once(&self) -> Result<usize> {
+        let snapshot = self.snapshot();
+        let Some(run) = plan_tiered_run(&snapshot.segments, self.inner.config.compact_fanout)
+        else {
+            return Ok(0);
+        };
+        self.merge_run(&snapshot.segments[run.0..run.1])
+    }
+
+    /// Merges **all** segments into one (a major compaction), retrying
+    /// until a single segment remains — a concurrent background tiered
+    /// round may win an individual swap race, but every competitor shrinks
+    /// the list, so this converges. The memtable is not touched — call
+    /// [`LiveIndex::flush`] first to fold it in too.
+    ///
+    /// Returns the number of merges performed.
+    ///
+    /// # Errors
+    ///
+    /// Construction errors of the merged build.
+    pub fn compact_full(&self) -> Result<usize> {
+        let mut merges = 0usize;
+        loop {
+            let snapshot = self.snapshot();
+            if snapshot.segments.len() < 2 {
+                return Ok(merges);
+            }
+            merges += self.merge_run(&snapshot.segments)?;
+        }
+    }
+
+    /// Builds one merged segment from a run of consecutive segments
+    /// (off-lock) and swaps it in if the run is still intact.
+    fn merge_run(&self, run: &[Arc<Segment>]) -> Result<usize> {
+        merge_run_inner(&self.inner, run)
+    }
+
+    // -----------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------
+
+    /// The sink-based query over the owned corpus: fans out over the
+    /// segments and the memtable scan, merges the (already globally
+    /// sorted) home-filtered outputs, drops tombstoned windows and streams
+    /// into `sink`. Runs against an immutable snapshot — concurrent
+    /// appends, flushes and compactions never affect an in-flight query.
+    ///
+    /// # Errors
+    ///
+    /// Pattern-contract errors ([`Error::EmptyInput`],
+    /// [`Error::PatternTooShort`], [`Error::PatternTooLong`],
+    /// [`Error::UnknownSymbol`] for a rank outside the alphabet) and query
+    /// errors of the per-segment indexes.
+    pub fn query_owned_into(
+        &self,
+        pattern: &[u8],
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats> {
+        validate_pattern(pattern, self.inner.spec.lower_bound())?;
+        if pattern.len() > self.inner.max_pattern_len {
+            return Err(Error::PatternTooLong {
+                pattern: pattern.len(),
+                upper_bound: self.inner.max_pattern_len,
+            });
+        }
+        let sigma = self.inner.alphabet.size();
+        if let Some(&rank) = pattern.iter().find(|&&rank| rank as usize >= sigma) {
+            // The engines index probability rows by rank; reject foreign
+            // ranks here with a typed error instead of risking a panic
+            // deep inside a segment engine.
+            return Err(Error::UnknownSymbol(rank));
+        }
+        let state = self.snapshot();
+        let z = self.inner.spec.params.z;
+        let jobs = state.segments.len() + 1;
+        let per_part = self
+            .inner
+            .executor
+            .run::<(Vec<usize>, QueryStats), Error, _>(jobs, |i, worker_scratch| {
+                if let Some(segment) = state.segments.get(i) {
+                    let mut local = Vec::new();
+                    let stats = segment.index.query_into(
+                        pattern,
+                        &segment.x,
+                        worker_scratch,
+                        &mut local,
+                    )?;
+                    retain_home_and_globalize(&mut local, segment.home_len, segment.offset);
+                    Ok((local, stats))
+                } else {
+                    Ok(scan_memtable(&state.memtable, sigma, pattern, z))
+                }
+            });
+        let mut total = QueryStats::default();
+        scratch.positions.clear();
+        for entry in per_part {
+            let (positions, stats) = entry?;
+            total.accumulate(&stats);
+            // Home ranges are disjoint and increasing and each part's
+            // output is sorted: the concatenation is globally sorted.
+            scratch.positions.extend(positions);
+        }
+        filter_tombstoned_windows(&mut scratch.positions, &state.tombstones, pattern.len());
+        total.reported = finalize_into(&mut scratch.positions, true, sink);
+        Ok(total)
+    }
+
+    /// Collects all occurrence positions — the allocating convenience
+    /// wrapper over [`LiveIndex::query_owned_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LiveIndex::query_owned_into`].
+    pub fn query_owned(&self, pattern: &[u8]) -> Result<Vec<usize>> {
+        let mut scratch = QueryScratch::new();
+        let mut positions = Vec::new();
+        self.query_owned_into(pattern, &mut scratch, &mut positions)?;
+        Ok(positions)
+    }
+}
+
+impl Drop for LiveIndex {
+    fn drop(&mut self) {
+        if let Some(handle) = self.compactor.lock().expect("compactor lock").take() {
+            {
+                let mut signal = self.inner.compact_signal.lock().expect("signal lock");
+                signal.1 = true;
+                self.inner.compact_cond.notify_all();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+impl UncertainIndex for LiveIndex {
+    fn name(&self) -> &'static str {
+        "LIVE"
+    }
+
+    /// Delegates to [`LiveIndex::query_owned_into`]; the live index owns
+    /// its corpus, so the `x` argument is ignored (same contract as
+    /// `ShardedIndex`).
+    fn query_into(
+        &self,
+        pattern: &[u8],
+        _x: &WeightedString,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn MatchSink,
+    ) -> Result<QueryStats> {
+        self.query_owned_into(pattern, scratch, sink)
+    }
+
+    fn size_bytes(&self) -> usize {
+        let state = self.snapshot();
+        state
+            .segments
+            .iter()
+            .map(|segment| segment.index.size_bytes() + segment.x.memory_bytes())
+            .sum::<usize>()
+            + state.memtable.capacity_bytes()
+            + state.tombstones.capacity() * std::mem::size_of::<(usize, usize)>()
+    }
+
+    fn stats(&self) -> IndexStats {
+        let state = self.snapshot();
+        let mut aggregate = IndexStats {
+            name: format!(
+                "LIVE-{}(S={})",
+                self.inner.spec.family.name(),
+                state.segments.len()
+            ),
+            size_bytes: self.size_bytes(),
+            ..Default::default()
+        };
+        for segment in &state.segments {
+            let stats = segment.index.stats();
+            aggregate.num_nodes += stats.num_nodes;
+            aggregate.num_leaves += stats.num_leaves;
+            aggregate.num_grid_points += stats.num_grid_points;
+            aggregate.num_mismatches += stats.num_mismatches;
+        }
+        aggregate
+    }
+}
+
+/// The naive scan over the memtable tail: enumerates every start whose
+/// window fits in `[0, rows)`, multiplies the per-position probabilities
+/// of the pattern's ranks and keeps the z-solid ones. Output positions are
+/// global (the memtable's data start *is* its home start, so no filter is
+/// needed).
+fn scan_memtable(
+    memtable: &Memtable,
+    sigma: usize,
+    pattern: &[u8],
+    z: f64,
+) -> (Vec<usize>, QueryStats) {
+    let mut positions = Vec::new();
+    let mut stats = QueryStats::default();
+    let m = pattern.len();
+    if memtable.rows < m {
+        return (positions, stats);
+    }
+    // One slice per row: a window's rows may span slab boundaries, and
+    // this flattens the lookup back to plain indexing.
+    let rows = memtable.row_slices(sigma);
+    for start in 0..=rows.len() - m {
+        stats.candidates += 1;
+        let mut p = 1.0f64;
+        for (offset, &rank) in pattern.iter().enumerate() {
+            p *= rows[start + offset][rank as usize];
+            if p == 0.0 {
+                break;
+            }
+        }
+        if is_solid(p, z) {
+            stats.verified += 1;
+            positions.push(memtable.start + start);
+        }
+    }
+    (positions, stats)
+}
+
+/// Inserts `[start, end)` into a sorted, disjoint tombstone set,
+/// coalescing with every range it touches (adjacent ranges merge too).
+fn insert_tombstone(tombstones: &mut Vec<(usize, usize)>, mut start: usize, mut end: usize) {
+    let mut i = 0;
+    while i < tombstones.len() && tombstones[i].1 < start {
+        i += 1;
+    }
+    let mut j = i;
+    while j < tombstones.len() && tombstones[j].0 <= end {
+        start = start.min(tombstones[j].0);
+        end = end.max(tombstones[j].1);
+        j += 1;
+    }
+    tombstones.splice(i..j, [(start, end)]).for_each(drop);
+}
+
+/// Drops every (sorted) position whose window `[p, p + m)` intersects a
+/// tombstoned range. Two-pointer merge: linear in positions + tombstones.
+fn filter_tombstoned_windows(positions: &mut Vec<usize>, tombstones: &[(usize, usize)], m: usize) {
+    if tombstones.is_empty() {
+        return;
+    }
+    let mut ti = 0usize;
+    positions.retain(|&p| {
+        while ti < tombstones.len() && tombstones[ti].1 <= p {
+            ti += 1;
+        }
+        !(ti < tombstones.len() && tombstones[ti].0 < p + m)
+    });
+}
+
+/// The tiered policy: the first run of at least `fanout` consecutive
+/// segments in the same size class (⌊log₂ home_len⌋), as a half-open
+/// index range into the segment list. A merge consumes at most
+/// `2 · fanout` segments at a time, so a long backlog is folded in
+/// cascading rounds (each merge promotes its output to a larger class)
+/// instead of one unbounded rebuild.
+fn plan_tiered_run(segments: &[Arc<Segment>], fanout: usize) -> Option<(usize, usize)> {
+    let class = |segment: &Segment| usize::BITS - segment.home_len.max(1).leading_zeros();
+    let mut start = 0usize;
+    while start < segments.len() {
+        let c = class(&segments[start]);
+        let mut end = start + 1;
+        while end < segments.len() && class(&segments[end]) == c {
+            end += 1;
+        }
+        if end - start >= fanout {
+            return Some((start, end.min(start + 2 * fanout)));
+        }
+        start = end;
+    }
+    None
+}
+
+/// The background compactor: wakes on every flush (and periodically as a
+/// safety net) and applies tiered rounds until the policy no longer
+/// triggers. Build errors are reported and retried on the next wake-up
+/// rather than crashing the thread.
+fn compactor_loop(inner: &Arc<Inner>) {
+    loop {
+        {
+            let signal = inner.compact_signal.lock().expect("signal lock");
+            // Wake on a flush signal or a stop; the timeout doubles as a
+            // periodic safety-net round.
+            let (mut signal, _timeout) = inner
+                .compact_cond
+                .wait_timeout_while(
+                    signal,
+                    std::time::Duration::from_millis(200),
+                    |(dirty, stop)| !*dirty && !*stop,
+                )
+                .expect("signal lock");
+            if signal.1 {
+                return;
+            }
+            signal.0 = false;
+        }
+        // Apply tiered rounds until the policy no longer triggers.
+        loop {
+            let snapshot = inner.state.lock().expect("state lock").clone();
+            let Some(run) = plan_tiered_run(&snapshot.segments, inner.config.compact_fanout) else {
+                break;
+            };
+            match merge_run_inner(inner, &snapshot.segments[run.0..run.1]) {
+                Ok(_) => continue,
+                Err(err) => {
+                    eprintln!("ius-live background compaction failed (will retry): {err}");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The shared merge body of `LiveIndex::merge_run` and the background
+/// compactor.
+fn merge_run_inner(inner: &Arc<Inner>, run: &[Arc<Segment>]) -> Result<usize> {
+    debug_assert!(run.len() >= 2);
+    let sigma = inner.alphabet.size();
+    let last = run.last().expect("non-empty run");
+    let offset = run[0].offset;
+    let home_len = last.offset + last.home_len - offset;
+    let mut flat = Vec::with_capacity((home_len + overlap_len(inner.max_pattern_len)) * sigma);
+    for segment in &run[..run.len() - 1] {
+        flat.extend_from_slice(&segment.x.flat_probs()[..segment.home_len * sigma]);
+    }
+    flat.extend_from_slice(last.x.flat_probs());
+    let chunk = WeightedString::from_flat(inner.alphabet.clone(), flat)
+        .expect("segment rows were validated on append");
+    let index = inner.spec.build(&chunk)?;
+    let merged = Arc::new(Segment {
+        id: inner.next_segment_id.fetch_add(1, Ordering::SeqCst),
+        offset,
+        home_len,
+        x: chunk,
+        index,
+    });
+    let ids: Vec<u64> = run.iter().map(|segment| segment.id).collect();
+    let mut holder = inner.state.lock().expect("state lock");
+    let Some(first) = holder.segments.iter().position(|s| s.id == ids[0]) else {
+        return Ok(0);
+    };
+    let intact = holder.segments.len() >= first + ids.len()
+        && holder.segments[first..first + ids.len()]
+            .iter()
+            .zip(&ids)
+            .all(|(s, &id)| s.id == id);
+    if !intact {
+        return Ok(0);
+    }
+    let mut state = LiveState::clone(&holder);
+    state
+        .segments
+        .splice(first..first + ids.len(), [merged])
+        .for_each(drop);
+    *holder = Arc::new(state);
+    drop(holder);
+    inner.compactions.fetch_add(1, Ordering::Relaxed);
+    Ok(1)
+}
+
+#[cfg(test)]
+mod tests;

@@ -154,7 +154,21 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Accumulates another query's counters into this one (batch totals).
+    /// Accumulates another query's counters into this one, field by field.
+    ///
+    /// This is the aggregation step of every composite/batched execution:
+    /// the `ShardedIndex` shard fan-out, the live-index segment merge and
+    /// the batch executors all sum per-part stats into one total with it.
+    /// It is associative and commutative, and `QueryStats::default()` (all
+    /// counters zero) is its identity — accumulating the empty stats
+    /// changes nothing, and accumulating *into* the empty stats copies the
+    /// other side. Composites rely on that identity to start their fold
+    /// from `QueryStats::default()` without a special first-part case.
+    ///
+    /// Note that after a composite merge the summed `reported` counts
+    /// per-part deliveries (which may include overlap hits dropped by the
+    /// home-range filter); composites overwrite `reported` with the count
+    /// actually delivered to the sink after deduplication.
     pub fn accumulate(&mut self, other: &QueryStats) {
         self.candidates += other.candidates;
         self.verified += other.verified;
@@ -340,6 +354,27 @@ mod tests {
                 grid_nodes: 5,
             }
         );
+    }
+
+    #[test]
+    fn accumulating_the_empty_stats_is_the_identity() {
+        // The segment/shard merge folds from QueryStats::default(); both
+        // identity directions must hold exactly.
+        let sample = QueryStats {
+            candidates: 7,
+            verified: 5,
+            reported: 4,
+            grid_nodes: 2,
+        };
+        let mut total = sample;
+        total.accumulate(&QueryStats::default());
+        assert_eq!(total, sample, "right identity");
+        let mut from_empty = QueryStats::default();
+        from_empty.accumulate(&sample);
+        assert_eq!(from_empty, sample, "left identity");
+        let mut twice = QueryStats::default();
+        twice.accumulate(&QueryStats::default());
+        assert_eq!(twice, QueryStats::default(), "empty + empty = empty");
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! # build in-process, optionally persisting for later serves/reloads:
 //! serve --build mwsa-g --corpus uniform --n 100000 --save mwsa-g.iusx
 //! serve --build mwsa-g --corpus rssi --n 50000 --shards 4
+//!
+//! # serve a *mutable* live corpus (enables APPEND / DELETE_RANGE / FLUSH /
+//! # COMPACT): seed from a preset, or reopen a persisted manifest dir —
+//! # which is saved back on graceful shutdown:
+//! serve --live --build mwsa-g --corpus uniform --n 100000
+//! serve --live --build mwsa-g --corpus uniform --n 100000 --live-dir state/
+//! serve --live --live-dir state/
 //! ```
 //!
 //! Corpus presets mirror the benchmark corpora (`BENCH_*.json`); `--z` and
@@ -19,6 +26,7 @@
 
 use ius_datasets::corpora::bench_corpus;
 use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant, ShardedIndex};
+use ius_live::{LiveConfig, LiveIndex};
 use ius_server::{ServedIndex, Server, ServerConfig};
 use ius_weighted::WeightedString;
 use std::path::PathBuf;
@@ -35,6 +43,9 @@ struct Args {
     shards: Option<usize>,
     max_pattern_len: Option<usize>,
     save: Option<PathBuf>,
+    live: bool,
+    live_dir: Option<PathBuf>,
+    flush_threshold: Option<usize>,
     host: String,
     port: u16,
     workers: Option<usize>,
@@ -57,8 +68,14 @@ fn print_help() {
          \x20 --ell <ell>           minimum pattern length (default: preset's benchmark ell)\n\n\
          build options:\n\
          \x20 --shards <S>          build a sharded composite with S shards\n\
-         \x20 --max-pattern-len <m> sharded pattern-length bound (default 2*ell)\n\
+         \x20 --max-pattern-len <m> sharded/live pattern-length bound (default 2*ell)\n\
          \x20 --save <path>         persist the built index before serving\n\n\
+         live mode (mutable corpus — APPEND/DELETE_RANGE/FLUSH/COMPACT):\n\
+         \x20 --live                serve a live index (seed with --build/--corpus,\n\
+         \x20                       or reopen --live-dir)\n\
+         \x20 --live-dir <dir>      open the IUSL manifest dir if it exists; the live\n\
+         \x20                       state is saved back there on graceful shutdown\n\
+         \x20 --flush-threshold <r> memtable rows per segment flush (default 8192)\n\n\
          server options:\n\
          \x20 --host <host>         bind host (default 127.0.0.1)\n\
          \x20 --port <port>         bind port (default 7878; 0 = ephemeral)\n\
@@ -112,6 +129,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         shards: None,
         max_pattern_len: None,
         save: None,
+        live: false,
+        live_dir: None,
+        flush_threshold: None,
         host: "127.0.0.1".into(),
         port: 7878,
         workers: None,
@@ -169,6 +189,19 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 )
             }
             "--save" => parsed.save = Some(PathBuf::from(value(args, i, "--save")?)),
+            "--live" => {
+                parsed.live = true;
+                i += 1;
+                continue;
+            }
+            "--live-dir" => parsed.live_dir = Some(PathBuf::from(value(args, i, "--live-dir")?)),
+            "--flush-threshold" => {
+                parsed.flush_threshold = Some(
+                    value(args, i, "--flush-threshold")?
+                        .parse()
+                        .map_err(|e| format!("bad --flush-threshold: {e}"))?,
+                )
+            }
             "--host" => parsed.host = value(args, i, "--host")?,
             "--port" => {
                 parsed.port = value(args, i, "--port")?
@@ -193,11 +226,56 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         }
         i += 2;
     }
-    if parsed.index.is_some() == parsed.build.is_some() {
-        return Err("exactly one of --index and --build is required".into());
-    }
-    if parsed.build.is_some() && parsed.corpus.is_none() {
-        return Err("--build needs --corpus".into());
+    if parsed.live {
+        if parsed.index.is_some() {
+            return Err(
+                "--live serves a mutable index; --index is for static files (use --live-dir \
+                 to reopen saved live state)"
+                    .into(),
+            );
+        }
+        if parsed.shards.is_some() {
+            return Err("--live and --shards are mutually exclusive".into());
+        }
+        if parsed.save.is_some() {
+            return Err(
+                "--live state is a manifest directory, not a single index file; use \
+                 --live-dir instead of --save"
+                    .into(),
+            );
+        }
+        let can_open = parsed
+            .live_dir
+            .as_ref()
+            .is_some_and(|dir| dir.join("live.iusl").exists());
+        if !can_open && parsed.build.is_none() {
+            return Err(
+                "--live needs --build/--corpus to seed a fresh corpus, or --live-dir \
+                 pointing at an existing manifest"
+                    .into(),
+            );
+        }
+        if can_open && (parsed.build.is_some() || parsed.corpus.is_some()) {
+            return Err(
+                "--live-dir points at an existing manifest, which would be reopened and \
+                 the --build/--corpus seed silently discarded; drop --build/--corpus to \
+                 reopen, or remove the manifest directory to reseed"
+                    .into(),
+            );
+        }
+        if parsed.build.is_some() && parsed.corpus.is_none() {
+            return Err("--build needs --corpus".into());
+        }
+    } else {
+        if parsed.live_dir.is_some() || parsed.flush_threshold.is_some() {
+            return Err("--live-dir and --flush-threshold need --live".into());
+        }
+        if parsed.index.is_some() == parsed.build.is_some() {
+            return Err("exactly one of --index and --build is required".into());
+        }
+        if parsed.build.is_some() && parsed.corpus.is_none() {
+            return Err("--build needs --corpus".into());
+        }
     }
     Ok(parsed)
 }
@@ -234,7 +312,49 @@ fn main() {
         (Arc::new(x), args.z.unwrap_or(z), args.ell.unwrap_or(ell))
     });
 
-    let (served, reload_path) = if let Some(path) = &args.index {
+    // Live mode: the server keeps a handle so graceful shutdown can save
+    // the mutated state back into --live-dir.
+    let mut live_handle: Option<Arc<LiveIndex>> = None;
+    let (served, reload_path) = if args.live {
+        let live_config = LiveConfig {
+            flush_threshold: args.flush_threshold.unwrap_or(8_192),
+            ..Default::default()
+        };
+        let manifest_exists = args
+            .live_dir
+            .as_ref()
+            .is_some_and(|dir| dir.join("live.iusl").exists());
+        let live = if manifest_exists {
+            let dir = args.live_dir.as_ref().expect("checked by parse_args");
+            let live = LiveIndex::open(dir, live_config).unwrap_or_else(|e| {
+                eprintln!("error: cannot open live dir {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            eprintln!("reopened live state from {}", dir.display());
+            live
+        } else {
+            let family = args.build.expect("checked by parse_args");
+            let (x, z, ell) = corpus.clone().expect("checked by parse_args");
+            let params = IndexParams::new(z, ell, x.sigma()).unwrap_or_else(|e| {
+                eprintln!("error: invalid parameters: {e}");
+                std::process::exit(2);
+            });
+            let spec = IndexSpec::new(family, params);
+            let bound = args.max_pattern_len.unwrap_or(2 * ell);
+            LiveIndex::from_corpus(&x, spec, bound, live_config).unwrap_or_else(|e| {
+                eprintln!("error: live seed build failed: {e}");
+                std::process::exit(1);
+            })
+        };
+        let stats = live.live_stats();
+        eprintln!(
+            "live corpus: n = {}, {} segment(s), {} memtable row(s)",
+            stats.corpus_len, stats.segments, stats.memtable_rows
+        );
+        let live = Arc::new(live);
+        live_handle = Some(live.clone());
+        (ServedIndex::live(live), None)
+    } else if let Some(path) = &args.index {
         let served = ServedIndex::load(path, corpus.as_ref().map(|(x, _, _)| x.clone()))
             .unwrap_or_else(|e| {
                 eprintln!("error: cannot serve {}: {e}", path.display());
@@ -306,5 +426,11 @@ fn main() {
         config.queue_depth
     );
     server.join();
+    if let (Some(live), Some(dir)) = (&live_handle, &args.live_dir) {
+        match live.save_to_dir(dir) {
+            Ok(()) => eprintln!("saved live state to {}", dir.display()),
+            Err(e) => eprintln!("error: saving live state to {} failed: {e}", dir.display()),
+        }
+    }
     eprintln!("server shut down");
 }

@@ -2,10 +2,11 @@
 //! examples and the serve benchmark talk to the server with.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, ErrorCode, ProtocolError, Request, Response,
-    ResultMode, StatsSnapshot, MAX_RESPONSE_FRAME,
+    decode_response, encode_request, read_frame, ErrorCode, LiveSnapshot, ProtocolError, Request,
+    Response, ResultMode, StatsSnapshot, MAX_RESPONSE_FRAME,
 };
 use ius_query::QueryStats;
+use ius_weighted::WeightedString;
 use std::fmt;
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -256,5 +257,73 @@ impl Client {
                 expected: "SHUTTING_DOWN",
             }),
         }
+    }
+
+    fn live_call(&mut self, request: &Request) -> Result<LiveSnapshot, ClientError> {
+        match self.call(request)? {
+            Response::Live(snapshot) => Ok(snapshot),
+            _ => Err(ClientError::UnexpectedResponse { expected: "LIVE" }),
+        }
+    }
+
+    /// Appends a batch of weighted positions to a live corpus; the rows
+    /// are visible to the very next query. Refused with
+    /// [`ErrorCode::Live`] by a server that does not serve a live index.
+    ///
+    /// Note the request-frame bound: a batch must fit in
+    /// [`crate::protocol::MAX_REQUEST_FRAME`] (split large appends into
+    /// several calls).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol and server-refusal errors.
+    pub fn append(&mut self, batch: &WeightedString) -> Result<LiveSnapshot, ClientError> {
+        self.append_rows(batch.sigma() as u64, batch.flat_probs().to_vec())
+    }
+
+    /// Appends raw row-major probability rows (`rows × sigma` values) —
+    /// the allocation-explicit variant of [`Client::append`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::append`].
+    pub fn append_rows(
+        &mut self,
+        sigma: u64,
+        probs: Vec<f64>,
+    ) -> Result<LiveSnapshot, ClientError> {
+        self.live_call(&Request::Append { sigma, probs })
+    }
+
+    /// Tombstones the logical range `[start, end)` of a live corpus:
+    /// every occurrence whose window intersects it disappears from
+    /// results (positions are never renumbered).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::append`].
+    pub fn delete_range(&mut self, start: u64, end: u64) -> Result<LiveSnapshot, ClientError> {
+        self.live_call(&Request::DeleteRange { start, end })
+    }
+
+    /// Freezes the live memtable into segment(s); `changed` in the answer
+    /// is the number of segments created (0 when the memtable held only
+    /// the overlap).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::append`].
+    pub fn flush(&mut self) -> Result<LiveSnapshot, ClientError> {
+        self.live_call(&Request::Flush)
+    }
+
+    /// Runs live compaction — one tiered round, or a full merge-all —
+    /// and reports the merges performed in `changed`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::append`].
+    pub fn compact(&mut self, full: bool) -> Result<LiveSnapshot, ClientError> {
+        self.live_call(&Request::Compact { full })
     }
 }

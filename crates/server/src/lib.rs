@@ -47,7 +47,7 @@ pub mod server;
 pub use client::{Client, ClientError, QueryOutcome};
 pub use metrics::ServerMetrics;
 pub use protocol::{
-    ErrorCode, ProtocolError, Request, Response, ResultMode, StatsSnapshot, WireStats,
-    MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, WIRE_MAGIC, WIRE_VERSION,
+    ErrorCode, LiveSnapshot, ProtocolError, Request, Response, ResultMode, StatsSnapshot,
+    WireStats, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use server::{ServedIndex, Server, ServerConfig};

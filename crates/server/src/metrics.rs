@@ -25,6 +25,17 @@ pub struct ServerMetrics {
     pub overloaded: AtomicU64,
     /// Successful hot reloads.
     pub reloads: AtomicU64,
+    /// Positions appended to a live corpus via `APPEND`.
+    pub appended_positions: AtomicU64,
+    /// Successful `DELETE_RANGE` requests.
+    pub delete_ranges: AtomicU64,
+    /// `FLUSH` requests that froze at least one segment (append-triggered
+    /// auto-flushes are internal to the live index and not counted here).
+    pub flushes: AtomicU64,
+    /// `COMPACT` requests that merged at least one run.
+    pub compactions: AtomicU64,
+    /// Live mutations refused or failed with a typed `LIVE_ERROR` frame.
+    pub live_errors: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -72,6 +83,11 @@ impl ServerMetrics {
             query_errors: read(&self.query_errors),
             overloaded: read(&self.overloaded),
             reloads: read(&self.reloads),
+            appended_positions: read(&self.appended_positions),
+            delete_ranges: read(&self.delete_ranges),
+            flushes: read(&self.flushes),
+            compactions: read(&self.compactions),
+            live_errors: read(&self.live_errors),
         }
     }
 }

@@ -20,13 +20,20 @@
 //! policy as the index file format. A server answering an unknown version
 //! replies with a typed [`ErrorCode::UnsupportedVersion`] frame carrying the
 //! *current* magic and version, so even a stale client can decode the
-//! refusal.
+//! refusal. Version 2 added the live-corpus ops ([`Request::Append`],
+//! [`Request::DeleteRange`], [`Request::Flush`], [`Request::Compact`], the
+//! [`Response::Live`] frame and the live counters of [`StatsSnapshot`]) and
+//! raised [`MAX_REQUEST_FRAME`] so an `APPEND` can carry a real batch of
+//! probability rows.
 //!
 //! Requests: [`Request::Ping`], [`Request::Query`] (with a [`ResultMode`]
 //! mapping onto the `ius_query` sinks: collect-all, count-only, first-`k`),
-//! [`Request::Stats`], [`Request::Reload`], [`Request::Shutdown`]. Responses
-//! mirror them, plus the typed [`Response::Error`] frame the server sends
-//! instead of ever panicking (or hanging up silently) on untrusted bytes.
+//! [`Request::Stats`], [`Request::Reload`], [`Request::Shutdown`], plus the
+//! live-corpus mutations above (answered with a typed
+//! [`ErrorCode::Live`] error by a server that does not serve a live index).
+//! Responses mirror them, plus the typed [`Response::Error`] frame the
+//! server sends instead of ever panicking (or hanging up silently) on
+//! untrusted bytes.
 
 use ius_query::QueryStats;
 use std::fmt;
@@ -36,14 +43,16 @@ use std::io::{self, Read};
 pub const WIRE_MAGIC: [u8; 4] = *b"IUSW";
 
 /// The current wire-protocol version.
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 
 /// Fixed header size inside the payload: magic + version + request id + op.
 pub const HEADER_LEN: usize = 4 + 2 + 8 + 1;
 
-/// Upper bound on request frames the server will read (patterns are small;
-/// anything larger is a protocol violation or an attack).
-pub const MAX_REQUEST_FRAME: usize = 1 << 20;
+/// Upper bound on request frames the server will read. Patterns are small,
+/// but an `APPEND` legitimately carries a batch of `rows × σ` probability
+/// rows (e.g. ~23k rows at σ = 91); anything larger than this bound is a
+/// protocol violation or an attack and is refused before allocation.
+pub const MAX_REQUEST_FRAME: usize = 1 << 24;
 
 /// Upper bound on response frames the client will read (a collect-all answer
 /// over a large corpus is the biggest legitimate frame).
@@ -55,6 +64,10 @@ const OP_QUERY: u8 = 1;
 const OP_STATS: u8 = 2;
 const OP_RELOAD: u8 = 3;
 const OP_SHUTDOWN: u8 = 4;
+const OP_APPEND: u8 = 5;
+const OP_DELETE_RANGE: u8 = 6;
+const OP_FLUSH: u8 = 7;
+const OP_COMPACT: u8 = 8;
 
 // Response statuses.
 const ST_PONG: u8 = 0;
@@ -63,6 +76,7 @@ const ST_COUNT: u8 = 2;
 const ST_STATS: u8 = 3;
 const ST_RELOADED: u8 = 4;
 const ST_SHUTTING_DOWN: u8 = 5;
+const ST_LIVE: u8 = 6;
 const ST_ERROR: u8 = 255;
 
 // Result modes.
@@ -85,7 +99,8 @@ pub enum ResultMode {
 }
 
 /// A request frame, minus the id (carried alongside).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// (`PartialEq` only: `Append` carries `f64` probabilities.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -108,6 +123,30 @@ pub enum Request {
     /// Gracefully stop the server: in-flight requests complete, new
     /// connections are refused.
     Shutdown,
+    /// Append a batch of probability rows to a live corpus (row-major,
+    /// `rows × sigma`, each row a distribution over the served alphabet).
+    Append {
+        /// Alphabet size the rows are encoded over (must match the served
+        /// live index).
+        sigma: u64,
+        /// Row-major probabilities (`rows × sigma` values).
+        probs: Vec<f64>,
+    },
+    /// Tombstone the logical range `[start, end)` of a live corpus.
+    DeleteRange {
+        /// First deleted position.
+        start: u64,
+        /// One past the last deleted position.
+        end: u64,
+    },
+    /// Freeze the live memtable into segment(s).
+    Flush,
+    /// Run live compaction: one tiered round, or a full merge-all.
+    Compact {
+        /// `true` merges every segment into one; `false` applies one
+        /// tiered policy round.
+        full: bool,
+    },
 }
 
 /// Per-query counters carried on the wire (a `u64` projection of
@@ -177,6 +216,38 @@ pub struct StatsSnapshot {
     pub overloaded: u64,
     /// Successful hot reloads.
     pub reloads: u64,
+    /// Positions appended to a live corpus (0 for static serving).
+    pub appended_positions: u64,
+    /// Successful `DELETE_RANGE` requests.
+    pub delete_ranges: u64,
+    /// Explicit `FLUSH` requests that froze at least one segment
+    /// (append-triggered auto-flushes are internal to the live index and
+    /// not counted here).
+    pub flushes: u64,
+    /// Successful live compaction requests that merged at least one run.
+    pub compactions: u64,
+    /// Live mutations refused or failed (`LIVE_ERROR` frames: op on a
+    /// static server, alphabet mismatch, malformed rows, bad ranges,
+    /// segment build failures).
+    pub live_errors: u64,
+}
+
+/// The answer to every live-corpus mutation (`APPEND` / `DELETE_RANGE` /
+/// `FLUSH` / `COMPACT`): the post-operation shape of the live index plus
+/// what the operation changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveSnapshot {
+    /// Logical corpus length after the operation.
+    pub corpus_len: u64,
+    /// Immutable segments after the operation.
+    pub segments: u64,
+    /// Memtable rows after the operation.
+    pub memtable_rows: u64,
+    /// Tombstoned ranges after the operation.
+    pub tombstones: u64,
+    /// What the operation changed: positions appended, positions deleted
+    /// (range width), segments created by the flush, or merges performed.
+    pub changed: u64,
 }
 
 /// Typed error codes of [`Response::Error`].
@@ -199,6 +270,10 @@ pub enum ErrorCode {
     Overloaded,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// A live-corpus mutation was refused: the server does not serve a
+    /// live index, or the mutation failed engine-side (alphabet mismatch,
+    /// malformed rows, out-of-range delete, segment build failure).
+    Live,
 }
 
 impl ErrorCode {
@@ -211,6 +286,7 @@ impl ErrorCode {
             ErrorCode::Reload => 4,
             ErrorCode::Overloaded => 5,
             ErrorCode::ShuttingDown => 6,
+            ErrorCode::Live => 7,
         }
     }
 
@@ -223,6 +299,7 @@ impl ErrorCode {
             4 => ErrorCode::Reload,
             5 => ErrorCode::Overloaded,
             6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Live,
             other => return Err(ProtocolError::UnknownErrorCode(other)),
         })
     }
@@ -238,6 +315,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Reload => "RELOAD_ERROR",
             ErrorCode::Overloaded => "OVERLOADED",
             ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::Live => "LIVE_ERROR",
         };
         f.write_str(name)
     }
@@ -272,6 +350,8 @@ pub enum Response {
     /// Answer to [`Request::Shutdown`] (and to work arriving during
     /// shutdown).
     ShuttingDown,
+    /// Answer to every successful live-corpus mutation.
+    Live(LiveSnapshot),
     /// Typed refusal: the server never hangs up silently and never panics on
     /// untrusted bytes.
     Error {
@@ -414,6 +494,24 @@ pub fn encode_request(id: u64, request: &Request, out: &mut Vec<u8>) {
             push_str(out, path.as_deref().unwrap_or(""));
         }
         Request::Shutdown => begin_frame(out, id, OP_SHUTDOWN),
+        Request::Append { sigma, probs } => {
+            begin_frame(out, id, OP_APPEND);
+            push_u64(out, *sigma);
+            push_u64(out, probs.len() as u64);
+            for &p in probs {
+                push_u64(out, p.to_bits());
+            }
+        }
+        Request::DeleteRange { start, end } => {
+            begin_frame(out, id, OP_DELETE_RANGE);
+            push_u64(out, *start);
+            push_u64(out, *end);
+        }
+        Request::Flush => begin_frame(out, id, OP_FLUSH),
+        Request::Compact { full } => {
+            begin_frame(out, id, OP_COMPACT);
+            out.push(u8::from(*full));
+        }
     }
     end_frame(out);
 }
@@ -452,6 +550,11 @@ pub fn encode_response(id: u64, response: &Response, out: &mut Vec<u8>) {
                 snapshot.query_errors,
                 snapshot.overloaded,
                 snapshot.reloads,
+                snapshot.appended_positions,
+                snapshot.delete_ranges,
+                snapshot.flushes,
+                snapshot.compactions,
+                snapshot.live_errors,
             ] {
                 push_u64(out, v);
             }
@@ -461,6 +564,18 @@ pub fn encode_response(id: u64, response: &Response, out: &mut Vec<u8>) {
             push_u64(out, *generation);
         }
         Response::ShuttingDown => begin_frame(out, id, ST_SHUTTING_DOWN),
+        Response::Live(snapshot) => {
+            begin_frame(out, id, ST_LIVE);
+            for v in [
+                snapshot.corpus_len,
+                snapshot.segments,
+                snapshot.memtable_rows,
+                snapshot.tombstones,
+                snapshot.changed,
+            ] {
+                push_u64(out, v);
+            }
+        }
         Response::Error { code, message } => {
             begin_frame(out, id, ST_ERROR);
             out.push(code.to_byte());
@@ -618,6 +733,26 @@ pub fn decode_request_body(op: u8, body: &[u8]) -> Result<Request, ProtocolError
             }
         }
         OP_SHUTDOWN => Request::Shutdown,
+        OP_APPEND => {
+            let sigma = cur.u64("append sigma")?;
+            let count = cur.u64("append value count")? as usize;
+            // The remaining payload must hold exactly `count` floats; the
+            // cursor bounds-checks every take, so a lying count fails with
+            // Truncated (or TrailingBytes) instead of over-reading.
+            let mut probs = Vec::with_capacity(count.min(MAX_REQUEST_FRAME / 8));
+            for _ in 0..count {
+                probs.push(f64::from_bits(cur.u64("append probability")?));
+            }
+            Request::Append { sigma, probs }
+        }
+        OP_DELETE_RANGE => Request::DeleteRange {
+            start: cur.u64("delete start")?,
+            end: cur.u64("delete end")?,
+        },
+        OP_FLUSH => Request::Flush,
+        OP_COMPACT => Request::Compact {
+            full: cur.u8("compact mode")? != 0,
+        },
         other => return Err(ProtocolError::UnknownOp(other)),
     };
     cur.finish()?;
@@ -660,7 +795,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
         }
         ST_STATS => {
             let index_name = cur.string("index name")?;
-            let mut vals = [0u64; 13];
+            let mut vals = [0u64; 18];
             for (i, v) in vals.iter_mut().enumerate() {
                 *v = cur.u64(match i {
                     0 => "generation",
@@ -682,12 +817,24 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
                 query_errors: vals[10],
                 overloaded: vals[11],
                 reloads: vals[12],
+                appended_positions: vals[13],
+                delete_ranges: vals[14],
+                flushes: vals[15],
+                compactions: vals[16],
+                live_errors: vals[17],
             })
         }
         ST_RELOADED => Response::Reloaded {
             generation: cur.u64("generation")?,
         },
         ST_SHUTTING_DOWN => Response::ShuttingDown,
+        ST_LIVE => Response::Live(LiveSnapshot {
+            corpus_len: cur.u64("live corpus length")?,
+            segments: cur.u64("live segment count")?,
+            memtable_rows: cur.u64("live memtable rows")?,
+            tombstones: cur.u64("live tombstone count")?,
+            changed: cur.u64("live change count")?,
+        }),
         ST_ERROR => {
             let code = ErrorCode::from_byte(cur.u8("error code")?)?;
             let message = cur.string("error message")?;
@@ -778,6 +925,18 @@ mod tests {
         round_trip_request(Request::Reload {
             path: Some("/tmp/index.iusx".into()),
         });
+        round_trip_request(Request::Append {
+            sigma: 2,
+            probs: vec![0.25, 0.75, 1.0, 0.0],
+        });
+        round_trip_request(Request::Append {
+            sigma: 4,
+            probs: Vec::new(),
+        });
+        round_trip_request(Request::DeleteRange { start: 10, end: 99 });
+        round_trip_request(Request::Flush);
+        round_trip_request(Request::Compact { full: false });
+        round_trip_request(Request::Compact { full: true });
         for mode in [
             ResultMode::Collect,
             ResultMode::Count,
@@ -829,6 +988,18 @@ mod tests {
             query_errors: 7,
             overloaded: 1,
             reloads: 2,
+            appended_positions: 4096,
+            delete_ranges: 3,
+            flushes: 9,
+            compactions: 4,
+            live_errors: 2,
+        }));
+        round_trip_response(Response::Live(LiveSnapshot {
+            corpus_len: 123_456,
+            segments: 7,
+            memtable_rows: 300,
+            tombstones: 2,
+            changed: 512,
         }));
         for code in [
             ErrorCode::Malformed,
@@ -838,6 +1009,7 @@ mod tests {
             ErrorCode::Reload,
             ErrorCode::Overloaded,
             ErrorCode::ShuttingDown,
+            ErrorCode::Live,
         ] {
             round_trip_response(Response::Error {
                 code,
@@ -949,6 +1121,43 @@ mod tests {
         assert!(matches!(
             decode_request(&long),
             Err(ProtocolError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn append_bodies_with_lying_counts_are_rejected() {
+        let mut frame = Vec::new();
+        encode_request(
+            5,
+            &Request::Append {
+                sigma: 2,
+                probs: vec![0.5, 0.5],
+            },
+            &mut frame,
+        );
+        // Every strict prefix of the payload fails Truncated, never panics.
+        for cut in 0..frame.len() - 4 {
+            assert!(
+                matches!(
+                    decode_request(&frame[4..4 + cut]),
+                    Err(ProtocolError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+        // A count larger than the remaining floats: Truncated.
+        let mut lying = frame.clone();
+        lying[4 + HEADER_LEN + 8] += 1; // low byte of the value count
+        assert!(matches!(
+            decode_request(&lying[4..]),
+            Err(ProtocolError::Truncated { .. })
+        ));
+        // A count smaller than the supplied floats: TrailingBytes.
+        let mut lying = frame;
+        lying[4 + HEADER_LEN + 8] -= 1;
+        assert!(matches!(
+            decode_request(&lying[4..]),
+            Err(ProtocolError::TrailingBytes(8))
         ));
     }
 

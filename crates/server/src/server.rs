@@ -33,10 +33,11 @@ use crate::metrics::ServerMetrics;
 use crate::pool::AdmissionQueue;
 use crate::protocol::{
     decode_header, decode_query_body, decode_request_body, encode_matches_from_slice,
-    encode_response, read_frame, ErrorCode, ProtocolError, Request, Response, ResultMode,
-    StatsSnapshot, MAX_REQUEST_FRAME,
+    encode_response, read_frame, ErrorCode, LiveSnapshot, ProtocolError, Request, Response,
+    ResultMode, StatsSnapshot, MAX_REQUEST_FRAME,
 };
 use ius_index::{load_any_index, AnyIndex, LoadedAny, ShardedIndex, UncertainIndex};
+use ius_live::LiveIndex;
 use ius_query::{CountSink, FirstKSink, QueryScratch};
 use ius_weighted::WeightedString;
 use std::fs::File;
@@ -67,6 +68,12 @@ pub enum ServedIndex {
     },
     /// A self-contained sharded composite.
     Sharded(ShardedIndex),
+    /// A mutable live index (self-contained: segments and memtable own
+    /// the corpus). The `Arc` is shared, not swapped — the live index
+    /// performs its own internal snapshot/swap per mutation, so `APPEND`
+    /// / `DELETE_RANGE` / `FLUSH` / `COMPACT` work through the same
+    /// serving snapshot while queries keep running.
+    Live(Arc<LiveIndex>),
 }
 
 impl ServedIndex {
@@ -78,6 +85,12 @@ impl ServedIndex {
     /// Wraps a self-contained sharded index.
     pub fn sharded(index: ShardedIndex) -> Self {
         ServedIndex::Sharded(index)
+    }
+
+    /// Wraps a mutable live index (enables the `APPEND` / `DELETE_RANGE`
+    /// / `FLUSH` / `COMPACT` wire ops).
+    pub fn live(index: Arc<LiveIndex>) -> Self {
+        ServedIndex::Live(index)
     }
 
     /// Loads a persisted index file of any family. Single-machine families
@@ -142,6 +155,7 @@ impl ServedIndex {
                 index.query_into(pattern, corpus, scratch, sink)
             }
             ServedIndex::Sharded(index) => index.query_owned_into(pattern, scratch, sink),
+            ServedIndex::Live(index) => index.query_owned_into(pattern, scratch, sink),
         }
     }
 
@@ -150,6 +164,7 @@ impl ServedIndex {
         match self {
             ServedIndex::Single { index, .. } => index.name().to_string(),
             ServedIndex::Sharded(index) => index.stats().name,
+            ServedIndex::Live(index) => index.stats().name,
         }
     }
 
@@ -158,6 +173,7 @@ impl ServedIndex {
         match self {
             ServedIndex::Single { corpus, .. } => corpus.len(),
             ServedIndex::Sharded(index) => index.len(),
+            ServedIndex::Live(index) => index.len(),
         }
     }
 
@@ -166,6 +182,16 @@ impl ServedIndex {
         match self {
             ServedIndex::Single { index, .. } => index.size_bytes(),
             ServedIndex::Sharded(index) => index.size_bytes(),
+            ServedIndex::Live(index) => index.size_bytes(),
+        }
+    }
+
+    /// The live index, when one is served (the target of the live wire
+    /// ops).
+    fn live_index(&self) -> Option<&Arc<LiveIndex>> {
+        match self {
+            ServedIndex::Live(index) => Some(index),
+            _ => None,
         }
     }
 
@@ -174,7 +200,7 @@ impl ServedIndex {
     fn corpus(&self) -> Option<Arc<WeightedString>> {
         match self {
             ServedIndex::Single { corpus, .. } => Some(corpus.clone()),
-            ServedIndex::Sharded(_) => None,
+            ServedIndex::Sharded(_) | ServedIndex::Live(_) => None,
         }
     }
 }
@@ -733,6 +759,122 @@ fn answer(shared: &Shared, id: u64, request: Request, buffers: &mut WorkerBuffer
             trigger_shutdown(shared);
             encode_response(id, &Response::ShuttingDown, &mut buffers.out);
         }
+        Request::Append { .. }
+        | Request::DeleteRange { .. }
+        | Request::Flush
+        | Request::Compact { .. } => answer_live(shared, id, request, &mut buffers.out),
+    }
+}
+
+/// Answers one live-corpus mutation. A server not serving a live index
+/// refuses with a typed `LIVE_ERROR`; engine-side failures (alphabet
+/// mismatch, malformed rows, out-of-range delete, segment build errors)
+/// come back typed the same way — never as a panic or a hangup.
+fn answer_live(shared: &Shared, id: u64, request: Request, out: &mut Vec<u8>) {
+    let state = shared.state.lock().expect("state lock").clone();
+    let Some(live) = state.index.live_index() else {
+        ServerMetrics::inc(&shared.metrics.live_errors);
+        encode_response(
+            id,
+            &Response::Error {
+                code: ErrorCode::Live,
+                message: format!(
+                    "this server serves a static {} index; live mutations need `serve --live`",
+                    state.index.name()
+                ),
+            },
+            out,
+        );
+        return;
+    };
+    // Matched by value so the APPEND body moves straight into the
+    // WeightedString — no copy of a potentially 16 MB batch.
+    let outcome: Result<u64, String> = match request {
+        Request::Append { sigma, probs } => {
+            let expected = live.alphabet().size() as u64;
+            if sigma != expected {
+                Err(format!(
+                    "appended rows are over sigma = {sigma}, the live index over sigma = {expected}"
+                ))
+            } else if probs.is_empty() {
+                Err("APPEND carried no rows".into())
+            } else {
+                // Row validation (arity, [0, 1] entries, unit sums) happens
+                // in the WeightedString constructor.
+                WeightedString::from_flat(live.alphabet().clone(), probs)
+                    .map_err(|e| e.to_string())
+                    .and_then(|batch| {
+                        let rows = batch.len() as u64;
+                        live.append(&batch).map_err(|e| e.to_string()).map(|_| rows)
+                    })
+                    .inspect(|rows| {
+                        ServerMetrics::add(&shared.metrics.appended_positions, *rows);
+                    })
+            }
+        }
+        Request::DeleteRange { start, end } => {
+            let (start, end) = (start as usize, end as usize);
+            live.delete_range(start, end)
+                .map_err(|e| e.to_string())
+                .map(|()| (end - start) as u64)
+                .inspect(|_| ServerMetrics::inc(&shared.metrics.delete_ranges))
+        }
+        Request::Flush => {
+            let before = live.live_stats().segments as u64;
+            live.flush().map_err(|e| e.to_string()).map(|frozen| {
+                if frozen {
+                    ServerMetrics::inc(&shared.metrics.flushes);
+                    // A concurrent compaction may already have merged the
+                    // frozen segments; never underflow.
+                    (live.live_stats().segments as u64)
+                        .saturating_sub(before)
+                        .max(1)
+                } else {
+                    0
+                }
+            })
+        }
+        Request::Compact { full } => {
+            let merges = if full {
+                live.compact_full()
+            } else {
+                live.compact_once()
+            };
+            merges.map_err(|e| e.to_string()).map(|merges| {
+                if merges > 0 {
+                    ServerMetrics::inc(&shared.metrics.compactions);
+                }
+                merges as u64
+            })
+        }
+        _ => unreachable!("answer_live only receives live ops"),
+    };
+    match outcome {
+        Ok(changed) => {
+            let stats = live.live_stats();
+            encode_response(
+                id,
+                &Response::Live(LiveSnapshot {
+                    corpus_len: stats.corpus_len as u64,
+                    segments: stats.segments as u64,
+                    memtable_rows: stats.memtable_rows as u64,
+                    tombstones: stats.tombstones as u64,
+                    changed,
+                }),
+                out,
+            );
+        }
+        Err(message) => {
+            ServerMetrics::inc(&shared.metrics.live_errors);
+            encode_response(
+                id,
+                &Response::Error {
+                    code: ErrorCode::Live,
+                    message,
+                },
+                out,
+            );
+        }
     }
 }
 
@@ -760,6 +902,21 @@ fn query_error(shared: &Shared, id: u64, err: &ius_weighted::Error, out: &mut Ve
 /// which costs that connection but not the worker — see `worker_loop`).
 /// Sharded files are self-contained and immune.
 fn reload(shared: &Shared, path: Option<&str>) -> Result<u64, String> {
+    if shared
+        .state
+        .lock()
+        .expect("state lock")
+        .index
+        .live_index()
+        .is_some()
+    {
+        return Err(
+            "this server serves a live index, which mutates in place (APPEND/DELETE_RANGE/\
+             FLUSH/COMPACT); RELOAD is not supported — persist and reopen via the ius_live \
+             manifest instead"
+                .into(),
+        );
+    }
     let path: PathBuf = match (path, &shared.reload_path) {
         (Some(p), _) => PathBuf::from(p),
         (None, Some(p)) => p.clone(),

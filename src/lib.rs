@@ -22,12 +22,18 @@
 //!   unified builder (`IndexSpec` → `AnyIndex`), versioned binary
 //!   persistence (`save_index`/`load_index`; loading never re-runs
 //!   construction) and sharded composite indexes (`ShardedIndex`);
+//! * [`live`] — dynamic segmented indexing: an LSM-style `LiveIndex`
+//!   whose corpus grows by appends and shrinks by range tombstones while
+//!   being served — immutable segments + memtable tail + background
+//!   compaction + `IUSL` manifest persistence;
 //! * [`datasets`] — synthetic stand-ins for the paper's datasets and the
 //!   pattern samplers used in the evaluation;
 //! * [`server`] — the serving subsystem: a std-only concurrent TCP server
 //!   (length-prefixed binary wire protocol, worker pool with per-worker
 //!   scratch, bounded admission with typed backpressure, atomic hot
-//!   reload) plus the matching blocking client and the `serve` binary.
+//!   reload) plus the matching blocking client and the `serve` binary —
+//!   including the live-corpus ops (`APPEND`/`DELETE_RANGE`/`FLUSH`/
+//!   `COMPACT`) behind `serve --live`.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +65,7 @@
 pub use ius_datasets as datasets;
 pub use ius_grid as grid;
 pub use ius_index as index;
+pub use ius_live as live;
 pub use ius_query as query;
 pub use ius_sampling as sampling;
 pub use ius_server as server;
@@ -77,6 +84,7 @@ pub mod prelude {
         MatchSink, MinimizerIndex, NaiveIndex, QueryBatch, QueryScratch, QueryStats, ShardedIndex,
         SpaceEfficientBuilder, UncertainIndex, Wsa, Wst,
     };
+    pub use ius_live::{LiveConfig, LiveIndex, LiveStats};
     pub use ius_sampling::{KmerOrder, MinimizerScheme};
     pub use ius_server::{Client, ResultMode, ServedIndex, Server, ServerConfig};
     pub use ius_weighted::{Alphabet, HeavyString, WeightedString, ZEstimation};
