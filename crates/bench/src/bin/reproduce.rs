@@ -20,6 +20,7 @@ use ius_bench::measure::{
     measure_build, measure_estimation, measure_queries, sample_patterns, IndexKind,
 };
 use ius_bench::query_bench::{render_query_json, run_query_bench, QueryBenchConfig};
+use ius_bench::recovery_bench::{render_recovery_json, run_recovery_bench, RecoveryBenchConfig};
 use ius_bench::report::{render_csv, render_table, Row};
 use ius_bench::serve_bench::{render_serve_json, run_serve_bench, ServeBenchConfig};
 use ius_bench::space_bench::{render_space_json, run_space_bench, SpaceBenchConfig};
@@ -53,6 +54,7 @@ struct Config {
     bench_space: bool,
     bench_serve: bool,
     bench_update: bool,
+    bench_recovery: bool,
     bench_n: usize,
     bench_reps: usize,
     bench_patterns: usize,
@@ -61,6 +63,7 @@ struct Config {
     bench_workers: Vec<usize>,
     bench_clients: usize,
     bench_batch: usize,
+    bench_ops: usize,
 }
 
 fn main() {
@@ -201,6 +204,29 @@ fn main() {
         return;
     }
 
+    if config.bench_recovery {
+        let bench_config = RecoveryBenchConfig {
+            n: config.bench_n,
+            ops: config.bench_ops,
+            reps: config.bench_reps,
+            ..Default::default()
+        };
+        let result = run_recovery_bench(&bench_config);
+        let json = render_recovery_json(&bench_config, &result);
+        let path = config
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_recovery.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, &json).expect("write BENCH_recovery.json");
+        println!("{json}");
+        println!("wrote {}", path.display());
+        return;
+    }
+
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
     let want = |ids: &[ExperimentId]| ids.iter().any(|id| config.experiments.contains(id));
@@ -288,6 +314,9 @@ fn print_help() {
          \x20                      latency vs segment count before/after compaction under\n\
          \x20                      concurrent load, answers asserted identical to a\n\
          \x20                      from-scratch rebuild) and write BENCH_update.json\n\
+         \x20 --bench-recovery     run the durability benchmark (append latency with the\n\
+         \x20                      write-ahead log off/armed per fsync policy, WAL replay\n\
+         \x20                      throughput vs log size) and write BENCH_recovery.json\n\
          \x20 --bench-n <n>        string length for --bench-* (default 100000)\n\
          \x20 --bench-reps <r>     repetitions per timed side for --bench-* (default 3)\n\
          \x20 --bench-patterns <p> query patterns per dataset for --bench-query/--bench-space/\n\
@@ -297,6 +326,7 @@ fn print_help() {
          \x20 --bench-workers <w,..> worker-pool sizes for --bench-serve (default 1,2,4)\n\
          \x20 --bench-clients <c>  concurrent client threads for --bench-serve (default 4)\n\
          \x20 --bench-batch <b>    rows per append batch for --bench-update (default 2000)\n\
+         \x20 --bench-ops <o>      appends per policy run for --bench-recovery (default 400)\n\
          \x20 --list               list experiments\n"
     );
 }
@@ -312,6 +342,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut bench_space = false;
     let mut bench_serve = false;
     let mut bench_update = false;
+    let mut bench_recovery = false;
     let mut bench_n = 100_000usize;
     let mut bench_reps = 3usize;
     let mut bench_patterns = 400usize;
@@ -320,6 +351,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut bench_workers = vec![1usize, 2, 4];
     let mut bench_clients = 4usize;
     let mut bench_batch = 2_000usize;
+    let mut bench_ops = 400usize;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -342,6 +374,21 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
             "--bench-update" => {
                 bench_update = true;
                 i += 1;
+            }
+            "--bench-recovery" => {
+                bench_recovery = true;
+                i += 1;
+            }
+            "--bench-ops" => {
+                bench_ops = args
+                    .get(i + 1)
+                    .ok_or("--bench-ops needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --bench-ops: {e}"))?;
+                if bench_ops == 0 {
+                    return Err("--bench-ops needs a positive count".into());
+                }
+                i += 2;
             }
             "--bench-batch" => {
                 bench_batch = args
@@ -482,6 +529,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         bench_space,
         bench_serve,
         bench_update,
+        bench_recovery,
         bench_n,
         bench_reps,
         bench_patterns,
@@ -490,6 +538,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         bench_workers,
         bench_clients,
         bench_batch,
+        bench_ops,
     })
 }
 

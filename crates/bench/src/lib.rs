@@ -13,6 +13,7 @@ pub mod construction;
 pub mod experiments;
 pub mod measure;
 pub mod query_bench;
+pub mod recovery_bench;
 pub mod report;
 pub mod serve_bench;
 pub mod space_bench;
@@ -22,6 +23,7 @@ pub use construction::{ConstructionBenchConfig, DatasetBench, StageTiming};
 pub use experiments::{Experiment, ExperimentId};
 pub use measure::{BuildMeasurement, IndexKind, QueryMeasurement};
 pub use query_bench::{FamilyQueryBench, QueryBenchConfig, QueryDatasetBench};
+pub use recovery_bench::{PolicyBench, RecoveryBenchConfig, RecoveryBenchResult, ReplayBench};
 pub use report::Row;
 pub use serve_bench::{ReloadBench, ServeBenchConfig, ServeDatasetBench, WorkerBench};
 pub use space_bench::{FamilySpaceBench, ShardBench, SpaceBenchConfig, SpaceDatasetBench};

@@ -1,0 +1,408 @@
+//! Durability I/O primitives shared by the persistence and WAL layers.
+//!
+//! Three pieces, all std-only:
+//!
+//! * a hand-rolled **CRC32** (IEEE 802.3, the polynomial used by zip/png)
+//!   with incremental hashing and [`Crc32Writer`] / [`Crc32Reader`] stream
+//!   adapters, so every on-disk format can carry a checksum trailer;
+//! * the [`DurableSink`] abstraction — `Write` plus an explicit
+//!   [`sync`](DurableSink::sync) barrier — that all durability I/O is
+//!   routed through, so tests can substitute a scripted fault device for
+//!   a real file;
+//! * [`SimSink`], an in-memory sink driven by a [`FaultPlan`]: full disks
+//!   (ENOSPC), torn writes, device crashes after N bytes, and failing
+//!   fsyncs, each surfaced as the same typed `io::Error` a real kernel
+//!   would return. The bytes that "survived" are inspectable afterwards,
+//!   which is what the crash-recovery property tests replay from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+
+/// The reflected IEEE CRC32 polynomial.
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// Byte-at-a-time lookup table for [`CRC32_POLY`], built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC32_POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC32 (IEEE) hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut state = self.state;
+        for &b in bytes {
+            state = (state >> 8) ^ CRC32_TABLE[((state ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = state;
+    }
+
+    /// The checksum over everything fed so far.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// CRC32 (IEEE) of one byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(bytes);
+    hasher.finish()
+}
+
+/// A writer adapter that checksums every byte passed through it.
+#[derive(Debug)]
+pub struct Crc32Writer<W> {
+    inner: W,
+    hasher: Crc32,
+}
+
+impl<W: Write> Crc32Writer<W> {
+    /// Wraps `inner`.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            hasher: Crc32::new(),
+        }
+    }
+
+    /// The checksum of everything written so far.
+    pub fn crc(&self) -> u32 {
+        self.hasher.finish()
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for Crc32Writer<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hasher.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader adapter that checksums every byte passed through it.
+#[derive(Debug)]
+pub struct Crc32Reader<R> {
+    inner: R,
+    hasher: Crc32,
+}
+
+impl<R: Read> Crc32Reader<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            hasher: Crc32::new(),
+        }
+    }
+
+    /// The checksum of everything read so far.
+    pub fn crc(&self) -> u32 {
+        self.hasher.finish()
+    }
+
+    /// Unwraps the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// The inner reader (for reading trailer bytes *outside* the
+    /// checksummed region).
+    pub fn inner_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: Read> Read for Crc32Reader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hasher.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// A sink durable appends are routed through: sequential writes plus an
+/// explicit [`sync`](DurableSink::sync) barrier (fsync on a real file).
+///
+/// The WAL holds one of these; production code hands it a
+/// [`std::fs::File`], the fault-injection tests hand it a [`SimSink`].
+pub trait DurableSink: Write + Send {
+    /// Forces everything written so far to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl DurableSink for std::fs::File {
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+/// Scripted failures for a [`SimSink`]. All limits are byte offsets into
+/// (or ordinals of operations on) the sink's lifetime; `None` disables
+/// that fault.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Device capacity in bytes: the write that would exceed it is torn
+    /// at the boundary and every later write fails with
+    /// [`io::ErrorKind::StorageFull`] (ENOSPC). The device stays alive.
+    pub disk_capacity: Option<u64>,
+    /// Byte offset at which the device crashes: the write reaching it is
+    /// torn there, and every later write *and* sync fails. Models power
+    /// loss mid-write.
+    pub crash_at: Option<u64>,
+    /// 0-based ordinal of the first `sync` call that fails (it and every
+    /// later one return an error).
+    pub fail_sync_from: Option<u64>,
+}
+
+/// An in-memory [`DurableSink`] executing a [`FaultPlan`]. The bytes the
+/// "device" retained are shared through an `Arc` so a test can inspect
+/// what survived after the sink was moved into a WAL.
+#[derive(Debug)]
+pub struct SimSink {
+    media: Arc<Mutex<Vec<u8>>>,
+    plan: FaultPlan,
+    written: u64,
+    syncs: u64,
+    crashed: bool,
+}
+
+impl SimSink {
+    /// A sink with no scripted faults (a plain in-memory device).
+    pub fn healthy() -> Self {
+        Self::new(FaultPlan::default())
+    }
+
+    /// A sink executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            media: Arc::new(Mutex::new(Vec::new())),
+            plan,
+            written: 0,
+            syncs: 0,
+            crashed: false,
+        }
+    }
+
+    /// Shared handle to the surviving bytes; clone it *before* moving the
+    /// sink into a WAL.
+    pub fn media(&self) -> Arc<Mutex<Vec<u8>>> {
+        Arc::clone(&self.media)
+    }
+
+    /// Snapshot of the surviving bytes.
+    pub fn contents(&self) -> Vec<u8> {
+        self.media.lock().expect("sim media lock").clone()
+    }
+
+    /// Sync calls observed so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "simulated device crash")
+    }
+
+    fn enospc_error() -> io::Error {
+        io::Error::new(io::ErrorKind::StorageFull, "simulated full disk")
+    }
+}
+
+impl Write for SimSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.crashed {
+            return Err(Self::crash_error());
+        }
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // The crash offset tears the write that reaches it and then kills
+        // the device; a full disk tears at the capacity boundary but the
+        // device stays alive (later writes fail with ENOSPC, not a crash).
+        if let Some(crash_at) = self.plan.crash_at {
+            let room = crash_at.saturating_sub(self.written);
+            if (buf.len() as u64) > room {
+                let accepted = room as usize;
+                self.media
+                    .lock()
+                    .expect("sim media lock")
+                    .extend_from_slice(&buf[..accepted]);
+                self.written += accepted as u64;
+                self.crashed = true;
+                return if accepted > 0 {
+                    Ok(accepted)
+                } else {
+                    Err(Self::crash_error())
+                };
+            }
+        }
+        if let Some(capacity) = self.plan.disk_capacity {
+            let room = capacity.saturating_sub(self.written);
+            if (buf.len() as u64) > room {
+                let accepted = room as usize;
+                self.media
+                    .lock()
+                    .expect("sim media lock")
+                    .extend_from_slice(&buf[..accepted]);
+                self.written += accepted as u64;
+                return if accepted > 0 {
+                    Ok(accepted)
+                } else {
+                    Err(Self::enospc_error())
+                };
+            }
+        }
+        self.media
+            .lock()
+            .expect("sim media lock")
+            .extend_from_slice(buf);
+        self.written += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl DurableSink for SimSink {
+    fn sync(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(Self::crash_error());
+        }
+        let ordinal = self.syncs;
+        self.syncs += 1;
+        if self.plan.fail_sync_from.is_some_and(|k| ordinal >= k) {
+            return Err(io::Error::other("simulated fsync failure"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_answer() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut hasher = Crc32::new();
+        for chunk in data.chunks(7) {
+            hasher.update(chunk);
+        }
+        assert_eq!(hasher.finish(), crc32(data));
+    }
+
+    #[test]
+    fn writer_and_reader_agree() {
+        let payload = b"checksummed payload bytes".to_vec();
+        let mut sink = Vec::new();
+        let mut writer = Crc32Writer::new(&mut sink);
+        writer.write_all(&payload).unwrap();
+        let written_crc = writer.crc();
+        let mut reader = Crc32Reader::new(&sink[..]);
+        let mut back = Vec::new();
+        reader.read_to_end(&mut back).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(reader.crc(), written_crc);
+        assert_eq!(written_crc, crc32(&payload));
+    }
+
+    #[test]
+    fn sim_sink_full_disk_tears_then_refuses() {
+        let mut sink = SimSink::new(FaultPlan {
+            disk_capacity: Some(10),
+            ..Default::default()
+        });
+        assert_eq!(sink.write(&[1u8; 6]).unwrap(), 6);
+        // The write crossing the boundary is torn at it.
+        assert_eq!(sink.write(&[2u8; 6]).unwrap(), 4);
+        let err = sink.write(&[3u8; 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // The device is alive: what landed is readable and syncable.
+        assert_eq!(sink.contents().len(), 10);
+        sink.sync().unwrap();
+    }
+
+    #[test]
+    fn sim_sink_crash_kills_everything_after_offset() {
+        let media;
+        {
+            let mut sink = SimSink::new(FaultPlan {
+                crash_at: Some(5),
+                ..Default::default()
+            });
+            media = sink.media();
+            assert_eq!(sink.write(&[9u8; 3]).unwrap(), 3);
+            assert_eq!(sink.write(&[9u8; 3]).unwrap(), 2);
+            assert!(sink.write(&[9u8; 1]).is_err());
+            assert!(sink.sync().is_err());
+        }
+        assert_eq!(media.lock().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn sim_sink_fsync_failure_is_scripted_by_ordinal() {
+        let mut sink = SimSink::new(FaultPlan {
+            fail_sync_from: Some(2),
+            ..Default::default()
+        });
+        sink.write_all(b"abc").unwrap();
+        sink.sync().unwrap();
+        sink.sync().unwrap();
+        assert!(sink.sync().is_err());
+        assert!(sink.sync().is_err());
+    }
+}

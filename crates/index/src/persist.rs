@@ -6,7 +6,14 @@
 //!
 //! ```text
 //! magic "IUSX" (4 bytes) · format version (u16) · family tag (u8) · payload
+//! · CRC32 trailer (u32, over magic+version+tag+payload)
 //! ```
+//!
+//! Every envelope — including the nested per-shard envelopes inside a
+//! sharded file — carries its own CRC32 (IEEE, from [`ius_faultio`])
+//! trailer, computed over everything from the magic through the last
+//! payload byte. Silent bit-rot is therefore detected at open, not served;
+//! a mismatch is a typed `InvalidData` error, never a panic.
 //!
 //! Family tags: `0` NAIVE, `1` WST, `2` WSA, `3` minimizer (any of
 //! MWST/MWSA/MWST-G/MWSA-G, explicit or space-efficient construction),
@@ -38,6 +45,7 @@ use crate::shard::ShardedIndex;
 use crate::traits::UncertainIndex;
 use crate::wsa::Wsa;
 use crate::wst::Wst;
+use ius_faultio::{Crc32Reader, Crc32Writer};
 use ius_grid::{RangeReporter, ReporterParts};
 use ius_sampling::KmerOrder;
 use ius_text::trie::{CompactedTrie, TrieParts};
@@ -48,8 +56,10 @@ use std::sync::Arc;
 /// The four magic bytes opening every saved index.
 pub const MAGIC: [u8; 4] = *b"IUSX";
 
-/// The current on-disk format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// The current on-disk format version. Version 2 added the CRC32 trailer
+/// behind every envelope; version-1 files (no checksum) are rejected typed
+/// like any other unknown version.
+pub const FORMAT_VERSION: u16 = 2;
 
 const TAG_NAIVE: u8 = 0;
 const TAG_WST: u8 = 1;
@@ -270,6 +280,43 @@ fn read_envelope(r: &mut dyn Read) -> io::Result<u8> {
         )));
     }
     read_u8(r)
+}
+
+/// Writes one complete checksummed envelope: magic/version/tag and the
+/// payload emitted by `payload` go through a CRC32 hasher, then the
+/// checksum follows as a trailer. Nested envelopes (the per-shard ones of
+/// a sharded file) each carry their own trailer, which the enclosing
+/// envelope's checksum also covers.
+fn write_checksummed(
+    w: &mut dyn Write,
+    tag: u8,
+    payload: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut cw = Crc32Writer::new(w);
+    write_envelope(&mut cw, tag)?;
+    payload(&mut cw)?;
+    let crc = cw.crc();
+    write_u32(cw.into_inner(), crc)
+}
+
+/// Reads one complete checksummed envelope, handing the tag and the
+/// checksummed payload stream to `body`, then verifies the trailer.
+fn read_checksummed<T>(
+    r: &mut dyn Read,
+    body: impl FnOnce(u8, &mut dyn Read) -> io::Result<T>,
+) -> io::Result<T> {
+    let mut cr = Crc32Reader::new(r);
+    let tag = read_envelope(&mut cr)?;
+    let value = body(tag, &mut cr)?;
+    let computed = cr.crc();
+    let stored = read_u32(cr.inner_mut())?;
+    if stored != computed {
+        return Err(bad(format!(
+            "index checksum mismatch (stored {stored:#010x}, computed {computed:#010x}): \
+             the file is corrupt"
+        )));
+    }
+    Ok(value)
 }
 
 // ---------------------------------------------------------------------------
@@ -654,8 +701,7 @@ impl NaiveIndex {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_envelope(w, TAG_NAIVE)?;
-        write_f64(w, self.z())
+        write_checksummed(w, TAG_NAIVE, |w| write_f64(w, self.z()))
     }
 
     /// Deserializes an index previously written by [`NaiveIndex::save_to`].
@@ -681,10 +727,11 @@ impl Wst {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_envelope(w, TAG_WST)?;
-        write_f64(w, self.z())?;
-        write_property_text(w, self.property_text_ref())?;
-        write_trie(w, self.trie_ref())
+        write_checksummed(w, TAG_WST, |w| {
+            write_f64(w, self.z())?;
+            write_property_text(w, self.property_text_ref())?;
+            write_trie(w, self.trie_ref())
+        })
     }
 
     /// Deserializes an index previously written by [`Wst::save_to`].
@@ -707,9 +754,10 @@ impl Wsa {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_envelope(w, TAG_WSA)?;
-        write_f64(w, self.z())?;
-        write_property_text(w, self.property_text())
+        write_checksummed(w, TAG_WSA, |w| {
+            write_f64(w, self.z())?;
+            write_property_text(w, self.property_text())
+        })
     }
 
     /// Deserializes an index previously written by [`Wsa::save_to`].
@@ -732,8 +780,7 @@ impl MinimizerIndex {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_envelope(w, TAG_MINIMIZER)?;
-        write_minimizer_payload(w, self)
+        write_checksummed(w, TAG_MINIMIZER, |w| write_minimizer_payload(w, self))
     }
 
     /// Deserializes an index previously written by
@@ -784,10 +831,7 @@ pub fn save_index(index: &AnyIndex, w: &mut dyn Write) -> io::Result<()> {
         AnyIndex::Naive(index) => index.save_to(w),
         AnyIndex::Wst(index) => index.save_to(w),
         AnyIndex::Wsa(index) => index.save_to(w),
-        AnyIndex::Minimizer(index) => {
-            write_envelope(w, TAG_MINIMIZER)?;
-            write_minimizer_payload(w, index)
-        }
+        AnyIndex::Minimizer(index) => index.save_to(w),
     }
 }
 
@@ -801,8 +845,7 @@ pub fn save_index(index: &AnyIndex, w: &mut dyn Write) -> io::Result<()> {
 /// I/O errors, or `InvalidData` on bad magic, an unknown version/tag, or a
 /// structurally inconsistent payload.
 pub fn load_index(r: &mut dyn Read) -> io::Result<AnyIndex> {
-    let tag = read_envelope(r)?;
-    load_index_payload(tag, r)
+    read_checksummed(r, load_index_payload)
 }
 
 /// Any structure a persisted index file can contain: a single-machine family
@@ -826,12 +869,13 @@ pub enum LoadedAny {
 /// I/O errors, or `InvalidData` on bad magic, an unknown version/tag, or a
 /// structurally inconsistent payload.
 pub fn load_any_index(r: &mut dyn Read) -> io::Result<LoadedAny> {
-    let tag = read_envelope(r)?;
-    if tag == TAG_SHARDED {
-        read_sharded_payload(r).map(LoadedAny::Sharded)
-    } else {
-        load_index_payload(tag, r).map(LoadedAny::Index)
-    }
+    read_checksummed(r, |tag, r| {
+        if tag == TAG_SHARDED {
+            read_sharded_payload(r).map(LoadedAny::Sharded)
+        } else {
+            load_index_payload(tag, r).map(LoadedAny::Index)
+        }
+    })
 }
 
 fn load_index_payload(tag: u8, r: &mut dyn Read) -> io::Result<AnyIndex> {
@@ -887,21 +931,22 @@ impl ShardedIndex {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_envelope(w, TAG_SHARDED)?;
-        write_params(w, &self.spec().params)?;
-        write_u8(w, family_tag(self.spec().family))?;
-        write_u64(w, self.len() as u64)?;
-        write_u64(w, self.max_pattern_len() as u64)?;
-        write_u64(w, self.num_shards() as u64)?;
-        for shard in self.shards() {
-            write_u64(w, shard.offset as u64)?;
-            write_u64(w, shard.home_len as u64)?;
-            write_bytes(w, shard.x.alphabet().symbols())?;
-            write_u64(w, shard.x.len() as u64)?;
-            write_vec_f64(w, shard.x.flat_probs())?;
-            shard.index.save_to(w)?;
-        }
-        Ok(())
+        write_checksummed(w, TAG_SHARDED, |w| {
+            write_params(w, &self.spec().params)?;
+            write_u8(w, family_tag(self.spec().family))?;
+            write_u64(w, self.len() as u64)?;
+            write_u64(w, self.max_pattern_len() as u64)?;
+            write_u64(w, self.num_shards() as u64)?;
+            for shard in self.shards() {
+                write_u64(w, shard.offset as u64)?;
+                write_u64(w, shard.home_len as u64)?;
+                write_bytes(w, shard.x.alphabet().symbols())?;
+                write_u64(w, shard.x.len() as u64)?;
+                write_vec_f64(w, shard.x.flat_probs())?;
+                shard.index.save_to(w)?;
+            }
+            Ok(())
+        })
     }
 
     /// Deserializes a sharded index written by [`ShardedIndex::save_to`].
@@ -910,13 +955,14 @@ impl ShardedIndex {
     ///
     /// I/O errors, or `InvalidData` on a malformed file.
     pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
-        let tag = read_envelope(r)?;
-        if tag != TAG_SHARDED {
-            return Err(bad(format!(
-                "expected a sharded-index file (tag {TAG_SHARDED}), found tag {tag}"
-            )));
-        }
-        read_sharded_payload(r)
+        read_checksummed(r, |tag, r| {
+            if tag != TAG_SHARDED {
+                return Err(bad(format!(
+                    "expected a sharded-index file (tag {TAG_SHARDED}), found tag {tag}"
+                )));
+            }
+            read_sharded_payload(r)
+        })
     }
 }
 
@@ -1034,6 +1080,29 @@ mod tests {
         // Unknown family tag.
         let mut corrupt = bytes;
         corrupt[6] = 0xEE;
+        assert!(load_index(&mut corrupt.as_slice()).is_err());
+    }
+
+    #[test]
+    fn checksum_detects_silent_bit_rot() {
+        let bytes = sample_bytes();
+        // An untouched file round-trips.
+        assert!(load_index(&mut bytes.as_slice()).is_ok());
+        // Flip one bit deep in the payload (past the envelope, before the
+        // trailer): structurally the file may still parse, but the CRC32
+        // trailer must catch it with a typed error, never a panic.
+        for &at in &[16usize, bytes.len() / 2, bytes.len() - 8] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x40;
+            let err = load_index(&mut corrupt.as_slice())
+                .expect_err("bit flip must not load")
+                .to_string();
+            assert!(!err.is_empty());
+        }
+        // Corrupting the trailer itself is also detected.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
         assert!(load_index(&mut corrupt.as_slice()).is_err());
     }
 

@@ -65,17 +65,37 @@
 //! versioned like the `IUSX` index format) naming the segment list,
 //! memtable and tombstones, plus one `seg-*.iusg` file per segment
 //! embedding the chunk and its index (saved via `ius_index::persist`, so
-//! reopening never re-runs construction). See [`manifest`].
+//! reopening never re-runs construction). Every file carries a CRC32
+//! trailer, so silent corruption is rejected typed at open. See
+//! [`manifest`].
+//!
+//! ## Durability
+//!
+//! [`LiveIndex::enable_durability`] arms a **write-ahead log**
+//! (`live.wal`, see [`wal`]): every append/delete is logged — checksummed
+//! and flushed per the configured [`FsyncPolicy`] — *before* it is applied,
+//! so the caller's ack implies the mutation survives a crash.
+//! [`LiveIndex::open`] replays the log tail over the manifest snapshot;
+//! each flush checkpoints the manifest and rotates the log so it stays
+//! bounded. Checkpoint failures are recorded in [`LiveStats::last_error`]
+//! and retried on the next flush — they never fail an already-acked
+//! mutation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod manifest;
+pub mod wal;
 
+pub use wal::FsyncPolicy;
+
+use crate::wal::{Wal, WalRecord};
+use ius_faultio::DurableSink;
 use ius_index::overlap::{overlap_len, retain_home_and_globalize};
 use ius_index::{validate_pattern, AnyIndex, IndexSpec, IndexStats, UncertainIndex};
 use ius_query::{finalize_into, MatchSink, QueryBatch, QueryScratch, QueryStats};
 use ius_weighted::{is_solid, Alphabet, Error, Result, WeightedString};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -281,7 +301,7 @@ pub(crate) struct LiveState {
 }
 
 /// Operational counters of a [`LiveIndex`] (monotonic since creation).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LiveStats {
     /// Logical corpus length `n`.
     pub corpus_len: usize,
@@ -297,6 +317,34 @@ pub struct LiveStats {
     pub flushes: u64,
     /// Compaction merges since creation.
     pub compactions: u64,
+    /// Mutations logged to the write-ahead log since creation.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead log since creation.
+    pub wal_bytes: u64,
+    /// Crash recoveries performed (1 if this instance replayed a
+    /// non-empty WAL tail when it was opened, 0 otherwise).
+    pub recoveries: u64,
+    /// Mutations replayed from the WAL at open.
+    pub recovered_records: u64,
+    /// The active fsync policy as its wire code: 0 durability off,
+    /// 1 per-record, 2 interval, 3 never.
+    pub fsync_policy: u64,
+    /// Background compaction rounds that failed (they are retried on the
+    /// next wake-up; see [`LiveStats::last_error`]).
+    pub compaction_errors: u64,
+    /// The most recent background/durability error (compaction failure,
+    /// checkpoint failure, WAL rotation failure), if any.
+    pub last_error: Option<String>,
+}
+
+/// The armed write-ahead log plus the directory it (and the checkpoint
+/// manifest) lives in. `dir` is `None` for the fault-injection entry point
+/// ([`LiveIndex::enable_durability_with_sink`]) — there is no directory to
+/// checkpoint into, so flushes skip the checkpoint and the log never
+/// rotates.
+struct Durability {
+    dir: Option<PathBuf>,
+    wal: Wal,
 }
 
 struct Inner {
@@ -314,9 +362,26 @@ struct Inner {
     appended: AtomicU64,
     flushes: AtomicU64,
     compactions: AtomicU64,
+    /// `Some` once durability is armed; mutators log here *before*
+    /// applying (always while holding `write_lock`, so record order is
+    /// the mutation order).
+    durability: Mutex<Option<Durability>>,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    recoveries: AtomicU64,
+    recovered_records: AtomicU64,
+    compaction_errors: AtomicU64,
+    /// Most recent background/durability error, surfaced through STATS.
+    last_error: Mutex<Option<String>>,
     /// Compactor wake-up: `(dirty, stop)` under the mutex.
     compact_signal: Mutex<(bool, bool)>,
     compact_cond: Condvar,
+}
+
+impl Inner {
+    fn record_error(&self, message: String) {
+        *self.last_error.lock().expect("error lock") = Some(message);
+    }
 }
 
 /// An LSM-style dynamic index over one growing uncertain string. All
@@ -398,6 +463,13 @@ impl LiveIndex {
             appended: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            durability: Mutex::new(None),
+            wal_records: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            recovered_records: AtomicU64::new(0),
+            compaction_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
             compact_signal: Mutex::new((false, false)),
             compact_cond: Condvar::new(),
         });
@@ -493,6 +565,13 @@ impl LiveIndex {
     /// Operational counters.
     pub fn live_stats(&self) -> LiveStats {
         let state = self.snapshot();
+        let fsync_policy = self
+            .inner
+            .durability
+            .lock()
+            .expect("durability lock")
+            .as_ref()
+            .map_or(0, |d| d.wal.policy().code());
         LiveStats {
             corpus_len: state.n,
             segments: state.segments.len(),
@@ -501,6 +580,13 @@ impl LiveIndex {
             appended: self.inner.appended.load(Ordering::Relaxed),
             flushes: self.inner.flushes.load(Ordering::Relaxed),
             compactions: self.inner.compactions.load(Ordering::Relaxed),
+            wal_records: self.inner.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.inner.wal_bytes.load(Ordering::Relaxed),
+            recoveries: self.inner.recoveries.load(Ordering::Relaxed),
+            recovered_records: self.inner.recovered_records.load(Ordering::Relaxed),
+            fsync_policy,
+            compaction_errors: self.inner.compaction_errors.load(Ordering::Relaxed),
+            last_error: self.inner.last_error.lock().expect("error lock").clone(),
         }
     }
 
@@ -546,12 +632,18 @@ impl LiveIndex {
     /// freezes them into a segment). Auto-flushes when the memtable
     /// reaches the configured threshold.
     ///
+    /// With durability armed the batch is logged to the write-ahead log —
+    /// and flushed per the [`FsyncPolicy`] — **before** it is applied, so
+    /// a returned `Ok` implies the append survives a crash.
+    ///
     /// Returns the new corpus length.
     ///
     /// # Errors
     ///
     /// [`Error::InvalidParameters`] if `batch` is over a different
-    /// alphabet; flush errors when the threshold triggers.
+    /// alphabet; [`Error::Io`] if the write-ahead log refused the record
+    /// (the batch was then **not** applied); flush errors when the
+    /// threshold triggers.
     pub fn append(&self, batch: &WeightedString) -> Result<usize> {
         if batch.alphabet() != &self.inner.alphabet {
             return Err(Error::InvalidParameters(format!(
@@ -560,7 +652,20 @@ impl LiveIndex {
                 self.inner.alphabet.symbols()
             )));
         }
+        if batch.is_empty() {
+            // Nothing to log or apply; keep the WAL free of zero-row
+            // records (replay rejects them as malformed).
+            return Ok(self.len());
+        }
         let _write = self.inner.write_lock.lock().expect("write lock");
+        // Log before applying: the record must be durable (per policy)
+        // before the caller can observe the new rows.
+        let n_before = self.snapshot().n;
+        self.log_mutation(|| WalRecord::Append {
+            n_before: n_before as u64,
+            rows: batch.len() as u64,
+            flat: batch.flat_probs().to_vec(),
+        })?;
         let new_n;
         {
             let mut holder = self.inner.state.lock().expect("state lock");
@@ -597,10 +702,16 @@ impl LiveIndex {
     /// window intersects it disappears from query results. Positions are
     /// never renumbered and space is not reclaimed.
     ///
+    /// With durability armed the deletion is logged to the write-ahead
+    /// log — and flushed per the [`FsyncPolicy`] — **before** it is
+    /// applied, so a returned `Ok` implies it survives a crash.
+    ///
     /// # Errors
     ///
     /// [`Error::InvalidParameters`] if `start ≥ end`;
-    /// [`Error::PositionOutOfBounds`] if `end` exceeds the corpus length.
+    /// [`Error::PositionOutOfBounds`] if `end` exceeds the corpus length;
+    /// [`Error::Io`] if the write-ahead log refused the record (the
+    /// deletion was then **not** applied).
     pub fn delete_range(&self, start: usize, end: usize) -> Result<()> {
         if start >= end {
             return Err(Error::InvalidParameters(format!(
@@ -608,13 +719,19 @@ impl LiveIndex {
             )));
         }
         let _write = self.inner.write_lock.lock().expect("write lock");
-        let mut holder = self.inner.state.lock().expect("state lock");
-        if end > holder.n {
+        let n_before = self.snapshot().n;
+        if end > n_before {
             return Err(Error::PositionOutOfBounds {
                 position: end,
-                length: holder.n,
+                length: n_before,
             });
         }
+        self.log_mutation(|| WalRecord::Delete {
+            n_before: n_before as u64,
+            start: start as u64,
+            end: end as u64,
+        })?;
+        let mut holder = self.inner.state.lock().expect("state lock");
         let mut state = LiveState::clone(&holder);
         insert_tombstone(&mut state.tombstones, start, end);
         *holder = Arc::new(state);
@@ -694,10 +811,136 @@ impl LiveIndex {
         self.inner.flushes.fetch_add(1, Ordering::Relaxed);
         // Wake the background compactor: a flush is what grows the
         // segment list.
-        let mut signal = self.inner.compact_signal.lock().expect("signal lock");
-        signal.0 = true;
-        self.inner.compact_cond.notify_all();
+        {
+            let mut signal = self.inner.compact_signal.lock().expect("signal lock");
+            signal.0 = true;
+            self.inner.compact_cond.notify_all();
+        }
+        // Checkpoint: fold the frozen segments into the manifest and
+        // rotate the WAL so it stays bounded. Failures are recorded and
+        // retried on the next flush, never propagated — the mutations
+        // behind this flush were already applied and acked through the
+        // WAL, and the (kept) old log still covers them.
+        self.checkpoint_locked();
         Ok(true)
+    }
+
+    // -----------------------------------------------------------------
+    // Durability
+    // -----------------------------------------------------------------
+
+    /// Arms durability: checkpoints the current state into `dir` (the
+    /// manifest directory of [`LiveIndex::save_to_dir`]) and starts a
+    /// fresh write-ahead log `live.wal` there. From now on every
+    /// append/delete is logged — checksummed and flushed per `policy` —
+    /// *before* it is applied, and every flush re-checkpoints and rotates
+    /// the log. Reopening the directory with [`LiveIndex::open`] replays
+    /// any log tail the last checkpoint had not folded in.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the checkpoint or the log file cannot be written.
+    pub fn enable_durability(&self, dir: &Path, policy: FsyncPolicy) -> Result<()> {
+        let _write = self.inner.write_lock.lock().expect("write lock");
+        self.save_to_dir_locked(dir)
+            .map_err(|e| Error::Io(format!("initial checkpoint into {}: {e}", dir.display())))?;
+        let file = wal::create_wal_file(dir).map_err(|e| {
+            Error::Io(format!(
+                "creating {} in {}: {e}",
+                wal::WAL_FILE,
+                dir.display()
+            ))
+        })?;
+        *self.inner.durability.lock().expect("durability lock") = Some(Durability {
+            dir: Some(dir.to_path_buf()),
+            wal: Wal::resume(Box::new(file), policy),
+        });
+        Ok(())
+    }
+
+    /// Arms durability over an injectable sink instead of a real file —
+    /// the fault-injection entry point. No directory is attached, so
+    /// flushes skip the checkpoint and the log never rotates: every
+    /// logged mutation stays in the sink's media for the test to crash
+    /// and replay.
+    #[doc(hidden)]
+    pub fn enable_durability_with_sink(
+        &self,
+        sink: Box<dyn DurableSink>,
+        policy: FsyncPolicy,
+    ) -> Result<()> {
+        let _write = self.inner.write_lock.lock().expect("write lock");
+        let wal = Wal::create(sink, policy)
+            .map_err(|e| Error::Io(format!("writing the wal header: {e}")))?;
+        *self.inner.durability.lock().expect("durability lock") =
+            Some(Durability { dir: None, wal });
+        Ok(())
+    }
+
+    /// Logs one mutation to the WAL (no-op when durability is off). The
+    /// record is only built when a log is armed — the common undurable
+    /// path never copies the batch. Caller holds `write_lock`, so record
+    /// order is the mutation order.
+    fn log_mutation(&self, record: impl FnOnce() -> WalRecord) -> Result<()> {
+        let mut durability = self.inner.durability.lock().expect("durability lock");
+        let Some(d) = durability.as_mut() else {
+            return Ok(());
+        };
+        match d.wal.append(&record()) {
+            Ok(bytes) => {
+                self.inner.wal_records.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .wal_bytes
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                let message = format!("wal append failed: {e}");
+                self.inner.record_error(message.clone());
+                Err(Error::Io(message))
+            }
+        }
+    }
+
+    /// The post-flush checkpoint (caller holds `write_lock`): saves the
+    /// manifest and rotates the WAL. Failures are recorded in
+    /// `last_error` and swallowed — an already-applied, already-acked
+    /// mutation must never retroactively fail, and replaying the kept
+    /// old log over the old manifest is idempotent.
+    fn checkpoint_locked(&self) {
+        let dir = {
+            let durability = self.inner.durability.lock().expect("durability lock");
+            match durability.as_ref() {
+                Some(d) => match &d.dir {
+                    Some(dir) => dir.clone(),
+                    None => return, // sink-backed: nothing to checkpoint into
+                },
+                None => return,
+            }
+        };
+        if let Err(e) = self.save_to_dir_locked(&dir) {
+            self.inner.record_error(format!("checkpoint failed: {e}"));
+            return;
+        }
+        self.rotate_wal_locked(&dir);
+    }
+
+    /// Starts a fresh WAL after a successful manifest save of
+    /// `saved_dir` (caller holds `write_lock`). A rotation failure only
+    /// costs boundedness, never correctness — records already folded
+    /// into the manifest replay as skips — so it is recorded, not
+    /// propagated.
+    pub(crate) fn rotate_wal_locked(&self, saved_dir: &Path) {
+        let mut durability = self.inner.durability.lock().expect("durability lock");
+        let Some(d) = durability.as_mut() else { return };
+        let Some(dir) = &d.dir else { return };
+        if dir != saved_dir {
+            return;
+        }
+        match wal::create_wal_file(dir) {
+            Ok(file) => d.wal = Wal::resume(Box::new(file), d.wal.policy()),
+            Err(e) => self.inner.record_error(format!("wal rotation failed: {e}")),
+        }
     }
 
     /// Applies one round of the tiered compaction policy: the first
@@ -836,6 +1079,14 @@ impl LiveIndex {
 
 impl Drop for LiveIndex {
     fn drop(&mut self) {
+        // Clean-shutdown barrier: under `interval`/`never` fsync policies
+        // acked records may still sit in kernel buffers — push them to
+        // stable storage before the handle goes away (best-effort).
+        if let Ok(mut durability) = self.inner.durability.lock() {
+            if let Some(d) = durability.as_mut() {
+                let _ = d.wal.sync();
+            }
+        }
         if let Some(handle) = self.compactor.lock().expect("compactor lock").take() {
             {
                 let mut signal = self.inner.compact_signal.lock().expect("signal lock");
@@ -1021,7 +1272,10 @@ fn compactor_loop(inner: &Arc<Inner>) {
             match merge_run_inner(inner, &snapshot.segments[run.0..run.1]) {
                 Ok(_) => continue,
                 Err(err) => {
-                    eprintln!("ius-live background compaction failed (will retry): {err}");
+                    // Surface through STATS (counter + last-error string)
+                    // instead of stderr; the next wake-up retries.
+                    inner.compaction_errors.fetch_add(1, Ordering::Relaxed);
+                    inner.record_error(format!("background compaction failed (will retry): {err}"));
                     break;
                 }
             }

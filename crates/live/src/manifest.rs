@@ -5,18 +5,24 @@
 //!                      family tag + params · max_pattern_len · n ·
 //!                      memtable (start, rows, probs) · tombstones ·
 //!                      segment table (id, offset, home_len each) ·
-//!                      next segment id
+//!                      next segment id · CRC32 trailer (u32)
 //! <dir>/seg-<id>.iusg  one per segment: magic "IUSG" · version u16 ·
 //!                      id/offset/home_len · chunk rows · σ · chunk probs ·
-//!                      nested IUSX index envelope (ius_index::persist)
+//!                      nested IUSX index envelope (ius_index::persist) ·
+//!                      CRC32 trailer (u32)
+//! <dir>/live.wal       write-ahead log tail, when durability is armed
+//!                      (see [`crate::wal`]); replayed over the manifest
+//!                      snapshot by [`LiveIndex::open`]
 //! ```
 //!
 //! Everything is little-endian (`f64` as the LE bytes of its IEEE-754
 //! bits), matching the `IUSX` on-disk format. **Version policy** is the
 //! same too: any layout change bumps the version and readers reject
-//! versions they do not know. Reopening never re-runs construction — the
-//! nested index envelopes are loaded by `ius_index::persist::load_index`,
-//! which only reassembles.
+//! versions they do not know — version 2 added the CRC32 trailer (over
+//! everything from the magic to the last payload byte), so version-1
+//! files (no checksum) are rejected typed. Reopening never re-runs
+//! construction — the nested index envelopes are loaded by
+//! `ius_index::persist::load_index`, which only reassembles.
 //!
 //! [`LiveIndex::save_to_dir`] writes the segment files first and the
 //! manifest last, **every file through a temporary name + atomic rename**;
@@ -33,7 +39,9 @@
 //! manifest references is gone — never with a panic, and never lazily at
 //! first query (everything is validated at open).
 
-use crate::{LiveConfig, LiveIndex, LiveState, Memtable, Segment};
+use crate::wal::{self, WalRecord};
+use crate::{insert_tombstone, LiveConfig, LiveIndex, LiveState, Memtable, Segment};
+use ius_faultio::{Crc32Reader, Crc32Writer};
 use ius_index::overlap::overlap_len;
 use ius_index::{AnyIndex, IndexFamily, IndexParams, IndexSpec, IndexVariant, UncertainIndex};
 use ius_sampling::KmerOrder;
@@ -48,8 +56,10 @@ pub const MANIFEST_MAGIC: [u8; 4] = *b"IUSL";
 /// The four magic bytes opening a segment file.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"IUSG";
 
-/// The current manifest / segment-file format version.
-pub const LIVE_FORMAT_VERSION: u16 = 1;
+/// The current manifest / segment-file format version. Version 2 added
+/// the CRC32 trailer behind both file kinds; version-1 files (no
+/// checksum) are rejected typed.
+pub const LIVE_FORMAT_VERSION: u16 = 2;
 
 /// File name of the manifest inside a live-index directory.
 pub const MANIFEST_FILE: &str = "live.iusl";
@@ -71,6 +81,10 @@ fn write_u16(w: &mut dyn Write, v: u16) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
+fn write_u32(w: &mut dyn Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
 fn write_u64(w: &mut dyn Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
@@ -89,6 +103,26 @@ fn read_u16(r: &mut dyn Read) -> io::Result<u16> {
     let mut buf = [0u8; 2];
     r.read_exact(&mut buf)?;
     Ok(u16::from_le_bytes(buf))
+}
+
+fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads the CRC32 trailer from the checksummed reader's *underlying*
+/// stream and compares it against the digest of everything read so far.
+fn check_trailer<R: Read>(cr: &mut Crc32Reader<R>, what: &str) -> io::Result<()> {
+    let computed = cr.crc();
+    let stored = read_u32(cr.inner_mut())?;
+    if stored != computed {
+        return Err(bad(format!(
+            "{what} checksum mismatch (stored {stored:#010x}, computed {computed:#010x}): the \
+             file is corrupt"
+        )));
+    }
+    Ok(())
 }
 
 fn read_u64(r: &mut dyn Read) -> io::Result<u64> {
@@ -247,16 +281,27 @@ impl LiveIndex {
     /// segment file per segment, then the `live.iusl` manifest via an
     /// atomic rename, then unreferenced stale segment files are removed.
     /// The saved snapshot is consistent: it is taken once under the
-    /// mutation lock, so a concurrent append cannot tear it.
+    /// mutation lock, so a concurrent append cannot tear it. When
+    /// durability is armed into this same directory, the write-ahead log
+    /// is rotated afterwards — the fresh manifest covers everything the
+    /// old log held.
     ///
     /// # Errors
     ///
     /// I/O errors of the directory and file writes.
     pub fn save_to_dir(&self, dir: &Path) -> io::Result<()> {
-        std::fs::create_dir_all(dir)?;
         // Hold the write lock so the saved (segments, memtable, tombstones,
         // n) tuple is one mutation-consistent snapshot.
         let _write = self.inner.write_lock.lock().expect("write lock");
+        self.save_to_dir_locked(dir)?;
+        self.rotate_wal_locked(dir);
+        Ok(())
+    }
+
+    /// The save body; the caller holds `write_lock` (the flush-time
+    /// checkpoint calls this while already inside a mutation).
+    pub(crate) fn save_to_dir_locked(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
         let state = self.inner.state.lock().expect("state lock").clone();
         let sigma = self.inner.alphabet.size();
         for segment in &state.segments {
@@ -276,15 +321,18 @@ impl LiveIndex {
             let tmp = dir.join(format!("{}.tmp", segment_file_name(segment.id)));
             {
                 let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-                w.write_all(&SEGMENT_MAGIC)?;
-                write_u16(&mut w, LIVE_FORMAT_VERSION)?;
-                write_u64(&mut w, segment.id)?;
-                write_u64(&mut w, segment.offset as u64)?;
-                write_u64(&mut w, segment.home_len as u64)?;
-                write_u64(&mut w, segment.x.len() as u64)?;
-                write_u64(&mut w, sigma as u64)?;
-                write_f64_slice(&mut w, segment.x.flat_probs())?;
-                segment.index.save_to(&mut w)?;
+                let mut cw = Crc32Writer::new(&mut w);
+                cw.write_all(&SEGMENT_MAGIC)?;
+                write_u16(&mut cw, LIVE_FORMAT_VERSION)?;
+                write_u64(&mut cw, segment.id)?;
+                write_u64(&mut cw, segment.offset as u64)?;
+                write_u64(&mut cw, segment.home_len as u64)?;
+                write_u64(&mut cw, segment.x.len() as u64)?;
+                write_u64(&mut cw, sigma as u64)?;
+                write_f64_slice(&mut cw, segment.x.flat_probs())?;
+                segment.index.save_to(&mut cw)?;
+                let crc = cw.crc();
+                write_u32(cw.into_inner(), crc)?;
                 w.flush()?;
             }
             std::fs::rename(&tmp, &path)?;
@@ -292,37 +340,40 @@ impl LiveIndex {
         let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
         {
             let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-            w.write_all(&MANIFEST_MAGIC)?;
-            write_u16(&mut w, LIVE_FORMAT_VERSION)?;
+            let mut cw = Crc32Writer::new(&mut w);
+            cw.write_all(&MANIFEST_MAGIC)?;
+            write_u16(&mut cw, LIVE_FORMAT_VERSION)?;
             let symbols = self.inner.alphabet.symbols();
-            write_u64(&mut w, symbols.len() as u64)?;
-            w.write_all(symbols)?;
-            write_spec(&mut w, &self.inner.spec)?;
-            write_u64(&mut w, self.inner.max_pattern_len as u64)?;
-            write_u64(&mut w, state.n as u64)?;
-            write_u64(&mut w, state.memtable.start as u64)?;
-            write_u64(&mut w, state.memtable.rows as u64)?;
+            write_u64(&mut cw, symbols.len() as u64)?;
+            cw.write_all(symbols)?;
+            write_spec(&mut cw, &self.inner.spec)?;
+            write_u64(&mut cw, self.inner.max_pattern_len as u64)?;
+            write_u64(&mut cw, state.n as u64)?;
+            write_u64(&mut cw, state.memtable.start as u64)?;
+            write_u64(&mut cw, state.memtable.rows as u64)?;
             write_f64_slice(
-                &mut w,
+                &mut cw,
                 &state.memtable.flat_rows(0, state.memtable.rows, sigma),
             )?;
-            write_u64(&mut w, state.tombstones.len() as u64)?;
+            write_u64(&mut cw, state.tombstones.len() as u64)?;
             for &(start, end) in &state.tombstones {
-                write_u64(&mut w, start as u64)?;
-                write_u64(&mut w, end as u64)?;
+                write_u64(&mut cw, start as u64)?;
+                write_u64(&mut cw, end as u64)?;
             }
-            write_u64(&mut w, state.segments.len() as u64)?;
+            write_u64(&mut cw, state.segments.len() as u64)?;
             for segment in &state.segments {
-                write_u64(&mut w, segment.id)?;
-                write_u64(&mut w, segment.offset as u64)?;
-                write_u64(&mut w, segment.home_len as u64)?;
+                write_u64(&mut cw, segment.id)?;
+                write_u64(&mut cw, segment.offset as u64)?;
+                write_u64(&mut cw, segment.home_len as u64)?;
             }
             write_u64(
-                &mut w,
+                &mut cw,
                 self.inner
                     .next_segment_id
                     .load(std::sync::atomic::Ordering::SeqCst),
             )?;
+            let crc = cw.crc();
+            write_u32(cw.into_inner(), crc)?;
             w.flush()?;
         }
         std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
@@ -360,12 +411,13 @@ impl LiveIndex {
     /// I/O errors, `InvalidData` on malformed content.
     pub fn open(dir: &Path, config: LiveConfig) -> io::Result<Self> {
         let manifest_path = dir.join(MANIFEST_FILE);
-        let mut r = BufReader::new(std::fs::File::open(&manifest_path).map_err(|e| {
+        let file = std::fs::File::open(&manifest_path).map_err(|e| {
             io::Error::new(
                 e.kind(),
                 format!("cannot open manifest {}: {e}", manifest_path.display()),
             )
-        })?);
+        })?;
+        let mut r = Crc32Reader::new(BufReader::new(file));
         read_magic_version(&mut r, MANIFEST_MAGIC, "live-index manifest")?;
         let symbols_len = read_len(&mut r)?;
         if symbols_len == 0 || symbols_len > 256 {
@@ -426,6 +478,14 @@ impl LiveIndex {
             table.push((id, offset, home_len));
         }
         let next_segment_id = read_u64(&mut r)?;
+        check_trailer(&mut r, "manifest")?;
+        {
+            // Nothing may trail the manifest trailer.
+            let mut probe = [0u8; 1];
+            if r.inner_mut().read(&mut probe)? != 0 {
+                return Err(bad("trailing bytes after the manifest checksum"));
+            }
+        }
         // Tiling: home ranges cover [0, mem_start) consecutively.
         let mut expected_offset = 0usize;
         for (i, &(id, offset, home_len)) in table.iter().enumerate() {
@@ -466,13 +526,44 @@ impl LiveIndex {
             segments.push(Arc::new(segment));
         }
 
-        let state = LiveState {
+        let mut state = LiveState {
             segments,
             memtable: Memtable::from_flat(mem_start, mem_rows, mem_probs),
             tombstones,
             n,
         };
-        LiveIndex::from_loaded_parts(
+
+        // Replay the write-ahead log tail, if one exists: mutations acked
+        // after the last checkpoint live only there. `wal::scan` already
+        // applied the torn-tail rule, so every record seen here was fully
+        // written; records the checkpoint folded in replay as skips.
+        let wal_path = dir.join(wal::WAL_FILE);
+        let mut recovered_records = 0u64;
+        match std::fs::read(&wal_path) {
+            Ok(bytes) => {
+                let records = wal::scan(&bytes).map_err(|e| {
+                    io::Error::new(e.kind(), format!("wal {}: {e}", wal_path.display()))
+                })?;
+                for (i, record) in records.iter().enumerate() {
+                    let applied = apply_wal_record(&mut state, &alphabet, record).map_err(|e| {
+                        io::Error::new(
+                            e.kind(),
+                            format!("wal {} record {i}: {e}", wal_path.display()),
+                        )
+                    })?;
+                    recovered_records += u64::from(applied);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("cannot read wal {}: {e}", wal_path.display()),
+                ))
+            }
+        }
+
+        let live = LiveIndex::from_loaded_parts(
             alphabet,
             spec,
             max_pattern_len,
@@ -480,7 +571,86 @@ impl LiveIndex {
             state,
             next_segment_id,
         )
-        .map_err(|e| bad(e.to_string()))
+        .map_err(|e| bad(e.to_string()))?;
+        if recovered_records > 0 {
+            use std::sync::atomic::Ordering;
+            live.inner.recoveries.store(1, Ordering::Relaxed);
+            live.inner
+                .recovered_records
+                .store(recovered_records, Ordering::Relaxed);
+        }
+        Ok(live)
+    }
+}
+
+/// Applies one replayed WAL record onto the manifest snapshot. Returns
+/// `false` for a record the checkpoint had already folded in (its
+/// `n_before` stamp lies strictly inside the manifest corpus), `true`
+/// when the record mutated the state.
+fn apply_wal_record(
+    state: &mut LiveState,
+    alphabet: &Alphabet,
+    record: &WalRecord,
+) -> io::Result<bool> {
+    let as_len = |v: u64, what: &str| {
+        usize::try_from(v).map_err(|_| bad(format!("{what} exceeds the address space")))
+    };
+    match record {
+        WalRecord::Append {
+            n_before,
+            rows,
+            flat,
+        } => {
+            let n_before = as_len(*n_before, "append position")?;
+            let rows = as_len(*rows, "append rows")?;
+            let sigma = alphabet.size();
+            if rows == 0 || flat.len() != rows * sigma {
+                return Err(bad(format!(
+                    "append carries {} values for {rows} rows over σ = {sigma}",
+                    flat.len()
+                )));
+            }
+            let end = n_before
+                .checked_add(rows)
+                .ok_or_else(|| bad("append end overflows"))?;
+            if end <= state.n {
+                // Logged before the checkpoint this manifest is: already in.
+                return Ok(false);
+            }
+            if n_before != state.n {
+                return Err(bad(format!(
+                    "append stamped at n = {n_before} does not resume the corpus at n = {}",
+                    state.n
+                )));
+            }
+            // Row validation (sums to 1, entries in [0, 1]) — same gate the
+            // original live append ran; the copy is then discarded.
+            WeightedString::from_flat(alphabet.clone(), flat.clone())
+                .map_err(|e| bad(format!("append rows: {e}")))?;
+            state.memtable.push_rows(flat, rows, sigma);
+            state.n = end;
+            Ok(true)
+        }
+        WalRecord::Delete {
+            n_before,
+            start,
+            end,
+        } => {
+            let logged_n = as_len(*n_before, "delete stamp")?;
+            let start = as_len(*start, "delete start")?;
+            let end = as_len(*end, "delete end")?;
+            if start >= end || end > logged_n || logged_n > state.n {
+                return Err(bad(format!(
+                    "delete [{start}, {end}) stamped at n = {logged_n} is invalid against the \
+                     corpus at n = {}",
+                    state.n
+                )));
+            }
+            // Tombstone insertion coalesces, so re-applying a delete the
+            // checkpoint already folded in is a no-op — idempotent either way.
+            insert_tombstone(&mut state.tombstones, start, end);
+            Ok(true)
+        }
     }
 }
 
@@ -493,6 +663,8 @@ fn read_segment_file(
     home_len: usize,
     overlap: usize,
 ) -> io::Result<Segment> {
+    let mut cr = Crc32Reader::new(r);
+    let r = &mut cr;
     read_magic_version(r, SEGMENT_MAGIC, "live-index segment")?;
     let stored_id = read_u64(r)?;
     let stored_offset = read_len(r)?;
@@ -532,10 +704,11 @@ fn read_segment_file(
             )));
         }
     }
-    // Nothing may trail the nested envelope.
+    check_trailer(&mut cr, "segment")?;
+    // Nothing may trail the checksum.
     let mut probe = [0u8; 1];
-    if r.read(&mut probe)? != 0 {
-        return Err(bad("trailing bytes after the segment index envelope"));
+    if cr.inner_mut().read(&mut probe)? != 0 {
+        return Err(bad("trailing bytes after the segment checksum"));
     }
     // A cheap structural smoke: the index must answer its size without
     // panicking (full query behavior is covered by the corruption tests).

@@ -26,7 +26,7 @@
 
 use ius_datasets::corpora::bench_corpus;
 use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant, ShardedIndex};
-use ius_live::{LiveConfig, LiveIndex};
+use ius_live::{FsyncPolicy, LiveConfig, LiveIndex};
 use ius_server::{ServedIndex, Server, ServerConfig};
 use ius_weighted::WeightedString;
 use std::path::PathBuf;
@@ -46,6 +46,7 @@ struct Args {
     live: bool,
     live_dir: Option<PathBuf>,
     flush_threshold: Option<usize>,
+    fsync: Option<FsyncPolicy>,
     host: String,
     port: u16,
     workers: Option<usize>,
@@ -75,7 +76,12 @@ fn print_help() {
          \x20                       or reopen --live-dir)\n\
          \x20 --live-dir <dir>      open the IUSL manifest dir if it exists; the live\n\
          \x20                       state is saved back there on graceful shutdown\n\
-         \x20 --flush-threshold <r> memtable rows per segment flush (default 8192)\n\n\
+         \x20 --flush-threshold <r> memtable rows per segment flush (default 8192)\n\
+         \x20 --fsync <policy>      arm the write-ahead log (needs --live-dir): every\n\
+         \x20                       mutation is logged before it is acked, and a crash\n\
+         \x20                       replays the log on reopen. Policies: record (fsync\n\
+         \x20                       each record), interval:<ms> (fsync at most every\n\
+         \x20                       <ms> milliseconds), never (leave flushing to the OS)\n\n\
          server options:\n\
          \x20 --host <host>         bind host (default 127.0.0.1)\n\
          \x20 --port <port>         bind port (default 7878; 0 = ephemeral)\n\
@@ -132,6 +138,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         live: false,
         live_dir: None,
         flush_threshold: None,
+        fsync: None,
         host: "127.0.0.1".into(),
         port: 7878,
         workers: None,
@@ -202,6 +209,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("bad --flush-threshold: {e}"))?,
                 )
             }
+            "--fsync" => {
+                parsed.fsync = Some(
+                    FsyncPolicy::parse(&value(args, i, "--fsync")?)
+                        .map_err(|e| format!("bad --fsync: {e}"))?,
+                )
+            }
             "--host" => parsed.host = value(args, i, "--host")?,
             "--port" => {
                 parsed.port = value(args, i, "--port")?
@@ -266,9 +279,16 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         if parsed.build.is_some() && parsed.corpus.is_none() {
             return Err("--build needs --corpus".into());
         }
+        if parsed.fsync.is_some() && parsed.live_dir.is_none() {
+            return Err(
+                "--fsync arms the write-ahead log, which lives next to the manifest; \
+                 it needs --live-dir"
+                    .into(),
+            );
+        }
     } else {
-        if parsed.live_dir.is_some() || parsed.flush_threshold.is_some() {
-            return Err("--live-dir and --flush-threshold need --live".into());
+        if parsed.live_dir.is_some() || parsed.flush_threshold.is_some() || parsed.fsync.is_some() {
+            return Err("--live-dir, --flush-threshold, and --fsync need --live".into());
         }
         if parsed.index.is_some() == parsed.build.is_some() {
             return Err("exactly one of --index and --build is required".into());
@@ -346,11 +366,25 @@ fn main() {
                 std::process::exit(1);
             })
         };
+        if let Some(policy) = args.fsync {
+            let dir = args.live_dir.as_ref().expect("checked by parse_args");
+            live.enable_durability(dir, policy).unwrap_or_else(|e| {
+                eprintln!("error: cannot arm the WAL in {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            eprintln!("write-ahead log armed (fsync {policy})");
+        }
         let stats = live.live_stats();
         eprintln!(
             "live corpus: n = {}, {} segment(s), {} memtable row(s)",
             stats.corpus_len, stats.segments, stats.memtable_rows
         );
+        if stats.recovered_records > 0 {
+            eprintln!(
+                "recovered {} mutation(s) from the write-ahead log",
+                stats.recovered_records
+            );
+        }
         let live = Arc::new(live);
         live_handle = Some(live.clone());
         (ServedIndex::live(live), None)

@@ -1,5 +1,14 @@
 //! A small blocking client for the wire protocol — what the tests, the
 //! examples and the serve benchmark talk to the server with.
+//!
+//! The client is resilient by configuration: [`ClientConfig`] carries
+//! connect/read/write deadlines and a bounded exponential-backoff retry
+//! budget. Retries apply only to *idempotent* requests (`PING`, `QUERY`,
+//! `STATS`) — a mutation is never resent automatically, because a lost
+//! response leaves the client unable to tell whether the server applied
+//! it. `OVERLOADED` refusals and transport failures are the retryable
+//! conditions; on a transport failure the client reconnects before the
+//! next attempt.
 
 use crate::protocol::{
     decode_response, encode_request, read_frame, ErrorCode, LiveSnapshot, ProtocolError, Request,
@@ -9,7 +18,42 @@ use ius_query::QueryStats;
 use ius_weighted::WeightedString;
 use std::fmt;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Deadlines and retry budget of a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-address connect deadline (`None` = the OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Blocking-read deadline; a stalled server surfaces as a transport
+    /// error instead of hanging the caller (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Blocking-write deadline (`None` = wait forever).
+    pub write_timeout: Option<Duration>,
+    /// Retries *after* the first attempt for idempotent requests. 0
+    /// disables retrying entirely.
+    pub max_retries: u32,
+    /// First retry delay; attempt `k` sleeps `backoff_base * 2^k`.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_max: Duration,
+}
+
+impl Default for ClientConfig {
+    /// Deadlines on, retries off: calls cannot hang forever, and no
+    /// request is ever silently resent unless the caller opts in.
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_retries: 0,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
 
 /// Errors of one client call.
 #[derive(Debug)]
@@ -38,6 +82,14 @@ pub enum ClientError {
         /// What the call expected.
         expected: &'static str,
     },
+    /// An idempotent request kept failing retryably until the configured
+    /// retry budget ran out.
+    RetriesExhausted {
+        /// Attempts made (first try plus retries).
+        attempts: u32,
+        /// The failure of the final attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -57,6 +109,9 @@ impl fmt::Display for ClientError {
                     "response shape does not match the request (expected {expected})"
                 )
             }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -66,6 +121,7 @@ impl std::error::Error for ClientError {
         match self {
             ClientError::Io(e) => Some(e),
             ClientError::Protocol(e) => Some(e),
+            ClientError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -97,26 +153,124 @@ pub struct QueryOutcome {
 /// the connection; ids are attached and checked automatically.
 pub struct Client {
     stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
     next_id: u64,
     send_buf: Vec<u8>,
     recv_buf: Vec<u8>,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with the default deadlines and no retries.
     ///
     /// # Errors
     ///
     /// Socket errors of the connect.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a server with explicit deadlines and retry budget.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors of the connect (each resolved address is tried once;
+    /// the connect itself is not retried — callers that want that loop
+    /// over `connect_with`).
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Client::open_stream(&addrs, &config)?;
         Ok(Client {
             stream,
+            addrs,
+            config,
             next_id: 1,
             send_buf: Vec::new(),
             recv_buf: Vec::new(),
         })
+    }
+
+    /// Opens, tunes, and returns a stream to the first reachable address.
+    fn open_stream(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+        let mut last_err = None;
+        for addr in addrs {
+            let attempt = match config.connect_timeout {
+                Some(deadline) => TcpStream::connect_timeout(addr, deadline),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(config.read_timeout)?;
+                    stream.set_write_timeout(config.write_timeout)?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )
+        }))
+    }
+
+    /// Replaces a (presumed broken) connection with a fresh one.
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Client::open_stream(&self.addrs, &self.config)?;
+        Ok(())
+    }
+
+    /// Whether a failure is safe and useful to retry: the transport broke
+    /// (timeout, reset, EOF — the request may never have arrived), or the
+    /// server refused admission with `OVERLOADED` (it never looked at the
+    /// request).
+    fn retryable(error: &ClientError) -> bool {
+        matches!(
+            error,
+            ClientError::Io(_)
+                | ClientError::Server {
+                    code: ErrorCode::Overloaded,
+                    ..
+                }
+        )
+    }
+
+    /// [`Client::call`] plus the bounded-backoff retry loop — only for
+    /// requests that are safe to resend.
+    fn call_idempotent(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let error = match self.call(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if Client::retryable(&e) => e,
+                Err(e) => return Err(e),
+            };
+            if attempt >= self.config.max_retries {
+                return Err(if attempt == 0 {
+                    // Retrying was off; surface the plain failure.
+                    error
+                } else {
+                    ClientError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: Box::new(error),
+                    }
+                });
+            }
+            let backoff = self
+                .config
+                .backoff_base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(self.config.backoff_max);
+            std::thread::sleep(backoff);
+            if matches!(error, ClientError::Io(_)) {
+                // The connection is suspect; a failed reconnect just
+                // burns this attempt and backs off again.
+                let _ = self.reconnect();
+            }
+            attempt += 1;
+        }
     }
 
     /// One request/response round trip.
@@ -146,13 +300,14 @@ impl Client {
         Ok(response)
     }
 
-    /// Liveness probe.
+    /// Liveness probe. Idempotent: retried under the configured budget.
     ///
     /// # Errors
     ///
-    /// Transport, protocol and server-refusal errors.
+    /// Transport, protocol and server-refusal errors;
+    /// [`ClientError::RetriesExhausted`] when a retry budget ran dry.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        match self.call(&Request::Ping)? {
+        match self.call_idempotent(&Request::Ping)? {
             Response::Pong => Ok(()),
             _ => Err(ClientError::UnexpectedResponse { expected: "PONG" }),
         }
@@ -187,7 +342,7 @@ impl Client {
             mode,
             pattern: pattern.to_vec(),
         };
-        match self.call(&request)? {
+        match self.call_idempotent(&request)? {
             Response::Matches { stats, positions } => Ok(QueryOutcome {
                 positions: positions.into_iter().map(|p| p as usize).collect(),
                 stats: stats.into(),
@@ -208,19 +363,21 @@ impl Client {
             mode: ResultMode::Count,
             pattern: pattern.to_vec(),
         };
-        match self.call(&request)? {
+        match self.call_idempotent(&request)? {
             Response::Count { stats, count } => Ok((count, stats.into())),
             _ => Err(ClientError::UnexpectedResponse { expected: "COUNT" }),
         }
     }
 
-    /// Fetches the server's metrics snapshot.
+    /// Fetches the server's metrics snapshot. Idempotent: retried under
+    /// the configured budget.
     ///
     /// # Errors
     ///
-    /// Transport, protocol and server-refusal errors.
+    /// Transport, protocol and server-refusal errors;
+    /// [`ClientError::RetriesExhausted`] when a retry budget ran dry.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
-        match self.call(&Request::Stats)? {
+        match self.call_idempotent(&Request::Stats)? {
             Response::Stats(snapshot) => Ok(snapshot),
             _ => Err(ClientError::UnexpectedResponse { expected: "STATS" }),
         }

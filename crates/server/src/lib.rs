@@ -44,8 +44,8 @@ mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, QueryOutcome};
-pub use metrics::ServerMetrics;
+pub use client::{Client, ClientConfig, ClientError, QueryOutcome};
+pub use metrics::{DurabilityView, ServerMetrics};
 pub use protocol::{
     ErrorCode, LiveSnapshot, ProtocolError, Request, Response, ResultMode, StatsSnapshot,
     WireStats, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, WIRE_MAGIC, WIRE_VERSION,

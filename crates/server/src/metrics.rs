@@ -38,6 +38,27 @@ pub struct ServerMetrics {
     pub live_errors: AtomicU64,
 }
 
+/// Durability counters sampled from the served live index at `STATS` time.
+/// Static servers (and live servers with durability off) use the zeroed
+/// [`Default`] view.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityView {
+    /// Mutations logged to the write-ahead log.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Crash recoveries performed when the live directory was opened.
+    pub recoveries: u64,
+    /// Mutation records replayed from the log during recovery.
+    pub recovered_records: u64,
+    /// Active fsync policy code (0 off, 1 record, 2 interval, 3 never).
+    pub fsync_policy: u64,
+    /// Background compaction passes that failed.
+    pub compaction_errors: u64,
+    /// Most recent background/durability failure, if any.
+    pub last_error: Option<String>,
+}
+
 impl ServerMetrics {
     /// Creates zeroed counters.
     pub fn new() -> Self {
@@ -58,6 +79,7 @@ impl ServerMetrics {
 
     /// Projects the counters plus the given serving context into the wire
     /// snapshot.
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
         index_name: String,
@@ -66,6 +88,7 @@ impl ServerMetrics {
         index_size_bytes: u64,
         workers: u64,
         queue_depth: u64,
+        durability: DurabilityView,
     ) -> StatsSnapshot {
         let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
@@ -88,6 +111,13 @@ impl ServerMetrics {
             flushes: read(&self.flushes),
             compactions: read(&self.compactions),
             live_errors: read(&self.live_errors),
+            wal_records: durability.wal_records,
+            wal_bytes: durability.wal_bytes,
+            recoveries: durability.recoveries,
+            recovered_records: durability.recovered_records,
+            fsync_policy: durability.fsync_policy,
+            compaction_errors: durability.compaction_errors,
+            last_error: durability.last_error.unwrap_or_default(),
         }
     }
 }
@@ -102,7 +132,15 @@ mod tests {
         ServerMetrics::inc(&metrics.connections);
         ServerMetrics::add(&metrics.occurrences, 41);
         ServerMetrics::inc(&metrics.occurrences);
-        let snap = metrics.snapshot("MWSA".into(), 2, 1000, 4096, 3, 16);
+        let snap = metrics.snapshot(
+            "MWSA".into(),
+            2,
+            1000,
+            4096,
+            3,
+            16,
+            DurabilityView::default(),
+        );
         assert_eq!(snap.index_name, "MWSA");
         assert_eq!(snap.generation, 2);
         assert_eq!(snap.corpus_len, 1000);

@@ -24,7 +24,9 @@
 //! [`Request::DeleteRange`], [`Request::Flush`], [`Request::Compact`], the
 //! [`Response::Live`] frame and the live counters of [`StatsSnapshot`]) and
 //! raised [`MAX_REQUEST_FRAME`] so an `APPEND` can carry a real batch of
-//! probability rows.
+//! probability rows. Version 3 added the durability counters and the
+//! `last_error` string to [`StatsSnapshot`] (WAL records/bytes, recovery
+//! counts, the active fsync policy, background-compaction failures).
 //!
 //! Requests: [`Request::Ping`], [`Request::Query`] (with a [`ResultMode`]
 //! mapping onto the `ius_query` sinks: collect-all, count-only, first-`k`),
@@ -43,7 +45,7 @@ use std::io::{self, Read};
 pub const WIRE_MAGIC: [u8; 4] = *b"IUSW";
 
 /// The current wire-protocol version.
-pub const WIRE_VERSION: u16 = 2;
+pub const WIRE_VERSION: u16 = 3;
 
 /// Fixed header size inside the payload: magic + version + request id + op.
 pub const HEADER_LEN: usize = 4 + 2 + 8 + 1;
@@ -230,6 +232,24 @@ pub struct StatsSnapshot {
     /// static server, alphabet mismatch, malformed rows, bad ranges,
     /// segment build failures).
     pub live_errors: u64,
+    /// Mutations logged to the live write-ahead log (0 when durability is
+    /// off or the server is static).
+    pub wal_records: u64,
+    /// Bytes appended to the live write-ahead log.
+    pub wal_bytes: u64,
+    /// Crash recoveries the served live index performed at open.
+    pub recoveries: u64,
+    /// Mutations replayed from the write-ahead log at open.
+    pub recovered_records: u64,
+    /// The active fsync policy: 0 durability off, 1 per-record,
+    /// 2 interval, 3 never.
+    pub fsync_policy: u64,
+    /// Background live-compaction rounds that failed (retried
+    /// automatically; see `last_error`).
+    pub compaction_errors: u64,
+    /// The most recent background/durability error of the served live
+    /// index (empty when none).
+    pub last_error: String,
 }
 
 /// The answer to every live-corpus mutation (`APPEND` / `DELETE_RANGE` /
@@ -555,9 +575,16 @@ pub fn encode_response(id: u64, response: &Response, out: &mut Vec<u8>) {
                 snapshot.flushes,
                 snapshot.compactions,
                 snapshot.live_errors,
+                snapshot.wal_records,
+                snapshot.wal_bytes,
+                snapshot.recoveries,
+                snapshot.recovered_records,
+                snapshot.fsync_policy,
+                snapshot.compaction_errors,
             ] {
                 push_u64(out, v);
             }
+            push_str(out, &snapshot.last_error);
         }
         Response::Reloaded { generation } => {
             begin_frame(out, id, ST_RELOADED);
@@ -795,13 +822,14 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
         }
         ST_STATS => {
             let index_name = cur.string("index name")?;
-            let mut vals = [0u64; 18];
+            let mut vals = [0u64; 24];
             for (i, v) in vals.iter_mut().enumerate() {
                 *v = cur.u64(match i {
                     0 => "generation",
                     _ => "stats counter",
                 })?;
             }
+            let last_error = cur.string("last error")?;
             Response::Stats(StatsSnapshot {
                 index_name,
                 generation: vals[0],
@@ -822,6 +850,13 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
                 flushes: vals[15],
                 compactions: vals[16],
                 live_errors: vals[17],
+                wal_records: vals[18],
+                wal_bytes: vals[19],
+                recoveries: vals[20],
+                recovered_records: vals[21],
+                fsync_policy: vals[22],
+                compaction_errors: vals[23],
+                last_error,
             })
         }
         ST_RELOADED => Response::Reloaded {
@@ -993,6 +1028,13 @@ mod tests {
             flushes: 9,
             compactions: 4,
             live_errors: 2,
+            wal_records: 4099,
+            wal_bytes: 1 << 20,
+            recoveries: 1,
+            recovered_records: 17,
+            fsync_policy: 2,
+            compaction_errors: 1,
+            last_error: "background compaction failed (will retry): disk full".to_string(),
         }));
         round_trip_response(Response::Live(LiveSnapshot {
             corpus_len: 123_456,

@@ -29,7 +29,7 @@
 //! current request always completes but idle connections are released
 //! promptly.
 
-use crate::metrics::ServerMetrics;
+use crate::metrics::{DurabilityView, ServerMetrics};
 use crate::pool::AdmissionQueue;
 use crate::protocol::{
     decode_header, decode_query_body, decode_request_body, encode_matches_from_slice,
@@ -729,6 +729,21 @@ fn answer(shared: &Shared, id: u64, request: Request, buffers: &mut WorkerBuffer
         Request::Query { mode, pattern } => answer_query(shared, id, mode, &pattern, buffers),
         Request::Stats => {
             let state = shared.state.lock().expect("state lock").clone();
+            let durability = match state.index.live_index() {
+                Some(live) => {
+                    let stats = live.live_stats();
+                    DurabilityView {
+                        wal_records: stats.wal_records,
+                        wal_bytes: stats.wal_bytes,
+                        recoveries: stats.recoveries,
+                        recovered_records: stats.recovered_records,
+                        fsync_policy: stats.fsync_policy,
+                        compaction_errors: stats.compaction_errors,
+                        last_error: stats.last_error,
+                    }
+                }
+                None => DurabilityView::default(),
+            };
             let snapshot: StatsSnapshot = shared.metrics.snapshot(
                 state.index.name(),
                 state.generation,
@@ -736,6 +751,7 @@ fn answer(shared: &Shared, id: u64, request: Request, buffers: &mut WorkerBuffer
                 state.index.size_bytes() as u64,
                 shared.workers as u64,
                 shared.queue_depth as u64,
+                durability,
             );
             encode_response(id, &Response::Stats(snapshot), &mut buffers.out);
         }

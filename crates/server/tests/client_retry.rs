@@ -1,0 +1,164 @@
+//! Client resilience against a flaky listener: bounded backoff retries
+//! that reconnect through dropped connections, `OVERLOADED` refusals
+//! retried in place, honored read deadlines, a typed give-up once the
+//! budget runs dry — and *no* retries for mutations, which are not safe
+//! to resend.
+
+use ius_server::protocol::{
+    decode_request, encode_response, read_frame, ErrorCode, Response, MAX_REQUEST_FRAME,
+};
+use ius_server::{Client, ClientConfig, ClientError};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Tight deadlines and fast backoff so the tests run in milliseconds.
+fn retry_config(max_retries: u32) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Some(Duration::from_secs(2)),
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        max_retries,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(20),
+    }
+}
+
+/// Answers every well-formed frame on one connection with `PONG` until
+/// the peer hangs up.
+fn pong_loop(mut conn: TcpStream) {
+    let mut buf = Vec::new();
+    let mut out = Vec::new();
+    while let Ok(true) = read_frame(&mut conn, MAX_REQUEST_FRAME, &mut buf) {
+        let (id, _request) = decode_request(&buf).expect("well-formed request");
+        encode_response(id, &Response::Pong, &mut out);
+        if conn.write_all(&out).is_err() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn ping_reconnects_through_dropped_connections() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // The first two connections die instantly; the third one serves.
+        for _ in 0..2 {
+            drop(listener.accept().unwrap());
+        }
+        let (conn, _) = listener.accept().unwrap();
+        pong_loop(conn);
+    });
+    let mut client = Client::connect_with(addr, retry_config(4)).expect("connect");
+    client
+        .ping()
+        .expect("ping must reconnect through two dropped connections");
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn overloaded_refusals_are_retried_in_place() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        // First frame: refuse admission (pre-parse refusals carry id 0).
+        assert!(read_frame(&mut conn, MAX_REQUEST_FRAME, &mut buf).unwrap());
+        encode_response(
+            0,
+            &Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full, retry later".into(),
+            },
+            &mut out,
+        );
+        conn.write_all(&out).unwrap();
+        // The retried frame arrives on the *same* connection and is served.
+        assert!(read_frame(&mut conn, MAX_REQUEST_FRAME, &mut buf).unwrap());
+        let (id, _request) = decode_request(&buf).unwrap();
+        encode_response(id, &Response::Pong, &mut out);
+        conn.write_all(&out).unwrap();
+    });
+    let mut client = Client::connect_with(addr, retry_config(2)).expect("connect");
+    client.ping().expect("retry past an OVERLOADED refusal");
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn retry_exhaustion_is_typed_and_bounded() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // Exactly 1 initial connection + 2 reconnects, every one dropped.
+        for _ in 0..3 {
+            drop(listener.accept().unwrap());
+        }
+    });
+    let mut client = Client::connect_with(addr, retry_config(2)).expect("connect");
+    match client.ping() {
+        Err(ClientError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 3, "first try plus two retries");
+            assert!(matches!(*last, ClientError::Io(_)), "{last:?}");
+        }
+        other => panic!("exhausted retries must surface typed, got {other:?}"),
+    }
+    server.join().unwrap();
+}
+
+#[test]
+fn read_deadline_bounds_a_stalled_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // Swallow the request and never answer; exit when the peer
+        // hangs up.
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut sink = [0u8; 256];
+        while matches!(conn.read(&mut sink), Ok(n) if n > 0) {}
+    });
+    let config = ClientConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..retry_config(0)
+    };
+    let mut client = Client::connect_with(addr, config).expect("connect");
+    let start = Instant::now();
+    match client.ping() {
+        Err(ClientError::Io(e)) => assert!(
+            matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a read timeout, got {e:?}"
+        ),
+        other => panic!("a stalled server must surface as a transport error, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "the deadline was not honored"
+    );
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn mutations_are_never_retried() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // Serve exactly one connection — and drop it at once. A retried
+        // mutation would need a second accept and would hang the client
+        // on connection-refused loops instead of failing plainly.
+        drop(listener.accept().unwrap());
+    });
+    let mut client = Client::connect_with(addr, retry_config(3)).expect("connect");
+    match client.append_rows(2, vec![0.5, 0.5]) {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("a mutation on a dead connection must fail plainly, got {other:?}"),
+    }
+    server.join().unwrap();
+}

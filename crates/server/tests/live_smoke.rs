@@ -157,6 +157,94 @@ fn live_serve_append_query_shutdown_roundtrip() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The acked-durable invariant at the process level: a server serving
+/// with `--fsync record` is SIGKILLed mid-stream, and every mutation it
+/// acked over the wire must survive into the reopened state — first
+/// checked by replaying the directory in-process, then by serving it
+/// again and comparing query answers over the wire.
+#[test]
+fn sigkill_crash_preserves_acked_mutations() {
+    use ius_live::{LiveConfig, LiveIndex};
+    let n = 2_000usize;
+    let dir = std::env::temp_dir().join(format!("ius-live-sigkill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create live dir");
+    let dir_arg = dir.to_str().expect("utf-8 temp dir");
+    let (server, addr) = spawn_serve(&[
+        "--live",
+        "--build",
+        "mwsa",
+        "--corpus",
+        "uniform",
+        "--n",
+        "2000",
+        "--live-dir",
+        dir_arg,
+        "--fsync",
+        "record",
+        // Keep every mutation out of the checkpoint: recovery must come
+        // from the WAL alone.
+        "--flush-threshold",
+        "100000",
+        "--port",
+        "0",
+        "--workers",
+        "2",
+    ]);
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Three acked appends and one acked delete, all only in the WAL.
+    let mut acked = n as u64;
+    for seed in [11, 12, 13] {
+        let batch = bench_corpus("uniform", 40, Some(seed)).expect("preset").x;
+        let snapshot = client.append(&batch).expect("acked append");
+        acked += 40;
+        assert_eq!(snapshot.corpus_len, acked);
+    }
+    client.delete_range(10, 30).expect("acked delete");
+    let before = client.query(&[0u8; 64]).expect("query before crash");
+    let stats = client.stats().expect("stats before crash");
+    assert_eq!(stats.fsync_policy, 1, "record policy on the wire");
+    assert_eq!(stats.wal_records, 4);
+    assert!(stats.wal_bytes > 0);
+    assert_eq!(stats.recoveries, 0);
+    assert_eq!(stats.last_error, "");
+
+    // SIGKILL — no graceful save, no WAL rotation, no flush.
+    drop(client);
+    drop(server);
+
+    // In-process reopen replays the log tail.
+    let live = LiveIndex::open(&dir, LiveConfig::default()).expect("reopen crashed dir");
+    assert_eq!(live.len() as u64, acked, "every acked append survived");
+    let stats = live.live_stats();
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.recovered_records, 4);
+    assert_eq!(stats.tombstones, 1, "the acked delete survived");
+    drop(live);
+
+    // A fresh server over the same directory answers as before the crash.
+    let (server, addr) = spawn_serve(&[
+        "--live",
+        "--live-dir",
+        dir_arg,
+        "--fsync",
+        "record",
+        "--port",
+        "0",
+    ]);
+    let mut client = Client::connect(addr).expect("reconnect");
+    let stats = client.stats().expect("stats after crash");
+    assert_eq!(stats.corpus_len, acked);
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.recovered_records, 4);
+    let after = client.query(&[0u8; 64]).expect("query after crash");
+    assert_eq!(after.positions, before.positions);
+    client.shutdown().expect("shutdown recovered server");
+    server.wait_success();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn static_servers_refuse_live_mutations_typed() {
     use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant};

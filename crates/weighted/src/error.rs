@@ -53,6 +53,10 @@ pub enum Error {
     },
     /// Parameters passed to a builder are inconsistent.
     InvalidParameters(String),
+    /// A durability I/O operation (write-ahead logging, checkpointing)
+    /// failed; the message carries the underlying `io::Error`. The
+    /// mutation that triggered it was **not** applied.
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -83,6 +87,7 @@ impl fmt::Display for Error {
                  pattern length {upper_bound}"
             ),
             Error::InvalidParameters(reason) => write!(f, "invalid parameters: {reason}"),
+            Error::Io(reason) => write!(f, "durability I/O error: {reason}"),
         }
     }
 }
