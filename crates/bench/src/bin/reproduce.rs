@@ -21,7 +21,7 @@ use ius_bench::measure::{
 };
 use ius_bench::query_bench::{render_query_json, run_query_bench, QueryBenchConfig};
 use ius_bench::recovery_bench::{render_recovery_json, run_recovery_bench, RecoveryBenchConfig};
-use ius_bench::report::{render_csv, render_table, Row};
+use ius_bench::report::{default_thread_sweep, host_cpus, render_csv, render_table, Row};
 use ius_bench::serve_bench::{render_serve_json, run_serve_bench, ServeBenchConfig};
 use ius_bench::space_bench::{render_space_json, run_space_bench, SpaceBenchConfig};
 use ius_bench::update_bench::{render_update_json, run_update_bench, UpdateBenchConfig};
@@ -58,7 +58,7 @@ struct Config {
     bench_n: usize,
     bench_reps: usize,
     bench_patterns: usize,
-    bench_threads: Option<usize>,
+    bench_threads: Option<Vec<usize>>,
     bench_shards: Vec<usize>,
     bench_workers: Vec<usize>,
     bench_clients: usize,
@@ -91,6 +91,10 @@ fn main() {
         let bench_config = ConstructionBenchConfig {
             n: config.bench_n,
             reps: config.bench_reps,
+            threads: config
+                .bench_threads
+                .clone()
+                .unwrap_or_else(default_thread_sweep),
         };
         let results = run_construction_bench(&bench_config);
         let json = render_json(&bench_config, &results);
@@ -113,8 +117,17 @@ fn main() {
             n: config.bench_n,
             reps: config.bench_reps,
             patterns: config.bench_patterns,
+            // The batched query path takes one worker count: the widest
+            // entry of the sweep (0 = all CPUs).
             threads: config
                 .bench_threads
+                .as_ref()
+                .and_then(|sweep| {
+                    sweep
+                        .iter()
+                        .map(|&t| if t == 0 { host_cpus() } else { t })
+                        .max()
+                })
                 .unwrap_or_else(|| QueryBenchConfig::default().threads),
         };
         let results = run_query_bench(&bench_config);
@@ -139,6 +152,10 @@ fn main() {
             reps: config.bench_reps,
             patterns: config.bench_patterns.min(200),
             shard_counts: config.bench_shards.clone(),
+            threads: config
+                .bench_threads
+                .clone()
+                .unwrap_or_else(default_thread_sweep),
         };
         let results = run_space_bench(&bench_config);
         let json = render_space_json(&bench_config, &results);
@@ -186,6 +203,10 @@ fn main() {
             reps: config.bench_reps,
             patterns: config.bench_patterns.min(400),
             batch: config.bench_batch,
+            threads: config
+                .bench_threads
+                .clone()
+                .unwrap_or_else(default_thread_sweep),
             ..Default::default()
         };
         let results = run_update_bench(&bench_config);
@@ -321,7 +342,10 @@ fn print_help() {
          \x20 --bench-reps <r>     repetitions per timed side for --bench-* (default 3)\n\
          \x20 --bench-patterns <p> query patterns per dataset for --bench-query/--bench-space/\n\
          \x20                      --bench-serve (default 400; space/serve cap at 200/400)\n\
-         \x20 --bench-threads <t>  batch workers for --bench-query (default: all CPUs)\n\
+         \x20 --bench-threads <t,..> thread sweep (0 = all CPUs): the multi-core sweep of\n\
+         \x20                      --bench-construction/--bench-space/--bench-update, and\n\
+         \x20                      the batch worker count for --bench-query (widest entry)\n\
+         \x20                      (default: 1,2,all CPUs)\n\
          \x20 --bench-shards <s,..> shard counts for --bench-space (default 1,4,8)\n\
          \x20 --bench-workers <w,..> worker-pool sizes for --bench-serve (default 1,2,4)\n\
          \x20 --bench-clients <c>  concurrent client threads for --bench-serve (default 4)\n\
@@ -463,12 +487,17 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                 i += 2;
             }
             "--bench-threads" => {
-                bench_threads = Some(
-                    args.get(i + 1)
-                        .ok_or("--bench-threads needs a value")?
-                        .parse()
-                        .map_err(|e| format!("bad --bench-threads: {e}"))?,
-                );
+                let sweep = args
+                    .get(i + 1)
+                    .ok_or("--bench-threads needs a value")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map_err(|e| format!("bad --bench-threads: {e}"))?;
+                if sweep.is_empty() {
+                    return Err("--bench-threads needs at least one count".into());
+                }
+                bench_threads = Some(sweep);
                 i += 2;
             }
             "--exp" => {

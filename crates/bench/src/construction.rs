@@ -13,7 +13,7 @@
 //! timing is trusted.
 
 use ius_datasets::corpora::bench_corpus;
-use ius_index::{IndexParams, IndexVariant, MinimizerIndex};
+use ius_index::{IndexParams, IndexVariant, MinimizerIndex, UncertainIndex};
 use ius_sampling::{KmerOrder, MinimizerScheme};
 use ius_text::sa::{suffix_array, suffix_array_prefix_doubling};
 use ius_weighted::{HeavyString, WeightedString, ZEstimation};
@@ -26,6 +26,10 @@ pub struct ConstructionBenchConfig {
     pub n: usize,
     /// Repetitions per fast stage (the minimum is reported).
     pub reps: usize,
+    /// Thread counts of the parallel-construction sweep (each point builds
+    /// the z-estimation and the index at that fan-out, asserted
+    /// byte-identical to the serial build before timing is trusted).
+    pub threads: Vec<usize>,
 }
 
 impl Default for ConstructionBenchConfig {
@@ -33,7 +37,27 @@ impl Default for ConstructionBenchConfig {
         Self {
             n: 100_000,
             reps: 3,
+            threads: crate::report::default_thread_sweep(),
         }
+    }
+}
+
+/// One point of the multi-core construction sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPoint {
+    /// Executor fan-out of this point.
+    pub threads: usize,
+    /// Milliseconds of `ZEstimation::build_with_threads` at this fan-out.
+    pub z_estimation_ms: f64,
+    /// Milliseconds of the explicit MWSA build (parallel factor sorts) at
+    /// this fan-out.
+    pub index_build_ms: f64,
+}
+
+impl ThreadPoint {
+    /// End-to-end milliseconds (estimation + index build).
+    pub fn pipeline_ms(&self) -> f64 {
+        self.z_estimation_ms + self.index_build_ms
     }
 }
 
@@ -78,6 +102,10 @@ pub struct DatasetBench {
     pub index_build: StageTiming,
     /// End-to-end construction (z-estimation + index build).
     pub pipeline: StageTiming,
+    /// The multi-core sweep: the "new" estimation + index build re-timed at
+    /// every configured executor fan-out, outputs asserted identical to the
+    /// serial build.
+    pub thread_sweep: Vec<ThreadPoint>,
 }
 
 fn ms(start: Instant) -> f64 {
@@ -104,6 +132,7 @@ fn bench_dataset(
     z: f64,
     ell: usize,
     reps: usize,
+    threads: &[usize],
 ) -> DatasetBench {
     eprintln!(
         "[bench-construction] {name} (n = {}, z = {z}, ell = {ell})",
@@ -184,6 +213,60 @@ fn bench_dataset(
         pipeline.speedup()
     );
 
+    // The multi-core sweep: the parallel estimation and index build at each
+    // configured fan-out, asserted identical to the serial results before
+    // the timing is trusted.
+    let mut thread_sweep = Vec::with_capacity(threads.len());
+    for &t in threads {
+        let (est_t, z_ms) = time_min(reps.min(2), || {
+            ZEstimation::build_with_threads(x, z, t).expect("parallel estimation")
+        });
+        for (a, b) in est_t.strands().iter().zip(est.strands()) {
+            assert_eq!(
+                a.seq(),
+                b.seq(),
+                "parallel z-estimation differs on {name} (t = {t})"
+            );
+            assert_eq!(
+                a.extents(),
+                b.extents(),
+                "parallel extents differ on {name} (t = {t})"
+            );
+        }
+        drop(est_t);
+        let (idx_t, build_ms) = time_min(reps.min(2), || {
+            MinimizerIndex::build_from_estimation_with_threads(
+                x,
+                &est,
+                params_idx,
+                IndexVariant::Array,
+                t,
+            )
+            .expect("parallel build")
+        });
+        assert_eq!(
+            idx_t.num_sampled_factors(),
+            idx_new.num_sampled_factors(),
+            "parallel factor counts differ on {name} (t = {t})"
+        );
+        assert_eq!(
+            idx_t.size_bytes(),
+            idx_new.size_bytes(),
+            "parallel index size differs on {name} (t = {t})"
+        );
+        drop(idx_t);
+        let point = ThreadPoint {
+            threads: t,
+            z_estimation_ms: z_ms,
+            index_build_ms: build_ms,
+        };
+        eprintln!(
+            "  threads={t:<3}      est {z_ms:9.1} ms  build {build_ms:9.1} ms  pipeline {:9.1} ms",
+            point.pipeline_ms()
+        );
+        thread_sweep.push(point);
+    }
+
     DatasetBench {
         name: name.to_string(),
         params,
@@ -206,6 +289,7 @@ fn bench_dataset(
             new_ms: build_new,
         },
         pipeline,
+        thread_sweep,
     }
 }
 
@@ -222,6 +306,8 @@ pub fn run_construction_bench(config: &ConstructionBenchConfig) -> Vec<DatasetBe
     // dominates) instead of its query-regime ell = 24.
     let corpus = |name: &str| bench_corpus(name, n, None).expect("known corpus name");
 
+    let threads = &config.threads;
+
     let uniform = corpus("uniform");
     results.push(bench_dataset(
         uniform.name,
@@ -230,6 +316,7 @@ pub fn run_construction_bench(config: &ConstructionBenchConfig) -> Vec<DatasetBe
         uniform.z,
         uniform.ell,
         reps,
+        threads,
     ));
 
     let uniform_he = corpus("uniform_high_entropy");
@@ -240,6 +327,7 @@ pub fn run_construction_bench(config: &ConstructionBenchConfig) -> Vec<DatasetBe
         uniform_he.z,
         128,
         reps,
+        threads,
     ));
 
     let pangenome = corpus("pangenome");
@@ -250,6 +338,7 @@ pub fn run_construction_bench(config: &ConstructionBenchConfig) -> Vec<DatasetBe
         pangenome.z,
         pangenome.ell,
         reps,
+        threads,
     ));
 
     let rssi = corpus("rssi");
@@ -260,6 +349,7 @@ pub fn run_construction_bench(config: &ConstructionBenchConfig) -> Vec<DatasetBe
         rssi.z,
         rssi.ell,
         reps,
+        threads,
     ));
 
     results
@@ -278,7 +368,11 @@ pub fn render_json(config: &ConstructionBenchConfig, results: &[DatasetBench]) -
     }
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str(&format!("  \"n\": {},\n", config.n));
+    out.push_str(&format!(
+        "  \"n\": {}, {},\n",
+        config.n,
+        crate::report::json_host_fields(&config.threads)
+    ));
     out.push_str(
         "  \"note\": \"old = retained pre-overhaul implementations (prefix-doubling SA, \
          reference z-estimation, cloning factor encoder); new = SA-IS, level-merged \
@@ -286,7 +380,9 @@ pub fn render_json(config: &ConstructionBenchConfig, results: &[DatasetBench]) -
          repetition count and outputs are asserted identical before timing. Exception: \
          the minimizer_scan row compares the per-window rescan ALGORITHM (the seed's \
          test oracle; its production scan already used the monotone deque) and is \
-         excluded from construction_pipeline.\",\n",
+         excluded from construction_pipeline. thread_sweep re-times the new estimation \
+         and index build at each executor fan-out (parallel transpose, parallel factor \
+         sorts); every point's output is asserted identical to the serial build.\",\n",
     );
     out.push_str("  \"datasets\": [\n");
     for (i, d) in results.iter().enumerate() {
@@ -303,7 +399,24 @@ pub fn render_json(config: &ConstructionBenchConfig, results: &[DatasetBench]) -
         out.push_str(&stage("index_build", &d.index_build));
         out.push_str(",\n");
         out.push_str(&stage("construction_pipeline", &d.pipeline));
-        out.push('\n');
+        out.push_str(",\n");
+        out.push_str("      \"thread_sweep\": [\n");
+        for (j, p) in d.thread_sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"threads\": {}, \"z_estimation_ms\": {:.2}, \
+                 \"index_build_ms\": {:.2}, \"pipeline_ms\": {:.2} }}{}\n",
+                p.threads,
+                p.z_estimation_ms,
+                p.index_build_ms,
+                p.pipeline_ms(),
+                if j + 1 == d.thread_sweep.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("      ]\n");
         out.push_str(if i + 1 == results.len() {
             "    }\n"
         } else {

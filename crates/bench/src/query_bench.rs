@@ -312,8 +312,12 @@ pub fn render_query_json(config: &QueryBenchConfig, results: &[QueryDatasetBench
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {}, \"batch_threads\": {},\n",
-        config.n, config.patterns, config.reps, config.threads
+        "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {}, \"batch_threads\": {}, {},\n",
+        config.n,
+        config.patterns,
+        config.reps,
+        config.threads,
+        crate::report::json_host_fields(&[config.threads])
     ));
     out.push_str(
         "  \"note\": \"old = retained pre-overhaul query path (query_reference: per-call \

@@ -320,8 +320,13 @@ pub fn render_recovery_json(config: &RecoveryBenchConfig, result: &RecoveryBench
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"n\": {}, \"ops\": {}, \"batch\": {}, \"reps\": {}, \"family\": \"MWSA segments\",\n",
-        config.n, config.ops, config.batch, config.reps
+        "  \"n\": {}, \"ops\": {}, \"batch\": {}, \"reps\": {}, \"family\": \"MWSA segments\", \
+         {},\n",
+        config.n,
+        config.ops,
+        config.batch,
+        config.reps,
+        crate::report::json_host_fields(&[1])
     ));
     out.push_str(
         "  \"note\": \"Append-path cost of the live write-ahead log on the uniform corpus: \

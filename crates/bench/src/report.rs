@@ -1,6 +1,49 @@
-//! Result rows and their text/CSV rendering.
+//! Result rows and their text/CSV rendering, plus the host/thread metadata
+//! shared by every `BENCH_*.json` document.
 
 use std::fmt::Write as _;
+
+/// Logical CPUs of the benchmarking host (1 when undetectable). Recorded in
+/// every `BENCH_*.json` so multi-core sweeps can be read in context.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+}
+
+/// The default thread sweep of the multi-core benchmarks: {1, 2, all CPUs},
+/// deduplicated and sorted (so a single-CPU host sweeps just `[1]`).
+pub fn default_thread_sweep() -> Vec<usize> {
+    let mut sweep = vec![1, 2, host_cpus()];
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+/// Renders a `usize` list as a JSON array (`[1, 2, 8]`).
+pub fn json_usize_list(values: &[usize]) -> String {
+    let mut out = String::with_capacity(values.len() * 4 + 2);
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the `"host_cpus": …, "threads": […]` JSON fragment every
+/// benchmark document embeds near its top (no surrounding braces, no
+/// trailing comma).
+pub fn json_host_fields(threads: &[usize]) -> String {
+    format!(
+        "\"host_cpus\": {}, \"threads\": {}",
+        host_cpus(),
+        json_usize_list(threads)
+    )
+}
 
 /// One measured data point of one experiment — a (series, x, metric) triple,
 /// comparable to a single marker in one of the paper's plots.
@@ -92,6 +135,20 @@ mod tests {
             metric: "index_size_mb".into(),
             value: 12.5,
         }
+    }
+
+    #[test]
+    fn host_fields_render_as_json_fragment() {
+        assert_eq!(json_usize_list(&[]), "[]");
+        assert_eq!(json_usize_list(&[1, 2, 8]), "[1, 2, 8]");
+        assert!(host_cpus() >= 1);
+        let sweep = default_thread_sweep();
+        assert_eq!(sweep.first(), Some(&1));
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sweep.last(), Some(&host_cpus().max(2)));
+        let fragment = json_host_fields(&sweep);
+        assert!(fragment.starts_with(&format!("\"host_cpus\": {}", host_cpus())));
+        assert!(fragment.contains("\"threads\": [1"));
     }
 
     #[test]

@@ -363,8 +363,12 @@ pub fn render_serve_json(config: &ServeBenchConfig, results: &[ServeDatasetBench
     out.push_str("{\n");
     out.push_str(&format!(
         "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {}, \"client_threads\": {}, \
-         \"family\": \"MWSA-G\",\n",
-        config.n, config.patterns, config.reps, config.clients
+         \"family\": \"MWSA-G\", {},\n",
+        config.n,
+        config.patterns,
+        config.reps,
+        config.clients,
+        crate::report::json_host_fields(&config.worker_counts)
     ));
     out.push_str(
         "  \"note\": \"Every row serves a persisted MWSA-G index loaded from disk over \

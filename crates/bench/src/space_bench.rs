@@ -42,6 +42,10 @@ pub struct SpaceBenchConfig {
     pub patterns: usize,
     /// Shard counts of the sharded-vs-unsharded throughput section.
     pub shard_counts: Vec<usize>,
+    /// Thread counts of the parallel shard-build sweep (each point builds
+    /// every shard configuration at that fan-out, asserted answer-identical
+    /// to the serial build).
+    pub threads: Vec<usize>,
 }
 
 impl Default for SpaceBenchConfig {
@@ -51,6 +55,7 @@ impl Default for SpaceBenchConfig {
             reps: 3,
             patterns: 200,
             shard_counts: vec![1, 4, 8],
+            threads: crate::report::default_thread_sweep(),
         }
     }
 }
@@ -85,12 +90,16 @@ impl FamilySpaceBench {
 pub struct ShardBench {
     /// Number of shards requested.
     pub shards: usize,
-    /// Milliseconds to build all per-shard indexes.
+    /// Milliseconds to build all per-shard indexes serially.
     pub build_ms: f64,
     /// Aggregate footprint (per-shard indexes + owned chunks).
     pub size_bytes: usize,
     /// Microseconds per query through the routing executor.
     pub query_us: f64,
+    /// `(threads, build_ms)` of the parallel shard-build sweep; every point
+    /// is asserted answer-identical to the serial build before its timing
+    /// is trusted.
+    pub build_sweep: Vec<(usize, f64)>,
 }
 
 /// All space measurements for one dataset configuration.
@@ -307,16 +316,45 @@ fn bench_dataset(
             );
         }
         let (_, query_us) = time_queries(&sharded, x, &patterns, config.reps);
+        // The multi-core sweep: rebuild the same configuration at each
+        // fan-out, asserted identical to the serial build before the
+        // timing is trusted.
+        let mut build_sweep = Vec::with_capacity(config.threads.len());
+        for &t in &config.threads {
+            let (parallel, parallel_ms) = time_min(1, || {
+                ShardedIndex::build_with_threads(x, shard_spec, shards, 2 * ell, t)
+                    .expect("parallel sharded build")
+            });
+            assert_eq!(
+                parallel.size_bytes(),
+                sharded.size_bytes(),
+                "S = {shards}, t = {t}: parallel shard build size drift"
+            );
+            for (pattern, expect) in patterns.iter().zip(&expected) {
+                assert_eq!(
+                    &parallel.query(pattern, x).expect("parallel sharded query"),
+                    expect,
+                    "S = {shards}, t = {t}: parallel shard build answers differently"
+                );
+            }
+            build_sweep.push((t, parallel_ms));
+        }
+        let sweep_label: Vec<String> = build_sweep
+            .iter()
+            .map(|(t, ms)| format!("t{t}={ms:.0}ms"))
+            .collect();
         eprintln!(
             "  sharded S={shards:<2} build {build_ms:>8.1} ms  size {:>8.2} MB  query {query_us:>8.2} us \
-             (unsharded {unsharded_query_us:.2} us)",
+             (unsharded {unsharded_query_us:.2} us)  sweep [{}]",
             sharded.size_bytes() as f64 / 1e6,
+            sweep_label.join(", "),
         );
         sharded_results.push(ShardBench {
             shards,
             build_ms,
             size_bytes: sharded.size_bytes(),
             query_us,
+            build_sweep,
         });
     }
 
@@ -358,8 +396,11 @@ pub fn render_space_json(config: &SpaceBenchConfig, results: &[SpaceDatasetBench
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {},\n",
-        config.n, config.patterns, config.reps
+        "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {}, {},\n",
+        config.n,
+        config.patterns,
+        config.reps,
+        crate::report::json_host_fields(&config.threads)
     ));
     out.push_str(
         "  \"note\": \"size_bytes = in-memory footprint reported by the index (cross-checked \
@@ -402,13 +443,20 @@ pub fn render_space_json(config: &SpaceBenchConfig, results: &[SpaceDatasetBench
         ));
         out.push_str("      \"sharded\": [\n");
         for (j, s) in d.sharded.iter().enumerate() {
+            let sweep: Vec<String> = s
+                .build_sweep
+                .iter()
+                .map(|(t, ms)| format!("{{ \"threads\": {t}, \"build_ms\": {ms:.2} }}"))
+                .collect();
             out.push_str(&format!(
                 "        {{ \"shards\": {}, \"build_ms\": {:.2}, \"size_bytes\": {}, \
-                 \"query_us\": {:.3}, \"outputs_identical_to_unsharded\": true }}{}\n",
+                 \"query_us\": {:.3}, \"build_sweep\": [{}], \
+                 \"outputs_identical_to_unsharded\": true }}{}\n",
                 s.shards,
                 s.build_ms,
                 s.size_bytes,
                 s.query_us,
+                sweep.join(", "),
                 if j + 1 == d.sharded.len() { "" } else { "," }
             ));
         }
@@ -437,10 +485,13 @@ mod tests {
             reps: 1,
             patterns: 10,
             shard_counts: vec![1, 2],
+            threads: vec![1, 2, 3],
         };
         let results = run_space_bench(&config);
         assert_eq!(results.len(), 3);
         let json = render_space_json(&config, &results);
+        assert!(json.contains("\"host_cpus\":"));
+        assert!(json.contains("\"threads\": [1, 2, 3]"));
         for d in &results {
             assert!(!d.families.is_empty());
             assert_eq!(d.sharded.len(), 2);
@@ -451,6 +502,7 @@ mod tests {
             }
             for s in &d.sharded {
                 assert!(s.size_bytes > 0 && s.query_us > 0.0);
+                assert_eq!(s.build_sweep.len(), 3);
             }
         }
     }

@@ -50,6 +50,10 @@ pub struct UpdateBenchConfig {
     /// Concurrent query threads hammering the index while the compaction
     /// rounds run.
     pub load_threads: usize,
+    /// Segment-build executor widths swept after the main phases: the
+    /// whole ingest + tiered compaction is repeated at each count and
+    /// asserted answer-identical to the rebuilt index (0 = all CPUs).
+    pub threads: Vec<usize>,
 }
 
 impl Default for UpdateBenchConfig {
@@ -61,6 +65,7 @@ impl Default for UpdateBenchConfig {
             batch: 2_000,
             flush_threshold: 0,
             load_threads: 2,
+            threads: crate::report::default_thread_sweep(),
         }
     }
 }
@@ -74,6 +79,19 @@ pub struct QueryPhase {
     /// Average collect-mode latency per pattern, microseconds (best of
     /// `reps` sweeps).
     pub avg_query_us: f64,
+}
+
+/// One point of the multi-core sweep: the full ingest and the tiered
+/// compaction rounds repeated with the segment-build executor at a given
+/// width, every answer asserted identical to the rebuilt index.
+#[derive(Debug, Clone)]
+pub struct UpdateThreadPoint {
+    /// Executor width the `LiveIndex` was configured with.
+    pub threads: usize,
+    /// Wall time of the batch-by-batch ingest (including flushes), s.
+    pub ingest_s: f64,
+    /// Wall time of the tiered compaction rounds to quiescence, s.
+    pub compact_s: f64,
 }
 
 /// The compaction-under-load stage.
@@ -126,6 +144,8 @@ pub struct UpdateDatasetBench {
     pub full_merge: QueryPhase,
     /// `pre_compaction.avg_query_us / post_compaction.avg_query_us`.
     pub compaction_speedup: f64,
+    /// Ingest + compaction repeated at each configured executor width.
+    pub thread_sweep: Vec<UpdateThreadPoint>,
 }
 
 /// Asserts that the live index answers **byte-identically** to the
@@ -370,6 +390,63 @@ fn bench_dataset(
     live.compact_full().expect("full merge");
     assert_identical(&live, &rebuilt, x, &patterns, &expected, "full-merge");
     let full = query_phase(&live, &patterns, config.reps);
+
+    // Multi-core sweep: repeat the whole ingest and the tiered rounds
+    // with the segment-build executor at each configured width, and
+    // assert the answers stay identical to the rebuilt index every time.
+    let mut thread_sweep = Vec::with_capacity(config.threads.len());
+    for &t in &config.threads {
+        let sweep_live = LiveIndex::new(
+            x.alphabet().clone(),
+            spec,
+            max_pattern_len,
+            LiveConfig {
+                flush_threshold,
+                compact_fanout: 4,
+                auto_compact: false,
+                threads: t,
+            },
+        )
+        .expect("sweep live index");
+        let ingest_start = Instant::now();
+        let mut offset = 0usize;
+        while offset < x.len() {
+            let end = (offset + config.batch).min(x.len());
+            sweep_live
+                .append(&x.substring(offset, end).expect("sweep batch"))
+                .expect("sweep append");
+            offset = end;
+        }
+        sweep_live.flush().expect("sweep flush");
+        let ingest_s = ingest_start.elapsed().as_secs_f64();
+        let compact_start = Instant::now();
+        while sweep_live.compact_once().expect("sweep tiered round") > 0 {}
+        let compact_s = compact_start.elapsed().as_secs_f64();
+        assert_identical(
+            &sweep_live,
+            &rebuilt,
+            x,
+            &patterns,
+            &expected,
+            "thread-sweep",
+        );
+        thread_sweep.push(UpdateThreadPoint {
+            threads: t,
+            ingest_s,
+            compact_s,
+        });
+    }
+    eprintln!(
+        "  sweep [{}]",
+        thread_sweep
+            .iter()
+            .map(|p| format!(
+                "t={}: ingest {:.2} s, compact {:.2} s",
+                p.threads, p.ingest_s, p.compact_s
+            ))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
     eprintln!(
         "  compaction: {merges} merges in {duration_s:.2} s under {} concurrent queries; \
          {} -> {} -> {} segments, {:.1} -> {:.1} -> {:.1} us/pattern",
@@ -404,6 +481,7 @@ fn bench_dataset(
         post_compaction: post,
         full_merge: full,
         compaction_speedup: 0.0, // filled below
+        thread_sweep,
     }
     .with_speedup()
 }
@@ -439,8 +517,12 @@ pub fn render_update_json(config: &UpdateBenchConfig, results: &[UpdateDatasetBe
     out.push_str("{\n");
     out.push_str(&format!(
         "  \"n\": {}, \"patterns_per_dataset\": {}, \"reps\": {}, \"append_batch\": {}, \
-         \"family\": \"MWSA-G segments\",\n",
-        config.n, config.patterns, config.reps, config.batch
+         \"family\": \"MWSA-G segments\", {},\n",
+        config.n,
+        config.patterns,
+        config.reps,
+        config.batch,
+        crate::report::json_host_fields(&config.threads)
     ));
     out.push_str(
         "  \"note\": \"Each dataset's final corpus is streamed batch-by-batch into a \
@@ -454,8 +536,9 @@ pub fn render_update_json(config: &UpdateBenchConfig, results: &[UpdateDatasetBe
          is the median (append + immediate probe query) wall time, appends being \
          synchronously visible. avg_query_us is the best-of-reps sweep average in collect \
          mode; rebuilt_avg_query_us is the same sweep on the static rebuilt index \
-         (the fan-out cost floor). Single-CPU host: compaction ran interleaved with the \
-         load threads, not parallel to them.\",\n",
+         (the fan-out cost floor). thread_sweep repeats the whole ingest and the tiered \
+         rounds with the segment-build executor at each width in threads (0 = all CPUs), \
+         asserting the answers identical to the rebuilt index at every point.\",\n",
     );
     out.push_str("  \"datasets\": [\n");
     for (i, d) in results.iter().enumerate() {
@@ -499,6 +582,20 @@ pub fn render_update_json(config: &UpdateBenchConfig, results: &[UpdateDatasetBe
             "      \"rebuilt_single_index_avg_query_us\": {:.1},\n",
             d.rebuilt_avg_query_us
         ));
+        let sweep: Vec<String> = d
+            .thread_sweep
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{ \"threads\": {}, \"ingest_s\": {:.3}, \"compact_s\": {:.3} }}",
+                    p.threads, p.ingest_s, p.compact_s
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "      \"thread_sweep\": [{}],\n",
+            sweep.join(", ")
+        ));
         out.push_str("      \"outputs_identical\": true\n");
         out.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -526,11 +623,16 @@ mod tests {
             batch: 300,
             flush_threshold: 0,
             load_threads: 2,
+            threads: vec![1, 2],
         };
         let results = run_update_bench(&config);
         assert_eq!(results.len(), 4);
         let json = render_update_json(&config, &results);
+        assert!(json.contains("\"host_cpus\":"));
+        assert!(json.contains("\"threads\": [1, 2]"));
         for d in &results {
+            assert_eq!(d.thread_sweep.len(), 2);
+            assert!(d.thread_sweep.iter().all(|p| p.ingest_s > 0.0));
             assert!(json.contains(&format!("\"name\": \"{}\"", d.name)));
             assert!(d.append_throughput_pos_s > 0.0);
             assert!(d.flushes >= 1);

@@ -105,12 +105,35 @@ pub struct IndexSpec {
     pub family: IndexFamily,
     /// The ℓ-Weighted-Indexing instance parameters.
     pub params: IndexParams,
+    /// Construction fan-out on the shared [`ius_exec::Executor`] (1 = serial,
+    /// 0 = all CPUs). A build-time knob only: it is not part of the persisted
+    /// parameters, and the built index is byte-identical at every value.
+    threads: usize,
 }
 
 impl IndexSpec {
-    /// Creates a descriptor.
+    /// Creates a descriptor (serial construction; see
+    /// [`IndexSpec::with_threads`]).
     pub fn new(family: IndexFamily, params: IndexParams) -> Self {
-        Self { family, params }
+        Self {
+            family,
+            params,
+            threads: 1,
+        }
+    }
+
+    /// Fans construction out over `threads` workers (0 = all CPUs): the
+    /// z-estimation transpose and the factor sorts run on the shared
+    /// executor. Queries and persistence are unaffected — the built index is
+    /// byte-identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The construction fan-out (1 = serial, 0 = all CPUs).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The minimum pattern length this family will accept (`ℓ` for the
@@ -134,7 +157,7 @@ impl IndexSpec {
         match self.family {
             IndexFamily::Naive | IndexFamily::SpaceEfficient(_) => self.dispatch(x, None),
             _ => {
-                let estimation = ZEstimation::build(x, self.params.z)?;
+                let estimation = ZEstimation::build_with_threads(x, self.params.z, self.threads)?;
                 self.dispatch(x, Some(&estimation))
             }
         }
@@ -166,10 +189,18 @@ impl IndexSpec {
             IndexFamily::Wst => AnyIndex::Wst(Wst::build_from_estimation(est()?)?),
             IndexFamily::Wsa => AnyIndex::Wsa(Wsa::build_from_estimation(est()?)?),
             IndexFamily::Minimizer(variant) => AnyIndex::Minimizer(Box::new(
-                MinimizerIndex::build_from_estimation(x, est()?, self.params, variant)?,
+                MinimizerIndex::build_from_estimation_with_threads(
+                    x,
+                    est()?,
+                    self.params,
+                    variant,
+                    self.threads,
+                )?,
             )),
             IndexFamily::SpaceEfficient(variant) => AnyIndex::Minimizer(Box::new(
-                SpaceEfficientBuilder::new(self.params).build(x, variant)?,
+                SpaceEfficientBuilder::new(self.params)
+                    .with_threads(self.threads)
+                    .build(x, variant)?,
             )),
         })
     }

@@ -518,6 +518,21 @@ impl EncodedFactorSetBuilder {
     /// together with the LCP values of neighbouring factors (entry 0 is 0) —
     /// exactly what [`ius_text::trie::CompactedTrie::build`] needs.
     pub fn finish(self) -> (EncodedFactorSet, Vec<usize>) {
+        self.finish_with_threads(1)
+    }
+
+    /// [`EncodedFactorSetBuilder::finish`] with the sort fanned out over
+    /// `threads` workers (0 = all CPUs) on the shared [`ius_exec::Executor`].
+    ///
+    /// Each worker sorts a contiguous chunk of factor indices with the *same*
+    /// comparator the serial sort uses, extended by an original-index
+    /// tiebreak that makes the order a total order; a serial k-way merge then
+    /// combines the runs. Because the tiebroken comparator admits exactly one
+    /// sorted permutation, the emitted set is byte-identical to the serial
+    /// [`EncodedFactorSetBuilder::finish`] at every thread count (and
+    /// full-comparator ties are identical records anyway — same anchor, same
+    /// string, hence same mismatch list).
+    pub fn finish_with_threads(self, threads: usize) -> (EncodedFactorSet, Vec<usize>) {
         let n = self.heavy_forward.len();
         let heavy_view: Arc<Vec<u8>> = match self.direction {
             // Forward sets read the heavy string as-is: share the allocation.
@@ -537,7 +552,6 @@ impl EncodedFactorSetBuilder {
             }
         };
         let lce = LceIndex::new(&heavy_view);
-        let mut order: Vec<usize> = (0..self.factors.len()).collect();
         let factors = self.factors;
         // Packed prefix keys decide almost every comparison with one integer
         // compare; the O(log z) LCE comparator only breaks the ties of
@@ -546,7 +560,7 @@ impl EncodedFactorSetBuilder {
             .iter()
             .map(|f| prefix_key(f, &heavy_view, anchor_to_view(f.anchor_x) as usize))
             .collect();
-        order.sort_unstable_by(|&a, &b| {
+        let cmp = |a: usize, b: usize| {
             prefix_keys[a]
                 .cmp(&prefix_keys[b])
                 .then_with(|| {
@@ -561,7 +575,35 @@ impl EncodedFactorSetBuilder {
                 })
                 .then(factors[a].anchor_x.cmp(&factors[b].anchor_x))
                 .then(factors[a].strand.cmp(&factors[b].strand))
-        });
+                // Full-comparator ties are identical records; the index
+                // tiebreak pins one canonical permutation so chunked sorting
+                // and merging reproduce the serial order exactly.
+                .then(a.cmp(&b))
+        };
+        let executor = ius_exec::Executor::with_threads(threads);
+        let workers = executor.threads().min(factors.len().max(1));
+        let order: Vec<usize> = if workers <= 1 {
+            let mut order: Vec<usize> = (0..factors.len()).collect();
+            order.sort_unstable_by(|&a, &b| cmp(a, b));
+            order
+        } else {
+            let chunk = factors.len().div_ceil(workers);
+            let runs = executor.run(factors.len().div_ceil(chunk), |w| {
+                let lo = w * chunk;
+                let hi = (lo + chunk).min(factors.len());
+                let mut run: Vec<usize> = (lo..hi).collect();
+                run.sort_unstable_by(|&a, &b| cmp(a, b));
+                run
+            });
+            let runs: Vec<Vec<usize>> = runs
+                .into_iter()
+                .map(|outcome| match outcome {
+                    Ok(run) => run,
+                    Err(task_panic) => panic!("{task_panic}"),
+                })
+                .collect();
+            merge_sorted_runs(runs, &cmp)
+        };
 
         let total_mismatches: usize = factors.iter().map(|f| f.mismatches.len()).sum();
         let mut set = EncodedFactorSet {
@@ -677,6 +719,32 @@ impl EncodedFactorSetBuilder {
         }
         lcps
     }
+}
+
+/// Serial k-way merge of sorted index runs under a strict total order (the
+/// tiebroken factor comparator), the combine step of the parallel sort. The
+/// run count equals the worker count, so the per-element linear scan over
+/// run heads is cheap.
+fn merge_sorted_runs(runs: Vec<Vec<usize>>, cmp: &impl Fn(usize, usize) -> Ordering) -> Vec<usize> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut heads = vec![0usize; runs.len()];
+    let mut merged = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if heads[r] >= run.len() {
+                continue;
+            }
+            best = match best {
+                Some(b) if cmp(runs[b][heads[b]], run[heads[r]]).is_le() => Some(b),
+                _ => Some(r),
+            };
+        }
+        let b = best.expect("total counts the remaining elements");
+        merged.push(runs[b][heads[b]]);
+        heads[b] += 1;
+    }
+    merged
 }
 
 /// First index in `0..len` for which `pred` is false (`pred` must be
@@ -955,6 +1023,38 @@ mod tests {
                 let is_prefix = set.materialize(leaf).starts_with(&pattern);
                 let in_range = leaf >= lo && leaf < hi;
                 assert_eq!(is_prefix, in_range, "leaf {leaf} pattern {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_finish_is_byte_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        for direction in [Direction::Forward, Direction::Backward] {
+            let n = 70usize;
+            let sigma = 3u8;
+            let heavy: Arc<Vec<u8>> = Arc::new((0..n).map(|_| rng.gen_range(0..sigma)).collect());
+            let factors: Vec<PendingFactor> = (0..150)
+                .map(|_| random_factor(&mut rng, n, direction, sigma, &heavy))
+                .collect();
+            let mut serial_builder = EncodedFactorSetBuilder::new(direction, Arc::clone(&heavy));
+            for f in &factors {
+                serial_builder.push(f.clone());
+            }
+            let (serial, serial_lcps) = serial_builder.finish();
+            for threads in [2usize, 3, 8] {
+                let mut builder = EncodedFactorSetBuilder::new(direction, Arc::clone(&heavy));
+                for f in &factors {
+                    builder.push(f.clone());
+                }
+                let (parallel, lcps) = builder.finish_with_threads(threads);
+                assert_eq!(lcps, serial_lcps, "{direction:?} threads={threads}");
+                assert_eq!(parallel.anchor_x_raw(), serial.anchor_x_raw());
+                assert_eq!(parallel.lens_raw(), serial.lens_raw());
+                assert_eq!(parallel.strands_raw(), serial.strands_raw());
+                assert_eq!(parallel.mism_start_raw(), serial.mism_start_raw());
+                assert_eq!(parallel.mismatches_raw(), serial.mismatches_raw());
+                assert_eq!(parallel.prefix_keys_raw(), serial.prefix_keys_raw());
             }
         }
     }

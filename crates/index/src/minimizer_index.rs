@@ -110,6 +110,25 @@ impl MinimizerIndex {
         params: IndexParams,
         variant: IndexVariant,
     ) -> Result<Self> {
+        Self::build_from_estimation_with_threads(x, estimation, params, variant, 1)
+    }
+
+    /// [`MinimizerIndex::build_from_estimation`] with the factor sorts fanned
+    /// out over `threads` workers (0 = all CPUs) on the shared
+    /// [`ius_exec::Executor`]. The built index is byte-identical at every
+    /// thread count; the factor *collection* stays serial (it walks the
+    /// strands in order).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MinimizerIndex::build_from_estimation`].
+    pub fn build_from_estimation_with_threads(
+        x: &WeightedString,
+        estimation: &ZEstimation,
+        params: IndexParams,
+        variant: IndexVariant,
+        threads: usize,
+    ) -> Result<Self> {
         if (estimation.z() - params.z).abs() > 1e-9 {
             return Err(Error::InvalidParameters(format!(
                 "estimation built for z = {} but parameters say z = {}",
@@ -188,8 +207,8 @@ impl MinimizerIndex {
             }
         }
 
-        let (fwd, fwd_lcps) = fwd_builder.finish();
-        let (bwd, bwd_lcps) = bwd_builder.finish();
+        let (fwd, fwd_lcps) = fwd_builder.finish_with_threads(threads);
+        let (bwd, bwd_lcps) = bwd_builder.finish_with_threads(threads);
         Self::assemble(
             x, params, variant, heavy, fwd, fwd_lcps, bwd, bwd_lcps, "explicit",
         )

@@ -75,6 +75,28 @@ impl ShardedIndex {
         num_shards: usize,
         max_pattern_len: usize,
     ) -> Result<Self> {
+        Self::build_with_threads(x, spec, num_shards, max_pattern_len, 1)
+    }
+
+    /// [`ShardedIndex::build`] with the per-shard builds fanned out over
+    /// `build_threads` workers (0 = all CPUs) on the shared
+    /// [`ius_exec::Executor`]. Shard boundaries are planned serially before
+    /// the fan-out, each shard builds independently over its own chunk, and
+    /// errors propagate in shard order — the built index is byte-identical
+    /// to the serial [`ShardedIndex::build`] at every thread count. Keep the
+    /// `spec`'s own fan-out at 1 when building shards concurrently; nesting
+    /// the two multiplies the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedIndex::build`].
+    pub fn build_with_threads(
+        x: &WeightedString,
+        spec: IndexSpec,
+        num_shards: usize,
+        max_pattern_len: usize,
+        build_threads: usize,
+    ) -> Result<Self> {
         let n = x.len();
         if n == 0 {
             return Err(Error::EmptyInput("weighted string"));
@@ -104,20 +126,35 @@ impl ShardedIndex {
         }
         let overlap = overlap_len(max_pattern_len);
         let home = n.div_ceil(num_shards);
-        let mut shards = Vec::with_capacity(num_shards);
+        // Plan every shard's boundaries serially, then fan the independent
+        // chunk builds out; assembling in plan order keeps the shard list —
+        // and any propagated error — identical at every thread count.
+        let mut plans: Vec<(usize, usize)> = Vec::with_capacity(num_shards);
         let mut offset = 0usize;
         while offset < n {
             let home_len = home.min(n - offset);
+            plans.push((offset, home_len));
+            offset += home_len;
+        }
+        let executor = ius_exec::Executor::with_threads(build_threads);
+        let built = executor.run(plans.len(), |i| -> Result<Shard> {
+            let (offset, home_len) = plans[i];
             let end = chunk_end(offset, home_len, overlap, n);
             let chunk = x.substring(offset, end)?;
             let index = spec.build(&chunk)?;
-            shards.push(Shard {
+            Ok(Shard {
                 offset,
                 home_len,
                 x: chunk,
                 index,
-            });
-            offset += home_len;
+            })
+        });
+        let mut shards = Vec::with_capacity(plans.len());
+        for outcome in built {
+            match outcome {
+                Ok(shard) => shards.push(shard?),
+                Err(task_panic) => panic!("{task_panic}"),
+            }
         }
         Ok(Self {
             spec,
@@ -370,6 +407,37 @@ mod tests {
                     unsharded.query(pattern, &x).unwrap(),
                     "S = {num_shards}, pattern {:?}…",
                     &pattern[..4]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_shard_build_matches_serial_at_every_thread_count() {
+        let x = PangenomeConfig {
+            n: 900,
+            delta: 0.06,
+            seed: 41,
+            ..Default::default()
+        }
+        .generate();
+        let (z, ell) = (8.0, 16usize);
+        let params = IndexParams::new(z, ell, x.sigma()).unwrap();
+        let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::Array), params);
+        let serial = ShardedIndex::build(&x, spec, 5, 2 * ell).unwrap();
+        let est = ZEstimation::build(&x, z).unwrap();
+        let mut sampler = PatternSampler::new(&est, 3);
+        let patterns = sampler.sample_many(ell, 15);
+        assert!(!patterns.is_empty());
+        for threads in [2usize, 3, 8] {
+            let parallel = ShardedIndex::build_with_threads(&x, spec, 5, 2 * ell, threads).unwrap();
+            assert_eq!(parallel.num_shards(), serial.num_shards());
+            assert_eq!(parallel.stats().size_bytes, serial.stats().size_bytes);
+            for pattern in &patterns {
+                assert_eq!(
+                    parallel.query(pattern, &x).unwrap(),
+                    serial.query(pattern, &x).unwrap(),
+                    "threads = {threads}"
                 );
             }
         }

@@ -45,6 +45,9 @@ pub struct SpaceEfficientBuilder {
     /// multiple of `n·z` (the paper aborts at `nz` and falls back to the
     /// classic construction; we default to a small constant multiple).
     node_cap_factor: f64,
+    /// Worker count for the factor sort (1 = serial, 0 = all CPUs). The DFS
+    /// itself is inherently sequential; only the final sort fans out.
+    threads: usize,
 }
 
 /// Statistics reported by the space-efficient construction.
@@ -66,6 +69,7 @@ impl SpaceEfficientBuilder {
         Self {
             params,
             node_cap_factor: 64.0,
+            threads: 1,
         }
     }
 
@@ -73,6 +77,13 @@ impl SpaceEfficientBuilder {
     /// construction aborts with an error, mirroring the paper's fallback).
     pub fn with_node_cap_factor(mut self, factor: f64) -> Self {
         self.node_cap_factor = factor.max(1.0);
+        self
+    }
+
+    /// Fans the final factor sort out over `threads` workers (0 = all CPUs).
+    /// The built index is byte-identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -160,8 +171,8 @@ impl SpaceEfficientBuilder {
         )?;
         stats.backward_factors = bwd_builder.len();
 
-        let (fwd, fwd_lcps) = fwd_builder.finish();
-        let (bwd, bwd_lcps) = bwd_builder.finish();
+        let (fwd, fwd_lcps) = fwd_builder.finish_with_threads(self.threads);
+        let (bwd, bwd_lcps) = bwd_builder.finish_with_threads(self.threads);
         let index = MinimizerIndex::assemble(
             x,
             self.params,

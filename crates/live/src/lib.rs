@@ -90,6 +90,7 @@ pub mod wal;
 pub use wal::FsyncPolicy;
 
 use crate::wal::{Wal, WalRecord};
+use ius_exec::{Executor, WorkerPool};
 use ius_faultio::DurableSink;
 use ius_index::overlap::{overlap_len, retain_home_and_globalize};
 use ius_index::{validate_pattern, AnyIndex, IndexSpec, IndexStats, UncertainIndex};
@@ -98,7 +99,6 @@ use ius_weighted::{is_solid, Alphabet, Error, Result, WeightedString};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 /// Tuning knobs of one [`LiveIndex`].
 #[derive(Debug, Clone)]
@@ -114,7 +114,12 @@ pub struct LiveConfig {
     /// flush (and periodically), so queries never see an unbounded number
     /// of small segments.
     pub auto_compact: bool,
-    /// Worker threads of the query fan-out executor (0 = all CPUs).
+    /// Worker threads of the query fan-out executor **and** of the
+    /// segment-build executor — flushes freeze multiple segments
+    /// concurrently and a compaction round runs multiple tier merges
+    /// concurrently, one worker each (0 = all CPUs). Individual segment
+    /// indexes always build serially inside their worker, so the built
+    /// bytes are identical at every thread count.
     pub threads: usize,
 }
 
@@ -359,6 +364,9 @@ struct Inner {
     write_lock: Mutex<()>,
     next_segment_id: AtomicU64,
     executor: QueryBatch,
+    /// Fan-out for segment builds (flush freezes, compaction merges);
+    /// shares the configured thread count with the query executor.
+    build_executor: Executor,
     appended: AtomicU64,
     flushes: AtomicU64,
     compactions: AtomicU64,
@@ -390,7 +398,9 @@ impl Inner {
 /// that).
 pub struct LiveIndex {
     inner: Arc<Inner>,
-    compactor: Mutex<Option<JoinHandle<()>>>,
+    /// The background compactor thread (empty without `auto_compact`),
+    /// tracked by the shared [`WorkerPool`] and joined on drop.
+    compactor: Mutex<WorkerPool>,
 }
 
 impl std::fmt::Debug for LiveIndex {
@@ -445,6 +455,7 @@ impl LiveIndex {
         } else {
             QueryBatch::with_threads(config.threads)
         };
+        let build_executor = Executor::with_threads(config.threads);
         let auto_compact = config.auto_compact;
         let inner = Arc::new(Inner {
             alphabet,
@@ -460,6 +471,7 @@ impl LiveIndex {
             write_lock: Mutex::new(()),
             next_segment_id: AtomicU64::new(0),
             executor,
+            build_executor,
             appended: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
@@ -473,17 +485,11 @@ impl LiveIndex {
             compact_signal: Mutex::new((false, false)),
             compact_cond: Condvar::new(),
         });
-        let compactor = if auto_compact {
+        let mut compactor = WorkerPool::new();
+        if auto_compact {
             let worker = inner.clone();
-            Some(
-                std::thread::Builder::new()
-                    .name("ius-live-compact".into())
-                    .spawn(move || compactor_loop(&worker))
-                    .expect("spawn compactor"),
-            )
-        } else {
-            None
-        };
+            compactor.spawn("ius-live-compact", move || compactor_loop(&worker));
+        }
         Ok(Self {
             inner,
             compactor: Mutex::new(compactor),
@@ -772,9 +778,12 @@ impl LiveIndex {
         }
         let sigma = self.inner.alphabet.size();
         let max_home = self.max_home();
-        // Freeze the segments off-lock (queries proceed on the old
+        // Plan the freeze serially (cheap), then build the per-segment
+        // indexes concurrently off-lock (queries proceed on the old
         // snapshot; concurrent appends are excluded by write_lock).
-        let mut frozen: Vec<Arc<Segment>> = Vec::new();
+        // Segment ids are assigned in plan order before the fan-out, so
+        // the resulting segment list is identical at every thread count.
+        let mut plans: Vec<(u64, usize, usize)> = Vec::new(); // (id, consumed, home_len)
         let mut consumed = 0usize;
         while if drain {
             mem.rows - consumed > overlap
@@ -782,22 +791,37 @@ impl LiveIndex {
             mem.rows - consumed >= max_home + overlap
         } {
             let home_len = (mem.rows - consumed - overlap).min(max_home);
-            let chunk_rows = home_len + overlap;
-            let flat = mem.flat_rows(consumed, consumed + chunk_rows, sigma);
-            let chunk = WeightedString::from_flat(self.inner.alphabet.clone(), flat)
-                .expect("memtable rows were validated on append");
-            let index = self.inner.spec.build(&chunk)?;
-            frozen.push(Arc::new(Segment {
-                id: self.inner.next_segment_id.fetch_add(1, Ordering::SeqCst),
-                offset: mem.start + consumed,
-                home_len,
-                x: chunk,
-                index,
-            }));
+            let id = self.inner.next_segment_id.fetch_add(1, Ordering::SeqCst);
+            plans.push((id, consumed, home_len));
             consumed += home_len;
         }
-        if frozen.is_empty() {
+        if plans.is_empty() {
             return Ok(false);
+        }
+        let built = self
+            .inner
+            .build_executor
+            .run(plans.len(), |i| -> Result<Arc<Segment>> {
+                let (id, start, home_len) = plans[i];
+                let chunk_rows = home_len + overlap;
+                let flat = mem.flat_rows(start, start + chunk_rows, sigma);
+                let chunk = WeightedString::from_flat(self.inner.alphabet.clone(), flat)
+                    .expect("memtable rows were validated on append");
+                let index = self.inner.spec.build(&chunk)?;
+                Ok(Arc::new(Segment {
+                    id,
+                    offset: mem.start + start,
+                    home_len,
+                    x: chunk,
+                    index,
+                }))
+            });
+        let mut frozen: Vec<Arc<Segment>> = Vec::with_capacity(built.len());
+        for outcome in built {
+            match outcome {
+                Ok(segment) => frozen.push(segment?),
+                Err(task_panic) => panic!("{task_panic}"),
+            }
         }
         {
             let mut holder = self.inner.state.lock().expect("state lock");
@@ -943,25 +967,21 @@ impl LiveIndex {
         }
     }
 
-    /// Applies one round of the tiered compaction policy: the first
-    /// maximal run of at least `compact_fanout` consecutive segments in
-    /// the same size class (⌊log₂ home_len⌋) is merged into one segment.
-    /// The merged index builds off-lock from a snapshot; the swap is
-    /// id-checked, so a concurrent competing compaction simply loses and
-    /// nothing is blocked meanwhile.
+    /// Applies one round of the tiered compaction policy: **every**
+    /// disjoint run of at least `compact_fanout` consecutive segments in
+    /// the same size class (⌊log₂ home_len⌋) is merged into one segment,
+    /// and the merges build **concurrently** on the shared executor. Each
+    /// merged index builds off-lock from a snapshot; every swap is
+    /// id-checked independently, so a concurrent competing compaction
+    /// simply loses its run and nothing is blocked meanwhile.
     ///
-    /// Returns the number of merges performed (0 or 1).
+    /// Returns the number of merges performed this round.
     ///
     /// # Errors
     ///
-    /// Construction errors of the merged build.
+    /// Construction errors of the merged builds.
     pub fn compact_once(&self) -> Result<usize> {
-        let snapshot = self.snapshot();
-        let Some(run) = plan_tiered_run(&snapshot.segments, self.inner.config.compact_fanout)
-        else {
-            return Ok(0);
-        };
-        self.merge_run(&snapshot.segments[run.0..run.1])
+        compact_round(&self.inner)
     }
 
     /// Merges **all** segments into one (a major compaction), retrying
@@ -989,7 +1009,9 @@ impl LiveIndex {
     /// Builds one merged segment from a run of consecutive segments
     /// (off-lock) and swaps it in if the run is still intact.
     fn merge_run(&self, run: &[Arc<Segment>]) -> Result<usize> {
-        merge_run_inner(&self.inner, run)
+        let id = self.inner.next_segment_id.fetch_add(1, Ordering::SeqCst);
+        let merged = build_merged_segment(&self.inner, run, id)?;
+        Ok(swap_in_merged(&self.inner, merged, run))
     }
 
     // -----------------------------------------------------------------
@@ -1087,13 +1109,14 @@ impl Drop for LiveIndex {
                 let _ = d.wal.sync();
             }
         }
-        if let Some(handle) = self.compactor.lock().expect("compactor lock").take() {
+        let mut pool = self.compactor.lock().expect("compactor lock");
+        if !pool.is_empty() {
             {
                 let mut signal = self.inner.compact_signal.lock().expect("signal lock");
                 signal.1 = true;
                 self.inner.compact_cond.notify_all();
             }
-            let _ = handle.join();
+            pool.join_all();
         }
     }
 }
@@ -1217,14 +1240,16 @@ fn filter_tombstoned_windows(positions: &mut Vec<usize>, tombstones: &[(usize, u
     });
 }
 
-/// The tiered policy: the first run of at least `fanout` consecutive
-/// segments in the same size class (⌊log₂ home_len⌋), as a half-open
-/// index range into the segment list. A merge consumes at most
-/// `2 · fanout` segments at a time, so a long backlog is folded in
-/// cascading rounds (each merge promotes its output to a larger class)
-/// instead of one unbounded rebuild.
-fn plan_tiered_run(segments: &[Arc<Segment>], fanout: usize) -> Option<(usize, usize)> {
+/// The tiered policy: **every** disjoint run of at least `fanout`
+/// consecutive segments in the same size class (⌊log₂ home_len⌋), as
+/// half-open index ranges into the segment list, in order. One merge
+/// consumes at most `2 · fanout` segments at a time (a longer class run
+/// yields several merges), so a long backlog is folded in cascading
+/// rounds (each merge promotes its output to a larger class) instead of
+/// one unbounded rebuild.
+fn plan_tiered_runs(segments: &[Arc<Segment>], fanout: usize) -> Vec<(usize, usize)> {
     let class = |segment: &Segment| usize::BITS - segment.home_len.max(1).leading_zeros();
+    let mut runs = Vec::new();
     let mut start = 0usize;
     while start < segments.len() {
         let c = class(&segments[start]);
@@ -1232,12 +1257,47 @@ fn plan_tiered_run(segments: &[Arc<Segment>], fanout: usize) -> Option<(usize, u
         while end < segments.len() && class(&segments[end]) == c {
             end += 1;
         }
-        if end - start >= fanout {
-            return Some((start, end.min(start + 2 * fanout)));
+        // Chop the class run into merge-sized pieces; a short tail below
+        // `fanout` waits for the next round.
+        let mut piece = start;
+        while end - piece >= fanout {
+            let piece_end = end.min(piece + 2 * fanout);
+            runs.push((piece, piece_end));
+            piece = piece_end;
         }
         start = end;
     }
-    None
+    runs
+}
+
+/// One compaction round: plans every qualifying tier run on a snapshot,
+/// builds all merged segments **concurrently** on the shared executor
+/// (ids assigned in plan order, so the outcome is identical at every
+/// thread count), then swaps each in under its own id check. Returns the
+/// number of merges that actually swapped in.
+fn compact_round(inner: &Arc<Inner>) -> Result<usize> {
+    let snapshot = inner.state.lock().expect("state lock").clone();
+    let runs = plan_tiered_runs(&snapshot.segments, inner.config.compact_fanout);
+    if runs.is_empty() {
+        return Ok(0);
+    }
+    let ids: Vec<u64> = runs
+        .iter()
+        .map(|_| inner.next_segment_id.fetch_add(1, Ordering::SeqCst))
+        .collect();
+    let built = inner.build_executor.run(runs.len(), |i| {
+        let (start, end) = runs[i];
+        build_merged_segment(inner, &snapshot.segments[start..end], ids[i])
+    });
+    let mut merges = 0usize;
+    for (outcome, &(start, end)) in built.into_iter().zip(&runs) {
+        let merged = match outcome {
+            Ok(segment) => segment?,
+            Err(task_panic) => panic!("{task_panic}"),
+        };
+        merges += swap_in_merged(inner, merged, &snapshot.segments[start..end]);
+    }
+    Ok(merges)
 }
 
 /// The background compactor: wakes on every flush (and periodically as a
@@ -1263,13 +1323,11 @@ fn compactor_loop(inner: &Arc<Inner>) {
             }
             signal.0 = false;
         }
-        // Apply tiered rounds until the policy no longer triggers.
+        // Apply tiered rounds (each round merges every qualifying run
+        // concurrently) until the policy no longer triggers.
         loop {
-            let snapshot = inner.state.lock().expect("state lock").clone();
-            let Some(run) = plan_tiered_run(&snapshot.segments, inner.config.compact_fanout) else {
-                break;
-            };
-            match merge_run_inner(inner, &snapshot.segments[run.0..run.1]) {
+            match compact_round(inner) {
+                Ok(0) => break,
                 Ok(_) => continue,
                 Err(err) => {
                     // Surface through STATS (counter + last-error string)
@@ -1283,9 +1341,12 @@ fn compactor_loop(inner: &Arc<Inner>) {
     }
 }
 
-/// The shared merge body of `LiveIndex::merge_run` and the background
-/// compactor.
-fn merge_run_inner(inner: &Arc<Inner>, run: &[Arc<Segment>]) -> Result<usize> {
+/// Builds one merged segment covering a run of consecutive segments —
+/// pure construction, no shared-state mutation, so several merges can
+/// build concurrently. The caller supplies the segment id (assigned in
+/// plan order, which keeps the segment list deterministic under
+/// parallel rounds).
+fn build_merged_segment(inner: &Arc<Inner>, run: &[Arc<Segment>], id: u64) -> Result<Arc<Segment>> {
     debug_assert!(run.len() >= 2);
     let sigma = inner.alphabet.size();
     let last = run.last().expect("non-empty run");
@@ -1299,17 +1360,24 @@ fn merge_run_inner(inner: &Arc<Inner>, run: &[Arc<Segment>]) -> Result<usize> {
     let chunk = WeightedString::from_flat(inner.alphabet.clone(), flat)
         .expect("segment rows were validated on append");
     let index = inner.spec.build(&chunk)?;
-    let merged = Arc::new(Segment {
-        id: inner.next_segment_id.fetch_add(1, Ordering::SeqCst),
+    Ok(Arc::new(Segment {
+        id,
         offset,
         home_len,
         x: chunk,
         index,
-    });
+    }))
+}
+
+/// Swaps a merged segment in for its inputs if — and only if — the run
+/// is still intact (checked by segment id). A concurrent flush or a
+/// competing merge that already consumed one of the inputs makes this a
+/// no-op: the merged segment is dropped and nothing changes.
+fn swap_in_merged(inner: &Arc<Inner>, merged: Arc<Segment>, run: &[Arc<Segment>]) -> usize {
     let ids: Vec<u64> = run.iter().map(|segment| segment.id).collect();
     let mut holder = inner.state.lock().expect("state lock");
     let Some(first) = holder.segments.iter().position(|s| s.id == ids[0]) else {
-        return Ok(0);
+        return 0;
     };
     let intact = holder.segments.len() >= first + ids.len()
         && holder.segments[first..first + ids.len()]
@@ -1317,7 +1385,7 @@ fn merge_run_inner(inner: &Arc<Inner>, run: &[Arc<Segment>]) -> Result<usize> {
             .zip(&ids)
             .all(|(s, &id)| s.id == id);
     if !intact {
-        return Ok(0);
+        return 0;
     }
     let mut state = LiveState::clone(&holder);
     state
@@ -1327,7 +1395,7 @@ fn merge_run_inner(inner: &Arc<Inner>, run: &[Arc<Segment>]) -> Result<usize> {
     *holder = Arc::new(state);
     drop(holder);
     inner.compactions.fetch_add(1, Ordering::Relaxed);
-    Ok(1)
+    1
 }
 
 #[cfg(test)]

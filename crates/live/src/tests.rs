@@ -205,7 +205,7 @@ fn background_compactor_converges_after_flushes() {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
     loop {
         let snapshot = live.snapshot();
-        if plan_tiered_run(&snapshot.segments, 3).is_none() {
+        if plan_tiered_runs(&snapshot.segments, 3).is_empty() {
             break;
         }
         assert!(
@@ -472,10 +472,22 @@ fn tiered_plan_finds_the_first_long_same_class_run() {
         segment(4, 80),
         segment(5, 70),
     ];
-    assert_eq!(plan_tiered_run(&segments, 3), Some((3, 6)));
-    assert_eq!(plan_tiered_run(&segments, 2), Some((0, 2)));
-    assert_eq!(plan_tiered_run(&segments, 4), None);
-    assert_eq!(plan_tiered_run(&[], 2), None);
+    assert_eq!(plan_tiered_runs(&segments, 3), vec![(3, 6)]);
+    // With fanout 2 both class-7 runs qualify: the prefix pair and the
+    // suffix triple (disjoint, planned in one round).
+    assert_eq!(plan_tiered_runs(&segments, 2), vec![(0, 2), (3, 6)]);
+    assert_eq!(plan_tiered_runs(&segments, 4), Vec::<(usize, usize)>::new());
+    assert_eq!(plan_tiered_runs(&[], 2), Vec::<(usize, usize)>::new());
+    // A long class run is chopped into at-most-2·fanout merges, with a
+    // short tail below fanout left for the next round.
+    let long: Vec<_> = (0..11).map(|id| segment(id, 100)).collect();
+    assert_eq!(plan_tiered_runs(&long, 2), vec![(0, 4), (4, 8), (8, 11)]);
+    let thirteen: Vec<_> = (0..13).map(|id| segment(id, 100)).collect();
+    assert_eq!(
+        plan_tiered_runs(&thirteen, 3),
+        vec![(0, 6), (6, 12)],
+        "the 1-segment tail waits"
+    );
 }
 
 /// Minimal index value for plan tests (never queried).

@@ -1,0 +1,111 @@
+//! Property test of the parallel compaction path: tiered merges running
+//! on the shared scoped-thread executor, **concurrent with appends and
+//! queries**, must be invisible — every answer issued while the merges
+//! race the ingest is compared to the NAIVE oracle over the acked corpus
+//! prefix, and the executor width must never change an answer.
+
+use ius_datasets::uniform::UniformConfig;
+use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant, NaiveIndex, UncertainIndex};
+use ius_live::{LiveConfig, LiveIndex};
+use ius_weighted::WeightedString;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const Z: f64 = 6.0;
+
+fn uniform(n: usize, seed: u64) -> WeightedString {
+    UniformConfig {
+        n,
+        sigma: 2,
+        spread: 0.4,
+        seed,
+    }
+    .generate()
+}
+
+/// The documented reference semantics: NAIVE occurrences over the
+/// materialized corpus prefix.
+fn oracle(prefix: &WeightedString, pattern: &[u8]) -> Vec<usize> {
+    NaiveIndex::new(Z)
+        .expect("naive oracle")
+        .query(pattern, prefix)
+        .expect("oracle query")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Appends stream in batch-by-batch while a compactor thread keeps
+    /// firing tiered rounds (segment builds and merges both fan out on a
+    /// `threads`-wide executor). After every acked batch, every pattern's
+    /// answer must equal the oracle over exactly the acked prefix — no
+    /// matter where the racing merges are. A final full merge must still
+    /// agree on the complete corpus.
+    #[test]
+    fn compaction_under_load_is_invisible_at_every_executor_width(
+        seed in 0u64..1_000,
+        n in 300usize..700,
+        batch in 20usize..90,
+        threads in 1usize..=4,
+        flush_threshold in 48usize..160,
+    ) {
+        let x = uniform(n, seed);
+        let spec = IndexSpec::new(
+            IndexFamily::Minimizer(IndexVariant::Array),
+            IndexParams::new(Z, 4, x.sigma()).expect("params"),
+        );
+        let live = LiveIndex::new(
+            x.alphabet().clone(),
+            spec,
+            16,
+            LiveConfig {
+                flush_threshold,
+                compact_fanout: 2,
+                auto_compact: false,
+                threads,
+            },
+        )
+        .expect("live index");
+        let patterns: [&[u8]; 4] = [&[0, 0, 0, 0], &[1, 1, 1, 1], &[0, 1, 0, 1], &[0, 0, 1, 1, 0]];
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let live_ref = &live;
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                // The racing compactor: tiered rounds pick up whatever
+                // segments the threshold flushes have produced so far.
+                while !stop_ref.load(Ordering::Relaxed) {
+                    if live_ref.compact_once().expect("tiered round under load") == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let mut appended = 0usize;
+            while appended < x.len() {
+                let end = (appended + batch).min(x.len());
+                live.append(&x.substring(appended, end).expect("batch"))
+                    .expect("append under compaction");
+                appended = end;
+                let prefix = x.substring(0, appended).expect("prefix");
+                for pattern in patterns {
+                    assert_eq!(
+                        live.query_owned(pattern).expect("query under compaction"),
+                        oracle(&prefix, pattern),
+                        "answer diverged from NAIVE at {appended}/{} rows \
+                         (threads {threads}, flush {flush_threshold})",
+                        x.len()
+                    );
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        live.compact_full().expect("full merge");
+        prop_assert_eq!(live.num_segments(), 1);
+        for pattern in patterns {
+            prop_assert_eq!(
+                live.query_owned(pattern).expect("query after full merge"),
+                oracle(&x, pattern)
+            );
+        }
+    }
+}

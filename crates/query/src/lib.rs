@@ -18,8 +18,9 @@
 //! * [`finalize_into`] — the shared sort/dedup/stream step between a raw
 //!   candidate buffer and a sink, with a `sorted` fast path for sources that
 //!   already emit increasing positions;
-//! * [`QueryBatch`] — a scoped-thread executor running many queries over one
-//!   shared index with one scratch per worker and deterministic output order.
+//! * [`QueryBatch`] — a batched runner on the shared [`ius_exec::Executor`],
+//!   answering many queries over one shared index with one scratch per worker
+//!   and deterministic output order.
 //!
 //! The indexes themselves live in `ius-index`; they implement
 //! `UncertainIndex::query_into(pattern, x, &mut QueryScratch, &mut dyn
@@ -28,6 +29,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use ius_exec::Executor;
 
 /// A consumer of verified occurrence positions.
 ///
@@ -209,17 +212,18 @@ pub fn finalize_into(positions: &mut [usize], sorted: bool, sink: &mut dyn Match
     delivered
 }
 
-/// A batched query executor: runs `count` independent jobs over scoped
-/// threads, one [`QueryScratch`] per worker, writing each job's result into
-/// its own slot so the output order is deterministic regardless of thread
-/// scheduling.
+/// A batched query executor: runs `count` independent jobs on the shared
+/// [`ius_exec::Executor`], one [`QueryScratch`] per worker, writing each
+/// job's result into its own slot so the output order is deterministic
+/// regardless of thread scheduling.
 ///
 /// Jobs are partitioned into contiguous chunks (one per worker); with one
 /// thread (or one job) everything runs inline on the calling thread with a
-/// single scratch and no thread is spawned.
+/// single scratch and no thread is spawned. A panicking job is re-raised on
+/// the calling thread (queries are pure; a panic is a bug, not a result).
 #[derive(Debug, Clone)]
 pub struct QueryBatch {
-    threads: usize,
+    executor: Executor,
 }
 
 impl Default for QueryBatch {
@@ -231,55 +235,42 @@ impl Default for QueryBatch {
 impl QueryBatch {
     /// Creates an executor with one worker per available CPU.
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        Self { threads }
+        Self {
+            executor: Executor::new(),
+        }
     }
 
     /// Creates an executor with an explicit worker count (at least 1).
     pub fn with_threads(threads: usize) -> Self {
         Self {
-            threads: threads.max(1),
+            executor: Executor::with_threads(threads.max(1)),
         }
     }
 
     /// Number of workers this executor uses.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.executor.threads()
     }
 
     /// Runs `count` jobs; `run_one(i, scratch)` answers job `i`. The returned
     /// vector has exactly `count` entries, entry `i` holding job `i`'s result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first (by job index) panic of a job.
     pub fn run<T, E, F>(&self, count: usize, run_one: F) -> Vec<Result<T, E>>
     where
         T: Send,
         E: Send,
         F: Fn(usize, &mut QueryScratch) -> Result<T, E> + Sync,
     {
-        let mut slots: Vec<Option<Result<T, E>>> = Vec::with_capacity(count);
-        slots.resize_with(count, || None);
-        let workers = self.threads.min(count.max(1));
-        if workers <= 1 {
-            let mut scratch = QueryScratch::new();
-            for (i, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(run_one(i, &mut scratch));
-            }
-        } else {
-            let chunk = count.div_ceil(workers);
-            std::thread::scope(|scope| {
-                for (w, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
-                    let run_one = &run_one;
-                    scope.spawn(move || {
-                        let mut scratch = QueryScratch::new();
-                        for (j, slot) in chunk_slots.iter_mut().enumerate() {
-                            *slot = Some(run_one(w * chunk + j, &mut scratch));
-                        }
-                    });
-                }
-            });
-        }
-        slots
+        self.executor
+            .run_with(count, QueryScratch::new, |i, scratch| run_one(i, scratch))
             .into_iter()
-            .map(|slot| slot.expect("every job slot is filled"))
+            .map(|slot| match slot {
+                Ok(result) => result,
+                Err(task_panic) => panic!("{task_panic}"),
+            })
             .collect()
     }
 }

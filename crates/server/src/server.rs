@@ -36,6 +36,7 @@ use crate::protocol::{
     encode_response, read_frame, ErrorCode, LiveSnapshot, ProtocolError, Request, Response,
     ResultMode, StatsSnapshot, MAX_REQUEST_FRAME,
 };
+use ius_exec::WorkerPool;
 use ius_index::{load_any_index, AnyIndex, LoadedAny, ShardedIndex, UncertainIndex};
 use ius_live::LiveIndex;
 use ius_query::{CountSink, FirstKSink, QueryScratch};
@@ -46,7 +47,6 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// An index ready to serve: the structure plus whatever corpus access its
@@ -259,8 +259,9 @@ struct Shared {
 /// [`Server::join`]).
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// The acceptor and worker threads, tracked by the shared
+    /// [`WorkerPool`] (joined on shutdown; a dropped handle detaches).
+    pool: WorkerPool,
 }
 
 impl Server {
@@ -294,27 +295,16 @@ impl Server {
             poll_interval: config.poll_interval,
             idle_timeout: config.idle_timeout,
         });
-        let acceptor = {
+        let mut pool = WorkerPool::new();
+        {
             let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("ius-accept".into())
-                .spawn(move || accept_loop(&shared, &listener))
-                .expect("spawn acceptor")
-        };
-        let workers = (0..shared.workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("ius-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Ok(Server {
-            shared,
-            acceptor: Some(acceptor),
-            workers,
-        })
+            pool.spawn("ius-accept", move || accept_loop(&shared, &listener));
+        }
+        for i in 0..shared.workers {
+            let shared = shared.clone();
+            pool.spawn(&format!("ius-worker-{i}"), move || worker_loop(&shared));
+        }
+        Ok(Server { shared, pool })
     }
 
     /// The bound address (with the ephemeral port resolved).
@@ -342,12 +332,7 @@ impl Server {
     }
 
     fn join_threads(&mut self) {
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.pool.join_all();
         // Everything still queued was never served: tell the clients.
         let mut out = Vec::new();
         for mut stream in self.shared.queue.drain() {

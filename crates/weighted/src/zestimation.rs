@@ -72,23 +72,44 @@ const NO_LETTER: u8 = u8::MAX;
 /// holds `TRANSPOSE_BLOCK · ⌊z⌋` bytes and stays cache-resident).
 const TRANSPOSE_BLOCK: usize = 2048;
 
-/// Copies the staging rows of the block ending at `pos` into the per-strand
-/// sequences once the block is full (or the string ends).
-#[inline]
-fn flush_staging_block(
-    staging: &[u8],
-    letters: &mut [Vec<u8>],
-    pos: usize,
-    n: usize,
-    num_strands: usize,
-) {
-    if !(pos + 1).is_multiple_of(TRANSPOSE_BLOCK) && pos + 1 != n {
-        return;
-    }
-    let block_start = pos - (pos % TRANSPOSE_BLOCK);
-    for (strand, seq) in letters.iter_mut().enumerate() {
-        for p in block_start..=pos {
-            seq[p] = staging[(p - block_start) * num_strands + strand];
+/// Where the position-major staging rows go at each block boundary.
+///
+/// The serial path ([`LetterSink::Direct`]) transposes each full block
+/// straight into the per-strand sequences — the PR-1 blocked transpose,
+/// peak heap one letter matrix. The parallel path ([`LetterSink::Staged`])
+/// instead *keeps* the position-major blocks and defers the transpose to
+/// one fan-out over the strands at the very end, where every worker reads
+/// the shared blocks and writes only its own strands' sequences — the same
+/// bytes land at the same positions, just copied by different threads, so
+/// the output is bit-identical by construction.
+enum LetterSink {
+    /// Transpose each block immediately into the letter matrix.
+    Direct { letters: Vec<Vec<u8>> },
+    /// Keep the position-major blocks for a deferred parallel transpose.
+    Staged { blocks: Vec<Vec<u8>> },
+}
+
+impl LetterSink {
+    /// Flushes the staging rows of the block ending at `pos` once the
+    /// block is full (or the string ends).
+    #[inline]
+    fn flush(&mut self, staging: &[u8], pos: usize, n: usize, num_strands: usize) {
+        if !(pos + 1).is_multiple_of(TRANSPOSE_BLOCK) && pos + 1 != n {
+            return;
+        }
+        let block_start = pos - (pos % TRANSPOSE_BLOCK);
+        let rows = pos - block_start + 1;
+        match self {
+            LetterSink::Direct { letters } => {
+                for (strand, seq) in letters.iter_mut().enumerate() {
+                    for p in block_start..=pos {
+                        seq[p] = staging[(p - block_start) * num_strands + strand];
+                    }
+                }
+            }
+            LetterSink::Staged { blocks } => {
+                blocks.push(staging[..rows * num_strands].to_vec());
+            }
         }
     }
 }
@@ -137,9 +158,30 @@ impl ZEstimation {
     ///
     /// [`Error::InvalidThreshold`] unless `z ≥ 1` and finite.
     pub fn build(x: &WeightedString, z: f64) -> Result<Self> {
+        Self::build_with_threads(x, z, 1)
+    }
+
+    /// Builds a z-estimation with the letter transpose and the final
+    /// strand assembly fanned out over `threads` workers (`0` = all CPUs,
+    /// `1` = the serial path of [`ZEstimation::build`]).
+    ///
+    /// The designation scan itself is inherently sequential (each
+    /// position's assignment depends on every previous one), but it only
+    /// *stages* letters position-major; with more than one thread the
+    /// staged blocks are kept and transposed into the per-strand
+    /// sequences by one parallel fan-out at the end, each worker writing
+    /// only its own strands. The result is **bit-identical** to the
+    /// serial build at every thread count (asserted by the workspace's
+    /// determinism suite).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidThreshold`] unless `z ≥ 1` and finite.
+    pub fn build_with_threads(x: &WeightedString, z: f64, threads: usize) -> Result<Self> {
         if !(z.is_finite() && z >= 1.0) {
             return Err(Error::InvalidThreshold(z));
         }
+        let executor = ius_exec::Executor::with_threads(threads);
         let n = x.len();
         let num_strands = z.floor() as usize;
         let sigma = x.sigma();
@@ -153,12 +195,22 @@ impl ZEstimation {
 
         // Output buffers. Letters are accumulated position-major (one
         // contiguous row of `⌊z⌋` bytes per position) in a bounded staging
-        // buffer and transposed into the per-strand sequences block by block,
-        // so the peak heap stays at one full-size letter matrix plus
+        // buffer and flushed block by block into the sink: serially
+        // transposed into one letter matrix, or (parallel build) kept
+        // position-major for the deferred fan-out transpose. Either way
+        // the peak heap stays at one full-size letter matrix plus
         // `TRANSPOSE_BLOCK·⌊z⌋` staging bytes. extents[j][s] starts as the
         // empty interval `s` and is overwritten when strand j is cut from
         // level `s` (or at the final flush).
-        let mut letters: Vec<Vec<u8>> = vec![vec![0u8; n]; num_strands];
+        let mut sink = if executor.threads() <= 1 {
+            LetterSink::Direct {
+                letters: vec![vec![0u8; n]; num_strands],
+            }
+        } else {
+            LetterSink::Staged {
+                blocks: Vec::with_capacity(n.div_ceil(TRANSPOSE_BLOCK.max(1))),
+            }
+        };
         let mut staging: Vec<u8> = vec![0u8; TRANSPOSE_BLOCK.min(n.max(1)) * num_strands];
         let mut extents: Vec<Vec<u32>> = (0..num_strands)
             .map(|_| (0..n as u32).collect::<Vec<u32>>())
@@ -191,7 +243,7 @@ impl ZEstimation {
                 // starts share one range level (identical state evolution).
                 let at = (pos % TRANSPOSE_BLOCK) * num_strands;
                 staging[at..at + num_strands].fill(heavy_letter);
-                flush_staging_block(&staging, &mut letters, pos, n, num_strands);
+                sink.flush(&staging, pos, n, num_strands);
                 match levels.last_mut() {
                     Some(level) if level.pristine && level.last_start as usize + 1 == pos => {
                         level.last_start = pos as u32;
@@ -436,7 +488,7 @@ impl ZEstimation {
                     groups,
                 });
             }
-            flush_staging_block(&staging, &mut letters, pos, n, num_strands);
+            sink.flush(&staging, pos, n, num_strands);
         }
 
         // Final flush: designations alive at the end of the string cover up
@@ -447,6 +499,34 @@ impl ZEstimation {
             }
         }
 
+        let letters = match sink {
+            LetterSink::Direct { letters } => letters,
+            LetterSink::Staged { blocks } => {
+                // The deferred transpose: every worker reads the shared
+                // position-major blocks and writes only its own strands'
+                // sequences — the same bytes land at the same positions
+                // as the serial per-block transpose.
+                let seqs = executor.run(num_strands, |strand| {
+                    let mut seq = vec![0u8; n];
+                    let mut base = 0usize;
+                    for block in &blocks {
+                        let rows = block.len() / num_strands.max(1);
+                        for (i, row) in block.chunks_exact(num_strands).enumerate() {
+                            seq[base + i] = row[strand];
+                        }
+                        base += rows;
+                    }
+                    debug_assert_eq!(base, n);
+                    seq
+                });
+                seqs.into_iter()
+                    .map(|outcome| match outcome {
+                        Ok(seq) => seq,
+                        Err(task_panic) => panic!("{task_panic}"),
+                    })
+                    .collect()
+            }
+        };
         let strands = letters
             .into_iter()
             .zip(extents)
@@ -908,6 +988,46 @@ mod tests {
                             a.extents(),
                             b.extents(),
                             "sigma={sigma} trial={trial} z={z}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for sigma in [2usize, 4] {
+            let alphabet = Alphabet::integer(sigma).unwrap();
+            let rows: Vec<Vec<f64>> = (0..300)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        let mut row = vec![0.0; sigma];
+                        row[rng.gen_range(0..sigma)] = 1.0;
+                        row
+                    } else {
+                        let mut v: Vec<f64> =
+                            (0..sigma).map(|_| rng.gen_range(0.05..1.0)).collect();
+                        let s: f64 = v.iter().sum();
+                        v.iter_mut().for_each(|p| *p /= s);
+                        v
+                    }
+                })
+                .collect();
+            let x = WeightedString::from_rows(alphabet, &rows).unwrap();
+            for z in [1.0, 4.0, 12.0] {
+                let serial = ZEstimation::build(&x, z).unwrap();
+                for threads in [2usize, 3, 8] {
+                    let parallel = ZEstimation::build_with_threads(&x, z, threads).unwrap();
+                    assert_eq!(parallel.num_strands(), serial.num_strands());
+                    for (a, b) in parallel.strands().iter().zip(serial.strands()) {
+                        assert_eq!(a.seq(), b.seq(), "sigma={sigma} z={z} threads={threads}");
+                        assert_eq!(
+                            a.extents(),
+                            b.extents(),
+                            "sigma={sigma} z={z} threads={threads}"
                         );
                     }
                 }
