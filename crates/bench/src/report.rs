@@ -34,14 +34,33 @@ pub fn json_usize_list(values: &[usize]) -> String {
     out
 }
 
-/// Renders the `"host_cpus": …, "threads": […]` JSON fragment every
-/// benchmark document embeds near its top (no surrounding braces, no
-/// trailing comma).
+/// The VM page size in bytes, read from the ELF auxiliary vector
+/// (`AT_PAGESZ` in `/proc/self/auxv`); 4096 when undetectable (non-Linux
+/// hosts). Recorded alongside `host_cpus` so file-open numbers (one read
+/// into an aligned arena) can be related to the host's paging granularity.
+pub fn page_size() -> usize {
+    std::fs::read("/proc/self/auxv")
+        .ok()
+        .and_then(|raw| {
+            raw.chunks_exact(16).find_map(|pair| {
+                let key = u64::from_ne_bytes(pair[..8].try_into().ok()?);
+                let value = u64::from_ne_bytes(pair[8..].try_into().ok()?);
+                (key == 6).then_some(value as usize)
+            })
+        })
+        .filter(|&p| p > 0)
+        .unwrap_or(4096)
+}
+
+/// Renders the `"host_cpus": …, "threads": […], "page_size": …` JSON
+/// fragment every benchmark document embeds near its top (no surrounding
+/// braces, no trailing comma).
 pub fn json_host_fields(threads: &[usize]) -> String {
     format!(
-        "\"host_cpus\": {}, \"threads\": {}",
+        "\"host_cpus\": {}, \"threads\": {}, \"page_size\": {}",
         host_cpus(),
-        json_usize_list(threads)
+        json_usize_list(threads),
+        page_size()
     )
 }
 

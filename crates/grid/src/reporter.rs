@@ -1,24 +1,27 @@
 //! Merge-sort-tree 2D range reporting.
 
 use crate::{GridPoint, Rect};
+use ius_arena::ArenaVec;
 
 /// The flat representation of a [`RangeReporter`], used by the persistence
 /// layer to save the structure without re-running the `O(N log N)` merge on
 /// load. `node_lens[i]` is the number of `(y, payload)` entries of segment
 /// tree node `i`; the entries themselves are concatenated in node order in
-/// `ys`/`payloads`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `ys`/`payloads`. Each array is an [`ArenaVec`], so the parts can either
+/// own their storage (the stream load path) or borrow it zero-copy from a
+/// persisted arena.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReporterParts {
     /// Number of stored points.
     pub len: u64,
     /// x-coordinate of each point in x-sorted order.
-    pub xs: Vec<u32>,
+    pub xs: ArenaVec<u32>,
     /// Entry count per segment-tree node (always `2 · size` nodes).
-    pub node_lens: Vec<u32>,
+    pub node_lens: ArenaVec<u32>,
     /// Concatenated y-values of all nodes' entries.
-    pub ys: Vec<u32>,
+    pub ys: ArenaVec<u32>,
     /// Concatenated payloads of all nodes' entries.
-    pub payloads: Vec<u32>,
+    pub payloads: ArenaVec<u32>,
 }
 
 /// A static merge-sort tree over a point set.
@@ -28,6 +31,10 @@ pub struct ReporterParts {
 /// segment, sorted by `y`. A rectangle query decomposes the x-range into
 /// `O(log N)` canonical nodes and binary-searches the y-range in each:
 /// `O(log² N + k)` time, `O(N log N)` space.
+///
+/// The per-node entry lists are stored concatenated in two flat pools
+/// (`ys`/`payloads`) with a derived offset table, so a persisted reporter can
+/// be reopened as zero-copy views into an [`ius_arena::Arena`].
 #[derive(Debug, Clone)]
 pub struct RangeReporter {
     /// Number of leaves (points), rounded up to a power of two for the tree.
@@ -35,9 +42,16 @@ pub struct RangeReporter {
     /// Number of actual points.
     len: usize,
     /// x-coordinate of each point in x-sorted order (for locating ranges).
-    xs: Vec<u32>,
-    /// For every segment-tree node, its points' `(y, payload)` sorted by y.
-    node_points: Vec<Vec<(u32, u32)>>,
+    xs: ArenaVec<u32>,
+    /// Start of node `i`'s entries in `ys`/`payloads`; `2 · size + 1`
+    /// entries (prefix sums of the node lengths, `u32` like the pool
+    /// indices they point into — half the memory and half the open-time
+    /// traffic of machine words). Derived at build/load.
+    node_starts: Vec<u32>,
+    /// Concatenated y-values of all nodes' entries, each node y-sorted.
+    ys: ArenaVec<u32>,
+    /// Payloads parallel to `ys`.
+    payloads: ArenaVec<u32>,
 }
 
 impl RangeReporter {
@@ -71,17 +85,26 @@ impl RangeReporter {
             merged.extend_from_slice(&b[j..]);
             node_points[node] = merged;
         }
-        // Leaf vectors were grown by `push` and may hold slack capacity;
-        // release it so the retained footprint is minimal and matches a
-        // reloaded copy of the structure.
-        for node in &mut node_points {
-            node.shrink_to_fit();
+        // Flatten the per-node lists into the two entry pools.
+        let total: usize = node_points.iter().map(Vec::len).sum();
+        let mut node_starts = Vec::with_capacity(2 * size + 1);
+        let mut ys = Vec::with_capacity(total);
+        let mut payloads = Vec::with_capacity(total);
+        node_starts.push(0u32);
+        for node in &node_points {
+            for &(y, payload) in node {
+                ys.push(y);
+                payloads.push(payload);
+            }
+            node_starts.push(u32::try_from(ys.len()).expect("entry pools exceed u32 range"));
         }
         Self {
             size,
             len,
-            xs,
-            node_points,
+            xs: ArenaVec::from(xs),
+            node_starts,
+            ys: ArenaVec::from(ys),
+            payloads: ArenaVec::from(payloads),
         }
     }
 
@@ -171,10 +194,20 @@ impl RangeReporter {
         total
     }
 
+    /// Segment-tree node `node`'s entries: y-values and parallel payloads.
+    #[inline]
+    fn node(&self, node: usize) -> (&[u32], &[u32]) {
+        let (start, end) = (
+            self.node_starts[node] as usize,
+            self.node_starts[node + 1] as usize,
+        );
+        (&self.ys[start..end], &self.payloads[start..end])
+    }
+
     fn emit(&self, node: usize, rect: &Rect, emit: &mut impl FnMut(u32)) {
-        let pts = &self.node_points[node];
-        let start = pts.partition_point(|&(y, _)| y < rect.y_lo);
-        for &(y, payload) in &pts[start..] {
+        let (ys, payloads) = self.node(node);
+        let start = ys.partition_point(|&y| y < rect.y_lo);
+        for (&y, &payload) in ys[start..].iter().zip(&payloads[start..]) {
             if y >= rect.y_hi {
                 break;
             }
@@ -183,48 +216,37 @@ impl RangeReporter {
     }
 
     fn count_node(&self, node: usize, rect: &Rect) -> usize {
-        let pts = &self.node_points[node];
-        let start = pts.partition_point(|&(y, _)| y < rect.y_lo);
-        let end = pts.partition_point(|&(y, _)| y < rect.y_hi);
-        end - start
+        let (ys, _) = self.node(node);
+        ys.partition_point(|&y| y < rect.y_hi) - ys.partition_point(|&y| y < rect.y_lo)
     }
 
-    /// Approximate heap usage in bytes.
+    /// Approximate heap usage in bytes. Arena-backed entry pools count as
+    /// zero owned bytes here; the arena itself is counted once by whoever
+    /// retains its handle.
     pub fn memory_bytes(&self) -> usize {
-        let nodes: usize = self
-            .node_points
-            .iter()
-            .map(|v| v.capacity() * std::mem::size_of::<(u32, u32)>())
-            .sum();
-        self.xs.capacity() * 4
-            + nodes
-            + self.node_points.capacity() * std::mem::size_of::<Vec<(u32, u32)>>()
+        self.xs.heap_bytes()
+            + self.ys.heap_bytes()
+            + self.payloads.heap_bytes()
+            + self.node_starts.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Exports the structure as its flat representation (see
     /// [`ReporterParts`]).
     pub fn to_parts(&self) -> ReporterParts {
-        let total: usize = self.node_points.iter().map(Vec::len).sum();
-        let mut parts = ReporterParts {
+        let node_lens: Vec<u32> = self.node_starts.windows(2).map(|w| w[1] - w[0]).collect();
+        ReporterParts {
             len: self.len as u64,
             xs: self.xs.clone(),
-            node_lens: Vec::with_capacity(self.node_points.len()),
-            ys: Vec::with_capacity(total),
-            payloads: Vec::with_capacity(total),
-        };
-        for node in &self.node_points {
-            parts.node_lens.push(node.len() as u32);
-            for &(y, payload) in node {
-                parts.ys.push(y);
-                parts.payloads.push(payload);
-            }
+            node_lens: ArenaVec::from(node_lens),
+            ys: self.ys.clone(),
+            payloads: self.payloads.clone(),
         }
-        parts
     }
 
     /// Reassembles the structure from its flat representation — the inverse
     /// of [`RangeReporter::to_parts`], in linear time (the merge-sort tree is
-    /// *not* rebuilt).
+    /// *not* rebuilt). The entry pools are moved in as-is, so views stay
+    /// views.
     ///
     /// # Errors
     ///
@@ -245,34 +267,62 @@ impl RangeReporter {
                 parts.node_lens.len()
             ));
         }
-        let total: usize = parts.node_lens.iter().map(|&l| l as usize).sum();
-        if parts.ys.len() != total || parts.payloads.len() != total {
+        let mut node_starts = Vec::with_capacity(2 * size + 1);
+        let mut offset = 0u64;
+        node_starts.push(0u32);
+        for &node_len in parts.node_lens.iter() {
+            offset += u64::from(node_len);
+            let Ok(start) = u32::try_from(offset) else {
+                return Err("entry pools exceed the u32 address range".into());
+            };
+            node_starts.push(start);
+        }
+        if parts.ys.len() as u64 != offset || parts.payloads.len() as u64 != offset {
             return Err("entry arrays do not match the per-node lengths".into());
         }
-        let mut node_points = Vec::with_capacity(2 * size);
-        let mut offset = 0usize;
-        for &node_len in &parts.node_lens {
-            let node_len = node_len as usize;
-            let node: Vec<(u32, u32)> = parts.ys[offset..offset + node_len]
-                .iter()
-                .zip(&parts.payloads[offset..offset + node_len])
-                .map(|(&y, &payload)| (y, payload))
-                .collect();
-            if node.windows(2).any(|w| w[0].0 > w[1].0) {
-                return Err("a segment-tree node's entries are not y-sorted".into());
+        // Sortedness checks, phrased as whole-pool reduction scans so they
+        // vectorize (these run over the O(n log n) entry pools on every
+        // arena open). A node's entries are y-sorted iff every adjacent
+        // descent in the concatenated pool falls on a node boundary: count
+        // descents globally, then subtract the ones boundaries explain.
+        let descents = count_adjacent_descents(&parts.ys);
+        let mut boundary_descents = 0usize;
+        let mut prev_boundary = 0usize; // offset 0 is never an interior descent
+        for &b in &node_starts[1..node_starts.len() - 1] {
+            // Empty nodes repeat an offset; each distinct boundary can
+            // explain at most one descent.
+            let b = b as usize;
+            if b != prev_boundary && b < parts.ys.len() && parts.ys[b - 1] > parts.ys[b] {
+                boundary_descents += 1;
             }
-            node_points.push(node);
-            offset += node_len;
+            prev_boundary = b;
         }
-        if parts.xs.windows(2).any(|w| w[0] > w[1]) {
+        if descents != boundary_descents {
+            return Err("a segment-tree node's entries are not y-sorted".into());
+        }
+        if count_adjacent_descents(&parts.xs) != 0 {
             return Err("point x-coordinates are not sorted".into());
         }
         Ok(Self {
             size,
             len,
             xs: parts.xs,
-            node_points,
+            node_starts,
+            ys: parts.ys,
+            payloads: parts.payloads,
         })
+    }
+}
+
+/// Number of positions `i` with `values[i] > values[i + 1]` — a branch-free
+/// reduction over adjacent pairs that the compiler turns into SIMD compares.
+fn count_adjacent_descents(values: &[u32]) -> usize {
+    match values.len() {
+        0 | 1 => 0,
+        len => values[..len - 1]
+            .iter()
+            .zip(&values[1..])
+            .fold(0usize, |acc, (&a, &b)| acc + usize::from(a > b)),
     }
 }
 
@@ -293,6 +343,14 @@ mod tests {
         (0..n as u32)
             .map(|x| GridPoint::new(x, ys[x as usize], 1000 + x))
             .collect()
+    }
+
+    /// Copies an arena vector out, applies `f`, and wraps it back up — the
+    /// corruption tests' stand-in for direct mutation.
+    fn tweak(v: &ArenaVec<u32>, f: impl FnOnce(&mut Vec<u32>)) -> ArenaVec<u32> {
+        let mut owned = v.to_vec();
+        f(&mut owned);
+        ArenaVec::from(owned)
     }
 
     #[test]
@@ -394,16 +452,20 @@ mod tests {
         let original = RangeReporter::new(random_points(9, 1));
         let good = original.to_parts();
         let mut bad = good.clone();
-        bad.xs.pop();
+        bad.xs = tweak(&bad.xs, |v| {
+            v.pop();
+        });
         assert!(RangeReporter::from_parts(bad).is_err());
         let mut bad = good.clone();
-        bad.node_lens.pop();
+        bad.node_lens = tweak(&bad.node_lens, |v| {
+            v.pop();
+        });
         assert!(RangeReporter::from_parts(bad).is_err());
         let mut bad = good.clone();
-        bad.ys.push(0);
+        bad.ys = tweak(&bad.ys, |v| v.push(0));
         assert!(RangeReporter::from_parts(bad).is_err());
         let mut bad = good;
-        bad.xs.reverse();
+        bad.xs = tweak(&bad.xs, |v| v.reverse());
         assert!(RangeReporter::from_parts(bad).is_err());
     }
 

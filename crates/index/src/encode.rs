@@ -17,9 +17,11 @@
 //!   `p(letter)/p(heavy letter)` so a window's occurrence probability is the
 //!   heavy prefix-product times the ratios of the mismatches inside it.
 
+use ius_arena::ArenaVec;
 use ius_text::lce::LceIndex;
 use ius_text::trie::LabelProvider;
 use std::cmp::Ordering;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// One stored deviation of a factor from the heavy string.
@@ -69,26 +71,33 @@ pub struct EncodedFactorSet {
     /// index-wide heavy allocation (no copy); backward sets own the reversed
     /// copy.
     heavy_view: Arc<Vec<u8>>,
-    /// Anchor in view coordinates, per sorted leaf.
+    /// Anchor in view coordinates, per sorted leaf (derived from `anchor_x`
+    /// at build/load time, never persisted).
     anchor_view: Vec<u32>,
     /// Anchor in `X` coordinates (the minimizer position), per sorted leaf.
-    anchor_x: Vec<u32>,
+    anchor_x: ArenaVec<u32>,
     /// Factor length per sorted leaf.
-    lens: Vec<u32>,
+    lens: ArenaVec<u32>,
     /// Strand per sorted leaf (`u32::MAX` when strand-free).
-    strands: Vec<u32>,
-    /// Offsets into `mismatches`, one per leaf plus a trailing total.
-    mism_start: Vec<u32>,
-    mismatches: Vec<Mismatch>,
+    strands: ArenaVec<u32>,
+    /// Offsets into the mismatch pools, one per leaf plus a trailing total.
+    mism_start: ArenaVec<u32>,
+    /// The concatenated mismatch storage, struct-of-arrays: depth, letter
+    /// and probability ratio per stored mismatch. Flat [`ArenaVec`] pools,
+    /// so a persisted set can borrow them zero-copy from the index arena.
+    mism_depths: ArenaVec<u32>,
+    mism_letters: ArenaVec<u8>,
+    mism_ratios: ArenaVec<f64>,
     /// `ln(ratio)` per stored mismatch, precomputed at build time so grid
     /// verification sums log-probabilities without per-query `ln` calls.
+    /// Derived from `mism_ratios`, never persisted.
     mism_log_ratios: Vec<f64>,
     /// Packed 8-letter prefix key per sorted leaf (see [`prefix_key`]),
     /// carried over from the construction sort. Non-decreasing in leaf
     /// order; used to narrow `equal_range` with integer comparisons before
     /// any letter is compared. Empty for sets built by the retained
     /// reference pipeline (the binary search then skips the narrowing).
-    prefix_keys: Vec<u64>,
+    prefix_keys: ArenaVec<u64>,
 }
 
 impl EncodedFactorSet {
@@ -128,27 +137,66 @@ impl EncodedFactorSet {
         self.lens[leaf] as usize
     }
 
-    /// The stored mismatches of the `leaf`-th factor.
+    /// The range of the `leaf`-th factor's entries in the mismatch pools.
     #[inline]
-    pub fn mismatches(&self, leaf: usize) -> &[Mismatch] {
-        let lo = self.mism_start[leaf] as usize;
-        let hi = self.mism_start[leaf + 1] as usize;
-        &self.mismatches[lo..hi]
+    fn mism_range(&self, leaf: usize) -> Range<usize> {
+        self.mism_start[leaf] as usize..self.mism_start[leaf + 1] as usize
+    }
+
+    /// Number of stored mismatches of the `leaf`-th factor.
+    #[inline]
+    pub fn num_mismatches(&self, leaf: usize) -> usize {
+        let r = self.mism_range(leaf);
+        r.end - r.start
+    }
+
+    /// The stored mismatches of the `leaf`-th factor, materialised from the
+    /// struct-of-arrays pools (convenience iterator; the hot paths read the
+    /// per-component slices directly).
+    pub fn mismatches(&self, leaf: usize) -> impl Iterator<Item = Mismatch> + '_ {
+        let r = self.mism_range(leaf);
+        self.mism_depths[r.clone()]
+            .iter()
+            .zip(&self.mism_letters[r.clone()])
+            .zip(&self.mism_ratios[r])
+            .map(|((&depth, &letter), &ratio)| Mismatch {
+                depth,
+                letter,
+                ratio,
+            })
+    }
+
+    /// The depths of the `leaf`-th factor's stored mismatches.
+    #[inline]
+    pub fn mismatch_depths(&self, leaf: usize) -> &[u32] {
+        &self.mism_depths[self.mism_range(leaf)]
+    }
+
+    /// The letters of the `leaf`-th factor's stored mismatches, aligned with
+    /// [`EncodedFactorSet::mismatch_depths`].
+    #[inline]
+    pub fn mismatch_letters(&self, leaf: usize) -> &[u8] {
+        &self.mism_letters[self.mism_range(leaf)]
+    }
+
+    /// The probability ratios of the `leaf`-th factor's stored mismatches,
+    /// aligned with [`EncodedFactorSet::mismatch_depths`].
+    #[inline]
+    pub fn mismatch_ratios(&self, leaf: usize) -> &[f64] {
+        &self.mism_ratios[self.mism_range(leaf)]
     }
 
     /// The precomputed `ln(ratio)` of each stored mismatch of the `leaf`-th
-    /// factor, aligned with [`EncodedFactorSet::mismatches`].
+    /// factor, aligned with [`EncodedFactorSet::mismatch_depths`].
     #[inline]
     pub fn mismatch_log_ratios(&self, leaf: usize) -> &[f64] {
-        let lo = self.mism_start[leaf] as usize;
-        let hi = self.mism_start[leaf + 1] as usize;
-        &self.mism_log_ratios[lo..hi]
+        &self.mism_log_ratios[self.mism_range(leaf)]
     }
 
     /// Total number of stored mismatches.
     #[inline]
     pub fn total_mismatches(&self) -> usize {
-        self.mismatches.len()
+        self.mism_depths.len()
     }
 
     /// The letter at `depth` of the `leaf`-th factor, or `None` past its end.
@@ -157,10 +205,12 @@ impl EncodedFactorSet {
         if depth >= self.lens[leaf] as usize {
             return None;
         }
-        for m in self.mismatches(leaf) {
-            if m.depth as usize == depth {
-                return Some(m.letter);
-            }
+        let r = self.mism_range(leaf);
+        if let Some(slot) = self.mism_depths[r.clone()]
+            .iter()
+            .position(|&d| d as usize == depth)
+        {
+            return Some(self.mism_letters[r.start + slot]);
         }
         Some(self.heavy_view[self.anchor_view[leaf] as usize + depth])
     }
@@ -236,8 +286,12 @@ impl EncodedFactorSet {
         let base = self.anchor_view[leaf] as usize;
         let heavy = &self.heavy_view[base..base + limit];
         let mut d = 0usize;
-        for m in self.mismatches(leaf) {
-            let md = m.depth as usize;
+        let r = self.mism_range(leaf);
+        for (&depth, &letter) in self.mism_depths[r.clone()]
+            .iter()
+            .zip(&self.mism_letters[r])
+        {
+            let md = depth as usize;
             if md >= limit {
                 break;
             }
@@ -245,7 +299,7 @@ impl EncodedFactorSet {
                 Ordering::Equal => {}
                 other => return other,
             }
-            match m.letter.cmp(&pattern[md]) {
+            match letter.cmp(&pattern[md]) {
                 Ordering::Equal => {}
                 other => return other,
             }
@@ -271,15 +325,16 @@ impl EncodedFactorSet {
     /// the variant that avoids double counting a shared view).
     pub fn memory_bytes(&self) -> usize {
         self.heavy_view.capacity()
-            + (self.anchor_view.capacity()
-                + self.anchor_x.capacity()
-                + self.lens.capacity()
-                + self.strands.capacity()
-                + self.mism_start.capacity())
-                * 4
-            + self.mismatches.capacity() * std::mem::size_of::<Mismatch>()
+            + self.anchor_view.capacity() * 4
+            + self.anchor_x.heap_bytes()
+            + self.lens.heap_bytes()
+            + self.strands.heap_bytes()
+            + self.mism_start.heap_bytes()
+            + self.mism_depths.heap_bytes()
+            + self.mism_letters.heap_bytes()
+            + self.mism_ratios.heap_bytes()
             + self.mism_log_ratios.capacity() * 8
-            + self.prefix_keys.capacity() * 8
+            + self.prefix_keys.heap_bytes()
     }
 
     /// Heap bytes excluding the heavy view. Forward sets share the view's
@@ -321,9 +376,19 @@ impl EncodedFactorSet {
         &self.mism_start
     }
 
-    /// The concatenated mismatch storage.
-    pub(crate) fn mismatches_raw(&self) -> &[Mismatch] {
-        &self.mismatches
+    /// The concatenated mismatch depths.
+    pub(crate) fn mism_depths_raw(&self) -> &[u32] {
+        &self.mism_depths
+    }
+
+    /// The concatenated mismatch letters.
+    pub(crate) fn mism_letters_raw(&self) -> &[u8] {
+        &self.mism_letters
+    }
+
+    /// The concatenated mismatch probability ratios.
+    pub(crate) fn mism_ratios_raw(&self) -> &[f64] {
+        &self.mism_ratios
     }
 
     /// The packed prefix keys (empty for reference-built sets).
@@ -344,12 +409,14 @@ impl EncodedFactorSet {
     pub(crate) fn from_loaded_parts(
         direction: Direction,
         heavy_view: Arc<Vec<u8>>,
-        anchor_x: Vec<u32>,
-        lens: Vec<u32>,
-        strands: Vec<u32>,
-        mism_start: Vec<u32>,
-        mismatches: Vec<Mismatch>,
-        prefix_keys: Vec<u64>,
+        anchor_x: ArenaVec<u32>,
+        lens: ArenaVec<u32>,
+        strands: ArenaVec<u32>,
+        mism_start: ArenaVec<u32>,
+        mism_depths: ArenaVec<u32>,
+        mism_letters: ArenaVec<u8>,
+        mism_ratios: ArenaVec<f64>,
+        prefix_keys: ArenaVec<u64>,
     ) -> Result<EncodedFactorSet, String> {
         let n = heavy_view.len();
         let leaves = anchor_x.len();
@@ -359,8 +426,11 @@ impl EncodedFactorSet {
         if mism_start.len() != leaves + 1 || mism_start.first().copied().unwrap_or(1) != 0 {
             return Err("mismatch offset table is malformed".into());
         }
+        if mism_depths.len() != mism_letters.len() || mism_depths.len() != mism_ratios.len() {
+            return Err("mismatch component pools have inconsistent lengths".into());
+        }
         if mism_start.windows(2).any(|w| w[0] > w[1])
-            || mism_start.last().map(|&v| v as usize) != Some(mismatches.len())
+            || mism_start.last().map(|&v| v as usize) != Some(mism_depths.len())
         {
             return Err("mismatch offsets do not cover the mismatch storage".into());
         }
@@ -388,14 +458,15 @@ impl EncodedFactorSet {
             // Ratios are probability quotients: strictly positive and finite,
             // or the recomputed log-ratios would be NaN/-inf and silently
             // corrupt grid verification.
-            if mismatches[lo..hi]
-                .iter()
-                .any(|m| m.depth >= lens[leaf] || !m.ratio.is_finite() || m.ratio <= 0.0)
+            if mism_depths[lo..hi].iter().any(|&d| d >= lens[leaf])
+                || mism_ratios[lo..hi]
+                    .iter()
+                    .any(|&r| !r.is_finite() || r <= 0.0)
             {
                 return Err(format!("mismatch of leaf {leaf} is out of range"));
             }
         }
-        let mism_log_ratios: Vec<f64> = mismatches.iter().map(|m| m.ratio.ln()).collect();
+        let mism_log_ratios: Vec<f64> = mism_ratios.iter().map(|&r| r.ln()).collect();
         Ok(EncodedFactorSet {
             direction,
             heavy_view,
@@ -404,7 +475,9 @@ impl EncodedFactorSet {
             lens,
             strands,
             mism_start,
-            mismatches,
+            mism_depths,
+            mism_letters,
+            mism_ratios,
             mism_log_ratios,
             prefix_keys,
         })
@@ -606,24 +679,19 @@ impl EncodedFactorSetBuilder {
         };
 
         let total_mismatches: usize = factors.iter().map(|f| f.mismatches.len()).sum();
-        let mut set = EncodedFactorSet {
-            direction: self.direction,
-            heavy_view,
-            anchor_view: Vec::with_capacity(order.len()),
-            anchor_x: Vec::with_capacity(order.len()),
-            lens: Vec::with_capacity(order.len()),
-            strands: Vec::with_capacity(order.len()),
-            mism_start: Vec::with_capacity(order.len() + 1),
-            mismatches: Vec::with_capacity(total_mismatches),
-            mism_log_ratios: Vec::with_capacity(total_mismatches),
-            prefix_keys: Vec::new(),
-        };
-        set.mism_start.push(0);
-        let lcps = Self::emit_sorted(&factors, &order, &mut set, &lce, anchor_to_view);
+        let mut raw = RawFactorData::with_capacity(order.len(), total_mismatches);
+        let lcps = Self::emit_sorted(
+            &factors,
+            &order,
+            &mut raw,
+            &heavy_view,
+            &lce,
+            anchor_to_view,
+        );
         // Keep the construction sort's packed keys, reordered to leaf order,
         // as the integer narrowing index of `equal_range`.
-        set.prefix_keys = order.iter().map(|&idx| prefix_keys[idx]).collect();
-        (set, lcps)
+        let leaf_keys: Vec<u64> = order.iter().map(|&idx| prefix_keys[idx]).collect();
+        (raw.into_set(self.direction, heavy_view, leaf_keys), lcps)
     }
 
     /// The pre-overhaul `finish`: builds the LCE substrate from the retained
@@ -666,45 +734,44 @@ impl EncodedFactorSetBuilder {
             .then(factors[a].strand.cmp(&factors[b].strand))
         });
 
-        let mut set = EncodedFactorSet {
-            direction: self.direction,
-            heavy_view,
-            anchor_view: Vec::with_capacity(order.len()),
-            anchor_x: Vec::with_capacity(order.len()),
-            lens: Vec::with_capacity(order.len()),
-            strands: Vec::with_capacity(order.len()),
-            mism_start: Vec::with_capacity(order.len() + 1),
-            mismatches: Vec::new(),
-            mism_log_ratios: Vec::new(),
-            // The reference pipeline predates the packed keys; leaving them
-            // empty makes `equal_range` skip the integer narrowing.
-            prefix_keys: Vec::new(),
-        };
-        set.mism_start.push(0);
-        let lcps = Self::emit_sorted(&factors, &order, &mut set, &lce, anchor_to_view);
-        (set, lcps)
+        let mut raw = RawFactorData::with_capacity(order.len(), 0);
+        let lcps = Self::emit_sorted(
+            &factors,
+            &order,
+            &mut raw,
+            &heavy_view,
+            &lce,
+            anchor_to_view,
+        );
+        // The reference pipeline predates the packed keys; leaving them
+        // empty makes `equal_range` skip the integer narrowing.
+        (raw.into_set(self.direction, heavy_view, Vec::new()), lcps)
     }
 
-    /// Emits the factors into `set` in sorted order and computes neighbour
+    /// Emits the factors into `raw` in sorted order and computes neighbour
     /// LCPs (shared tail of `finish` and `finish_reference`).
     fn emit_sorted(
         factors: &[PendingFactor],
         order: &[usize],
-        set: &mut EncodedFactorSet,
+        raw: &mut RawFactorData,
+        heavy_view: &[u8],
         lce: &LceIndex,
         anchor_to_view: impl Fn(u32) -> u32,
     ) -> Vec<usize> {
         let mut lcps = vec![0usize; order.len()];
         for (rank, &idx) in order.iter().enumerate() {
             let f = &factors[idx];
-            set.anchor_view.push(anchor_to_view(f.anchor_x));
-            set.anchor_x.push(f.anchor_x);
-            set.lens.push(f.len);
-            set.strands.push(f.strand);
-            set.mismatches.extend_from_slice(&f.mismatches);
-            set.mism_log_ratios
-                .extend(f.mismatches.iter().map(|m| m.ratio.ln()));
-            set.mism_start.push(set.mismatches.len() as u32);
+            raw.anchor_view.push(anchor_to_view(f.anchor_x));
+            raw.anchor_x.push(f.anchor_x);
+            raw.lens.push(f.len);
+            raw.strands.push(f.strand);
+            for m in &f.mismatches {
+                raw.mism_depths.push(m.depth);
+                raw.mism_letters.push(m.letter);
+                raw.mism_ratios.push(m.ratio);
+                raw.mism_log_ratios.push(m.ratio.ln());
+            }
+            raw.mism_start.push(raw.mism_depths.len() as u32);
             if rank > 0 {
                 let prev = &factors[order[rank - 1]];
                 lcps[rank] = lcp_pending(
@@ -712,12 +779,66 @@ impl EncodedFactorSetBuilder {
                     anchor_to_view(prev.anchor_x) as usize,
                     f,
                     anchor_to_view(f.anchor_x) as usize,
-                    &set.heavy_view,
+                    heavy_view,
                     lce,
                 );
             }
         }
         lcps
+    }
+}
+
+/// Construction-time emission buffers of [`EncodedFactorSetBuilder`] — plain
+/// vectors grown by `push`, converted into the set's flat pools at the end.
+struct RawFactorData {
+    anchor_view: Vec<u32>,
+    anchor_x: Vec<u32>,
+    lens: Vec<u32>,
+    strands: Vec<u32>,
+    mism_start: Vec<u32>,
+    mism_depths: Vec<u32>,
+    mism_letters: Vec<u8>,
+    mism_ratios: Vec<f64>,
+    mism_log_ratios: Vec<f64>,
+}
+
+impl RawFactorData {
+    fn with_capacity(leaves: usize, mismatches: usize) -> Self {
+        let mut mism_start = Vec::with_capacity(leaves + 1);
+        mism_start.push(0);
+        Self {
+            anchor_view: Vec::with_capacity(leaves),
+            anchor_x: Vec::with_capacity(leaves),
+            lens: Vec::with_capacity(leaves),
+            strands: Vec::with_capacity(leaves),
+            mism_start,
+            mism_depths: Vec::with_capacity(mismatches),
+            mism_letters: Vec::with_capacity(mismatches),
+            mism_ratios: Vec::with_capacity(mismatches),
+            mism_log_ratios: Vec::with_capacity(mismatches),
+        }
+    }
+
+    fn into_set(
+        self,
+        direction: Direction,
+        heavy_view: Arc<Vec<u8>>,
+        prefix_keys: Vec<u64>,
+    ) -> EncodedFactorSet {
+        EncodedFactorSet {
+            direction,
+            heavy_view,
+            anchor_view: self.anchor_view,
+            anchor_x: ArenaVec::from(self.anchor_x),
+            lens: ArenaVec::from(self.lens),
+            strands: ArenaVec::from(self.strands),
+            mism_start: ArenaVec::from(self.mism_start),
+            mism_depths: ArenaVec::from(self.mism_depths),
+            mism_letters: ArenaVec::from(self.mism_letters),
+            mism_ratios: ArenaVec::from(self.mism_ratios),
+            mism_log_ratios: self.mism_log_ratios,
+            prefix_keys: ArenaVec::from(prefix_keys),
+        }
     }
 }
 
@@ -969,7 +1090,7 @@ mod tests {
                 for (d, &letter) in s.iter().enumerate() {
                     let stored = set.letter_at(leaf, d).unwrap();
                     assert_eq!(stored, letter, "leaf {leaf} depth {d}");
-                    if set.mismatches(leaf).iter().all(|m| m.depth as usize != d) {
+                    if set.mismatch_depths(leaf).iter().all(|&md| md as usize != d) {
                         assert_eq!(view[anchor_view + d], letter);
                     }
                 }
@@ -1053,7 +1174,9 @@ mod tests {
                 assert_eq!(parallel.lens_raw(), serial.lens_raw());
                 assert_eq!(parallel.strands_raw(), serial.strands_raw());
                 assert_eq!(parallel.mism_start_raw(), serial.mism_start_raw());
-                assert_eq!(parallel.mismatches_raw(), serial.mismatches_raw());
+                assert_eq!(parallel.mism_depths_raw(), serial.mism_depths_raw());
+                assert_eq!(parallel.mism_letters_raw(), serial.mism_letters_raw());
+                assert_eq!(parallel.mism_ratios_raw(), serial.mism_ratios_raw());
                 assert_eq!(parallel.prefix_keys_raw(), serial.prefix_keys_raw());
             }
         }
@@ -1082,7 +1205,7 @@ mod tests {
         assert_eq!(LabelProvider::len(&set, 0), 5);
         assert_eq!(set.strand(0), 7);
         assert_eq!(set.anchor_x(0), 2);
-        assert_eq!(set.mismatches(0).len(), 1);
+        assert_eq!(set.num_mismatches(0), 1);
         assert_eq!(set.total_mismatches(), 1);
         assert!(set.memory_bytes() > set.memory_bytes_without_heavy());
     }
@@ -1094,16 +1217,14 @@ mod tests {
             EncodedFactorSet::from_loaded_parts(
                 Direction::Forward,
                 Arc::clone(&heavy),
-                vec![1],
-                vec![3],
-                vec![0],
-                vec![0, 1],
-                vec![Mismatch {
-                    depth: 2,
-                    letter: 0,
-                    ratio,
-                }],
-                Vec::new(),
+                vec![1].into(),
+                vec![3].into(),
+                vec![0].into(),
+                vec![0, 1].into(),
+                vec![2u32].into(),
+                vec![0u8].into(),
+                vec![ratio].into(),
+                ArenaVec::new(),
             )
         };
         assert!(good(0.5).is_ok());
@@ -1116,28 +1237,28 @@ mod tests {
         assert!(EncodedFactorSet::from_loaded_parts(
             Direction::Forward,
             Arc::clone(&heavy),
-            vec![1],
-            vec![3],
-            vec![0],
-            vec![0, 1],
-            vec![Mismatch {
-                depth: 3,
-                letter: 0,
-                ratio: 0.5,
-            }],
-            Vec::new(),
+            vec![1].into(),
+            vec![3].into(),
+            vec![0].into(),
+            vec![0, 1].into(),
+            vec![3u32].into(),
+            vec![0u8].into(),
+            vec![0.5].into(),
+            ArenaVec::new(),
         )
         .is_err());
         // Factor running past the heavy view.
         assert!(EncodedFactorSet::from_loaded_parts(
             Direction::Forward,
             Arc::clone(&heavy),
-            vec![4],
-            vec![2],
-            vec![0],
-            vec![0, 0],
-            Vec::new(),
-            Vec::new(),
+            vec![4].into(),
+            vec![2].into(),
+            vec![0].into(),
+            vec![0, 0].into(),
+            ArenaVec::new(),
+            ArenaVec::new(),
+            ArenaVec::new(),
+            ArenaVec::new(),
         )
         .is_err());
     }

@@ -49,7 +49,10 @@ pub use ius_query::{
 pub use minimizer_index::{IndexVariant, MinimizerIndex};
 pub use naive::NaiveIndex;
 pub use params::IndexParams;
-pub use persist::{load_any_index, load_index, save_index, LoadedAny, FORMAT_VERSION};
+pub use persist::{
+    load_any_index, load_index, open_any_index, open_index, save_index, save_index_with, LoadedAny,
+    SaveOptions, FORMAT_VERSION,
+};
 pub use shard::ShardedIndex;
 pub use space_efficient::SpaceEfficientBuilder;
 pub use traits::{validate_pattern, IndexStats, UncertainIndex};

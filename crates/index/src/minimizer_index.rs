@@ -19,6 +19,7 @@ use crate::encode::{
 };
 use crate::params::IndexParams;
 use crate::traits::{finalize_positions, validate_pattern, IndexStats, UncertainIndex};
+use ius_arena::{Arena, ArenaVec};
 use ius_grid::{GridPoint, RangeReporter, Rect};
 use ius_query::{finalize_into, MatchSink, QueryScratch};
 use ius_sampling::MinimizerScheme;
@@ -80,8 +81,14 @@ pub struct MinimizerIndex {
     fwd_trie: Option<CompactedTrie>,
     bwd_trie: Option<CompactedTrie>,
     grid: Option<RangeReporter>,
-    /// Per grid point: the (forward leaf, backward leaf) it pairs.
-    pairs: Vec<(u32, u32)>,
+    /// Per grid point: the (forward leaf, backward leaf) it pairs,
+    /// interleaved `[fwd₀, bwd₀, fwd₁, bwd₁, …]` so the pool is one flat
+    /// array an arena open can view zero-copy.
+    pairs: ArenaVec<u32>,
+    /// The persisted arena the index's views borrow from, when it was opened
+    /// through the arena path (`None` for built or stream-loaded indexes).
+    /// Held so size accounting can count the single backing allocation once.
+    arena: Option<Arena>,
     /// `"explicit"` (from a z-estimation) or `"space-efficient"` (Section 4).
     construction: &'static str,
 }
@@ -333,21 +340,22 @@ impl MinimizerIndex {
                 by_label.insert((fwd.anchor_x(leaf) as u32, fwd.strand(leaf)), leaf as u32);
             }
             let mut points = Vec::with_capacity(bwd.len());
-            let mut pairs = Vec::with_capacity(bwd.len());
+            let mut pairs = Vec::with_capacity(2 * bwd.len());
             for bwd_leaf in 0..bwd.len() {
                 let label = (bwd.anchor_x(bwd_leaf) as u32, bwd.strand(bwd_leaf));
                 if let Some(&fwd_leaf) = by_label.get(&label) {
-                    let payload = pairs.len() as u32;
-                    pairs.push((fwd_leaf, bwd_leaf as u32));
+                    let payload = (pairs.len() / 2) as u32;
+                    pairs.push(fwd_leaf);
+                    pairs.push(bwd_leaf as u32);
                     points.push(GridPoint::new(fwd_leaf, bwd_leaf as u32, payload));
                 }
             }
             // Unpaired backward leaves leave slack behind the capacity guess;
             // the pair table is retained for the index's lifetime.
             pairs.shrink_to_fit();
-            (Some(RangeReporter::new(points)), pairs)
+            (Some(RangeReporter::new(points)), ArenaVec::from(pairs))
         } else {
-            (None, Vec::new())
+            (None, ArenaVec::new())
         };
 
         Ok(Self {
@@ -363,8 +371,15 @@ impl MinimizerIndex {
             bwd_trie,
             grid,
             pairs,
+            arena: None,
             construction,
         })
+    }
+
+    /// The `(forward leaf, backward leaf)` pair a grid payload refers to.
+    #[inline]
+    fn pair(&self, payload: usize) -> (u32, u32) {
+        (self.pairs[2 * payload], self.pairs[2 * payload + 1])
     }
 
     /// The index parameters (`z`, `ℓ`, `k`, order).
@@ -420,7 +435,8 @@ impl MinimizerIndex {
         fwd_trie: Option<CompactedTrie>,
         bwd_trie: Option<CompactedTrie>,
         grid: Option<RangeReporter>,
-        pairs: Vec<(u32, u32)>,
+        pairs: ArenaVec<u32>,
+        arena: Option<Arena>,
         construction: &'static str,
     ) -> Self {
         Self {
@@ -436,6 +452,7 @@ impl MinimizerIndex {
             bwd_trie,
             grid,
             pairs,
+            arena,
             construction,
         }
     }
@@ -497,7 +514,7 @@ impl MinimizerIndex {
             scratch.grid.clear();
             stats.grid_nodes = grid.report_into(&rect, &mut scratch.grid);
             for &payload in &scratch.grid {
-                let (fwd_leaf, bwd_leaf) = self.pairs[payload as usize];
+                let (fwd_leaf, bwd_leaf) = self.pair(payload as usize);
                 stats.candidates += 1;
                 let anchor = self.fwd.anchor_x(fwd_leaf as usize);
                 let Some(start) = anchor.checked_sub(mu) else {
@@ -606,13 +623,13 @@ impl MinimizerIndex {
         // depth d corresponds to position anchor - d, so depths 1..=mu fall
         // inside the pattern window (depth 0 is the anchor itself, accounted
         // for by the forward factor).
-        for (mis, log_ratio) in self
+        for (&depth, log_ratio) in self
             .bwd
-            .mismatches(bwd_leaf)
+            .mismatch_depths(bwd_leaf)
             .iter()
             .zip(self.bwd.mismatch_log_ratios(bwd_leaf))
         {
-            let d = mis.depth as usize;
+            let d = depth as usize;
             if d >= 1 && d <= mu {
                 log_prob += log_ratio;
             }
@@ -620,13 +637,13 @@ impl MinimizerIndex {
         // Mismatches of the forward factor cover positions [anchor, end);
         // depth d corresponds to position anchor + d, inside the window for
         // d < m - mu.
-        for (mis, log_ratio) in self
+        for (&depth, log_ratio) in self
             .fwd
-            .mismatches(fwd_leaf)
+            .mismatch_depths(fwd_leaf)
             .iter()
             .zip(self.fwd.mismatch_log_ratios(fwd_leaf))
         {
-            let d = mis.depth as usize;
+            let d = depth as usize;
             if d < m - mu {
                 log_prob += log_ratio;
             }
@@ -648,16 +665,26 @@ impl MinimizerIndex {
     ) -> bool {
         let end = start + m;
         let mut log_prob = self.heavy.range_log_probability(start, end);
-        for mis in self.bwd.mismatches(bwd_leaf) {
-            let d = mis.depth as usize;
+        for (&depth, &ratio) in self
+            .bwd
+            .mismatch_depths(bwd_leaf)
+            .iter()
+            .zip(self.bwd.mismatch_ratios(bwd_leaf))
+        {
+            let d = depth as usize;
             if d >= 1 && d <= mu {
-                log_prob += mis.ratio.ln();
+                log_prob += ratio.ln();
             }
         }
-        for mis in self.fwd.mismatches(fwd_leaf) {
-            let d = mis.depth as usize;
+        for (&depth, &ratio) in self
+            .fwd
+            .mismatch_depths(fwd_leaf)
+            .iter()
+            .zip(self.fwd.mismatch_ratios(fwd_leaf))
+        {
+            let d = depth as usize;
             if d < m - mu {
-                log_prob += mis.ratio.ln();
+                log_prob += ratio.ln();
             }
         }
         is_solid(log_prob.exp(), self.params.z)
@@ -675,7 +702,8 @@ pub(crate) struct MinimizerParts<'a> {
     pub(crate) fwd_trie: Option<&'a CompactedTrie>,
     pub(crate) bwd_trie: Option<&'a CompactedTrie>,
     pub(crate) grid: Option<&'a RangeReporter>,
-    pub(crate) pairs: &'a [(u32, u32)],
+    /// Interleaved `[fwd₀, bwd₀, fwd₁, bwd₁, …]` grid pairs.
+    pub(crate) pairs: &'a [u32],
 }
 
 /// Extracts the deviations of a strand from the heavy string that fall into
@@ -753,7 +781,7 @@ impl UncertainIndex for MinimizerIndex {
             );
             let grid = self.grid.as_ref().expect("grid variant holds a grid");
             for payload in grid.report(&rect) {
-                let (fwd_leaf, bwd_leaf) = self.pairs[payload as usize];
+                let (fwd_leaf, bwd_leaf) = self.pair(payload as usize);
                 let anchor = self.fwd.anchor_x(fwd_leaf as usize);
                 let Some(start) = anchor.checked_sub(mu) else {
                     continue;
@@ -800,8 +828,7 @@ impl UncertainIndex for MinimizerIndex {
     fn size_bytes(&self) -> usize {
         let tries = self.fwd_trie.as_ref().map_or(0, |t| t.memory_bytes())
             + self.bwd_trie.as_ref().map_or(0, |t| t.memory_bytes());
-        let grid = self.grid.as_ref().map_or(0, |g| g.memory_bytes())
-            + self.pairs.capacity() * std::mem::size_of::<(u32, u32)>();
+        let grid = self.grid.as_ref().map_or(0, |g| g.memory_bytes()) + self.pairs.heap_bytes();
         // The forward set normally shares its heavy view with `self.heavy`
         // (count the allocation once), but the reference construction path
         // gives it an owned copy. The backward set always owns its reversed
@@ -811,7 +838,10 @@ impl UncertainIndex for MinimizerIndex {
         } else {
             self.fwd.memory_bytes_without_heavy()
         };
-        self.heavy.memory_bytes() + fwd_bytes + self.bwd.memory_bytes() + tries + grid
+        // Arena-backed components report zero owned bytes for their views;
+        // the single backing allocation is counted here, once.
+        let arena = self.arena.as_ref().map_or(0, Arena::alloc_bytes);
+        self.heavy.memory_bytes() + fwd_bytes + self.bwd.memory_bytes() + tries + grid + arena
     }
 
     fn stats(&self) -> IndexStats {
@@ -926,7 +956,11 @@ mod tests {
                         assert_eq!(a.anchor_x(leaf), b.anchor_x(leaf), "leaf {leaf}");
                         assert_eq!(a.factor_len(leaf), b.factor_len(leaf), "leaf {leaf}");
                         assert_eq!(a.strand(leaf), b.strand(leaf), "leaf {leaf}");
-                        assert_eq!(a.mismatches(leaf), b.mismatches(leaf), "leaf {leaf}");
+                        assert_eq!(
+                            a.mismatches(leaf).collect::<Vec<_>>(),
+                            b.mismatches(leaf).collect::<Vec<_>>(),
+                            "leaf {leaf}"
+                        );
                     }
                 }
                 let mut sampler = PatternSampler::new(&est, 5);

@@ -2,41 +2,72 @@
 //!
 //! The build environment has no crates.io access, so the format is
 //! hand-rolled rather than serde-derived: a little-endian binary layout
-//! behind a fixed envelope
+//! behind a fixed envelope. Format **version 3** (current):
 //!
 //! ```text
-//! magic "IUSX" (4 bytes) · format version (u16) · family tag (u8) · payload
-//! · CRC32 trailer (u32, over magic+version+tag+payload)
+//! magic "IUSX" (4) · version (u16) · family tag (u8) · envelope length (u64)
+//! · payload (sections at 8-byte-aligned offsets) · CRC32 trailer (u32)
 //! ```
 //!
-//! Every envelope — including the nested per-shard envelopes inside a
-//! sharded file — carries its own CRC32 (IEEE, from [`ius_faultio`])
-//! trailer, computed over everything from the magic through the last
-//! payload byte. Silent bit-rot is therefore detected at open, not served;
-//! a mismatch is a typed `InvalidData` error, never a panic.
+//! The envelope length counts everything from the magic through the trailer
+//! inclusive, which lets a reader locate the trailer without streaming the
+//! payload. Every large flat array is a **section**:
+//!
+//! ```text
+//! element count (u64) · encoding (u8) · zero pad to an 8-byte-aligned
+//! offset relative to the envelope start · data
+//! ```
+//!
+//! Encoding `0` stores the elements as raw little-endian values — because
+//! the offset is 8-byte aligned, an in-memory copy of the file can hand out
+//! **zero-copy borrowed views** of the data (see [`ius_arena`]). Encoding
+//! `1` (opt-in via [`SaveOptions::pack_u32`], `u32` sections only)
+//! bit-packs the values at the minimum fixed width
+//! `⌈log₂(max+1)⌉`: `width (u8) · packed word count (u64) · pad ·
+//! little-endian u64 words`, LSB-first; packed sections decode to owned
+//! vectors at open.
+//!
+//! Two read paths exist for v3 files:
+//!
+//! - **Streaming** ([`load_index`]/[`load_any_index`]): decodes every
+//!   section into owned memory; works mid-stream (the live-index segment
+//!   files embed an envelope after a segment prefix).
+//! - **Arena open** ([`open_index`]/[`open_any_index`]): the whole file is
+//!   read into one 8-byte-aligned [`Arena`] allocation up front, the CRC32
+//!   trailer is verified over the raw bytes (slicing-by-8, so this is
+//!   bandwidth-bound), and every raw section becomes a borrowed view.
+//!   Open cost is O(header + validation), not O(elements) — no per-element
+//!   decode, no per-table allocation.
+//!
+//! Version-2 files (streamed scalar payload, no length field, no
+//! alignment) are still **read** bit-compatibly by [`load_index`]; the v2
+//! writer survives as the `#[doc(hidden)]` [`save_index_v2`] for the
+//! backward-compat differential suite. Version bumps are rejected typed;
+//! there is no silent migration. Every envelope — including the nested
+//! per-shard envelopes inside a sharded file — carries its own CRC32
+//! (IEEE, from [`ius_faultio`]) trailer; silent bit-rot is detected at
+//! open, not served, and a mismatch is a typed `InvalidData` error, never
+//! a panic.
+//!
+//! Derived data is not stored when reloading it is linear-time and
+//! allocation-only — leaf fragments of the WST, anchor view coordinates
+//! and mismatch log-ratios of the factor sets (ratios are stored raw so a
+//! re-save is byte-identical), and the minimizer scheme are all recomputed
+//! on load; the expensive construction steps (z-estimation, suffix
+//! sorting, trie and merge-sort-tree assembly) are **never** re-run.
 //!
 //! Family tags: `0` NAIVE, `1` WST, `2` WSA, `3` minimizer (any of
 //! MWST/MWSA/MWST-G/MWSA-G, explicit or space-efficient construction),
 //! `4` sharded. Every multi-byte integer and float is little-endian
 //! (`f64` as the LE bytes of its IEEE-754 bits, so round trips are
-//! bit-exact). Vectors are a `u64` length followed by the elements.
+//! bit-exact).
 //!
-//! **Version policy:** the version is bumped on any layout change; readers
-//! reject versions they do not know (no silent migration). Derived data is
-//! not stored when reloading it is linear-time and allocation-only — leaf
-//! fragments of the WST, anchor view coordinates and mismatch log-ratios of
-//! the factor sets, and the minimizer scheme (re-derived from the stored
-//! parameters) are all recomputed on load; the expensive construction steps
-//! (z-estimation, suffix sorting, trie and merge-sort-tree assembly) are
-//! **never** re-run, which is what makes loading an order of magnitude
-//! faster than rebuilding (see `BENCH_space.json`).
-//!
-//! Entry points: [`save_index`]/[`load_index`] over [`AnyIndex`], plus
-//! inherent `save_to`/`load_from` on every concrete family (including
-//! [`ShardedIndex`], whose payload nests one envelope per shard).
+//! Entry points: [`save_index`]/[`load_index`]/[`open_index`] over
+//! [`AnyIndex`], [`open_any_index`] for files that may be sharded, and
+//! inherent `save_to`/`load_from` on every concrete family.
 
 use crate::builder::AnyIndex;
-use crate::encode::{Direction, EncodedFactorSet, Mismatch};
+use crate::encode::{Direction, EncodedFactorSet};
 use crate::minimizer_index::{IndexVariant, MinimizerIndex};
 use crate::naive::NaiveIndex;
 use crate::params::IndexParams;
@@ -45,7 +76,8 @@ use crate::shard::ShardedIndex;
 use crate::traits::UncertainIndex;
 use crate::wsa::Wsa;
 use crate::wst::Wst;
-use ius_faultio::{Crc32Reader, Crc32Writer};
+use ius_arena::{as_le_bytes, Arena, ArenaVec, Pod};
+use ius_faultio::{crc32, Crc32Reader, Crc32Writer};
 use ius_grid::{RangeReporter, ReporterParts};
 use ius_sampling::KmerOrder;
 use ius_text::trie::{CompactedTrie, TrieParts};
@@ -56,10 +88,14 @@ use std::sync::Arc;
 /// The four magic bytes opening every saved index.
 pub const MAGIC: [u8; 4] = *b"IUSX";
 
-/// The current on-disk format version. Version 2 added the CRC32 trailer
-/// behind every envelope; version-1 files (no checksum) are rejected typed
-/// like any other unknown version.
-pub const FORMAT_VERSION: u16 = 2;
+/// The current on-disk format version: arena-openable 8-byte-aligned
+/// sections with an envelope length field. Version 2 (streamed scalars,
+/// CRC32 trailer) is still read; version-1 files (no checksum) are
+/// rejected typed like any other unknown version.
+pub const FORMAT_VERSION: u16 = 3;
+
+/// The previous streamed format, still accepted by every load path.
+pub const V2_FORMAT_VERSION: u16 = 2;
 
 const TAG_NAIVE: u8 = 0;
 const TAG_WST: u8 = 1;
@@ -67,12 +103,30 @@ const TAG_WSA: u8 = 2;
 const TAG_MINIMIZER: u8 = 3;
 const TAG_SHARDED: u8 = 4;
 
+/// Section encodings (the `u8` after the element count).
+const ENC_RAW: u8 = 0;
+const ENC_PACKED: u8 = 1;
+
+/// Bytes of the v3 envelope header: magic, version, tag, envelope length.
+const V3_HEADER: usize = 15;
+
+/// Options controlling how [`save_index_with`] encodes sections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveOptions {
+    /// Bit-pack `u32` sections (position lists, mismatch depth tables,
+    /// grid pools …) at the minimum fixed width when that is smaller than
+    /// the raw encoding. Shrinks files; packed sections decode to owned
+    /// vectors at open instead of borrowing from the arena, so the
+    /// zero-copy open path only stays allocation-free for raw sections.
+    pub pack_u32: bool,
+}
+
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 // ---------------------------------------------------------------------------
-// Wire primitives
+// Wire primitives (shared by the v2 stream format and v3 scalar fields)
 // ---------------------------------------------------------------------------
 
 fn write_u8(w: &mut dyn Write, v: u8) -> io::Result<()> {
@@ -156,10 +210,10 @@ fn read_bytes(r: &mut dyn Read) -> io::Result<Vec<u8>> {
     read_byte_vec(r, len)
 }
 
-/// Elements per chunk of the vector writers below: conversions go through a
-/// bounded stack-side buffer and reach the writer as large `write_all`s, so
-/// saving to an unbuffered `File` does not degenerate into one syscall per
-/// element.
+/// Elements per chunk of the v2 vector writers below: conversions go
+/// through a bounded stack-side buffer and reach the writer as large
+/// `write_all`s, so saving to an unbuffered `File` does not degenerate
+/// into one syscall per element.
 const WRITE_CHUNK: usize = 8192;
 
 fn write_vec_u32(w: &mut dyn Write, values: &[u32]) -> io::Result<()> {
@@ -258,56 +312,499 @@ fn read_vec_f64(r: &mut dyn Read) -> io::Result<Vec<f64>> {
 }
 
 // ---------------------------------------------------------------------------
+// Bit packing (section encoding 1)
+// ---------------------------------------------------------------------------
+
+/// Bits needed to represent every value of `data` (≥ 1 so empty/zero data
+/// still has a valid width).
+fn packed_width(data: &[u32]) -> usize {
+    let max = data.iter().copied().max().unwrap_or(0);
+    (32 - max.leading_zeros()).max(1) as usize
+}
+
+/// Packs `data` LSB-first at a fixed `width` bits per value.
+fn pack_u32(data: &[u32], width: usize) -> Vec<u64> {
+    let mut words = vec![0u64; (data.len() * width).div_ceil(64)];
+    let mut bit = 0usize;
+    for &v in data {
+        let (word, off) = (bit / 64, bit % 64);
+        words[word] |= (v as u64) << off;
+        if off + width > 64 {
+            words[word + 1] |= (v as u64) >> (64 - off);
+        }
+        bit += width;
+    }
+    words
+}
+
+/// Inverse of [`pack_u32`]; `words` must hold `⌈len·width/64⌉` words
+/// (validated by the caller).
+fn unpack_u32(words: &[u64], len: usize, width: usize) -> Vec<u32> {
+    let mask = if width == 32 {
+        u64::from(u32::MAX)
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut out = Vec::with_capacity(len);
+    let mut bit = 0usize;
+    for _ in 0..len {
+        let (word, off) = (bit / 64, bit % 64);
+        let mut v = words[word] >> off;
+        if off + width > 64 {
+            v |= words[word + 1] << (64 - off);
+        }
+        out.push((v & mask) as u32);
+        bit += width;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// v3 writer: one in-memory buffer per envelope
+// ---------------------------------------------------------------------------
+
+/// Accumulates one complete v3 envelope in memory. Offsets relative to the
+/// envelope start are simply `buf.len()`, which makes the 8-byte section
+/// alignment trivial; the finished envelope (header patched with the total
+/// length, CRC32 trailer appended) reaches the output writer as a single
+/// `write_all` — the buffered save path.
+struct V3Writer {
+    buf: Vec<u8>,
+    opts: SaveOptions,
+}
+
+impl Write for V3Writer {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl V3Writer {
+    fn pad8(&mut self) {
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+    }
+
+    /// Writes one raw-encoded section of any [`Pod`] type.
+    fn section<T: Pod>(&mut self, data: &[T]) {
+        self.buf
+            .extend_from_slice(&(data.len() as u64).to_le_bytes());
+        self.buf.push(ENC_RAW);
+        self.pad8();
+        self.buf.extend_from_slice(&as_le_bytes(data));
+    }
+
+    /// Writes a `u32` section, bit-packed when [`SaveOptions::pack_u32`] is
+    /// on and packing actually shrinks it.
+    fn section_u32(&mut self, data: &[u32]) {
+        if self.opts.pack_u32 && !data.is_empty() {
+            let width = packed_width(data);
+            let words = (data.len() * width).div_ceil(64);
+            // 9 header bytes (width + word count) buy `4 − width/8` bytes
+            // per element; only pack when that is a net win.
+            if words * 8 + 9 < data.len() * 4 {
+                self.buf
+                    .extend_from_slice(&(data.len() as u64).to_le_bytes());
+                self.buf.push(ENC_PACKED);
+                self.buf.push(width as u8);
+                self.buf.extend_from_slice(&(words as u64).to_le_bytes());
+                self.pad8();
+                self.buf
+                    .extend_from_slice(&as_le_bytes(&pack_u32(data, width)));
+                return;
+            }
+        }
+        self.section(data);
+    }
+}
+
+/// Writes one complete checksummed v3 envelope into `w` as a single
+/// buffered write.
+fn write_checksummed_v3(
+    w: &mut dyn Write,
+    tag: u8,
+    opts: SaveOptions,
+    payload: impl FnOnce(&mut V3Writer) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut vw = V3Writer {
+        buf: Vec::with_capacity(256),
+        opts,
+    };
+    vw.buf.extend_from_slice(&MAGIC);
+    vw.buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    vw.buf.push(tag);
+    vw.buf.extend_from_slice(&0u64.to_le_bytes()); // length, patched below
+    payload(&mut vw)?;
+    let total = (vw.buf.len() + 4) as u64;
+    vw.buf[7..V3_HEADER].copy_from_slice(&total.to_le_bytes());
+    let crc = crc32(&vw.buf);
+    vw.buf.extend_from_slice(&crc.to_le_bytes());
+    w.write_all(&vw.buf)
+}
+
+// ---------------------------------------------------------------------------
+// v3 readers: one generic payload decoder over two sources
+// ---------------------------------------------------------------------------
+
+/// One v3 payload byte source. Each family's payload reader is written
+/// once, generic over this trait; the stream impl decodes sections into
+/// owned vectors, the arena impl hands out zero-copy views.
+trait SectionSource {
+    /// Reads exactly `buf.len()` bytes (scalar header fields).
+    fn read_buf(&mut self, buf: &mut [u8]) -> io::Result<()>;
+    /// Current offset from the envelope start.
+    fn pos(&self) -> u64;
+    /// Consumes `n` padding bytes, rejecting nonzero padding.
+    fn skip_pad(&mut self, n: usize) -> io::Result<()>;
+    /// Takes `elems` raw little-endian elements at the current (8-aligned)
+    /// position: a borrowed view for the arena source, a decoded owned
+    /// vector for the stream source.
+    fn take<T: Pod>(&mut self, elems: usize) -> io::Result<ArenaVec<T>>;
+    /// The arena handle the loaded index should retain for size
+    /// accounting, if any (`None` for streams and for nested envelopes,
+    /// whose enclosing sharded index retains the one handle).
+    fn retained_arena(&self) -> Option<Arena>;
+    /// Reads one complete nested single-family envelope starting at the
+    /// current position (the caller aligns to 8 first).
+    fn read_nested_index(&mut self) -> io::Result<AnyIndex>;
+}
+
+fn src_u8<S: SectionSource>(s: &mut S) -> io::Result<u8> {
+    let mut buf = [0u8; 1];
+    s.read_buf(&mut buf)?;
+    Ok(buf[0])
+}
+
+fn src_u32<S: SectionSource>(s: &mut S) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    s.read_buf(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn src_u64<S: SectionSource>(s: &mut S) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    s.read_buf(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn src_f64<S: SectionSource>(s: &mut S) -> io::Result<f64> {
+    Ok(f64::from_bits(src_u64(s)?))
+}
+
+fn src_len<S: SectionSource>(s: &mut S) -> io::Result<usize> {
+    usize::try_from(src_u64(s)?).map_err(|_| bad("length prefix exceeds the address space"))
+}
+
+/// Skips to the next 8-byte-aligned offset relative to the envelope start.
+fn src_align8<S: SectionSource>(s: &mut S) -> io::Result<()> {
+    let pad = (8 - (s.pos() % 8) as usize) % 8;
+    s.skip_pad(pad)
+}
+
+/// Reads one section of any [`Pod`] type (raw encoding only).
+fn read_section<T: Pod, S: SectionSource>(s: &mut S) -> io::Result<ArenaVec<T>> {
+    let elems = src_len(s)?;
+    match src_u8(s)? {
+        ENC_RAW => {
+            src_align8(s)?;
+            s.take::<T>(elems)
+        }
+        other => Err(bad(format!("unsupported section encoding {other}"))),
+    }
+}
+
+/// Reads one `u32` section (raw or bit-packed).
+fn read_section_u32<S: SectionSource>(s: &mut S) -> io::Result<ArenaVec<u32>> {
+    let elems = src_len(s)?;
+    match src_u8(s)? {
+        ENC_RAW => {
+            src_align8(s)?;
+            s.take::<u32>(elems)
+        }
+        ENC_PACKED => {
+            let width = src_u8(s)? as usize;
+            if !(1..=32).contains(&width) {
+                return Err(bad(format!("invalid packed-section width {width}")));
+            }
+            let words = src_len(s)?;
+            let expected = elems
+                .checked_mul(width)
+                .ok_or_else(|| bad("packed section overflows"))?
+                .div_ceil(64);
+            if words != expected {
+                return Err(bad("packed section word count does not match"));
+            }
+            src_align8(s)?;
+            let packed = s.take::<u64>(words)?;
+            Ok(ArenaVec::from(unpack_u32(&packed, elems, width)))
+        }
+        other => Err(bad(format!("unsupported section encoding {other}"))),
+    }
+}
+
+/// Byte-counting reader adapter: tracks the offset from the envelope start
+/// across scalar reads, sections and nested envelopes alike.
+struct CountingReader<'a> {
+    inner: &'a mut dyn Read,
+    pos: u64,
+}
+
+impl Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// The streaming v3 source: decodes every section into owned memory.
+/// Needed wherever the envelope is embedded mid-stream (live-index segment
+/// files) or the caller wants plain owned vectors.
+struct StreamSource<'a> {
+    cr: CountingReader<'a>,
+}
+
+impl<'a> StreamSource<'a> {
+    /// `r` must be positioned just past the 7 header bytes the envelope
+    /// reader consumed (magic, version, tag).
+    fn new(r: &'a mut dyn Read) -> Self {
+        Self {
+            cr: CountingReader { inner: r, pos: 7 },
+        }
+    }
+}
+
+impl SectionSource for StreamSource<'_> {
+    fn read_buf(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.cr.read_exact(buf)
+    }
+
+    fn pos(&self) -> u64 {
+        self.cr.pos
+    }
+
+    fn skip_pad(&mut self, n: usize) -> io::Result<()> {
+        let mut buf = [0u8; 8];
+        self.cr.read_exact(&mut buf[..n])?;
+        if buf[..n].iter().any(|&b| b != 0) {
+            return Err(bad("nonzero section padding"));
+        }
+        Ok(())
+    }
+
+    fn take<T: Pod>(&mut self, elems: usize) -> io::Result<ArenaVec<T>> {
+        let bytes = elems
+            .checked_mul(T::SIZE)
+            .ok_or_else(|| bad("section length overflows"))?;
+        let raw = read_byte_vec(&mut self.cr, bytes)?;
+        let mut out = Vec::with_capacity(elems);
+        out.extend(raw.chunks_exact(T::SIZE).map(T::read_le));
+        Ok(ArenaVec::from(out))
+    }
+
+    fn retained_arena(&self) -> Option<Arena> {
+        None
+    }
+
+    fn read_nested_index(&mut self) -> io::Result<AnyIndex> {
+        load_index(&mut self.cr)
+    }
+}
+
+/// The zero-copy v3 source: a bounds-checked cursor over an [`Arena`]
+/// whose envelope CRC was verified once, up front.
+struct ArenaSource {
+    arena: Arena,
+    base: usize,
+    cursor: usize,
+    /// First byte past the payload (the trailer's offset).
+    end: usize,
+    /// Total envelope length including the trailer.
+    envelope_len: usize,
+    /// Whether loaded structures should retain the arena handle (false for
+    /// nested shard envelopes — the sharded composite holds the one handle).
+    retain: bool,
+}
+
+impl ArenaSource {
+    /// Validates the envelope at `base` (magic, version, length bounds,
+    /// CRC32 over the raw bytes) and returns its family tag plus a cursor
+    /// positioned at the first payload byte.
+    fn open(arena: &Arena, base: usize, retain: bool) -> io::Result<(u8, Self)> {
+        if !base.is_multiple_of(8) {
+            return Err(bad("envelope does not start 8-byte aligned"));
+        }
+        let bytes = arena.as_bytes();
+        let head = bytes
+            .get(base..base + V3_HEADER)
+            .ok_or_else(|| bad("file too short for an IUSX v3 envelope"))?;
+        if head[..4] != MAGIC {
+            return Err(bad("not an IUSX index file (bad magic)"));
+        }
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != FORMAT_VERSION {
+            return Err(bad(format!(
+                "unsupported format version {version} for arena open \
+                 (this build opens version {FORMAT_VERSION})"
+            )));
+        }
+        let tag = head[6];
+        let envelope_len = usize::try_from(u64::from_le_bytes(
+            head[7..V3_HEADER].try_into().expect("8-byte slice"),
+        ))
+        .map_err(|_| bad("envelope length exceeds the address space"))?;
+        let end_total = base
+            .checked_add(envelope_len)
+            .filter(|&e| e <= bytes.len() && envelope_len >= V3_HEADER + 4)
+            .ok_or_else(|| bad("envelope length field escapes the file"))?;
+        let end = end_total - 4;
+        let stored = u32::from_le_bytes(bytes[end..end_total].try_into().expect("4-byte slice"));
+        let computed = crc32(&bytes[base..end]);
+        if stored != computed {
+            return Err(bad(format!(
+                "index checksum mismatch (stored {stored:#010x}, computed {computed:#010x}): \
+                 the file is corrupt"
+            )));
+        }
+        Ok((
+            tag,
+            Self {
+                arena: arena.clone(),
+                base,
+                cursor: base + V3_HEADER,
+                end,
+                envelope_len,
+                retain,
+            },
+        ))
+    }
+
+    /// Rejects trailing payload bytes the decoder did not consume.
+    fn expect_consumed(&self) -> io::Result<()> {
+        if self.cursor != self.end {
+            return Err(bad(format!(
+                "envelope payload has {} undecoded trailing bytes",
+                self.end - self.cursor
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl SectionSource for ArenaSource {
+    fn read_buf(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        let next = self
+            .cursor
+            .checked_add(buf.len())
+            .filter(|&n| n <= self.end)
+            .ok_or_else(|| bad("payload field escapes the envelope"))?;
+        buf.copy_from_slice(&self.arena.as_bytes()[self.cursor..next]);
+        self.cursor = next;
+        Ok(())
+    }
+
+    fn pos(&self) -> u64 {
+        (self.cursor - self.base) as u64
+    }
+
+    fn skip_pad(&mut self, n: usize) -> io::Result<()> {
+        let mut buf = [0u8; 8];
+        self.read_buf(&mut buf[..n])?;
+        if buf[..n].iter().any(|&b| b != 0) {
+            return Err(bad("nonzero section padding"));
+        }
+        Ok(())
+    }
+
+    fn take<T: Pod>(&mut self, elems: usize) -> io::Result<ArenaVec<T>> {
+        let bytes = elems
+            .checked_mul(T::SIZE)
+            .ok_or_else(|| bad("section length overflows"))?;
+        let next = self
+            .cursor
+            .checked_add(bytes)
+            .filter(|&n| n <= self.end)
+            .ok_or_else(|| bad("section escapes the envelope"))?;
+        let view = self
+            .arena
+            .view::<T>(self.cursor, elems)
+            .ok_or_else(|| bad("section is not aligned for its element type"))?;
+        self.cursor = next;
+        Ok(view)
+    }
+
+    fn retained_arena(&self) -> Option<Arena> {
+        self.retain.then(|| self.arena.clone())
+    }
+
+    fn read_nested_index(&mut self) -> io::Result<AnyIndex> {
+        let (tag, mut nested) = ArenaSource::open(&self.arena, self.cursor, false)?;
+        let index = load_index_payload_v3(tag, &mut nested)?;
+        nested.expect_consumed()?;
+        self.cursor += nested.envelope_len;
+        Ok(index)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Envelope
 // ---------------------------------------------------------------------------
 
-fn write_envelope(w: &mut dyn Write, tag: u8) -> io::Result<()> {
+fn write_envelope_v2(w: &mut dyn Write, tag: u8) -> io::Result<()> {
     w.write_all(&MAGIC)?;
-    write_u16(w, FORMAT_VERSION)?;
+    write_u16(w, V2_FORMAT_VERSION)?;
     write_u8(w, tag)
 }
 
-fn read_envelope(r: &mut dyn Read) -> io::Result<u8> {
+/// Reads magic, version and family tag, accepting versions 2 and 3.
+fn read_envelope(r: &mut dyn Read) -> io::Result<(u8, u16)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
         return Err(bad("not an IUSX index file (bad magic)"));
     }
     let version = read_u16(r)?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != V2_FORMAT_VERSION {
         return Err(bad(format!(
-            "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
+            "unsupported format version {version} \
+             (this build reads versions {V2_FORMAT_VERSION} and {FORMAT_VERSION})"
         )));
     }
-    read_u8(r)
+    Ok((read_u8(r)?, version))
 }
 
-/// Writes one complete checksummed envelope: magic/version/tag and the
-/// payload emitted by `payload` go through a CRC32 hasher, then the
-/// checksum follows as a trailer. Nested envelopes (the per-shard ones of
-/// a sharded file) each carry their own trailer, which the enclosing
-/// envelope's checksum also covers.
-fn write_checksummed(
+/// Writes one complete checksummed **v2** envelope (the doc(hidden)
+/// backward-compat writer): magic/version/tag and the payload emitted by
+/// `payload` go through a CRC32 hasher, then the checksum follows as a
+/// trailer.
+fn write_checksummed_v2(
     w: &mut dyn Write,
     tag: u8,
     payload: impl FnOnce(&mut dyn Write) -> io::Result<()>,
 ) -> io::Result<()> {
     let mut cw = Crc32Writer::new(w);
-    write_envelope(&mut cw, tag)?;
+    write_envelope_v2(&mut cw, tag)?;
     payload(&mut cw)?;
     let crc = cw.crc();
     write_u32(cw.into_inner(), crc)
 }
 
-/// Reads one complete checksummed envelope, handing the tag and the
-/// checksummed payload stream to `body`, then verifies the trailer.
+/// Reads one complete checksummed envelope (either version), handing the
+/// tag, version and checksummed payload stream to `body`, then verifies
+/// the trailer.
 fn read_checksummed<T>(
     r: &mut dyn Read,
-    body: impl FnOnce(u8, &mut dyn Read) -> io::Result<T>,
+    body: impl FnOnce(u8, u16, &mut dyn Read) -> io::Result<T>,
 ) -> io::Result<T> {
     let mut cr = Crc32Reader::new(r);
-    let tag = read_envelope(&mut cr)?;
-    let value = body(tag, &mut cr)?;
+    let (tag, version) = read_envelope(&mut cr)?;
+    let value = body(tag, version, &mut cr)?;
     let computed = cr.crc();
     let stored = read_u32(cr.inner_mut())?;
     if stored != computed {
@@ -319,8 +816,24 @@ fn read_checksummed<T>(
     Ok(value)
 }
 
+/// Runs a v3 payload decoder over a stream positioned just past the 7
+/// header bytes, validating the envelope length field against the bytes
+/// actually consumed.
+fn run_v3_stream<'a, T>(
+    r: &'a mut dyn Read,
+    body: impl FnOnce(&mut StreamSource<'a>) -> io::Result<T>,
+) -> io::Result<T> {
+    let mut src = StreamSource::new(r);
+    let declared = src_u64(&mut src)?;
+    let value = body(&mut src)?;
+    if src.pos() + 4 != declared {
+        return Err(bad("envelope length field does not match the payload"));
+    }
+    Ok(value)
+}
+
 // ---------------------------------------------------------------------------
-// Shared components
+// Shared scalar components (identical bytes in v2 and v3 payloads)
 // ---------------------------------------------------------------------------
 
 fn write_order(w: &mut dyn Write, order: KmerOrder) -> io::Result<()> {
@@ -358,16 +871,44 @@ pub(crate) fn read_params(r: &mut dyn Read) -> io::Result<IndexParams> {
     let ell = read_len(r)?;
     let k = read_len(r)?;
     let order = read_order(r)?;
+    validate_params(z, ell, k)?;
+    Ok(IndexParams { z, ell, k, order })
+}
+
+fn validate_params(z: f64, ell: usize, k: usize) -> io::Result<()> {
     if !(z.is_finite() && z >= 1.0) {
         return Err(bad(format!("invalid stored threshold z = {z}")));
     }
     if ell == 0 || k == 0 || k > ell {
         return Err(bad(format!("invalid stored parameters ℓ = {ell}, k = {k}")));
     }
+    Ok(())
+}
+
+fn src_order<S: SectionSource>(s: &mut S) -> io::Result<KmerOrder> {
+    let tag = src_u8(s)?;
+    let seed = src_u64(s)?;
+    match tag {
+        0 => Ok(KmerOrder::Lexicographic),
+        1 => Ok(KmerOrder::KarpRabin { seed }),
+        other => Err(bad(format!("unknown k-mer order tag {other}"))),
+    }
+}
+
+fn src_params<S: SectionSource>(s: &mut S) -> io::Result<IndexParams> {
+    let z = src_f64(s)?;
+    let ell = src_len(s)?;
+    let k = src_len(s)?;
+    let order = src_order(s)?;
+    validate_params(z, ell, k)?;
     Ok(IndexParams { z, ell, k, order })
 }
 
-fn write_property_text(w: &mut dyn Write, pt: &PropertyText) -> io::Result<()> {
+// ---------------------------------------------------------------------------
+// v2 component readers/writers (streamed scalar layout)
+// ---------------------------------------------------------------------------
+
+fn write_property_text_v2(w: &mut dyn Write, pt: &PropertyText) -> io::Result<()> {
     write_u64(w, pt.n() as u64)?;
     write_u64(w, pt.num_strands() as u64)?;
     write_bytes(w, pt.text())?;
@@ -382,7 +923,7 @@ fn write_property_text(w: &mut dyn Write, pt: &PropertyText) -> io::Result<()> {
     }
 }
 
-fn read_property_text(r: &mut dyn Read) -> io::Result<PropertyText> {
+fn read_property_text_v2(r: &mut dyn Read) -> io::Result<PropertyText> {
     let n = read_len(r)?;
     let num_strands = read_len(r)?;
     let text = read_bytes(r)?;
@@ -390,13 +931,21 @@ fn read_property_text(r: &mut dyn Read) -> io::Result<PropertyText> {
     let psa = read_vec_u32(r)?;
     let trunc_lcp = match read_u8(r)? {
         0 => None,
-        1 => Some(read_vec_u32(r)?),
+        1 => Some(ArenaVec::from(read_vec_u32(r)?)),
         other => return Err(bad(format!("bad truncated-LCP flag {other}"))),
     };
-    PropertyText::from_parts(n, num_strands, text, trunc, psa, trunc_lcp).map_err(bad)
+    PropertyText::from_parts(
+        n,
+        num_strands,
+        text.into(),
+        trunc.into(),
+        psa.into(),
+        trunc_lcp,
+    )
+    .map_err(bad)
 }
 
-fn write_trie(w: &mut dyn Write, trie: &CompactedTrie) -> io::Result<()> {
+fn write_trie_v2(w: &mut dyn Write, trie: &CompactedTrie) -> io::Result<()> {
     let parts = trie.to_parts();
     write_vec_u32(w, &parts.depth)?;
     write_vec_u32(w, &parts.leaf_lo)?;
@@ -410,23 +959,23 @@ fn write_trie(w: &mut dyn Write, trie: &CompactedTrie) -> io::Result<()> {
     write_u64(w, parts.num_leaves)
 }
 
-fn read_trie(r: &mut dyn Read) -> io::Result<CompactedTrie> {
+fn read_trie_v2(r: &mut dyn Read) -> io::Result<CompactedTrie> {
     let parts = TrieParts {
-        depth: read_vec_u32(r)?,
-        leaf_lo: read_vec_u32(r)?,
-        leaf_hi: read_vec_u32(r)?,
-        children_start: read_vec_u32(r)?,
-        children_len: read_vec_u16(r)?,
-        is_leaf: read_bytes(r)?,
-        child_letters: read_bytes(r)?,
-        child_nodes: read_vec_u32(r)?,
+        depth: read_vec_u32(r)?.into(),
+        leaf_lo: read_vec_u32(r)?.into(),
+        leaf_hi: read_vec_u32(r)?.into(),
+        children_start: read_vec_u32(r)?.into(),
+        children_len: read_vec_u16(r)?.into(),
+        is_leaf: read_bytes(r)?.into(),
+        child_letters: read_bytes(r)?.into(),
+        child_nodes: read_vec_u32(r)?.into(),
         root: read_u32(r)?,
         num_leaves: read_u64(r)?,
     };
     CompactedTrie::from_parts(parts).map_err(bad)
 }
 
-fn write_reporter(w: &mut dyn Write, reporter: &RangeReporter) -> io::Result<()> {
+fn write_reporter_v2(w: &mut dyn Write, reporter: &RangeReporter) -> io::Result<()> {
     let parts = reporter.to_parts();
     write_u64(w, parts.len)?;
     write_vec_u32(w, &parts.xs)?;
@@ -435,32 +984,31 @@ fn write_reporter(w: &mut dyn Write, reporter: &RangeReporter) -> io::Result<()>
     write_vec_u32(w, &parts.payloads)
 }
 
-fn read_reporter_parts(r: &mut dyn Read) -> io::Result<ReporterParts> {
+fn read_reporter_parts_v2(r: &mut dyn Read) -> io::Result<ReporterParts> {
     Ok(ReporterParts {
         len: read_u64(r)?,
-        xs: read_vec_u32(r)?,
-        node_lens: read_vec_u32(r)?,
-        ys: read_vec_u32(r)?,
-        payloads: read_vec_u32(r)?,
+        xs: read_vec_u32(r)?.into(),
+        node_lens: read_vec_u32(r)?.into(),
+        ys: read_vec_u32(r)?.into(),
+        payloads: read_vec_u32(r)?.into(),
     })
 }
 
-fn write_heavy(w: &mut dyn Write, heavy: &HeavyString) -> io::Result<()> {
+fn write_heavy_v2(w: &mut dyn Write, heavy: &HeavyString) -> io::Result<()> {
     write_bytes(w, heavy.as_ranks())?;
     write_vec_f64(w, heavy.log_prefix())
 }
 
-fn read_heavy(r: &mut dyn Read) -> io::Result<HeavyString> {
+fn read_heavy_v2(r: &mut dyn Read) -> io::Result<HeavyString> {
     let letters = read_bytes(r)?;
     let log_prefix = read_vec_f64(r)?;
-    HeavyString::from_parts(letters, log_prefix).map_err(|e| bad(e.to_string()))
+    HeavyString::from_parts(letters, log_prefix.into()).map_err(|e| bad(e.to_string()))
 }
 
-/// Writes a factor set. The heavy view is *not* stored: forward sets read
-/// the index-wide heavy string (shared or as their own copy — only the
-/// ownership flag is recorded), backward sets read its reversal; both are
-/// reconstructed from the heavy string on load.
-fn write_factor_set(w: &mut dyn Write, set: &EncodedFactorSet) -> io::Result<()> {
+/// Writes a factor set in the v2 layout: the three mismatch pools are
+/// interleaved back into the legacy `(depth, letter, ratio)` records, so
+/// the emitted bytes are identical to what version 2 of this crate wrote.
+fn write_factor_set_v2(w: &mut dyn Write, set: &EncodedFactorSet) -> io::Result<()> {
     write_u8(
         w,
         match set.direction() {
@@ -473,22 +1021,40 @@ fn write_factor_set(w: &mut dyn Write, set: &EncodedFactorSet) -> io::Result<()>
     write_vec_u32(w, set.lens_raw())?;
     write_vec_u32(w, set.strands_raw())?;
     write_vec_u32(w, set.mism_start_raw())?;
-    let mismatches = set.mismatches_raw();
-    write_u64(w, mismatches.len() as u64)?;
-    let mut buf = Vec::with_capacity(WRITE_CHUNK.min(mismatches.len()) * 13);
-    for chunk in mismatches.chunks(WRITE_CHUNK) {
+    let depths = set.mism_depths_raw();
+    let letters = set.mism_letters_raw();
+    let ratios = set.mism_ratios_raw();
+    write_u64(w, depths.len() as u64)?;
+    let mut buf = Vec::with_capacity(WRITE_CHUNK.min(depths.len()) * 13);
+    for start in (0..depths.len()).step_by(WRITE_CHUNK) {
         buf.clear();
-        for m in chunk {
-            buf.extend_from_slice(&m.depth.to_le_bytes());
-            buf.push(m.letter);
-            buf.extend_from_slice(&m.ratio.to_bits().to_le_bytes());
+        let end = (start + WRITE_CHUNK).min(depths.len());
+        for i in start..end {
+            buf.extend_from_slice(&depths[i].to_le_bytes());
+            buf.push(letters[i]);
+            buf.extend_from_slice(&ratios[i].to_bits().to_le_bytes());
         }
         w.write_all(&buf)?;
     }
     write_vec_u64(w, set.prefix_keys_raw())
 }
 
-fn read_factor_set(r: &mut dyn Read, heavy: &HeavyString) -> io::Result<EncodedFactorSet> {
+/// Reconstructs the heavy view a factor set reads through: forward sets
+/// see the index-wide heavy string (shared, or their own copy when the
+/// ownership flag says so), backward sets see its reversal.
+fn factor_heavy_view(direction: Direction, owns_view: bool, heavy: &HeavyString) -> Arc<Vec<u8>> {
+    match (direction, owns_view) {
+        (Direction::Forward, false) => heavy.shared_ranks(),
+        (Direction::Forward, true) => Arc::new(heavy.as_ranks().to_vec()),
+        (Direction::Backward, _) => {
+            let mut reversed = heavy.as_ranks().to_vec();
+            reversed.reverse();
+            Arc::new(reversed)
+        }
+    }
+}
+
+fn read_factor_set_v2(r: &mut dyn Read, heavy: &HeavyString) -> io::Result<EncodedFactorSet> {
     let direction = match read_u8(r)? {
         0 => Direction::Forward,
         1 => Direction::Backward,
@@ -499,30 +1065,182 @@ fn read_factor_set(r: &mut dyn Read, heavy: &HeavyString) -> io::Result<EncodedF
         1 => true,
         other => return Err(bad(format!("bad heavy-view ownership flag {other}"))),
     };
-    let heavy_view: Arc<Vec<u8>> = match (direction, owns_view) {
-        (Direction::Forward, false) => heavy.shared_ranks(),
-        (Direction::Forward, true) => Arc::new(heavy.as_ranks().to_vec()),
-        (Direction::Backward, _) => {
-            let mut reversed = heavy.as_ranks().to_vec();
-            reversed.reverse();
-            Arc::new(reversed)
-        }
-    };
+    let heavy_view = factor_heavy_view(direction, owns_view, heavy);
     let anchor_x = read_vec_u32(r)?;
     let lens = read_vec_u32(r)?;
     let strands = read_vec_u32(r)?;
     let mism_start = read_vec_u32(r)?;
     let mism_count = read_len(r)?;
-    let mut mismatches = Vec::with_capacity(mism_count.min(1 << 20));
+    let cap = mism_count.min(1 << 20);
+    let mut mism_depths = Vec::with_capacity(cap);
+    let mut mism_letters = Vec::with_capacity(cap);
+    let mut mism_ratios = Vec::with_capacity(cap);
     for _ in 0..mism_count {
-        mismatches.push(Mismatch {
-            depth: read_u32(r)?,
-            letter: read_u8(r)?,
-            ratio: read_f64(r)?,
-        });
+        mism_depths.push(read_u32(r)?);
+        mism_letters.push(read_u8(r)?);
+        mism_ratios.push(read_f64(r)?);
     }
-    mismatches.shrink_to_fit();
+    mism_depths.shrink_to_fit();
+    mism_letters.shrink_to_fit();
+    mism_ratios.shrink_to_fit();
     let prefix_keys = read_vec_u64(r)?;
+    EncodedFactorSet::from_loaded_parts(
+        direction,
+        heavy_view,
+        anchor_x.into(),
+        lens.into(),
+        strands.into(),
+        mism_start.into(),
+        mism_depths.into(),
+        mism_letters.into(),
+        mism_ratios.into(),
+        prefix_keys.into(),
+    )
+    .map_err(bad)
+}
+
+// ---------------------------------------------------------------------------
+// v3 component writers/readers (aligned sections)
+// ---------------------------------------------------------------------------
+
+fn write_property_text_v3(vw: &mut V3Writer, pt: &PropertyText) -> io::Result<()> {
+    write_u64(vw, pt.n() as u64)?;
+    write_u64(vw, pt.num_strands() as u64)?;
+    vw.section::<u8>(pt.text());
+    vw.section_u32(pt.trunc_raw());
+    vw.section_u32(pt.psa());
+    match pt.trunc_lcp_raw() {
+        Some(lcps) => {
+            write_u8(vw, 1)?;
+            vw.section_u32(lcps);
+        }
+        None => write_u8(vw, 0)?,
+    }
+    Ok(())
+}
+
+fn read_property_text_v3<S: SectionSource>(s: &mut S) -> io::Result<PropertyText> {
+    let n = src_len(s)?;
+    let num_strands = src_len(s)?;
+    let text = read_section::<u8, _>(s)?;
+    let trunc = read_section_u32(s)?;
+    let psa = read_section_u32(s)?;
+    let trunc_lcp = match src_u8(s)? {
+        0 => None,
+        1 => Some(read_section_u32(s)?),
+        other => return Err(bad(format!("bad truncated-LCP flag {other}"))),
+    };
+    PropertyText::from_parts(n, num_strands, text, trunc, psa, trunc_lcp).map_err(bad)
+}
+
+fn write_trie_v3(vw: &mut V3Writer, trie: &CompactedTrie) -> io::Result<()> {
+    let parts = trie.to_parts();
+    vw.section_u32(&parts.depth);
+    vw.section_u32(&parts.leaf_lo);
+    vw.section_u32(&parts.leaf_hi);
+    vw.section_u32(&parts.children_start);
+    vw.section::<u16>(&parts.children_len);
+    vw.section::<u8>(&parts.is_leaf);
+    vw.section::<u8>(&parts.child_letters);
+    vw.section_u32(&parts.child_nodes);
+    write_u32(vw, parts.root)?;
+    write_u64(vw, parts.num_leaves)
+}
+
+fn read_trie_v3<S: SectionSource>(s: &mut S) -> io::Result<CompactedTrie> {
+    let parts = TrieParts {
+        depth: read_section_u32(s)?,
+        leaf_lo: read_section_u32(s)?,
+        leaf_hi: read_section_u32(s)?,
+        children_start: read_section_u32(s)?,
+        children_len: read_section::<u16, _>(s)?,
+        is_leaf: read_section::<u8, _>(s)?,
+        child_letters: read_section::<u8, _>(s)?,
+        child_nodes: read_section_u32(s)?,
+        root: src_u32(s)?,
+        num_leaves: src_u64(s)?,
+    };
+    CompactedTrie::from_parts(parts).map_err(bad)
+}
+
+fn write_reporter_v3(vw: &mut V3Writer, reporter: &RangeReporter) -> io::Result<()> {
+    let parts = reporter.to_parts();
+    write_u64(vw, parts.len)?;
+    vw.section_u32(&parts.xs);
+    vw.section_u32(&parts.node_lens);
+    vw.section_u32(&parts.ys);
+    vw.section_u32(&parts.payloads);
+    Ok(())
+}
+
+fn read_reporter_parts_v3<S: SectionSource>(s: &mut S) -> io::Result<ReporterParts> {
+    Ok(ReporterParts {
+        len: src_u64(s)?,
+        xs: read_section_u32(s)?,
+        node_lens: read_section_u32(s)?,
+        ys: read_section_u32(s)?,
+        payloads: read_section_u32(s)?,
+    })
+}
+
+fn write_heavy_v3(vw: &mut V3Writer, heavy: &HeavyString) -> io::Result<()> {
+    vw.section::<u8>(heavy.as_ranks());
+    vw.section::<f64>(heavy.log_prefix());
+    Ok(())
+}
+
+fn read_heavy_v3<S: SectionSource>(s: &mut S) -> io::Result<HeavyString> {
+    // The heavy letters live behind an `Arc<Vec<u8>>` shared with the
+    // factor sets, so they are copied out of the arena (n bytes — tiny
+    // next to the O(n·z) tables that stay zero-copy).
+    let letters = read_section::<u8, _>(s)?.to_vec();
+    let log_prefix = read_section::<f64, _>(s)?;
+    HeavyString::from_parts(letters, log_prefix).map_err(|e| bad(e.to_string()))
+}
+
+fn write_factor_set_v3(vw: &mut V3Writer, set: &EncodedFactorSet) -> io::Result<()> {
+    write_u8(
+        vw,
+        match set.direction() {
+            Direction::Forward => 0,
+            Direction::Backward => 1,
+        },
+    )?;
+    write_u8(vw, u8::from(set.owns_heavy_view()))?;
+    vw.section_u32(set.anchor_x_raw());
+    vw.section_u32(set.lens_raw());
+    vw.section_u32(set.strands_raw());
+    vw.section_u32(set.mism_start_raw());
+    vw.section_u32(set.mism_depths_raw());
+    vw.section::<u8>(set.mism_letters_raw());
+    vw.section::<f64>(set.mism_ratios_raw());
+    vw.section::<u64>(set.prefix_keys_raw());
+    Ok(())
+}
+
+fn read_factor_set_v3<S: SectionSource>(
+    s: &mut S,
+    heavy: &HeavyString,
+) -> io::Result<EncodedFactorSet> {
+    let direction = match src_u8(s)? {
+        0 => Direction::Forward,
+        1 => Direction::Backward,
+        other => return Err(bad(format!("unknown factor-set direction {other}"))),
+    };
+    let owns_view = match src_u8(s)? {
+        0 => false,
+        1 => true,
+        other => return Err(bad(format!("bad heavy-view ownership flag {other}"))),
+    };
+    let heavy_view = factor_heavy_view(direction, owns_view, heavy);
+    let anchor_x = read_section_u32(s)?;
+    let lens = read_section_u32(s)?;
+    let strands = read_section_u32(s)?;
+    let mism_start = read_section_u32(s)?;
+    let mism_depths = read_section_u32(s)?;
+    let mism_letters = read_section::<u8, _>(s)?;
+    let mism_ratios = read_section::<f64, _>(s)?;
+    let prefix_keys = read_section::<u64, _>(s)?;
     EncodedFactorSet::from_loaded_parts(
         direction,
         heavy_view,
@@ -530,7 +1248,9 @@ fn read_factor_set(r: &mut dyn Read, heavy: &HeavyString) -> io::Result<EncodedF
         lens,
         strands,
         mism_start,
-        mismatches,
+        mism_depths,
+        mism_letters,
+        mism_ratios,
         prefix_keys,
     )
     .map_err(bad)
@@ -540,35 +1260,55 @@ fn read_factor_set(r: &mut dyn Read, heavy: &HeavyString) -> io::Result<EncodedF
 // Family payloads
 // ---------------------------------------------------------------------------
 
-fn write_minimizer_payload(w: &mut dyn Write, index: &MinimizerIndex) -> io::Result<()> {
+fn variant_tag(variant: IndexVariant) -> u8 {
+    match variant {
+        IndexVariant::Tree => 0,
+        IndexVariant::Array => 1,
+        IndexVariant::TreeGrid => 2,
+        IndexVariant::ArrayGrid => 3,
+    }
+}
+
+fn variant_from_tag(tag: u8) -> io::Result<IndexVariant> {
+    Ok(match tag {
+        0 => IndexVariant::Tree,
+        1 => IndexVariant::Array,
+        2 => IndexVariant::TreeGrid,
+        3 => IndexVariant::ArrayGrid,
+        other => return Err(bad(format!("unknown index variant tag {other}"))),
+    })
+}
+
+fn construction_tag(construction: &str) -> u8 {
+    match construction {
+        "space-efficient" => 1,
+        _ => 0,
+    }
+}
+
+fn construction_from_tag(tag: u8) -> io::Result<&'static str> {
+    Ok(match tag {
+        0 => "explicit",
+        1 => "space-efficient",
+        other => return Err(bad(format!("unknown construction tag {other}"))),
+    })
+}
+
+fn write_minimizer_payload_v2(w: &mut dyn Write, index: &MinimizerIndex) -> io::Result<()> {
     write_params(w, index.params())?;
-    write_u8(
-        w,
-        match index.variant() {
-            IndexVariant::Tree => 0,
-            IndexVariant::Array => 1,
-            IndexVariant::TreeGrid => 2,
-            IndexVariant::ArrayGrid => 3,
-        },
-    )?;
-    write_u8(
-        w,
-        match index.construction() {
-            "space-efficient" => 1,
-            _ => 0,
-        },
-    )?;
+    write_u8(w, variant_tag(index.variant()))?;
+    write_u8(w, construction_tag(index.construction()))?;
     let parts = index.persist_parts();
     write_u64(w, parts.n as u64)?;
     write_u64(w, parts.sigma as u64)?;
-    write_heavy(w, parts.heavy)?;
-    write_factor_set(w, parts.fwd)?;
-    write_factor_set(w, parts.bwd)?;
+    write_heavy_v2(w, parts.heavy)?;
+    write_factor_set_v2(w, parts.fwd)?;
+    write_factor_set_v2(w, parts.bwd)?;
     for trie in [parts.fwd_trie, parts.bwd_trie] {
         match trie {
             Some(trie) => {
                 write_u8(w, 1)?;
-                write_trie(w, trie)?;
+                write_trie_v2(w, trie)?;
             }
             None => write_u8(w, 0)?,
         }
@@ -576,11 +1316,11 @@ fn write_minimizer_payload(w: &mut dyn Write, index: &MinimizerIndex) -> io::Res
     match parts.grid {
         Some(grid) => {
             write_u8(w, 1)?;
-            write_reporter(w, grid)?;
-            write_u64(w, parts.pairs.len() as u64)?;
-            for &(fwd_leaf, bwd_leaf) in parts.pairs {
-                write_u32(w, fwd_leaf)?;
-                write_u32(w, bwd_leaf)?;
+            write_reporter_v2(w, grid)?;
+            write_u64(w, (parts.pairs.len() / 2) as u64)?;
+            for pair in parts.pairs.chunks_exact(2) {
+                write_u32(w, pair[0])?;
+                write_u32(w, pair[1])?;
             }
         }
         None => write_u8(w, 0)?,
@@ -588,43 +1328,63 @@ fn write_minimizer_payload(w: &mut dyn Write, index: &MinimizerIndex) -> io::Res
     Ok(())
 }
 
-fn read_minimizer_payload(r: &mut dyn Read) -> io::Result<MinimizerIndex> {
-    let params = read_params(r)?;
-    let variant = match read_u8(r)? {
-        0 => IndexVariant::Tree,
-        1 => IndexVariant::Array,
-        2 => IndexVariant::TreeGrid,
-        3 => IndexVariant::ArrayGrid,
-        other => return Err(bad(format!("unknown index variant tag {other}"))),
-    };
-    let construction = match read_u8(r)? {
-        0 => "explicit",
-        1 => "space-efficient",
-        other => return Err(bad(format!("unknown construction tag {other}"))),
-    };
-    let n = read_len(r)?;
-    let sigma = read_len(r)?;
+fn write_minimizer_payload_v3(vw: &mut V3Writer, index: &MinimizerIndex) -> io::Result<()> {
+    write_params(vw, index.params())?;
+    write_u8(vw, variant_tag(index.variant()))?;
+    write_u8(vw, construction_tag(index.construction()))?;
+    let parts = index.persist_parts();
+    write_u64(vw, parts.n as u64)?;
+    write_u64(vw, parts.sigma as u64)?;
+    write_heavy_v3(vw, parts.heavy)?;
+    write_factor_set_v3(vw, parts.fwd)?;
+    write_factor_set_v3(vw, parts.bwd)?;
+    for trie in [parts.fwd_trie, parts.bwd_trie] {
+        match trie {
+            Some(trie) => {
+                write_u8(vw, 1)?;
+                write_trie_v3(vw, trie)?;
+            }
+            None => write_u8(vw, 0)?,
+        }
+    }
+    match parts.grid {
+        Some(grid) => {
+            write_u8(vw, 1)?;
+            write_reporter_v3(vw, grid)?;
+            vw.section_u32(parts.pairs);
+        }
+        None => write_u8(vw, 0)?,
+    }
+    Ok(())
+}
+
+/// Validates the cross-component invariants shared by both minimizer
+/// readers and assembles the index.
+#[allow(clippy::too_many_arguments)]
+fn assemble_minimizer(
+    params: IndexParams,
+    variant: IndexVariant,
+    n: usize,
+    sigma: usize,
+    heavy: HeavyString,
+    fwd: EncodedFactorSet,
+    bwd: EncodedFactorSet,
+    fwd_trie: Option<CompactedTrie>,
+    bwd_trie: Option<CompactedTrie>,
+    grid: Option<RangeReporter>,
+    pairs: ArenaVec<u32>,
+    arena: Option<Arena>,
+    construction: &'static str,
+) -> io::Result<MinimizerIndex> {
     if sigma == 0 || sigma > 256 {
         return Err(bad(format!("invalid stored alphabet size {sigma}")));
     }
-    let heavy = read_heavy(r)?;
     if heavy.len() != n {
         return Err(bad("heavy string length does not match the stored n"));
     }
-    let fwd = read_factor_set(r, &heavy)?;
-    let bwd = read_factor_set(r, &heavy)?;
     if fwd.direction() != Direction::Forward || bwd.direction() != Direction::Backward {
         return Err(bad("factor sets stored in the wrong order"));
     }
-    let mut tries = [None, None];
-    for slot in &mut tries {
-        *slot = match read_u8(r)? {
-            0 => None,
-            1 => Some(read_trie(r)?),
-            other => return Err(bad(format!("bad trie presence flag {other}"))),
-        };
-    }
-    let [fwd_trie, bwd_trie] = tries;
     if variant.has_tree() != fwd_trie.is_some() || variant.has_tree() != bwd_trie.is_some() {
         return Err(bad("stored tries do not match the index variant"));
     }
@@ -638,41 +1398,26 @@ fn read_minimizer_payload(r: &mut dyn Read) -> io::Result<MinimizerIndex> {
             return Err(bad("backward trie does not match the backward factor set"));
         }
     }
-    let (grid, pairs) = match read_u8(r)? {
-        0 => (None, Vec::new()),
-        1 => {
-            let grid_parts = read_reporter_parts(r)?;
-            let count = read_len(r)?;
-            let mut pairs = Vec::with_capacity(count.min(1 << 20));
-            for _ in 0..count {
-                let fwd_leaf = read_u32(r)?;
-                let bwd_leaf = read_u32(r)?;
-                if fwd_leaf as usize >= fwd.len() || bwd_leaf as usize >= bwd.len() {
-                    return Err(bad("grid pair references a leaf out of range"));
-                }
-                pairs.push((fwd_leaf, bwd_leaf));
-            }
-            pairs.shrink_to_fit();
-            // Every grid point's payload indexes the pair table at query
-            // time; reject out-of-range payloads here rather than panicking
-            // on the first grid query.
-            if grid_parts
-                .payloads
-                .iter()
-                .any(|&payload| payload as usize >= pairs.len())
-            {
-                return Err(bad("grid payload references a pair out of range"));
-            }
-            let grid = RangeReporter::from_parts(grid_parts).map_err(bad)?;
-            if grid.len() != pairs.len() {
-                return Err(bad("grid point count does not match the pair table"));
-            }
-            (Some(grid), pairs)
-        }
-        other => return Err(bad(format!("bad grid presence flag {other}"))),
-    };
     if variant.has_grid() != grid.is_some() {
         return Err(bad("stored grid does not match the index variant"));
+    }
+    if !pairs.len().is_multiple_of(2) {
+        return Err(bad("grid pair pool has an odd element count"));
+    }
+    // Max-scan instead of an early-exit loop: this covers the whole pair
+    // pool on every open, so it must vectorize.
+    let (worst_fwd, worst_bwd) = pairs
+        .chunks_exact(2)
+        .fold((0u32, 0u32), |(f, b), p| (f.max(p[0]), b.max(p[1])));
+    if !pairs.is_empty() && (worst_fwd as usize >= fwd.len() || worst_bwd as usize >= bwd.len()) {
+        return Err(bad("grid pair references a leaf out of range"));
+    }
+    if let Some(grid) = &grid {
+        if grid.len() != pairs.len() / 2 {
+            return Err(bad("grid point count does not match the pair table"));
+        }
+    } else if !pairs.is_empty() {
+        return Err(bad("grid pair pool stored without a grid"));
     }
     Ok(MinimizerIndex::from_loaded_parts(
         params,
@@ -686,8 +1431,123 @@ fn read_minimizer_payload(r: &mut dyn Read) -> io::Result<MinimizerIndex> {
         bwd_trie,
         grid,
         pairs,
+        arena,
         construction,
     ))
+}
+
+fn read_minimizer_payload_v2(r: &mut dyn Read) -> io::Result<MinimizerIndex> {
+    let params = read_params(r)?;
+    let variant = variant_from_tag(read_u8(r)?)?;
+    let construction = construction_from_tag(read_u8(r)?)?;
+    let n = read_len(r)?;
+    let sigma = read_len(r)?;
+    let heavy = read_heavy_v2(r)?;
+    let fwd = read_factor_set_v2(r, &heavy)?;
+    let bwd = read_factor_set_v2(r, &heavy)?;
+    let mut tries = [None, None];
+    for slot in &mut tries {
+        *slot = match read_u8(r)? {
+            0 => None,
+            1 => Some(read_trie_v2(r)?),
+            other => return Err(bad(format!("bad trie presence flag {other}"))),
+        };
+    }
+    let [fwd_trie, bwd_trie] = tries;
+    let (grid, pairs) = match read_u8(r)? {
+        0 => (None, Vec::new()),
+        1 => {
+            let grid_parts = read_reporter_parts_v2(r)?;
+            let count = read_len(r)?;
+            let mut pairs = Vec::with_capacity(count.min(1 << 20).saturating_mul(2));
+            for _ in 0..count {
+                pairs.push(read_u32(r)?);
+                pairs.push(read_u32(r)?);
+            }
+            pairs.shrink_to_fit();
+            // Every grid point's payload indexes the pair table at query
+            // time; reject out-of-range payloads here rather than panicking
+            // on the first grid query.
+            if grid_parts
+                .payloads
+                .iter()
+                .any(|&payload| payload as usize >= count)
+            {
+                return Err(bad("grid payload references a pair out of range"));
+            }
+            (
+                Some(RangeReporter::from_parts(grid_parts).map_err(bad)?),
+                pairs,
+            )
+        }
+        other => return Err(bad(format!("bad grid presence flag {other}"))),
+    };
+    assemble_minimizer(
+        params,
+        variant,
+        n,
+        sigma,
+        heavy,
+        fwd,
+        bwd,
+        fwd_trie,
+        bwd_trie,
+        grid,
+        pairs.into(),
+        None,
+        construction,
+    )
+}
+
+fn read_minimizer_payload_v3<S: SectionSource>(src: &mut S) -> io::Result<MinimizerIndex> {
+    let params = src_params(src)?;
+    let variant = variant_from_tag(src_u8(src)?)?;
+    let construction = construction_from_tag(src_u8(src)?)?;
+    let n = src_len(src)?;
+    let sigma = src_len(src)?;
+    let heavy = read_heavy_v3(src)?;
+    let fwd = read_factor_set_v3(src, &heavy)?;
+    let bwd = read_factor_set_v3(src, &heavy)?;
+    let mut tries = [None, None];
+    for slot in &mut tries {
+        *slot = match src_u8(src)? {
+            0 => None,
+            1 => Some(read_trie_v3(src)?),
+            other => return Err(bad(format!("bad trie presence flag {other}"))),
+        };
+    }
+    let [fwd_trie, bwd_trie] = tries;
+    let (grid, pairs) = match src_u8(src)? {
+        0 => (None, ArenaVec::new()),
+        1 => {
+            let grid_parts = read_reporter_parts_v3(src)?;
+            let pairs = read_section_u32(src)?;
+            let worst = grid_parts.payloads.iter().fold(0u32, |m, &p| m.max(p));
+            if !grid_parts.payloads.is_empty() && worst as usize >= pairs.len() / 2 {
+                return Err(bad("grid payload references a pair out of range"));
+            }
+            (
+                Some(RangeReporter::from_parts(grid_parts).map_err(bad)?),
+                pairs,
+            )
+        }
+        other => return Err(bad(format!("bad grid presence flag {other}"))),
+    };
+    assemble_minimizer(
+        params,
+        variant,
+        n,
+        sigma,
+        heavy,
+        fwd,
+        bwd,
+        fwd_trie,
+        bwd_trie,
+        grid,
+        pairs,
+        src.retained_arena(),
+        construction,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -701,7 +1561,9 @@ impl NaiveIndex {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_checksummed(w, TAG_NAIVE, |w| write_f64(w, self.z()))
+        write_checksummed_v3(w, TAG_NAIVE, SaveOptions::default(), |vw| {
+            write_f64(vw, self.z())
+        })
     }
 
     /// Deserializes an index previously written by [`NaiveIndex::save_to`].
@@ -727,10 +1589,19 @@ impl Wst {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_checksummed(w, TAG_WST, |w| {
-            write_f64(w, self.z())?;
-            write_property_text(w, self.property_text_ref())?;
-            write_trie(w, self.trie_ref())
+        self.save_to_with(w, SaveOptions::default())
+    }
+
+    /// [`Wst::save_to`] with explicit encoding options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to_with(&self, w: &mut dyn Write, opts: SaveOptions) -> io::Result<()> {
+        write_checksummed_v3(w, TAG_WST, opts, |vw| {
+            write_f64(vw, self.z())?;
+            write_property_text_v3(vw, self.property_text_ref())?;
+            write_trie_v3(vw, self.trie_ref())
         })
     }
 
@@ -754,9 +1625,18 @@ impl Wsa {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_checksummed(w, TAG_WSA, |w| {
-            write_f64(w, self.z())?;
-            write_property_text(w, self.property_text())
+        self.save_to_with(w, SaveOptions::default())
+    }
+
+    /// [`Wsa::save_to`] with explicit encoding options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to_with(&self, w: &mut dyn Write, opts: SaveOptions) -> io::Result<()> {
+        write_checksummed_v3(w, TAG_WSA, opts, |vw| {
+            write_f64(vw, self.z())?;
+            write_property_text_v3(vw, self.property_text())
         })
     }
 
@@ -780,7 +1660,18 @@ impl MinimizerIndex {
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_checksummed(w, TAG_MINIMIZER, |w| write_minimizer_payload(w, self))
+        self.save_to_with(w, SaveOptions::default())
+    }
+
+    /// [`MinimizerIndex::save_to`] with explicit encoding options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to_with(&self, w: &mut dyn Write, opts: SaveOptions) -> io::Result<()> {
+        write_checksummed_v3(w, TAG_MINIMIZER, opts, |vw| {
+            write_minimizer_payload_v3(vw, self)
+        })
     }
 
     /// Deserializes an index previously written by
@@ -819,24 +1710,73 @@ impl AnyIndex {
     pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
         load_index(r)
     }
+
+    /// Opens any single-machine family zero-copy from an arena — an alias
+    /// of [`open_index`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed file.
+    pub fn open_from(arena: &Arena) -> io::Result<Self> {
+        open_index(arena)
+    }
 }
 
-/// Serializes any index family into `w`.
+/// Serializes any index family into `w` with the default (raw, zero-copy
+/// openable) section encoding.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors of the writer.
 pub fn save_index(index: &AnyIndex, w: &mut dyn Write) -> io::Result<()> {
+    save_index_with(index, w, SaveOptions::default())
+}
+
+/// Serializes any index family into `w` with explicit encoding options.
+///
+/// # Errors
+///
+/// Propagates I/O errors of the writer.
+pub fn save_index_with(index: &AnyIndex, w: &mut dyn Write, opts: SaveOptions) -> io::Result<()> {
     match index {
         AnyIndex::Naive(index) => index.save_to(w),
-        AnyIndex::Wst(index) => index.save_to(w),
-        AnyIndex::Wsa(index) => index.save_to(w),
-        AnyIndex::Minimizer(index) => index.save_to(w),
+        AnyIndex::Wst(index) => index.save_to_with(w, opts),
+        AnyIndex::Wsa(index) => index.save_to_with(w, opts),
+        AnyIndex::Minimizer(index) => index.save_to_with(w, opts),
+    }
+}
+
+/// Serializes any index family in the **version-2** stream layout — byte
+/// identical to what version 2 of this crate wrote. Kept only for the
+/// backward-compat differential suite; new files should use
+/// [`save_index`].
+///
+/// # Errors
+///
+/// Propagates I/O errors of the writer.
+#[doc(hidden)]
+pub fn save_index_v2(index: &AnyIndex, w: &mut dyn Write) -> io::Result<()> {
+    match index {
+        AnyIndex::Naive(index) => write_checksummed_v2(w, TAG_NAIVE, |w| write_f64(w, index.z())),
+        AnyIndex::Wst(index) => write_checksummed_v2(w, TAG_WST, |w| {
+            write_f64(w, index.z())?;
+            write_property_text_v2(w, index.property_text_ref())?;
+            write_trie_v2(w, index.trie_ref())
+        }),
+        AnyIndex::Wsa(index) => write_checksummed_v2(w, TAG_WSA, |w| {
+            write_f64(w, index.z())?;
+            write_property_text_v2(w, index.property_text())
+        }),
+        AnyIndex::Minimizer(index) => {
+            write_checksummed_v2(w, TAG_MINIMIZER, |w| write_minimizer_payload_v2(w, index))
+        }
     }
 }
 
 /// Deserializes an index saved by [`save_index`] (or any family's
-/// `save_to`), dispatching on the stored family tag. Loading performs only
+/// `save_to`), dispatching on the stored version and family tag. Reads
+/// both format versions; every section is decoded into owned memory (use
+/// [`open_index`] for the zero-copy arena path). Loading performs only
 /// linear-time reassembly — the z-estimation, suffix sorts and tree merges
 /// of construction are never re-run.
 ///
@@ -845,13 +1785,44 @@ pub fn save_index(index: &AnyIndex, w: &mut dyn Write) -> io::Result<()> {
 /// I/O errors, or `InvalidData` on bad magic, an unknown version/tag, or a
 /// structurally inconsistent payload.
 pub fn load_index(r: &mut dyn Read) -> io::Result<AnyIndex> {
-    read_checksummed(r, load_index_payload)
+    read_checksummed(r, |tag, version, r| {
+        if version == V2_FORMAT_VERSION {
+            load_index_payload_v2(tag, r)
+        } else {
+            run_v3_stream(r, |src| load_index_payload_v3(tag, src))
+        }
+    })
+}
+
+/// Opens any single-machine family from an in-memory [`Arena`]: the CRC32
+/// trailer is verified over the raw bytes, then every raw section becomes
+/// a zero-copy borrowed view — open cost is O(header + validation), not
+/// O(elements). Version-2 bytes fall back to the streaming decoder
+/// transparently.
+///
+/// # Errors
+///
+/// `InvalidData` on bad magic, an unknown version/tag, a checksum
+/// mismatch, or a structurally inconsistent payload.
+pub fn open_index(arena: &Arena) -> io::Result<AnyIndex> {
+    if header_version(arena.as_bytes(), 0)? == V2_FORMAT_VERSION {
+        let mut bytes = arena.as_bytes();
+        return load_index(&mut bytes);
+    }
+    let (tag, mut src) = ArenaSource::open(arena, 0, true)?;
+    let index = load_index_payload_v3(tag, &mut src)?;
+    src.expect_consumed()?;
+    Ok(index)
 }
 
 /// Any structure a persisted index file can contain: a single-machine family
-/// or a sharded composite. Returned by [`load_any_index`], which is what
-/// consumers that accept *any* index file (e.g. the `ius_server` serving
-/// layer) dispatch on.
+/// or a sharded composite. Returned by [`load_any_index`]/
+/// [`open_any_index`], which is what consumers that accept *any* index file
+/// (e.g. the `ius_server` serving layer) dispatch on.
+///
+/// Like [`AnyIndex`], the variants are deliberately unboxed: one such value
+/// exists per loaded file, so the size skew is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum LoadedAny {
     /// A single-machine family (NAIVE/WST/WSA/minimizer variants).
@@ -862,23 +1833,80 @@ pub enum LoadedAny {
 }
 
 /// Deserializes **any** index file — single-machine families and sharded
-/// composites alike — dispatching on the stored family tag.
+/// composites alike — dispatching on the stored version and family tag.
 ///
 /// # Errors
 ///
 /// I/O errors, or `InvalidData` on bad magic, an unknown version/tag, or a
 /// structurally inconsistent payload.
 pub fn load_any_index(r: &mut dyn Read) -> io::Result<LoadedAny> {
-    read_checksummed(r, |tag, r| {
-        if tag == TAG_SHARDED {
-            read_sharded_payload(r).map(LoadedAny::Sharded)
+    read_checksummed(r, |tag, version, r| {
+        if version == V2_FORMAT_VERSION {
+            if tag == TAG_SHARDED {
+                read_sharded_payload_v2(r).map(LoadedAny::Sharded)
+            } else {
+                load_index_payload_v2(tag, r).map(LoadedAny::Index)
+            }
         } else {
-            load_index_payload(tag, r).map(LoadedAny::Index)
+            run_v3_stream(r, |src| {
+                if tag == TAG_SHARDED {
+                    read_sharded_payload_v3(src).map(LoadedAny::Sharded)
+                } else {
+                    load_index_payload_v3(tag, src).map(LoadedAny::Index)
+                }
+            })
         }
     })
 }
 
-fn load_index_payload(tag: u8, r: &mut dyn Read) -> io::Result<AnyIndex> {
+/// Opens **any** index file from an in-memory [`Arena`] (see
+/// [`open_index`] for the cost model). Version-2 bytes fall back to the
+/// streaming decoder transparently.
+///
+/// # Errors
+///
+/// `InvalidData` on bad magic, an unknown version/tag, a checksum
+/// mismatch, or a structurally inconsistent payload.
+pub fn open_any_index(arena: &Arena) -> io::Result<LoadedAny> {
+    if header_version(arena.as_bytes(), 0)? == V2_FORMAT_VERSION {
+        let mut bytes = arena.as_bytes();
+        return load_any_index(&mut bytes);
+    }
+    Ok(open_any_index_at(arena, 0)?.0)
+}
+
+/// Opens a v3 envelope embedded at `offset` inside an arena (the live
+/// index stores its segment payloads behind a segment prefix). The offset
+/// must be 8-byte aligned — writers pad the prefix so it is. Returns the
+/// loaded structure and the envelope's total byte length.
+///
+/// # Errors
+///
+/// `InvalidData` on bad magic, a non-v3 version, a checksum mismatch, or
+/// a structurally inconsistent payload.
+pub fn open_any_index_at(arena: &Arena, offset: usize) -> io::Result<(LoadedAny, usize)> {
+    let (tag, mut src) = ArenaSource::open(arena, offset, true)?;
+    let loaded = if tag == TAG_SHARDED {
+        LoadedAny::Sharded(read_sharded_payload_v3(&mut src)?)
+    } else {
+        LoadedAny::Index(load_index_payload_v3(tag, &mut src)?)
+    };
+    src.expect_consumed()?;
+    Ok((loaded, src.envelope_len))
+}
+
+/// Parses the magic and version of the envelope header at `offset`.
+fn header_version(bytes: &[u8], offset: usize) -> io::Result<u16> {
+    let head = bytes
+        .get(offset..offset + 7)
+        .ok_or_else(|| bad("file too short for an IUSX envelope"))?;
+    if head[..4] != MAGIC {
+        return Err(bad("not an IUSX index file (bad magic)"));
+    }
+    Ok(u16::from_le_bytes([head[4], head[5]]))
+}
+
+fn load_index_payload_v2(tag: u8, r: &mut dyn Read) -> io::Result<AnyIndex> {
     match tag {
         TAG_NAIVE => {
             let z = read_f64(r)?;
@@ -891,8 +1919,8 @@ fn load_index_payload(tag: u8, r: &mut dyn Read) -> io::Result<AnyIndex> {
             if !(z.is_finite() && z >= 1.0) {
                 return Err(bad(format!("invalid stored threshold z = {z}")));
             }
-            let property_text = read_property_text(r)?;
-            let trie = read_trie(r)?;
+            let property_text = read_property_text_v2(r)?;
+            let trie = read_trie_v2(r)?;
             if trie.num_leaves() != property_text.psa().len() {
                 return Err(bad("trie does not match the property suffix array"));
             }
@@ -900,6 +1928,7 @@ fn load_index_payload(tag: u8, r: &mut dyn Read) -> io::Result<AnyIndex> {
                 z,
                 property_text,
                 trie,
+                None,
             )))
         }
         TAG_WSA => {
@@ -907,10 +1936,61 @@ fn load_index_payload(tag: u8, r: &mut dyn Read) -> io::Result<AnyIndex> {
             if !(z.is_finite() && z >= 1.0) {
                 return Err(bad(format!("invalid stored threshold z = {z}")));
             }
-            let property_text = read_property_text(r)?;
-            Ok(AnyIndex::Wsa(Wsa::from_loaded_parts(z, property_text)))
+            let property_text = read_property_text_v2(r)?;
+            Ok(AnyIndex::Wsa(Wsa::from_loaded_parts(
+                z,
+                property_text,
+                None,
+            )))
         }
-        TAG_MINIMIZER => Ok(AnyIndex::Minimizer(Box::new(read_minimizer_payload(r)?))),
+        TAG_MINIMIZER => Ok(AnyIndex::Minimizer(Box::new(read_minimizer_payload_v2(r)?))),
+        TAG_SHARDED => Err(bad(
+            "this is a sharded-index file; use ShardedIndex::load_from",
+        )),
+        other => Err(bad(format!("unknown family tag {other}"))),
+    }
+}
+
+fn load_index_payload_v3<S: SectionSource>(tag: u8, src: &mut S) -> io::Result<AnyIndex> {
+    match tag {
+        TAG_NAIVE => {
+            let z = src_f64(src)?;
+            NaiveIndex::new(z)
+                .map(AnyIndex::Naive)
+                .map_err(|e| bad(e.to_string()))
+        }
+        TAG_WST => {
+            let z = src_f64(src)?;
+            if !(z.is_finite() && z >= 1.0) {
+                return Err(bad(format!("invalid stored threshold z = {z}")));
+            }
+            let property_text = read_property_text_v3(src)?;
+            let trie = read_trie_v3(src)?;
+            if trie.num_leaves() != property_text.psa().len() {
+                return Err(bad("trie does not match the property suffix array"));
+            }
+            Ok(AnyIndex::Wst(Wst::from_loaded_parts(
+                z,
+                property_text,
+                trie,
+                src.retained_arena(),
+            )))
+        }
+        TAG_WSA => {
+            let z = src_f64(src)?;
+            if !(z.is_finite() && z >= 1.0) {
+                return Err(bad(format!("invalid stored threshold z = {z}")));
+            }
+            let property_text = read_property_text_v3(src)?;
+            Ok(AnyIndex::Wsa(Wsa::from_loaded_parts(
+                z,
+                property_text,
+                src.retained_arena(),
+            )))
+        }
+        TAG_MINIMIZER => Ok(AnyIndex::Minimizer(Box::new(read_minimizer_payload_v3(
+            src,
+        )?))),
         TAG_SHARDED => Err(bad(
             "this is a sharded-index file; use ShardedIndex::load_from",
         )),
@@ -925,13 +2005,50 @@ fn load_index_payload(tag: u8, r: &mut dyn Read) -> io::Result<AnyIndex> {
 impl ShardedIndex {
     /// Serializes the sharded index: routing metadata, the per-shard chunks
     /// of `X` (each shard owns its chunk, so the file is self-contained) and
-    /// one nested index envelope per shard.
+    /// one nested index envelope per shard, each starting at an
+    /// 8-byte-aligned file offset.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors of the writer.
     pub fn save_to(&self, w: &mut dyn Write) -> io::Result<()> {
-        write_checksummed(w, TAG_SHARDED, |w| {
+        self.save_to_with(w, SaveOptions::default())
+    }
+
+    /// [`ShardedIndex::save_to`] with explicit encoding options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    pub fn save_to_with(&self, w: &mut dyn Write, opts: SaveOptions) -> io::Result<()> {
+        write_checksummed_v3(w, TAG_SHARDED, opts, |vw| {
+            write_params(vw, &self.spec().params)?;
+            write_u8(vw, family_tag(self.spec().family))?;
+            write_u64(vw, self.len() as u64)?;
+            write_u64(vw, self.max_pattern_len() as u64)?;
+            write_u64(vw, self.num_shards() as u64)?;
+            for shard in self.shards() {
+                write_u64(vw, shard.offset as u64)?;
+                write_u64(vw, shard.home_len as u64)?;
+                vw.section::<u8>(shard.x.alphabet().symbols());
+                write_u64(vw, shard.x.len() as u64)?;
+                vw.section::<f64>(shard.x.flat_probs());
+                vw.pad8();
+                save_index_with(&shard.index, vw, opts)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Serializes the sharded index in the **version-2** stream layout.
+    /// Kept only for the backward-compat differential suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    #[doc(hidden)]
+    pub fn save_to_v2(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_checksummed_v2(w, TAG_SHARDED, |w| {
             write_params(w, &self.spec().params)?;
             write_u8(w, family_tag(self.spec().family))?;
             write_u64(w, self.len() as u64)?;
@@ -943,31 +2060,60 @@ impl ShardedIndex {
                 write_bytes(w, shard.x.alphabet().symbols())?;
                 write_u64(w, shard.x.len() as u64)?;
                 write_vec_f64(w, shard.x.flat_probs())?;
-                shard.index.save_to(w)?;
+                save_index_v2(&shard.index, w)?;
             }
             Ok(())
         })
     }
 
-    /// Deserializes a sharded index written by [`ShardedIndex::save_to`].
+    /// Deserializes a sharded index written by [`ShardedIndex::save_to`]
+    /// (either format version).
     ///
     /// # Errors
     ///
     /// I/O errors, or `InvalidData` on a malformed file.
     pub fn load_from(r: &mut dyn Read) -> io::Result<Self> {
-        read_checksummed(r, |tag, r| {
+        read_checksummed(r, |tag, version, r| {
             if tag != TAG_SHARDED {
                 return Err(bad(format!(
                     "expected a sharded-index file (tag {TAG_SHARDED}), found tag {tag}"
                 )));
             }
-            read_sharded_payload(r)
+            if version == V2_FORMAT_VERSION {
+                read_sharded_payload_v2(r)
+            } else {
+                run_v3_stream(r, read_sharded_payload_v3)
+            }
         })
     }
 }
 
-/// Reads the sharded payload (everything after the envelope).
-fn read_sharded_payload(r: &mut dyn Read) -> io::Result<ShardedIndex> {
+/// Builds one shard from its decoded routing fields, validating the
+/// probability matrix shape.
+fn assemble_shard(
+    offset: usize,
+    home_len: usize,
+    symbols: &[u8],
+    chunk_len: usize,
+    probs: Vec<f64>,
+    index: AnyIndex,
+) -> io::Result<crate::shard::Shard> {
+    let alphabet = ius_weighted::Alphabet::new(symbols).map_err(|e| bad(e.to_string()))?;
+    if probs.len() != chunk_len * alphabet.size() {
+        return Err(bad("shard probability matrix has the wrong shape"));
+    }
+    let x =
+        ius_weighted::WeightedString::from_flat(alphabet, probs).map_err(|e| bad(e.to_string()))?;
+    Ok(crate::shard::Shard {
+        offset,
+        home_len,
+        x,
+        index,
+    })
+}
+
+/// Reads the v2 sharded payload (everything after the envelope).
+fn read_sharded_payload_v2(r: &mut dyn Read) -> io::Result<ShardedIndex> {
     let params = read_params(r)?;
     let family = family_from_tag(read_u8(r)?)?;
     let n = read_len(r)?;
@@ -980,25 +2126,50 @@ fn read_sharded_payload(r: &mut dyn Read) -> io::Result<ShardedIndex> {
         let symbols = read_bytes(r)?;
         let chunk_len = read_len(r)?;
         let probs = read_vec_f64(r)?;
-        let alphabet = ius_weighted::Alphabet::new(&symbols).map_err(|e| bad(e.to_string()))?;
-        if probs.len() != chunk_len * alphabet.size() {
-            return Err(bad("shard probability matrix has the wrong shape"));
-        }
-        let x = ius_weighted::WeightedString::from_flat(alphabet, probs)
-            .map_err(|e| bad(e.to_string()))?;
         let index = load_index(r)?;
-        shards.push(crate::shard::Shard {
-            offset,
-            home_len,
-            x,
-            index,
-        });
+        shards.push(assemble_shard(
+            offset, home_len, &symbols, chunk_len, probs, index,
+        )?);
     }
     ShardedIndex::from_loaded_parts(
         crate::builder::IndexSpec::new(family, params),
         n,
         max_pattern_len,
         shards,
+        None,
+    )
+    .map_err(bad)
+}
+
+/// Reads the v3 sharded payload (everything after the length field). The
+/// per-shard weighted strings are decoded into owned memory even on the
+/// arena path (they are consumed by value); the nested index envelopes
+/// stay zero-copy.
+fn read_sharded_payload_v3<S: SectionSource>(src: &mut S) -> io::Result<ShardedIndex> {
+    let params = src_params(src)?;
+    let family = family_from_tag(src_u8(src)?)?;
+    let n = src_len(src)?;
+    let max_pattern_len = src_len(src)?;
+    let num_shards = src_len(src)?;
+    let mut shards = Vec::with_capacity(num_shards.min(1 << 16));
+    for _ in 0..num_shards {
+        let offset = src_len(src)?;
+        let home_len = src_len(src)?;
+        let symbols = read_section::<u8, _>(src)?;
+        let chunk_len = src_len(src)?;
+        let probs = read_section::<f64, _>(src)?.to_vec();
+        src_align8(src)?;
+        let index = src.read_nested_index()?;
+        shards.push(assemble_shard(
+            offset, home_len, &symbols, chunk_len, probs, index,
+        )?);
+    }
+    ShardedIndex::from_loaded_parts(
+        crate::builder::IndexSpec::new(family, params),
+        n,
+        max_pattern_len,
+        shards,
+        src.retained_arena(),
     )
     .map_err(bad)
 }
@@ -1045,7 +2216,7 @@ mod tests {
     use crate::traits::UncertainIndex;
     use ius_datasets::uniform::UniformConfig;
 
-    fn sample_bytes() -> Vec<u8> {
+    fn sample_index() -> AnyIndex {
         let x = UniformConfig {
             n: 160,
             sigma: 2,
@@ -1054,11 +2225,14 @@ mod tests {
         }
         .generate();
         let params = IndexParams::new(4.0, 8, x.sigma()).unwrap();
-        let index = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::ArrayGrid), params)
+        IndexSpec::new(IndexFamily::Minimizer(IndexVariant::ArrayGrid), params)
             .build(&x)
-            .unwrap();
+            .unwrap()
+    }
+
+    fn sample_bytes() -> Vec<u8> {
         let mut bytes = Vec::new();
-        index.save_to(&mut bytes).unwrap();
+        sample_index().save_to(&mut bytes).unwrap();
         bytes
     }
 
@@ -1068,26 +2242,34 @@ mod tests {
         // Truncation anywhere fails cleanly, never panics.
         for cut in [0usize, 3, 5, 7, 20, bytes.len() - 1] {
             assert!(load_index(&mut &bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                open_index(&Arena::from_bytes(&bytes[..cut])).is_err(),
+                "arena cut at {cut}"
+            );
         }
         // Bad magic.
         let mut corrupt = bytes.clone();
         corrupt[0] = b'X';
         assert!(load_index(&mut corrupt.as_slice()).is_err());
+        assert!(open_index(&Arena::from_bytes(&corrupt)).is_err());
         // Unknown version.
         let mut corrupt = bytes.clone();
         corrupt[4] = 0xFF;
         assert!(load_index(&mut corrupt.as_slice()).is_err());
+        assert!(open_index(&Arena::from_bytes(&corrupt)).is_err());
         // Unknown family tag.
         let mut corrupt = bytes;
         corrupt[6] = 0xEE;
         assert!(load_index(&mut corrupt.as_slice()).is_err());
+        assert!(open_index(&Arena::from_bytes(&corrupt)).is_err());
     }
 
     #[test]
     fn checksum_detects_silent_bit_rot() {
         let bytes = sample_bytes();
-        // An untouched file round-trips.
+        // An untouched file round-trips on both read paths.
         assert!(load_index(&mut bytes.as_slice()).is_ok());
+        assert!(open_index(&Arena::from_bytes(&bytes)).is_ok());
         // Flip one bit deep in the payload (past the envelope, before the
         // trailer): structurally the file may still parse, but the CRC32
         // trailer must catch it with a typed error, never a panic.
@@ -1098,12 +2280,17 @@ mod tests {
                 .expect_err("bit flip must not load")
                 .to_string();
             assert!(!err.is_empty());
+            let err = open_index(&Arena::from_bytes(&corrupt))
+                .expect_err("bit flip must not open")
+                .to_string();
+            assert!(!err.is_empty());
         }
         // Corrupting the trailer itself is also detected.
         let mut corrupt = bytes.clone();
         let last = corrupt.len() - 1;
         corrupt[last] ^= 0xFF;
         assert!(load_index(&mut corrupt.as_slice()).is_err());
+        assert!(open_index(&Arena::from_bytes(&corrupt)).is_err());
     }
 
     #[test]
@@ -1124,5 +2311,93 @@ mod tests {
         let loaded = NaiveIndex::load_from(&mut bytes.as_slice()).unwrap();
         assert_eq!(loaded.z(), 7.5);
         assert_eq!(loaded.name(), "NAIVE");
+    }
+
+    #[test]
+    fn arena_open_matches_streaming_load() {
+        let index = sample_index();
+        let mut bytes = Vec::new();
+        index.save_to(&mut bytes).unwrap();
+        let loaded = load_index(&mut bytes.as_slice()).unwrap();
+        let opened = open_index(&Arena::from_bytes(&bytes)).unwrap();
+        let x = UniformConfig {
+            n: 160,
+            sigma: 2,
+            spread: 0.5,
+            seed: 8,
+        }
+        .generate();
+        for pattern in [&b"ABABABAB"[..], b"AAAAAAAA", b"BBABBABB", b"ABBABBABB"] {
+            let built = index.query(pattern, &x).unwrap();
+            assert_eq!(loaded.query(pattern, &x).unwrap(), built);
+            assert_eq!(opened.query(pattern, &x).unwrap(), built);
+        }
+        // The arena-opened index accounts the backing allocation once.
+        assert!(opened.size_bytes() >= bytes.len());
+    }
+
+    #[test]
+    fn resave_is_byte_identical_after_both_read_paths() {
+        let bytes = sample_bytes();
+        let loaded = load_index(&mut bytes.as_slice()).unwrap();
+        let mut resaved = Vec::new();
+        loaded.save_to(&mut resaved).unwrap();
+        assert_eq!(bytes, resaved, "stream load → save must be byte identical");
+        let opened = open_index(&Arena::from_bytes(&bytes)).unwrap();
+        let mut resaved = Vec::new();
+        opened.save_to(&mut resaved).unwrap();
+        assert_eq!(bytes, resaved, "arena open → save must be byte identical");
+    }
+
+    #[test]
+    fn packed_sections_shrink_and_round_trip() {
+        let index = sample_index();
+        let mut raw = Vec::new();
+        index.save_to(&mut raw).unwrap();
+        let mut packed = Vec::new();
+        save_index_with(&index, &mut packed, SaveOptions { pack_u32: true }).unwrap();
+        assert!(
+            packed.len() < raw.len(),
+            "packing must shrink the file ({} vs {} bytes)",
+            packed.len(),
+            raw.len()
+        );
+        let x = UniformConfig {
+            n: 160,
+            sigma: 2,
+            spread: 0.5,
+            seed: 8,
+        }
+        .generate();
+        let loaded = load_index(&mut packed.as_slice()).unwrap();
+        let opened = open_index(&Arena::from_bytes(&packed)).unwrap();
+        for pattern in [&b"ABABABAB"[..], b"AAAAAAAA", b"BBABBABB"] {
+            let built = index.query(pattern, &x).unwrap();
+            assert_eq!(loaded.query(pattern, &x).unwrap(), built);
+            assert_eq!(opened.query(pattern, &x).unwrap(), built);
+        }
+    }
+
+    #[test]
+    fn v2_writer_round_trips_through_every_path() {
+        let index = sample_index();
+        let mut v2 = Vec::new();
+        save_index_v2(&index, &mut v2).unwrap();
+        assert_eq!(u16::from_le_bytes([v2[4], v2[5]]), V2_FORMAT_VERSION);
+        let x = UniformConfig {
+            n: 160,
+            sigma: 2,
+            spread: 0.5,
+            seed: 8,
+        }
+        .generate();
+        let loaded = load_index(&mut v2.as_slice()).unwrap();
+        // Arena open of v2 bytes falls back to the streaming decoder.
+        let opened = open_index(&Arena::from_bytes(&v2)).unwrap();
+        for pattern in [&b"ABABABAB"[..], b"AAAAAAAA", b"BBABBABB"] {
+            let built = index.query(pattern, &x).unwrap();
+            assert_eq!(loaded.query(pattern, &x).unwrap(), built);
+            assert_eq!(opened.query(pattern, &x).unwrap(), built);
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! occurrence of a pattern `P` as a *prefix of a truncated suffix* is exactly
 //! a property-respecting (hence z-solid) occurrence of `P`.
 
+use ius_arena::ArenaVec;
 use ius_text::lce::LceIndex;
 use ius_text::trie::SliceLabels;
 use ius_weighted::{Error, Result, ZEstimation};
@@ -27,14 +28,14 @@ pub struct PropertyText {
     /// Number of strands `⌊z⌋`.
     num_strands: usize,
     /// Concatenated strand letters (strand j occupies `[j·n, (j+1)·n)`).
-    text: Vec<u8>,
+    text: ArenaVec<u8>,
     /// Truncation length per text position (0 ⇒ position not covered).
-    trunc: Vec<u32>,
+    trunc: ArenaVec<u32>,
     /// Text positions with positive truncation, sorted by truncated suffix.
-    psa: Vec<u32>,
+    psa: ArenaVec<u32>,
     /// LCPs of adjacent truncated suffixes in PSA order; only kept when the
     /// structure is built for the tree-based baseline.
-    trunc_lcp: Option<Vec<u32>>,
+    trunc_lcp: Option<ArenaVec<u32>>,
 }
 
 impl PropertyText {
@@ -105,10 +106,10 @@ impl PropertyText {
         Ok(Self {
             n,
             num_strands,
-            text,
-            trunc,
-            psa,
-            trunc_lcp,
+            text: ArenaVec::from(text),
+            trunc: ArenaVec::from(trunc),
+            psa: ArenaVec::from(psa),
+            trunc_lcp: trunc_lcp.map(ArenaVec::from),
         })
     }
 
@@ -265,10 +266,10 @@ impl PropertyText {
     pub(crate) fn from_parts(
         n: usize,
         num_strands: usize,
-        text: Vec<u8>,
-        trunc: Vec<u32>,
-        psa: Vec<u32>,
-        trunc_lcp: Option<Vec<u32>>,
+        text: ArenaVec<u8>,
+        trunc: ArenaVec<u32>,
+        psa: ArenaVec<u32>,
+        trunc_lcp: Option<ArenaVec<u32>>,
     ) -> std::result::Result<Self, String> {
         let total = n
             .checked_mul(num_strands)
@@ -276,18 +277,48 @@ impl PropertyText {
         if text.len() != total || trunc.len() != total {
             return Err("text/truncation tables do not match n × strands".into());
         }
-        for (s, &t) in trunc.iter().enumerate() {
-            // A truncated suffix never crosses its strand's end.
-            let strand_end = (s / n.max(1) + 1) * n;
-            if s + t as usize > strand_end {
-                return Err(format!("truncation at text position {s} crosses a strand"));
+        // These checks run over `n·z` entries on every arena open, so they
+        // are phrased as whole-array reduction scans — division-free, no
+        // early exit, no random access — that compile to SIMD; the offending
+        // entry is located by a second pass only on the error path.
+        //
+        // A truncated suffix never crosses its strand's end; the covered-
+        // position count rides along in the same pass over the table.
+        let mut covered = 0usize;
+        for strand in 0..num_strands {
+            let base = strand * n;
+            let (worst, strand_covered) = trunc[base..base + n]
+                .iter()
+                .enumerate()
+                .fold((0usize, 0usize), |(m, c), (i, &t)| {
+                    (m.max(i + t as usize), c + usize::from(t > 0))
+                });
+            if worst > n {
+                let i = trunc[base..base + n]
+                    .iter()
+                    .enumerate()
+                    .position(|(i, &t)| i + t as usize > n)
+                    .unwrap_or(0);
+                return Err(format!(
+                    "truncation at text position {} crosses a strand",
+                    base + i
+                ));
             }
+            covered += strand_covered;
         }
-        if psa
-            .iter()
-            .any(|&s| (s as usize) >= total || trunc[s as usize] == 0)
-        {
+        // Every PSA entry is in range, and the PSA lists exactly the covered
+        // positions (one entry per `trunc > 0` slot — checked by count, so
+        // no per-entry gather into the truncation table is needed; the sort
+        // order itself is trusted, as documented above).
+        let max_psa = psa.iter().fold(0u32, |m, &s| m.max(s));
+        if !psa.is_empty() && max_psa as usize >= total {
             return Err("PSA references an uncovered or out-of-range position".into());
+        }
+        if psa.len() != covered {
+            return Err(format!(
+                "PSA lists {} positions but {covered} are covered",
+                psa.len()
+            ));
         }
         if let Some(lcps) = &trunc_lcp {
             if lcps.len() != psa.len() {
@@ -304,12 +335,13 @@ impl PropertyText {
         })
     }
 
-    /// Heap bytes retained by the structure.
+    /// Heap bytes retained by the structure. Arena-backed tables count as
+    /// zero here; the arena is counted once by whoever retains its handle.
     pub fn memory_bytes(&self) -> usize {
-        self.text.capacity()
-            + self.trunc.capacity() * 4
-            + self.psa.capacity() * 4
-            + self.trunc_lcp.as_ref().map_or(0, |v| v.capacity() * 4)
+        self.text.heap_bytes()
+            + self.trunc.heap_bytes()
+            + self.psa.heap_bytes()
+            + self.trunc_lcp.as_ref().map_or(0, ArenaVec::heap_bytes)
     }
 
     fn partition_point<F: Fn(&[u8]) -> bool>(&self, pred: F) -> usize {

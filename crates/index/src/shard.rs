@@ -23,6 +23,7 @@
 use crate::builder::{AnyIndex, IndexSpec};
 use crate::overlap::{chunk_end, overlap_len, retain_home_and_globalize};
 use crate::traits::{validate_pattern, IndexStats, UncertainIndex};
+use ius_arena::Arena;
 use ius_query::{finalize_into, MatchSink, QueryBatch, QueryScratch, QueryStats};
 use ius_weighted::{Error, Result, WeightedString};
 
@@ -51,6 +52,10 @@ pub struct ShardedIndex {
     max_pattern_len: usize,
     shards: Vec<Shard>,
     executor: QueryBatch,
+    /// The backing arena when opened zero-copy from a v3 file. The nested
+    /// per-shard indexes borrow from it but do not retain a handle of their
+    /// own, so the allocation is counted exactly once, here.
+    arena: Option<Arena>,
 }
 
 impl ShardedIndex {
@@ -162,6 +167,7 @@ impl ShardedIndex {
             max_pattern_len,
             shards,
             executor: QueryBatch::new(),
+            arena: None,
         })
     }
 
@@ -289,6 +295,7 @@ impl ShardedIndex {
         n: usize,
         max_pattern_len: usize,
         shards: Vec<Shard>,
+        arena: Option<Arena>,
     ) -> std::result::Result<Self, String> {
         if max_pattern_len < spec.lower_bound() {
             return Err("stored max_pattern_len is below the family's lower bound".into());
@@ -317,6 +324,7 @@ impl ShardedIndex {
             max_pattern_len,
             shards,
             executor: QueryBatch::new(),
+            arena,
         })
     }
 }
@@ -340,7 +348,8 @@ impl UncertainIndex for ShardedIndex {
         self.shards
             .iter()
             .map(|shard| shard.index.size_bytes() + shard.x.memory_bytes())
-            .sum()
+            .sum::<usize>()
+            + self.arena.as_ref().map_or(0, Arena::alloc_bytes)
     }
 
     fn stats(&self) -> IndexStats {

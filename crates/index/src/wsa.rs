@@ -10,6 +10,7 @@
 
 use crate::property_text::PropertyText;
 use crate::traits::{finalize_positions, validate_pattern, IndexStats, UncertainIndex};
+use ius_arena::Arena;
 use ius_query::{finalize_into, MatchSink, QueryScratch, QueryStats};
 use ius_weighted::{Error, Result, WeightedString, ZEstimation};
 
@@ -18,6 +19,9 @@ use ius_weighted::{Error, Result, WeightedString, ZEstimation};
 pub struct Wsa {
     z: f64,
     property_text: PropertyText,
+    /// The backing arena when opened zero-copy from a v3 file; counted once
+    /// here since borrowing components report zero owned bytes.
+    arena: Option<Arena>,
 }
 
 impl Wsa {
@@ -42,6 +46,7 @@ impl Wsa {
         Ok(Self {
             z: estimation.z(),
             property_text: PropertyText::build(estimation)?,
+            arena: None,
         })
     }
 
@@ -57,8 +62,16 @@ impl Wsa {
     }
 
     /// Reassembles a WSA from its persisted parts (see `crate::persist`).
-    pub(crate) fn from_loaded_parts(z: f64, property_text: PropertyText) -> Self {
-        Self { z, property_text }
+    pub(crate) fn from_loaded_parts(
+        z: f64,
+        property_text: PropertyText,
+        arena: Option<Arena>,
+    ) -> Self {
+        Self {
+            z,
+            property_text,
+            arena,
+        }
     }
 }
 
@@ -97,7 +110,7 @@ impl UncertainIndex for Wsa {
     }
 
     fn size_bytes(&self) -> usize {
-        self.property_text.memory_bytes()
+        self.property_text.memory_bytes() + self.arena.as_ref().map_or(0, Arena::alloc_bytes)
     }
 
     fn stats(&self) -> IndexStats {

@@ -11,6 +11,7 @@
 
 use crate::property_text::PropertyText;
 use crate::traits::{finalize_positions, validate_pattern, IndexStats, UncertainIndex};
+use ius_arena::Arena;
 use ius_query::{finalize_into, MatchSink, QueryScratch, QueryStats};
 use ius_text::trie::{CompactedTrie, LabelProvider};
 use ius_weighted::{Error, Result, WeightedString, ZEstimation};
@@ -20,26 +21,41 @@ use ius_weighted::{Error, Result, WeightedString, ZEstimation};
 pub struct Wst {
     z: f64,
     property_text: PropertyText,
-    /// `(start, length)` of the truncated suffix of each sorted leaf — the
-    /// label source for trie traversals (precomputed once so queries do not
-    /// re-derive it).
-    fragments: Vec<(u32, u32)>,
     trie: CompactedTrie,
+    /// The backing arena when the index was opened zero-copy from a v3 file;
+    /// components borrowing from it report zero owned bytes, so the single
+    /// allocation is counted here, once.
+    arena: Option<Arena>,
 }
 
 /// Label access for [`Wst`] queries: letters come straight from the
-/// concatenated z-estimation, truncated at the property extents.
+/// concatenated z-estimation, truncated at the property extents. Leaf
+/// `i`'s label is the suffix at `psa[i]` cut at `trunc[psa[i]]` — both
+/// O(1) lookups into arrays the index stores anyway, so no per-leaf
+/// fragment table has to be materialised at build or (crucially) at
+/// zero-copy open time.
 struct WstLabels<'a> {
     text: &'a [u8],
-    fragments: &'a [(u32, u32)],
+    psa: &'a [u32],
+    trunc: &'a [u32],
+}
+
+impl<'a> WstLabels<'a> {
+    fn new(property_text: &'a PropertyText) -> Self {
+        Self {
+            text: property_text.text(),
+            psa: property_text.psa(),
+            trunc: property_text.trunc_raw(),
+        }
+    }
 }
 
 impl LabelProvider for WstLabels<'_> {
     #[inline]
     fn letter(&self, leaf: usize, depth: usize) -> Option<u8> {
-        let (start, len) = self.fragments[leaf];
-        if depth < len as usize {
-            Some(self.text[start as usize + depth])
+        let start = self.psa[leaf] as usize;
+        if depth < self.trunc[start] as usize {
+            Some(self.text[start + depth])
         } else {
             None
         }
@@ -47,7 +63,7 @@ impl LabelProvider for WstLabels<'_> {
 
     #[inline]
     fn len(&self, leaf: usize) -> usize {
-        self.fragments[leaf].1 as usize
+        self.trunc[self.psa[leaf] as usize] as usize
     }
 }
 
@@ -72,21 +88,12 @@ impl Wst {
         let property_text = PropertyText::build_with_lcp(estimation)?;
         let lengths = property_text.psa_lengths();
         let lcps = property_text.psa_truncated_lcp();
-        let fragments: Vec<(u32, u32)> = property_text
-            .psa()
-            .iter()
-            .map(|&s| (s, property_text.trunc(s as usize) as u32))
-            .collect();
-        let labels = WstLabels {
-            text: property_text.text(),
-            fragments: &fragments,
-        };
-        let trie = CompactedTrie::build(&lengths, &lcps, &labels);
+        let trie = CompactedTrie::build(&lengths, &lcps, &WstLabels::new(&property_text));
         Ok(Self {
             z: estimation.z(),
             property_text,
-            fragments,
             trie,
+            arena: None,
         })
     }
 
@@ -110,24 +117,20 @@ impl Wst {
         &self.trie
     }
 
-    /// Reassembles a WST from its persisted parts. The leaf fragments are
-    /// recomputed from the property text (a linear map, not a construction
-    /// step); the trie is taken as loaded.
+    /// Reassembles a WST from its persisted parts — O(1) beyond taking
+    /// ownership: queries read labels straight out of the property text,
+    /// so nothing per-leaf is rebuilt.
     pub(crate) fn from_loaded_parts(
         z: f64,
         property_text: PropertyText,
         trie: CompactedTrie,
+        arena: Option<Arena>,
     ) -> Self {
-        let fragments: Vec<(u32, u32)> = property_text
-            .psa()
-            .iter()
-            .map(|&s| (s, property_text.trunc(s as usize) as u32))
-            .collect();
         Self {
             z,
             property_text,
-            fragments,
             trie,
+            arena,
         }
     }
 }
@@ -145,10 +148,7 @@ impl UncertainIndex for Wst {
         sink: &mut dyn MatchSink,
     ) -> Result<QueryStats> {
         validate_pattern(pattern, 1)?;
-        let labels = WstLabels {
-            text: self.property_text.text(),
-            fragments: &self.fragments,
-        };
+        let labels = WstLabels::new(&self.property_text);
         let mut stats = QueryStats::default();
         scratch.positions.clear();
         if let Some(descent) = self.trie.descend(pattern, &labels) {
@@ -171,10 +171,7 @@ impl UncertainIndex for Wst {
         if pattern.is_empty() {
             return Err(Error::EmptyInput("pattern"));
         }
-        let labels = WstLabels {
-            text: self.property_text.text(),
-            fragments: &self.fragments,
-        };
+        let labels = WstLabels::new(&self.property_text);
         let Some(descent) = self.trie.descend(pattern, &labels) else {
             return Ok(Vec::new());
         };
@@ -190,8 +187,8 @@ impl UncertainIndex for Wst {
 
     fn size_bytes(&self) -> usize {
         self.property_text.memory_bytes()
-            + self.fragments.capacity() * std::mem::size_of::<(u32, u32)>()
             + self.trie.memory_bytes()
+            + self.arena.as_ref().map_or(0, Arena::alloc_bytes)
     }
 
     fn stats(&self) -> IndexStats {

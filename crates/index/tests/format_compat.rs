@@ -1,0 +1,265 @@
+//! Backward-compatibility differential suite for the IUSX on-disk format:
+//! the same index saved as **version 2** (streamed, element-decoded) and
+//! **version 3** (aligned sections, arena-openable) must answer exactly the
+//! same queries through every load path —
+//!
+//! * v2 bytes → streaming loader,
+//! * v3 bytes → streaming loader,
+//! * v3 bytes → zero-copy arena open,
+//! * v3 bytes with packed `u32` sections → both paths again,
+//!
+//! across every buildable family and all four benchmark preset corpora
+//! (`uniform`, `uniform_high_entropy`, `pangenome`, `rssi`), plus the
+//! sharded composite's nested envelopes.
+//!
+//! The second half is the corruption side of the arena path: the envelope
+//! CRC is validated **at open**, so any bit flip or truncation of a v3
+//! file must be rejected with a typed error before a single view is
+//! handed out — never a panic, never a lazily-corrupt index.
+
+use ius_arena::Arena;
+use ius_datasets::corpora::{bench_corpus, BENCH_CORPUS_NAMES};
+use ius_datasets::patterns::PatternSampler;
+use ius_index::persist::save_index_v2;
+use ius_index::{
+    load_index, open_any_index, save_index, save_index_with, AnyIndex, IndexFamily, IndexParams,
+    IndexSpec, LoadedAny, SaveOptions, ShardedIndex, UncertainIndex,
+};
+use ius_weighted::{WeightedString, ZEstimation};
+use proptest::prelude::*;
+use std::io::ErrorKind;
+use std::sync::OnceLock;
+
+/// Corpus length for the suite: large enough that every preset's ℓ (up to
+/// 128 for `pangenome`) fits patterns at ℓ and 2ℓ, small enough to build
+/// all families four times in a debug test run.
+const N: usize = 400;
+
+/// `(family label, built index, v2 bytes, v3 bytes, v3 packed bytes)`.
+type FamilyCase = (String, AnyIndex, Vec<u8>, Vec<u8>, Vec<u8>);
+
+struct Case {
+    label: String,
+    x: WeightedString,
+    patterns: Vec<Vec<u8>>,
+    families: Vec<FamilyCase>,
+    sharded: ShardedIndex,
+    sharded_v2: Vec<u8>,
+    sharded_v3: Vec<u8>,
+}
+
+fn cases() -> &'static Vec<Case> {
+    static CASES: OnceLock<Vec<Case>> = OnceLock::new();
+    CASES.get_or_init(|| {
+        BENCH_CORPUS_NAMES
+            .iter()
+            .map(|name| {
+                let corpus = bench_corpus(name, N, None).expect("known preset");
+                let est = ZEstimation::build(&corpus.x, corpus.z).expect("estimation");
+                let mut sampler = PatternSampler::new(&est, 0xF0_0D);
+                let mut patterns = sampler.sample_many(corpus.ell, 8);
+                patterns.extend(sampler.sample_many(2 * corpus.ell, 4));
+                patterns.extend(sampler.sample_random(corpus.ell, 4, corpus.x.sigma()));
+                let params =
+                    IndexParams::new(corpus.z, corpus.ell, corpus.x.sigma()).expect("params");
+                let families = IndexFamily::all()
+                    .into_iter()
+                    .map(|family| {
+                        let spec = IndexSpec::new(family, params);
+                        let index = spec.build_with_estimation(&corpus.x, &est).expect("build");
+                        let mut v2 = Vec::new();
+                        save_index_v2(&index, &mut v2).expect("save v2");
+                        let mut v3 = Vec::new();
+                        index.save_to(&mut v3).expect("save v3");
+                        let mut packed = Vec::new();
+                        save_index_with(&index, &mut packed, SaveOptions { pack_u32: true })
+                            .expect("save v3 packed");
+                        (family.name().to_string(), index, v2, v3, packed)
+                    })
+                    .collect();
+                let spec = IndexSpec::new(
+                    IndexFamily::Minimizer(ius_index::IndexVariant::ArrayGrid),
+                    params,
+                );
+                let sharded =
+                    ShardedIndex::build(&corpus.x, spec, 3, 2 * corpus.ell).expect("sharded");
+                let mut sharded_v2 = Vec::new();
+                sharded
+                    .save_to_v2(&mut sharded_v2)
+                    .expect("save sharded v2");
+                let mut sharded_v3 = Vec::new();
+                sharded.save_to(&mut sharded_v3).expect("save sharded v3");
+                Case {
+                    label: corpus.name.to_string(),
+                    x: corpus.x,
+                    patterns,
+                    families,
+                    sharded,
+                    sharded_v2,
+                    sharded_v3,
+                }
+            })
+            .collect()
+    })
+}
+
+fn open_single(bytes: &[u8]) -> AnyIndex {
+    let arena = Arena::from_bytes(bytes);
+    match open_any_index(&arena).expect("arena open") {
+        LoadedAny::Index(index) => index,
+        LoadedAny::Sharded(_) => panic!("expected a single-machine index"),
+    }
+}
+
+/// Every load path of every family answers exactly like the in-memory
+/// build it was saved from, on all four preset corpora.
+#[test]
+fn v2_and_v3_load_paths_answer_identically() {
+    for case in cases() {
+        for (label, built, v2, v3, packed) in &case.families {
+            let from_v2 = load_index(&mut v2.as_slice()).expect("load v2");
+            let from_v3 = load_index(&mut v3.as_slice()).expect("load v3");
+            let opened = open_single(v3);
+            let from_packed = load_index(&mut packed.as_slice()).expect("load packed");
+            let opened_packed = open_single(packed);
+            for pattern in &case.patterns {
+                let expected = built.query(pattern, &case.x);
+                for (path, loaded) in [
+                    ("v2 stream", &from_v2),
+                    ("v3 stream", &from_v3),
+                    ("v3 arena", &opened),
+                    ("v3 packed stream", &from_packed),
+                    ("v3 packed arena", &opened_packed),
+                ] {
+                    let got = loaded.query(pattern, &case.x);
+                    match (&expected, &got) {
+                        (Ok(a), Ok(b)) => assert_eq!(
+                            a, b,
+                            "{}/{label}/{path}: answers diverge on {pattern:?}",
+                            case.label
+                        ),
+                        (Err(_), Err(_)) => {}
+                        _ => panic!(
+                            "{}/{label}/{path}: one side errored on {pattern:?}",
+                            case.label
+                        ),
+                    }
+                }
+            }
+        }
+        // The sharded composite (nested envelopes) through all three paths.
+        let from_v2 = ShardedIndex::load_from(&mut case.sharded_v2.as_slice()).expect("v2");
+        let from_v3 = ShardedIndex::load_from(&mut case.sharded_v3.as_slice()).expect("v3");
+        let arena = Arena::from_bytes(&case.sharded_v3);
+        let LoadedAny::Sharded(opened) = open_any_index(&arena).expect("arena open") else {
+            panic!("expected a sharded composite");
+        };
+        for pattern in &case.patterns {
+            let expected = case.sharded.query_owned(pattern);
+            for (path, loaded) in [
+                ("v2 stream", &from_v2),
+                ("v3 stream", &from_v3),
+                ("v3 arena", &opened),
+            ] {
+                let got = loaded.query_owned(pattern);
+                match (&expected, &got) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        a, b,
+                        "{}/sharded/{path}: answers diverge on {pattern:?}",
+                        case.label
+                    ),
+                    (Err(_), Err(_)) => {}
+                    _ => panic!(
+                        "{}/sharded/{path}: one side errored on {pattern:?}",
+                        case.label
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// A v3 save of an arena-opened index is byte-identical to the file it was
+/// opened from, for every family and corpus — the zero-copy views carry the
+/// full structure, not a lossy projection of it.
+#[test]
+fn v3_arena_resave_is_byte_identical() {
+    for case in cases() {
+        for (label, _, _, v3, _) in &case.families {
+            let opened = open_single(v3);
+            let mut resaved = Vec::new();
+            save_index(&opened, &mut resaved).expect("resave v3");
+            assert_eq!(
+                v3, &resaved,
+                "{}/{label}: arena round trip changed bytes",
+                case.label
+            );
+        }
+    }
+}
+
+/// A v2 re-save of a v2 load is byte-identical — the hidden compat writer
+/// really is the old format, not an approximation.
+#[test]
+fn v2_resave_is_byte_identical() {
+    let case = &cases()[0];
+    for (label, _, v2, _, _) in &case.families {
+        let loaded = load_index(&mut v2.as_slice()).expect("load v2");
+        let mut resaved = Vec::new();
+        save_index_v2(&loaded, &mut resaved).expect("resave v2");
+        assert_eq!(v2, &resaved, "{label}: v2 round trip changed bytes");
+    }
+}
+
+fn is_typed(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::InvalidData | ErrorKind::UnexpectedEof)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arena path validates the envelope CRC at open, so **any** bit
+    /// flip in a v3 file is rejected typed before a view is handed out.
+    #[test]
+    fn arena_open_rejects_any_bit_flip(
+        pick in 0usize..16,
+        offset_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let case = &cases()[pick % cases().len()];
+        let (label, _, _, v3, _) = &case.families[pick % case.families.len()];
+        let mut corrupted = v3.clone();
+        let offset = ((corrupted.len() as f64 - 1.0) * offset_frac) as usize;
+        corrupted[offset] ^= 1 << bit;
+        match open_any_index(&Arena::from_bytes(&corrupted)) {
+            Err(err) => prop_assert!(
+                is_typed(err.kind()),
+                "{label}: flip at {offset} failed with untyped kind {:?}: {err}",
+                err.kind()
+            ),
+            Ok(_) => prop_assert!(
+                false,
+                "{label}: flip at byte {offset} bit {bit} passed CRC validation"
+            ),
+        }
+    }
+
+    /// Truncating a v3 file anywhere must fail typed at open.
+    #[test]
+    fn arena_open_rejects_any_truncation(
+        pick in 0usize..16,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let case = &cases()[pick % cases().len()];
+        let (label, _, _, v3, _) = &case.families[pick % case.families.len()];
+        let cut = ((v3.len() as f64 - 1.0) * cut_frac) as usize;
+        match open_any_index(&Arena::from_bytes(&v3[..cut])) {
+            Err(err) => prop_assert!(
+                is_typed(err.kind()),
+                "{label}: truncation at {cut} failed with untyped kind {:?}: {err}",
+                err.kind()
+            ),
+            Ok(_) => prop_assert!(false, "{label}: truncation at {cut}/{} opened", v3.len()),
+        }
+    }
+}

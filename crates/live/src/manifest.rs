@@ -8,8 +8,9 @@
 //!                      next segment id · CRC32 trailer (u32)
 //! <dir>/seg-<id>.iusg  one per segment: magic "IUSG" · version u16 ·
 //!                      id/offset/home_len · chunk rows · σ · chunk probs ·
-//!                      nested IUSX index envelope (ius_index::persist) ·
-//!                      CRC32 trailer (u32)
+//!                      zero pad to an 8-aligned offset · nested IUSX
+//!                      index envelope (ius_index::persist) · CRC32
+//!                      trailer (u32)
 //! <dir>/live.wal       write-ahead log tail, when durability is armed
 //!                      (see [`crate::wal`]); replayed over the manifest
 //!                      snapshot by [`LiveIndex::open`]
@@ -20,9 +21,13 @@
 //! same too: any layout change bumps the version and readers reject
 //! versions they do not know — version 2 added the CRC32 trailer (over
 //! everything from the magic to the last payload byte), so version-1
-//! files (no checksum) are rejected typed. Reopening never re-runs
-//! construction — the nested index envelopes are loaded by
-//! `ius_index::persist::load_index`, which only reassembles.
+//! files (no checksum) are rejected typed; version 3 zero-pads the
+//! segment prefix so the nested index envelope starts on an 8-aligned
+//! offset. Reopening never re-runs construction: a version-3 segment is
+//! read into one [`ius_arena::Arena`] and its index opened zero-copy by
+//! `ius_index::persist::open_any_index_at` (O(header + validation), not
+//! O(elements)); version-2 segment files stay loadable through the
+//! streaming decoder and answer identically.
 //!
 //! [`LiveIndex::save_to_dir`] writes the segment files first and the
 //! manifest last, **every file through a temporary name + atomic rename**;
@@ -41,9 +46,12 @@
 
 use crate::wal::{self, WalRecord};
 use crate::{insert_tombstone, LiveConfig, LiveIndex, LiveState, Memtable, Segment};
-use ius_faultio::{Crc32Reader, Crc32Writer};
+use ius_arena::Arena;
+use ius_faultio::{crc32, Crc32Reader, Crc32Writer};
 use ius_index::overlap::overlap_len;
-use ius_index::{AnyIndex, IndexFamily, IndexParams, IndexSpec, IndexVariant, UncertainIndex};
+use ius_index::{
+    AnyIndex, IndexFamily, IndexParams, IndexSpec, IndexVariant, LoadedAny, UncertainIndex,
+};
 use ius_sampling::KmerOrder;
 use ius_weighted::{Alphabet, WeightedString};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -58,8 +66,13 @@ pub const SEGMENT_MAGIC: [u8; 4] = *b"IUSG";
 
 /// The current manifest / segment-file format version. Version 2 added
 /// the CRC32 trailer behind both file kinds; version-1 files (no
-/// checksum) are rejected typed.
-pub const LIVE_FORMAT_VERSION: u16 = 2;
+/// checksum) are rejected typed. Version 3 zero-pads the segment prefix
+/// so the nested `IUSX` envelope starts 8-aligned and reopens through
+/// the zero-copy arena path; version-2 files are still read (streaming).
+pub const LIVE_FORMAT_VERSION: u16 = 3;
+
+/// The oldest format version this build still reads.
+pub const LIVE_MIN_READ_VERSION: u16 = 2;
 
 /// File name of the manifest inside a live-index directory.
 pub const MANIFEST_FILE: &str = "live.iusl";
@@ -253,19 +266,20 @@ fn read_spec(r: &mut dyn Read) -> io::Result<IndexSpec> {
     Ok(IndexSpec::new(family, IndexParams { z, ell, k, order }))
 }
 
-fn read_magic_version(r: &mut dyn Read, magic: [u8; 4], what: &str) -> io::Result<()> {
+fn read_magic_version(r: &mut dyn Read, magic: [u8; 4], what: &str) -> io::Result<u16> {
     let mut got = [0u8; 4];
     r.read_exact(&mut got)?;
     if got != magic {
         return Err(bad(format!("not a {what} file (bad magic {got:02x?})")));
     }
     let version = read_u16(r)?;
-    if version != LIVE_FORMAT_VERSION {
+    if !(LIVE_MIN_READ_VERSION..=LIVE_FORMAT_VERSION).contains(&version) {
         return Err(bad(format!(
-            "unsupported {what} version {version} (this build reads version {LIVE_FORMAT_VERSION})"
+            "unsupported {what} version {version} (this build reads versions \
+             {LIVE_MIN_READ_VERSION}..={LIVE_FORMAT_VERSION})"
         )));
     }
-    Ok(())
+    Ok(version)
 }
 
 fn segment_file_name(id: u64) -> String {
@@ -330,6 +344,10 @@ impl LiveIndex {
                 write_u64(&mut cw, segment.x.len() as u64)?;
                 write_u64(&mut cw, sigma as u64)?;
                 write_f64_slice(&mut cw, segment.x.flat_probs())?;
+                // Zero-pad so the nested envelope starts 8-aligned: reopen
+                // then maps the file once and borrows the arrays in place.
+                let prefix = SEGMENT_MAGIC.len() + 2 + 5 * 8 + segment.x.len() * sigma * 8;
+                cw.write_all(&[0u8; 8][..prefix.next_multiple_of(8) - prefix])?;
                 segment.index.save_to(&mut cw)?;
                 let crc = cw.crc();
                 write_u32(cw.into_inner(), crc)?;
@@ -509,7 +527,7 @@ impl LiveIndex {
         let mut segments = Vec::with_capacity(table.len());
         for &(id, offset, home_len) in &table {
             let path = dir.join(segment_file_name(id));
-            let file = std::fs::File::open(&path).map_err(|e| {
+            let arena = Arena::from_file(&path).map_err(|e| {
                 io::Error::new(
                     e.kind(),
                     format!(
@@ -518,8 +536,7 @@ impl LiveIndex {
                     ),
                 )
             })?;
-            let mut r = BufReader::new(file);
-            let segment = read_segment_file(&mut r, &alphabet, id, offset, home_len, overlap)
+            let segment = read_segment_file(arena, &alphabet, id, offset, home_len, overlap)
                 .map_err(|e| {
                     io::Error::new(e.kind(), format!("segment file {}: {e}", path.display()))
                 })?;
@@ -655,33 +672,54 @@ fn apply_wal_record(
 }
 
 /// Reads and fully validates one segment file against its manifest entry.
+///
+/// Version-3 files keep the nested `IUSX` envelope at an 8-aligned offset,
+/// so the index reopens through the zero-copy arena path
+/// (`ius_index::persist::open_any_index_at`): open cost is header parsing
+/// plus checksum validation, not element-by-element decoding. Version-2
+/// files (unaligned envelope) fall back to the streaming loader and answer
+/// identically.
 fn read_segment_file(
-    r: &mut dyn Read,
+    arena: Arena,
     alphabet: &Alphabet,
     id: u64,
     offset: usize,
     home_len: usize,
     overlap: usize,
 ) -> io::Result<Segment> {
-    let mut cr = Crc32Reader::new(r);
-    let r = &mut cr;
-    read_magic_version(r, SEGMENT_MAGIC, "live-index segment")?;
-    let stored_id = read_u64(r)?;
-    let stored_offset = read_len(r)?;
-    let stored_home = read_len(r)?;
+    let bytes = arena.as_bytes();
+    if bytes.len() < SEGMENT_MAGIC.len() + 2 + 4 {
+        return Err(bad("segment file is too short"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let mut r: &[u8] = body;
+    // Magic and version first (the most informative failures), then the
+    // file-wide checksum, then the payload fields.
+    let version = read_magic_version(&mut r, SEGMENT_MAGIC, "live-index segment")?;
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(bad(format!(
+            "segment checksum mismatch (stored {stored:#010x}, computed {computed:#010x}): the \
+             file is corrupt"
+        )));
+    }
+    let stored_id = read_u64(&mut r)?;
+    let stored_offset = read_len(&mut r)?;
+    let stored_home = read_len(&mut r)?;
     if stored_id != id || stored_offset != offset || stored_home != home_len {
         return Err(bad(format!(
             "segment header (id {stored_id}, offset {stored_offset}, home {stored_home}) does \
              not match the manifest entry (id {id}, offset {offset}, home {home_len})"
         )));
     }
-    let chunk_rows = read_len(r)?;
+    let chunk_rows = read_len(&mut r)?;
     if chunk_rows != home_len + overlap {
         return Err(bad(format!(
             "segment chunk has {chunk_rows} rows, expected home {home_len} + overlap {overlap}"
         )));
     }
-    let stored_sigma = read_len(r)?;
+    let stored_sigma = read_len(&mut r)?;
     if stored_sigma != alphabet.size() {
         return Err(bad(format!(
             "segment σ = {stored_sigma} does not match the manifest alphabet (σ = {})",
@@ -689,26 +727,43 @@ fn read_segment_file(
         )));
     }
     let probs = read_f64_vec(
-        r,
+        &mut r,
         chunk_rows
             .checked_mul(stored_sigma)
             .ok_or_else(|| bad("segment size overflow"))?,
     )?;
     let x = WeightedString::from_flat(alphabet.clone(), probs)
         .map_err(|e| bad(format!("segment rows: {e}")))?;
-    let index = AnyIndex::load_from(r)?;
+    let index = if version >= 3 {
+        let pos = body.len() - r.len();
+        let aligned = pos.next_multiple_of(8);
+        match body.get(pos..aligned) {
+            Some(pad) if pad.iter().all(|&b| b == 0) => {}
+            _ => return Err(bad("segment alignment padding is missing or not zeroed")),
+        }
+        let (loaded, consumed) = ius_index::persist::open_any_index_at(&arena, aligned)?;
+        if aligned + consumed != body.len() {
+            return Err(bad("trailing bytes after the segment's index envelope"));
+        }
+        match loaded {
+            LoadedAny::Index(index) => index,
+            LoadedAny::Sharded(_) => {
+                return Err(bad("a live segment cannot hold a sharded composite"))
+            }
+        }
+    } else {
+        let index = AnyIndex::load_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after the segment checksum"));
+        }
+        index
+    };
     if let Some(expected) = index.corpus_len_hint() {
         if expected != chunk_rows {
             return Err(bad(format!(
                 "segment index was built over {expected} rows, the stored chunk has {chunk_rows}"
             )));
         }
-    }
-    check_trailer(&mut cr, "segment")?;
-    // Nothing may trail the checksum.
-    let mut probe = [0u8; 1];
-    if cr.inner_mut().read(&mut probe)? != 0 {
-        return Err(bad("trailing bytes after the segment checksum"));
     }
     // A cheap structural smoke: the index must answer its size without
     // panicking (full query behavior is covered by the corruption tests).

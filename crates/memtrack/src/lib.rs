@@ -29,6 +29,8 @@ use std::sync::Mutex;
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 /// Peak of [`LIVE`] since the last reset.
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+/// Allocation calls served (alloc/alloc_zeroed/realloc) since process start.
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 /// Whether a `CountingAllocator` has been installed as the global allocator.
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 
@@ -90,6 +92,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
 #[inline]
 fn track_alloc(size: usize) {
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
     let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
     PEAK.fetch_max(live, Ordering::Relaxed);
 }
@@ -107,6 +110,10 @@ pub struct MemoryStats {
     pub peak_bytes: usize,
     /// Net heap growth retained by the closure's return value (bytes).
     pub retained_bytes: usize,
+    /// Allocation calls served during the closure (an arena open shows up
+    /// here as **one** call for the buffer, however many typed views are
+    /// carved out of it — views attribute bytes, they do not allocate).
+    pub alloc_calls: usize,
 }
 
 /// Live heap bytes currently allocated (0 when the allocator is not
@@ -131,6 +138,12 @@ pub fn reset_peak() {
     PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+/// Allocation calls served since process start (0 when the allocator is
+/// not installed).
+pub fn alloc_calls() -> usize {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
 /// Runs `f`, measuring the peak heap growth above the level at entry and the
 /// bytes retained by its return value.
 ///
@@ -143,6 +156,7 @@ pub fn measure<T, F: FnOnce() -> T>(f: F) -> (T, MemoryStats) {
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner());
     let before = live_bytes();
+    let calls_before = alloc_calls();
     reset_peak();
     let value = f();
     let peak = peak_bytes();
@@ -150,6 +164,7 @@ pub fn measure<T, F: FnOnce() -> T>(f: F) -> (T, MemoryStats) {
     let stats = MemoryStats {
         peak_bytes: peak.saturating_sub(before),
         retained_bytes: after.saturating_sub(before),
+        alloc_calls: alloc_calls().saturating_sub(calls_before),
     };
     (value, stats)
 }

@@ -36,13 +36,13 @@ use crate::protocol::{
     encode_response, read_frame, ErrorCode, LiveSnapshot, ProtocolError, Request, Response,
     ResultMode, StatsSnapshot, MAX_REQUEST_FRAME,
 };
+use ius_arena::Arena;
 use ius_exec::WorkerPool;
-use ius_index::{load_any_index, AnyIndex, LoadedAny, ShardedIndex, UncertainIndex};
+use ius_index::{open_any_index, AnyIndex, LoadedAny, ShardedIndex, UncertainIndex};
 use ius_live::LiveIndex;
 use ius_query::{CountSink, FirstKSink, QueryScratch};
 use ius_weighted::WeightedString;
-use std::fs::File;
-use std::io::{self, BufReader, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,6 +57,10 @@ use std::time::Duration;
 /// [`ShardedIndex`] owns its chunks and is self-contained — which is why a
 /// persisted sharded file can be served or hot-reloaded without
 /// regenerating the corpus.
+///
+/// Deliberately unboxed despite the variant size skew: a server holds one
+/// of these per corpus, and dispatch sits on the per-query hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ServedIndex {
     /// One single-machine index over a shared corpus.
@@ -106,8 +110,12 @@ impl ServedIndex {
     /// would otherwise surface only as per-query panics or wrong
     /// answers).
     pub fn load(path: &Path, corpus: Option<Arc<WeightedString>>) -> io::Result<Self> {
-        let mut reader = BufReader::new(File::open(path)?);
-        match load_any_index(&mut reader)? {
+        // One read into a single arena. Version-3 files then open
+        // zero-copy — every array view (and a hot reload's new serving
+        // snapshot) borrows the same Arc-shared buffer — while version-2
+        // files stream-decode from the same bytes.
+        let arena = Arena::from_file(path)?;
+        match open_any_index(&arena)? {
             LoadedAny::Sharded(index) => Ok(ServedIndex::Sharded(index)),
             LoadedAny::Index(index) => {
                 let corpus = corpus.ok_or_else(|| {

@@ -64,10 +64,13 @@ impl LabelProvider for SliceLabels<'_> {
     }
 }
 
+use ius_arena::ArenaVec;
+
 /// Sentinel "first letter" for zero-length edges (duplicate strings).
 const NO_LETTER: u8 = u8::MAX;
 
-/// One node of a compacted trie.
+/// One node of a compacted trie — a construction-time temporary; the built
+/// trie stores nodes as a struct of flat arrays (see [`CompactedTrie`]).
 #[derive(Debug, Clone)]
 struct Node {
     /// String depth: number of letters on the root-to-node path.
@@ -75,10 +78,6 @@ struct Node {
     /// Half-open range of sorted leaf indices below this node.
     leaf_lo: u32,
     leaf_hi: u32,
-    /// Start of this node's children in the flattened child table.
-    children_start: u32,
-    /// Number of children.
-    children_len: u16,
     /// `true` if the node is a leaf (corresponds to exactly one sorted string).
     is_leaf: bool,
 }
@@ -87,25 +86,27 @@ struct Node {
 /// the persistence layer to save a trie without re-running the stack-based
 /// construction on load. All vectors describing nodes have one entry per
 /// node; `child_letters`/`child_nodes` hold the flattened child table in the
-/// same grouping [`CompactedTrie::children`] exposes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// same grouping [`CompactedTrie::children`] exposes. Each array is an
+/// [`ArenaVec`], so the parts can either own their storage (the stream load
+/// path) or borrow it zero-copy from a persisted arena.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrieParts {
     /// String depth per node.
-    pub depth: Vec<u32>,
+    pub depth: ArenaVec<u32>,
     /// Lower end (inclusive) of each node's sorted-leaf range.
-    pub leaf_lo: Vec<u32>,
+    pub leaf_lo: ArenaVec<u32>,
     /// Upper end (exclusive) of each node's sorted-leaf range.
-    pub leaf_hi: Vec<u32>,
+    pub leaf_hi: ArenaVec<u32>,
     /// Start of each node's children in the flattened child table.
-    pub children_start: Vec<u32>,
+    pub children_start: ArenaVec<u32>,
     /// Number of children per node.
-    pub children_len: Vec<u16>,
+    pub children_len: ArenaVec<u16>,
     /// Leaf flag per node (`1` for leaves, `0` otherwise).
-    pub is_leaf: Vec<u8>,
+    pub is_leaf: ArenaVec<u8>,
     /// First edge letter per flattened child entry.
-    pub child_letters: Vec<u8>,
+    pub child_letters: ArenaVec<u8>,
     /// Child node id per flattened child entry.
-    pub child_nodes: Vec<u32>,
+    pub child_nodes: ArenaVec<u32>,
     /// The root node id.
     pub root: u32,
     /// Number of strings the trie was built over.
@@ -123,11 +124,22 @@ pub struct Descent {
 }
 
 /// A compacted trie over a sorted string collection with external labels.
+///
+/// Stored as a struct of flat arrays (one entry per node, plus a flattened
+/// child table) so a persisted trie can be reopened as zero-copy views into
+/// an [`ius_arena::Arena`] instead of being decoded node by node.
 #[derive(Debug, Clone)]
 pub struct CompactedTrie {
-    nodes: Vec<Node>,
-    /// Flattened `(first letter, child node)` table, grouped per node.
-    children: Vec<(u8, u32)>,
+    depth: ArenaVec<u32>,
+    leaf_lo: ArenaVec<u32>,
+    leaf_hi: ArenaVec<u32>,
+    children_start: ArenaVec<u32>,
+    children_len: ArenaVec<u16>,
+    is_leaf: ArenaVec<u8>,
+    /// First edge letter per flattened child entry, grouped per node.
+    child_letters: ArenaVec<u8>,
+    /// Child node id per flattened child entry, grouped per node.
+    child_nodes: ArenaVec<u32>,
     root: u32,
     num_leaves: usize,
 }
@@ -150,12 +162,7 @@ impl CompactedTrie {
             num_leaves,
             "lcps must have one entry per string"
         );
-        let mut trie = CompactedTrie {
-            nodes: Vec::with_capacity(2 * num_leaves.max(1)),
-            children: Vec::with_capacity(2 * num_leaves.max(1)),
-            root: 0,
-            num_leaves,
-        };
+        let mut nodes: Vec<Node> = Vec::with_capacity(2 * num_leaves.max(1));
         // Temporary children lists; flattened at the end.
         let mut temp_children: Vec<Vec<u32>> = Vec::with_capacity(2 * num_leaves.max(1));
         let new_node = |nodes: &mut Vec<Node>,
@@ -169,16 +176,13 @@ impl CompactedTrie {
                 depth,
                 leaf_lo,
                 leaf_hi: leaf_lo,
-                children_start: 0,
-                children_len: 0,
                 is_leaf,
             });
             temp_children.push(Vec::new());
             id
         };
 
-        let root = new_node(&mut trie.nodes, &mut temp_children, 0, 0, false);
-        trie.root = root;
+        let root = new_node(&mut nodes, &mut temp_children, 0, 0, false);
         // Stack of the rightmost path: node ids with strictly increasing depth.
         let mut stack: Vec<u32> = vec![root];
 
@@ -193,20 +197,19 @@ impl CompactedTrie {
             }
             // Pop nodes deeper than the LCP.
             let mut last_popped: Option<u32> = None;
-            while trie.nodes[*stack.last().expect("stack never empty") as usize].depth > lcp as u32
-            {
+            while nodes[*stack.last().expect("stack never empty") as usize].depth > lcp as u32 {
                 last_popped = stack.pop();
             }
             let top = *stack.last().expect("stack never empty");
-            let branch = if trie.nodes[top as usize].depth == lcp as u32 {
+            let branch = if nodes[top as usize].depth == lcp as u32 {
                 top
             } else {
                 // Split: create an internal node at depth `lcp` between `top`
                 // and `last_popped`.
                 let popped = last_popped.expect("a node deeper than lcp was popped");
-                let popped_leaf_lo = trie.nodes[popped as usize].leaf_lo;
+                let popped_leaf_lo = nodes[popped as usize].leaf_lo;
                 let split = new_node(
-                    &mut trie.nodes,
+                    &mut nodes,
                     &mut temp_children,
                     lcp as u32,
                     popped_leaf_lo,
@@ -224,31 +227,31 @@ impl CompactedTrie {
                 split
             };
             // Attach the new leaf.
-            let leaf = new_node(
-                &mut trie.nodes,
-                &mut temp_children,
-                len as u32,
-                i as u32,
-                true,
-            );
-            trie.nodes[leaf as usize].leaf_hi = i as u32 + 1;
+            let leaf = new_node(&mut nodes, &mut temp_children, len as u32, i as u32, true);
+            nodes[leaf as usize].leaf_hi = i as u32 + 1;
             temp_children[branch as usize].push(leaf);
-            if len as u32 > trie.nodes[branch as usize].depth {
+            if len as u32 > nodes[branch as usize].depth {
                 stack.push(leaf);
             }
         }
 
         // Propagate leaf ranges bottom-up (nodes are created before their
         // descendants except for split nodes, so do an explicit traversal).
-        trie.finish(&mut temp_children, labels);
-        trie
+        Self::finish(nodes, temp_children, root, num_leaves, labels)
     }
 
-    /// Flattens children, fills leaf ranges and records edge first letters.
-    fn finish<L: LabelProvider>(&mut self, temp_children: &mut [Vec<u32>], labels: &L) {
+    /// Flattens children, fills leaf ranges, records edge first letters and
+    /// packs the temporary node structs into the flat-array layout.
+    fn finish<L: LabelProvider>(
+        mut nodes: Vec<Node>,
+        temp_children: Vec<Vec<u32>>,
+        root: u32,
+        num_leaves: usize,
+        labels: &L,
+    ) -> Self {
         // Iterative post-order to compute leaf ranges.
-        let mut order: Vec<u32> = Vec::with_capacity(self.nodes.len());
-        let mut stack: Vec<u32> = vec![self.root];
+        let mut order: Vec<u32> = Vec::with_capacity(nodes.len());
+        let mut stack: Vec<u32> = vec![root];
         while let Some(node) = stack.pop() {
             order.push(node);
             for &c in &temp_children[node as usize] {
@@ -259,43 +262,56 @@ impl CompactedTrie {
             if !temp_children[node as usize].is_empty() {
                 let lo = temp_children[node as usize]
                     .iter()
-                    .map(|&c| self.nodes[c as usize].leaf_lo)
+                    .map(|&c| nodes[c as usize].leaf_lo)
                     .min()
                     .expect("non-empty");
                 let hi = temp_children[node as usize]
                     .iter()
-                    .map(|&c| self.nodes[c as usize].leaf_hi)
+                    .map(|&c| nodes[c as usize].leaf_hi)
                     .max()
                     .expect("non-empty");
-                let n = &mut self.nodes[node as usize];
+                let n = &mut nodes[node as usize];
                 n.leaf_lo = n.leaf_lo.min(lo);
                 n.leaf_hi = n.leaf_hi.max(hi);
             }
         }
-        // Flatten children, sorted by first letter (they are produced in
-        // lexicographic order already, but zero-length duplicate edges keep
-        // this robust).
-        #[allow(clippy::needless_range_loop)]
-        for node in 0..self.nodes.len() {
-            let depth = self.nodes[node].depth as usize;
-            let kids = &mut temp_children[node];
-            let start = self.children.len() as u32;
-            for &c in kids.iter() {
-                let child = &self.nodes[c as usize];
+        // Pack into the flat arrays, flattening each node's children in
+        // order (they are produced in lexicographic order already; the
+        // explicit first letters keep zero-length duplicate edges robust).
+        let children_total: usize = temp_children.iter().map(Vec::len).sum();
+        let mut child_letters: Vec<u8> = Vec::with_capacity(children_total);
+        let mut child_nodes: Vec<u32> = Vec::with_capacity(children_total);
+        let mut children_start: Vec<u32> = Vec::with_capacity(nodes.len());
+        let mut children_len: Vec<u16> = Vec::with_capacity(nodes.len());
+        for (node, kids) in temp_children.iter().enumerate() {
+            let depth = nodes[node].depth as usize;
+            children_start.push(child_letters.len() as u32);
+            children_len.push(kids.len() as u16);
+            for &c in kids {
+                let child = &nodes[c as usize];
                 let first = labels
                     .letter(child.leaf_lo as usize, depth)
                     .unwrap_or(NO_LETTER);
-                self.children.push((first, c));
+                child_letters.push(first);
+                child_nodes.push(c);
             }
-            self.nodes[node].children_start = start;
-            self.nodes[node].children_len = kids.len() as u16;
-            kids.clear();
         }
-        // The builder's capacity guesses (2k nodes) can overshoot; release
-        // the slack so the retained footprint — and `memory_bytes`, which
-        // reports real capacities — is minimal.
-        self.nodes.shrink_to_fit();
-        self.children.shrink_to_fit();
+        CompactedTrie {
+            depth: nodes.iter().map(|n| n.depth).collect::<Vec<_>>().into(),
+            leaf_lo: nodes.iter().map(|n| n.leaf_lo).collect::<Vec<_>>().into(),
+            leaf_hi: nodes.iter().map(|n| n.leaf_hi).collect::<Vec<_>>().into(),
+            children_start: children_start.into(),
+            children_len: children_len.into(),
+            is_leaf: nodes
+                .iter()
+                .map(|n| u8::from(n.is_leaf))
+                .collect::<Vec<_>>()
+                .into(),
+            child_letters: child_letters.into(),
+            child_nodes: child_nodes.into(),
+            root,
+            num_leaves,
+        }
     }
 
     /// The root node id.
@@ -314,34 +330,48 @@ impl CompactedTrie {
     /// Total number of nodes (internal + leaves).
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.depth.len()
     }
 
     /// String depth of a node.
     #[inline]
     pub fn depth(&self, node: u32) -> usize {
-        self.nodes[node as usize].depth as usize
+        self.depth[node as usize] as usize
     }
 
     /// Half-open range of sorted leaf indices under `node`.
     #[inline]
     pub fn leaf_range(&self, node: u32) -> (u32, u32) {
-        let n = &self.nodes[node as usize];
-        (n.leaf_lo, n.leaf_hi)
+        (self.leaf_lo[node as usize], self.leaf_hi[node as usize])
+    }
+
+    /// The half-open child-table range of `node`.
+    #[inline]
+    fn child_span(&self, node: u32) -> (usize, usize) {
+        let start = self.children_start[node as usize] as usize;
+        (start, start + self.children_len[node as usize] as usize)
+    }
+
+    /// Number of children of `node`.
+    #[inline]
+    pub fn num_children(&self, node: u32) -> usize {
+        self.children_len[node as usize] as usize
     }
 
     /// Children of `node` as `(first edge letter, child id)` pairs.
     #[inline]
-    pub fn children(&self, node: u32) -> &[(u8, u32)] {
-        let n = &self.nodes[node as usize];
-        let start = n.children_start as usize;
-        &self.children[start..start + n.children_len as usize]
+    pub fn children(&self, node: u32) -> impl Iterator<Item = (u8, u32)> + '_ {
+        let (start, end) = self.child_span(node);
+        self.child_letters[start..end]
+            .iter()
+            .zip(&self.child_nodes[start..end])
+            .map(|(&letter, &child)| (letter, child))
     }
 
     /// `true` iff `node` is a leaf.
     #[inline]
     pub fn is_leaf(&self, node: u32) -> bool {
-        self.nodes[node as usize].is_leaf
+        self.is_leaf[node as usize] == 1
     }
 
     /// Descends `pattern` from the root, returning the range of leaves whose
@@ -361,17 +391,14 @@ impl CompactedTrie {
             }
             // Pick the child whose edge starts with the next pattern letter.
             let next_letter = pattern[matched];
-            let mut next: Option<u32> = None;
-            for &(first, child) in self.children(node) {
-                if first == next_letter {
-                    next = Some(child);
-                    break;
-                }
-            }
-            let child = next?;
+            let (start, end) = self.child_span(node);
+            let child = self.child_letters[start..end]
+                .iter()
+                .position(|&first| first == next_letter)
+                .map(|slot| self.child_nodes[start + slot])?;
             // Match along the edge using the labels of the child's first leaf.
-            let child_depth = self.nodes[child as usize].depth as usize;
-            let leaf = self.nodes[child as usize].leaf_lo as usize;
+            let child_depth = self.depth[child as usize] as usize;
+            let leaf = self.leaf_lo[child as usize] as usize;
             while matched < pattern.len() && matched < child_depth {
                 match labels.letter(leaf, matched) {
                     Some(c) if c == pattern[matched] => matched += 1,
@@ -382,39 +409,36 @@ impl CompactedTrie {
         }
     }
 
-    /// Approximate heap usage in bytes.
+    /// Heap bytes owned by this trie itself. Arena-backed views count as
+    /// zero here: the single arena allocation is accounted once, by the
+    /// structure that retains the [`ius_arena::Arena`] handle.
     pub fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node>()
-            + self.children.capacity() * std::mem::size_of::<(u8, u32)>()
+        self.depth.heap_bytes()
+            + self.leaf_lo.heap_bytes()
+            + self.leaf_hi.heap_bytes()
+            + self.children_start.heap_bytes()
+            + self.children_len.heap_bytes()
+            + self.is_leaf.heap_bytes()
+            + self.child_letters.heap_bytes()
+            + self.child_nodes.heap_bytes()
     }
 
     /// Exports the trie as its flat representation (see [`TrieParts`]).
+    /// The internal storage already is the flat layout, so this clones the
+    /// arrays (a reference-count bump each for arena-backed views).
     pub fn to_parts(&self) -> TrieParts {
-        let mut parts = TrieParts {
-            depth: Vec::with_capacity(self.nodes.len()),
-            leaf_lo: Vec::with_capacity(self.nodes.len()),
-            leaf_hi: Vec::with_capacity(self.nodes.len()),
-            children_start: Vec::with_capacity(self.nodes.len()),
-            children_len: Vec::with_capacity(self.nodes.len()),
-            is_leaf: Vec::with_capacity(self.nodes.len()),
-            child_letters: Vec::with_capacity(self.children.len()),
-            child_nodes: Vec::with_capacity(self.children.len()),
+        TrieParts {
+            depth: self.depth.clone(),
+            leaf_lo: self.leaf_lo.clone(),
+            leaf_hi: self.leaf_hi.clone(),
+            children_start: self.children_start.clone(),
+            children_len: self.children_len.clone(),
+            is_leaf: self.is_leaf.clone(),
+            child_letters: self.child_letters.clone(),
+            child_nodes: self.child_nodes.clone(),
             root: self.root,
             num_leaves: self.num_leaves as u64,
-        };
-        for node in &self.nodes {
-            parts.depth.push(node.depth);
-            parts.leaf_lo.push(node.leaf_lo);
-            parts.leaf_hi.push(node.leaf_hi);
-            parts.children_start.push(node.children_start);
-            parts.children_len.push(node.children_len);
-            parts.is_leaf.push(u8::from(node.is_leaf));
         }
-        for &(letter, child) in &self.children {
-            parts.child_letters.push(letter);
-            parts.child_nodes.push(child);
-        }
-        parts
     }
 
     /// Reassembles a trie from its flat representation — the inverse of
@@ -448,42 +472,59 @@ impl CompactedTrie {
         if parts.root as usize >= n {
             return Err(format!("root {} out of range ({n} nodes)", parts.root));
         }
-        let children_total = parts.child_nodes.len();
-        let mut nodes = Vec::with_capacity(n);
-        for i in 0..n {
-            let start = parts.children_start[i] as usize;
-            let len = parts.children_len[i] as usize;
-            if start + len > children_total {
-                return Err(format!("child table of node {i} out of bounds"));
-            }
-            if parts.is_leaf[i] > 1 {
-                return Err(format!("node {i} has a non-boolean leaf flag"));
-            }
-            if parts.leaf_lo[i] > parts.leaf_hi[i] || u64::from(parts.leaf_hi[i]) > parts.num_leaves
-            {
-                return Err(format!("leaf range of node {i} out of bounds"));
-            }
-            nodes.push(Node {
-                depth: parts.depth[i],
-                leaf_lo: parts.leaf_lo[i],
-                leaf_hi: parts.leaf_hi[i],
-                children_start: parts.children_start[i],
-                children_len: parts.children_len[i],
-                is_leaf: parts.is_leaf[i] == 1,
-            });
-        }
-        let children: Vec<(u8, u32)> = parts
-            .child_letters
+        // Structural validation over millions of nodes: phrased as whole-
+        // array reduction scans (no early exit, no per-node branching) so
+        // they compile to SIMD and an arena open stays cheap; the failing
+        // node is located by a second pass only on the error path.
+        let children_total = parts.child_nodes.len() as u64;
+        let worst_child_end = parts
+            .children_start
             .iter()
-            .zip(&parts.child_nodes)
-            .map(|(&letter, &child)| (letter, child))
-            .collect();
-        if children.iter().any(|&(_, child)| child as usize >= n) {
+            .zip(&*parts.children_len)
+            .map(|(&start, &len)| u64::from(start) + u64::from(len))
+            .fold(0, u64::max);
+        if worst_child_end > children_total {
+            let i = (0..n)
+                .find(|&i| {
+                    u64::from(parts.children_start[i]) + u64::from(parts.children_len[i])
+                        > children_total
+                })
+                .unwrap_or(0);
+            return Err(format!("child table of node {i} out of bounds"));
+        }
+        if parts.is_leaf.iter().fold(0, |acc, &f| acc | f) > 1 {
+            let i = parts.is_leaf.iter().position(|&f| f > 1).unwrap_or(0);
+            return Err(format!("node {i} has a non-boolean leaf flag"));
+        }
+        let ranges_ok = parts
+            .leaf_lo
+            .iter()
+            .zip(&*parts.leaf_hi)
+            .fold(true, |ok, (&lo, &hi)| {
+                ok & (lo <= hi) & (u64::from(hi) <= parts.num_leaves)
+            });
+        if !ranges_ok {
+            let i = (0..n)
+                .find(|&i| {
+                    parts.leaf_lo[i] > parts.leaf_hi[i]
+                        || u64::from(parts.leaf_hi[i]) > parts.num_leaves
+                })
+                .unwrap_or(0);
+            return Err(format!("leaf range of node {i} out of bounds"));
+        }
+        let max_child = parts.child_nodes.iter().fold(0, |m: u32, &c| m.max(c));
+        if !parts.child_nodes.is_empty() && max_child as usize >= n {
             return Err("child table references a node out of range".into());
         }
         Ok(Self {
-            nodes,
-            children,
+            depth: parts.depth,
+            leaf_lo: parts.leaf_lo,
+            leaf_hi: parts.leaf_hi,
+            children_start: parts.children_start,
+            children_len: parts.children_len,
+            is_leaf: parts.is_leaf,
+            child_letters: parts.child_letters,
+            child_nodes: parts.child_nodes,
             root: parts.root,
             num_leaves: parts.num_leaves as usize,
         })
@@ -628,6 +669,16 @@ mod tests {
         assert_eq!(rebuilt.to_parts(), trie.to_parts());
     }
 
+    /// Applies `mutate` to an owned copy of one `u32` parts array.
+    fn tweak(
+        values: &ius_arena::ArenaVec<u32>,
+        mutate: impl FnOnce(&mut Vec<u32>),
+    ) -> ius_arena::ArenaVec<u32> {
+        let mut v = values.to_vec();
+        mutate(&mut v);
+        v.into()
+    }
+
     #[test]
     fn from_parts_rejects_corrupted_input() {
         let (trie, _, _) = build_from_strings(&[b"ab", b"ba"]);
@@ -636,24 +687,24 @@ mod tests {
         bad.root = 10_000;
         assert!(CompactedTrie::from_parts(bad).is_err());
         let mut bad = good.clone();
-        bad.leaf_lo.pop();
+        bad.leaf_lo = tweak(&bad.leaf_lo, |v| {
+            v.pop();
+        });
         assert!(CompactedTrie::from_parts(bad).is_err());
         let mut bad = good.clone();
-        if let Some(first) = bad.child_nodes.first_mut() {
-            *first = u32::MAX;
-        }
+        bad.child_nodes = tweak(&bad.child_nodes, |v| v[0] = u32::MAX);
         assert!(CompactedTrie::from_parts(bad).is_err());
         // Leaf ranges must stay inside the string count.
         let mut bad = good.clone();
-        bad.leaf_lo[0] = 1_000_000_000;
-        bad.leaf_hi[0] = 1_000_000_001;
+        bad.leaf_lo = tweak(&bad.leaf_lo, |v| v[0] = 1_000_000_000);
+        bad.leaf_hi = tweak(&bad.leaf_hi, |v| v[0] = 1_000_000_001);
         assert!(CompactedTrie::from_parts(bad).is_err());
         let mut bad = good.clone();
-        bad.leaf_hi[0] = 0;
-        bad.leaf_lo[0] = 1;
+        bad.leaf_hi = tweak(&bad.leaf_hi, |v| v[0] = 0);
+        bad.leaf_lo = tweak(&bad.leaf_lo, |v| v[0] = 1);
         assert!(CompactedTrie::from_parts(bad).is_err());
         let mut bad = good;
-        bad.children_start[0] = u32::MAX;
+        bad.children_start = tweak(&bad.children_start, |v| v[0] = u32::MAX);
         assert!(CompactedTrie::from_parts(bad).is_err());
     }
 
@@ -678,12 +729,12 @@ mod tests {
             let (lo, hi) = trie.leaf_range(node);
             assert!(lo <= hi);
             let mut covered: u32 = 0;
-            for &(_, child) in trie.children(node) {
+            for (_, child) in trie.children(node) {
                 let (clo, chi) = trie.leaf_range(child);
                 assert!(clo >= lo && chi <= hi);
                 covered += chi - clo;
             }
-            if !trie.children(node).is_empty() && !trie.is_leaf(node) {
+            if trie.num_children(node) > 0 && !trie.is_leaf(node) {
                 assert_eq!(covered, hi - lo, "children must tile node {node}");
             }
         }

@@ -9,6 +9,7 @@
 
 use crate::error::{Error, Result};
 use crate::string::WeightedString;
+use ius_arena::ArenaVec;
 use std::sync::Arc;
 
 /// The heavy string of a weighted string, together with prefix products of
@@ -26,8 +27,10 @@ use std::sync::Arc;
 pub struct HeavyString {
     /// Heavy letters as dense ranks, one per position (shared).
     letters: Arc<Vec<u8>>,
-    /// `log_prefix[i]` = Σ_{j < i} ln p_j(H_X[j]); length `n + 1`.
-    log_prefix: Vec<f64>,
+    /// `log_prefix[i]` = Σ_{j < i} ln p_j(H_X[j]); length `n + 1`. An
+    /// [`ArenaVec`], so a persisted heavy string can borrow the table
+    /// zero-copy from the index arena.
+    log_prefix: ArenaVec<f64>,
 }
 
 impl HeavyString {
@@ -56,7 +59,7 @@ impl HeavyString {
         }
         Self {
             letters: Arc::new(letters),
-            log_prefix,
+            log_prefix: ArenaVec::from(log_prefix),
         }
     }
 
@@ -170,7 +173,7 @@ impl HeavyString {
     ///
     /// [`Error::InvalidParameters`] unless `log_prefix` has exactly
     /// `letters.len() + 1` finite entries starting at 0.
-    pub fn from_parts(letters: Vec<u8>, log_prefix: Vec<f64>) -> Result<Self> {
+    pub fn from_parts(letters: Vec<u8>, log_prefix: ArenaVec<f64>) -> Result<Self> {
         if log_prefix.len() != letters.len() + 1 {
             return Err(Error::InvalidParameters(format!(
                 "log-prefix table has {} entries for {} letters",
@@ -189,9 +192,11 @@ impl HeavyString {
         })
     }
 
-    /// Approximate heap usage in bytes.
+    /// Approximate heap usage in bytes. An arena-backed log-prefix table
+    /// counts as zero here; the arena is counted once by whoever retains
+    /// its handle.
     pub fn memory_bytes(&self) -> usize {
-        self.letters.capacity() + self.log_prefix.capacity() * std::mem::size_of::<f64>()
+        self.letters.capacity() + self.log_prefix.heap_bytes()
     }
 }
 
@@ -299,7 +304,7 @@ mod tests {
         let x = paper_example();
         let h = HeavyString::new(&x);
         let rebuilt =
-            HeavyString::from_parts(h.as_ranks().to_vec(), h.log_prefix().to_vec()).unwrap();
+            HeavyString::from_parts(h.as_ranks().to_vec(), h.log_prefix().to_vec().into()).unwrap();
         assert_eq!(rebuilt.as_ranks(), h.as_ranks());
         assert_eq!(rebuilt.log_prefix(), h.log_prefix());
         assert_eq!(
@@ -307,9 +312,9 @@ mod tests {
             h.range_log_probability(1, 5).to_bits()
         );
         // Malformed parts are rejected.
-        assert!(HeavyString::from_parts(vec![0, 1], vec![0.0, 0.5]).is_err());
-        assert!(HeavyString::from_parts(vec![0], vec![0.1, 0.2]).is_err());
-        assert!(HeavyString::from_parts(vec![0], vec![0.0, f64::NAN]).is_err());
+        assert!(HeavyString::from_parts(vec![0, 1], vec![0.0, 0.5].into()).is_err());
+        assert!(HeavyString::from_parts(vec![0], vec![0.1, 0.2].into()).is_err());
+        assert!(HeavyString::from_parts(vec![0], vec![0.0, f64::NAN].into()).is_err());
     }
 
     #[test]

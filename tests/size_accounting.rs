@@ -82,4 +82,62 @@ fn size_bytes_matches_retained_heap_for_every_family() {
         16 * 1024,
     );
     drop(sharded);
+
+    // ---- arena-open accounting ------------------------------------------
+    // A v3 file opened through the arena path retains ONE buffer (the
+    // arena) plus the few small owned structures the loader derives.
+    // `size_bytes()` must count the arena exactly once — via the retained
+    // `Arena` handle, since every borrowed view reports zero owned bytes —
+    // and the views attribute their byte ranges back to the arena.
+    for family in [
+        IndexFamily::Wst,
+        IndexFamily::Wsa,
+        IndexFamily::Minimizer(IndexVariant::ArrayGrid),
+        IndexFamily::SpaceEfficient(IndexVariant::Tree),
+    ] {
+        let spec = IndexSpec::new(family, params);
+        let built = spec.build(&x).unwrap();
+        let mut bytes = Vec::new();
+        ius_index::save_index(&built, &mut bytes).unwrap();
+        drop(built);
+
+        // The arena itself is a single buffer allocation (plus the Arc
+        // control block), no matter how many megabytes it spans.
+        let (arena, mem) = ius_memtrack::measure(|| ius_arena::Arena::from_bytes(&bytes));
+        assert_eq!(
+            mem.alloc_calls,
+            2,
+            "{}: an arena must be one buffer allocation + one Arc block",
+            family.name()
+        );
+
+        // Opening out of it allocates O(sections) small structures, not
+        // O(elements): the flat arrays stay in the arena as views.
+        let (opened, mem) = ius_memtrack::measure(|| ius_index::open_index(&arena).unwrap());
+        assert!(
+            mem.alloc_calls < 256,
+            "{}: arena open made {} allocations — the flat arrays must be \
+             zero-copy views, not decoded vectors",
+            family.name(),
+            mem.alloc_calls
+        );
+        let attributed = arena.attributed_bytes();
+        assert!(
+            attributed > 0 && attributed <= arena.len(),
+            "{}: views attributed {attributed} of {} arena bytes",
+            family.name(),
+            arena.len()
+        );
+        // The opened index's self-reported footprint covers the arena
+        // (counted once) plus what the open retained on top of it.
+        assert_close(
+            &format!("{} (arena open)", family.name()),
+            opened.size_bytes(),
+            arena.alloc_bytes() + mem.retained_bytes,
+            0.02,
+            4096,
+        );
+        drop(opened);
+        drop(arena);
+    }
 }
