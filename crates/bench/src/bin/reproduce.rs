@@ -22,7 +22,9 @@ use ius_bench::measure::{
 use ius_bench::query_bench::{render_query_json, run_query_bench, QueryBenchConfig};
 use ius_bench::recovery_bench::{render_recovery_json, run_recovery_bench, RecoveryBenchConfig};
 use ius_bench::report::{default_thread_sweep, host_cpus, render_csv, render_table, Row};
-use ius_bench::serve_bench::{render_serve_json, run_serve_bench, ServeBenchConfig};
+use ius_bench::serve_bench::{
+    measure_instrumentation_overhead, render_serve_json, run_serve_bench, ServeBenchConfig,
+};
 use ius_bench::space_bench::{render_space_json, run_space_bench, SpaceBenchConfig};
 use ius_bench::update_bench::{render_update_json, run_update_bench, UpdateBenchConfig};
 use ius_datasets::registry::{efm_star, human_star, rssi_star, sars_star, Dataset, Scale};
@@ -182,7 +184,15 @@ fn main() {
             clients: config.bench_clients,
         };
         let results = run_serve_bench(&bench_config);
-        let json = render_serve_json(&bench_config, &results);
+        // A sweep pair is ~50 ms, so the overhead comparison can afford
+        // far more reps than the dataset benchmarks — a percent-level
+        // difference needs them on a noisy virtualized host.
+        let overhead = measure_instrumentation_overhead(
+            bench_config.n,
+            bench_config.patterns,
+            bench_config.reps.max(16),
+        );
+        let json = render_serve_json(&bench_config, &results, &overhead);
         let path = config
             .out_dir
             .clone()

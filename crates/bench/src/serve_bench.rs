@@ -20,9 +20,10 @@
 //! overhead rather than parallel speedup; the worker and client counts are
 //! recorded in the JSON so the numbers can be read honestly.
 
-use ius_datasets::corpora::bench_corpora;
+use ius_datasets::corpora::{bench_corpora, bench_corpus};
 use ius_datasets::patterns::PatternSampler;
 use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant, QueryScratch, UncertainIndex};
+use ius_obs::clock;
 use ius_server::{Client, ServedIndex, Server, ServerConfig};
 use ius_weighted::{WeightedString, ZEstimation};
 use std::net::SocketAddr;
@@ -103,6 +104,167 @@ pub struct ServeDatasetBench {
     pub reload: ReloadBench,
 }
 
+/// Throughput cost of the observability layer on the serving path: the
+/// same served sweep as the worker benchmark, run with the monotonic clock
+/// live versus stubbed out (`ius_obs::clock` disabled — exactly the
+/// recording switch every instrumentation site gates on: sampled stage
+/// stamps in `run_query`, queue-wait/service histograms, slow-query log).
+///
+/// Both throughputs are estimated as `clients / median round trip` (the
+/// serving loop is closed — one request in flight per client — so that
+/// identity holds). The overhead percentage comes from pairing: each rep
+/// runs the two sides back to back, and the reported figure is the
+/// median across reps of the within-pair median-RTT ratio, which is
+/// robust to the host-contention bursts that shift whole sweeps. The two
+/// `*_qps` fields are medians over each side's sweeps, so they need not
+/// reproduce `overhead_pct` exactly.
+#[derive(Debug, Clone)]
+pub struct InstrumentationOverhead {
+    /// Queries per timed sweep (pattern set × [`OVERHEAD_SWEEP_PASSES`]).
+    pub queries: usize,
+    /// Order-alternated instrumented/stubbed sweep pairs.
+    pub reps: usize,
+    /// Served throughput with every recording site live, q/s
+    /// (clients / median round trip).
+    pub instrumented_qps: f64,
+    /// Served throughput with the clock stubbed, q/s
+    /// (clients / median round trip).
+    pub stubbed_qps: f64,
+    /// Throughput cost of instrumentation, percent: median across sweep
+    /// pairs of the within-pair median round-trip ratio, minus one.
+    pub overhead_pct: f64,
+}
+
+/// Pattern-set replays per overhead sweep: stretches one timed sweep to
+/// ~50 ms so per-sweep fixed costs (thread spawn, TCP connect) and
+/// scheduler noise average out inside the sweep instead of swamping a
+/// percent-level difference between sweeps.
+pub const OVERHEAD_SWEEP_PASSES: usize = 40;
+
+/// Measures [`InstrumentationOverhead`] by serving an MWSA-G index over
+/// the `uniform` preset from a file (the production path) and timing the
+/// identical wire sweep with recording on and off. Sweeps alternate and
+/// the side that goes first flips every rep, so frequency scaling and
+/// cache state hit both sides equally; each side pools the round-trip
+/// latencies of its `reps` sweeps and reports `clients / median`.
+/// Restores the clock to enabled before returning (the flag is
+/// process-global).
+pub fn measure_instrumentation_overhead(
+    n: usize,
+    pattern_count: usize,
+    reps: usize,
+) -> InstrumentationOverhead {
+    let corpus = bench_corpus("uniform", n, None).expect("uniform preset");
+    let x = &corpus.x;
+    let params = IndexParams::new(corpus.z, corpus.ell, x.sigma()).expect("params");
+    let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::ArrayGrid), params);
+    let index = spec.build(x).expect("build MWSA-G");
+    let est = ZEstimation::build(x, corpus.z).expect("estimation");
+    let mut sampler = PatternSampler::new(&est, 0x0B5E);
+    let mut patterns = sampler.sample_many(corpus.ell, pattern_count / 2);
+    patterns.extend(sampler.sample_many(2 * corpus.ell, pattern_count - pattern_count / 2));
+    assert!(!patterns.is_empty(), "overhead bench needs patterns");
+    let mut scratch = QueryScratch::new();
+    let expected: Vec<Vec<usize>> = patterns
+        .iter()
+        .map(|p| {
+            let mut out = Vec::new();
+            index
+                .query_into(p, x, &mut scratch, &mut out)
+                .expect("in-process query");
+            out
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("ius-bench-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create overhead scratch dir");
+    let path = dir.join("overhead.iusx");
+    index
+        .save_to(&mut std::fs::File::create(&path).expect("create index file"))
+        .expect("save index");
+    let served = ServedIndex::load(&path, Some(Arc::new(x.clone()))).expect("load index file");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        served,
+        Some(path),
+        &ServerConfig {
+            workers: 2,
+            queue_depth: 64,
+            ..Default::default()
+        },
+    )
+    .expect("bind overhead server");
+    let addr = server.local_addr();
+    let clients = 4;
+
+    clock::warm_up();
+    // One warm sweep per mode before timing.
+    timed_sweep(addr, clients, &patterns, &expected, 1);
+    clock::set_enabled(false);
+    timed_sweep(addr, clients, &patterns, &expected, 1);
+    // Each timed sweep replays the pattern set OVERHEAD_SWEEP_PASSES
+    // times, so a sweep is tens of milliseconds — long enough that thread
+    // spawn, connect and scheduler noise stop mattering. The side that
+    // goes first alternates every rep: a fixed order hands the second
+    // side warmed caches each time and biases the comparison (that bias
+    // measured larger than the instrumentation itself).
+    // Closed-loop serving: each client has one request in flight, so
+    // throughput is clients / round-trip time, and the median round trip
+    // of thousands of requests estimates it robustly (sweep wall clocks
+    // on a shared virtualized host jitter by double-digit percents).
+    // Host-contention *bursts* still shift whole sweeps, so the overhead
+    // is judged per pair: each rep runs one instrumented and one stubbed
+    // sweep back to back (leading side flipped every rep), the two
+    // sweeps of a pair share machine state, and the final figure is the
+    // median of the per-pair median-RTT ratios — a burst corrupts one
+    // pair's ratio, which the median across pairs then discards.
+    let median_rtt_sweep = |enabled: bool| {
+        clock::set_enabled(enabled);
+        let (mut lat, _wall) =
+            timed_sweep(addr, clients, &patterns, &expected, OVERHEAD_SWEEP_PASSES);
+        lat.sort_by(f64::total_cmp);
+        percentile(&lat, 0.5)
+    };
+    let mut on_medians: Vec<f64> = Vec::new();
+    let mut off_medians: Vec<f64> = Vec::new();
+    let mut pair_ratios: Vec<f64> = Vec::new();
+    for rep in 0..reps.max(1) {
+        let (on, off) = if rep % 2 == 0 {
+            let on = median_rtt_sweep(true);
+            (on, median_rtt_sweep(false))
+        } else {
+            let off = median_rtt_sweep(false);
+            (median_rtt_sweep(true), off)
+        };
+        on_medians.push(on);
+        off_medians.push(off);
+        pair_ratios.push(on / off);
+    }
+    clock::set_enabled(true);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    on_medians.sort_by(f64::total_cmp);
+    off_medians.sort_by(f64::total_cmp);
+    pair_ratios.sort_by(f64::total_cmp);
+    let sweep_queries = patterns.len() * OVERHEAD_SWEEP_PASSES;
+    let instrumented_qps = clients as f64 * 1e6 / percentile(&on_medians, 0.5);
+    let stubbed_qps = clients as f64 * 1e6 / percentile(&off_medians, 0.5);
+    let result = InstrumentationOverhead {
+        queries: sweep_queries,
+        reps: reps.max(1),
+        instrumented_qps,
+        stubbed_qps,
+        overhead_pct: (percentile(&pair_ratios, 0.5) - 1.0) * 100.0,
+    };
+    eprintln!(
+        "[bench-serve] instrumentation overhead: {:.0} q/s instrumented vs {:.0} q/s stubbed \
+         over {} queries ({:+.2}%)",
+        result.instrumented_qps, result.stubbed_qps, result.queries, result.overhead_pct
+    );
+    result
+}
+
 /// One timed sweep: `clients` threads, each a fresh connection, each
 /// streaming its stripe of the patterns in collect mode, asserting every
 /// answer against the expected outputs. Returns the per-request round-trip
@@ -112,23 +274,26 @@ fn timed_sweep(
     clients: usize,
     patterns: &[Vec<u8>],
     expected: &[Vec<usize>],
+    passes: usize,
 ) -> (Vec<f64>, f64) {
     let sweep_start = Instant::now();
-    let mut all_latencies = Vec::with_capacity(patterns.len());
+    let mut all_latencies = Vec::with_capacity(patterns.len() * passes);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..clients {
             handles.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("bench client connect");
                 let mut latencies = Vec::new();
-                for (i, pattern) in patterns.iter().enumerate().skip(c).step_by(clients) {
-                    let t = Instant::now();
-                    let outcome = client.query(pattern).expect("bench query");
-                    latencies.push(t.elapsed().as_secs_f64() * 1e6);
-                    assert_eq!(
-                        outcome.positions, expected[i],
-                        "served output differs from in-process query_into (pattern {i})"
-                    );
+                for _ in 0..passes.max(1) {
+                    for (i, pattern) in patterns.iter().enumerate().skip(c).step_by(clients) {
+                        let t = Instant::now();
+                        let outcome = client.query(pattern).expect("bench query");
+                        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                        assert_eq!(
+                            outcome.positions, expected[i],
+                            "served output differs from in-process query_into (pattern {i})"
+                        );
+                    }
                 }
                 latencies
             }));
@@ -238,7 +403,8 @@ fn bench_dataset(
         let mut best_wall = f64::INFINITY;
         let mut latencies = Vec::new();
         for _ in 0..config.reps.max(1) {
-            let (sweep_latencies, wall) = timed_sweep(addr, config.clients, &patterns, &expected);
+            let (sweep_latencies, wall) =
+                timed_sweep(addr, config.clients, &patterns, &expected, 1);
             best_wall = best_wall.min(wall);
             latencies.extend(sweep_latencies);
         }
@@ -358,7 +524,11 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Vec<ServeDatasetBench> {
 }
 
 /// Renders the benchmark results as the `BENCH_serve.json` document.
-pub fn render_serve_json(config: &ServeBenchConfig, results: &[ServeDatasetBench]) -> String {
+pub fn render_serve_json(
+    config: &ServeBenchConfig,
+    results: &[ServeDatasetBench],
+    overhead: &InstrumentationOverhead,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
@@ -416,7 +586,23 @@ pub fn render_serve_json(config: &ServeBenchConfig, results: &[ServeDatasetBench
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"instrumentation_overhead\": {{ \"queries\": {}, \"reps\": {}, \
+         \"instrumented_qps\": {:.1}, \"stubbed_qps\": {:.1}, \
+         \"overhead_pct\": {:.2}, \"target_pct\": 2.0, \"method\": \"identical served sweep \
+         (uniform corpus, 2 workers, 4 clients, collect mode, 40 passes per sweep) with \
+         every recording site live vs the obs clock stubbed — the switch all \
+         instrumentation gates on; per rep the two sides run back to back with the \
+         leading side flipped, overhead is the median across reps of the within-pair \
+         median round-trip ratio\" }}\n",
+        overhead.queries,
+        overhead.reps,
+        overhead.instrumented_qps,
+        overhead.stubbed_qps,
+        overhead.overhead_pct
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -437,7 +623,20 @@ mod tests {
         };
         let results = run_serve_bench(&config);
         assert_eq!(results.len(), 4);
-        let json = render_serve_json(&config, &results);
+        let overhead = measure_instrumentation_overhead(config.n, config.patterns, 1);
+        // The sampler may find fewer solid patterns than asked for at this
+        // tiny n; each sweep replays whatever it found OVERHEAD_SWEEP_PASSES
+        // times.
+        assert!(overhead.queries > 0);
+        assert_eq!(overhead.queries % OVERHEAD_SWEEP_PASSES, 0);
+        assert!(overhead.queries <= config.patterns * OVERHEAD_SWEEP_PASSES);
+        assert!(overhead.instrumented_qps > 0.0);
+        assert!(overhead.stubbed_qps > 0.0);
+        assert!(overhead.overhead_pct.is_finite());
+        // The measurement must leave the process-global clock enabled.
+        assert!(ius_obs::clock::enabled());
+        let json = render_serve_json(&config, &results, &overhead);
+        assert!(json.contains("\"instrumentation_overhead\""));
         for d in &results {
             assert!(json.contains(&format!("\"name\": \"{}\"", d.name)));
             assert_eq!(d.workers.len(), 2);

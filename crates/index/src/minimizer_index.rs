@@ -21,6 +21,7 @@ use crate::params::IndexParams;
 use crate::traits::{finalize_positions, validate_pattern, IndexStats, UncertainIndex};
 use ius_arena::{Arena, ArenaVec};
 use ius_grid::{GridPoint, RangeReporter, Rect};
+use ius_obs::clock;
 use ius_query::{finalize_into, MatchSink, QueryScratch};
 use ius_sampling::MinimizerScheme;
 use ius_text::trie::CompactedTrie;
@@ -492,6 +493,15 @@ impl MinimizerIndex {
         sink: &mut dyn MatchSink,
     ) -> Result<QueryStats> {
         validate_pattern(pattern, self.params.ell)?;
+        // Stage tracing is sampled: only queries that draw a ticket (1 in
+        // `clock::STAGE_SAMPLE_EVERY` per thread, never while the clock is
+        // stubbed) pay for clock stamps. A timed query's stamps are chained
+        // — each boundary is read once and ends one stage while starting
+        // the next, so four stages cost five reads; an untimed query pays
+        // one thread-local tick and leaves the stage fields 0.
+        let timed = clock::stage_ticket();
+        let stamp = || if timed { clock::now_ns() } else { 0 };
+        let t_scan = stamp();
         let mu = self
             .scheme
             .window_minimizer_with(&pattern[..self.params.ell], &mut scratch.kmer_keys);
@@ -501,11 +511,18 @@ impl MinimizerIndex {
             .pattern_rev
             .extend(pattern[..=mu].iter().rev().copied());
 
-        let mut stats = QueryStats::default();
+        let t_locate = stamp();
+        let mut stats = QueryStats {
+            scan_ns: t_locate.saturating_sub(t_scan),
+            timed,
+            ..QueryStats::default()
+        };
         scratch.positions.clear();
-        if self.variant.has_grid() {
+        let t_report = if self.variant.has_grid() {
             let fwd_range = self.locate(&self.fwd, self.fwd_trie.as_ref(), suffix_part);
             let bwd_range = self.locate(&self.bwd, self.bwd_trie.as_ref(), &scratch.pattern_rev);
+            let t_verify = stamp();
+            stats.locate_ns = t_verify.saturating_sub(t_locate);
             let rect = Rect::new(
                 (fwd_range.0 as u32, fwd_range.1 as u32),
                 (bwd_range.0 as u32, bwd_range.1 as u32),
@@ -534,6 +551,9 @@ impl MinimizerIndex {
                     scratch.positions.push(start);
                 }
             }
+            let t = stamp();
+            stats.verify_ns = t.saturating_sub(t_verify);
+            t
         } else {
             // Simple query (Section 5): walk the longer of the two parts and
             // verify every leaf below it against X. The reversed prefix part
@@ -550,6 +570,8 @@ impl MinimizerIndex {
                     )
                 };
             let (lo, hi) = self.locate(set, trie, part);
+            let t_verify = stamp();
+            stats.locate_ns = t_verify.saturating_sub(t_locate);
             for leaf in lo..hi {
                 stats.candidates += 1;
                 let anchor = set.anchor_x(leaf);
@@ -565,8 +587,12 @@ impl MinimizerIndex {
                     scratch.positions.push(start);
                 }
             }
-        }
+            let t = stamp();
+            stats.verify_ns = t.saturating_sub(t_verify);
+            t
+        };
         stats.reported = finalize_into(&mut scratch.positions, false, sink);
+        stats.report_ns = stamp().saturating_sub(t_report);
         Ok(stats)
     }
 

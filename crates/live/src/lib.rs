@@ -94,6 +94,7 @@ use ius_exec::{Executor, WorkerPool};
 use ius_faultio::DurableSink;
 use ius_index::overlap::{overlap_len, retain_home_and_globalize};
 use ius_index::{validate_pattern, AnyIndex, IndexSpec, IndexStats, UncertainIndex};
+use ius_obs::{clock, Counter, Histogram, HistogramSnapshot};
 use ius_query::{finalize_into, MatchSink, QueryBatch, QueryScratch, QueryStats};
 use ius_weighted::{is_solid, Alphabet, Error, Result, WeightedString};
 use std::path::{Path, PathBuf};
@@ -342,6 +343,65 @@ pub struct LiveStats {
     pub last_error: Option<String>,
 }
 
+/// Allocation-free timing registry of the background machinery: flush and
+/// compaction durations, WAL `fsync` latency, replay throughput and
+/// compaction swap races. Recording is a few relaxed atomic adds, gated on
+/// [`ius_obs::clock::enabled`]; [`LiveIndex::obs_snapshot`] reads it.
+pub(crate) struct LiveObs {
+    /// Duration of each memtable flush (plan + build + swap), ns.
+    pub(crate) flush: Histogram,
+    /// Duration of each compaction round that built at least one merge, ns.
+    pub(crate) compaction: Histogram,
+    /// Latency of each WAL `fsync`, ns (shared with the armed [`Wal`]
+    /// across rotations).
+    pub(crate) wal_fsync: Arc<Histogram>,
+    /// Compaction swaps abandoned because a concurrent flush or competing
+    /// merge consumed one of the run's inputs first.
+    pub(crate) swap_in_races: Counter,
+    /// WAL records scanned at open (both applied and checkpoint-skipped).
+    pub(crate) replay_records: Counter,
+    /// WAL bytes scanned at open.
+    pub(crate) replay_bytes: Counter,
+    /// Wall time of the open-time WAL scan + replay, ns.
+    pub(crate) replay_ns: Counter,
+}
+
+impl LiveObs {
+    fn new() -> Self {
+        Self {
+            flush: Histogram::new(),
+            compaction: Histogram::new(),
+            wal_fsync: Arc::new(Histogram::new()),
+            swap_in_races: Counter::new(),
+            replay_records: Counter::new(),
+            replay_bytes: Counter::new(),
+            replay_ns: Counter::new(),
+        }
+    }
+}
+
+/// Point-in-time view of a [`LiveIndex`]'s timing metrics — what the
+/// serving layer folds into its `METRICS` snapshot. All durations are
+/// nanoseconds; histogram quantiles carry the `ius_obs` relative-error
+/// bound.
+#[derive(Debug, Clone)]
+pub struct LiveObsSnapshot {
+    /// Memtable flush durations (plan + segment builds + swap).
+    pub flush: HistogramSnapshot,
+    /// Compaction round durations (rounds that built at least one merge).
+    pub compaction: HistogramSnapshot,
+    /// WAL `fsync` latencies (empty until durability is armed).
+    pub wal_fsync: HistogramSnapshot,
+    /// Compaction swaps lost to a concurrent flush or competing merge.
+    pub swap_in_races: u64,
+    /// WAL records scanned when this instance was opened.
+    pub replay_records: u64,
+    /// WAL bytes scanned when this instance was opened.
+    pub replay_bytes: u64,
+    /// Wall time of the open-time WAL replay, ns.
+    pub replay_ns: u64,
+}
+
 /// The armed write-ahead log plus the directory it (and the checkpoint
 /// manifest) lives in. `dir` is `None` for the fault-injection entry point
 /// ([`LiveIndex::enable_durability_with_sink`]) — there is no directory to
@@ -379,6 +439,9 @@ struct Inner {
     recoveries: AtomicU64,
     recovered_records: AtomicU64,
     compaction_errors: AtomicU64,
+    /// Timing registry of the background machinery (flush/compaction/WAL
+    /// fsync/replay); see [`LiveIndex::obs_snapshot`].
+    obs: LiveObs,
     /// Most recent background/durability error, surfaced through STATS.
     last_error: Mutex<Option<String>>,
     /// Compactor wake-up: `(dirty, stop)` under the mutex.
@@ -481,6 +544,7 @@ impl LiveIndex {
             recoveries: AtomicU64::new(0),
             recovered_records: AtomicU64::new(0),
             compaction_errors: AtomicU64::new(0),
+            obs: LiveObs::new(),
             last_error: Mutex::new(None),
             compact_signal: Mutex::new((false, false)),
             compact_cond: Condvar::new(),
@@ -593,6 +657,24 @@ impl LiveIndex {
             fsync_policy,
             compaction_errors: self.inner.compaction_errors.load(Ordering::Relaxed),
             last_error: self.inner.last_error.lock().expect("error lock").clone(),
+        }
+    }
+
+    /// Point-in-time timing metrics of the background machinery: flush
+    /// and compaction duration histograms, WAL `fsync` latency, replay
+    /// throughput and compaction swap races. Durations are only recorded
+    /// while the shared [`ius_obs::clock`] is enabled; reading is
+    /// lock-free and never blocks a mutator.
+    pub fn obs_snapshot(&self) -> LiveObsSnapshot {
+        let obs = &self.inner.obs;
+        LiveObsSnapshot {
+            flush: obs.flush.snapshot(),
+            compaction: obs.compaction.snapshot(),
+            wal_fsync: obs.wal_fsync.snapshot(),
+            swap_in_races: obs.swap_in_races.get(),
+            replay_records: obs.replay_records.get(),
+            replay_bytes: obs.replay_bytes.get(),
+            replay_ns: obs.replay_ns.get(),
         }
     }
 
@@ -776,6 +858,7 @@ impl LiveIndex {
         if mem.rows <= overlap {
             return Ok(false);
         }
+        let flush_start = clock::now_ns();
         let sigma = self.inner.alphabet.size();
         let max_home = self.max_home();
         // Plan the freeze serially (cheap), then build the per-segment
@@ -833,6 +916,12 @@ impl LiveIndex {
             *holder = Arc::new(state);
         }
         self.inner.flushes.fetch_add(1, Ordering::Relaxed);
+        if clock::enabled() {
+            self.inner
+                .obs
+                .flush
+                .record(clock::now_ns().saturating_sub(flush_start));
+        }
         // Wake the background compactor: a flush is what grows the
         // segment list.
         {
@@ -877,7 +966,8 @@ impl LiveIndex {
         })?;
         *self.inner.durability.lock().expect("durability lock") = Some(Durability {
             dir: Some(dir.to_path_buf()),
-            wal: Wal::resume(Box::new(file), policy),
+            wal: Wal::resume(Box::new(file), policy)
+                .with_fsync_histogram(self.inner.obs.wal_fsync.clone()),
         });
         Ok(())
     }
@@ -895,7 +985,8 @@ impl LiveIndex {
     ) -> Result<()> {
         let _write = self.inner.write_lock.lock().expect("write lock");
         let wal = Wal::create(sink, policy)
-            .map_err(|e| Error::Io(format!("writing the wal header: {e}")))?;
+            .map_err(|e| Error::Io(format!("writing the wal header: {e}")))?
+            .with_fsync_histogram(self.inner.obs.wal_fsync.clone());
         *self.inner.durability.lock().expect("durability lock") =
             Some(Durability { dir: None, wal });
         Ok(())
@@ -962,7 +1053,10 @@ impl LiveIndex {
             return;
         }
         match wal::create_wal_file(dir) {
-            Ok(file) => d.wal = Wal::resume(Box::new(file), d.wal.policy()),
+            Ok(file) => {
+                d.wal = Wal::resume(Box::new(file), d.wal.policy())
+                    .with_fsync_histogram(self.inner.obs.wal_fsync.clone());
+            }
             Err(e) => self.inner.record_error(format!("wal rotation failed: {e}")),
         }
     }
@@ -1281,6 +1375,7 @@ fn compact_round(inner: &Arc<Inner>) -> Result<usize> {
     if runs.is_empty() {
         return Ok(0);
     }
+    let round_start = clock::now_ns();
     let ids: Vec<u64> = runs
         .iter()
         .map(|_| inner.next_segment_id.fetch_add(1, Ordering::SeqCst))
@@ -1296,6 +1391,12 @@ fn compact_round(inner: &Arc<Inner>) -> Result<usize> {
             Err(task_panic) => panic!("{task_panic}"),
         };
         merges += swap_in_merged(inner, merged, &snapshot.segments[start..end]);
+    }
+    if clock::enabled() {
+        inner
+            .obs
+            .compaction
+            .record(clock::now_ns().saturating_sub(round_start));
     }
     Ok(merges)
 }
@@ -1377,6 +1478,7 @@ fn swap_in_merged(inner: &Arc<Inner>, merged: Arc<Segment>, run: &[Arc<Segment>]
     let ids: Vec<u64> = run.iter().map(|segment| segment.id).collect();
     let mut holder = inner.state.lock().expect("state lock");
     let Some(first) = holder.segments.iter().position(|s| s.id == ids[0]) else {
+        inner.obs.swap_in_races.inc();
         return 0;
     };
     let intact = holder.segments.len() >= first + ids.len()
@@ -1385,6 +1487,7 @@ fn swap_in_merged(inner: &Arc<Inner>, merged: Arc<Segment>, run: &[Arc<Segment>]
             .zip(&ids)
             .all(|(s, &id)| s.id == id);
     if !intact {
+        inner.obs.swap_in_races.inc();
         return 0;
     }
     let mut state = LiveState::clone(&holder);

@@ -556,11 +556,16 @@ impl LiveIndex {
         // written; records the checkpoint folded in replay as skips.
         let wal_path = dir.join(wal::WAL_FILE);
         let mut recovered_records = 0u64;
+        let mut replay_records = 0u64;
+        let mut replay_bytes = 0u64;
+        let replay_start = ius_obs::clock::now_ns();
         match std::fs::read(&wal_path) {
             Ok(bytes) => {
+                replay_bytes = bytes.len() as u64;
                 let records = wal::scan(&bytes).map_err(|e| {
                     io::Error::new(e.kind(), format!("wal {}: {e}", wal_path.display()))
                 })?;
+                replay_records = records.len() as u64;
                 for (i, record) in records.iter().enumerate() {
                     let applied = apply_wal_record(&mut state, &alphabet, record).map_err(|e| {
                         io::Error::new(
@@ -579,6 +584,7 @@ impl LiveIndex {
                 ))
             }
         }
+        let replay_ns = ius_obs::clock::now_ns().saturating_sub(replay_start);
 
         let live = LiveIndex::from_loaded_parts(
             alphabet,
@@ -596,6 +602,9 @@ impl LiveIndex {
                 .recovered_records
                 .store(recovered_records, Ordering::Relaxed);
         }
+        live.inner.obs.replay_records.add(replay_records);
+        live.inner.obs.replay_bytes.add(replay_bytes);
+        live.inner.obs.replay_ns.add(replay_ns);
         Ok(live)
     }
 }

@@ -41,8 +41,10 @@
 //! save, which keeps it bounded.
 
 use ius_faultio::{crc32, DurableSink};
+use ius_obs::{clock, Histogram};
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// File name of the write-ahead log inside a live-index directory.
@@ -299,6 +301,10 @@ pub(crate) struct Wal {
     /// so further appends are refused until the log is rotated.
     poisoned: bool,
     buf: Vec<u8>,
+    /// Observability hook: every `fsync` latency (ns) is recorded here
+    /// when the shared clock is enabled. Survives rotations — the owner
+    /// re-attaches the same histogram to the fresh log.
+    fsync_hist: Option<Arc<Histogram>>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -320,7 +326,14 @@ impl Wal {
             last_sync: Instant::now(),
             poisoned: false,
             buf: Vec::new(),
+            fsync_hist: None,
         }
+    }
+
+    /// Attaches the histogram `fsync` latencies are recorded into.
+    pub(crate) fn with_fsync_histogram(mut self, hist: Arc<Histogram>) -> Self {
+        self.fsync_hist = Some(hist);
+        self
     }
 
     /// Writes the file header through `sink`, then wraps it — the
@@ -361,7 +374,7 @@ impl Wal {
             FsyncPolicy::Never => false,
         };
         if need_sync {
-            if let Err(e) = self.sink.sync() {
+            if let Err(e) = self.timed_sync() {
                 // The record may not be on stable storage: refuse the ack
                 // and stop trusting the file.
                 self.poisoned = true;
@@ -374,6 +387,21 @@ impl Wal {
 
     /// Forces the log to stable storage (rotation and shutdown barrier).
     pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.timed_sync()
+    }
+
+    /// One `sync` through the sink, its latency recorded into the attached
+    /// histogram when the shared clock is enabled (failures are not
+    /// recorded — a refused ack is not a latency sample).
+    fn timed_sync(&mut self) -> io::Result<()> {
+        if let Some(hist) = &self.fsync_hist {
+            if clock::enabled() {
+                let start = clock::now_ns();
+                self.sink.sync()?;
+                hist.record(clock::now_ns().saturating_sub(start));
+                return Ok(());
+            }
+        }
         self.sink.sync()
     }
 }

@@ -154,6 +154,28 @@ pub struct QueryStats {
     pub reported: usize,
     /// Canonical 2D-grid nodes touched (0 for non-grid indexes).
     pub grid_nodes: usize,
+    /// Nanoseconds spent selecting the pattern's minimizer and staging the
+    /// split pattern (0 for engines without that stage, or when the
+    /// `ius_obs` clock is stubbed out).
+    pub scan_ns: u64,
+    /// Nanoseconds spent locating candidate ranges (`equal_range` over the
+    /// property arrays, or the compacted-trie descent).
+    pub locate_ns: u64,
+    /// Nanoseconds spent in candidate verification (grid reporting plus
+    /// per-candidate probability checks).
+    pub verify_ns: u64,
+    /// Nanoseconds spent finalizing (sort/dedup/stream into the sink).
+    pub report_ns: u64,
+    /// Whether this query drew a stage-tracing ticket
+    /// ([`ius_obs::clock::stage_ticket`]) and the `*_ns` stage fields were
+    /// actually stamped. Stage tracing is sampled (1 in
+    /// [`ius_obs::clock::STAGE_SAMPLE_EVERY`] per thread) because five
+    /// clock reads per query are too expensive for the serve hot path;
+    /// consumers must skip the stage fields of untimed queries instead of
+    /// recording zeros. For a composite (shard/segment fan-out) the flag
+    /// is true if *any* part was timed, and the stage sums cover exactly
+    /// the timed parts.
+    pub timed: bool,
 }
 
 impl QueryStats {
@@ -177,6 +199,16 @@ impl QueryStats {
         self.verified += other.verified;
         self.reported += other.reported;
         self.grid_nodes += other.grid_nodes;
+        self.scan_ns += other.scan_ns;
+        self.locate_ns += other.locate_ns;
+        self.verify_ns += other.verify_ns;
+        self.report_ns += other.report_ns;
+        self.timed |= other.timed;
+    }
+
+    /// Total nanoseconds attributed to the per-stage timers.
+    pub fn staged_ns(&self) -> u64 {
+        self.scan_ns + self.locate_ns + self.verify_ns + self.report_ns
     }
 }
 
@@ -329,12 +361,22 @@ mod tests {
             verified: 2,
             reported: 2,
             grid_nodes: 5,
+            scan_ns: 100,
+            locate_ns: 10,
+            verify_ns: 1,
+            report_ns: 7,
+            timed: true,
         });
         total.accumulate(&QueryStats {
             candidates: 1,
             verified: 1,
             reported: 1,
             grid_nodes: 0,
+            scan_ns: 1,
+            locate_ns: 2,
+            verify_ns: 3,
+            report_ns: 4,
+            timed: false,
         });
         assert_eq!(
             total,
@@ -343,8 +385,14 @@ mod tests {
                 verified: 3,
                 reported: 3,
                 grid_nodes: 5,
+                scan_ns: 101,
+                locate_ns: 12,
+                verify_ns: 4,
+                report_ns: 11,
+                timed: true,
             }
         );
+        assert_eq!(total.staged_ns(), 128);
     }
 
     #[test]
@@ -356,6 +404,11 @@ mod tests {
             verified: 5,
             reported: 4,
             grid_nodes: 2,
+            scan_ns: 9,
+            locate_ns: 8,
+            verify_ns: 7,
+            report_ns: 6,
+            timed: true,
         };
         let mut total = sample;
         total.accumulate(&QueryStats::default());

@@ -31,6 +31,7 @@ use ius_server::{ServedIndex, Server, ServerConfig};
 use ius_weighted::WeightedString;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     index: Option<PathBuf>,
@@ -51,6 +52,8 @@ struct Args {
     port: u16,
     workers: Option<usize>,
     queue_depth: Option<usize>,
+    metrics_interval: Option<u64>,
+    slow_query_ms: Option<u64>,
 }
 
 fn print_help() {
@@ -86,7 +89,13 @@ fn print_help() {
          \x20 --host <host>         bind host (default 127.0.0.1)\n\
          \x20 --port <port>         bind port (default 7878; 0 = ephemeral)\n\
          \x20 --workers <w>         worker threads (default: all CPUs)\n\
-         \x20 --queue-depth <d>     admission-queue capacity (default 64)\n"
+         \x20 --queue-depth <d>     admission-queue capacity (default 64)\n\n\
+         observability:\n\
+         \x20 --metrics-interval <s> dump the merged metrics snapshot (per-stage query\n\
+         \x20                       histograms, queue-wait/service split, live/WAL\n\
+         \x20                       timings, slow-query log) to stderr every <s> seconds\n\
+         \x20 --slow-query-ms <ms>  slow-query log threshold (default 50; 0 logs every\n\
+         \x20                       query)\n"
     );
 }
 
@@ -143,6 +152,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         port: 7878,
         workers: None,
         queue_depth: None,
+        metrics_interval: None,
+        slow_query_ms: None,
     };
     let mut i = 0usize;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -233,6 +244,22 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     value(args, i, "--queue-depth")?
                         .parse()
                         .map_err(|e| format!("bad --queue-depth: {e}"))?,
+                )
+            }
+            "--metrics-interval" => {
+                let seconds: u64 = value(args, i, "--metrics-interval")?
+                    .parse()
+                    .map_err(|e| format!("bad --metrics-interval: {e}"))?;
+                if seconds == 0 {
+                    return Err("--metrics-interval must be positive".into());
+                }
+                parsed.metrics_interval = Some(seconds);
+            }
+            "--slow-query-ms" => {
+                parsed.slow_query_ms = Some(
+                    value(args, i, "--slow-query-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --slow-query-ms: {e}"))?,
                 )
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -437,6 +464,9 @@ fn main() {
     if let Some(depth) = args.queue_depth {
         config.queue_depth = depth;
     }
+    if let Some(ms) = args.slow_query_ms {
+        config.slow_query_threshold = Duration::from_millis(ms);
+    }
     eprintln!(
         "serving {} (corpus n = {}, index {} MB)",
         served.name(),
@@ -459,7 +489,28 @@ fn main() {
         config.workers,
         config.queue_depth
     );
+    // Periodic metrics dump: a detached reporter thread scrapes the merged
+    // snapshot (never touching the hot path) and prints the text rendering
+    // to stderr. It exits promptly once the server shuts down.
+    let reporter = args.metrics_interval.map(|seconds| {
+        let handle = server.metrics_handle();
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(200);
+            let mut elapsed = Duration::ZERO;
+            while !handle.is_shutdown() {
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed >= Duration::from_secs(seconds) {
+                    elapsed = Duration::ZERO;
+                    eprintln!("{}", handle.snapshot().dump());
+                }
+            }
+        })
+    });
     server.join();
+    if let Some(reporter) = reporter {
+        let _ = reporter.join();
+    }
     if let (Some(live), Some(dir)) = (&live_handle, &args.live_dir) {
         match live.save_to_dir(dir) {
             Ok(()) => eprintln!("saved live state to {}", dir.display()),

@@ -4,12 +4,13 @@
 //! The client is resilient by configuration: [`ClientConfig`] carries
 //! connect/read/write deadlines and a bounded exponential-backoff retry
 //! budget. Retries apply only to *idempotent* requests (`PING`, `QUERY`,
-//! `STATS`) — a mutation is never resent automatically, because a lost
+//! `STATS`, `METRICS`) — a mutation is never resent automatically, because a lost
 //! response leaves the client unable to tell whether the server applied
 //! it. `OVERLOADED` refusals and transport failures are the retryable
 //! conditions; on a transport failure the client reconnects before the
 //! next attempt.
 
+use crate::metrics::MetricsSnapshot;
 use crate::protocol::{
     decode_response, encode_request, read_frame, ErrorCode, LiveSnapshot, ProtocolError, Request,
     Response, ResultMode, StatsSnapshot, MAX_RESPONSE_FRAME,
@@ -380,6 +381,25 @@ impl Client {
         match self.call_idempotent(&Request::Stats)? {
             Response::Stats(snapshot) => Ok(snapshot),
             _ => Err(ClientError::UnexpectedResponse { expected: "STATS" }),
+        }
+    }
+
+    /// Scrapes the server's observability snapshot (per-stage query
+    /// histograms, queue-wait/service split, live and WAL timings, slow
+    /// queries). Idempotent: retried under the configured budget. An old
+    /// server that predates the op refuses it typed
+    /// ([`ErrorCode::UnknownOp`]) and keeps the connection usable.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol and server-refusal errors;
+    /// [`ClientError::RetriesExhausted`] when a retry budget ran dry.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.call_idempotent(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "METRICS",
+            }),
         }
     }
 

@@ -45,9 +45,12 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientConfig, ClientError, QueryOutcome};
-pub use metrics::{DurabilityView, ServerMetrics};
+pub use metrics::{
+    DurabilityView, LiveObsView, MetricsSnapshot, ServerMetrics, SlowQueryEntry, WorkerObs,
+};
 pub use protocol::{
     ErrorCode, LiveSnapshot, ProtocolError, Request, Response, ResultMode, StatsSnapshot,
-    WireStats, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, WIRE_MAGIC, WIRE_VERSION,
+    WireStats, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, METRICS_FORMAT_VERSION, WIRE_MAGIC,
+    WIRE_VERSION,
 };
-pub use server::{ServedIndex, Server, ServerConfig};
+pub use server::{MetricsHandle, ServedIndex, Server, ServerConfig};

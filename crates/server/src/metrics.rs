@@ -1,7 +1,16 @@
-//! Lock-free server counters, snapshotted into the wire-level
-//! [`StatsSnapshot`] on a `STATS` request.
+//! Lock-free server observability: the flat counters answered to `STATS`,
+//! plus the per-worker histogram registries ([`WorkerObs`]) and the typed
+//! [`MetricsSnapshot`] answered to `METRICS`.
+//!
+//! Recording follows the `ius_obs` rule — a few relaxed atomic adds, no
+//! locks, no allocation, no syscalls on the hot path. Aggregation happens
+//! on the scrape path only: a `METRICS` request merges every worker's
+//! registry into one snapshot, so workers never contend with each other
+//! or with scrapers.
 
 use crate::protocol::StatsSnapshot;
+use ius_obs::{Event, EventLog, Histogram, HistogramSnapshot};
+use ius_query::QueryStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic counters shared by the acceptor and every worker. All updates
@@ -122,6 +131,282 @@ impl ServerMetrics {
     }
 }
 
+/// Number of request ops the per-op service histograms cover (op bytes
+/// `0..OP_SERVICE_SLOTS`).
+pub const OP_SERVICE_SLOTS: usize = 10;
+
+/// Display name of a request op byte (for the text dump).
+pub fn op_name(op: u8) -> &'static str {
+    match op {
+        0 => "PING",
+        1 => "QUERY",
+        2 => "STATS",
+        3 => "RELOAD",
+        4 => "SHUTDOWN",
+        5 => "APPEND",
+        6 => "DELETE_RANGE",
+        7 => "FLUSH",
+        8 => "COMPACT",
+        9 => "METRICS",
+        _ => "UNKNOWN",
+    }
+}
+
+/// One worker's private histogram registry. Each worker records into its
+/// own instance (no sharing, no contention); a `METRICS` scrape merges all
+/// of them.
+#[derive(Debug)]
+pub struct WorkerObs {
+    /// Minimizer-scan stage nanoseconds per query.
+    pub query_scan: Histogram,
+    /// Locate (`equal_range` / trie descent) stage nanoseconds per query.
+    pub query_locate: Histogram,
+    /// Verification (grid report + probability checks) nanoseconds.
+    pub query_verify: Histogram,
+    /// Reporting (sort/dedup/stream) nanoseconds.
+    pub query_report: Histogram,
+    /// Queue wait: accept-to-worker-pop nanoseconds per connection.
+    pub queue_wait: Histogram,
+    /// Per-op service time (decode + answer + send), indexed by op byte.
+    pub op_service: [Histogram; OP_SERVICE_SLOTS],
+}
+
+impl WorkerObs {
+    /// Creates an empty registry (one bucket-array allocation per
+    /// histogram; nothing allocates after this).
+    pub fn new() -> Self {
+        Self {
+            query_scan: Histogram::new(),
+            query_locate: Histogram::new(),
+            query_verify: Histogram::new(),
+            query_report: Histogram::new(),
+            queue_wait: Histogram::new(),
+            op_service: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    /// Records the per-stage timings of one answered query. Callers gate
+    /// this on `stats.timed` — stage tracing is sampled, and the untimed
+    /// majority carry zeroed stage fields that must not reach the
+    /// histograms.
+    #[inline]
+    pub fn record_query_stages(&self, stats: &QueryStats) {
+        self.query_scan.record(stats.scan_ns);
+        self.query_locate.record(stats.locate_ns);
+        self.query_verify.record(stats.verify_ns);
+        self.query_report.record(stats.report_ns);
+    }
+
+    /// Records the service time of one answered frame. The worker loop
+    /// samples calls at the stage-tracing rate (first request on each
+    /// connection always recorded); slow-query detection stays exact
+    /// because the elapsed time is measured for every request regardless.
+    #[inline]
+    pub fn record_service(&self, op: u8, ns: u64) {
+        if (op as usize) < OP_SERVICE_SLOTS {
+            self.op_service[op as usize].record(ns);
+        }
+    }
+}
+
+impl Default for WorkerObs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One threshold-crossing query in the slow-query log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// `ius_obs::clock::now_ns` when the query finished.
+    pub ts_ns: u64,
+    /// How long the query took.
+    pub duration_ns: u64,
+    /// Length of the queried pattern.
+    pub pattern_len: u64,
+    /// Distinct positions the query reported.
+    pub reported: u64,
+}
+
+impl SlowQueryEntry {
+    /// Converts a ring-buffer event recorded by the server back into the
+    /// typed entry (`code` = pattern length, `a` = duration, `b` =
+    /// reported).
+    pub(crate) fn from_event(event: &Event) -> Self {
+        Self {
+            ts_ns: event.ts_ns,
+            duration_ns: event.a,
+            pattern_len: event.code,
+            reported: event.b,
+        }
+    }
+}
+
+/// The live-index observability view a `METRICS` scrape samples (zeroed
+/// for static servers).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiveObsView {
+    /// Flush (memtable freeze + segment build + swap) durations.
+    pub flush: HistogramSnapshot,
+    /// Compaction (merge build + swap) durations.
+    pub compaction: HistogramSnapshot,
+    /// WAL fsync durations.
+    pub wal_fsync: HistogramSnapshot,
+    /// Immutable segments currently serving.
+    pub segments: u64,
+    /// Memtable rows currently buffered.
+    pub memtable_rows: u64,
+    /// Compactions whose swap-in lost the id race and was discarded.
+    pub swap_in_races: u64,
+    /// Background compaction passes that failed (they retry).
+    pub compaction_errors: u64,
+    /// Mutation records replayed from the WAL at open.
+    pub wal_replay_records: u64,
+    /// WAL bytes scanned during replay.
+    pub wal_replay_bytes: u64,
+    /// Nanoseconds spent replaying the WAL.
+    pub wal_replay_ns: u64,
+    /// Most recent background/durability failure (empty when none).
+    pub last_error: String,
+}
+
+/// The typed snapshot answered to a `METRICS` request: per-stage query
+/// histograms merged across workers, the server's queue-wait/service
+/// split, the live/WAL timings, and the slow-query log. The body carries
+/// its own format version (`protocol::METRICS_FORMAT_VERSION`) so the
+/// snapshot layout can evolve without a wire-version bump.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Snapshot layout version (see `protocol::METRICS_FORMAT_VERSION`).
+    pub format_version: u16,
+    /// Nanoseconds since the server's observability clock started.
+    pub uptime_ns: u64,
+    /// Minimizer-scan stage, merged across workers.
+    pub query_scan: HistogramSnapshot,
+    /// Locate stage (`equal_range` / trie descent), merged across workers.
+    pub query_locate: HistogramSnapshot,
+    /// Verification stage, merged across workers.
+    pub query_verify: HistogramSnapshot,
+    /// Reporting stage, merged across workers.
+    pub query_report: HistogramSnapshot,
+    /// Accept-to-worker-pop wait per connection.
+    pub queue_wait: HistogramSnapshot,
+    /// Per-op service time: `(op byte, histogram)` for every op that
+    /// served at least one frame.
+    pub op_service: Vec<(u8, HistogramSnapshot)>,
+    /// Live-index and WAL timings (zeroed for static servers).
+    pub live: LiveObsView,
+    /// Queries slower than the threshold, oldest first (bounded ring).
+    pub slow_queries: Vec<SlowQueryEntry>,
+    /// The slow-query threshold in force.
+    pub slow_query_threshold_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as the human-readable text dump printed by
+    /// `serve --metrics-interval`.
+    pub fn dump(&self) -> String {
+        use ius_obs::fmt_ns;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== ius metrics (format v{}, uptime {}) ==\n",
+            self.format_version,
+            fmt_ns(self.uptime_ns)
+        ));
+        out.push_str("query stages (ns per query, merged across workers):\n");
+        for (name, h) in [
+            ("scan  ", &self.query_scan),
+            ("locate", &self.query_locate),
+            ("verify", &self.query_verify),
+            ("report", &self.query_report),
+        ] {
+            out.push_str(&format!("  {name}  {}\n", h.summary_line()));
+        }
+        out.push_str(&format!("queue_wait  {}\n", self.queue_wait.summary_line()));
+        out.push_str("per-op service time:\n");
+        for (op, h) in &self.op_service {
+            out.push_str(&format!("  {:<12}  {}\n", op_name(*op), h.summary_line()));
+        }
+        let live = &self.live;
+        out.push_str(&format!(
+            "live: segments={} memtable_rows={} swap_in_races={} compaction_errors={}\n",
+            live.segments, live.memtable_rows, live.swap_in_races, live.compaction_errors
+        ));
+        out.push_str(&format!("  flush       {}\n", live.flush.summary_line()));
+        out.push_str(&format!(
+            "  compaction  {}\n",
+            live.compaction.summary_line()
+        ));
+        out.push_str(&format!(
+            "wal: fsync  {}\n  replay: {} record(s), {} byte(s), {}\n",
+            live.wal_fsync.summary_line(),
+            live.wal_replay_records,
+            live.wal_replay_bytes,
+            fmt_ns(live.wal_replay_ns)
+        ));
+        if !live.last_error.is_empty() {
+            out.push_str(&format!("last_error: {}\n", live.last_error));
+        }
+        out.push_str(&format!(
+            "slow queries (over {}): {}\n",
+            fmt_ns(self.slow_query_threshold_ns),
+            self.slow_queries.len()
+        ));
+        for entry in &self.slow_queries {
+            out.push_str(&format!(
+                "  +{:<10}  {:<10}  pattern_len={}  reported={}\n",
+                fmt_ns(entry.ts_ns),
+                fmt_ns(entry.duration_ns),
+                entry.pattern_len,
+                entry.reported
+            ));
+        }
+        out
+    }
+}
+
+/// Merges the per-worker registries plus the shared slow-query log into
+/// one [`MetricsSnapshot`] (the `METRICS` scrape path; allocation is fine
+/// here).
+pub(crate) fn merge_worker_obs(
+    workers: &[std::sync::Arc<WorkerObs>],
+    slow_log: &EventLog,
+    slow_query_threshold_ns: u64,
+    live: LiveObsView,
+) -> MetricsSnapshot {
+    let mut snapshot = MetricsSnapshot {
+        format_version: crate::protocol::METRICS_FORMAT_VERSION,
+        uptime_ns: ius_obs::clock::now_ns(),
+        slow_query_threshold_ns,
+        live,
+        ..MetricsSnapshot::default()
+    };
+    let mut op_service: Vec<HistogramSnapshot> =
+        vec![HistogramSnapshot::default(); OP_SERVICE_SLOTS];
+    for worker in workers {
+        snapshot.query_scan.merge(&worker.query_scan.snapshot());
+        snapshot.query_locate.merge(&worker.query_locate.snapshot());
+        snapshot.query_verify.merge(&worker.query_verify.snapshot());
+        snapshot.query_report.merge(&worker.query_report.snapshot());
+        snapshot.queue_wait.merge(&worker.queue_wait.snapshot());
+        for (slot, hist) in op_service.iter_mut().zip(worker.op_service.iter()) {
+            slot.merge(&hist.snapshot());
+        }
+    }
+    snapshot.op_service = op_service
+        .into_iter()
+        .enumerate()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(op, h)| (op as u8, h))
+        .collect();
+    snapshot.slow_queries = slow_log
+        .snapshot()
+        .iter()
+        .map(SlowQueryEntry::from_event)
+        .collect();
+    snapshot
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +435,74 @@ mod tests {
         assert_eq!(snap.connections, 1);
         assert_eq!(snap.occurrences, 42);
         assert_eq!(snap.requests, 0);
+    }
+
+    #[test]
+    fn worker_registries_merge_on_scrape() {
+        let workers: Vec<std::sync::Arc<WorkerObs>> = (0..3)
+            .map(|_| std::sync::Arc::new(WorkerObs::new()))
+            .collect();
+        for (i, w) in workers.iter().enumerate() {
+            w.record_query_stages(&QueryStats {
+                scan_ns: 100 * (i as u64 + 1),
+                locate_ns: 10,
+                verify_ns: 20,
+                report_ns: 30,
+                ..QueryStats::default()
+            });
+            w.record_service(1, 5_000);
+            w.record_service(0, 200);
+            w.queue_wait.record(1_000);
+        }
+        // An out-of-range op byte is ignored, not a panic.
+        workers[0].record_service(200, 1);
+        let slow_log = EventLog::new(8);
+        slow_log.record(64, 2_000_000, 3);
+        let snap = merge_worker_obs(&workers, &slow_log, 1_000_000, LiveObsView::default());
+        assert_eq!(snap.query_scan.count, 3);
+        assert_eq!(snap.query_scan.sum, 100 + 200 + 300);
+        assert_eq!(snap.queue_wait.count, 3);
+        let ops: Vec<u8> = snap.op_service.iter().map(|(op, _)| *op).collect();
+        assert_eq!(ops, vec![0, 1], "only ops that served frames appear");
+        assert_eq!(snap.op_service[1].1.count, 3);
+        assert_eq!(snap.slow_queries.len(), 1);
+        assert_eq!(
+            snap.slow_queries[0],
+            SlowQueryEntry {
+                ts_ns: snap.slow_queries[0].ts_ns,
+                duration_ns: 2_000_000,
+                pattern_len: 64,
+                reported: 3,
+            }
+        );
+        assert_eq!(snap.slow_query_threshold_ns, 1_000_000);
+    }
+
+    #[test]
+    fn dump_renders_every_section() {
+        let workers = vec![std::sync::Arc::new(WorkerObs::new())];
+        workers[0].record_service(1, 42_000);
+        let slow_log = EventLog::new(4);
+        slow_log.record(8, 77_000_000, 2);
+        let live = LiveObsView {
+            segments: 4,
+            memtable_rows: 123,
+            last_error: "disk full".into(),
+            ..LiveObsView::default()
+        };
+        let text = merge_worker_obs(&workers, &slow_log, 50_000_000, live).dump();
+        for needle in [
+            "query stages",
+            "queue_wait",
+            "QUERY",
+            "segments=4",
+            "memtable_rows=123",
+            "wal:",
+            "slow queries",
+            "pattern_len=8",
+            "last_error: disk full",
+        ] {
+            assert!(text.contains(needle), "dump missing {needle:?}:\n{text}");
+        }
     }
 }

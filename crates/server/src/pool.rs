@@ -6,13 +6,18 @@
 //! `OVERLOADED` response* instead of buffered without bound — a client that
 //! sees `OVERLOADED` knows to back off and retry, and the server's memory
 //! stays bounded by `queue_depth + workers` connections.
+//!
+//! Each admitted connection carries its admission timestamp
+//! (`ius_obs::clock::now_ns` at accept), so the worker popping it can
+//! record the queue-wait — the accept-to-service gap that separates "the
+//! server is slow" from "the server is saturated".
 
 use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::{Condvar, Mutex};
 
 struct QueueState {
-    jobs: VecDeque<TcpStream>,
+    jobs: VecDeque<(TcpStream, u64)>,
     open: bool,
 }
 
@@ -38,29 +43,31 @@ impl AdmissionQueue {
         }
     }
 
-    /// Admits a connection, or gives it back when the queue is full or
-    /// closed so the caller can refuse it with a typed response.
-    pub(crate) fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    /// Admits a connection stamped with its accept time, or gives it back
+    /// when the queue is full or closed so the caller can refuse it with a
+    /// typed response.
+    pub(crate) fn try_push(&self, stream: TcpStream, accepted_ns: u64) -> Result<(), TcpStream> {
         let mut state = self.state.lock().expect("queue lock");
         if !state.open || state.jobs.len() >= self.depth {
             return Err(stream);
         }
-        state.jobs.push_back(stream);
+        state.jobs.push_back((stream, accepted_ns));
         drop(state);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next admitted connection; `None` once the queue is
-    /// closed (remaining entries are drained by [`AdmissionQueue::drain`]).
-    pub(crate) fn pop(&self) -> Option<TcpStream> {
+    /// Blocks for the next admitted connection (with its accept stamp);
+    /// `None` once the queue is closed (remaining entries are drained by
+    /// [`AdmissionQueue::drain`]).
+    pub(crate) fn pop(&self) -> Option<(TcpStream, u64)> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if !state.open {
                 return None;
             }
-            if let Some(stream) = state.jobs.pop_front() {
-                return Some(stream);
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
             }
             state = self.ready.wait(state).expect("queue lock");
         }
@@ -76,7 +83,7 @@ impl AdmissionQueue {
     /// to answer them with `SHUTTING_DOWN`).
     pub(crate) fn drain(&self) -> Vec<TcpStream> {
         let mut state = self.state.lock().expect("queue lock");
-        state.jobs.drain(..).collect()
+        state.jobs.drain(..).map(|(stream, _)| stream).collect()
     }
 
     /// Number of connections currently waiting.
@@ -103,12 +110,16 @@ mod tests {
     #[test]
     fn push_respects_the_depth_bound() {
         let queue = AdmissionQueue::new(2);
-        assert!(queue.try_push(stream()).is_ok());
-        assert!(queue.try_push(stream()).is_ok());
-        assert!(queue.try_push(stream()).is_err(), "third push must refuse");
+        assert!(queue.try_push(stream(), 10).is_ok());
+        assert!(queue.try_push(stream(), 20).is_ok());
+        assert!(
+            queue.try_push(stream(), 30).is_err(),
+            "third push must refuse"
+        );
         assert_eq!(queue.len(), 2);
-        assert!(queue.pop().is_some());
-        assert!(queue.try_push(stream()).is_ok(), "slot freed by pop");
+        let (_stream, accepted_ns) = queue.pop().expect("queued connection");
+        assert_eq!(accepted_ns, 10, "accept stamps travel with the stream");
+        assert!(queue.try_push(stream(), 40).is_ok(), "slot freed by pop");
     }
 
     #[test]
@@ -120,14 +131,14 @@ mod tests {
         };
         queue.close();
         assert!(waiter.join().expect("join").is_none());
-        assert!(queue.try_push(stream()).is_err());
+        assert!(queue.try_push(stream(), 0).is_err());
     }
 
     #[test]
     fn drain_empties_the_queue() {
         let queue = AdmissionQueue::new(4);
-        queue.try_push(stream()).unwrap();
-        queue.try_push(stream()).unwrap();
+        queue.try_push(stream(), 0).unwrap();
+        queue.try_push(stream(), 0).unwrap();
         queue.close();
         assert_eq!(queue.drain().len(), 2);
         assert_eq!(queue.len(), 0);

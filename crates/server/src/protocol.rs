@@ -28,6 +28,17 @@
 //! `last_error` string to [`StatsSnapshot`] (WAL records/bytes, recovery
 //! counts, the active fsync policy, background-compaction failures).
 //!
+//! The `METRICS` op ([`Request::Metrics`] / [`Response::Metrics`]) was
+//! deliberately added **without** a version bump: a new op is a body-level
+//! extension, so an old server answers it with a typed
+//! [`ErrorCode::UnknownOp`] frame and keeps the connection — exactly the
+//! degradation a monitoring client wants — whereas a version bump would
+//! make every old↔new pairing a header-level rejection that closes the
+//! connection. The snapshot body instead opens with its own
+//! [`METRICS_FORMAT_VERSION`], so the metrics layout can evolve
+//! independently and a client refuses an unknown layout typed
+//! ([`ProtocolError::UnsupportedMetricsFormat`]).
+//!
 //! Requests: [`Request::Ping`], [`Request::Query`] (with a [`ResultMode`]
 //! mapping onto the `ius_query` sinks: collect-all, count-only, first-`k`),
 //! [`Request::Stats`], [`Request::Reload`], [`Request::Shutdown`], plus the
@@ -37,6 +48,8 @@
 //! server sends instead of ever panicking (or hanging up silently) on
 //! untrusted bytes.
 
+use crate::metrics::{LiveObsView, MetricsSnapshot, SlowQueryEntry};
+use ius_obs::HistogramSnapshot;
 use ius_query::QueryStats;
 use std::fmt;
 use std::io::{self, Read};
@@ -46,6 +59,11 @@ pub const WIRE_MAGIC: [u8; 4] = *b"IUSW";
 
 /// The current wire-protocol version.
 pub const WIRE_VERSION: u16 = 3;
+
+/// Layout version of the [`Response::Metrics`] body. Bumped when the
+/// snapshot layout changes; independent of [`WIRE_VERSION`] (see the
+/// module docs for why the `METRICS` op did not bump the wire version).
+pub const METRICS_FORMAT_VERSION: u16 = 1;
 
 /// Fixed header size inside the payload: magic + version + request id + op.
 pub const HEADER_LEN: usize = 4 + 2 + 8 + 1;
@@ -70,6 +88,7 @@ const OP_APPEND: u8 = 5;
 const OP_DELETE_RANGE: u8 = 6;
 const OP_FLUSH: u8 = 7;
 const OP_COMPACT: u8 = 8;
+const OP_METRICS: u8 = 9;
 
 // Response statuses.
 const ST_PONG: u8 = 0;
@@ -79,6 +98,7 @@ const ST_STATS: u8 = 3;
 const ST_RELOADED: u8 = 4;
 const ST_SHUTTING_DOWN: u8 = 5;
 const ST_LIVE: u8 = 6;
+const ST_METRICS: u8 = 7;
 const ST_ERROR: u8 = 255;
 
 // Result modes.
@@ -149,6 +169,10 @@ pub enum Request {
         /// tiered policy round.
         full: bool,
     },
+    /// Scrape the server's observability snapshot (per-stage query
+    /// histograms, queue-wait/service split, live and WAL timings, slow
+    /// queries). Old servers answer `UNKNOWN_OP` and keep the connection.
+    Metrics,
 }
 
 /// Per-query counters carried on the wire (a `u64` projection of
@@ -178,11 +202,14 @@ impl From<QueryStats> for WireStats {
 
 impl From<WireStats> for QueryStats {
     fn from(s: WireStats) -> Self {
+        // Stage timings do not travel on QUERY responses (they are served
+        // aggregated by the METRICS op), so the projection zeroes them.
         Self {
             candidates: s.candidates as usize,
             verified: s.verified as usize,
             reported: s.reported as usize,
             grid_nodes: s.grid_nodes as usize,
+            ..Self::default()
         }
     }
 }
@@ -342,6 +369,11 @@ impl fmt::Display for ErrorCode {
 }
 
 /// A response frame, minus the echoed id (carried alongside).
+///
+/// Deliberately unboxed despite the variant size skew (a `METRICS` body
+/// dwarfs a `PONG`): a `Response` is a transient value built, encoded and
+/// dropped within one frame round trip — never stored in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// Answer to [`Request::Ping`].
@@ -372,6 +404,8 @@ pub enum Response {
     ShuttingDown,
     /// Answer to every successful live-corpus mutation.
     Live(LiveSnapshot),
+    /// Answer to [`Request::Metrics`].
+    Metrics(MetricsSnapshot),
     /// Typed refusal: the server never hangs up silently and never panics on
     /// untrusted bytes.
     Error {
@@ -414,6 +448,9 @@ pub enum ProtocolError {
     },
     /// A string field is not valid UTF-8.
     InvalidUtf8,
+    /// A `METRICS` body announces a snapshot layout this build does not
+    /// speak (the op itself decoded fine; only the snapshot is opaque).
+    UnsupportedMetricsFormat(u16),
 }
 
 impl fmt::Display for ProtocolError {
@@ -440,6 +477,11 @@ impl fmt::Display for ProtocolError {
                 write!(f, "length prefix {len} exceeds the frame bound {max}")
             }
             ProtocolError::InvalidUtf8 => f.write_str("string field is not valid UTF-8"),
+            ProtocolError::UnsupportedMetricsFormat(v) => write!(
+                f,
+                "unsupported metrics snapshot format {v} (this build speaks \
+                 format {METRICS_FORMAT_VERSION})"
+            ),
         }
     }
 }
@@ -472,6 +514,20 @@ fn push_stats(out: &mut Vec<u8>, stats: &WireStats) {
     push_u64(out, stats.verified);
     push_u64(out, stats.reported);
     push_u64(out, stats.grid_nodes);
+}
+
+/// Sparse histogram encoding: the four summary integers, then the
+/// occupied `(bucket index, count)` pairs.
+fn push_histogram(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    push_u64(out, h.count);
+    push_u64(out, h.sum);
+    push_u64(out, h.min);
+    push_u64(out, h.max);
+    push_u32(out, h.buckets.len() as u32);
+    for &(idx, n) in &h.buckets {
+        push_u32(out, idx);
+        push_u64(out, n);
+    }
 }
 
 /// Starts a frame in `out` (clearing it): length placeholder + header.
@@ -532,6 +588,7 @@ pub fn encode_request(id: u64, request: &Request, out: &mut Vec<u8>) {
             begin_frame(out, id, OP_COMPACT);
             out.push(u8::from(*full));
         }
+        Request::Metrics => begin_frame(out, id, OP_METRICS),
     }
     end_frame(out);
 }
@@ -601,6 +658,53 @@ pub fn encode_response(id: u64, response: &Response, out: &mut Vec<u8>) {
                 snapshot.changed,
             ] {
                 push_u64(out, v);
+            }
+        }
+        Response::Metrics(snapshot) => {
+            begin_frame(out, id, ST_METRICS);
+            push_u16(out, snapshot.format_version);
+            push_u64(out, snapshot.uptime_ns);
+            for h in [
+                &snapshot.query_scan,
+                &snapshot.query_locate,
+                &snapshot.query_verify,
+                &snapshot.query_report,
+                &snapshot.queue_wait,
+            ] {
+                push_histogram(out, h);
+            }
+            out.push(snapshot.op_service.len() as u8);
+            for (op, h) in &snapshot.op_service {
+                out.push(*op);
+                push_histogram(out, h);
+            }
+            let live = &snapshot.live;
+            for h in [&live.flush, &live.compaction, &live.wal_fsync] {
+                push_histogram(out, h);
+            }
+            for v in [
+                live.segments,
+                live.memtable_rows,
+                live.swap_in_races,
+                live.compaction_errors,
+                live.wal_replay_records,
+                live.wal_replay_bytes,
+                live.wal_replay_ns,
+            ] {
+                push_u64(out, v);
+            }
+            push_str(out, &live.last_error);
+            push_u64(out, snapshot.slow_query_threshold_ns);
+            push_u32(out, snapshot.slow_queries.len() as u32);
+            for entry in &snapshot.slow_queries {
+                for v in [
+                    entry.ts_ns,
+                    entry.duration_ns,
+                    entry.pattern_len,
+                    entry.reported,
+                ] {
+                    push_u64(out, v);
+                }
             }
         }
         Response::Error { code, message } => {
@@ -678,6 +782,26 @@ impl<'a> Cursor<'a> {
         let len = self.u32(what)? as usize;
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::InvalidUtf8)
+    }
+
+    fn histogram(&mut self, what: &'static str) -> Result<HistogramSnapshot, ProtocolError> {
+        let count = self.u64(what)?;
+        let sum = self.u64(what)?;
+        let min = self.u64(what)?;
+        let max = self.u64(what)?;
+        let n = self.u32(what)? as usize;
+        // A lying pair count is bounds-checked per take, so cap the reserve.
+        let mut buckets = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            buckets.push((self.u32(what)?, self.u64(what)?));
+        }
+        Ok(HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
     }
 
     fn finish(&self) -> Result<(), ProtocolError> {
@@ -780,6 +904,7 @@ pub fn decode_request_body(op: u8, body: &[u8]) -> Result<Request, ProtocolError
         OP_COMPACT => Request::Compact {
             full: cur.u8("compact mode")? != 0,
         },
+        OP_METRICS => Request::Metrics,
         other => return Err(ProtocolError::UnknownOp(other)),
     };
     cur.finish()?;
@@ -870,6 +995,68 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
             tombstones: cur.u64("live tombstone count")?,
             changed: cur.u64("live change count")?,
         }),
+        ST_METRICS => {
+            let format_version = cur.u16("metrics format version")?;
+            if format_version != METRICS_FORMAT_VERSION {
+                return Err(ProtocolError::UnsupportedMetricsFormat(format_version));
+            }
+            let uptime_ns = cur.u64("metrics uptime")?;
+            let query_scan = cur.histogram("scan histogram")?;
+            let query_locate = cur.histogram("locate histogram")?;
+            let query_verify = cur.histogram("verify histogram")?;
+            let query_report = cur.histogram("report histogram")?;
+            let queue_wait = cur.histogram("queue-wait histogram")?;
+            let op_count = cur.u8("op-service count")? as usize;
+            let mut op_service = Vec::with_capacity(op_count.min(256));
+            for _ in 0..op_count {
+                let op = cur.u8("op-service op byte")?;
+                op_service.push((op, cur.histogram("op-service histogram")?));
+            }
+            let flush = cur.histogram("flush histogram")?;
+            let compaction = cur.histogram("compaction histogram")?;
+            let wal_fsync = cur.histogram("wal-fsync histogram")?;
+            let mut live_vals = [0u64; 7];
+            for v in live_vals.iter_mut() {
+                *v = cur.u64("live counter")?;
+            }
+            let last_error = cur.string("live last error")?;
+            let slow_query_threshold_ns = cur.u64("slow-query threshold")?;
+            let slow_count = cur.u32("slow-query count")? as usize;
+            let mut slow_queries = Vec::with_capacity(slow_count.min(4096));
+            for _ in 0..slow_count {
+                slow_queries.push(SlowQueryEntry {
+                    ts_ns: cur.u64("slow-query ts")?,
+                    duration_ns: cur.u64("slow-query duration")?,
+                    pattern_len: cur.u64("slow-query pattern length")?,
+                    reported: cur.u64("slow-query reported")?,
+                });
+            }
+            Response::Metrics(MetricsSnapshot {
+                format_version,
+                uptime_ns,
+                query_scan,
+                query_locate,
+                query_verify,
+                query_report,
+                queue_wait,
+                op_service,
+                live: LiveObsView {
+                    flush,
+                    compaction,
+                    wal_fsync,
+                    segments: live_vals[0],
+                    memtable_rows: live_vals[1],
+                    swap_in_races: live_vals[2],
+                    compaction_errors: live_vals[3],
+                    wal_replay_records: live_vals[4],
+                    wal_replay_bytes: live_vals[5],
+                    wal_replay_ns: live_vals[6],
+                    last_error,
+                },
+                slow_queries,
+                slow_query_threshold_ns,
+            })
+        }
         ST_ERROR => {
             let code = ErrorCode::from_byte(cur.u8("error code")?)?;
             let message = cur.string("error message")?;
@@ -972,6 +1159,7 @@ mod tests {
         round_trip_request(Request::Flush);
         round_trip_request(Request::Compact { full: false });
         round_trip_request(Request::Compact { full: true });
+        round_trip_request(Request::Metrics);
         for mode in [
             ResultMode::Collect,
             ResultMode::Count,
@@ -1239,9 +1427,111 @@ mod tests {
             verified: 4,
             reported: 2,
             grid_nodes: 1,
+            ..QueryStats::default()
         };
         let wire: WireStats = stats.into();
         let back: QueryStats = wire.into();
         assert_eq!(back, stats);
+    }
+
+    /// A fully-populated metrics snapshot for the wire tests: every
+    /// histogram occupied, per-op list non-trivial, live view and slow-log
+    /// non-empty.
+    fn sample_metrics_snapshot() -> MetricsSnapshot {
+        let hist = |values: &[u64]| {
+            let h = ius_obs::Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        MetricsSnapshot {
+            format_version: METRICS_FORMAT_VERSION,
+            uptime_ns: 123_456_789,
+            query_scan: hist(&[100, 200, 30_000]),
+            query_locate: hist(&[50, 60]),
+            query_verify: hist(&[1 << 20]),
+            query_report: hist(&[7]),
+            queue_wait: hist(&[900, 1_000_000]),
+            op_service: vec![(0, hist(&[150])), (1, hist(&[10_000, 20_000]))],
+            live: crate::metrics::LiveObsView {
+                flush: hist(&[2_000_000]),
+                compaction: hist(&[9_000_000, 11_000_000]),
+                wal_fsync: hist(&[400_000]),
+                segments: 5,
+                memtable_rows: 321,
+                swap_in_races: 1,
+                compaction_errors: 2,
+                wal_replay_records: 77,
+                wal_replay_bytes: 8_192,
+                wal_replay_ns: 3_000_000,
+                last_error: "background compaction failed (will retry): disk full".into(),
+            },
+            slow_queries: vec![
+                SlowQueryEntry {
+                    ts_ns: 1_000,
+                    duration_ns: 60_000_000,
+                    pattern_len: 32,
+                    reported: 4,
+                },
+                SlowQueryEntry {
+                    ts_ns: 2_000,
+                    duration_ns: 51_000_000,
+                    pattern_len: 8,
+                    reported: 0,
+                },
+            ],
+            slow_query_threshold_ns: 50_000_000,
+        }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        round_trip_response(Response::Metrics(sample_metrics_snapshot()));
+        // The all-zero snapshot (static server, nothing recorded yet) must
+        // round-trip too — as long as it announces the spoken format.
+        round_trip_response(Response::Metrics(MetricsSnapshot {
+            format_version: METRICS_FORMAT_VERSION,
+            ..MetricsSnapshot::default()
+        }));
+    }
+
+    #[test]
+    fn metrics_truncations_are_refused_typed() {
+        let mut frame = Vec::new();
+        encode_response(9, &Response::Metrics(sample_metrics_snapshot()), &mut frame);
+        // Every strict prefix of the payload fails Truncated, never panics
+        // and never misdecodes.
+        for cut in HEADER_LEN..frame.len() - 4 {
+            let result = decode_response(&frame[4..4 + cut]);
+            assert!(
+                matches!(result, Err(ProtocolError::Truncated { .. })),
+                "cut at {cut}: {result:?}"
+            );
+        }
+        // Trailing garbage after a well-formed snapshot.
+        let mut long = frame[4..].to_vec();
+        long.push(0x00);
+        assert!(matches!(
+            decode_response(&long),
+            Err(ProtocolError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn future_metrics_format_is_refused_typed() {
+        let mut frame = Vec::new();
+        encode_response(
+            11,
+            &Response::Metrics(MetricsSnapshot {
+                format_version: METRICS_FORMAT_VERSION + 1,
+                ..MetricsSnapshot::default()
+            }),
+            &mut frame,
+        );
+        assert!(matches!(
+            decode_response(&frame[4..]),
+            Err(ProtocolError::UnsupportedMetricsFormat(v)) if v == METRICS_FORMAT_VERSION + 1
+        ));
     }
 }

@@ -28,8 +28,25 @@
 //! between requests (connection reads run under a short timeout), so the
 //! current request always completes but idle connections are released
 //! promptly.
+//!
+//! ## Observability
+//!
+//! Each worker owns a private [`WorkerObs`] histogram registry; recording
+//! (per-stage query timings, per-op service time, queue wait) is a few
+//! relaxed atomic adds into that registry, so workers never contend with
+//! each other or with scrapers. Per-request elapsed time is measured on
+//! every request (the slow-query log is exact), but histogram feeds —
+//! service time and the per-stage breakdown — are sampled at
+//! 1-in-`clock::STAGE_SAMPLE_EVERY` to keep their cold cache lines off
+//! the per-request path. A `METRICS` request — or a local
+//! [`MetricsHandle`] — merges every registry plus the shared slow-query
+//! ring into one [`MetricsSnapshot`] on the scrape path. All recording
+//! sites are gated on `ius_obs::clock::enabled()`, which is how the
+//! overhead benchmark measures instrumented vs. stubbed serving.
 
-use crate::metrics::{DurabilityView, ServerMetrics};
+use crate::metrics::{
+    merge_worker_obs, DurabilityView, LiveObsView, MetricsSnapshot, ServerMetrics, WorkerObs,
+};
 use crate::pool::AdmissionQueue;
 use crate::protocol::{
     decode_header, decode_query_body, decode_request_body, encode_matches_from_slice,
@@ -40,6 +57,7 @@ use ius_arena::Arena;
 use ius_exec::WorkerPool;
 use ius_index::{open_any_index, AnyIndex, LoadedAny, ShardedIndex, UncertainIndex};
 use ius_live::LiveIndex;
+use ius_obs::{clock, EventLog};
 use ius_query::{CountSink, FirstKSink, QueryScratch};
 use ius_weighted::WeightedString;
 use std::io::{self, Write};
@@ -236,6 +254,9 @@ pub struct ServerConfig {
     /// the worker — without it, `workers` silent keep-alive clients would
     /// pin the whole pool while admitted connections starve in the queue.
     pub idle_timeout: Duration,
+    /// Queries at least this slow land in the slow-query ring surfaced by
+    /// `METRICS` (`Duration::ZERO` logs every query; handy in tests).
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -245,6 +266,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             poll_interval: Duration::from_millis(25),
             idle_timeout: Duration::from_secs(60),
+            slow_query_threshold: Duration::from_millis(50),
         }
     }
 }
@@ -253,6 +275,12 @@ struct Shared {
     state: Mutex<Arc<ServedState>>,
     reload_path: Option<PathBuf>,
     metrics: ServerMetrics,
+    /// One private histogram registry per worker (indexed like the worker
+    /// threads); merged only on a `METRICS` scrape.
+    worker_obs: Vec<Arc<WorkerObs>>,
+    /// Shared ring of threshold-crossing queries.
+    slow_log: EventLog,
+    slow_query_threshold_ns: u64,
     queue: AdmissionQueue,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -288,6 +316,10 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // The first timed operation must not pay the clock's one-time
+        // base-instant initialization.
+        clock::warm_up();
+        let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(Arc::new(ServedState {
                 index,
@@ -295,10 +327,13 @@ impl Server {
             })),
             reload_path,
             metrics: ServerMetrics::new(),
+            worker_obs: (0..workers).map(|_| Arc::new(WorkerObs::new())).collect(),
+            slow_log: EventLog::new(128),
+            slow_query_threshold_ns: config.slow_query_threshold.as_nanos() as u64,
             queue: AdmissionQueue::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
             addr,
-            workers: config.workers.max(1),
+            workers,
             queue_depth: config.queue_depth.max(1),
             poll_interval: config.poll_interval,
             idle_timeout: config.idle_timeout,
@@ -310,7 +345,7 @@ impl Server {
         }
         for i in 0..shared.workers {
             let shared = shared.clone();
-            pool.spawn(&format!("ius-worker-{i}"), move || worker_loop(&shared));
+            pool.spawn(&format!("ius-worker-{i}"), move || worker_loop(&shared, i));
         }
         Ok(Server { shared, pool })
     }
@@ -323,6 +358,15 @@ impl Server {
     /// The current index generation (0 at startup, +1 per reload).
     pub fn generation(&self) -> u64 {
         self.shared.state.lock().expect("state lock").generation
+    }
+
+    /// A scrape handle that outlives the consuming [`Server::join`] /
+    /// [`Server::shutdown`]: the `serve` binary's periodic metrics dump
+    /// thread holds one while the main thread blocks in `join`.
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle {
+            shared: self.shared.clone(),
+        }
     }
 
     /// Initiates a graceful shutdown and joins every thread: in-flight
@@ -355,6 +399,60 @@ impl Server {
             let _ = stream.write_all(&out);
         }
     }
+}
+
+/// A cloneable local scrape handle onto a running server — the same
+/// snapshot a wire `METRICS` request answers, without a connection.
+#[derive(Clone)]
+pub struct MetricsHandle {
+    shared: Arc<Shared>,
+}
+
+impl MetricsHandle {
+    /// Merges the per-worker registries (and the live/WAL view, when a
+    /// live index is served) into one snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        metrics_snapshot(&self.shared)
+    }
+
+    /// Whether the server has begun shutting down (lets a dump thread
+    /// exit promptly).
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Builds the `METRICS` answer: merge every worker registry plus the
+/// slow-query ring, and sample the live index's observability if one is
+/// served. Runs on the scrape path — allocation is fine here.
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let state = shared.state.lock().expect("state lock").clone();
+    let live_view = match state.index.live_index() {
+        Some(live) => {
+            let obs = live.obs_snapshot();
+            let stats = live.live_stats();
+            LiveObsView {
+                flush: obs.flush,
+                compaction: obs.compaction,
+                wal_fsync: obs.wal_fsync,
+                segments: stats.segments as u64,
+                memtable_rows: stats.memtable_rows as u64,
+                swap_in_races: obs.swap_in_races,
+                compaction_errors: stats.compaction_errors,
+                wal_replay_records: obs.replay_records,
+                wal_replay_bytes: obs.replay_bytes,
+                wal_replay_ns: obs.replay_ns,
+                last_error: stats.last_error.unwrap_or_default(),
+            }
+        }
+        None => LiveObsView::default(),
+    };
+    merge_worker_obs(
+        &shared.worker_obs,
+        &shared.slow_log,
+        shared.slow_query_threshold_ns,
+        live_view,
+    )
 }
 
 fn trigger_shutdown(shared: &Shared) {
@@ -408,7 +506,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
         ServerMetrics::inc(&shared.metrics.connections);
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(shared.poll_interval));
-        if let Err(mut refused) = shared.queue.try_push(stream) {
+        if let Err(mut refused) = shared.queue.try_push(stream, clock::now_ns()) {
             ServerMetrics::inc(&shared.metrics.overloaded);
             encode_response(
                 0,
@@ -448,15 +546,22 @@ impl WorkerBuffers {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     let mut frame = Vec::new();
     let mut buffers = WorkerBuffers::new();
-    while let Some(stream) = shared.queue.pop() {
+    // The registry outlives any panic recovery below: recorded history is
+    // never lost with the buffers.
+    let obs = shared.worker_obs[worker].clone();
+    while let Some((stream, accepted_ns)) = shared.queue.pop() {
+        if clock::enabled() {
+            obs.queue_wait
+                .record(clock::now_ns().saturating_sub(accepted_ns));
+        }
         // A panic while serving (an engine bug, an incompatible reloaded
         // index) must cost one connection, not a pool slot: catch it, drop
         // the possibly inconsistent buffers, keep serving.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(shared, stream, &mut frame, &mut buffers);
+            handle_connection(shared, &obs, stream, &mut frame, &mut buffers);
         }));
         if outcome.is_err() {
             eprintln!("ius-server worker recovered from a panic; connection dropped");
@@ -530,10 +635,19 @@ fn send(stream: &mut TcpStream, out: &[u8]) -> io::Result<()> {
 
 fn handle_connection(
     shared: &Shared,
+    obs: &WorkerObs,
     mut stream: TcpStream,
     frame: &mut Vec<u8>,
     buffers: &mut WorkerBuffers,
 ) {
+    // Per-request timing is always on (the slow-query log must see every
+    // request), but feeding the service histogram is sampled at the same
+    // 1-in-[`clock::STAGE_SAMPLE_EVERY`] rate as stage tracing: under a
+    // large index working set the histogram's cache lines are cold on
+    // every request, so an unconditional record costs a couple of hundred
+    // nanoseconds of misses. The first request on each connection is
+    // always recorded, so scrapes see per-op service data immediately.
+    let mut service_tick: u32 = 0;
     loop {
         match read_frame_or_shutdown(&mut stream, shared, frame) {
             Ok(FrameOutcome::Frame) => {}
@@ -568,6 +682,9 @@ fn handle_connection(
             Err(_) => return, // transport error: drop the connection
         }
         ServerMetrics::inc(&shared.metrics.requests);
+        // Service time covers body decode + answer + send — everything the
+        // worker does for this frame after it has arrived.
+        let service_start = clock::now_ns();
         let (id, op, body) = match decode_header(frame) {
             Ok(parts) => parts,
             Err(err) => {
@@ -594,10 +711,16 @@ fn handle_connection(
         // out of the frame buffer (no per-request allocation); other ops go
         // through the owned decoder.
         let close_after;
+        // (pattern length, reported count) of a successfully answered
+        // query, fed to the slow-query ring if this request turns out
+        // slow. Carried out of the answer path so the slow check can
+        // reuse the service-end clock stamp instead of reading the clock
+        // again.
+        let mut slow_probe = None;
         match decode_query_body(op, body) {
             Some(Ok((mode, pattern))) => {
                 close_after = false;
-                answer_query(shared, id, mode, pattern, buffers);
+                slow_probe = answer_query(shared, obs, id, mode, pattern, buffers);
             }
             Some(Err(err)) => {
                 close_after = false;
@@ -606,7 +729,7 @@ fn handle_connection(
             None => match decode_request_body(op, body) {
                 Ok(request) => {
                     close_after = matches!(request, Request::Shutdown);
-                    answer(shared, id, request, buffers);
+                    slow_probe = answer(shared, obs, id, request, buffers);
                 }
                 Err(err) => {
                     // Body-level violations leave the framing intact: answer
@@ -618,6 +741,18 @@ fn handle_connection(
         }
         if send(&mut stream, &buffers.out).is_err() {
             return;
+        }
+        if clock::enabled() {
+            let elapsed = clock::now_ns().saturating_sub(service_start);
+            if service_tick.is_multiple_of(clock::STAGE_SAMPLE_EVERY) {
+                obs.record_service(op, elapsed);
+            }
+            service_tick = service_tick.wrapping_add(1);
+            if elapsed >= shared.slow_query_threshold_ns {
+                if let Some((pattern_len, reported)) = slow_probe {
+                    shared.slow_log.record(pattern_len, elapsed, reported);
+                }
+            }
         }
         if close_after {
             return;
@@ -645,17 +780,31 @@ fn body_error(shared: &Shared, id: u64, err: &ProtocolError, out: &mut Vec<u8>) 
 /// Answers one query, borrowing the pattern from the caller's frame
 /// buffer — the hot path. With warmed buffers, collect and count modes
 /// allocate nothing beyond what the engine scratch already owns.
+///
+/// Returns `Some((pattern_len, reported))` on success so the worker loop
+/// can feed the slow-query ring from the service-time stamp it takes
+/// anyway, and `None` when the query failed (failures answer a typed
+/// error and are not slow-log material).
 fn answer_query(
     shared: &Shared,
+    obs: &WorkerObs,
     id: u64,
     mode: ResultMode,
     pattern: &[u8],
     buffers: &mut WorkerBuffers,
-) {
+) -> Option<(u64, u64)> {
     // Snapshot the served index: a reload swapping the Arc while this
     // query runs does not affect it, and the old index stays alive until
     // the last in-flight query drops its clone.
     let state = shared.state.lock().expect("state lock").clone();
+    // Per-stage recording, allocation-free. Only queries that drew a
+    // stage-tracing ticket carry stamped stage fields; recording the
+    // zeros of an untimed query would drown the histograms.
+    let record = |stats: &ius_query::QueryStats| {
+        if stats.timed {
+            obs.record_query_stages(stats);
+        }
+    };
     match mode {
         ResultMode::Collect => {
             buffers.positions.clear();
@@ -664,6 +813,7 @@ fn answer_query(
                 .query_into(pattern, &mut buffers.scratch, &mut buffers.positions)
             {
                 Ok(stats) => {
+                    record(&stats);
                     ServerMetrics::inc(&shared.metrics.queries);
                     ServerMetrics::add(&shared.metrics.occurrences, buffers.positions.len() as u64);
                     encode_matches_from_slice(
@@ -672,8 +822,12 @@ fn answer_query(
                         &buffers.positions,
                         &mut buffers.out,
                     );
+                    Some((pattern.len() as u64, buffers.positions.len() as u64))
                 }
-                Err(err) => query_error(shared, id, &err, &mut buffers.out),
+                Err(err) => {
+                    query_error(shared, id, &err, &mut buffers.out);
+                    None
+                }
             }
         }
         ResultMode::Count => {
@@ -683,6 +837,7 @@ fn answer_query(
                 .query_into(pattern, &mut buffers.scratch, &mut sink)
             {
                 Ok(stats) => {
+                    record(&stats);
                     ServerMetrics::inc(&shared.metrics.queries);
                     ServerMetrics::add(&shared.metrics.occurrences, sink.count as u64);
                     encode_response(
@@ -693,8 +848,12 @@ fn answer_query(
                         },
                         &mut buffers.out,
                     );
+                    Some((pattern.len() as u64, sink.count as u64))
                 }
-                Err(err) => query_error(shared, id, &err, &mut buffers.out),
+                Err(err) => {
+                    query_error(shared, id, &err, &mut buffers.out);
+                    None
+                }
             }
         }
         ResultMode::FirstK(k) => {
@@ -704,22 +863,36 @@ fn answer_query(
                 .query_into(pattern, &mut buffers.scratch, &mut sink)
             {
                 Ok(stats) => {
+                    record(&stats);
                     ServerMetrics::inc(&shared.metrics.queries);
                     ServerMetrics::add(&shared.metrics.occurrences, sink.positions.len() as u64);
                     encode_matches_from_slice(id, &stats.into(), &sink.positions, &mut buffers.out);
+                    Some((pattern.len() as u64, sink.positions.len() as u64))
                 }
-                Err(err) => query_error(shared, id, &err, &mut buffers.out),
+                Err(err) => {
+                    query_error(shared, id, &err, &mut buffers.out);
+                    None
+                }
             }
         }
     }
 }
 
 /// Builds the response frame for one well-formed request into
-/// `buffers.out`.
-fn answer(shared: &Shared, id: u64, request: Request, buffers: &mut WorkerBuffers) {
+/// `buffers.out`. Returns the slow-query probe of a successful query
+/// (see [`answer_query`]); every other op answers `None`.
+fn answer(
+    shared: &Shared,
+    obs: &WorkerObs,
+    id: u64,
+    request: Request,
+    buffers: &mut WorkerBuffers,
+) -> Option<(u64, u64)> {
     match request {
         Request::Ping => encode_response(id, &Response::Pong, &mut buffers.out),
-        Request::Query { mode, pattern } => answer_query(shared, id, mode, &pattern, buffers),
+        Request::Query { mode, pattern } => {
+            return answer_query(shared, obs, id, mode, &pattern, buffers)
+        }
         Request::Stats => {
             let state = shared.state.lock().expect("state lock").clone();
             let durability = match state.index.live_index() {
@@ -764,6 +937,13 @@ fn answer(shared: &Shared, id: u64, request: Request, buffers: &mut WorkerBuffer
                 );
             }
         },
+        Request::Metrics => {
+            encode_response(
+                id,
+                &Response::Metrics(metrics_snapshot(shared)),
+                &mut buffers.out,
+            );
+        }
         Request::Shutdown => {
             trigger_shutdown(shared);
             encode_response(id, &Response::ShuttingDown, &mut buffers.out);
@@ -773,6 +953,7 @@ fn answer(shared: &Shared, id: u64, request: Request, buffers: &mut WorkerBuffer
         | Request::Flush
         | Request::Compact { .. } => answer_live(shared, id, request, &mut buffers.out),
     }
+    None
 }
 
 /// Answers one live-corpus mutation. A server not serving a live index

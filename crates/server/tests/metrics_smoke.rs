@@ -1,0 +1,226 @@
+//! End-to-end observability smoke: serve a live preset corpus, drive
+//! queries and mutations over the wire, scrape `METRICS`, and assert every
+//! layer's instrumentation actually recorded — per-stage query histograms,
+//! the queue-wait/service split, live flush/compaction durations and WAL
+//! fsync latency — plus the histogram invariants (stage counts bounded by
+//! the ops driven with at least one traced sample, quantiles monotone).
+//! This is the CI smoke step of the metrics subsystem.
+
+use ius_datasets::corpora::bench_corpus;
+use ius_index::{IndexFamily, IndexParams, IndexSpec, IndexVariant};
+use ius_live::{FsyncPolicy, LiveConfig, LiveIndex};
+use ius_server::{Client, MetricsSnapshot, ServedIndex, Server, ServerConfig};
+use std::sync::Arc;
+
+/// A live MWSA server seeded from the uniform preset; `flush_threshold`
+/// 500 over `n = 3000` seeds six equal-class segments, so one tiered
+/// compaction round deterministically has work to do.
+fn live_server(dir: Option<&std::path::Path>, config: &ServerConfig) -> (Server, Arc<LiveIndex>) {
+    let corpus = bench_corpus("uniform", 3_000, None).expect("preset");
+    let params = IndexParams::new(corpus.z, corpus.ell, corpus.x.sigma()).expect("params");
+    let spec = IndexSpec::new(IndexFamily::Minimizer(IndexVariant::Array), params);
+    let live_config = LiveConfig {
+        flush_threshold: 500,
+        auto_compact: false, // compaction is driven explicitly, so counts are exact
+        ..Default::default()
+    };
+    let live = LiveIndex::from_corpus(&corpus.x, spec, 2 * corpus.ell, live_config).expect("seed");
+    if let Some(dir) = dir {
+        live.enable_durability(dir, FsyncPolicy::Record)
+            .expect("arm WAL");
+    }
+    let live = Arc::new(live);
+    let server =
+        Server::bind("127.0.0.1:0", ServedIndex::live(live.clone()), None, config).expect("bind");
+    (server, live)
+}
+
+fn assert_monotone_quantiles(name: &str, h: &ius_obs::HistogramSnapshot) {
+    assert!(
+        h.p50() <= h.p99(),
+        "{name}: p50 {} must not exceed p99 {}",
+        h.p50(),
+        h.p99()
+    );
+}
+
+#[test]
+fn metrics_scrape_covers_every_layer_under_load() {
+    let dir = std::env::temp_dir().join(format!("ius-metrics-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create live dir");
+    let (server, _live) = live_server(Some(&dir), &ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Drive the query path: 12 collect + 4 count ops, all recording the
+    // four per-stage histograms.
+    let pattern = vec![0u8; 64];
+    for _ in 0..12 {
+        client.query(&pattern).expect("query");
+    }
+    for _ in 0..4 {
+        client.query_count(&pattern).expect("count");
+    }
+    // Drive the live path: an append big enough to freeze a segment on
+    // flush, one explicit flush, one tiered compaction round. Every
+    // mutation is WAL-logged with per-record fsync.
+    let batch = bench_corpus("uniform", 600, Some(3)).expect("preset").x;
+    client.append(&batch).expect("append");
+    client.flush().expect("flush");
+    client.compact(false).expect("tiered compaction round");
+
+    let snapshot: MetricsSnapshot = client.metrics().expect("metrics scrape");
+
+    // Query stages: tracing is sampled 1-in-STAGE_SAMPLE_EVERY per
+    // thread with the first query on every thread always traced, so each
+    // stage histogram carries at least one and at most 16 samples;
+    // quantiles must be monotone.
+    for (name, stage) in [
+        ("query_scan", &snapshot.query_scan),
+        ("query_locate", &snapshot.query_locate),
+        ("query_verify", &snapshot.query_verify),
+        ("query_report", &snapshot.query_report),
+    ] {
+        assert!(
+            (1..=16).contains(&stage.count),
+            "{name} must see sampled query ops, got {}",
+            stage.count
+        );
+        assert_monotone_quantiles(name, stage);
+    }
+    // The scan stage does real work on every traced query; its total time
+    // must be nonzero under load.
+    assert!(
+        snapshot.query_scan.sum > 0,
+        "scan stage time must be nonzero"
+    );
+
+    // Server split: queue-wait recorded per admitted connection, service
+    // time per op byte. Service records are sampled per connection at the
+    // stage-tracing rate with the first request always recorded, and the
+    // first request here is a QUERY (op 1).
+    assert!(snapshot.queue_wait.count >= 1);
+    assert_monotone_quantiles("queue_wait", &snapshot.queue_wait);
+    let query_service = snapshot
+        .op_service
+        .iter()
+        .find(|(op, _)| *op == 1)
+        .expect("QUERY service histogram present");
+    assert!(
+        (1..=16).contains(&query_service.1.count),
+        "sampled QUERY service count, got {}",
+        query_service.1.count
+    );
+    assert!(query_service.1.sum > 0, "service time must be nonzero");
+
+    // Live layer: the seeding auto-flushes plus the explicit flush all
+    // recorded durations; the driven compaction round recorded one sample.
+    assert!(snapshot.live.flush.count >= 2, "flush durations recorded");
+    assert!(snapshot.live.flush.sum > 0);
+    assert_eq!(snapshot.live.compaction.count, 1, "one driven round");
+    assert!(snapshot.live.compaction.sum > 0);
+    assert_eq!(snapshot.live.segments, 2, "6 seeds - merged run + flushed");
+    assert_eq!(snapshot.live.compaction_errors, 0);
+    assert_eq!(snapshot.live.last_error, "");
+
+    // WAL: per-record fsync latencies under the append/delete load.
+    assert!(
+        snapshot.live.wal_fsync.count >= 1,
+        "fsync latency must be recorded with --fsync record"
+    );
+    assert!(snapshot.live.wal_fsync.sum > 0);
+    assert_monotone_quantiles("wal_fsync", &snapshot.live.wal_fsync);
+
+    assert!(snapshot.uptime_ns > 0);
+    // Under the default 50 ms threshold this tiny corpus logs no slow
+    // queries — the log must stay empty rather than capture everything.
+    assert_eq!(snapshot.slow_query_threshold_ns, 50_000_000);
+
+    // The text rendering covers every section without panicking.
+    let dump = snapshot.dump();
+    for needle in ["query stages", "scan", "queue", "flush", "fsync"] {
+        assert!(
+            dump.contains(needle),
+            "dump must mention {needle:?}:\n{dump}"
+        );
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_replay_throughput_shows_in_metrics_after_reopen() {
+    let dir = std::env::temp_dir().join(format!("ius-metrics-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create live dir");
+    {
+        let (server, _live) = live_server(Some(&dir), &ServerConfig::default());
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // Three acked mutations that stay in the WAL (no flush afterwards).
+        for seed in [21, 22, 23] {
+            let batch = bench_corpus("uniform", 40, Some(seed)).expect("preset").x;
+            client.append(&batch).expect("append");
+        }
+        // Simulated crash: drop the server without a graceful save.
+        drop(client);
+        drop(server);
+    }
+    // Reopen: the WAL tail replays, and the replay throughput metrics
+    // surface through the served snapshot.
+    let live = Arc::new(LiveIndex::open(&dir, LiveConfig::default()).expect("reopen"));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServedIndex::live(live.clone()),
+        None,
+        &ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("reconnect");
+    let snapshot = client.metrics().expect("metrics");
+    assert_eq!(
+        snapshot.live.wal_replay_records, 3,
+        "three WAL records scanned"
+    );
+    assert!(snapshot.live.wal_replay_bytes > 0);
+    assert!(snapshot.live.wal_replay_ns > 0);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn background_failure_shows_on_next_scrape() {
+    let dir = std::env::temp_dir().join(format!("ius-metrics-bgerr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create live dir");
+    let (server, _live) = live_server(Some(&dir), &ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let pattern = vec![0u8; 64];
+    client.query(&pattern).expect("query");
+    let clean = client.metrics().expect("first scrape");
+    assert_eq!(clean.live.last_error, "", "no background error yet");
+
+    // Sabotage the checkpoint target: replace the live directory with a
+    // plain file, so the next flush's checkpoint fails in the background.
+    // The WAL file descriptor stays open, so mutations still ack.
+    std::fs::remove_dir_all(&dir).expect("remove live dir");
+    std::fs::write(&dir, b"not a directory").expect("block the dir path");
+
+    let batch = bench_corpus("uniform", 600, Some(5)).expect("preset").x;
+    client.append(&batch).expect("append still acks");
+    client
+        .flush()
+        .expect("flush succeeds; only its checkpoint fails");
+
+    // The failure surfaces on the very next scrape — no query ever failed.
+    let snapshot = client.metrics().expect("second scrape");
+    assert!(
+        snapshot.live.last_error.contains("checkpoint failed"),
+        "background failure must surface through METRICS, got {:?}",
+        snapshot.live.last_error
+    );
+    client
+        .query(&pattern)
+        .expect("queries unaffected by the failure");
+    server.shutdown();
+    std::fs::remove_file(&dir).ok();
+}

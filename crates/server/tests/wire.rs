@@ -300,6 +300,132 @@ fn client_shutdown_stops_the_server_gracefully() {
 }
 
 #[test]
+fn metrics_scrape_reflects_served_queries() {
+    // Threshold zero: every query lands in the slow-query log, so the log
+    // path is exercised deterministically.
+    let config = ServerConfig {
+        slow_query_threshold: std::time::Duration::ZERO,
+        ..Default::default()
+    };
+    let (server, _, _) = start_server(&config);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let pattern = vec![0u8; 8];
+    for _ in 0..5 {
+        client.query(&pattern).expect("query");
+    }
+    client.query_count(&pattern).expect("count");
+
+    let snapshot = client.metrics().expect("metrics");
+    // Stage tracing is sampled (1 in STAGE_SAMPLE_EVERY per thread), but
+    // the first query a worker serves always draws a ticket, so every
+    // stage histogram has between 1 and 6 samples here.
+    for (name, stage) in [
+        ("scan", &snapshot.query_scan),
+        ("locate", &snapshot.query_locate),
+        ("verify", &snapshot.query_verify),
+        ("report", &snapshot.query_report),
+    ] {
+        assert!(
+            (1..=6).contains(&stage.count),
+            "stage {name} must see sampled queries, got {}",
+            stage.count
+        );
+    }
+    // One admitted connection recorded one queue-wait sample.
+    assert!(
+        snapshot.queue_wait.count >= 1,
+        "queue-wait must be recorded"
+    );
+    // Service time is recorded per op byte, sampled per connection at the
+    // stage-tracing rate with the first request always recorded: QUERY (1)
+    // must be present with 1..=6 samples, METRICS (9) not yet (the
+    // in-flight scrape is recorded only after its response is sent).
+    let query_service = snapshot
+        .op_service
+        .iter()
+        .find(|(op, _)| *op == 1)
+        .expect("QUERY service histogram");
+    assert!(
+        (1..=6).contains(&query_service.1.count),
+        "sampled QUERY service count, got {}",
+        query_service.1.count
+    );
+    // Histogram invariant on a real scrape: quantiles are monotone.
+    assert!(snapshot.query_scan.p50() <= snapshot.query_scan.p99());
+    // The zero threshold put every query into the slow-query log.
+    assert_eq!(snapshot.slow_query_threshold_ns, 0);
+    assert!(
+        snapshot.slow_queries.len() >= 6,
+        "all queries must be logged as slow at threshold 0, got {}",
+        snapshot.slow_queries.len()
+    );
+    assert!(snapshot
+        .slow_queries
+        .iter()
+        .all(|entry| entry.pattern_len == 8));
+    server.shutdown();
+}
+
+#[test]
+fn metrics_request_with_trailing_bytes_is_refused_typed() {
+    let (server, _, _) = start_server(&ServerConfig::default());
+    let mut frame = Vec::new();
+    protocol::encode_request(21, &Request::Metrics, &mut frame);
+    // A METRICS request has an empty body: a trailing byte must be refused
+    // typed, echoing the request id, not by hanging up.
+    frame.push(0xAB);
+    let new_len = (frame.len() - 4) as u32;
+    frame[..4].copy_from_slice(&new_len.to_le_bytes());
+    let (id, response) = raw_round_trip(server.local_addr(), &frame).expect("typed answer");
+    assert_eq!(id, 21);
+    match response {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert!(message.contains("trailing"), "{message:?}");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unassigned_op_after_metrics_keeps_the_connection_alive() {
+    // METRICS was added without a wire-version bump: a server that does not
+    // know an op must answer UNKNOWN_OP and keep serving — this is the
+    // contract that lets old servers tolerate new clients. Verify the
+    // server upholds it for the next unassigned op and still answers a
+    // METRICS scrape on the very same connection.
+    let (server, _, _) = start_server(&ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut frame = Vec::new();
+    protocol::encode_request(30, &Request::Metrics, &mut frame);
+    frame[18] = 10; // the first op byte this build does not assign
+    stream.write_all(&frame).expect("send");
+    let mut buf = Vec::new();
+    assert!(read_frame(&mut stream, MAX_RESPONSE_FRAME, &mut buf).expect("read"));
+    let (id, response) = protocol::decode_response(&buf).expect("decode");
+    assert_eq!(id, 30);
+    assert!(matches!(
+        response,
+        Response::Error {
+            code: ErrorCode::UnknownOp,
+            ..
+        }
+    ));
+    let mut frame = Vec::new();
+    protocol::encode_request(31, &Request::Metrics, &mut frame);
+    stream.write_all(&frame).expect("send");
+    assert!(read_frame(&mut stream, MAX_RESPONSE_FRAME, &mut buf).expect("read"));
+    let (id, response) = protocol::decode_response(&buf).expect("decode");
+    assert_eq!(id, 31);
+    assert!(
+        matches!(response, Response::Metrics(_)),
+        "a real METRICS scrape must still answer on the same connection"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn idle_connections_are_closed_after_the_idle_timeout() {
     let config = ServerConfig {
         workers: 1,

@@ -89,6 +89,82 @@ fn mwst_tree_query_is_allocation_free_after_warmup() {
     assert_steady_state_allocation_free(IndexVariant::Tree, "MWST");
 }
 
+/// The serving hot path is `query_into` **plus** metrics recording: stage
+/// timings into log-linear histograms, op counters, and a ring-buffer
+/// slow-query log. All of it must stay allocation-free in steady state —
+/// the observability layer's core promise.
+#[test]
+fn instrumented_query_recording_is_allocation_free_after_warmup() {
+    use ius_obs::{clock, Counter, EventLog, Histogram};
+    let (x, est, patterns, params) = workload();
+    let index =
+        MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::ArrayGrid).unwrap();
+    let mut scratch = QueryScratch::new();
+    // The registry mirrors the server's per-worker one: histograms and the
+    // event log allocate once here, never on the recording path.
+    let scan = Histogram::new();
+    let locate = Histogram::new();
+    let verify = Histogram::new();
+    let report = Histogram::new();
+    let queries = Counter::new();
+    let slow_log = EventLog::new(128);
+    clock::warm_up();
+    assert!(clock::enabled(), "timing must be on for this test");
+
+    // Warm-up pass.
+    let mut sink = CountSink::new();
+    for pattern in &patterns {
+        index
+            .query_into(pattern, &x, &mut scratch, &mut sink)
+            .unwrap();
+    }
+
+    // Steady state: query + full metrics recording, zero heap traffic.
+    // Stage recording mirrors the server: only queries that drew a
+    // stage-tracing ticket (1 in `clock::STAGE_SAMPLE_EVERY`) carry
+    // stamped stage fields and reach the stage histograms.
+    let ((recorded, timed), mem) = ius_memtrack::measure(|| {
+        let mut sink = CountSink::new();
+        let mut timed = 0u64;
+        for pattern in &patterns {
+            let start = clock::now_ns();
+            let stats = index
+                .query_into(pattern, &x, &mut scratch, &mut sink)
+                .unwrap();
+            if stats.timed {
+                timed += 1;
+                scan.record(stats.scan_ns);
+                locate.record(stats.locate_ns);
+                verify.record(stats.verify_ns);
+                report.record(stats.report_ns);
+            }
+            queries.inc();
+            let elapsed = clock::now_ns().saturating_sub(start);
+            slow_log.record(pattern.len() as u64, elapsed, stats.reported as u64);
+        }
+        (queries.get(), timed)
+    });
+    assert!(ius_memtrack::is_installed());
+    assert_eq!(
+        mem.peak_bytes, 0,
+        "instrumented steady-state queries allocated {} bytes",
+        mem.peak_bytes
+    );
+    assert_eq!(mem.retained_bytes, 0, "instrumentation retained heap");
+    assert_eq!(recorded as usize, patterns.len());
+    // 60 patterns at a 1-in-16 ticket guarantee several timed queries on
+    // this thread no matter where the tick starts.
+    assert!(
+        timed >= 1,
+        "sampling must trace some of {} queries",
+        recorded
+    );
+    assert_eq!(scan.count(), timed);
+    assert_eq!(slow_log.recorded(), patterns.len() as u64);
+    // The stage stamps really measured something on this build.
+    assert!(scan.snapshot().sum > 0, "scan stage timings recorded");
+}
+
 #[test]
 fn collecting_into_a_warm_reused_vector_is_also_allocation_free() {
     let (x, est, patterns, params) = workload();
