@@ -25,6 +25,7 @@ use ius_bench::report::{default_thread_sweep, host_cpus, render_csv, render_tabl
 use ius_bench::serve_bench::{
     measure_instrumentation_overhead, render_serve_json, run_serve_bench, ServeBenchConfig,
 };
+use ius_bench::slo_bench::{render_slo_json, run_slo_bench, SloBenchConfig};
 use ius_bench::space_bench::{render_space_json, run_space_bench, SpaceBenchConfig};
 use ius_bench::update_bench::{render_update_json, run_update_bench, UpdateBenchConfig};
 use ius_datasets::registry::{efm_star, human_star, rssi_star, sars_star, Dataset, Scale};
@@ -55,6 +56,7 @@ struct Config {
     bench_query: bool,
     bench_space: bool,
     bench_serve: bool,
+    bench_slo: bool,
     bench_update: bool,
     bench_recovery: bool,
     bench_n: usize,
@@ -66,6 +68,7 @@ struct Config {
     bench_clients: usize,
     bench_batch: usize,
     bench_ops: usize,
+    bench_rates: Vec<f64>,
 }
 
 fn main() {
@@ -207,6 +210,33 @@ fn main() {
         return;
     }
 
+    if config.bench_slo {
+        let patterns = config.bench_patterns.min(400);
+        let bench_config = SloBenchConfig {
+            n: config.bench_n,
+            patterns,
+            clients: config.bench_clients,
+            workers: config.bench_workers.iter().copied().max().unwrap_or(2),
+            rates: config.bench_rates.clone(),
+            requests_per_rate: (patterns * 10).clamp(40, 4_000),
+            ..Default::default()
+        };
+        let results = run_slo_bench(&bench_config);
+        let json = render_slo_json(&bench_config, &results);
+        let path = config
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_slo.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, &json).expect("write BENCH_slo.json");
+        println!("{json}");
+        println!("wrote {}", path.display());
+        return;
+    }
+
     if config.bench_update {
         let bench_config = UpdateBenchConfig {
             n: config.bench_n,
@@ -340,6 +370,10 @@ fn print_help() {
          \x20 --bench-serve        run the serving benchmark (persisted index served over\n\
          \x20                      loopback TCP, throughput + p50/p99 latency vs worker\n\
          \x20                      count, hot-reload stage) and write BENCH_serve.json\n\
+         \x20 --bench-slo          run the open-loop latency-SLO benchmark (fixed arrival\n\
+         \x20                      rates, latency from intended send time, knee + max\n\
+         \x20                      throughput under the p99 SLO, closed-vs-open p99 delta)\n\
+         \x20                      and write BENCH_slo.json\n\
          \x20 --bench-update       run the dynamic-corpus benchmark (batch ingest into a\n\
          \x20                      LiveIndex, append throughput + visible latency, query\n\
          \x20                      latency vs segment count before/after compaction under\n\
@@ -359,6 +393,8 @@ fn print_help() {
          \x20 --bench-shards <s,..> shard counts for --bench-space (default 1,4,8)\n\
          \x20 --bench-workers <w,..> worker-pool sizes for --bench-serve (default 1,2,4)\n\
          \x20 --bench-clients <c>  concurrent client threads for --bench-serve (default 4)\n\
+         \x20 --bench-rates <r,..> arrival rates (req/s) for --bench-slo (default: fractions\n\
+         \x20                      of each corpus's measured closed-loop throughput)\n\
          \x20 --bench-batch <b>    rows per append batch for --bench-update (default 2000)\n\
          \x20 --bench-ops <o>      appends per policy run for --bench-recovery (default 400)\n\
          \x20 --list               list experiments\n"
@@ -375,6 +411,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut bench_query = false;
     let mut bench_space = false;
     let mut bench_serve = false;
+    let mut bench_slo = false;
     let mut bench_update = false;
     let mut bench_recovery = false;
     let mut bench_n = 100_000usize;
@@ -386,6 +423,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut bench_clients = 4usize;
     let mut bench_batch = 2_000usize;
     let mut bench_ops = 400usize;
+    let mut bench_rates: Vec<f64> = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -405,9 +443,26 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                 bench_serve = true;
                 i += 1;
             }
+            "--bench-slo" => {
+                bench_slo = true;
+                i += 1;
+            }
             "--bench-update" => {
                 bench_update = true;
                 i += 1;
+            }
+            "--bench-rates" => {
+                bench_rates = args
+                    .get(i + 1)
+                    .ok_or("--bench-rates needs a value")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>())
+                    .collect::<Result<Vec<f64>, _>>()
+                    .map_err(|e| format!("bad --bench-rates: {e}"))?;
+                if bench_rates.is_empty() || !bench_rates.iter().all(|r| *r > 0.0) {
+                    return Err("--bench-rates needs positive arrival rates".into());
+                }
+                i += 2;
             }
             "--bench-recovery" => {
                 bench_recovery = true;
@@ -567,6 +622,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         bench_query,
         bench_space,
         bench_serve,
+        bench_slo,
         bench_update,
         bench_recovery,
         bench_n,
@@ -578,6 +634,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         bench_clients,
         bench_batch,
         bench_ops,
+        bench_rates,
     })
 }
 

@@ -16,6 +16,7 @@ pub mod query_bench;
 pub mod recovery_bench;
 pub mod report;
 pub mod serve_bench;
+pub mod slo_bench;
 pub mod space_bench;
 pub mod update_bench;
 
@@ -26,5 +27,6 @@ pub use query_bench::{FamilyQueryBench, QueryBenchConfig, QueryDatasetBench};
 pub use recovery_bench::{PolicyBench, RecoveryBenchConfig, RecoveryBenchResult, ReplayBench};
 pub use report::Row;
 pub use serve_bench::{ReloadBench, ServeBenchConfig, ServeDatasetBench, WorkerBench};
+pub use slo_bench::{ClosedLoopBaseline, RateBench, SloBenchConfig, SloDatasetBench};
 pub use space_bench::{FamilySpaceBench, ShardBench, SpaceBenchConfig, SpaceDatasetBench};
 pub use update_bench::{CompactionPhase, QueryPhase, UpdateBenchConfig, UpdateDatasetBench};

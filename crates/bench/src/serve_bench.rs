@@ -269,7 +269,7 @@ pub fn measure_instrumentation_overhead(
 /// streaming its stripe of the patterns in collect mode, asserting every
 /// answer against the expected outputs. Returns the per-request round-trip
 /// latencies (µs) and the sweep's wall time (seconds).
-fn timed_sweep(
+pub(crate) fn timed_sweep(
     addr: SocketAddr,
     clients: usize,
     patterns: &[Vec<u8>],
@@ -305,7 +305,7 @@ fn timed_sweep(
     (all_latencies, sweep_start.elapsed().as_secs_f64())
 }
 
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

@@ -24,6 +24,7 @@ use crate::builder::{AnyIndex, IndexSpec};
 use crate::overlap::{chunk_end, overlap_len, retain_home_and_globalize};
 use crate::traits::{validate_pattern, IndexStats, UncertainIndex};
 use ius_arena::Arena;
+use ius_obs::trace;
 use ius_query::{finalize_into, MatchSink, QueryBatch, QueryScratch, QueryStats};
 use ius_weighted::{Error, Result, WeightedString};
 
@@ -258,9 +259,34 @@ impl ShardedIndex {
         );
         let mut total = QueryStats::default();
         scratch.positions.clear();
-        for entry in per_shard {
+        // The shards ran on executor threads, but their stats come back to
+        // this (request) thread: record them as duration-only children of
+        // the caller's query span, one group per shard with the sampled
+        // stage breakdown nested inside.
+        let traced = trace::active();
+        for (i, entry) in per_shard.into_iter().enumerate() {
             let (positions, stats) = entry?;
             total.accumulate(&stats);
+            if traced {
+                trace::group(
+                    trace::STAGE_PART,
+                    stats.staged_ns(),
+                    i as u64,
+                    stats.reported as u64,
+                );
+                if stats.timed {
+                    trace::leaf(trace::STAGE_SCAN, stats.scan_ns, 0, 0);
+                    trace::leaf(trace::STAGE_LOCATE, stats.locate_ns, 0, 0);
+                    trace::leaf(
+                        trace::STAGE_VERIFY,
+                        stats.verify_ns,
+                        stats.candidates as u64,
+                        0,
+                    );
+                    trace::leaf(trace::STAGE_REPORT, stats.report_ns, 0, 0);
+                }
+                trace::end_group();
+            }
             // Home ranges are disjoint and increasing, and each shard's
             // output is sorted: the concatenation is globally sorted.
             scratch.positions.extend(positions);

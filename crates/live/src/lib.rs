@@ -94,7 +94,7 @@ use ius_exec::{Executor, WorkerPool};
 use ius_faultio::DurableSink;
 use ius_index::overlap::{overlap_len, retain_home_and_globalize};
 use ius_index::{validate_pattern, AnyIndex, IndexSpec, IndexStats, UncertainIndex};
-use ius_obs::{clock, Counter, Histogram, HistogramSnapshot};
+use ius_obs::{clock, trace, Counter, Histogram, HistogramSnapshot};
 use ius_query::{finalize_into, MatchSink, QueryBatch, QueryScratch, QueryStats};
 use ius_weighted::{is_solid, Alphabet, Error, Result, WeightedString};
 use std::path::{Path, PathBuf};
@@ -1167,14 +1167,46 @@ impl LiveIndex {
             });
         let mut total = QueryStats::default();
         scratch.positions.clear();
-        for entry in per_part {
+        // The fan-out parts ran on executor threads, but their stats come
+        // back to this (request) thread: record them as duration-only
+        // children of the caller's query span, one group per part with the
+        // sampled stage breakdown nested inside.
+        let traced = trace::active();
+        for (i, entry) in per_part.into_iter().enumerate() {
             let (positions, stats) = entry?;
             total.accumulate(&stats);
+            if traced {
+                let code = if i < state.segments.len() {
+                    trace::STAGE_PART
+                } else {
+                    trace::STAGE_MEMTABLE
+                };
+                trace::group(code, stats.staged_ns(), i as u64, stats.reported as u64);
+                if stats.timed {
+                    trace::leaf(trace::STAGE_SCAN, stats.scan_ns, 0, 0);
+                    trace::leaf(trace::STAGE_LOCATE, stats.locate_ns, 0, 0);
+                    trace::leaf(
+                        trace::STAGE_VERIFY,
+                        stats.verify_ns,
+                        stats.candidates as u64,
+                        0,
+                    );
+                    trace::leaf(trace::STAGE_REPORT, stats.report_ns, 0, 0);
+                }
+                trace::end_group();
+            }
             // Home ranges are disjoint and increasing and each part's
             // output is sorted: the concatenation is globally sorted.
             scratch.positions.extend(positions);
         }
+        if traced {
+            trace::enter(trace::STAGE_TOMBSTONE_FILTER);
+        }
+        let before = scratch.positions.len();
         filter_tombstoned_windows(&mut scratch.positions, &state.tombstones, pattern.len());
+        if traced {
+            trace::exit_with(before as u64, scratch.positions.len() as u64);
+        }
         total.reported = finalize_into(&mut scratch.positions, true, sink);
         Ok(total)
     }

@@ -10,6 +10,10 @@
 //!   with an exact total count and bounded-relative-error quantiles.
 //! * [`EventLog`] — a fixed-capacity lock-free ring buffer of small binary
 //!   events (used for the slow-query log and span-style tracing).
+//! * [`trace`] — request-scoped span tracing: a fixed-depth,
+//!   allocation-free per-thread span buffer recording one request's stage
+//!   tree (sampled with the same ticket discipline as the stage
+//!   histograms).
 //! * [`clock`] — a process-wide monotonic nanosecond clock that can be
 //!   stubbed out at runtime to measure instrumentation overhead.
 //!
@@ -36,6 +40,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;

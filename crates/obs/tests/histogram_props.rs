@@ -1,9 +1,10 @@
 //! Property tests pinning the [`Histogram`] accuracy contract against an
 //! exact sorted-vec oracle: every quantile is within the documented
 //! relative-error bound, counts and sums are exact, and merging two
-//! histograms is equivalent to recording the concatenated stream.
+//! histograms is equivalent to recording the concatenated stream. Also
+//! pins the [`EventLog`] wraparound contract under concurrent writers.
 
-use ius_obs::{Histogram, HistogramSnapshot};
+use ius_obs::{EventLog, Histogram, HistogramSnapshot};
 use proptest::prelude::*;
 
 /// The exact order statistic the histogram quantile approximates:
@@ -99,5 +100,86 @@ proptest! {
         let mut from_empty = HistogramSnapshot::default();
         from_empty.merge(&sa);
         prop_assert_eq!(&from_empty, &sa);
+    }
+}
+
+/// Histogram-level merge with an empty operand, both directions: the empty
+/// side's internal sentinels (`u64::MAX` min, 0 max) must never leak into
+/// the reported extremes, which stay exact.
+#[test]
+fn histogram_merge_with_an_empty_operand_keeps_min_max_exact() {
+    // Empty right operand: the populated side is unchanged.
+    let populated = record_all(&[7, 1_000, 31]);
+    populated.merge(&Histogram::new());
+    let snap = populated.snapshot();
+    assert_eq!(
+        (snap.count, snap.sum, snap.min, snap.max),
+        (3, 1_038, 7, 1_000)
+    );
+
+    // Empty left operand: the extremes cross over exactly.
+    let empty = Histogram::new();
+    empty.merge(&record_all(&[7, 1_000, 31]));
+    let snap = empty.snapshot();
+    assert_eq!(
+        (snap.count, snap.sum, snap.min, snap.max),
+        (3, 1_038, 7, 1_000)
+    );
+
+    // Empty into empty stays a well-formed empty snapshot.
+    let still_empty = Histogram::new();
+    still_empty.merge(&Histogram::new());
+    let snap = still_empty.snapshot();
+    assert_eq!((snap.count, snap.sum, snap.min, snap.max), (0, 0, 0, 0));
+    assert!(snap.buckets.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Concurrent writers wrap the ring several times over while a reader
+    /// keeps snapshotting: no snapshot may ever contain a torn entry (the
+    /// payload identity `b = code·10⁶ + a` would break), and once the
+    /// writers quiesce exactly the newest `capacity` events survive with
+    /// unique, contiguous sequence numbers, oldest first.
+    #[test]
+    fn event_log_wraparound_is_consistent_under_concurrent_writers(
+        writers in 1usize..4,
+        per_writer in 16usize..80,
+        capacity in 2usize..17,
+    ) {
+        let log = EventLog::new(capacity);
+        let cap = capacity.max(2).next_power_of_two() as u64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let log = &log;
+                scope.spawn(move || {
+                    for i in 0..per_writer as u64 {
+                        log.record(w as u64, i, w as u64 * 1_000_000 + i);
+                    }
+                });
+            }
+            let log = &log;
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    for e in log.snapshot() {
+                        assert_eq!(
+                            e.b,
+                            e.code * 1_000_000 + e.a,
+                            "snapshot surfaced a torn entry mid-wraparound"
+                        );
+                    }
+                }
+            });
+        });
+        let total = (writers * per_writer) as u64;
+        prop_assert_eq!(log.recorded(), total);
+        let events = log.snapshot();
+        let survivors = total.min(cap);
+        prop_assert_eq!(events.len() as u64, survivors);
+        for (k, e) in events.iter().enumerate() {
+            prop_assert_eq!(e.seq, total - survivors + k as u64);
+            prop_assert_eq!(e.b, e.code * 1_000_000 + e.a);
+        }
     }
 }

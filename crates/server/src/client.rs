@@ -403,6 +403,25 @@ impl Client {
         }
     }
 
+    /// Drains a snapshot of the server's flight recorder: the most recent
+    /// sampled request traces plus the pinned error traces, as span trees.
+    /// Non-destructive on the server side. Idempotent: retried under the
+    /// configured budget. An old server that predates the op refuses it
+    /// typed ([`ErrorCode::UnknownOp`]) and keeps the connection usable.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol and server-refusal errors;
+    /// [`ClientError::RetriesExhausted`] when a retry budget ran dry.
+    pub fn trace_dump(&mut self) -> Result<Vec<crate::flight::TraceRecordSnapshot>, ClientError> {
+        match self.call_idempotent(&Request::TraceDump)? {
+            Response::TraceDump { records, .. } => Ok(records),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "TRACE_DUMP",
+            }),
+        }
+    }
+
     /// Hot-reloads the served index from `path` (or the server's startup
     /// path when `None`); returns the new generation.
     ///

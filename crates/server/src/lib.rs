@@ -39,18 +39,24 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod flight;
 pub mod metrics;
 mod pool;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientConfig, ClientError, QueryOutcome};
+pub use flight::{
+    FlightOccupancy, FlightRecorder, TraceRecordSnapshot, FLIGHT_PINNED_CAPACITY,
+    FLIGHT_RECENT_CAPACITY, TRACE_NO_ERROR,
+};
 pub use metrics::{
-    DurabilityView, LiveObsView, MetricsSnapshot, ServerMetrics, SlowQueryEntry, WorkerObs,
+    DurabilityView, LiveObsView, MetricsSnapshot, RingOccupancy, ServerMetrics, SlowQueryEntry,
+    SlowRing, WorkerObs, SLOW_QUERY_PREFIX_LEN,
 };
 pub use protocol::{
     ErrorCode, LiveSnapshot, ProtocolError, Request, Response, ResultMode, StatsSnapshot,
-    WireStats, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, METRICS_FORMAT_VERSION, WIRE_MAGIC,
-    WIRE_VERSION,
+    WireStats, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME, METRICS_FORMAT_VERSION, TRACE_FORMAT_VERSION,
+    WIRE_MAGIC, WIRE_VERSION,
 };
 pub use server::{MetricsHandle, ServedIndex, Server, ServerConfig};

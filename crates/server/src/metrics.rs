@@ -8,10 +8,12 @@
 //! registry into one snapshot, so workers never contend with each other
 //! or with scrapers.
 
+use crate::flight::FlightOccupancy;
 use crate::protocol::StatsSnapshot;
-use ius_obs::{Event, EventLog, Histogram, HistogramSnapshot};
+use ius_obs::{clock, Histogram, HistogramSnapshot};
 use ius_query::QueryStats;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Monotonic counters shared by the acceptor and every worker. All updates
 /// are relaxed atomics — the counters are operational telemetry, not
@@ -133,7 +135,7 @@ impl ServerMetrics {
 
 /// Number of request ops the per-op service histograms cover (op bytes
 /// `0..OP_SERVICE_SLOTS`).
-pub const OP_SERVICE_SLOTS: usize = 10;
+pub const OP_SERVICE_SLOTS: usize = 11;
 
 /// Display name of a request op byte (for the text dump).
 pub fn op_name(op: u8) -> &'static str {
@@ -148,6 +150,7 @@ pub fn op_name(op: u8) -> &'static str {
         7 => "FLUSH",
         8 => "COMPACT",
         9 => "METRICS",
+        10 => "TRACE_DUMP",
         _ => "UNKNOWN",
     }
 }
@@ -215,6 +218,11 @@ impl Default for WorkerObs {
     }
 }
 
+/// Rank bytes of the pattern a slow-query entry retains. Long enough to
+/// re-run a representative prefix query from a dump, short enough to keep
+/// the entry `Copy` and the wire encoding tiny.
+pub const SLOW_QUERY_PREFIX_LEN: usize = 16;
+
 /// One threshold-crossing query in the slow-query log.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SlowQueryEntry {
@@ -226,20 +234,118 @@ pub struct SlowQueryEntry {
     pub pattern_len: u64,
     /// Distinct positions the query reported.
     pub reported: u64,
+    /// How many of `prefix`'s bytes are meaningful
+    /// (`min(pattern_len, SLOW_QUERY_PREFIX_LEN)`).
+    pub prefix_len: u8,
+    /// The first [`SLOW_QUERY_PREFIX_LEN`] ranks of the queried pattern,
+    /// so a slow query is reproducible from a dump (trailing bytes zero).
+    pub prefix: [u8; SLOW_QUERY_PREFIX_LEN],
 }
 
 impl SlowQueryEntry {
-    /// Converts a ring-buffer event recorded by the server back into the
-    /// typed entry (`code` = pattern length, `a` = duration, `b` =
-    /// reported).
-    pub(crate) fn from_event(event: &Event) -> Self {
+    /// The meaningful ranks of the retained pattern prefix.
+    pub fn prefix(&self) -> &[u8] {
+        &self.prefix[..self.prefix_len as usize]
+    }
+}
+
+/// A fixed-capacity ring of [`SlowQueryEntry`]s: the newest `capacity`
+/// slow queries survive, older ones are overwritten.
+///
+/// Unlike the lock-free `ius_obs::EventLog` this ring sits behind a mutex:
+/// an entry (with its pattern prefix) no longer fits the event log's three
+/// payload words, and queries that cross the slow threshold are — by
+/// construction — rare and already tens of milliseconds deep, so a
+/// microsecond of lock hold is invisible. Recording stays allocation-free:
+/// the slots are preallocated and a push is a slot overwrite.
+#[derive(Debug)]
+pub struct SlowRing {
+    inner: Mutex<SlowRingInner>,
+}
+
+#[derive(Debug)]
+struct SlowRingInner {
+    slots: Box<[SlowQueryEntry]>,
+    next: usize,
+    len: usize,
+    recorded: u64,
+}
+
+impl SlowRing {
+    /// Creates a ring keeping the newest `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
         Self {
-            ts_ns: event.ts_ns,
-            duration_ns: event.a,
-            pattern_len: event.code,
-            reported: event.b,
+            inner: Mutex::new(SlowRingInner {
+                slots: vec![SlowQueryEntry::default(); capacity.max(1)].into_boxed_slice(),
+                next: 0,
+                len: 0,
+                recorded: 0,
+            }),
         }
     }
+
+    /// Appends an entry, stamping it with the current clock and retaining
+    /// the first [`SLOW_QUERY_PREFIX_LEN`] bytes of `pattern_prefix`.
+    /// `pattern_len` is the full pattern length (the prefix the caller
+    /// still holds may be shorter than the pattern only by truncation).
+    pub fn record(&self, duration_ns: u64, pattern_len: u64, pattern_prefix: &[u8], reported: u64) {
+        let keep = pattern_prefix.len().min(SLOW_QUERY_PREFIX_LEN);
+        let mut entry = SlowQueryEntry {
+            ts_ns: clock::now_ns(),
+            duration_ns,
+            pattern_len,
+            reported,
+            prefix_len: keep as u8,
+            prefix: [0u8; SLOW_QUERY_PREFIX_LEN],
+        };
+        entry.prefix[..keep].copy_from_slice(&pattern_prefix[..keep]);
+        let mut inner = self.inner.lock().expect("slow ring lock");
+        let next = inner.next;
+        inner.slots[next] = entry;
+        inner.next = (next + 1) % inner.slots.len();
+        inner.len = (inner.len + 1).min(inner.slots.len());
+        inner.recorded += 1;
+    }
+
+    /// Total entries ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("slow ring lock").recorded
+    }
+
+    /// `(occupied slots, capacity)`.
+    pub fn occupancy(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("slow ring lock");
+        (inner.len as u64, inner.slots.len() as u64)
+    }
+
+    /// The surviving entries, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowQueryEntry> {
+        let inner = self.inner.lock().expect("slow ring lock");
+        let cap = inner.slots.len();
+        let start = (inner.next + cap - inner.len) % cap;
+        (0..inner.len)
+            .map(|i| inner.slots[(start + i) % cap])
+            .collect()
+    }
+}
+
+/// Occupancy gauges of the server's diagnostic rings, carried in the
+/// metrics snapshot so ring sizing is visible from a plain stderr dump
+/// without a `TRACE_DUMP` scrape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingOccupancy {
+    /// Occupied flight-recorder recent-ring slots.
+    pub flight_recent: u64,
+    /// Flight-recorder recent-ring capacity.
+    pub flight_recent_capacity: u64,
+    /// Occupied flight-recorder pinned (error) slots.
+    pub flight_pinned: u64,
+    /// Flight-recorder pinned-ring capacity.
+    pub flight_pinned_capacity: u64,
+    /// Occupied slow-query ring slots.
+    pub slow: u64,
+    /// Slow-query ring capacity.
+    pub slow_capacity: u64,
 }
 
 /// The live-index observability view a `METRICS` scrape samples (zeroed
@@ -300,6 +406,8 @@ pub struct MetricsSnapshot {
     pub slow_queries: Vec<SlowQueryEntry>,
     /// The slow-query threshold in force.
     pub slow_query_threshold_ns: u64,
+    /// Occupancy of the flight-recorder and slow-query rings.
+    pub rings: RingOccupancy,
 }
 
 impl MetricsSnapshot {
@@ -347,6 +455,16 @@ impl MetricsSnapshot {
         if !live.last_error.is_empty() {
             out.push_str(&format!("last_error: {}\n", live.last_error));
         }
+        let rings = &self.rings;
+        out.push_str(&format!(
+            "rings: flight_recent={}/{} flight_pinned={}/{} slow={}/{}\n",
+            rings.flight_recent,
+            rings.flight_recent_capacity,
+            rings.flight_pinned,
+            rings.flight_pinned_capacity,
+            rings.slow,
+            rings.slow_capacity
+        ));
         out.push_str(&format!(
             "slow queries (over {}): {}\n",
             fmt_ns(self.slow_query_threshold_ns),
@@ -354,11 +472,12 @@ impl MetricsSnapshot {
         ));
         for entry in &self.slow_queries {
             out.push_str(&format!(
-                "  +{:<10}  {:<10}  pattern_len={}  reported={}\n",
+                "  +{:<10}  {:<10}  pattern_len={}  reported={}  prefix={:?}\n",
                 fmt_ns(entry.ts_ns),
                 fmt_ns(entry.duration_ns),
                 entry.pattern_len,
-                entry.reported
+                entry.reported,
+                entry.prefix()
             ));
         }
         out
@@ -370,15 +489,25 @@ impl MetricsSnapshot {
 /// here).
 pub(crate) fn merge_worker_obs(
     workers: &[std::sync::Arc<WorkerObs>],
-    slow_log: &EventLog,
+    slow_log: &SlowRing,
     slow_query_threshold_ns: u64,
     live: LiveObsView,
+    flight: FlightOccupancy,
 ) -> MetricsSnapshot {
+    let (slow, slow_capacity) = slow_log.occupancy();
     let mut snapshot = MetricsSnapshot {
         format_version: crate::protocol::METRICS_FORMAT_VERSION,
         uptime_ns: ius_obs::clock::now_ns(),
         slow_query_threshold_ns,
         live,
+        rings: RingOccupancy {
+            flight_recent: flight.recent,
+            flight_recent_capacity: flight.recent_capacity,
+            flight_pinned: flight.pinned,
+            flight_pinned_capacity: flight.pinned_capacity,
+            slow,
+            slow_capacity,
+        },
         ..MetricsSnapshot::default()
     };
     let mut op_service: Vec<HistogramSnapshot> =
@@ -399,11 +528,7 @@ pub(crate) fn merge_worker_obs(
         .filter(|(_, h)| h.count > 0)
         .map(|(op, h)| (op as u8, h))
         .collect();
-    snapshot.slow_queries = slow_log
-        .snapshot()
-        .iter()
-        .map(SlowQueryEntry::from_event)
-        .collect();
+    snapshot.slow_queries = slow_log.snapshot();
     snapshot
 }
 
@@ -456,9 +581,21 @@ mod tests {
         }
         // An out-of-range op byte is ignored, not a panic.
         workers[0].record_service(200, 1);
-        let slow_log = EventLog::new(8);
-        slow_log.record(64, 2_000_000, 3);
-        let snap = merge_worker_obs(&workers, &slow_log, 1_000_000, LiveObsView::default());
+        let slow_log = SlowRing::new(8);
+        slow_log.record(2_000_000, 64, &[5, 4, 3], 3);
+        let flight = FlightOccupancy {
+            recent: 2,
+            recent_capacity: 64,
+            pinned: 1,
+            pinned_capacity: 16,
+        };
+        let snap = merge_worker_obs(
+            &workers,
+            &slow_log,
+            1_000_000,
+            LiveObsView::default(),
+            flight,
+        );
         assert_eq!(snap.query_scan.count, 3);
         assert_eq!(snap.query_scan.sum, 100 + 200 + 300);
         assert_eq!(snap.queue_wait.count, 3);
@@ -466,31 +603,59 @@ mod tests {
         assert_eq!(ops, vec![0, 1], "only ops that served frames appear");
         assert_eq!(snap.op_service[1].1.count, 3);
         assert_eq!(snap.slow_queries.len(), 1);
-        assert_eq!(
-            snap.slow_queries[0],
-            SlowQueryEntry {
-                ts_ns: snap.slow_queries[0].ts_ns,
-                duration_ns: 2_000_000,
-                pattern_len: 64,
-                reported: 3,
-            }
-        );
+        let entry = snap.slow_queries[0];
+        assert_eq!(entry.duration_ns, 2_000_000);
+        assert_eq!(entry.pattern_len, 64);
+        assert_eq!(entry.reported, 3);
+        assert_eq!(entry.prefix(), &[5, 4, 3]);
         assert_eq!(snap.slow_query_threshold_ns, 1_000_000);
+        assert_eq!(snap.rings.flight_recent, 2);
+        assert_eq!(snap.rings.flight_pinned, 1);
+        assert_eq!(snap.rings.slow, 1);
+        assert_eq!(snap.rings.slow_capacity, 8);
+    }
+
+    #[test]
+    fn slow_ring_truncates_prefixes_and_keeps_the_newest() {
+        let ring = SlowRing::new(2);
+        let long: Vec<u8> = (0..40u8).collect();
+        ring.record(1_000, 40, &long, 1);
+        ring.record(2_000, 4, &[9, 8, 7, 6], 2);
+        ring.record(3_000, 2, &[1, 2], 0);
+        assert_eq!(ring.recorded(), 3);
+        assert_eq!(ring.occupancy(), (2, 2));
+        let entries = ring.snapshot();
+        assert_eq!(entries.len(), 2, "capacity 2 keeps the newest two");
+        assert_eq!(entries[0].prefix(), &[9, 8, 7, 6]);
+        assert_eq!(entries[1].prefix(), &[1, 2]);
+        // A fresh ring with a long pattern keeps exactly the prefix cap.
+        let ring = SlowRing::new(4);
+        ring.record(1, 40, &long, 0);
+        let entry = ring.snapshot()[0];
+        assert_eq!(entry.prefix_len as usize, SLOW_QUERY_PREFIX_LEN);
+        assert_eq!(entry.prefix(), &long[..SLOW_QUERY_PREFIX_LEN]);
+        assert_eq!(entry.pattern_len, 40);
     }
 
     #[test]
     fn dump_renders_every_section() {
         let workers = vec![std::sync::Arc::new(WorkerObs::new())];
         workers[0].record_service(1, 42_000);
-        let slow_log = EventLog::new(4);
-        slow_log.record(8, 77_000_000, 2);
+        let slow_log = SlowRing::new(4);
+        slow_log.record(77_000_000, 8, b"ACGTACGT", 2);
         let live = LiveObsView {
             segments: 4,
             memtable_rows: 123,
             last_error: "disk full".into(),
             ..LiveObsView::default()
         };
-        let text = merge_worker_obs(&workers, &slow_log, 50_000_000, live).dump();
+        let flight = FlightOccupancy {
+            recent: 5,
+            recent_capacity: 64,
+            pinned: 1,
+            pinned_capacity: 16,
+        };
+        let text = merge_worker_obs(&workers, &slow_log, 50_000_000, live, flight).dump();
         for needle in [
             "query stages",
             "queue_wait",
@@ -500,6 +665,8 @@ mod tests {
             "wal:",
             "slow queries",
             "pattern_len=8",
+            "rings: flight_recent=5/64 flight_pinned=1/16 slow=1/4",
+            "prefix=",
             "last_error: disk full",
         ] {
             assert!(text.contains(needle), "dump missing {needle:?}:\n{text}");

@@ -37,7 +37,16 @@
 //! connection. The snapshot body instead opens with its own
 //! [`METRICS_FORMAT_VERSION`], so the metrics layout can evolve
 //! independently and a client refuses an unknown layout typed
-//! ([`ProtocolError::UnsupportedMetricsFormat`]).
+//! ([`ProtocolError::UnsupportedMetricsFormat`]). Metrics format 2 added
+//! the per-entry slow-query pattern prefix and the ring-occupancy gauges.
+//!
+//! The `TRACE_DUMP` op ([`Request::TraceDump`] / [`Response::TraceDump`])
+//! follows the same discipline: no wire-version bump (an old server
+//! answers `UNKNOWN_OP` and keeps the connection), and the dump body opens
+//! with its own [`TRACE_FORMAT_VERSION`] so the span layout can evolve
+//! independently ([`ProtocolError::UnsupportedTraceFormat`]). The dump is
+//! a non-destructive snapshot of the server's flight recorder — pinned
+//! error traces first, then the recent ring, both oldest first.
 //!
 //! Requests: [`Request::Ping`], [`Request::Query`] (with a [`ResultMode`]
 //! mapping onto the `ius_query` sinks: collect-all, count-only, first-`k`),
@@ -48,7 +57,9 @@
 //! server sends instead of ever panicking (or hanging up silently) on
 //! untrusted bytes.
 
-use crate::metrics::{LiveObsView, MetricsSnapshot, SlowQueryEntry};
+use crate::flight::TraceRecordSnapshot;
+use crate::metrics::{LiveObsView, MetricsSnapshot, RingOccupancy, SlowQueryEntry};
+use ius_obs::trace::Span;
 use ius_obs::HistogramSnapshot;
 use ius_query::QueryStats;
 use std::fmt;
@@ -63,7 +74,13 @@ pub const WIRE_VERSION: u16 = 3;
 /// Layout version of the [`Response::Metrics`] body. Bumped when the
 /// snapshot layout changes; independent of [`WIRE_VERSION`] (see the
 /// module docs for why the `METRICS` op did not bump the wire version).
-pub const METRICS_FORMAT_VERSION: u16 = 1;
+/// Version 2 added the slow-query pattern prefix and the ring-occupancy
+/// gauges.
+pub const METRICS_FORMAT_VERSION: u16 = 2;
+
+/// Layout version of the [`Response::TraceDump`] body. Independent of
+/// [`WIRE_VERSION`] for the same reason as the metrics format.
+pub const TRACE_FORMAT_VERSION: u16 = 1;
 
 /// Fixed header size inside the payload: magic + version + request id + op.
 pub const HEADER_LEN: usize = 4 + 2 + 8 + 1;
@@ -89,6 +106,7 @@ const OP_DELETE_RANGE: u8 = 6;
 const OP_FLUSH: u8 = 7;
 const OP_COMPACT: u8 = 8;
 const OP_METRICS: u8 = 9;
+const OP_TRACE_DUMP: u8 = 10;
 
 // Response statuses.
 const ST_PONG: u8 = 0;
@@ -99,6 +117,7 @@ const ST_RELOADED: u8 = 4;
 const ST_SHUTTING_DOWN: u8 = 5;
 const ST_LIVE: u8 = 6;
 const ST_METRICS: u8 = 7;
+const ST_TRACE_DUMP: u8 = 8;
 const ST_ERROR: u8 = 255;
 
 // Result modes.
@@ -173,6 +192,10 @@ pub enum Request {
     /// histograms, queue-wait/service split, live and WAL timings, slow
     /// queries). Old servers answer `UNKNOWN_OP` and keep the connection.
     Metrics,
+    /// Drain a snapshot of the server's flight recorder: the most recent
+    /// complete request traces plus the pinned error traces. Old servers
+    /// answer `UNKNOWN_OP` and keep the connection.
+    TraceDump,
 }
 
 /// Per-query counters carried on the wire (a `u64` projection of
@@ -406,6 +429,14 @@ pub enum Response {
     Live(LiveSnapshot),
     /// Answer to [`Request::Metrics`].
     Metrics(MetricsSnapshot),
+    /// Answer to [`Request::TraceDump`]: the surviving flight-recorder
+    /// traces, pinned errors first, then recent, both oldest first.
+    TraceDump {
+        /// Layout version of this body (see [`TRACE_FORMAT_VERSION`]).
+        format_version: u16,
+        /// The recorded traces.
+        records: Vec<TraceRecordSnapshot>,
+    },
     /// Typed refusal: the server never hangs up silently and never panics on
     /// untrusted bytes.
     Error {
@@ -451,6 +482,9 @@ pub enum ProtocolError {
     /// A `METRICS` body announces a snapshot layout this build does not
     /// speak (the op itself decoded fine; only the snapshot is opaque).
     UnsupportedMetricsFormat(u16),
+    /// A `TRACE_DUMP` body announces a span layout this build does not
+    /// speak (the op itself decoded fine; only the dump is opaque).
+    UnsupportedTraceFormat(u16),
 }
 
 impl fmt::Display for ProtocolError {
@@ -481,6 +515,11 @@ impl fmt::Display for ProtocolError {
                 f,
                 "unsupported metrics snapshot format {v} (this build speaks \
                  format {METRICS_FORMAT_VERSION})"
+            ),
+            ProtocolError::UnsupportedTraceFormat(v) => write!(
+                f,
+                "unsupported trace dump format {v} (this build speaks \
+                 format {TRACE_FORMAT_VERSION})"
             ),
         }
     }
@@ -589,6 +628,7 @@ pub fn encode_request(id: u64, request: &Request, out: &mut Vec<u8>) {
             out.push(u8::from(*full));
         }
         Request::Metrics => begin_frame(out, id, OP_METRICS),
+        Request::TraceDump => begin_frame(out, id, OP_TRACE_DUMP),
     }
     end_frame(out);
 }
@@ -704,6 +744,44 @@ pub fn encode_response(id: u64, response: &Response, out: &mut Vec<u8>) {
                     entry.reported,
                 ] {
                     push_u64(out, v);
+                }
+                out.push(entry.prefix_len);
+                out.extend_from_slice(entry.prefix());
+            }
+            let rings = &snapshot.rings;
+            for v in [
+                rings.flight_recent,
+                rings.flight_recent_capacity,
+                rings.flight_pinned,
+                rings.flight_pinned_capacity,
+                rings.slow,
+                rings.slow_capacity,
+            ] {
+                push_u64(out, v);
+            }
+        }
+        Response::TraceDump {
+            format_version,
+            records,
+        } => {
+            begin_frame(out, id, ST_TRACE_DUMP);
+            push_u16(out, *format_version);
+            push_u32(out, records.len() as u32);
+            for record in records {
+                push_u64(out, record.trace_id);
+                out.push(record.op);
+                out.push(record.error);
+                push_u64(out, record.started_ns);
+                push_u64(out, record.total_ns);
+                out.push(u8::from(record.truncated) | (u8::from(record.pinned) << 1));
+                push_u16(out, record.spans.len() as u16);
+                for span in &record.spans {
+                    push_u16(out, span.code);
+                    out.push(span.depth);
+                    push_u64(out, span.start_ns);
+                    push_u64(out, span.dur_ns);
+                    push_u64(out, span.a);
+                    push_u64(out, span.b);
                 }
             }
         }
@@ -905,6 +983,7 @@ pub fn decode_request_body(op: u8, body: &[u8]) -> Result<Request, ProtocolError
             full: cur.u8("compact mode")? != 0,
         },
         OP_METRICS => Request::Metrics,
+        OP_TRACE_DUMP => Request::TraceDump,
         other => return Err(ProtocolError::UnknownOp(other)),
     };
     cur.finish()?;
@@ -1024,12 +1103,27 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
             let slow_count = cur.u32("slow-query count")? as usize;
             let mut slow_queries = Vec::with_capacity(slow_count.min(4096));
             for _ in 0..slow_count {
-                slow_queries.push(SlowQueryEntry {
+                let mut entry = SlowQueryEntry {
                     ts_ns: cur.u64("slow-query ts")?,
                     duration_ns: cur.u64("slow-query duration")?,
                     pattern_len: cur.u64("slow-query pattern length")?,
                     reported: cur.u64("slow-query reported")?,
-                });
+                    ..SlowQueryEntry::default()
+                };
+                let prefix_len = cur.u8("slow-query prefix length")? as usize;
+                if prefix_len > crate::metrics::SLOW_QUERY_PREFIX_LEN {
+                    return Err(ProtocolError::Truncated {
+                        what: "slow-query prefix",
+                    });
+                }
+                let bytes = cur.take(prefix_len, "slow-query prefix")?;
+                entry.prefix_len = prefix_len as u8;
+                entry.prefix[..prefix_len].copy_from_slice(bytes);
+                slow_queries.push(entry);
+            }
+            let mut ring_vals = [0u64; 6];
+            for v in ring_vals.iter_mut() {
+                *v = cur.u64("ring occupancy")?;
             }
             Response::Metrics(MetricsSnapshot {
                 format_version,
@@ -1055,7 +1149,57 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
                 },
                 slow_queries,
                 slow_query_threshold_ns,
+                rings: RingOccupancy {
+                    flight_recent: ring_vals[0],
+                    flight_recent_capacity: ring_vals[1],
+                    flight_pinned: ring_vals[2],
+                    flight_pinned_capacity: ring_vals[3],
+                    slow: ring_vals[4],
+                    slow_capacity: ring_vals[5],
+                },
             })
+        }
+        ST_TRACE_DUMP => {
+            let format_version = cur.u16("trace format version")?;
+            if format_version != TRACE_FORMAT_VERSION {
+                return Err(ProtocolError::UnsupportedTraceFormat(format_version));
+            }
+            let count = cur.u32("trace count")? as usize;
+            let mut records = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                let trace_id = cur.u64("trace id")?;
+                let op = cur.u8("trace op")?;
+                let error = cur.u8("trace error")?;
+                let started_ns = cur.u64("trace start")?;
+                let total_ns = cur.u64("trace total")?;
+                let flags = cur.u8("trace flags")?;
+                let span_count = cur.u16("trace span count")? as usize;
+                let mut spans = Vec::with_capacity(span_count.min(4096));
+                for _ in 0..span_count {
+                    spans.push(Span {
+                        code: cur.u16("span code")?,
+                        depth: cur.u8("span depth")?,
+                        start_ns: cur.u64("span start")?,
+                        dur_ns: cur.u64("span duration")?,
+                        a: cur.u64("span detail a")?,
+                        b: cur.u64("span detail b")?,
+                    });
+                }
+                records.push(TraceRecordSnapshot {
+                    trace_id,
+                    op,
+                    error,
+                    started_ns,
+                    total_ns,
+                    truncated: flags & 1 != 0,
+                    pinned: flags & 2 != 0,
+                    spans,
+                });
+            }
+            Response::TraceDump {
+                format_version,
+                records,
+            }
         }
         ST_ERROR => {
             let code = ErrorCode::from_byte(cur.u8("error code")?)?;
@@ -1118,6 +1262,7 @@ pub fn read_frame(r: &mut dyn Read, max_len: usize, buf: &mut Vec<u8>) -> io::Re
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flight::TRACE_NO_ERROR;
 
     fn round_trip_request(request: Request) {
         let mut frame = Vec::new();
@@ -1160,6 +1305,7 @@ mod tests {
         round_trip_request(Request::Compact { full: false });
         round_trip_request(Request::Compact { full: true });
         round_trip_request(Request::Metrics);
+        round_trip_request(Request::TraceDump);
         for mode in [
             ResultMode::Collect,
             ResultMode::Count,
@@ -1473,15 +1619,31 @@ mod tests {
                     duration_ns: 60_000_000,
                     pattern_len: 32,
                     reported: 4,
+                    prefix_len: crate::metrics::SLOW_QUERY_PREFIX_LEN as u8,
+                    prefix: [7; crate::metrics::SLOW_QUERY_PREFIX_LEN],
                 },
                 SlowQueryEntry {
                     ts_ns: 2_000,
                     duration_ns: 51_000_000,
                     pattern_len: 8,
                     reported: 0,
+                    prefix_len: 8,
+                    prefix: {
+                        let mut p = [0u8; crate::metrics::SLOW_QUERY_PREFIX_LEN];
+                        p[..8].copy_from_slice(&[0, 1, 2, 3, 3, 2, 1, 0]);
+                        p
+                    },
                 },
             ],
             slow_query_threshold_ns: 50_000_000,
+            rings: RingOccupancy {
+                flight_recent: 12,
+                flight_recent_capacity: 64,
+                flight_pinned: 2,
+                flight_pinned_capacity: 16,
+                slow: 2,
+                slow_capacity: 128,
+            },
         }
     }
 
@@ -1532,6 +1694,115 @@ mod tests {
         assert!(matches!(
             decode_response(&frame[4..]),
             Err(ProtocolError::UnsupportedMetricsFormat(v)) if v == METRICS_FORMAT_VERSION + 1
+        ));
+    }
+
+    /// A populated trace dump: one pinned error trace, one recent trace
+    /// with a nested span tree and non-trivial detail words.
+    fn sample_trace_dump() -> Response {
+        Response::TraceDump {
+            format_version: TRACE_FORMAT_VERSION,
+            records: vec![
+                TraceRecordSnapshot {
+                    trace_id: 42,
+                    op: 1,
+                    error: 3,
+                    started_ns: 1_000_000,
+                    total_ns: 90_000,
+                    truncated: true,
+                    pinned: true,
+                    spans: vec![Span {
+                        code: ius_obs::trace::STAGE_FRAME_DECODE,
+                        depth: 0,
+                        start_ns: 10,
+                        dur_ns: 500,
+                        a: 0,
+                        b: 0,
+                    }],
+                },
+                TraceRecordSnapshot {
+                    trace_id: 43,
+                    op: 1,
+                    error: TRACE_NO_ERROR,
+                    started_ns: 2_000_000,
+                    total_ns: 45_000,
+                    truncated: false,
+                    pinned: false,
+                    spans: vec![
+                        Span {
+                            code: ius_obs::trace::STAGE_QUERY,
+                            depth: 0,
+                            start_ns: 600,
+                            dur_ns: 40_000,
+                            a: 0,
+                            b: 7,
+                        },
+                        Span {
+                            code: ius_obs::trace::STAGE_PART,
+                            depth: 1,
+                            start_ns: 0,
+                            dur_ns: 30_000,
+                            a: 2,
+                            b: 7,
+                        },
+                        Span {
+                            code: ius_obs::trace::STAGE_VERIFY,
+                            depth: 2,
+                            start_ns: 0,
+                            dur_ns: 20_000,
+                            a: 11,
+                            b: 0,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_dump_round_trips() {
+        round_trip_request(Request::TraceDump);
+        round_trip_response(sample_trace_dump());
+        // The empty dump (fresh server, nothing sampled yet) round-trips.
+        round_trip_response(Response::TraceDump {
+            format_version: TRACE_FORMAT_VERSION,
+            records: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn trace_dump_truncations_are_refused_typed() {
+        let mut frame = Vec::new();
+        encode_response(13, &sample_trace_dump(), &mut frame);
+        for cut in HEADER_LEN..frame.len() - 4 {
+            let result = decode_response(&frame[4..4 + cut]);
+            assert!(
+                matches!(result, Err(ProtocolError::Truncated { .. })),
+                "cut at {cut}: {result:?}"
+            );
+        }
+        let mut long = frame[4..].to_vec();
+        long.push(0x00);
+        assert!(matches!(
+            decode_response(&long),
+            Err(ProtocolError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn future_trace_format_is_refused_typed() {
+        let mut frame = Vec::new();
+        encode_response(
+            17,
+            &Response::TraceDump {
+                format_version: TRACE_FORMAT_VERSION + 1,
+                records: Vec::new(),
+            },
+            &mut frame,
+        );
+        assert!(matches!(
+            decode_response(&frame[4..]),
+            Err(ProtocolError::UnsupportedTraceFormat(v)) if v == TRACE_FORMAT_VERSION + 1
         ));
     }
 }

@@ -44,27 +44,29 @@
 //! sites are gated on `ius_obs::clock::enabled()`, which is how the
 //! overhead benchmark measures instrumented vs. stubbed serving.
 
+use crate::flight::{FlightRecorder, TRACE_NO_ERROR};
 use crate::metrics::{
-    merge_worker_obs, DurabilityView, LiveObsView, MetricsSnapshot, ServerMetrics, WorkerObs,
+    merge_worker_obs, DurabilityView, LiveObsView, MetricsSnapshot, ServerMetrics, SlowRing,
+    WorkerObs, SLOW_QUERY_PREFIX_LEN,
 };
 use crate::pool::AdmissionQueue;
 use crate::protocol::{
     decode_header, decode_query_body, decode_request_body, encode_matches_from_slice,
     encode_response, read_frame, ErrorCode, LiveSnapshot, ProtocolError, Request, Response,
-    ResultMode, StatsSnapshot, MAX_REQUEST_FRAME,
+    ResultMode, StatsSnapshot, MAX_REQUEST_FRAME, TRACE_FORMAT_VERSION,
 };
 use ius_arena::Arena;
 use ius_exec::WorkerPool;
 use ius_index::{open_any_index, AnyIndex, LoadedAny, ShardedIndex, UncertainIndex};
 use ius_live::LiveIndex;
-use ius_obs::{clock, EventLog};
+use ius_obs::{clock, trace};
 use ius_query::{CountSink, FirstKSink, QueryScratch};
 use ius_weighted::WeightedString;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once, Weak};
 use std::time::Duration;
 
 /// An index ready to serve: the structure plus whatever corpus access its
@@ -167,6 +169,12 @@ impl ServedIndex {
     /// The sink-based query entry point (see
     /// [`UncertainIndex::query_into`]).
     ///
+    /// When the calling thread carries an armed request trace, the whole
+    /// dispatch runs under a `query` span. Sharded and live indexes record
+    /// their per-part stage groups internally (they know the fan-out);
+    /// single-machine indexes report one flat stage breakdown, recorded
+    /// here from the returned stats.
+    ///
     /// # Errors
     ///
     /// The engine's pattern-contract errors.
@@ -176,13 +184,37 @@ impl ServedIndex {
         scratch: &mut QueryScratch,
         sink: &mut dyn ius_query::MatchSink,
     ) -> ius_weighted::Result<ius_query::QueryStats> {
-        match self {
+        let traced = trace::active();
+        if traced {
+            trace::enter(trace::STAGE_QUERY);
+        }
+        let result = match self {
             ServedIndex::Single { index, corpus } => {
                 index.query_into(pattern, corpus, scratch, sink)
             }
             ServedIndex::Sharded(index) => index.query_owned_into(pattern, scratch, sink),
             ServedIndex::Live(index) => index.query_owned_into(pattern, scratch, sink),
+        };
+        if traced {
+            match &result {
+                Ok(stats) => {
+                    if matches!(self, ServedIndex::Single { .. }) && stats.timed {
+                        trace::leaf(trace::STAGE_SCAN, stats.scan_ns, 0, 0);
+                        trace::leaf(trace::STAGE_LOCATE, stats.locate_ns, 0, 0);
+                        trace::leaf(
+                            trace::STAGE_VERIFY,
+                            stats.verify_ns,
+                            stats.candidates as u64,
+                            0,
+                        );
+                        trace::leaf(trace::STAGE_REPORT, stats.report_ns, 0, 0);
+                    }
+                    trace::exit_with(stats.candidates as u64, stats.reported as u64);
+                }
+                Err(_) => trace::exit_with(0, 0),
+            }
         }
+        result
     }
 
     /// Display name of the served structure.
@@ -278,9 +310,12 @@ struct Shared {
     /// One private histogram registry per worker (indexed like the worker
     /// threads); merged only on a `METRICS` scrape.
     worker_obs: Vec<Arc<WorkerObs>>,
-    /// Shared ring of threshold-crossing queries.
-    slow_log: EventLog,
+    /// Shared ring of threshold-crossing queries (with pattern prefixes).
+    slow_log: SlowRing,
     slow_query_threshold_ns: u64,
+    /// Rings of sampled complete request traces, drained by `TRACE_DUMP`
+    /// and dumped to stderr by the panic hook.
+    flight: Arc<FlightRecorder>,
     queue: AdmissionQueue,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -320,6 +355,8 @@ impl Server {
         // base-instant initialization.
         clock::warm_up();
         let workers = config.workers.max(1);
+        let flight = Arc::new(FlightRecorder::new());
+        register_flight_panic_hook(&flight);
         let shared = Arc::new(Shared {
             state: Mutex::new(Arc::new(ServedState {
                 index,
@@ -328,7 +365,8 @@ impl Server {
             reload_path,
             metrics: ServerMetrics::new(),
             worker_obs: (0..workers).map(|_| Arc::new(WorkerObs::new())).collect(),
-            slow_log: EventLog::new(128),
+            slow_log: SlowRing::new(128),
+            flight,
             slow_query_threshold_ns: config.slow_query_threshold.as_nanos() as u64,
             queue: AdmissionQueue::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
@@ -452,7 +490,40 @@ fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
         &shared.slow_log,
         shared.slow_query_threshold_ns,
         live_view,
+        shared.flight.occupancy(),
     )
+}
+
+/// Flight recorders of every server bound in this process, reachable by
+/// the (installed-once) panic hook. Weak: the hook must not keep a
+/// shut-down server's rings alive.
+static HOOKED_FLIGHTS: Mutex<Vec<Weak<FlightRecorder>>> = Mutex::new(Vec::new());
+static FLIGHT_HOOK: Once = Once::new();
+
+/// Registers `flight` with the process-wide panic hook: when any thread
+/// panics, every live recorder dumps its surviving traces to stderr —
+/// the last K requests before the crash, which is the whole point of a
+/// flight recorder. Chains the previously installed hook.
+fn register_flight_panic_hook(flight: &Arc<FlightRecorder>) {
+    {
+        let mut flights = HOOKED_FLIGHTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        flights.retain(|w| w.strong_count() > 0);
+        flights.push(Arc::downgrade(flight));
+    }
+    FLIGHT_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            let flights = HOOKED_FLIGHTS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for flight in flights.iter().filter_map(Weak::upgrade) {
+                eprintln!("{}", flight.render());
+            }
+        }));
+    });
 }
 
 fn trigger_shutdown(shared: &Shared) {
@@ -553,18 +624,29 @@ fn worker_loop(shared: &Shared, worker: usize) {
     // never lost with the buffers.
     let obs = shared.worker_obs[worker].clone();
     while let Some((stream, accepted_ns)) = shared.queue.pop() {
+        let mut queue_wait_ns = 0;
         if clock::enabled() {
-            obs.queue_wait
-                .record(clock::now_ns().saturating_sub(accepted_ns));
+            queue_wait_ns = clock::now_ns().saturating_sub(accepted_ns);
+            obs.queue_wait.record(queue_wait_ns);
         }
         // A panic while serving (an engine bug, an incompatible reloaded
         // index) must cost one connection, not a pool slot: catch it, drop
         // the possibly inconsistent buffers, keep serving.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(shared, &obs, stream, &mut frame, &mut buffers);
+            handle_connection(
+                shared,
+                &obs,
+                stream,
+                &mut frame,
+                &mut buffers,
+                queue_wait_ns,
+            );
         }));
         if outcome.is_err() {
             eprintln!("ius-server worker recovered from a panic; connection dropped");
+            // A trace armed by the aborted request must not leak spans
+            // into whatever this thread serves next.
+            trace::abandon();
             frame = Vec::new();
             buffers = WorkerBuffers::new();
         }
@@ -633,12 +715,19 @@ fn send(stream: &mut TcpStream, out: &[u8]) -> io::Result<()> {
     stream.write_all(out)
 }
 
+/// What request traces carry of the wire frame: the `ErrorCode` byte of a
+/// typed error response sits at this absolute offset in the encoded frame
+/// (4-byte length prefix + 14-byte header + the status byte at 18 being
+/// `ST_ERROR`).
+const FRAME_STATUS_OFFSET: usize = 18;
+
 fn handle_connection(
     shared: &Shared,
     obs: &WorkerObs,
     mut stream: TcpStream,
     frame: &mut Vec<u8>,
     buffers: &mut WorkerBuffers,
+    queue_wait_ns: u64,
 ) {
     // Per-request timing is always on (the slow-query log must see every
     // request), but feeding the service histogram is sampled at the same
@@ -647,6 +736,10 @@ fn handle_connection(
     // every request, so an unconditional record costs a couple of hundred
     // nanoseconds of misses. The first request on each connection is
     // always recorded, so scrapes see per-op service data immediately.
+    //
+    // Request tracing rides the same ticket: the requests that feed the
+    // service histogram are exactly the ones that record a span tree into
+    // the flight recorder, so the two views describe the same sample.
     let mut service_tick: u32 = 0;
     loop {
         match read_frame_or_shutdown(&mut stream, shared, frame) {
@@ -685,11 +778,23 @@ fn handle_connection(
         // Service time covers body decode + answer + send — everything the
         // worker does for this frame after it has arrived.
         let service_start = clock::now_ns();
+        let sampled = clock::enabled() && service_tick.is_multiple_of(clock::STAGE_SAMPLE_EVERY);
+        // Arm the thread-local span buffer for a sampled request. The
+        // queue-wait leaf belongs to the connection's first request only
+        // (pops happen once per connection, not per frame).
+        let armed = sampled && trace::begin(trace::next_trace_id());
+        if armed {
+            if service_tick == 0 {
+                trace::leaf(trace::STAGE_QUEUE_WAIT, queue_wait_ns, 0, 0);
+            }
+            trace::enter(trace::STAGE_FRAME_DECODE);
+        }
         let (id, op, body) = match decode_header(frame) {
             Ok(parts) => parts,
             Err(err) => {
                 // The stream cannot be trusted to be frame-aligned after a
                 // header-level violation: answer once, then close.
+                trace::abandon();
                 ServerMetrics::inc(&shared.metrics.protocol_errors);
                 let code = match err {
                     ProtocolError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
@@ -710,53 +815,118 @@ fn handle_connection(
         // Hot path: QUERY bodies are decoded borrowing the pattern straight
         // out of the frame buffer (no per-request allocation); other ops go
         // through the owned decoder.
+        enum Decoded<'a> {
+            Query(ResultMode, &'a [u8]),
+            Other(Request),
+            Bad(ProtocolError),
+        }
+        let decoded = match decode_query_body(op, body) {
+            Some(Ok((mode, pattern))) => Decoded::Query(mode, pattern),
+            Some(Err(err)) => Decoded::Bad(err),
+            None => match decode_request_body(op, body) {
+                Ok(request) => Decoded::Other(request),
+                Err(err) => Decoded::Bad(err),
+            },
+        };
+        if armed {
+            trace::exit_with(frame.len() as u64, 0); // frame_decode
+        }
         let close_after;
-        // (pattern length, reported count) of a successfully answered
-        // query, fed to the slow-query ring if this request turns out
-        // slow. Carried out of the answer path so the slow check can
-        // reuse the service-end clock stamp instead of reading the clock
-        // again.
+        // The slow-query probe (pattern length, prefix, reported count) of
+        // a successfully answered query, fed to the slow-query ring if
+        // this request turns out slow. Carried out of the answer path so
+        // the slow check can reuse the service-end clock stamp instead of
+        // reading the clock again.
         let mut slow_probe = None;
-        match decode_query_body(op, body) {
-            Some(Ok((mode, pattern))) => {
+        match decoded {
+            Decoded::Query(mode, pattern) => {
                 close_after = false;
                 slow_probe = answer_query(shared, obs, id, mode, pattern, buffers);
             }
-            Some(Err(err)) => {
+            Decoded::Other(request) => {
+                close_after = matches!(request, Request::Shutdown);
+                slow_probe = answer(shared, obs, id, request, buffers);
+            }
+            Decoded::Bad(err) => {
+                // Body-level violations leave the framing intact: answer
+                // with the request's own id and keep the connection.
                 close_after = false;
                 body_error(shared, id, &err, &mut buffers.out);
             }
-            None => match decode_request_body(op, body) {
-                Ok(request) => {
-                    close_after = matches!(request, Request::Shutdown);
-                    slow_probe = answer(shared, obs, id, request, buffers);
-                }
-                Err(err) => {
-                    // Body-level violations leave the framing intact: answer
-                    // with the request's own id and keep the connection.
-                    close_after = false;
-                    body_error(shared, id, &err, &mut buffers.out);
-                }
-            },
         }
-        if send(&mut stream, &buffers.out).is_err() {
+        if armed {
+            trace::enter(trace::STAGE_RESPONSE_WRITE);
+        }
+        let sent = send(&mut stream, &buffers.out);
+        if armed {
+            trace::exit_with(buffers.out.len() as u64, 0);
+            // The trace is complete (write span included): copy it into
+            // the flight recorder. A typed error response pins the trace —
+            // the error code sits at a fixed frame offset, so no error
+            // state needs threading through the answer paths.
+            let total_ns = clock::now_ns().saturating_sub(service_start);
+            let error = match buffers.out.get(FRAME_STATUS_OFFSET) {
+                Some(&255) => buffers
+                    .out
+                    .get(FRAME_STATUS_OFFSET + 1)
+                    .copied()
+                    .unwrap_or(TRACE_NO_ERROR),
+                _ => TRACE_NO_ERROR,
+            };
+            trace::finish(|buf| shared.flight.record(buf, op, error, total_ns));
+        }
+        if sent.is_err() {
             return;
         }
         if clock::enabled() {
             let elapsed = clock::now_ns().saturating_sub(service_start);
-            if service_tick.is_multiple_of(clock::STAGE_SAMPLE_EVERY) {
+            if sampled {
                 obs.record_service(op, elapsed);
             }
             service_tick = service_tick.wrapping_add(1);
             if elapsed >= shared.slow_query_threshold_ns {
-                if let Some((pattern_len, reported)) = slow_probe {
-                    shared.slow_log.record(pattern_len, elapsed, reported);
+                if let Some(probe) = slow_probe {
+                    shared.slow_log.record(
+                        elapsed,
+                        probe.pattern_len,
+                        probe.prefix(),
+                        probe.reported,
+                    );
                 }
             }
         }
         if close_after {
             return;
         }
+    }
+}
+
+/// What the slow-query ring needs of a successfully answered query,
+/// carried (as a fixed-size copy — the borrowed pattern dies with the
+/// answer path) from the answer to the service-end slow check.
+#[derive(Clone, Copy)]
+struct SlowProbe {
+    pattern_len: u64,
+    reported: u64,
+    prefix_len: u8,
+    prefix: [u8; SLOW_QUERY_PREFIX_LEN],
+}
+
+impl SlowProbe {
+    fn new(pattern: &[u8], reported: u64) -> Self {
+        let n = pattern.len().min(SLOW_QUERY_PREFIX_LEN);
+        let mut prefix = [0u8; SLOW_QUERY_PREFIX_LEN];
+        prefix[..n].copy_from_slice(&pattern[..n]);
+        Self {
+            pattern_len: pattern.len() as u64,
+            reported,
+            prefix_len: n as u8,
+            prefix,
+        }
+    }
+
+    fn prefix(&self) -> &[u8] {
+        &self.prefix[..self.prefix_len as usize]
     }
 }
 
@@ -781,10 +951,10 @@ fn body_error(shared: &Shared, id: u64, err: &ProtocolError, out: &mut Vec<u8>) 
 /// buffer — the hot path. With warmed buffers, collect and count modes
 /// allocate nothing beyond what the engine scratch already owns.
 ///
-/// Returns `Some((pattern_len, reported))` on success so the worker loop
-/// can feed the slow-query ring from the service-time stamp it takes
-/// anyway, and `None` when the query failed (failures answer a typed
-/// error and are not slow-log material).
+/// Returns the [`SlowProbe`] of a successful query so the worker loop can
+/// feed the slow-query ring from the service-time stamp it takes anyway,
+/// and `None` when the query failed (failures answer a typed error and
+/// are not slow-log material).
 fn answer_query(
     shared: &Shared,
     obs: &WorkerObs,
@@ -792,7 +962,7 @@ fn answer_query(
     mode: ResultMode,
     pattern: &[u8],
     buffers: &mut WorkerBuffers,
-) -> Option<(u64, u64)> {
+) -> Option<SlowProbe> {
     // Snapshot the served index: a reload swapping the Arc while this
     // query runs does not affect it, and the old index stays alive until
     // the last in-flight query drops its clone.
@@ -816,13 +986,20 @@ fn answer_query(
                     record(&stats);
                     ServerMetrics::inc(&shared.metrics.queries);
                     ServerMetrics::add(&shared.metrics.occurrences, buffers.positions.len() as u64);
+                    let traced = trace::active();
+                    if traced {
+                        trace::enter(trace::STAGE_RESPONSE_ENCODE);
+                    }
                     encode_matches_from_slice(
                         id,
                         &stats.into(),
                         &buffers.positions,
                         &mut buffers.out,
                     );
-                    Some((pattern.len() as u64, buffers.positions.len() as u64))
+                    if traced {
+                        trace::exit_with(buffers.out.len() as u64, 0);
+                    }
+                    Some(SlowProbe::new(pattern, buffers.positions.len() as u64))
                 }
                 Err(err) => {
                     query_error(shared, id, &err, &mut buffers.out);
@@ -840,6 +1017,10 @@ fn answer_query(
                     record(&stats);
                     ServerMetrics::inc(&shared.metrics.queries);
                     ServerMetrics::add(&shared.metrics.occurrences, sink.count as u64);
+                    let traced = trace::active();
+                    if traced {
+                        trace::enter(trace::STAGE_RESPONSE_ENCODE);
+                    }
                     encode_response(
                         id,
                         &Response::Count {
@@ -848,7 +1029,10 @@ fn answer_query(
                         },
                         &mut buffers.out,
                     );
-                    Some((pattern.len() as u64, sink.count as u64))
+                    if traced {
+                        trace::exit_with(buffers.out.len() as u64, 0);
+                    }
+                    Some(SlowProbe::new(pattern, sink.count as u64))
                 }
                 Err(err) => {
                     query_error(shared, id, &err, &mut buffers.out);
@@ -866,8 +1050,15 @@ fn answer_query(
                     record(&stats);
                     ServerMetrics::inc(&shared.metrics.queries);
                     ServerMetrics::add(&shared.metrics.occurrences, sink.positions.len() as u64);
+                    let traced = trace::active();
+                    if traced {
+                        trace::enter(trace::STAGE_RESPONSE_ENCODE);
+                    }
                     encode_matches_from_slice(id, &stats.into(), &sink.positions, &mut buffers.out);
-                    Some((pattern.len() as u64, sink.positions.len() as u64))
+                    if traced {
+                        trace::exit_with(buffers.out.len() as u64, 0);
+                    }
+                    Some(SlowProbe::new(pattern, sink.positions.len() as u64))
                 }
                 Err(err) => {
                     query_error(shared, id, &err, &mut buffers.out);
@@ -887,7 +1078,7 @@ fn answer(
     id: u64,
     request: Request,
     buffers: &mut WorkerBuffers,
-) -> Option<(u64, u64)> {
+) -> Option<SlowProbe> {
     match request {
         Request::Ping => encode_response(id, &Response::Pong, &mut buffers.out),
         Request::Query { mode, pattern } => {
@@ -941,6 +1132,16 @@ fn answer(
             encode_response(
                 id,
                 &Response::Metrics(metrics_snapshot(shared)),
+                &mut buffers.out,
+            );
+        }
+        Request::TraceDump => {
+            encode_response(
+                id,
+                &Response::TraceDump {
+                    format_version: TRACE_FORMAT_VERSION,
+                    records: shared.flight.snapshot(),
+                },
                 &mut buffers.out,
             );
         }

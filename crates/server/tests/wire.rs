@@ -363,6 +363,18 @@ fn metrics_scrape_reflects_served_queries() {
         .slow_queries
         .iter()
         .all(|entry| entry.pattern_len == 8));
+    // Every slow entry retains the pattern prefix (the full 8-rank pattern
+    // here, since it is shorter than the 16-byte cap).
+    assert!(snapshot
+        .slow_queries
+        .iter()
+        .all(|entry| entry.prefix() == &pattern[..]));
+    // The ring-occupancy gauges reflect the same entries, and advertise
+    // non-trivial capacities.
+    assert_eq!(snapshot.rings.slow, snapshot.slow_queries.len() as u64);
+    assert!(snapshot.rings.slow_capacity >= snapshot.rings.slow);
+    assert!(snapshot.rings.flight_recent_capacity > 0);
+    assert!(snapshot.rings.flight_pinned_capacity > 0);
     server.shutdown();
 }
 
@@ -399,7 +411,7 @@ fn unassigned_op_after_metrics_keeps_the_connection_alive() {
     let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
     let mut frame = Vec::new();
     protocol::encode_request(30, &Request::Metrics, &mut frame);
-    frame[18] = 10; // the first op byte this build does not assign
+    frame[18] = 11; // the first op byte this build does not assign
     stream.write_all(&frame).expect("send");
     let mut buf = Vec::new();
     assert!(read_frame(&mut stream, MAX_RESPONSE_FRAME, &mut buf).expect("read"));
@@ -446,5 +458,106 @@ fn idle_connections_are_closed_after_the_idle_timeout() {
     // The freed worker serves a new connection normally.
     let mut fresh = Client::connect(server.local_addr()).expect("connect");
     fresh.ping().expect("ping on a fresh connection");
+    server.shutdown();
+}
+
+#[test]
+fn trace_dump_round_trips_over_the_wire() {
+    let (server, _, _) = start_server(&ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // The first request on a connection always draws a trace ticket, and
+    // the flight push happens before the worker reads this connection's
+    // next frame — so a same-connection TRACE_DUMP must see the query.
+    let pattern = vec![0u8; 8];
+    client.query(&pattern).expect("query");
+    let records = client.trace_dump().expect("trace dump");
+    let query_trace = records
+        .iter()
+        .find(|r| r.op == 1 && !r.pinned)
+        .expect("the sampled QUERY must be in the recent ring");
+    assert_eq!(query_trace.error, ius_server::TRACE_NO_ERROR);
+    assert!(query_trace.total_ns > 0);
+    let codes: Vec<u16> = query_trace.spans.iter().map(|s| s.code).collect();
+    for stage in [
+        ius_obs::trace::STAGE_QUEUE_WAIT,
+        ius_obs::trace::STAGE_FRAME_DECODE,
+        ius_obs::trace::STAGE_QUERY,
+        ius_obs::trace::STAGE_RESPONSE_ENCODE,
+        ius_obs::trace::STAGE_RESPONSE_WRITE,
+    ] {
+        assert!(
+            codes.contains(&stage),
+            "stage {} missing from {codes:?}",
+            ius_obs::trace::stage_name(stage)
+        );
+    }
+    // The query span nests the single-machine stage leaves one level down.
+    let query_span = query_trace
+        .spans
+        .iter()
+        .find(|s| s.code == ius_obs::trace::STAGE_QUERY)
+        .expect("query span");
+    let verify = query_trace
+        .spans
+        .iter()
+        .find(|s| s.code == ius_obs::trace::STAGE_VERIFY)
+        .expect("verify leaf");
+    assert_eq!(verify.depth, query_span.depth + 1);
+    // The dump renders as an indented tree naming every stage.
+    let text = query_trace.render();
+    assert!(
+        text.contains("queue_wait") && text.contains("response_write"),
+        "{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn error_traces_are_pinned_and_drained_over_the_wire() {
+    let (server, _, _) = start_server(&ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // First request on the connection (always sampled): an engine-level
+    // refusal — pattern shorter than ℓ — answered as a typed QUERY error.
+    let err = client.query(&[0u8; 3]).expect_err("short pattern");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: ErrorCode::Query,
+            ..
+        }
+    ));
+    let records = client.trace_dump().expect("trace dump");
+    let pinned = records
+        .iter()
+        .find(|r| r.pinned)
+        .expect("the error trace must be pinned");
+    assert_eq!(pinned.op, 1, "the failing op was QUERY");
+    assert_eq!(pinned.error, 3, "the QUERY_ERROR code byte is recorded");
+    assert!(pinned
+        .spans
+        .iter()
+        .any(|s| s.code == ius_obs::trace::STAGE_QUERY));
+    server.shutdown();
+}
+
+#[test]
+fn trace_dump_request_with_trailing_bytes_is_refused_typed() {
+    let (server, _, _) = start_server(&ServerConfig::default());
+    let mut frame = Vec::new();
+    protocol::encode_request(23, &Request::TraceDump, &mut frame);
+    // A TRACE_DUMP request has an empty body: a trailing byte must be
+    // refused typed, echoing the request id, not by hanging up.
+    frame.push(0xCD);
+    let new_len = (frame.len() - 4) as u32;
+    frame[..4].copy_from_slice(&new_len.to_le_bytes());
+    let (id, response) = raw_round_trip(server.local_addr(), &frame).expect("response");
+    assert_eq!(id, 23);
+    match response {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert!(message.contains("trailing"), "{message:?}");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
     server.shutdown();
 }

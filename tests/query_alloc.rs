@@ -165,6 +165,99 @@ fn instrumented_query_recording_is_allocation_free_after_warmup() {
     assert!(scan.snapshot().sum > 0, "scan stage timings recorded");
 }
 
+/// The fully traced serving path — span tree into the thread-local trace
+/// buffer, flight-recorder push, slow-query ring push with its pattern
+/// prefix — must stay allocation-free in steady state, on sampled and
+/// unsampled requests alike. This is the budget behind the <2%
+/// instrumentation-overhead acceptance row.
+#[test]
+fn traced_query_path_is_allocation_free_after_warmup() {
+    use ius_obs::{clock, trace};
+    use ius_server::{FlightRecorder, SlowRing, TRACE_NO_ERROR};
+    let (x, est, patterns, params) = workload();
+    let index =
+        MinimizerIndex::build_from_estimation(&x, &est, params, IndexVariant::ArrayGrid).unwrap();
+    let mut scratch = QueryScratch::new();
+    // The rings preallocate at construction, exactly like the server's
+    // shared state; nothing below may touch the allocator again.
+    let flight = FlightRecorder::new();
+    let slow = SlowRing::new(64);
+    clock::warm_up();
+    assert!(clock::enabled(), "timing must be on for this test");
+
+    // Mirrors one served request: arm the trace on sampled requests, wrap
+    // the query in a STAGE_QUERY span with stage leaves, then push the
+    // finished trace into the flight recorder and the timing into the
+    // slow ring.
+    let run_one = |pattern: &Vec<u8>, sampled: bool, scratch: &mut QueryScratch| -> u64 {
+        let start = clock::now_ns();
+        let armed = sampled && trace::begin(trace::next_trace_id());
+        if armed {
+            trace::leaf(trace::STAGE_QUEUE_WAIT, 120, 0, 0);
+            trace::enter(trace::STAGE_QUERY);
+        }
+        let mut sink = CountSink::new();
+        let stats = index.query_into(pattern, &x, scratch, &mut sink).unwrap();
+        if armed {
+            if stats.timed {
+                trace::leaf(trace::STAGE_SCAN, stats.scan_ns, 0, 0);
+                trace::leaf(
+                    trace::STAGE_VERIFY,
+                    stats.verify_ns,
+                    stats.candidates as u64,
+                    0,
+                );
+            }
+            trace::exit_with(stats.candidates as u64, stats.reported as u64);
+        }
+        let elapsed = clock::now_ns().saturating_sub(start);
+        let recorded = trace::finish(|buf| {
+            flight.record(buf, 1, TRACE_NO_ERROR, elapsed);
+        });
+        assert_eq!(recorded.is_some(), sampled, "arming must follow the ticket");
+        slow.record(
+            elapsed,
+            pattern.len() as u64,
+            pattern,
+            stats.reported as u64,
+        );
+        stats.reported as u64
+    };
+
+    // Warm-up pass, alternating sampled and unsampled requests.
+    for (i, pattern) in patterns.iter().enumerate() {
+        run_one(pattern, i % 2 == 0, &mut scratch);
+    }
+
+    // Steady state: the whole traced request loop, zero heap traffic.
+    let (reported, mem) = ius_memtrack::measure(|| {
+        let mut reported = 0u64;
+        for (i, pattern) in patterns.iter().enumerate() {
+            reported += run_one(pattern, i % 2 == 0, &mut scratch);
+        }
+        reported
+    });
+    assert!(ius_memtrack::is_installed());
+    assert_eq!(
+        mem.peak_bytes,
+        0,
+        "traced steady-state queries allocated {} bytes over {} requests",
+        mem.peak_bytes,
+        patterns.len()
+    );
+    assert_eq!(mem.retained_bytes, 0, "traced path retained heap");
+    assert!(reported > 0, "workload found occurrences");
+    // Both rings really absorbed the pushes.
+    let occupancy = flight.occupancy();
+    assert!(occupancy.recent > 0, "flight recorder captured traces");
+    assert_eq!(slow.recorded(), 2 * patterns.len() as u64);
+    // Sampled traces carry the span tree.
+    let snapshot = flight.snapshot();
+    assert!(snapshot
+        .iter()
+        .any(|t| t.spans.iter().any(|s| s.code == trace::STAGE_QUERY)));
+}
+
 #[test]
 fn collecting_into_a_warm_reused_vector_is_also_allocation_free() {
     let (x, est, patterns, params) = workload();
